@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures: paper-scale (scaled-down) datasets.
+
+Benchmarks regenerate the paper's exhibits at 2-3k samples -- large enough
+for the population statistics to be tight, small enough to run in seconds.
+Every benchmark prints the regenerated table/figure data (run with ``-s``
+to see it) and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.data.catalog import make_imagenet, make_openimages
+from repro.preprocessing.pipeline import standard_pipeline
+
+
+@pytest.fixture(scope="session")
+def openimages():
+    return make_openimages(num_samples=2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imagenet():
+    return make_imagenet(num_samples=3000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return standard_pipeline()
+
+
+@pytest.fixture(scope="session")
+def ample_cluster():
+    return standard_cluster(storage_cores=48)
+
+
+def run_once(benchmark, fn):
+    """Run a regeneration exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

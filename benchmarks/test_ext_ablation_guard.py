@@ -1,0 +1,63 @@
+"""Ablation: the decision engine's never-worsen guard (DESIGN.md section 4).
+
+The paper's stopping rule is "stop when T_Net ceases to be predominant".
+Our engine adds a guard that also *skips* samples whose offload would raise
+the epoch estimate.  This ablation runs both variants across storage-core
+budgets: with ample cores they agree exactly; under scarcity the guard can
+only help.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+CORES = (1, 2, 8, 48)
+
+
+def test_ext_ablation_never_worsen_guard(benchmark, openimages, pipeline):
+    model = get_model_profile("alexnet")
+
+    def regenerate():
+        results = {}
+        for cores in CORES:
+            spec = standard_cluster(storage_cores=cores)
+            context = PolicyContext(
+                dataset=openimages, pipeline=pipeline, spec=spec, model=model,
+                batch_size=256, seed=7,
+            )
+            trainer = TrainerSim(openimages, pipeline, model, spec, seed=7)
+            row = {}
+            for label, guarded in (("guarded", True), ("paper-literal", False)):
+                policy = Sophon(decision=DecisionConfig(never_worsen=guarded))
+                plan = policy.plan(context)
+                stats = trainer.run_epoch(list(plan.splits), epoch=1)
+                row[label] = (plan, stats)
+            results[cores] = row
+        return results
+
+    results = run_once(benchmark, regenerate)
+
+    print("\nnever-worsen guard ablation:")
+    print(render_table(
+        ("Cores", "Variant", "Offloaded", "Epoch"),
+        [
+            (cores, label, plan.num_offloaded, f"{stats.epoch_time_s:.2f}s")
+            for cores, row in results.items()
+            for label, (plan, stats) in row.items()
+        ],
+    ))
+
+    for cores, row in results.items():
+        guarded_time = row["guarded"][1].epoch_time_s
+        literal_time = row["paper-literal"][1].epoch_time_s
+        # The guard never hurts.
+        assert guarded_time <= literal_time * 1.02, f"{cores} cores"
+
+    # With ample cores nothing overshoots: the two variants agree exactly.
+    rich = results[48]
+    assert list(rich["guarded"][0].splits) == list(rich["paper-literal"][0].splits)

@@ -1,0 +1,67 @@
+"""Extension: adaptive re-planning under cluster drift.
+
+The paper plans once after the profiling epoch.  When the storage node's
+cores collapse mid-job (another tenant moved in), the stale plan keeps
+pushing 48 cores' worth of offloaded work onto 1 core and becomes *slower
+than not offloading at all*.  Re-planning from the cached records (one
+cheap analytic pass, no re-profiling) restores the optimum.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.harness.adaptive import AdaptiveTrainingRun
+from repro.utils.tables import render_table
+
+EPOCHS = 6
+DRIFT_EPOCH = 3
+
+
+def test_ext_adaptive_replanning(benchmark, openimages):
+    base = standard_cluster(storage_cores=48)
+    schedule = {DRIFT_EPOCH: base.with_storage_cores(1)}
+
+    def regenerate():
+        adaptive = AdaptiveTrainingRun(
+            openimages, base, schedule, batch_size=256, adaptive=True, seed=7
+        ).run(EPOCHS)
+        static = AdaptiveTrainingRun(
+            openimages, base, schedule, batch_size=256, adaptive=False, seed=7
+        ).run(EPOCHS)
+        return adaptive, static
+
+    adaptive, static = run_once(benchmark, regenerate)
+
+    print(f"\nStorage cores collapse 48 -> 1 at epoch {DRIFT_EPOCH}:")
+    print(render_table(
+        ("Epoch", "Static epoch", "Adaptive epoch", "Static offloads", "Adaptive offloads"),
+        [
+            (
+                e,
+                f"{static.epochs[e].stats.epoch_time_s:.2f}s",
+                f"{adaptive.epochs[e].stats.epoch_time_s:.2f}s",
+                static.epochs[e].plan.num_offloaded,
+                adaptive.epochs[e].plan.num_offloaded,
+            )
+            for e in range(EPOCHS)
+        ],
+    ))
+    print(f"job totals: static {static.total_time_s:.1f}s, "
+          f"adaptive {adaptive.total_time_s:.1f}s")
+
+    # Identical until the drift...
+    for epoch in range(DRIFT_EPOCH):
+        assert adaptive.epochs[epoch].stats.epoch_time_s == pytest.approx(
+            static.epochs[epoch].stats.epoch_time_s
+        )
+    # ...then the stale plan drowns the single core while the adaptive run
+    # recovers by shedding offloads.
+    for epoch in range(DRIFT_EPOCH, EPOCHS):
+        ratio = (
+            static.epochs[epoch].stats.epoch_time_s
+            / adaptive.epochs[epoch].stats.epoch_time_s
+        )
+        assert ratio > 2.0, epoch
+    assert adaptive.replan_count == 2  # initial plan + one drift response
+    assert adaptive.total_time_s < static.total_time_s / 1.5

@@ -1,0 +1,78 @@
+"""Extension: the audio domain (intro's third modality).
+
+An audio front-end (decode -> mel spectrogram -> normalize) has the
+opposite size algebra to images: decoding inflates, but feature extraction
+*shrinks* every clip (n_mels values per hop of PCM).  SOPHON discovers
+from the same per-sample records that the minimum-size stage is the
+spectrogram and offloads the whole front-end; interestingly, this is the
+domain where FastFlow's all-or-nothing heuristic also works -- the final
+stage is small -- so the two agree here while differing on images.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import FastFlow, NoOff
+from repro.cluster.spec import standard_cluster
+from repro.core.sophon import Sophon
+from repro.data.audio import make_audio_trace
+from repro.harness.runner import run_experiment
+from repro.preprocessing.audio_ops import audio_pipeline
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+
+def test_ext_audio_workload(benchmark):
+    dataset = make_audio_trace(2000, seed=7)
+    pipeline = audio_pipeline()
+    cluster = standard_cluster(storage_cores=48, bandwidth_mbps=500.0)
+    model = get_model_profile("alexnet")
+
+    def regenerate():
+        return {
+            policy.name: run_experiment(
+                dataset, policy, cluster, model=model,
+                pipeline=pipeline, batch_size=64, seed=7,
+            )
+            for policy in (NoOff(), FastFlow(), Sophon())
+        }
+
+    results = run_once(benchmark, regenerate)
+
+    print("\nAudio front-end offloading (2000 clips, 500 Mbps):")
+    print(render_table(
+        ("Policy", "Epoch", "Traffic MB", "Offloaded", "Splits"),
+        [
+            (
+                name,
+                f"{r.epoch_time_s:.2f}s",
+                f"{r.traffic_bytes / 1e6:.1f}",
+                r.plan.num_offloaded,
+                dict(r.plan.split_histogram()),
+            )
+            for name, r in results.items()
+        ],
+    ))
+
+    base = results["no-off"]
+    sophon = results["sophon"]
+    fastflow = results["fastflow"]
+
+    # SOPHON offloads every clip through the spectrogram (stage 2).
+    assert sophon.plan.num_offloaded == len(dataset)
+    assert set(sophon.plan.split_histogram()) == {2}
+
+    # Spectrograms are much smaller than raw audio.  The expected cut is
+    # analytic: raw ~1.3 B/PCM-sample vs 64 mels x 4 B per 512-sample hop
+    # = 0.5 B/PCM-sample, i.e. ~2.6x.
+    cut = base.traffic_bytes / sophon.traffic_bytes
+    assert cut == pytest.approx(2.6, rel=0.1)
+    assert sophon.epoch_time_s < base.epoch_time_s / 2.0
+
+    # FastFlow's all-or-nothing works in this domain (the final stage is
+    # small), landing within ~20% of SOPHON -- unlike the image pipelines
+    # where it must decline entirely.
+    assert fastflow.plan.num_offloaded == len(dataset)
+    assert fastflow.epoch_time_s <= sophon.epoch_time_s * 1.25
+    # SOPHON still never loses: stage 2 <= full pipeline bytes.
+    assert sophon.traffic_bytes <= fastflow.traffic_bytes

@@ -1,0 +1,72 @@
+"""Ablation: SOPHON across the bandwidth axis (when is offloading worth it?).
+
+Section 5 scopes SOPHON to remote-I/O-bound training.  Sweeping the
+inter-cluster bandwidth makes that scoping measurable: at low bandwidth
+SOPHON's traffic cut converts ~1:1 into epoch time; as bandwidth grows the
+workload stops being I/O-bound and the stage-one profiler declines to
+offload -- SOPHON degrades to No-Off instead of meddling.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import NoOff
+from repro.cluster.spec import standard_cluster
+from repro.core.sophon import Sophon
+from repro.harness.runner import run_experiment
+from repro.utils.tables import render_table
+
+BANDWIDTHS_MBPS = (100.0, 500.0, 2_000.0, 50_000.0)
+
+
+def test_ext_bandwidth_sweep(benchmark, openimages):
+    def regenerate():
+        outcome = {}
+        for mbps in BANDWIDTHS_MBPS:
+            cluster = standard_cluster(storage_cores=48, bandwidth_mbps=mbps)
+            sophon_policy = Sophon()
+            sophon = run_experiment(
+                openimages, sophon_policy, cluster, batch_size=256, seed=7
+            )
+            base = run_experiment(
+                openimages, NoOff(), cluster, batch_size=256, seed=7
+            )
+            outcome[mbps] = (base, sophon, sophon_policy.last_probe)
+        return outcome
+
+    outcome = run_once(benchmark, regenerate)
+
+    print("\nSOPHON vs bandwidth (OpenImages, 48 storage cores):")
+    print(render_table(
+        ("Mbps", "No-Off", "SOPHON", "Speedup", "Offloaded", "Stage-1 bottleneck"),
+        [
+            (
+                f"{mbps:g}",
+                f"{base.epoch_time_s:.2f}s",
+                f"{sophon.epoch_time_s:.2f}s",
+                f"{base.epoch_time_s / sophon.epoch_time_s:.2f}x",
+                sophon.plan.num_offloaded,
+                probe.bottleneck.value if probe is not None else "-",
+            )
+            for mbps, (base, sophon, probe) in outcome.items()
+        ],
+    ))
+
+    # Low bandwidth: deeply I/O-bound, full ~2.2x conversion.
+    base, sophon, probe = outcome[100.0]
+    assert probe.io_bound
+    assert base.epoch_time_s / sophon.epoch_time_s == pytest.approx(2.2, rel=0.1)
+
+    # High bandwidth: not I/O-bound; stage one declines, SOPHON == No-Off.
+    base, sophon, probe = outcome[50_000.0]
+    assert not probe.io_bound
+    assert sophon.plan.num_offloaded == 0
+    assert sophon.epoch_time_s == pytest.approx(base.epoch_time_s, rel=0.01)
+
+    # Never worse than No-Off anywhere on the axis.
+    for mbps, (base, sophon, _) in outcome.items():
+        assert sophon.epoch_time_s <= base.epoch_time_s * 1.01, mbps
+
+    # The offloaded population shrinks monotonically.. to zero.
+    counts = [outcome[m][1].plan.num_offloaded for m in BANDWIDTHS_MBPS]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

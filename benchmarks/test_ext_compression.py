@@ -1,0 +1,75 @@
+"""Extension (paper section 6): selective compression of offloaded payloads.
+
+Regenerates the ablation: SOPHON alone vs SOPHON + selective compression,
+across storage-core budgets.  With ample cores compression buys extra
+traffic reduction; with scarce cores the planner correctly backs off
+because compression competes with offloading for the same CPUs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.compression import SelectiveCompressor
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+
+def test_ext_selective_compression(benchmark, openimages, pipeline):
+    model = get_model_profile("alexnet")
+
+    def regenerate():
+        rows = {}
+        for cores in (2, 8, 48):
+            spec = standard_cluster(storage_cores=cores)
+            context = PolicyContext(
+                dataset=openimages, pipeline=pipeline, spec=spec, model=model,
+                batch_size=256, seed=7,
+            )
+            plan = Sophon().plan(context)
+            compression = SelectiveCompressor().plan(
+                context.records(), plan, pipeline, spec, context.epoch_gpu_time_s
+            )
+            trainer = TrainerSim(openimages, pipeline, model, spec, seed=7)
+            plain = trainer.run_epoch(list(plan.splits), epoch=1)
+            zipped = trainer.run_epoch(
+                list(plan.splits), epoch=1, adjustments=compression.adjustments()
+            )
+            rows[cores] = (plain, zipped, compression)
+        return rows
+
+    rows = run_once(benchmark, regenerate)
+
+    print("\nSOPHON vs SOPHON+selective-compression:")
+    print(render_table(
+        ("Cores", "Epoch", "Epoch+zip", "Traffic MB", "Traffic+zip MB", "Compressed"),
+        [
+            (
+                cores,
+                f"{plain.epoch_time_s:.2f}s",
+                f"{zipped.epoch_time_s:.2f}s",
+                f"{plain.traffic_bytes / 1e6:.1f}",
+                f"{zipped.traffic_bytes / 1e6:.1f}",
+                comp.num_compressed,
+            )
+            for cores, (plain, zipped, comp) in rows.items()
+        ],
+    ))
+
+    # Ample cores: compression reduces both traffic and epoch time.
+    plain48, zipped48, comp48 = rows[48]
+    assert comp48.num_compressed > 0
+    assert zipped48.traffic_bytes < plain48.traffic_bytes
+    assert zipped48.epoch_time_s < plain48.epoch_time_s
+
+    # Compression never makes things worse at any budget (the planner's
+    # network-predominance discipline).
+    for cores, (plain, zipped, _) in rows.items():
+        assert zipped.epoch_time_s <= plain.epoch_time_s * 1.02
+        assert zipped.traffic_bytes <= plain.traffic_bytes
+
+    # Scarce cores compress fewer samples than ample cores.
+    assert rows[2][2].num_compressed <= rows[48][2].num_compressed

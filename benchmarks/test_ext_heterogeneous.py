@@ -1,0 +1,72 @@
+"""Extension (paper section 6): heterogeneous CPU types across nodes.
+
+The paper assumes identical CPUs on compute and storage nodes and defers
+heterogeneity to future work.  Here the storage node's CPUs are swept from
+2x faster to 8x slower; SOPHON's plan must shrink gracefully and never end
+up slower than No-Off.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def test_ext_heterogeneous_storage_cpus(benchmark, openimages, pipeline):
+    model = get_model_profile("alexnet")
+    base = standard_cluster(storage_cores=4)
+
+    def regenerate():
+        results = {}
+        for factor in FACTORS:
+            spec = dataclasses.replace(base, storage_cpu_factor=factor)
+            context = PolicyContext(
+                dataset=openimages, pipeline=pipeline, spec=spec, model=model,
+                batch_size=256, seed=7,
+            )
+            plan = Sophon().plan(context)
+            trainer = TrainerSim(openimages, pipeline, model, spec, seed=7)
+            stats = trainer.run_epoch(list(plan.splits), epoch=1)
+            results[factor] = (plan, stats)
+        baseline = TrainerSim(openimages, pipeline, model, base, seed=7).run_epoch(
+            None, epoch=1
+        )
+        return results, baseline
+
+    results, baseline = run_once(benchmark, regenerate)
+
+    print("\nStorage CPU slowness sweep (4 storage cores):")
+    print(render_table(
+        ("Slowness", "Offloaded", "Epoch", "Traffic MB"),
+        [
+            (
+                f"{factor:g}x",
+                plan.num_offloaded,
+                f"{stats.epoch_time_s:.2f}s",
+                f"{stats.traffic_bytes / 1e6:.1f}",
+            )
+            for factor, (plan, stats) in results.items()
+        ],
+    ))
+    print(f"No-Off baseline: {baseline.epoch_time_s:.2f}s")
+
+    # Slower storage CPUs -> fewer offloaded samples (each CPU-second buys
+    # less traffic), monotonically.
+    counts = [results[f][0].num_offloaded for f in FACTORS]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] > 0
+
+    # Epoch time degrades monotonically with CPU slowness...
+    times = [results[f][1].epoch_time_s for f in FACTORS]
+    assert all(a <= b + 1e-6 for a, b in zip(times, times[1:]))
+
+    # ...but SOPHON never does worse than not offloading at all.
+    for factor in FACTORS:
+        assert results[factor][1].epoch_time_s <= baseline.epoch_time_s * 1.02

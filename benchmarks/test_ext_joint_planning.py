@@ -1,0 +1,85 @@
+"""Ablation: sequential (offload, then compress) vs joint planning.
+
+The sequential composition lets the offload pass consume the storage-CPU
+budget before compression bids for it; the joint planner ranks both action
+types in one efficiency queue.  Under CPU scarcity the joint plan trades a
+few marginal offloads for higher-efficiency compressions of already-
+offloaded payloads; with ample cores the two coincide exactly.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.compression import JointPlanner, SelectiveCompressor
+from repro.core.decision import DecisionEngine
+from repro.core.profiler import StageTwoProfiler
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+CORES = (1, 2, 4, 48)
+
+
+def test_ext_joint_vs_sequential_planning(benchmark, openimages, pipeline):
+    model = get_model_profile("alexnet")
+    records = StageTwoProfiler().profile(openimages, pipeline, seed=7)
+    gpu_time = len(records) / model.images_per_second
+
+    def regenerate():
+        outcome = {}
+        for cores in CORES:
+            spec = standard_cluster(storage_cores=cores)
+            trainer = TrainerSim(
+                openimages, pipeline, model, spec, batch_size=256, seed=7
+            )
+            offload = DecisionEngine().plan(records, spec, gpu_time_s=gpu_time)
+            compression = SelectiveCompressor().plan(
+                records, offload, pipeline, spec, gpu_time
+            )
+            sequential = trainer.run_epoch(
+                list(offload.splits), epoch=1,
+                adjustments=compression.adjustments(),
+            )
+            joint_plan = JointPlanner().plan(
+                records, pipeline, spec, gpu_time_s=gpu_time
+            )
+            joint = trainer.run_epoch(
+                list(joint_plan.offload.splits), epoch=1,
+                adjustments=joint_plan.compression.adjustments(),
+            )
+            outcome[cores] = {
+                "sequential": (offload.num_offloaded, compression.num_compressed, sequential),
+                "joint": (joint_plan.num_offloaded, joint_plan.num_compressed, joint),
+            }
+        return outcome
+
+    outcome = run_once(benchmark, regenerate)
+
+    print("\nSequential vs joint offload+compression planning:")
+    print(render_table(
+        ("Cores", "Planner", "Offloaded", "Compressed", "Epoch", "Traffic MB"),
+        [
+            (
+                cores,
+                planner,
+                offloaded,
+                compressed,
+                f"{stats.epoch_time_s:.2f}s",
+                f"{stats.traffic_bytes / 1e6:.1f}",
+            )
+            for cores, row in outcome.items()
+            for planner, (offloaded, compressed, stats) in row.items()
+        ],
+    ))
+
+    for cores, row in outcome.items():
+        seq_time = row["sequential"][2].epoch_time_s
+        joint_time = row["joint"][2].epoch_time_s
+        # Joint planning never loses.
+        assert joint_time <= seq_time * 1.03, cores
+
+    # Ample cores: identical admissions, identical results.
+    rich = outcome[48]
+    assert rich["sequential"][:2] == rich["joint"][:2]
+    assert rich["sequential"][2].traffic_bytes == rich["joint"][2].traffic_bytes

@@ -1,0 +1,52 @@
+"""Extension: the section-5 negative result, made measurable.
+
+Paper: "SOPHON may not help for Large Language Models".  We run the
+decision engine over a calibrated LLM ingestion pipeline (UTF-8 documents
+-> int32 token ids -> fixed-length packs): every stage grows every
+document, so zero samples are offloadable and SOPHON plans nothing --
+by measurement, not by special-casing.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.core.decision import DecisionEngine
+from repro.utils.tables import render_table
+from repro.workloads.text import (
+    TextCorpusSpec,
+    llm_ingestion_records,
+    offloadable_fraction,
+)
+
+
+def test_ext_llm_ingestion_declines(benchmark):
+    spec = TextCorpusSpec(num_docs=20_000)
+
+    def regenerate():
+        records = llm_ingestion_records(spec, seed=7)
+        plan = DecisionEngine().plan(
+            records, standard_cluster(storage_cores=48), gpu_time_s=60.0
+        )
+        return records, plan
+
+    records, plan = run_once(benchmark, regenerate)
+
+    raw = sum(r.stage_sizes[0] for r in records)
+    tokenized = sum(r.stage_sizes[1] for r in records)
+    packed = sum(r.stage_sizes[2] for r in records)
+    print("\nLLM ingestion pipeline, corpus-level bytes:")
+    print(render_table(
+        ("Stage", "Bytes", "vs raw"),
+        [
+            ("raw UTF-8", raw, "1.00x"),
+            ("tokenized (int32 ids)", tokenized, f"{tokenized / raw:.2f}x"),
+            (f"packed (seq_len={spec.seq_len})", packed, f"{packed / raw:.2f}x"),
+        ],
+    ))
+    print(f"offloadable documents: {offloadable_fraction(records):.0%}")
+    print(f"decision engine: {plan.reason}")
+
+    # Every stage grows the corpus; nothing is worth offloading.
+    assert tokenized >= raw
+    assert packed >= tokenized
+    assert offloadable_fraction(records) == 0.0
+    assert plan.num_offloaded == 0

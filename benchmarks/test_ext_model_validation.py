@@ -1,0 +1,61 @@
+"""Validation: the analytic epoch model vs the event simulation.
+
+SOPHON plans against max(T_G, T_CC, T_CS, T_Net); the evaluation runs a
+discrete-event simulation with queueing and pipeline fill.  This benchmark
+quantifies the gap across the whole (policy x cores x bandwidth) grid: the
+measured epoch must always dominate the analytic lower bound, and stay
+within a modest envelope of it -- otherwise planning against the model
+would be unsound.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.epoch_model import EpochModel
+from repro.cluster.spec import standard_cluster
+from repro.harness.sweeps import grid_sweep
+from repro.utils.tables import render_table
+
+
+def test_ext_analytic_model_validation(benchmark, openimages):
+    def regenerate():
+        return grid_sweep(
+            openimages,
+            standard_cluster(),
+            {"storage_cores": [1, 4, 48], "bandwidth_mbps": [250.0, 500.0]},
+            seed=7,
+            batch_size=256,
+        )
+
+    table = run_once(benchmark, regenerate)
+
+    rows = []
+    worst_ratio = 0.0
+    for row in table.rows:
+        spec = row.result.spec
+        bound = EpochModel(spec).estimate(row.result.stats.analytic).epoch_time_s
+        measured = row.result.epoch_time_s
+        ratio = measured / bound if bound > 0 else float("inf")
+        worst_ratio = max(worst_ratio, ratio)
+        rows.append(
+            (
+                row.point["storage_cores"],
+                f"{row.point['bandwidth_mbps']:g}",
+                row.policy,
+                f"{bound:.2f}s",
+                f"{measured:.2f}s",
+                f"{ratio:.3f}",
+            )
+        )
+        # Soundness: measurement never beats the lower bound.
+        assert measured >= bound * (1 - 1e-9), (row.point, row.policy)
+
+    print("\nAnalytic bound vs measured epoch, full grid:")
+    print(render_table(
+        ("Cores", "Mbps", "Policy", "Bound", "Measured", "Ratio"), rows
+    ))
+    print(f"worst measured/bound ratio: {worst_ratio:.3f}")
+
+    # Tightness: pipelined execution stays within ~35% of the bound even
+    # in the nastiest corner (1 storage core, every policy).
+    assert worst_ratio < 1.35

@@ -1,0 +1,80 @@
+"""Ablation: the efficiency metric itself (paper Finding #4).
+
+Finding #4: a refined strategy must "prioritize images yielding the
+highest network traffic savings per unit of CPU time, particularly when
+CPU resources at the storage node are limited".  This ablation swaps
+SOPHON's candidate ordering -- efficiency (the paper's), absolute savings,
+arrival order -- and measures epochs under core scarcity.  With one or two
+storage cores the efficiency order wins; with ample cores all orderings
+converge (everything beneficial fits).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.decision import DecisionConfig
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+ORDERS = ("efficiency", "savings", "arrival")
+CORES = (1, 2, 48)
+
+
+def test_ext_ordering_ablation(benchmark, openimages, pipeline):
+    model = get_model_profile("alexnet")
+
+    def regenerate():
+        outcome = {}
+        for cores in CORES:
+            spec = standard_cluster(storage_cores=cores)
+            context = PolicyContext(
+                dataset=openimages, pipeline=pipeline, spec=spec,
+                model=model, batch_size=256, seed=7,
+            )
+            trainer = TrainerSim(openimages, pipeline, model, spec, seed=7)
+            row = {}
+            for order in ORDERS:
+                policy = Sophon(decision=DecisionConfig(order=order))
+                plan = policy.plan(context)
+                stats = trainer.run_epoch(list(plan.splits), epoch=1)
+                row[order] = (plan, stats)
+            outcome[cores] = row
+        return outcome
+
+    outcome = run_once(benchmark, regenerate)
+
+    print("\nCandidate-ordering ablation (Finding #4):")
+    print(render_table(
+        ("Cores", "Order", "Epoch", "Offloaded", "Traffic MB"),
+        [
+            (
+                cores,
+                order,
+                f"{stats.epoch_time_s:.2f}s",
+                plan.num_offloaded,
+                f"{stats.traffic_bytes / 1e6:.1f}",
+            )
+            for cores, row in outcome.items()
+            for order, (plan, stats) in row.items()
+        ],
+    ))
+
+    for cores in (1, 2):
+        row = outcome[cores]
+        efficiency = row["efficiency"][1].epoch_time_s
+        # The paper's metric is the best ordering under scarcity.
+        for order in ("savings", "arrival"):
+            assert efficiency <= row[order][1].epoch_time_s + 1e-9, (cores, order)
+        # And strictly better than ignoring cost-effectiveness entirely.
+        assert efficiency < row["arrival"][1].epoch_time_s * 0.99, cores
+
+    # With ample cores every beneficial sample fits: orderings converge.
+    rich = outcome[48]
+    times = [rich[order][1].epoch_time_s for order in ORDERS]
+    assert max(times) - min(times) < 0.02 * max(times)
+    counts = {rich[order][0].num_offloaded for order in ORDERS}
+    assert len(counts) == 1

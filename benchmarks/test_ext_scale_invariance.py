@@ -1,0 +1,58 @@
+"""Validation: results are scale-invariant (DESIGN.md's scaling claim).
+
+The benchmarks run at thousands of samples instead of the paper's tens of
+thousands, on the argument that every reported quantity is a ratio of
+per-sample means.  This benchmark tests that argument: the Figure-3 ratios
+at 500, 1000, and 4000 samples must agree within sampling noise.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.data.catalog import make_openimages
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.utils.tables import render_table
+
+SCALES = (500, 1000, 4000)
+
+
+def test_ext_scale_invariance(benchmark):
+    cluster = standard_cluster(storage_cores=48)
+
+    def regenerate():
+        ratios = {}
+        for scale in SCALES:
+            dataset = make_openimages(num_samples=scale, seed=7)
+            comparison = ample_cpu_comparison(dataset, cluster, seed=7)
+            ratios[scale] = {
+                "alloff_traffic": comparison.traffic_ratio("all-off"),
+                "resizeoff_traffic": comparison.traffic_ratio("resize-off"),
+                "sophon_traffic": comparison.traffic_ratio("sophon"),
+                "sophon_time": comparison.time_ratio("sophon"),
+                "offload_fraction": comparison.by_policy()["sophon"].plan.offload_fraction,
+            }
+        return ratios
+
+    ratios = run_once(benchmark, regenerate)
+
+    metrics = list(next(iter(ratios.values())))
+    print("\nFigure-3 ratios across dataset scales (OpenImages):")
+    print(render_table(
+        ("Samples",) + tuple(metrics),
+        [
+            (scale,) + tuple(f"{ratios[scale][m]:.3f}" for m in metrics)
+            for scale in SCALES
+        ],
+    ))
+
+    # Each ratio varies by < 6% across an 8x scale range.
+    for metric in metrics:
+        values = [ratios[scale][metric] for scale in SCALES]
+        spread = (max(values) - min(values)) / max(values)
+        assert spread < 0.06, (metric, values)
+
+    # And the headline numbers sit where the paper puts them at any scale.
+    for scale in SCALES:
+        assert ratios[scale]["alloff_traffic"] == pytest.approx(1.9, rel=0.1)
+        assert 1.0 / ratios[scale]["sophon_traffic"] == pytest.approx(2.2, rel=0.1)

@@ -1,0 +1,81 @@
+"""Extension: other preprocessing pipelines (paper section 6).
+
+The paper plans to "study a wider variety of DL training workloads".  Two
+variants exercised here on OpenImages:
+
+1. the deterministic ImageNet *validation* transform
+   (Decode -> Resize(256) -> CenterCrop(224) -> ToTensor -> Normalize);
+2. a heavier augmented training pipeline with photometric ops
+   (ColorJitter, RandomGrayscale) between flip and ToTensor.
+
+SOPHON's machinery is pipeline-agnostic: it finds each pipeline's own
+minimum-size stage and offloads there.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.spec import standard_cluster
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.harness.runner import run_experiment
+from repro.baselines import NoOff
+from repro.preprocessing.extra_ops import (
+    augmented_training_pipeline,
+    validation_pipeline,
+)
+from repro.utils.tables import render_table
+from repro.workloads.models import get_model_profile
+
+
+def test_ext_other_pipelines(benchmark, openimages):
+    spec = standard_cluster(storage_cores=48)
+    model = get_model_profile("alexnet")
+    pipelines = {
+        "validation": validation_pipeline(),
+        "augmented-train": augmented_training_pipeline(),
+    }
+
+    def regenerate():
+        outcome = {}
+        for name, pipe in pipelines.items():
+            base = run_experiment(
+                openimages, NoOff(), spec, model=model, pipeline=pipe, seed=7
+            )
+            sophon = run_experiment(
+                openimages, Sophon(), spec, model=model, pipeline=pipe, seed=7
+            )
+            outcome[name] = (base, sophon)
+        return outcome
+
+    outcome = run_once(benchmark, regenerate)
+
+    print("\nSOPHON across pipelines (OpenImages, 48 storage cores):")
+    print(render_table(
+        ("Pipeline", "No-Off epoch", "SOPHON epoch", "Traffic cut", "Offloaded", "Splits"),
+        [
+            (
+                name,
+                f"{base.epoch_time_s:.2f}s",
+                f"{sophon.epoch_time_s:.2f}s",
+                f"{base.traffic_bytes / sophon.traffic_bytes:.2f}x",
+                sophon.plan.num_offloaded,
+                dict(sophon.plan.split_histogram()),
+            )
+            for name, (base, sophon) in outcome.items()
+        ],
+    ))
+
+    for name, (base, sophon) in outcome.items():
+        # Same benefit population, same ~2.2x traffic cut, on both pipelines.
+        cut = base.traffic_bytes / sophon.traffic_bytes
+        assert cut == pytest.approx(2.2, rel=0.1), name
+        assert sophon.epoch_time_s < base.epoch_time_s / 1.8, name
+        assert sophon.plan.offload_fraction == pytest.approx(0.76, abs=0.03), name
+
+    # Each pipeline's split point is its own minimum-size stage:
+    # validation crops at stage 3, the augmented pipeline still at stage 2.
+    val_splits = set(outcome["validation"][1].plan.split_histogram())
+    aug_splits = set(outcome["augmented-train"][1].plan.split_histogram())
+    assert val_splits <= {0, 3}
+    assert aug_splits <= {0, 2}

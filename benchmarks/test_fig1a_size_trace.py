@@ -1,0 +1,41 @@
+"""Figure 1a: per-sample size through the preprocessing pipeline.
+
+Paper exhibit: Sample A (462 KB raw) shrinks to 151 KB after
+RandomResizedCrop and inflates 4x at ToTensor; Sample B is smallest in its
+raw form.  We regenerate both traces from the calibrated OpenImages
+population and assert the same algebra.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.fig1 import representative_samples, size_trace
+
+CROP_BYTES = 224 * 224 * 3
+
+
+def test_fig1a_size_traces(benchmark, openimages):
+    def regenerate():
+        sample_a, sample_b = representative_samples(openimages)
+        return (
+            size_trace(openimages, sample_a),
+            size_trace(openimages, sample_b),
+        )
+
+    trace_a, trace_b = run_once(benchmark, regenerate)
+
+    print("\nSample A (shrinks mid-pipeline):")
+    print(trace_a.render())
+    print("\nSample B (smallest raw):")
+    print(trace_b.render())
+
+    # Sample A: raw larger than the crop output; min at RandomResizedCrop;
+    # ToTensor inflates exactly 4x (1-byte channels -> 4-byte floats).
+    assert trace_a.stage_sizes[0] > CROP_BYTES
+    assert trace_a.min_stage == 2
+    assert trace_a.stage_sizes[2] == CROP_BYTES
+    assert trace_a.stage_sizes[3] == CROP_BYTES  # flip preserves size
+    assert trace_a.stage_sizes[4] == 4 * CROP_BYTES
+    assert trace_a.stage_sizes[5] == 4 * CROP_BYTES
+
+    # Sample B: raw is the global minimum; decode always inflates.
+    assert trace_b.min_stage == 0
+    assert trace_b.stage_sizes[1] > trace_b.stage_sizes[0]

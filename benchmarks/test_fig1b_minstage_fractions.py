@@ -1,0 +1,37 @@
+"""Figure 1b: where samples reach their minimum size.
+
+Paper: 76% of OpenImages samples shrink at an intermediate stage (24%
+smallest raw); for ImageNet only 26% shrink (74% smallest raw).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.fig1 import benefit_fraction, minstage_fractions
+from repro.utils.tables import render_table
+
+
+def test_fig1b_minstage_fractions(benchmark, openimages, imagenet):
+    def regenerate():
+        return {
+            "openimages": minstage_fractions(openimages),
+            "imagenet": minstage_fractions(imagenet),
+        }
+
+    fractions = run_once(benchmark, regenerate)
+
+    for name, table in fractions.items():
+        rows = [(stage, f"{value:.1%}") for stage, value in table.items()]
+        print(f"\n[{name}] minimum-size stage fractions:")
+        print(render_table(("Stage", "Fraction"), rows))
+
+    # Paper numbers: 76% / 26% benefit.
+    assert benefit_fraction(fractions["openimages"]) == pytest.approx(0.76, abs=0.03)
+    assert benefit_fraction(fractions["imagenet"]) == pytest.approx(0.26, abs=0.03)
+
+    # Minima occur either raw or right after RandomResizedCrop -- never
+    # after the 4x ToTensor inflation.
+    for table in fractions.values():
+        assert table["ToTensor"] == 0.0
+        assert table["Normalize"] == 0.0
+        assert table["Decode"] == 0.0

@@ -1,0 +1,39 @@
+"""Figure 1c: distribution of offloading efficiency across OpenImages.
+
+Paper: 24% of images sit at ratio 0 (smallest raw); the remaining 76%
+spread over a wide range, motivating efficiency-ordered selection.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.efficiency import (
+    efficiency_cdf,
+    efficiency_distribution,
+)
+from repro.core.profiler import StageTwoProfiler
+
+
+def test_fig1c_efficiency_distribution(benchmark, openimages, pipeline):
+    def regenerate():
+        records = StageTwoProfiler().profile(openimages, pipeline, seed=7)
+        return records, efficiency_distribution(records), efficiency_cdf(records, 21)
+
+    records, summary, cdf = run_once(benchmark, regenerate)
+
+    print(f"\n{summary}")
+    print("efficiency CDF (bytes saved per CPU-second):")
+    for value, quantile in cdf[::4]:
+        print(f"  p{quantile * 100:3.0f}: {value:.3g}")
+
+    # Paper: 24% of samples at ratio 0.
+    assert summary.zero_fraction == pytest.approx(0.24, abs=0.03)
+
+    # The nonzero population spreads widely (the figure's long tail):
+    # the 90th percentile is several times the median.
+    assert summary.p90_nonzero > 1.5 * summary.median_nonzero
+
+    # CDF is a valid monotone distribution over all samples.
+    values = [v for v, _ in cdf]
+    assert values == sorted(values)
+    assert len(records) == len(openimages)

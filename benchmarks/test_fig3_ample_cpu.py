@@ -1,0 +1,61 @@
+"""Figure 3: training time and data traffic per policy, ample storage CPUs.
+
+Paper shapes asserted:
+- All-Off inflates traffic 1.9x (OpenImages) / 5.1x (ImageNet);
+- FastFlow declines to offload in both setups;
+- Resize-Off cuts OpenImages traffic ~2x but *increases* ImageNet traffic
+  ~1.3x;
+- SOPHON cuts traffic 2.2x / 1.2x and has the best training time on both.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.fig3 import ample_cpu_comparison
+
+
+def check_common_shapes(comparison):
+    table = comparison.by_policy()
+    assert comparison.traffic_ratio("fastflow") == pytest.approx(1.0)
+    assert table["fastflow"].plan.num_offloaded == 0
+    best_time = min(r.epoch_time_s for r in table.values())
+    assert table["sophon"].epoch_time_s == pytest.approx(best_time)
+    lowest_traffic = min(r.traffic_bytes for r in table.values())
+    assert table["sophon"].traffic_bytes == lowest_traffic
+    worst_time = max(r.epoch_time_s for r in table.values())
+    assert table["all-off"].epoch_time_s == pytest.approx(worst_time)
+
+
+def test_fig3_openimages(benchmark, openimages, ample_cluster):
+    comparison = run_once(
+        benchmark, lambda: ample_cpu_comparison(openimages, ample_cluster, seed=7)
+    )
+    print("\n" + comparison.render())
+
+    check_common_shapes(comparison)
+    assert comparison.traffic_ratio("all-off") == pytest.approx(1.9, rel=0.08)
+    assert 1.0 / comparison.traffic_ratio("resize-off") == pytest.approx(2.0, rel=0.12)
+    assert 1.0 / comparison.traffic_ratio("sophon") == pytest.approx(2.2, rel=0.08)
+    # SOPHON beats Resize-Off by skipping the 24% of samples that would
+    # ship *larger* after preprocessing.
+    table = comparison.by_policy()
+    assert table["sophon"].traffic_bytes < table["resize-off"].traffic_bytes
+    assert table["sophon"].plan.offload_fraction == pytest.approx(0.76, abs=0.03)
+
+
+def test_fig3_imagenet(benchmark, imagenet, ample_cluster):
+    comparison = run_once(
+        benchmark, lambda: ample_cpu_comparison(imagenet, ample_cluster, seed=7)
+    )
+    print("\n" + comparison.render())
+
+    check_common_shapes(comparison)
+    assert comparison.traffic_ratio("all-off") == pytest.approx(5.1, rel=0.08)
+    # Resize-Off backfires on ImageNet: more traffic than No-Off.
+    assert comparison.traffic_ratio("resize-off") == pytest.approx(1.3, rel=0.08)
+    assert 1.0 / comparison.traffic_ratio("sophon") == pytest.approx(1.2, rel=0.08)
+    table = comparison.by_policy()
+    assert table["sophon"].plan.offload_fraction == pytest.approx(0.26, abs=0.03)
+    # Unlike Resize-Off, SOPHON still reduces ImageNet training time.
+    assert table["sophon"].epoch_time_s < table["no-off"].epoch_time_s
+    assert table["resize-off"].epoch_time_s > table["no-off"].epoch_time_s

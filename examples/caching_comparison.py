@@ -1,0 +1,54 @@
+"""SOPHON vs the caching alternative (the paper's related-work contrast).
+
+Prior work cuts remote traffic by caching samples in compute-side storage
+("limited by the capacities of local storage and memory", paper §1).
+This example measures the steady-state per-epoch traffic of pinned
+(Quiver-style) caches at several capacities, an LRU cache, and SOPHON —
+which needs no local storage at all.
+
+Run:  python examples/caching_comparison.py
+"""
+
+from repro import Sophon, make_openimages, standard_cluster
+from repro.cache import epoch_traffic_with_cache, epoch_traffic_with_pinned_cache
+from repro.core.policy import PolicyContext
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.utils.tables import render_table
+from repro.workloads import get_model_profile
+
+
+def main() -> None:
+    dataset = make_openimages(num_samples=1000, seed=23)
+    total = dataset.total_raw_bytes
+
+    rows = [("no cache / No-Off", "none", "1.00")]
+    for fraction in (0.1, 0.25, 0.5):
+        steady = epoch_traffic_with_pinned_cache(
+            dataset, int(total * fraction), epochs=3
+        )[-1]
+        rows.append(
+            (f"pinned cache", f"{fraction:.0%} of dataset", f"{steady / total:.2f}")
+        )
+    lru = epoch_traffic_with_cache(dataset, int(total * 0.25), epochs=4, seed=23)[-1]
+    rows.append(("LRU cache", "25% of dataset", f"{lru / total:.2f}"))
+
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=standard_pipeline(),
+        spec=standard_cluster(storage_cores=48),
+        model=get_model_profile("alexnet"),
+        seed=23,
+    )
+    plan = Sophon().plan(context)
+    sophon = plan.expected_traffic_bytes(context.records())
+    rows.append(("SOPHON", "no local storage", f"{sophon / total:.2f}"))
+
+    print("Steady-state traffic per epoch (fraction of dataset bytes):")
+    print(render_table(("Approach", "Local storage used", "Traffic"), rows))
+    print("\nA pinned cache saves exactly its capacity; LRU thrashes under\n"
+          "per-epoch reshuffles; SOPHON beats any cache smaller than ~55%\n"
+          "of the dataset without using local storage (and the two compose).")
+
+
+if __name__ == "__main__":
+    main()

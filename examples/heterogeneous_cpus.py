@@ -1,0 +1,53 @@
+"""Section-6 extension: storage nodes with slower (or faster) CPUs.
+
+The paper assumes identical CPU types on both nodes; the reproduction
+supports a per-node speed factor.  This example shows SOPHON adapting its
+plan as the storage node's CPUs get slower: fewer samples are worth
+offloading, and epoch time degrades gracefully instead of collapsing.
+
+Run:  python examples/heterogeneous_cpus.py
+"""
+
+import dataclasses
+
+from repro import Sophon, make_openimages, standard_cluster
+from repro.cluster import TrainerSim
+from repro.core.policy import PolicyContext
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.utils.tables import render_table
+from repro.utils.units import format_bytes, format_seconds
+from repro.workloads import get_model_profile
+
+
+def main() -> None:
+    dataset = make_openimages(num_samples=800, seed=13)
+    pipeline = standard_pipeline()
+    model = get_model_profile("alexnet", "rtx6000")
+    base = standard_cluster(storage_cores=4)
+
+    rows = []
+    for factor in (0.5, 1.0, 2.0, 4.0, 8.0):
+        spec = dataclasses.replace(base, storage_cpu_factor=factor)
+        context = PolicyContext(
+            dataset=dataset, pipeline=pipeline, spec=spec, model=model, seed=13
+        )
+        plan = Sophon().plan(context)
+        trainer = TrainerSim(dataset, pipeline, model, spec, seed=13)
+        stats = trainer.run_epoch(list(plan.splits), epoch=1)
+        rows.append(
+            (
+                f"{factor:g}x",
+                plan.num_offloaded,
+                format_seconds(stats.epoch_time_s),
+                format_bytes(stats.traffic_bytes),
+            )
+        )
+
+    print("Storage-node CPU slowness sweep (4 storage cores, OpenImages):")
+    print(render_table(("CPU slowness", "Offloaded", "Epoch", "Traffic"), rows))
+    print("\nSlower storage CPUs shrink the offload set (each offloaded "
+          "CPU-second buys less), but SOPHON never does worse than No-Off.")
+
+
+if __name__ == "__main__":
+    main()

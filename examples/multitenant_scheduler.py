@@ -1,0 +1,36 @@
+"""Section-6 extension: allocate storage-node cores across tenant jobs.
+
+Three training jobs with different datasets and models share one storage
+node.  The greedy scheduler hands out cores one at a time to whichever job
+gains the most epoch time, re-running that job's SOPHON planner at each
+candidate allocation.
+
+Run:  python examples/multitenant_scheduler.py
+"""
+
+from repro import make_imagenet, make_openimages, standard_cluster
+from repro.scheduler import GreedyCoreScheduler
+from repro.scheduler.multitenant import make_job
+
+
+def main() -> None:
+    jobs = [
+        make_job("vision-a", make_openimages(num_samples=600, seed=1)),
+        make_job("vision-b", make_imagenet(num_samples=600, seed=2)),
+        make_job("heavy-r50", make_openimages(num_samples=600, seed=3),
+                 model_name="resnet50"),
+    ]
+    scheduler = GreedyCoreScheduler(standard_cluster())
+
+    for budget in (2, 4, 8, 16):
+        allocation = scheduler.allocate(jobs, total_cores=budget)
+        print(f"--- {budget} cores available ---")
+        print(allocation.render())
+        print(f"aggregate epoch time: {allocation.objective:.2f}s\n")
+
+    print("I/O-bound jobs soak up cores first; the compute-bound ResNet-50 "
+          "job gets cores only once the others hit diminishing returns.")
+
+
+if __name__ == "__main__":
+    main()

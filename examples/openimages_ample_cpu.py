@@ -1,0 +1,28 @@
+"""Reproduce the paper's headline comparison (Figure 3) at example scale.
+
+Runs all five policies (No-Off, All-Off, FastFlow, Resize-Off, SOPHON) on
+calibrated OpenImages and ImageNet stand-ins with ample storage-node CPU,
+printing epoch time and per-epoch data traffic for each.
+
+Run:  python examples/openimages_ample_cpu.py
+"""
+
+from repro import make_imagenet, make_openimages, standard_cluster
+from repro.harness import ample_cpu_comparison
+
+
+def main() -> None:
+    cluster = standard_cluster(storage_cores=48)
+    for dataset in (
+        make_openimages(num_samples=1000, seed=7),
+        make_imagenet(num_samples=1500, seed=7),
+    ):
+        comparison = ample_cpu_comparison(dataset, cluster, seed=7)
+        print(comparison.render())
+        sophon_cut = 1.0 / comparison.traffic_ratio("sophon")
+        print(f"SOPHON traffic reduction vs No-Off: {sophon_cut:.2f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()

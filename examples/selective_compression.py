@@ -1,0 +1,64 @@
+"""Section-6 extension: selectively compress offloaded payloads.
+
+After SOPHON plans its offloads, the selective compressor decides -- per
+sample -- whether spending storage-node CPU on deflate buys enough traffic
+reduction, using the same network-predominance discipline as the offload
+engine.  The example compares epoch time and traffic with and without the
+compression pass at several storage-core budgets.
+
+Run:  python examples/selective_compression.py
+"""
+
+from repro import Sophon, make_openimages, standard_cluster
+from repro.cluster import TrainerSim
+from repro.compression import SelectiveCompressor
+from repro.core.policy import PolicyContext
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.utils.tables import render_table
+from repro.utils.units import format_bytes, format_seconds
+from repro.workloads import get_model_profile
+
+
+def main() -> None:
+    dataset = make_openimages(num_samples=800, seed=11)
+    pipeline = standard_pipeline()
+    model = get_model_profile("alexnet", "rtx6000")
+
+    rows = []
+    for cores in (2, 4, 8, 48):
+        spec = standard_cluster(storage_cores=cores)
+        context = PolicyContext(
+            dataset=dataset, pipeline=pipeline, spec=spec, model=model, seed=11
+        )
+        plan = Sophon().plan(context)
+        compression = SelectiveCompressor().plan(
+            context.records(), plan, pipeline, spec, context.epoch_gpu_time_s
+        )
+
+        trainer = TrainerSim(dataset, pipeline, model, spec, seed=11)
+        plain = trainer.run_epoch(list(plan.splits), epoch=1)
+        compressed = trainer.run_epoch(
+            list(plan.splits), epoch=1, adjustments=compression.adjustments()
+        )
+        rows.append(
+            (
+                cores,
+                format_seconds(plain.epoch_time_s),
+                format_seconds(compressed.epoch_time_s),
+                format_bytes(plain.traffic_bytes),
+                format_bytes(compressed.traffic_bytes),
+                compression.num_compressed,
+            )
+        )
+
+    print(render_table(
+        ("Cores", "Epoch", "Epoch+zip", "Traffic", "Traffic+zip", "Compressed"),
+        rows,
+    ))
+    print("\nWith scarce cores the compressor stays conservative (compression "
+          "competes with offloading for the same CPUs); with ample cores it "
+          "compresses aggressively for extra traffic savings.")
+
+
+if __name__ == "__main__":
+    main()

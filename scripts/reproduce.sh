@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, benchmarks, figures, report.
+# Outputs land in the repo root (test_output.txt, bench_output.txt,
+# REPORT.md, figures.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -1
+
+echo "== benchmarks (every table & figure, with assertions) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -1
+
+echo "== figures (text exhibits) =="
+python -m repro.cli --samples 2000 --seed 7 all | tee figures.txt | tail -3
+
+echo "== markdown report =="
+python -m repro.cli --samples 2000 --seed 7 report --out REPORT.md
+echo "done: test_output.txt bench_output.txt figures.txt REPORT.md"

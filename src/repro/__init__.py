@@ -1,0 +1,83 @@
+"""SOPHON reproduction: selective preprocessing offloading for DL training.
+
+This package reproduces the system described in "A Selective Preprocessing
+Offloading Framework for Reducing Data Traffic in DL Training" (HotStorage
+'24).  The public API is re-exported here; see DESIGN.md for the subsystem
+inventory and EXPERIMENTS.md for the paper-vs-measured results.
+
+Typical use::
+
+    from repro import standard_cluster, make_openimages, Sophon, run_experiment
+
+    dataset = make_openimages(num_samples=2000, seed=7)
+    cluster = standard_cluster(storage_cores=48)
+    result = run_experiment(dataset, policy=Sophon(), cluster=cluster)
+    print(result.epoch_time_s, result.traffic_bytes)
+"""
+
+from repro.codec import ToyJpegCodec
+from repro.preprocessing import (
+    Decode,
+    Normalize,
+    Pipeline,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    ToTensor,
+    standard_pipeline,
+)
+from repro.data import (
+    DataLoader,
+    Dataset,
+    SyntheticImageDataset,
+    TraceDataset,
+    make_imagenet,
+    make_openimages,
+)
+from repro.cluster import ClusterSpec, EpochModel, TrainerSim, standard_cluster
+from repro.workloads import ModelProfile, get_model_profile
+from repro.core import (
+    DecisionEngine,
+    OffloadPlan,
+    Sophon,
+    StageOneProfiler,
+    StageTwoProfiler,
+)
+from repro.baselines import AllOff, FastFlow, NoOff, Policy, ResizeOff
+from repro.harness import ExperimentResult, run_experiment
+
+__all__ = [
+    "AllOff",
+    "ClusterSpec",
+    "DataLoader",
+    "Dataset",
+    "DecisionEngine",
+    "Decode",
+    "EpochModel",
+    "ExperimentResult",
+    "FastFlow",
+    "ModelProfile",
+    "NoOff",
+    "Normalize",
+    "OffloadPlan",
+    "Pipeline",
+    "Policy",
+    "RandomHorizontalFlip",
+    "RandomResizedCrop",
+    "ResizeOff",
+    "Sophon",
+    "StageOneProfiler",
+    "StageTwoProfiler",
+    "SyntheticImageDataset",
+    "ToTensor",
+    "ToyJpegCodec",
+    "TraceDataset",
+    "TrainerSim",
+    "get_model_profile",
+    "make_imagenet",
+    "make_openimages",
+    "run_experiment",
+    "standard_cluster",
+    "standard_pipeline",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,30 @@
+"""Baseline offloading policies evaluated against SOPHON (paper section 4).
+
+- :class:`NoOff` -- the original training pipeline, nothing offloaded.
+- :class:`AllOff` -- every op of every sample offloaded (ships float
+  tensors; the traffic-inflation strawman).
+- :class:`ResizeOff` -- Decode + RandomResizedCrop offloaded for every
+  sample (static operation selection, no per-sample decisions).
+- :class:`FastFlow` -- coarse-grained profiler that offloads the whole
+  pipeline for all samples or nothing, whichever its model predicts is
+  faster (the published comparator's decision rule).
+
+Each policy declares its Table-1 capability row (operation-selective /
+data-partial / data-selective / near-storage) for the capability-matrix
+regenerator.
+"""
+
+from repro.core.policy import Policy, PolicyContext
+from repro.baselines.capabilities import Capabilities
+from repro.baselines.simple import AllOff, NoOff, ResizeOff
+from repro.baselines.fastflow import FastFlow
+
+__all__ = [
+    "AllOff",
+    "Capabilities",
+    "FastFlow",
+    "NoOff",
+    "Policy",
+    "PolicyContext",
+    "ResizeOff",
+]

@@ -1,0 +1,32 @@
+"""Capability descriptors backing the Table 1 comparison."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Capabilities:
+    """The four dimensions of Table 1.
+
+    operation_selective: can offload a strict subset of the pipeline's ops.
+    data_partial: can offload preprocessing for a strict subset of samples.
+    data_selective: chooses that subset from per-sample characteristics.
+    to_near_storage: offloads to the storage node (vs. extra CPU workers).
+    """
+
+    operation_selective: bool = False
+    data_partial: bool = False
+    data_selective: bool = False
+    to_near_storage: bool = False
+
+    def row(self) -> tuple:
+        """Render as Table-1 style check marks."""
+
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "-"
+
+        return (
+            mark(self.operation_selective),
+            mark(self.data_partial),
+            mark(self.data_selective),
+            mark(self.to_near_storage),
+        )

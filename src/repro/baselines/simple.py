@@ -1,0 +1,68 @@
+"""The static baselines: No-Off, All-Off, Resize-Off."""
+
+from repro.baselines.capabilities import Capabilities
+from repro.core.plan import OffloadPlan
+from repro.core.policy import Policy, PolicyContext
+
+
+class NoOff(Policy):
+    """The original training pipeline: fetch raw, preprocess locally."""
+
+    name = "no-off"
+    capabilities = Capabilities()
+
+    def plan(self, context: PolicyContext) -> OffloadPlan:
+        return OffloadPlan.no_offload(
+            context.num_samples, reason="baseline: never offload"
+        )
+
+
+class AllOff(Policy):
+    """Offload every op of every sample; the server ships float tensors."""
+
+    name = "all-off"
+    capabilities = Capabilities(to_near_storage=True)
+
+    def plan(self, context: PolicyContext) -> OffloadPlan:
+        if not context.spec.can_offload:
+            return OffloadPlan.no_offload(
+                context.num_samples, reason="all-off clamped: no storage cores"
+            )
+        return OffloadPlan.uniform(
+            context.num_samples,
+            split=len(context.pipeline),
+            reason="baseline: offload the entire pipeline for all samples",
+        )
+
+
+class ResizeOff(Policy):
+    """Offload the prefix through RandomResizedCrop for every sample.
+
+    Static operation selection motivated by "resizing makes many images
+    smaller"; no per-sample decisions, which is exactly what hurts it on
+    ImageNet (most samples are already small) and under storage-CPU
+    scarcity (it offloads work for samples that gain nothing).
+    """
+
+    name = "resize-off"
+    capabilities = Capabilities(operation_selective=True, to_near_storage=True)
+
+    def __init__(self, through_op: str = "RandomResizedCrop") -> None:
+        self.through_op = through_op
+
+    def plan(self, context: PolicyContext) -> OffloadPlan:
+        if not context.spec.can_offload:
+            return OffloadPlan.no_offload(
+                context.num_samples, reason="resize-off clamped: no storage cores"
+            )
+        names = context.pipeline.op_names
+        if self.through_op not in names:
+            raise ValueError(
+                f"pipeline has no op named {self.through_op!r}; ops: {names}"
+            )
+        split = names.index(self.through_op) + 1
+        return OffloadPlan.uniform(
+            context.num_samples,
+            split=split,
+            reason=f"baseline: offload ops 1..{split} ({'+'.join(names[:split])}) for all samples",
+        )

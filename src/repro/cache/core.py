@@ -1,0 +1,174 @@
+"""Byte-budgeted cache with pluggable eviction policies."""
+
+import abc
+import collections
+import dataclasses
+from typing import Any, Dict, Hashable, Optional
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting in both lookups and bytes."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_hit: int = 0
+    bytes_missed: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EvictionPolicy(abc.ABC):
+    """Chooses which resident key to evict."""
+
+    @abc.abstractmethod
+    def on_insert(self, key: Hashable) -> None:
+        """A key became resident."""
+
+    @abc.abstractmethod
+    def on_access(self, key: Hashable) -> None:
+        """A resident key was hit."""
+
+    @abc.abstractmethod
+    def on_evict(self, key: Hashable) -> None:
+        """A key left the cache (evicted or invalidated)."""
+
+    @abc.abstractmethod
+    def victim(self) -> Hashable:
+        """The key to evict next; only called when non-empty."""
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used key."""
+
+    def __init__(self) -> None:
+        self._order: "collections.OrderedDict[Hashable, None]" = collections.OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def on_evict(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evict in insertion order, ignoring hits."""
+
+    def __init__(self) -> None:
+        self._order: "collections.OrderedDict[Hashable, None]" = collections.OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        pass
+
+    def on_evict(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evict the least frequently used key (FIFO among ties)."""
+
+    def __init__(self) -> None:
+        self._counts: "collections.OrderedDict[Hashable, int]" = collections.OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._counts[key] = 1
+
+    def on_access(self, key: Hashable) -> None:
+        self._counts[key] += 1
+
+    def on_evict(self, key: Hashable) -> None:
+        self._counts.pop(key, None)
+
+    def victim(self) -> Hashable:
+        return min(self._counts, key=lambda k: self._counts[k])
+
+
+class ByteCache:
+    """Maps keys to values under a total byte budget.
+
+    Values carry an explicit size; inserting evicts victims until the new
+    value fits.  A value larger than the whole budget is simply not
+    admitted (counted as an eviction-less miss on later lookups).
+    """
+
+    def __init__(self, capacity_bytes: int, policy: Optional[EvictionPolicy] = None) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy if policy is not None else LruPolicy()
+        self._values: Dict[Hashable, Any] = {}
+        self._sizes: Dict[Hashable, int] = {}
+        self._used = 0
+        self.stats = CacheStats()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, key: Hashable, size_hint: int = 0) -> Optional[Any]:
+        """Look up a key; records a hit or a miss (of ``size_hint`` bytes)."""
+        if key in self._values:
+            self.stats.hits += 1
+            self.stats.bytes_hit += self._sizes[key]
+            self.policy.on_access(key)
+            return self._values[key]
+        self.stats.misses += 1
+        self.stats.bytes_missed += size_hint
+        return None
+
+    def put(self, key: Hashable, value: Any, size: int) -> bool:
+        """Insert a value of ``size`` bytes; returns False if not admitted."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if key in self._values:
+            self._remove(key)
+        if size > self.capacity_bytes:
+            return False
+        while self._used + size > self.capacity_bytes:
+            self._evict_one()
+        self._values[key] = value
+        self._sizes[key] = size
+        self._used += size
+        self.policy.on_insert(key)
+        return True
+
+    def invalidate(self, key: Hashable) -> None:
+        if key in self._values:
+            self._remove(key)
+
+    def _remove(self, key: Hashable) -> None:
+        self._used -= self._sizes.pop(key)
+        del self._values[key]
+        self.policy.on_evict(key)
+
+    def _evict_one(self) -> None:
+        victim = self.policy.victim()
+        self.stats.evictions += 1
+        self._remove(victim)

@@ -1,0 +1,30 @@
+"""Loader-compatible fetcher with a raw-sample cache.
+
+Only raw (split 0) payloads are cached: a raw sample is immutable, while
+any partially preprocessed payload embeds that epoch's random
+augmentations -- reusing it across epochs is exactly the accuracy hazard
+the paper's section 3.3 warns about, so this fetcher refuses to cache it.
+"""
+
+from repro.cache.core import ByteCache
+from repro.preprocessing.payload import Payload
+
+
+class CachingFetcher:
+    """Wraps another fetcher; serves raw hits from the local cache."""
+
+    def __init__(self, inner, cache: ByteCache) -> None:
+        self.inner = inner
+        self.cache = cache
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        if split != 0:
+            # Partially preprocessed payloads are epoch-specific: always
+            # fetch, never cache.
+            return self.inner.fetch(sample_id, epoch, split)
+        cached = self.cache.get(sample_id)
+        if cached is not None:
+            return cached
+        payload = self.inner.fetch(sample_id, epoch, split)
+        self.cache.put(sample_id, payload, payload.nbytes)
+        return payload

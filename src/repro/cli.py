@@ -1,0 +1,323 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage (installed as ``sophon-repro``)::
+
+    sophon-repro table1
+    sophon-repro fig1a --dataset openimages
+    sophon-repro fig3 --dataset imagenet --samples 1500
+    sophon-repro fig4 --cores 0 1 2 3 4 5
+    sophon-repro all
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.spec import standard_cluster
+from repro.core.efficiency import efficiency_distribution
+from repro.core.profiler import StageTwoProfiler
+from repro.data.catalog import make_imagenet, make_openimages
+from repro.harness.fig1 import (
+    benefit_fraction,
+    gpu_utilization_by_model,
+    minstage_fractions,
+    representative_samples,
+    size_trace,
+)
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.harness.fig4 import limited_cpu_sweep
+from repro.harness.table1 import render_capability_matrix
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.utils.tables import render_table
+
+
+def _dataset(name: str, samples: Optional[int], seed: int):
+    if name == "openimages":
+        return make_openimages(num_samples=samples, seed=seed)
+    if name == "imagenet":
+        return make_imagenet(num_samples=samples, seed=seed)
+    raise SystemExit(f"unknown dataset {name!r}; pick openimages or imagenet")
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    from repro.harness.table1 import render_published_matrix
+
+    print("Published systems (the paper's Table 1):")
+    print(render_published_matrix())
+    print("\nImplemented policies in this reproduction:")
+    print(render_capability_matrix())
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.harness.export import write_csv
+    from repro.harness.sweeps import grid_sweep
+
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    axes = {}
+    if args.cores:
+        axes["storage_cores"] = args.cores
+    if args.bandwidths:
+        axes["bandwidth_mbps"] = args.bandwidths
+    if not axes:
+        raise SystemExit("give at least one axis (--cores / --bandwidths)")
+    table = grid_sweep(dataset, standard_cluster(), axes, seed=args.seed)
+    print(table.render())
+    if args.csv:
+        write_csv(table.to_csv(), args.csv)
+        print(f"csv written to {args.csv}")
+
+
+def cmd_fig1a(args: argparse.Namespace) -> None:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    sample_a, sample_b = representative_samples(dataset, seed=args.seed)
+    print(f"Sample A (shrinks mid-pipeline, id={sample_a}):")
+    print(size_trace(dataset, sample_a, seed=args.seed).render())
+    print(f"\nSample B (smallest raw, id={sample_b}):")
+    print(size_trace(dataset, sample_b, seed=args.seed).render())
+
+
+def cmd_fig1b(args: argparse.Namespace) -> None:
+    for name in ("openimages", "imagenet"):
+        dataset = _dataset(name, args.samples, args.seed)
+        fractions = minstage_fractions(dataset, seed=args.seed)
+        rows = [(stage, f"{frac:.1%}") for stage, frac in fractions.items()]
+        print(f"[{dataset.name}] minimum-size stage fractions "
+              f"(benefit: {benefit_fraction(fractions):.1%})")
+        print(render_table(("Stage", "Fraction"), rows))
+        print()
+
+
+def cmd_fig1c(args: argparse.Namespace) -> None:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    records = StageTwoProfiler().profile(dataset, standard_pipeline(), seed=args.seed)
+    print(f"[{dataset.name}] {efficiency_distribution(records)}")
+
+
+def cmd_fig1d(args: argparse.Namespace) -> None:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    spec = standard_cluster().with_bandwidth(args.bandwidth)
+    rows = [
+        (model, f"{util:.0%}")
+        for model, util in gpu_utilization_by_model(dataset, spec, seed=args.seed)
+    ]
+    print(f"[{dataset.name}] GPU utilization at {args.bandwidth:.0f} Mbps, no offload")
+    print(render_table(("Model", "GPU util"), rows))
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    cluster = standard_cluster(storage_cores=args.storage_cores)
+    comparison = ample_cpu_comparison(dataset, cluster, seed=args.seed)
+    print(comparison.render())
+    if getattr(args, "csv", None):
+        from repro.harness.export import comparison_to_csv, write_csv
+
+        write_csv(comparison_to_csv(comparison), args.csv)
+        print(f"csv written to {args.csv}")
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    sweep = limited_cpu_sweep(dataset, cores=tuple(args.cores), seed=args.seed)
+    print(sweep.render())
+    gains = ", ".join(f"{g:.2f}s" for g in sweep.sophon_marginal_gains())
+    print(f"\nSOPHON marginal gain per added core: {gains}")
+    if getattr(args, "csv", None):
+        from repro.harness.export import sweep_to_csv, write_csv
+
+        write_csv(sweep_to_csv(sweep), args.csv)
+        print(f"csv written to {args.csv}")
+
+
+def cmd_plan(args: argparse.Namespace) -> None:
+    from repro.core.policy import PolicyContext
+    from repro.core.serialize import plan_to_json
+    from repro.core.sophon import Sophon
+    from repro.workloads.models import get_model_profile
+
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    spec = standard_cluster(storage_cores=args.storage_cores)
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=standard_pipeline(),
+        spec=spec,
+        model=get_model_profile(args.model),
+        seed=args.seed,
+    )
+    plan = Sophon().plan(context)
+    print(f"[{dataset.name}] {plan.reason}")
+    print(f"split histogram: {plan.split_histogram()}")
+    if plan.expected is not None:
+        print(f"expected epoch: {plan.expected.epoch_time_s:.2f}s "
+              f"(bottleneck: {plan.expected.bottleneck.value})")
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(plan_to_json(plan))
+        print(f"plan saved to {args.save}")
+
+
+def cmd_stalls(args: argparse.Namespace) -> None:
+    from repro.cluster.trainer import TrainerSim
+    from repro.core.policy import PolicyContext
+    from repro.core.sophon import Sophon
+    from repro.metrics import stall_breakdown
+    from repro.workloads.models import get_model_profile
+
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    spec = standard_cluster(storage_cores=args.storage_cores)
+    model = get_model_profile(args.model)
+    context = PolicyContext(
+        dataset=dataset, pipeline=standard_pipeline(), spec=spec,
+        model=model, seed=args.seed,
+    )
+    plan = Sophon().plan(context)
+    trainer = TrainerSim(dataset, context.pipeline, model, spec, seed=args.seed)
+    plain = trainer.run_epoch(None, epoch=1, record_timeline=True)
+    offloaded = trainer.run_epoch(list(plan.splits), epoch=1, record_timeline=True)
+    print(f"[{dataset.name}] no-off : {stall_breakdown(plain.timeline)}")
+    print(f"[{dataset.name}] sophon : {stall_breakdown(offloaded.timeline)}")
+
+
+def cmd_ext_llm(args: argparse.Namespace) -> None:
+    from repro.core.decision import DecisionEngine
+    from repro.workloads.text import (
+        TextCorpusSpec,
+        llm_ingestion_records,
+        offloadable_fraction,
+    )
+
+    records = llm_ingestion_records(
+        TextCorpusSpec(num_docs=args.samples), seed=args.seed
+    )
+    plan = DecisionEngine().plan(
+        records, standard_cluster(storage_cores=48), gpu_time_s=60.0
+    )
+    raw = sum(r.stage_sizes[0] for r in records)
+    packed = sum(r.stage_sizes[-1] for r in records)
+    print(f"LLM ingestion: raw {raw / 1e6:.1f} MB -> packed {packed / 1e6:.1f} MB "
+          f"({packed / raw:.2f}x growth)")
+    print(f"offloadable documents: {offloadable_fraction(records):.0%}")
+    print(f"decision: {plan.reason}")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.harness.report import generate_markdown_report
+
+    report = generate_markdown_report(samples=args.samples, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    args.dataset = "openimages"
+    print("== Table 1 ==")
+    cmd_table1(args)
+    print("\n== Figure 1a ==")
+    cmd_fig1a(args)
+    print("\n== Figure 1b ==")
+    cmd_fig1b(args)
+    print("\n== Figure 1c ==")
+    cmd_fig1c(args)
+    print("\n== Figure 1d ==")
+    cmd_fig1d(args)
+    print("\n== Figure 3 (OpenImages) ==")
+    args.dataset = "openimages"
+    cmd_fig3(args)
+    print("\n== Figure 3 (ImageNet) ==")
+    args.dataset = "imagenet"
+    cmd_fig3(args)
+    print("\n== Figure 4 ==")
+    args.dataset = "openimages"
+    cmd_fig4(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sophon-repro",
+        description="Regenerate the SOPHON paper's tables and figures.",
+    )
+    parser.add_argument("--samples", type=int, default=1000,
+                        help="samples per synthesized dataset (default 1000)")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="capability matrix").set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig1a", help="per-sample size trace")
+    p.add_argument("--dataset", default="openimages")
+    p.set_defaults(func=cmd_fig1a)
+
+    p = sub.add_parser("fig1b", help="minimum-size stage fractions")
+    p.set_defaults(func=cmd_fig1b)
+
+    p = sub.add_parser("fig1c", help="offloading-efficiency distribution")
+    p.add_argument("--dataset", default="openimages")
+    p.set_defaults(func=cmd_fig1c)
+
+    p = sub.add_parser("fig1d", help="GPU utilization by model")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--bandwidth", type=float, default=1000.0, help="Mbps")
+    p.set_defaults(func=cmd_fig1d)
+
+    p = sub.add_parser("fig3", help="policy comparison, ample storage CPUs")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.add_argument("--csv", help="also write the data as CSV to this path")
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("fig4", help="storage-core sweep")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--cores", type=int, nargs="+", default=[0, 1, 2, 3, 4, 5])
+    p.add_argument("--csv", help="also write the data as CSV to this path")
+    p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("plan", help="compute (and optionally save) a SOPHON plan")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--model", default="alexnet")
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.add_argument("--save", help="write the plan as JSON to this path")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("stalls", help="data-stall breakdown, no-off vs sophon")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--model", default="alexnet")
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.set_defaults(func=cmd_stalls)
+
+    p = sub.add_parser("ext-llm", help="the section-5 LLM negative result")
+    p.set_defaults(func=cmd_ext_llm)
+
+    p = sub.add_parser("report", help="full markdown results report")
+    p.add_argument("--out", help="write to this path instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("sweep", help="grid sweep over cluster parameters")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--cores", type=int, nargs="+",
+                   help="storage_cores axis values")
+    p.add_argument("--bandwidths", type=float, nargs="+",
+                   help="bandwidth_mbps axis values")
+    p.add_argument("--csv", help="also write the grid as CSV to this path")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("all", help="everything above")
+    p.add_argument("--bandwidth", type=float, default=1000.0)
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.add_argument("--cores", type=int, nargs="+", default=[0, 1, 2, 3, 4, 5])
+    p.set_defaults(func=cmd_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

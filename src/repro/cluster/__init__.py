@@ -1,0 +1,33 @@
+"""Two-node cluster substrate: virtual-time simulation of DL training.
+
+Contents:
+
+- :mod:`repro.cluster.sim` -- a small generator-based discrete-event
+  simulation kernel (environment, processes, FIFO resources).
+- :class:`ClusterSpec` -- the hardware description (cores, bandwidth, CPU
+  speed factors) mirroring the paper's two-node testbed.
+- :class:`EpochModel` -- the analytic epoch-time model over the paper's four
+  metrics (T_G, T_CC, T_CS, T_Net); used by decision logic.
+- :class:`TrainerSim` -- the event-driven trainer that actually runs an
+  epoch: fetch -> offloaded prefix on storage CPUs -> bandwidth-capped link
+  -> local suffix on compute CPUs -> GPU, with bounded prefetching.
+"""
+
+from repro.cluster.spec import ClusterSpec, standard_cluster
+from repro.cluster.epoch_model import EpochEstimate, EpochMetrics, EpochModel
+from repro.cluster.sim import Environment, Resource, Store
+from repro.cluster.trainer import EpochStats, TrainerSim, WorkAdjustment
+
+__all__ = [
+    "ClusterSpec",
+    "Environment",
+    "EpochEstimate",
+    "EpochMetrics",
+    "EpochModel",
+    "EpochStats",
+    "Resource",
+    "Store",
+    "TrainerSim",
+    "WorkAdjustment",
+    "standard_cluster",
+]

@@ -1,0 +1,151 @@
+"""Many training jobs sharing one storage egress link (paper section 5).
+
+"GPU clusters often run hundreds or thousands of DL training jobs
+simultaneously, putting substantial strain on the network between GPU
+clusters and remote storage. For example, a 400 V100 GPU cluster requires
+an aggregate I/O bandwidth of 200 Gbps, while Azure's maximum egress
+bandwidth is only 120 Gbps."
+
+This module simulates J concurrent jobs: each job has its own compute
+node (CPU pool, GPU, prefetch window) but all jobs contend for one shared
+egress link and one shared storage-node CPU pool.  The per-job epoch
+completion times quantify how many jobs a given egress budget sustains --
+with and without SOPHON shrinking each job's wire bytes.
+"""
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.sim import Environment, FairResource, Resource
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.trainer import JobHandles, TrainerSim, launch_training_processes
+from repro.data.dataset import Dataset
+from repro.data.sampler import BatchSampler, SequentialSampler
+from repro.preprocessing.pipeline import Pipeline
+from repro.workloads.models import ModelProfile
+
+
+@dataclasses.dataclass
+class SharedJob:
+    """One tenant of the shared link."""
+
+    name: str
+    dataset: Dataset
+    pipeline: Pipeline
+    model: ModelProfile
+    splits: Optional[Sequence[int]] = None
+    batch_size: Optional[int] = None
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class SharedJobResult:
+    """Per-job outcome of a shared-link run."""
+
+    name: str
+    epoch_time_s: float
+    traffic_bytes: int
+
+
+@dataclasses.dataclass
+class SharedLinkStats:
+    """Outcome of running all jobs to completion on the shared link."""
+
+    results: Dict[str, SharedJobResult]
+    makespan_s: float
+    total_traffic_bytes: int
+    link_utilization: float
+    storage_cpu_utilization: float
+
+    def epoch_time(self, name: str) -> float:
+        return self.results[name].epoch_time_s
+
+    @property
+    def mean_epoch_time_s(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.epoch_time_s for r in self.results.values()) / len(self.results)
+
+
+class SharedLinkSim:
+    """Run several jobs' epochs concurrently over one egress link.
+
+    ``spec.bandwidth_mbps`` is the *aggregate* egress budget;
+    ``spec.storage_cores`` the shared storage-side preprocessing pool.
+    Per-job compute resources come from the same spec (each job gets its
+    own compute node, as in a GPU cluster).
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+
+    def run_epoch(self, jobs: Sequence[SharedJob], epoch: int = 0) -> SharedLinkStats:
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if not jobs:
+            raise ValueError("need at least one job")
+
+        env = Environment()
+        spec = self.spec
+        # Fair-queued: concurrent jobs share bandwidth round-robin at chunk
+        # granularity instead of draining whole bursts FIFO.
+        link = FairResource(env, 1, "shared-link")
+        storage_cpu = (
+            Resource(env, spec.storage_cores, "shared-storage-cpu")
+            if spec.can_offload
+            else None
+        )
+
+        counters: Dict[str, Dict] = {}
+        for job in jobs:
+            trainer = TrainerSim(
+                dataset=job.dataset,
+                pipeline=job.pipeline,
+                model=job.model,
+                spec=spec,
+                batch_size=job.batch_size,
+                seed=job.seed,
+            )
+            work = trainer._epoch_work(
+                list(job.splits) if job.splits is not None else None, epoch
+            )
+            batches = list(
+                BatchSampler(
+                    SequentialSampler(len(job.dataset)), trainer.batch_size
+                ).epoch_batches(epoch)
+            )
+            handles = JobHandles(
+                compute_cpu=Resource(env, spec.compute_cores, f"{job.name}-cpu"),
+                storage_cpu=storage_cpu,
+                link=link,
+                gpu=Resource(env, 1, f"{job.name}-gpu"),
+                prefetch=Resource(env, spec.prefetch_batches, f"{job.name}-prefetch"),
+                flow_key=job.name,
+            )
+            counters[job.name] = launch_training_processes(
+                env, spec, work, batches, job.model, handles
+            )
+
+        env.run()
+        makespan = env.now
+
+        results = {}
+        for job in jobs:
+            counter = counters[job.name]
+            if not counter["done"]:
+                raise RuntimeError(f"job {job.name} did not finish")
+            results[job.name] = SharedJobResult(
+                name=job.name,
+                epoch_time_s=counter["finished_at"],
+                traffic_bytes=counter["bytes"],
+            )
+        return SharedLinkStats(
+            results=results,
+            makespan_s=makespan,
+            total_traffic_bytes=sum(r.traffic_bytes for r in results.values()),
+            link_utilization=link.utilization(makespan),
+            storage_cpu_utilization=(
+                storage_cpu.utilization(makespan) if storage_cpu is not None else 0.0
+            ),
+        )

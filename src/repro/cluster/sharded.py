@@ -1,0 +1,205 @@
+"""Sharded storage clusters: many storage nodes behind one egress cap.
+
+The paper's storage side is "remote storage clusters such as distributed
+file systems or object stores" -- many nodes, each holding a shard of the
+dataset and contributing CPU for near-storage preprocessing, all draining
+through the inter-cluster link.  This module extends the trainer to that
+shape: samples map to shards, each shard has its own CPU pool, and a
+sample's offloaded prefix must run on *its* shard (the data is there).
+
+The interesting failure mode is placement skew: if the offload-heavy
+samples cluster on one shard, that node becomes the bottleneck while the
+others idle -- aggregate cores stop being the right capacity measure.
+"""
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.cluster.epoch_model import EpochMetrics
+from repro.cluster.sim import Environment, Resource
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.trainer import EpochStats, SampleWork, TrainerSim
+from repro.data.dataset import Dataset
+from repro.data.sampler import BatchSampler
+from repro.preprocessing.pipeline import Pipeline
+from repro.workloads.models import ModelProfile
+
+
+def round_robin_placement(num_samples: int, num_shards: int) -> List[int]:
+    """sample_id -> shard, spreading consecutive ids across shards."""
+    return [i % num_shards for i in range(num_samples)]
+
+
+def contiguous_placement(num_samples: int, num_shards: int) -> List[int]:
+    """sample_id -> shard in contiguous ranges (how naive ingest lands)."""
+    per_shard = max(1, (num_samples + num_shards - 1) // num_shards)
+    return [min(i // per_shard, num_shards - 1) for i in range(num_samples)]
+
+
+def size_balanced_placement(dataset: Dataset, num_shards: int) -> List[int]:
+    """Greedy bin-packing by raw size: heaviest samples spread first."""
+    order = sorted(
+        dataset.sample_ids(), key=lambda i: dataset.raw_meta(i).nbytes, reverse=True
+    )
+    loads = [0] * num_shards
+    placement = [0] * len(dataset)
+    for sample_id in order:
+        shard = loads.index(min(loads))
+        placement[sample_id] = shard
+        loads[shard] += dataset.raw_meta(sample_id).nbytes
+    return placement
+
+
+@dataclasses.dataclass
+class ShardedStats:
+    """Epoch stats plus per-shard CPU utilization."""
+
+    stats: EpochStats
+    shard_utilization: List[float]
+
+    @property
+    def epoch_time_s(self) -> float:
+        return self.stats.epoch_time_s
+
+    @property
+    def hottest_shard(self) -> float:
+        return max(self.shard_utilization) if self.shard_utilization else 0.0
+
+
+class ShardedTrainerSim(TrainerSim):
+    """TrainerSim over a sharded storage cluster.
+
+    spec.storage_cores is interpreted *per shard*; aggregate storage CPU
+    is ``num_shards * storage_cores``.  An offloaded sample's prefix runs
+    on the shard holding it.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        model: ModelProfile,
+        spec: ClusterSpec,
+        placement: Sequence[int],
+        batch_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dataset, pipeline, model, spec, batch_size=batch_size, seed=seed)
+        if len(placement) != len(dataset):
+            raise ValueError(
+                f"placement covers {len(placement)} samples, dataset has {len(dataset)}"
+            )
+        if placement and min(placement) < 0:
+            raise ValueError("shard ids must be >= 0")
+        self.placement = list(placement)
+        self.num_shards = (max(placement) + 1) if placement else 1
+
+    def run_epoch(
+        self,
+        splits: Optional[Sequence[int]] = None,
+        epoch: int = 0,
+        adjustments=None,
+    ) -> ShardedStats:
+        if splits is not None and len(splits) != len(self.dataset):
+            raise ValueError(
+                f"splits has {len(splits)} entries, dataset has {len(self.dataset)}"
+            )
+        work = self._epoch_work(splits, epoch, adjustments)
+        batches = list(
+            BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch)
+        )
+
+        env = Environment()
+        spec = self.spec
+        compute_cpu = Resource(env, spec.compute_cores, "compute-cpu")
+        shard_cpus = [
+            Resource(env, max(spec.storage_cores, 1), f"shard-{s}-cpu")
+            for s in range(self.num_shards)
+        ]
+        link = Resource(env, 1, "link")
+        gpu = Resource(env, 1, "gpu")
+        prefetch = Resource(env, spec.prefetch_batches, "prefetch-window")
+
+        traffic = {"bytes": 0}
+        bandwidth = spec.bandwidth_bytes_per_s
+        batch_ready = [env.event() for _ in batches]
+
+        def sample_proc(item: SampleWork):
+            yield env.timeout(spec.network_rtt_s / 2.0)
+            if item.split > 0:
+                pool = shard_cpus[self.placement[item.sample_id]]
+                grant = pool.acquire()
+                yield grant
+                yield env.timeout(item.prefix_cpu_s * spec.storage_cpu_factor)
+                pool.release(grant)
+            payload = item.wire_bytes + spec.response_overhead_bytes
+            remaining = payload
+            first = True
+            while remaining > 0:
+                chunk = min(remaining, spec.link_chunk_bytes)
+                grant = link.acquire(front=not first)
+                yield grant
+                yield env.timeout(chunk / bandwidth)
+                link.release(grant)
+                remaining -= chunk
+                first = False
+            traffic["bytes"] += payload
+            yield env.timeout(spec.network_rtt_s / 2.0)
+            if item.suffix_cpu_s > 0:
+                grant = compute_cpu.acquire()
+                yield grant
+                yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
+                compute_cpu.release(grant)
+
+        def batch_proc(index, ids):
+            token = prefetch.acquire()
+            yield token
+            children = [env.process(sample_proc(work[i])) for i in ids]
+            yield env.all_of(children)
+            batch_ready[index].trigger(token)
+
+        def gpu_proc():
+            for index, ids in enumerate(batches):
+                yield batch_ready[index]
+                token = batch_ready[index].value
+                grant = gpu.acquire()
+                yield grant
+                yield env.timeout(self.model.batch_time_s(len(ids)))
+                gpu.release(grant)
+                prefetch.release(token)
+
+        for index, ids in enumerate(batches):
+            env.process(batch_proc(index, ids))
+        env.process(gpu_proc())
+        env.run()
+
+        horizon = env.now
+        analytic = EpochMetrics(
+            gpu_time_s=sum(self.model.batch_time_s(len(ids)) for ids in batches),
+            compute_cpu_s=sum(w.suffix_cpu_s for w in work.values()),
+            storage_cpu_s=sum(w.prefix_cpu_s for w in work.values() if w.split > 0),
+            traffic_bytes=sum(
+                w.wire_bytes + spec.response_overhead_bytes for w in work.values()
+            ),
+        )
+        stats = EpochStats(
+            epoch_time_s=horizon,
+            traffic_bytes=traffic["bytes"],
+            num_samples=len(work),
+            num_batches=len(batches),
+            offloaded_samples=sum(1 for w in work.values() if w.split > 0),
+            gpu_utilization=gpu.utilization(horizon),
+            compute_cpu_utilization=compute_cpu.utilization(horizon),
+            storage_cpu_utilization=(
+                sum(p.busy_time for p in shard_cpus)
+                / (sum(p.capacity for p in shard_cpus) * horizon)
+                if horizon > 0
+                else 0.0
+            ),
+            link_utilization=link.utilization(horizon),
+            analytic=analytic,
+        )
+        return ShardedStats(
+            stats=stats,
+            shard_utilization=[p.utilization(horizon) for p in shard_cpus],
+        )

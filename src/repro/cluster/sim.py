@@ -1,0 +1,326 @@
+"""A minimal generator-based discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` events; the environment
+advances a virtual clock and resumes processes when their events trigger.
+This is the substrate under :class:`repro.cluster.trainer.TrainerSim`; it is
+deliberately small (events, processes, timeouts, FIFO resources, stores,
+all-of joins) but fully general.
+
+Example::
+
+    env = Environment()
+
+    def worker(env, cpu):
+        req = cpu.acquire()
+        yield req
+        yield env.timeout(2.0)
+        cpu.release(req)
+
+    cpu = Resource(env, capacity=1)
+    env.process(worker(env, cpu))
+    env.run()
+"""
+
+import heapq
+import itertools
+from collections import OrderedDict
+from typing import Any, Callable, Generator, Iterator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """A process misused the kernel (e.g. yielded a non-event)."""
+
+
+class Event:
+    """Something that will happen at a point in virtual time.
+
+    Lifecycle: *pending* -> ``trigger()`` puts it on the queue ->
+    *processed* once the scheduler fires its callbacks.  An event fires at
+    most once; its ``value`` is delivered to every waiter.
+    """
+
+    __slots__ = ("env", "callbacks", "triggered", "processed", "value")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.processed = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Schedule this event to fire at the current virtual time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self.env.now, self)
+        return self
+
+    def wait(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback`` when this event fires (immediately if fired)."""
+        if self.processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.triggered = True
+        self.value = value
+        env._schedule(env.now + delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The event's value is the generator's return value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        super().__init__(env)
+        self._generator = generator
+        Event(env).trigger().callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        if target.processed:
+            # Deliver through the queue rather than synchronously, so long
+            # chains of already-fired events cannot recurse the C stack.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay.trigger(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_remaining", "_events")
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.trigger([])
+            return
+        for child in self._events:
+            child.wait(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.trigger([e.value for e in self._events])
+
+
+class Environment:
+    """The virtual clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+
+    def _schedule(self, at: float, event: Event) -> None:
+        heapq.heappush(self._heap, (at, next(self._counter), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def step(self) -> None:
+        at, _, event = heapq.heappop(self._heap)
+        if at < self.now:
+            raise SimulationError(f"time went backwards: {at} < {self.now}")
+        self.now = at
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains (or virtual ``until``)."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+
+
+class Resource:
+    """A FIFO resource with integer capacity (CPU pool, GPU, NIC).
+
+    ``acquire`` returns an event that fires when a slot is granted; pass the
+    same event to ``release``.  ``busy_time`` integrates slot-seconds of use
+    for utilization reporting.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: List[Event] = []
+        self._grant_times = {}
+        self.busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def acquire(self, key: Any = None, front: bool = False) -> Event:
+        """Request a slot.
+
+        key: accepted (and ignored) so callers can treat FIFO and
+            fair-queued resources uniformly.
+        front: queue-jump to the head of the line -- used by transfers
+            continuing a multi-chunk payload, so a payload in flight
+            finishes before the next one starts (otherwise chunking would
+            round-robin *all* waiting payloads and destroy delivery order).
+        """
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._grant(event)
+        elif front:
+            self._waiting.insert(0, event)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def _grant(self, event: Event) -> None:
+        self._in_use += 1
+        self._grant_times[event] = self.env.now
+        event.trigger()
+
+    def release(self, request: Event) -> None:
+        if request not in self._grant_times:
+            raise SimulationError("released a request that was never granted")
+        self.busy_time += self.env.now - self._grant_times.pop(request)
+        self._in_use -= 1
+        if self._waiting:
+            self._grant(self._waiting.pop(0))
+
+    def utilization(self, horizon: float) -> float:
+        """Average busy fraction over ``horizon`` seconds of virtual time."""
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (self.capacity * horizon)
+
+
+class FairResource(Resource):
+    """A resource that grants waiting requests round-robin across flows.
+
+    Plain :class:`Resource` queues strictly FIFO, so a flow that bursts a
+    thousand requests starves later arrivals until its burst drains --
+    unrealistic for a network link shared by TCP-like flows.
+    ``acquire(key)`` files the request under its flow; when a slot frees,
+    the next grant comes from the next non-empty flow in rotation.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "fair") -> None:
+        super().__init__(env, capacity, name)
+        self._flow_queues: "OrderedDict[Any, List[Event]]" = OrderedDict()
+
+    def acquire(self, key: Any = None, front: bool = False) -> Event:
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._grant(event)
+        elif front:
+            # Continue the current payload of this flow ahead of the flow's
+            # other waiters; the flow rotation itself is unaffected, so
+            # other flows still interleave between chunks.
+            self._flow_queues.setdefault(key, []).insert(0, event)
+        else:
+            self._flow_queues.setdefault(key, []).append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        if request not in self._grant_times:
+            raise SimulationError("released a request that was never granted")
+        self.busy_time += self.env.now - self._grant_times.pop(request)
+        self._in_use -= 1
+        if self._flow_queues:
+            # Serve the flow at the front of the rotation, then move it to
+            # the back (dropping it if its queue drained).
+            key, queue = next(iter(self._flow_queues.items()))
+            event = queue.pop(0)
+            del self._flow_queues[key]
+            if queue:
+                self._flow_queues[key] = queue
+            self._grant(event)
+
+    @property
+    def queue_length(self) -> int:
+        return sum(len(q) for q in self._flow_queues.values())
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, env: Environment, name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._items:
+            event.trigger(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def hold(env: Environment, resource: Resource, duration: float) -> Iterator[Event]:
+    """Convenience process fragment: acquire, hold for ``duration``, release."""
+    request = resource.acquire()
+    yield request
+    yield env.timeout(duration)
+    resource.release(request)

@@ -1,0 +1,86 @@
+"""Cluster hardware description (the paper's two-node testbed)."""
+
+import dataclasses
+
+from repro.utils.units import mbps_to_bytes_per_s
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Compute node + storage node + the link between them.
+
+    compute_cores: logical cores for local preprocessing (paper: 48).
+    storage_cores: cores available for offloaded preprocessing on the
+        storage node (paper: varied 0..ample); 0 disables offloading.
+    bandwidth_mbps: inter-node network cap (paper: 500 Mbps).
+    network_rtt_s: per-request round-trip latency added to each fetch.
+    compute_cpu_factor / storage_cpu_factor: relative CPU slowness of each
+        node (1.0 = the profiled CPU; >1 slower).  The paper assumes
+        identical CPUs; heterogeneous values exercise the section-6
+        extension.
+    prefetch_batches: how many batches the input pipeline works ahead of
+        the GPU.
+    request_overhead_bytes / response_overhead_bytes: protocol framing per
+        fetch, counted as traffic.
+    link_chunk_bytes: transfer interleaving granularity.  Transmissions
+        hold the link one chunk at a time, so concurrent flows share the
+        bandwidth round-robin (TCP-fair-ish) instead of serializing whole
+        payloads FIFO -- this matters when several jobs share one egress
+        link.
+    """
+
+    compute_cores: int = 48
+    storage_cores: int = 48
+    bandwidth_mbps: float = 500.0
+    network_rtt_s: float = 0.0002
+    compute_cpu_factor: float = 1.0
+    storage_cpu_factor: float = 1.0
+    prefetch_batches: int = 8
+    request_overhead_bytes: int = 64
+    response_overhead_bytes: int = 32
+    link_chunk_bytes: int = 262_144
+
+    def __post_init__(self) -> None:
+        if self.compute_cores < 1:
+            raise ValueError(f"compute_cores must be >= 1, got {self.compute_cores}")
+        if self.storage_cores < 0:
+            raise ValueError(f"storage_cores must be >= 0, got {self.storage_cores}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth_mbps must be > 0, got {self.bandwidth_mbps}")
+        if self.network_rtt_s < 0:
+            raise ValueError(f"network_rtt_s must be >= 0, got {self.network_rtt_s}")
+        if self.compute_cpu_factor <= 0 or self.storage_cpu_factor <= 0:
+            raise ValueError("CPU speed factors must be > 0")
+        if self.prefetch_batches < 1:
+            raise ValueError(f"prefetch_batches must be >= 1, got {self.prefetch_batches}")
+        if self.link_chunk_bytes < 4096:
+            raise ValueError(
+                f"link_chunk_bytes must be >= 4096, got {self.link_chunk_bytes}"
+            )
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return mbps_to_bytes_per_s(self.bandwidth_mbps)
+
+    @property
+    def can_offload(self) -> bool:
+        return self.storage_cores > 0
+
+    def with_storage_cores(self, storage_cores: int) -> "ClusterSpec":
+        return dataclasses.replace(self, storage_cores=storage_cores)
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "ClusterSpec":
+        return dataclasses.replace(self, bandwidth_mbps=bandwidth_mbps)
+
+
+def standard_cluster(
+    storage_cores: int = 48,
+    bandwidth_mbps: float = 500.0,
+    compute_cores: int = 48,
+) -> ClusterSpec:
+    """The paper's evaluation setup (section 4 Experiment Setup)."""
+    return ClusterSpec(
+        compute_cores=compute_cores,
+        storage_cores=storage_cores,
+        bandwidth_mbps=bandwidth_mbps,
+    )

@@ -1,0 +1,329 @@
+"""Event-driven simulation of one training epoch on the two-node cluster.
+
+Per sample: the compute node issues a fetch; the storage node runs the
+sample's offloaded pipeline prefix on its CPU pool; the (partially
+preprocessed) payload crosses the bandwidth-capped link; the compute node
+runs the remaining ops on its own CPU pool; completed batches feed the GPU
+in order, with the input pipeline allowed to work ``prefetch_batches`` ahead
+(PyTorch DataLoader-style flow control).
+
+Everything the paper measures falls out: epoch time (makespan), data
+traffic (bytes that crossed the link), and GPU utilization.
+"""
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.epoch_model import EpochMetrics
+from repro.cluster.sim import Environment, Resource
+from repro.cluster.spec import ClusterSpec
+from repro.data.dataset import Dataset
+from repro.data.sampler import BatchSampler, Sampler, SequentialSampler
+from repro.metrics.timeline import Timeline
+from repro.preprocessing.pipeline import Pipeline
+from repro.workloads.models import ModelProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleWork:
+    """Precomputed per-sample work for one epoch."""
+
+    sample_id: int
+    split: int
+    wire_bytes: int
+    prefix_cpu_s: float
+    suffix_cpu_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkAdjustment:
+    """Extension hook: per-sample deltas applied on top of the plan.
+
+    Used by the selective-compression extension (paper section 6): shrink
+    the wire payload and charge the compress/decompress CPU time to the
+    respective nodes.
+    """
+
+    wire_bytes_delta: int = 0
+    extra_storage_cpu_s: float = 0.0
+    extra_compute_cpu_s: float = 0.0
+
+    def apply(self, work: SampleWork) -> SampleWork:
+        wire = work.wire_bytes + self.wire_bytes_delta
+        if wire < 0:
+            raise ValueError(
+                f"adjustment drives sample {work.sample_id} wire size negative"
+            )
+        return dataclasses.replace(
+            work,
+            wire_bytes=wire,
+            prefix_cpu_s=work.prefix_cpu_s + self.extra_storage_cpu_s,
+            suffix_cpu_s=work.suffix_cpu_s + self.extra_compute_cpu_s,
+        )
+
+
+@dataclasses.dataclass
+class EpochStats:
+    """What one simulated epoch measured."""
+
+    epoch_time_s: float
+    traffic_bytes: int
+    num_samples: int
+    num_batches: int
+    offloaded_samples: int
+    gpu_utilization: float
+    compute_cpu_utilization: float
+    storage_cpu_utilization: float
+    link_utilization: float
+    analytic: EpochMetrics
+    #: Per-batch timeline, populated when run_epoch(record_timeline=True).
+    timeline: Optional[Timeline] = None
+
+    def __str__(self) -> str:
+        return (
+            f"EpochStats(time={self.epoch_time_s:.2f}s, "
+            f"traffic={self.traffic_bytes / 1e6:.1f}MB, "
+            f"gpu={self.gpu_utilization:.0%}, offloaded={self.offloaded_samples})"
+        )
+
+
+@dataclasses.dataclass
+class JobHandles:
+    """The simulation resources one training job runs against.
+
+    In single-job runs every resource is private; in multi-job runs the
+    link (and possibly the storage CPU pool) is shared across jobs -- see
+    :mod:`repro.cluster.multijob`.
+    """
+
+    compute_cpu: Resource
+    storage_cpu: Optional[Resource]
+    link: Resource
+    gpu: Resource
+    prefetch: Resource
+    #: Flow identifier for fair-queued shared links (None on private links).
+    flow_key: object = None
+
+
+def launch_training_processes(
+    env: Environment,
+    spec: ClusterSpec,
+    work: Dict[int, SampleWork],
+    batches: List[List[int]],
+    model: ModelProfile,
+    handles: JobHandles,
+    timeline: Optional["Timeline"] = None,
+) -> Dict[str, int]:
+    """Register one training job's processes on ``env``.
+
+    Returns the job's live traffic counter (key ``"bytes"``); the job is
+    finished when the environment drains (or when the returned
+    ``handles.gpu`` has processed ``len(batches)`` batches -- multi-job
+    callers watch the counter dict's ``"done"`` flag).
+    """
+    traffic = {"bytes": 0, "done": 0}
+    bandwidth = spec.bandwidth_bytes_per_s
+    batch_ready = [env.event() for _ in batches]
+
+    def sample_proc(item: SampleWork):
+        # Request leaves the compute node; half an RTT to arrive.
+        yield env.timeout(spec.network_rtt_s / 2.0)
+        if item.split > 0:
+            grant = handles.storage_cpu.acquire()
+            yield grant
+            yield env.timeout(item.prefix_cpu_s * spec.storage_cpu_factor)
+            handles.storage_cpu.release(grant)
+        # Transmit in chunks: releasing the link between chunks lets
+        # concurrent flows interleave (fair sharing) instead of
+        # serializing whole payloads behind each other.
+        payload_bytes = item.wire_bytes + spec.response_overhead_bytes
+        remaining = payload_bytes
+        first_chunk = True
+        while remaining > 0:
+            chunk = min(remaining, spec.link_chunk_bytes)
+            grant = handles.link.acquire(handles.flow_key, front=not first_chunk)
+            yield grant
+            yield env.timeout(chunk / bandwidth)
+            handles.link.release(grant)
+            remaining -= chunk
+            first_chunk = False
+        traffic["bytes"] += payload_bytes
+        yield env.timeout(spec.network_rtt_s / 2.0)
+        if item.suffix_cpu_s > 0:
+            grant = handles.compute_cpu.acquire()
+            yield grant
+            yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
+            handles.compute_cpu.release(grant)
+
+    def batch_proc(index: int, ids: List[int]):
+        token = handles.prefetch.acquire()
+        yield token
+        children = [env.process(sample_proc(work[i])) for i in ids]
+        yield env.all_of(children)
+        if timeline is not None:
+            timeline.trace(index).ready_at = env.now
+        batch_ready[index].trigger(token)
+
+    def gpu_proc():
+        for index, ids in enumerate(batches):
+            yield batch_ready[index]
+            token = batch_ready[index].value
+            grant = handles.gpu.acquire()
+            yield grant
+            if timeline is not None:
+                timeline.trace(index).gpu_start = env.now
+            yield env.timeout(model.batch_time_s(len(ids)))
+            if timeline is not None:
+                timeline.trace(index).gpu_end = env.now
+            handles.gpu.release(grant)
+            handles.prefetch.release(token)
+        traffic["done"] = 1
+        traffic["finished_at"] = env.now
+        if timeline is not None:
+            timeline.epoch_end = env.now
+
+    for index, ids in enumerate(batches):
+        env.process(batch_proc(index, ids))
+    env.process(gpu_proc())
+    return traffic
+
+
+class TrainerSim:
+    """Simulate training epochs for a (dataset, pipeline, model) workload."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        model: ModelProfile,
+        spec: ClusterSpec,
+        batch_size: Optional[int] = None,
+        sampler: Optional[Sampler] = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.pipeline = pipeline
+        self.model = model
+        self.spec = spec
+        self.batch_size = batch_size if batch_size is not None else model.batch_size
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        self.sampler = sampler if sampler is not None else SequentialSampler(len(dataset))
+        self.seed = seed
+
+    # -- work precomputation ------------------------------------------------
+
+    def sample_work(self, sample_id: int, split: int, epoch: int) -> SampleWork:
+        """Wire size and CPU cost split for one sample at one split point."""
+        meta = self.dataset.raw_meta(sample_id)
+        run = self.pipeline.simulate(
+            meta, seed=self.seed, epoch=epoch, sample_id=sample_id
+        )
+        if not 0 <= split <= len(run.stages):
+            raise ValueError(f"bad split {split} for {len(run.stages)}-op pipeline")
+        sizes = [meta.nbytes] + [s.out_meta.nbytes for s in run.stages]
+        costs = [s.cost_s for s in run.stages]
+        return SampleWork(
+            sample_id=sample_id,
+            split=split,
+            wire_bytes=sizes[split],
+            prefix_cpu_s=sum(costs[:split]),
+            suffix_cpu_s=sum(costs[split:]),
+        )
+
+    def _epoch_work(
+        self,
+        splits: Optional[Sequence[int]],
+        epoch: int,
+        adjustments: Optional[Dict[int, "WorkAdjustment"]] = None,
+    ) -> Dict[int, SampleWork]:
+        work: Dict[int, SampleWork] = {}
+        for sample_id in self.dataset.sample_ids():
+            split = 0 if splits is None else splits[sample_id]
+            item = self.sample_work(sample_id, split, epoch)
+            if adjustments is not None and sample_id in adjustments:
+                item = adjustments[sample_id].apply(item)
+            if item.split == 0 and item.prefix_cpu_s > 0:
+                raise ValueError(
+                    f"sample {sample_id} has storage-side work but split 0"
+                )
+            if item.prefix_cpu_s > 0 and not self.spec.can_offload:
+                raise ValueError(
+                    f"sample {sample_id} has storage-side work but the cluster "
+                    "has no storage cores; clamp the plan first"
+                )
+            work[sample_id] = item
+        return work
+
+    # -- simulation -----------------------------------------------------------
+
+    def run_epoch(
+        self,
+        splits: Optional[Sequence[int]] = None,
+        epoch: int = 0,
+        adjustments: Optional[Dict[int, WorkAdjustment]] = None,
+        record_timeline: bool = False,
+    ) -> EpochStats:
+        """Simulate one epoch under the given per-sample offload splits.
+
+        splits: index = sample id, value = number of leading ops executed on
+            the storage node (0 = fetch raw).  None means no offloading.
+        adjustments: optional per-sample work deltas (see WorkAdjustment).
+        record_timeline: attach a per-batch Timeline to the stats (for
+            stall-breakdown analysis via repro.metrics).
+        """
+        if splits is not None and len(splits) != len(self.dataset):
+            raise ValueError(
+                f"splits has {len(splits)} entries, dataset has {len(self.dataset)}"
+            )
+        work = self._epoch_work(splits, epoch, adjustments)
+        batches = list(BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch))
+
+        env = Environment()
+        spec = self.spec
+        handles = JobHandles(
+            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
+            storage_cpu=(
+                Resource(env, spec.storage_cores, "storage-cpu")
+                if spec.can_offload
+                else None
+            ),
+            link=Resource(env, 1, "link"),
+            gpu=Resource(env, 1, "gpu"),
+            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
+        )
+        timeline = Timeline() if record_timeline else None
+        traffic = launch_training_processes(
+            env, spec, work, batches, self.model, handles, timeline=timeline
+        )
+        env.run()
+
+        horizon = env.now
+        compute_cpu = handles.compute_cpu
+        storage_cpu = handles.storage_cpu
+        link = handles.link
+        gpu = handles.gpu
+        analytic = EpochMetrics(
+            gpu_time_s=sum(self.model.batch_time_s(len(ids)) for ids in batches),
+            # Raw single-core seconds; EpochModel applies the CPU factors.
+            compute_cpu_s=sum(w.suffix_cpu_s for w in work.values()),
+            storage_cpu_s=sum(w.prefix_cpu_s for w in work.values() if w.split > 0),
+            traffic_bytes=sum(
+                w.wire_bytes + spec.response_overhead_bytes for w in work.values()
+            ),
+        )
+        return EpochStats(
+            epoch_time_s=horizon,
+            traffic_bytes=traffic["bytes"],
+            num_samples=len(work),
+            num_batches=len(batches),
+            offloaded_samples=sum(1 for w in work.values() if w.split > 0),
+            gpu_utilization=gpu.utilization(horizon),
+            compute_cpu_utilization=compute_cpu.utilization(horizon),
+            storage_cpu_utilization=(
+                storage_cpu.utilization(horizon) if storage_cpu is not None else 0.0
+            ),
+            link_utilization=link.utilization(horizon),
+            analytic=analytic,
+            timeline=timeline,
+        )

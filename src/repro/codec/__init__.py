@@ -1,0 +1,33 @@
+"""Toy image codec used as the synthetic stand-in for JPEG.
+
+The paper's datasets are JPEG files; SOPHON's behaviour depends on the fact
+that a compressed raw file can be either smaller or larger than the
+decoded-and-cropped uint8 pixels.  This package provides a real, lossy,
+content-dependent codec (8x8 block DCT + quality-scaled quantization + zigzag
++ DC prediction + deflate) so that encoded sizes respond to image content the
+way JPEG sizes do, without shipping binary JPEG machinery.
+
+Public API:
+
+- :class:`ToyJpegCodec` -- encode/decode uint8 RGB images.
+- :class:`CodecConfig` -- quality / subsampling knobs.
+- :func:`encoded_size` -- convenience wrapper returning only the byte count.
+"""
+
+from repro.codec.errors import CodecError, CorruptStreamError
+from repro.codec.quant import BASE_LUMA_TABLE, quality_scaled_table
+from repro.codec.zigzag import zigzag_indices, zigzag_order, inverse_zigzag
+from repro.codec.jpeg import CodecConfig, ToyJpegCodec, encoded_size
+
+__all__ = [
+    "BASE_LUMA_TABLE",
+    "CodecConfig",
+    "CodecError",
+    "CorruptStreamError",
+    "ToyJpegCodec",
+    "encoded_size",
+    "inverse_zigzag",
+    "quality_scaled_table",
+    "zigzag_indices",
+    "zigzag_order",
+]

@@ -1,0 +1,44 @@
+"""Split image planes into 8x8 blocks and back, with edge padding."""
+
+import numpy as np
+
+
+def pad_to_multiple(plane: np.ndarray, block: int = 8) -> np.ndarray:
+    """Pad a 2-D plane on the bottom/right with edge replication."""
+    h, w = plane.shape
+    pad_h = (-h) % block
+    pad_w = (-w) % block
+    if pad_h == 0 and pad_w == 0:
+        return plane
+    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def to_blocks(plane: np.ndarray, block: int = 8) -> np.ndarray:
+    """Reshape a padded (H, W) plane into (num_blocks, block, block).
+
+    Blocks are ordered row-major (left to right, top to bottom), matching
+    :func:`from_blocks`.
+    """
+    padded = pad_to_multiple(plane, block)
+    h, w = padded.shape
+    tiles = padded.reshape(h // block, block, w // block, block)
+    return tiles.transpose(0, 2, 1, 3).reshape(-1, block, block)
+
+
+def from_blocks(blocks: np.ndarray, height: int, width: int, block: int = 8) -> np.ndarray:
+    """Reassemble (num_blocks, block, block) into an (height, width) plane.
+
+    ``height``/``width`` are the *original* (unpadded) dimensions; padding
+    added by :func:`to_blocks` is cropped away.
+    """
+    padded_h = height + ((-height) % block)
+    padded_w = width + ((-width) % block)
+    rows = padded_h // block
+    cols = padded_w // block
+    if blocks.shape[0] != rows * cols:
+        raise ValueError(
+            f"expected {rows * cols} blocks for {height}x{width}, got {blocks.shape[0]}"
+        )
+    tiles = blocks.reshape(rows, cols, block, block).transpose(0, 2, 1, 3)
+    plane = tiles.reshape(padded_h, padded_w)
+    return plane[:height, :width]

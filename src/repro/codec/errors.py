@@ -1,0 +1,13 @@
+"""Codec exception hierarchy."""
+
+
+class CodecError(Exception):
+    """Base class for all codec failures."""
+
+
+class CorruptStreamError(CodecError):
+    """The byte stream does not parse as a valid encoded image."""
+
+
+class UnsupportedImageError(CodecError):
+    """The input array is not an image this codec can encode."""

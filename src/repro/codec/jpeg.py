@@ -1,0 +1,202 @@
+"""The toy JPEG-like codec: block DCT + quantization + zigzag + deflate.
+
+Encoding path (per plane): level-shift by 128, split into 8x8 blocks,
+orthonormal 2-D DCT, divide by the quality-scaled quantization table and
+round, zigzag-scan, delta-code the DC coefficients across blocks, serialize
+as little-endian int16, deflate.  Color images are converted to YCbCr with
+optional 4:2:0 chroma subsampling first.
+
+The point of this codec for the reproduction is that its output size is
+genuinely content dependent -- smooth images quantize to long zero runs and
+compress far better than textured ones -- which is exactly the property of
+real JPEG that SOPHON's per-sample decisions exploit.
+"""
+
+import dataclasses
+import struct
+import zlib
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.codec.blocks import from_blocks, to_blocks
+from repro.codec.colorspace import (
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.codec.errors import CorruptStreamError, UnsupportedImageError
+from repro.codec.quant import BASE_CHROMA_TABLE, BASE_LUMA_TABLE, quality_scaled_table
+from repro.codec.zigzag import inverse_zigzag, zigzag_order
+
+_MAGIC = b"TJPG"
+_VERSION = 1
+# magic, version, flags, quality, height, width, num_planes
+_HEADER = struct.Struct("<4sBBBIIB")
+_PLANE_HEADER = struct.Struct("<III")  # plane height, width, payload length
+
+_FLAG_SUBSAMPLE = 0x01
+_FLAG_GRAYSCALE = 0x02
+
+
+@dataclasses.dataclass(frozen=True)
+class CodecConfig:
+    """Knobs for :class:`ToyJpegCodec`.
+
+    quality: JPEG-style quality in [1, 100]; higher -> bigger, sharper.
+    subsample: apply 4:2:0 chroma subsampling (color images only).
+    zlib_level: deflate level for the entropy stage.
+    """
+
+    quality: int = 75
+    subsample: bool = True
+    zlib_level: int = 6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.quality <= 100:
+            raise ValueError(f"quality must be in [1, 100], got {self.quality}")
+        if not 0 <= self.zlib_level <= 9:
+            raise ValueError(f"zlib_level must be in [0, 9], got {self.zlib_level}")
+
+
+class ToyJpegCodec:
+    """Lossy image codec with JPEG-like structure and size behaviour."""
+
+    def __init__(self, config: CodecConfig = CodecConfig()) -> None:
+        self.config = config
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, image: np.ndarray) -> bytes:
+        """Encode an (H, W, 3) or (H, W) uint8 image to bytes."""
+        image = self._validate(image)
+        grayscale = image.ndim == 2
+        height, width = image.shape[:2]
+
+        if grayscale:
+            planes = [image.astype(np.float64)]
+            tables = [quality_scaled_table(BASE_LUMA_TABLE, self.config.quality)]
+        else:
+            ycc = rgb_to_ycbcr(image)
+            luma = ycc[..., 0]
+            cb, cr = ycc[..., 1], ycc[..., 2]
+            if self.config.subsample:
+                cb, cr = subsample_420(cb), subsample_420(cr)
+            chroma_table = quality_scaled_table(BASE_CHROMA_TABLE, self.config.quality)
+            planes = [luma, cb, cr]
+            tables = [
+                quality_scaled_table(BASE_LUMA_TABLE, self.config.quality),
+                chroma_table,
+                chroma_table,
+            ]
+
+        flags = 0
+        if grayscale:
+            flags |= _FLAG_GRAYSCALE
+        elif self.config.subsample:
+            flags |= _FLAG_SUBSAMPLE
+
+        out = [
+            _HEADER.pack(
+                _MAGIC, _VERSION, flags, self.config.quality, height, width, len(planes)
+            )
+        ]
+        for plane, table in zip(planes, tables):
+            payload = self._encode_plane(plane, table)
+            out.append(_PLANE_HEADER.pack(plane.shape[0], plane.shape[1], len(payload)))
+            out.append(payload)
+        return b"".join(out)
+
+    def _encode_plane(self, plane: np.ndarray, table: np.ndarray) -> bytes:
+        blocks = to_blocks(plane - 128.0)
+        coeffs = dctn(blocks, axes=(-2, -1), norm="ortho")
+        quantized = np.round(coeffs / table).astype(np.int16)
+        flat = zigzag_order(quantized)
+        # Delta-code the DC terms so slow brightness gradients stay small.
+        flat[:, 0] = np.diff(flat[:, 0], prepend=np.int16(0))
+        raw = flat.astype("<i2").tobytes()
+        return zlib.compress(raw, self.config.zlib_level)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes) -> np.ndarray:
+        """Decode bytes produced by :meth:`encode` back into a uint8 image."""
+        if len(data) < _HEADER.size:
+            raise CorruptStreamError("stream shorter than header")
+        magic, version, flags, quality, height, width, num_planes = _HEADER.unpack_from(
+            data
+        )
+        if magic != _MAGIC:
+            raise CorruptStreamError(f"bad magic {magic!r}")
+        if version != _VERSION:
+            raise CorruptStreamError(f"unsupported version {version}")
+        if num_planes not in (1, 3):
+            raise CorruptStreamError(f"bad plane count {num_planes}")
+
+        grayscale = bool(flags & _FLAG_GRAYSCALE)
+        subsampled = bool(flags & _FLAG_SUBSAMPLE)
+        luma_table = quality_scaled_table(BASE_LUMA_TABLE, quality)
+        chroma_table = quality_scaled_table(BASE_CHROMA_TABLE, quality)
+
+        offset = _HEADER.size
+        planes = []
+        for index in range(num_planes):
+            if offset + _PLANE_HEADER.size > len(data):
+                raise CorruptStreamError("truncated plane header")
+            p_h, p_w, p_len = _PLANE_HEADER.unpack_from(data, offset)
+            offset += _PLANE_HEADER.size
+            if offset + p_len > len(data):
+                raise CorruptStreamError("truncated plane payload")
+            table = luma_table if index == 0 else chroma_table
+            planes.append(
+                self._decode_plane(data[offset : offset + p_len], p_h, p_w, table)
+            )
+            offset += p_len
+
+        if grayscale:
+            return np.clip(np.round(planes[0]), 0, 255).astype(np.uint8)
+        luma, cb, cr = planes
+        if subsampled:
+            cb = upsample_420(cb, height, width)
+            cr = upsample_420(cr, height, width)
+        ycc = np.stack([luma, cb, cr], axis=-1)
+        return ycbcr_to_rgb(ycc)
+
+    def _decode_plane(
+        self, payload: bytes, height: int, width: int, table: np.ndarray
+    ) -> np.ndarray:
+        try:
+            raw = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise CorruptStreamError(f"deflate stream corrupt: {exc}") from exc
+        flat = np.frombuffer(raw, dtype="<i2").astype(np.int64)
+        if flat.size % 64:
+            raise CorruptStreamError(f"coefficient count {flat.size} not 64-aligned")
+        flat = flat.reshape(-1, 64)
+        flat[:, 0] = np.cumsum(flat[:, 0])
+        quantized = inverse_zigzag(flat.astype(np.float64))
+        coeffs = quantized * table
+        blocks = idctn(coeffs, axes=(-2, -1), norm="ortho") + 128.0
+        return from_blocks(blocks, height, width)
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _validate(image: np.ndarray) -> np.ndarray:
+        if not isinstance(image, np.ndarray):
+            raise UnsupportedImageError(f"expected ndarray, got {type(image).__name__}")
+        if image.dtype != np.uint8:
+            raise UnsupportedImageError(f"expected uint8 image, got {image.dtype}")
+        if image.ndim == 3 and image.shape[2] != 3:
+            raise UnsupportedImageError(f"expected 3 channels, got {image.shape[2]}")
+        if image.ndim not in (2, 3):
+            raise UnsupportedImageError(f"expected 2-D or 3-D image, got {image.ndim}-D")
+        if image.shape[0] < 1 or image.shape[1] < 1:
+            raise UnsupportedImageError(f"empty image {image.shape}")
+        return image
+
+
+def encoded_size(image: np.ndarray, config: CodecConfig = CodecConfig()) -> int:
+    """Return the encoded byte size of ``image`` under ``config``."""
+    return len(ToyJpegCodec(config).encode(image))

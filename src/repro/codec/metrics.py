@@ -1,0 +1,30 @@
+"""Image fidelity metrics for codec evaluation."""
+
+import math
+
+import numpy as np
+
+
+def mse(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {candidate.shape}"
+        )
+    diff = reference.astype(np.float64) - candidate.astype(np.float64)
+    return float((diff * diff).mean())
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical images)."""
+    error = mse(reference, candidate)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / error)
+
+
+def compression_ratio(original_bytes: int, encoded_bytes: int) -> float:
+    """original / encoded; > 1 means the codec shrank the image."""
+    if encoded_bytes <= 0:
+        raise ValueError(f"encoded_bytes must be > 0, got {encoded_bytes}")
+    return original_bytes / encoded_bytes

@@ -1,0 +1,50 @@
+"""Quantization tables and quality scaling (JPEG Annex K style)."""
+
+import numpy as np
+
+# Standard JPEG luminance quantization table (ITU-T T.81 Annex K.1).
+BASE_LUMA_TABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+# Standard JPEG chrominance quantization table (ITU-T T.81 Annex K.2).
+BASE_CHROMA_TABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quality_scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base quantization table for a quality setting in [1, 100].
+
+    Uses the libjpeg convention: quality 50 returns the base table, higher
+    qualities shrink the divisors (finer quantization, larger files), lower
+    qualities grow them.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((base * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)

@@ -1,0 +1,128 @@
+"""Online calibration of the storage node's CPU speed (section 3.1).
+
+The paper "currently assume[s] identical CPU types on compute and storage
+nodes, allowing preprocessing times profiled on the compute node to be
+used for the storage node" and defers heterogeneous CPUs to future work.
+This module closes that gap: before planning, the compute node issues a
+few offloaded probe fetches, measures each round trip, subtracts the
+network terms it can compute itself (payload size / bandwidth + RTT), and
+divides the remaining -- the remote CPU time -- by its *locally* profiled
+cost for the same prefix.  The median ratio is the storage node's speed
+factor, which the decision engine then plans against.
+"""
+
+import dataclasses
+import statistics
+from typing import List, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.data.dataset import Dataset
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.records import SampleRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeObservation:
+    """One probe fetch: what was measured and what was inferred."""
+
+    sample_id: int
+    round_trip_s: float
+    network_s: float
+    local_prefix_cost_s: float
+
+    @property
+    def remote_cpu_s(self) -> float:
+        return max(0.0, self.round_trip_s - self.network_s)
+
+    @property
+    def speed_ratio(self) -> float:
+        if self.local_prefix_cost_s <= 0:
+            return 1.0
+        return self.remote_cpu_s / self.local_prefix_cost_s
+
+
+@dataclasses.dataclass
+class CalibrationResult:
+    """Estimated storage CPU speed factor plus the raw observations."""
+
+    estimated_factor: float
+    observations: List[ProbeObservation]
+
+    def calibrated_spec(self, spec: ClusterSpec) -> ClusterSpec:
+        """The cluster spec with the estimated factor substituted in."""
+        return dataclasses.replace(spec, storage_cpu_factor=self.estimated_factor)
+
+
+class StorageSpeedProbe:
+    """Estimate the storage node's CPU speed factor from probe fetches.
+
+    probe_samples: how many samples to probe (sequential, so probe
+        round trips see no self-induced queueing).
+    split: the pipeline prefix probed (default: through RandomResizedCrop,
+        the prefix SOPHON actually offloads).
+    """
+
+    def __init__(self, probe_samples: int = 8, split: int = 2) -> None:
+        if probe_samples < 1:
+            raise ValueError(f"probe_samples must be >= 1, got {probe_samples}")
+        if split < 1:
+            raise ValueError(f"split must be >= 1 (a prefix must run remotely)")
+        self.probe_samples = probe_samples
+        self.split = split
+
+    def _pick_probe_ids(self, records: Sequence[SampleRecord]) -> List[int]:
+        # Prefer samples with meaningful prefix cost (large decodes) so the
+        # CPU term dominates measurement noise; spread across the dataset.
+        ranked = sorted(
+            records, key=lambda r: r.prefix_cost(self.split), reverse=True
+        )
+        return [r.sample_id for r in ranked[: self.probe_samples]]
+
+    def probe(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        spec: ClusterSpec,
+        records: Sequence[SampleRecord],
+        true_factor: Optional[float] = None,
+        seed: int = 0,
+    ) -> CalibrationResult:
+        """Run the probe against a simulated storage node.
+
+        true_factor: the storage node's actual speed factor (what a real
+            deployment would hide inside its hardware); defaults to the
+            spec's value.  The estimate must recover it.
+        """
+        if not spec.can_offload:
+            raise ValueError("cannot probe a cluster with no storage cores")
+        if self.split > len(pipeline):
+            raise ValueError(
+                f"split {self.split} exceeds pipeline length {len(pipeline)}"
+            )
+        factor = spec.storage_cpu_factor if true_factor is None else true_factor
+        if factor <= 0:
+            raise ValueError(f"true_factor must be > 0, got {factor}")
+
+        observations = []
+        for sample_id in self._pick_probe_ids(records):
+            record = records[sample_id]
+            local_cost = record.prefix_cost(self.split)
+            wire = record.size_at(self.split) + spec.response_overhead_bytes
+            network = spec.network_rtt_s + wire / spec.bandwidth_bytes_per_s
+            # The simulated storage node serves the probe alone: service
+            # time is its (hidden) CPU speed times the profiled cost.
+            round_trip = network + local_cost * factor
+            observations.append(
+                ProbeObservation(
+                    sample_id=sample_id,
+                    round_trip_s=round_trip,
+                    network_s=network,
+                    local_prefix_cost_s=local_cost,
+                )
+            )
+
+        ratios = [obs.speed_ratio for obs in observations]
+        return CalibrationResult(
+            estimated_factor=statistics.median(ratios),
+            observations=observations,
+        )

@@ -1,0 +1,157 @@
+"""SOPHON's decision engine (paper section 3.2).
+
+Starting from the no-offload baseline (T_Net predominant, T_CS = 0), the
+engine repeatedly selects the remaining sample with the highest offloading
+efficiency -- bytes saved per CPU-second of offloaded work -- moving that
+sample's pipeline prefix to the storage node.  Selection stops when either
+
+1. T_Net ceases to be the predominant metric, or
+2. no samples with positive efficiency remain.
+
+An optional ``never_worsen`` guard additionally skips a sample whose
+addition would *raise* the analytic epoch estimate (a prefix so expensive
+that T_CS overshoots the network time it saves); this keeps the plan
+monotone under severe storage-CPU scarcity and is ablated in the extension
+benchmarks.
+"""
+
+import dataclasses
+import logging
+from typing import Optional, Sequence
+
+from repro.cluster.epoch_model import EpochMetrics, EpochModel
+from repro.cluster.spec import ClusterSpec
+from repro.core.plan import OffloadPlan
+from repro.preprocessing.records import SampleRecord
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionConfig:
+    """Engine knobs.
+
+    never_worsen: skip samples whose offload would raise the epoch estimate.
+    epsilon_s: tolerance when comparing epoch estimates.
+    order: candidate ranking -- "efficiency" (the paper's bytes saved per
+        CPU-second), "savings" (absolute bytes saved; ignores CPU cost), or
+        "arrival" (sample-id order; no ranking at all).  The alternatives
+        exist for the Finding-#4 ablation: under storage-CPU scarcity,
+        efficiency ordering wins.
+    """
+
+    never_worsen: bool = True
+    epsilon_s: float = 1e-9
+    order: str = "efficiency"
+
+    _ORDERS = ("efficiency", "savings", "arrival")
+
+    def __post_init__(self) -> None:
+        if self.order not in self._ORDERS:
+            raise ValueError(
+                f"order must be one of {self._ORDERS}, got {self.order!r}"
+            )
+
+
+class DecisionEngine:
+    """Greedy efficiency-ordered sample selection against the epoch model."""
+
+    def __init__(self, config: DecisionConfig = DecisionConfig()) -> None:
+        self.config = config
+
+    def plan(
+        self,
+        records: Sequence[SampleRecord],
+        spec: ClusterSpec,
+        gpu_time_s: float,
+        overhead_bytes: Optional[int] = None,
+    ) -> OffloadPlan:
+        """Build the offload plan for one epoch's worth of records.
+
+        gpu_time_s: the epoch's T_G (from the stage-one GPU probe).
+        overhead_bytes: per-response protocol framing; defaults to the
+            cluster spec's value.
+        """
+        num_samples = len(records)
+        if any(r.sample_id != i for i, r in enumerate(records)):
+            raise ValueError(
+                "records must be ordered by sample id covering 0..n-1 "
+                "(as produced by the stage-two profiler)"
+            )
+        if overhead_bytes is None:
+            overhead_bytes = spec.response_overhead_bytes
+        if not spec.can_offload:
+            return OffloadPlan.no_offload(
+                num_samples, reason="storage node has no CPU cores for offloading"
+            )
+
+        model = EpochModel(spec)
+        splits = [0] * num_samples
+
+        # Baseline: everything fetched raw, all preprocessing local.
+        metrics = EpochMetrics(
+            gpu_time_s=gpu_time_s,
+            compute_cpu_s=sum(r.total_cost for r in records),
+            storage_cpu_s=0.0,
+            traffic_bytes=float(
+                sum(r.raw_size for r in records) + overhead_bytes * num_samples
+            ),
+        )
+
+        beneficial = [r for r in records if r.offload_efficiency > 0]
+        if self.config.order == "efficiency":
+            candidates = sorted(
+                beneficial, key=lambda r: r.offload_efficiency, reverse=True
+            )
+        elif self.config.order == "savings":
+            candidates = sorted(beneficial, key=lambda r: r.best_savings, reverse=True)
+        else:  # arrival order
+            candidates = sorted(beneficial, key=lambda r: r.sample_id)
+        if not candidates:
+            return OffloadPlan(
+                splits=splits,
+                reason="no samples with positive offloading efficiency",
+                expected=model.estimate(metrics),
+            )
+
+        accepted = 0
+        skipped = 0
+        reason = "exhausted candidates with positive efficiency"
+        for record in candidates:
+            estimate = model.estimate(metrics)
+            if not estimate.network_bound:
+                reason = (
+                    f"network no longer predominant (bottleneck: "
+                    f"{estimate.bottleneck.value}) after {accepted} samples"
+                )
+                break
+            split = record.min_stage
+            moved_cpu = record.prefix_cost(split)
+            # The prefix work moves from the compute node to the storage
+            # node; the sample's remaining ops still run locally.
+            trial = metrics.replace(
+                compute_cpu_s=metrics.compute_cpu_s - moved_cpu,
+                storage_cpu_s=metrics.storage_cpu_s + moved_cpu,
+                traffic_bytes=metrics.traffic_bytes - record.savings(split),
+            )
+            if self.config.never_worsen:
+                post = model.estimate(trial)
+                if post.epoch_time_s > estimate.epoch_time_s + self.config.epsilon_s:
+                    skipped += 1
+                    continue
+            splits[record.sample_id] = split
+            metrics = trial
+            accepted += 1
+
+        final = model.estimate(metrics)
+        note = f"offloaded {accepted}/{num_samples} samples"
+        if skipped:
+            note += f", skipped {skipped} (would worsen epoch estimate)"
+        logger.info(
+            "decision: %s; %s (expected epoch %.2fs, bottleneck %s)",
+            note,
+            reason,
+            final.epoch_time_s,
+            final.bottleneck.value,
+        )
+        return OffloadPlan(splits=splits, reason=f"{note}; {reason}", expected=final)

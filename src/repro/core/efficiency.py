@@ -1,0 +1,65 @@
+"""Offloading-efficiency statistics (the quantity behind Figure 1c)."""
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.preprocessing.records import SampleRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencySummary:
+    """Distribution summary of per-sample offloading efficiency.
+
+    Efficiencies are in bytes saved per CPU-second of offloaded work; a
+    value of zero means the sample is smallest in raw form and should not
+    be offloaded (the paper's 24%-at-zero population for OpenImages).
+    """
+
+    num_samples: int
+    zero_fraction: float
+    mean_nonzero: float
+    median_nonzero: float
+    p90_nonzero: float
+
+    def __str__(self) -> str:
+        return (
+            f"EfficiencySummary(n={self.num_samples}, zero={self.zero_fraction:.0%}, "
+            f"median={self.median_nonzero:.3g} B/s)"
+        )
+
+
+def efficiencies(records: Sequence[SampleRecord]) -> np.ndarray:
+    """Per-sample efficiency array, in record order."""
+    return np.array([r.offload_efficiency for r in records], dtype=np.float64)
+
+
+def efficiency_distribution(records: Sequence[SampleRecord]) -> EfficiencySummary:
+    values = efficiencies(records)
+    if len(values) == 0:
+        return EfficiencySummary(0, 0.0, 0.0, 0.0, 0.0)
+    nonzero = values[values > 0]
+    if len(nonzero) == 0:
+        return EfficiencySummary(len(values), 1.0, 0.0, 0.0, 0.0)
+    return EfficiencySummary(
+        num_samples=len(values),
+        zero_fraction=float((values == 0).mean()),
+        mean_nonzero=float(nonzero.mean()),
+        median_nonzero=float(np.median(nonzero)),
+        p90_nonzero=float(np.percentile(nonzero, 90)),
+    )
+
+
+def efficiency_cdf(
+    records: Sequence[SampleRecord], points: int = 100
+) -> List[Tuple[float, float]]:
+    """(efficiency, cumulative fraction) pairs for plotting Figure 1c."""
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    values = np.sort(efficiencies(records))
+    if len(values) == 0:
+        return []
+    quantiles = np.linspace(0.0, 1.0, points)
+    levels = np.quantile(values, quantiles)
+    return [(float(level), float(q)) for level, q in zip(levels, quantiles)]

@@ -1,0 +1,83 @@
+"""Offload plans: per-sample split points plus planning provenance."""
+
+import collections
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.epoch_model import EpochEstimate
+from repro.cluster.spec import ClusterSpec
+from repro.preprocessing.records import SampleRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadPlan:
+    """The output of a policy: how far each sample's pipeline is offloaded.
+
+    splits: index = sample id, value = number of leading ops to execute on
+        the storage node (0 = fetch raw).
+    reason: human-readable note on how/why planning stopped.
+    expected: the analytic epoch estimate the planner believed in (None for
+        trivial plans).
+    """
+
+    splits: Sequence[int]
+    reason: str = ""
+    expected: Optional[EpochEstimate] = None
+
+    def __post_init__(self) -> None:
+        if any(s < 0 for s in self.splits):
+            raise ValueError("split points must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.splits)
+
+    def split_for(self, sample_id: int) -> int:
+        return self.splits[sample_id]
+
+    @property
+    def num_offloaded(self) -> int:
+        return sum(1 for s in self.splits if s > 0)
+
+    @property
+    def offload_fraction(self) -> float:
+        if len(self.splits) == 0:
+            return 0.0
+        return self.num_offloaded / len(self.splits)
+
+    def split_histogram(self) -> Dict[int, int]:
+        """How many samples use each split point."""
+        return dict(collections.Counter(self.splits))
+
+    def clamped_for(self, spec: ClusterSpec) -> "OffloadPlan":
+        """Disable offloading when the cluster cannot do it (0 storage cores)."""
+        if spec.can_offload or self.num_offloaded == 0:
+            return self
+        return OffloadPlan(
+            splits=[0] * len(self.splits),
+            reason=f"{self.reason} [clamped: no storage cores]".strip(),
+            expected=None,
+        )
+
+    def expected_traffic_bytes(
+        self, records: Sequence[SampleRecord], overhead_bytes: int = 0
+    ) -> int:
+        """Wire bytes this plan implies, given per-sample records."""
+        if len(records) != len(self.splits):
+            raise ValueError(
+                f"records cover {len(records)} samples, plan has {len(self.splits)}"
+            )
+        return sum(
+            record.size_at(split) + overhead_bytes
+            for record, split in zip(records, self.splits)
+        )
+
+    @classmethod
+    def no_offload(cls, num_samples: int, reason: str = "no offloading") -> "OffloadPlan":
+        return cls(splits=[0] * num_samples, reason=reason)
+
+    @classmethod
+    def uniform(cls, num_samples: int, split: int, reason: str = "") -> "OffloadPlan":
+        """Every sample offloaded to the same split point."""
+        if split < 0:
+            raise ValueError(f"split must be >= 0, got {split}")
+        return cls(splits=[split] * num_samples, reason=reason)

@@ -1,0 +1,68 @@
+"""JSON persistence for plans and profile records.
+
+Stage-two profiling is a whole epoch of work; plans encode policy output.
+Persisting both lets a training job restart (or a later analysis pass)
+reuse them without re-profiling.
+"""
+
+import json
+from typing import List, Sequence
+
+from repro.core.plan import OffloadPlan
+from repro.preprocessing.records import SampleRecord
+
+_PLAN_VERSION = 1
+_RECORDS_VERSION = 1
+
+
+def plan_to_json(plan: OffloadPlan) -> str:
+    return json.dumps(
+        {
+            "version": _PLAN_VERSION,
+            "kind": "offload-plan",
+            "splits": list(plan.splits),
+            "reason": plan.reason,
+        }
+    )
+
+
+def plan_from_json(text: str) -> OffloadPlan:
+    doc = json.loads(text)
+    if doc.get("kind") != "offload-plan":
+        raise ValueError(f"not an offload plan: kind={doc.get('kind')!r}")
+    if doc.get("version") != _PLAN_VERSION:
+        raise ValueError(f"unsupported plan version {doc.get('version')}")
+    return OffloadPlan(splits=list(doc["splits"]), reason=doc.get("reason", ""))
+
+
+def records_to_json(records: Sequence[SampleRecord]) -> str:
+    return json.dumps(
+        {
+            "version": _RECORDS_VERSION,
+            "kind": "sample-records",
+            "records": [
+                {
+                    "id": r.sample_id,
+                    "sizes": list(r.stage_sizes),
+                    "costs": list(r.op_costs),
+                }
+                for r in records
+            ],
+        }
+    )
+
+
+def records_from_json(text: str) -> List[SampleRecord]:
+    doc = json.loads(text)
+    if doc.get("kind") != "sample-records":
+        raise ValueError(f"not sample records: kind={doc.get('kind')!r}")
+    if doc.get("version") != _RECORDS_VERSION:
+        raise ValueError(f"unsupported records version {doc.get('version')}")
+    return [
+        SampleRecord(
+            sample_id=entry["id"],
+            stage_sizes=tuple(entry["sizes"]),
+            op_costs=tuple(entry["costs"]),
+        )
+        for entry in doc["records"]
+    ]

@@ -1,0 +1,55 @@
+"""Datasets, samplers, and the data loader.
+
+Two fidelities behind one :class:`Dataset` interface:
+
+- :class:`SyntheticImageDataset` materializes real pixels and encodes them
+  with the toy codec; every byte is real.  Used by tests, examples, and the
+  end-to-end RPC path.
+- :class:`TraceDataset` carries per-sample (raw size, dimensions) records
+  drawn from distributions calibrated to the paper's published statistics.
+  Used for large sweeps in the discrete-event simulator.
+
+:func:`make_openimages` / :func:`make_imagenet` build trace datasets whose
+parameters are *derived from the paper's own ratios* (All-Off traffic blowup,
+fraction of samples that shrink, SOPHON's traffic reduction) -- see
+:mod:`repro.data.catalog`.
+"""
+
+from repro.data.dataset import Dataset, UnmaterializedSampleError
+from repro.data.synthetic import ImageContentConfig, SyntheticImageDataset
+from repro.data.trace import TraceDataset
+from repro.data.distributions import (
+    BimodalSizeDistribution,
+    solve_truncated_lognormal_mu,
+    truncated_lognormal_mean,
+)
+from repro.data.catalog import (
+    DatasetSpec,
+    IMAGENET_SPEC,
+    OPENIMAGES_SPEC,
+    make_imagenet,
+    make_openimages,
+)
+from repro.data.sampler import BatchSampler, RandomSampler, SequentialSampler
+from repro.data.loader import Batch, DataLoader
+
+__all__ = [
+    "Batch",
+    "BatchSampler",
+    "BimodalSizeDistribution",
+    "DataLoader",
+    "Dataset",
+    "DatasetSpec",
+    "IMAGENET_SPEC",
+    "ImageContentConfig",
+    "OPENIMAGES_SPEC",
+    "RandomSampler",
+    "SequentialSampler",
+    "SyntheticImageDataset",
+    "TraceDataset",
+    "UnmaterializedSampleError",
+    "make_imagenet",
+    "make_openimages",
+    "solve_truncated_lognormal_mu",
+    "truncated_lognormal_mean",
+]

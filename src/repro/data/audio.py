@@ -1,0 +1,129 @@
+"""Synthetic audio datasets (materialized and trace fidelities)."""
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.audio import ToyFlacCodec
+from repro.data.dataset import Dataset
+from repro.data.trace import TraceDataset
+from repro.preprocessing.payload import Payload, StageMeta
+from repro.utils.rng import derive_rng, sample_rng
+
+
+def generate_clip(
+    rng: np.random.Generator,
+    num_samples: int,
+    tonality: float = 0.7,
+    sample_rate: int = 16_000,
+) -> np.ndarray:
+    """A mono int16 clip: a few sinusoids plus noise.
+
+    tonality in [0, 1]: 1 is pure tones (compresses well), 0 is noise.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if not 0.0 <= tonality <= 1.0:
+        raise ValueError(f"tonality must be in [0, 1], got {tonality}")
+    t = np.arange(num_samples) / sample_rate
+    signal = np.zeros(num_samples)
+    for _ in range(4):
+        freq = rng.uniform(80.0, 2_000.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(0.1, 0.4)
+        signal += amp * np.sin(2 * np.pi * freq * t + phase)
+    signal = tonality * signal + (1 - tonality) * rng.standard_normal(num_samples)
+    peak = np.abs(signal).max() + 1e-9
+    return np.round(signal / peak * 0.8 * 32767).astype(np.int16)
+
+
+class SyntheticAudioDataset(Dataset):
+    """Procedural audio clips encoded with the toy FLAC codec.
+
+    Encoded-audio metas follow the convention height=1, width=N (PCM
+    sample count), so the audio ops' metadata simulation lines up.
+    """
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int = 0,
+        duration_s: Tuple[float, float] = (2.0, 12.0),
+        sample_rate: int = 16_000,
+        codec: Optional[ToyFlacCodec] = None,
+        name: str = "synthetic-audio",
+    ) -> None:
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        if not 0.05 <= duration_s[0] <= duration_s[1]:
+            raise ValueError(f"bad duration range {duration_s}")
+        self._num = num_samples
+        self._seed = seed
+        self._durations = duration_s
+        self.sample_rate = sample_rate
+        self._codec = codec if codec is not None else ToyFlacCodec()
+        self._cache: Dict[int, bytes] = {}
+        self._lengths: Dict[int, int] = {}
+        self.name = name
+
+    def __len__(self) -> int:
+        return self._num
+
+    @property
+    def is_materialized(self) -> bool:
+        return True
+
+    def _clip_length(self, sample_id: int) -> int:
+        if sample_id not in self._lengths:
+            rng = sample_rng(self._seed, sample_id, salt=11)
+            lo, hi = self._durations
+            seconds = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+            self._lengths[sample_id] = max(1, int(round(seconds * self.sample_rate)))
+        return self._lengths[sample_id]
+
+    def _encode(self, sample_id: int) -> bytes:
+        if sample_id not in self._cache:
+            rng = sample_rng(self._seed, sample_id, salt=12)
+            tonality = float(rng.uniform(0.3, 1.0))
+            clip = generate_clip(
+                rng, self._clip_length(sample_id), tonality, self.sample_rate
+            )
+            self._cache[sample_id] = self._codec.encode(clip, self.sample_rate)
+        return self._cache[sample_id]
+
+    def raw_meta(self, sample_id: int) -> StageMeta:
+        self._check_id(sample_id)
+        return StageMeta.for_encoded(
+            len(self._encode(sample_id)), 1, self._clip_length(sample_id)
+        )
+
+    def raw_payload(self, sample_id: int) -> Payload:
+        self._check_id(sample_id)
+        return Payload.encoded(
+            self._encode(sample_id), height=1, width=self._clip_length(sample_id)
+        )
+
+
+def make_audio_trace(
+    num_samples: int,
+    seed: int = 0,
+    mean_duration_s: float = 8.0,
+    sigma: float = 0.5,
+    bytes_per_pcm_sample: float = 1.3,
+    sample_rate: int = 16_000,
+    name: str = "audio-trace",
+) -> TraceDataset:
+    """Metadata-only audio dataset for large sweeps.
+
+    bytes_per_pcm_sample models the lossless codec's rate (int16 PCM is 2;
+    ~1.3 reflects mixed tonal/noisy content).
+    """
+    rng = derive_rng(seed, 0xA0D10)
+    mu = math.log(mean_duration_s) - sigma**2 / 2
+    seconds = np.exp(rng.normal(mu, sigma, size=num_samples))
+    lengths = np.maximum(1, np.round(seconds * sample_rate)).astype(np.int64)
+    raw_bytes = np.maximum(16, np.round(lengths * bytes_per_pcm_sample)).astype(np.int64)
+    return TraceDataset(
+        raw_bytes, np.ones(num_samples, dtype=np.int64), lengths, name=name
+    )

@@ -1,0 +1,138 @@
+"""Paper-calibrated dataset generators.
+
+The distribution parameters are not hand-tuned: they are *derived* from the
+ratios the paper publishes, so the synthetic datasets reproduce those ratios
+by construction and everything downstream (policy decisions, crossovers) is
+emergent:
+
+- mean raw size   <- All-Off inflates traffic by R_all = tensor_bytes / mean
+  (1.9x OpenImages, 5.1x ImageNet);
+- benefit fraction <- share of samples smaller after Decode+Crop (76% / 26%,
+  Figure 1b);
+- conditional mean below the threshold <- SOPHON's traffic reduction R_sophon
+  (2.2x / 1.2x), since SOPHON transmits min(raw, crop_bytes) per sample.
+
+Full-scale sample counts follow from the paper's subset sizes (12 GB / 11 GB);
+the default ``scale=0.1`` keeps experiments fast while preserving every
+ratio exactly (all quantities are per-sample means).
+"""
+
+import dataclasses
+from typing import Optional
+
+from repro.data.distributions import BimodalSizeDistribution, dimensions_for_sizes
+from repro.data.trace import TraceDataset
+from repro.utils.rng import derive_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Everything needed to synthesize a paper-faithful trace dataset."""
+
+    name: str
+    total_bytes: float  # the paper's subset footprint
+    alloff_traffic_ratio: float  # All-Off traffic / No-Off traffic
+    benefit_fraction: float  # P(sample shrinks during preprocessing)
+    sophon_traffic_ratio: float  # No-Off traffic / SOPHON traffic
+    crop_size: int = 224
+    channels: int = 3
+    mean_bits_per_pixel: float = 2.0
+
+    @property
+    def crop_bytes(self) -> int:
+        """Wire size of a cropped uint8 sample (the benefit threshold)."""
+        return self.crop_size * self.crop_size * self.channels
+
+    @property
+    def tensor_bytes(self) -> int:
+        """Wire size of a fully preprocessed float32 sample."""
+        return self.crop_bytes * 4
+
+    @property
+    def mean_raw_bytes(self) -> float:
+        return self.tensor_bytes / self.alloff_traffic_ratio
+
+    @property
+    def mean_below_threshold(self) -> float:
+        """Conditional mean raw size of non-benefiting samples.
+
+        Solves  mean_raw / R_sophon = p * crop_bytes + (1-p) * mean_below,
+        i.e. SOPHON ships benefit samples at crop size and the rest raw.
+        """
+        p = self.benefit_fraction
+        sophon_traffic = self.mean_raw_bytes / self.sophon_traffic_ratio
+        return (sophon_traffic - p * self.crop_bytes) / (1.0 - p)
+
+    @property
+    def mean_above_threshold(self) -> float:
+        """Conditional mean raw size of benefiting samples (from the total)."""
+        p = self.benefit_fraction
+        return (self.mean_raw_bytes - (1.0 - p) * self.mean_below_threshold) / p
+
+    @property
+    def full_scale_samples(self) -> int:
+        return int(round(self.total_bytes / self.mean_raw_bytes))
+
+    def size_distribution(self) -> BimodalSizeDistribution:
+        return BimodalSizeDistribution(
+            threshold_bytes=self.crop_bytes,
+            benefit_fraction=self.benefit_fraction,
+            mean_above=self.mean_above_threshold,
+            mean_below=self.mean_below_threshold,
+        )
+
+    def build(
+        self,
+        num_samples: Optional[int] = None,
+        scale: float = 0.1,
+        seed: int = 0,
+    ) -> TraceDataset:
+        """Synthesize the trace dataset.
+
+        ``num_samples`` overrides ``scale``; otherwise the full-scale count
+        is multiplied by ``scale``.
+        """
+        if num_samples is None:
+            if scale <= 0:
+                raise ValueError(f"scale must be > 0, got {scale}")
+            num_samples = max(1, int(round(self.full_scale_samples * scale)))
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        rng = derive_rng(seed, 0xDA7A)
+        sizes = self.size_distribution().sample(rng, num_samples)
+        heights, widths = dimensions_for_sizes(
+            rng, sizes, mean_bits_per_pixel=self.mean_bits_per_pixel
+        )
+        return TraceDataset(sizes, heights, widths, name=self.name)
+
+
+# Ratios as published in sections 2 and 4.1 of the paper.
+OPENIMAGES_SPEC = DatasetSpec(
+    name="openimages-12g",
+    total_bytes=12e9,
+    alloff_traffic_ratio=1.9,
+    benefit_fraction=0.76,
+    sophon_traffic_ratio=2.2,
+)
+
+IMAGENET_SPEC = DatasetSpec(
+    name="imagenet-11g",
+    total_bytes=11e9,
+    alloff_traffic_ratio=5.1,
+    benefit_fraction=0.26,
+    sophon_traffic_ratio=1.2,
+)
+
+
+def make_openimages(
+    num_samples: Optional[int] = None, scale: float = 0.1, seed: int = 0
+) -> TraceDataset:
+    """The 12 GB OpenImages subset stand-in (scaled by default)."""
+    return OPENIMAGES_SPEC.build(num_samples=num_samples, scale=scale, seed=seed)
+
+
+def make_imagenet(
+    num_samples: Optional[int] = None, scale: float = 0.1, seed: int = 0
+) -> TraceDataset:
+    """The 11 GB ImageNet subset stand-in (scaled by default)."""
+    return IMAGENET_SPEC.build(num_samples=num_samples, scale=scale, seed=seed)

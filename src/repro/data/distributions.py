@@ -1,0 +1,212 @@
+"""Calibrated raw-size distributions.
+
+The paper's results are driven by the dataset-level distribution of raw
+(encoded) sample sizes relative to the fixed post-crop size (224*224*3 =
+150,528 bytes): the fraction of samples larger than that threshold is the
+fraction that benefits from offloading, and the conditional means on each
+side of the threshold set every traffic ratio in Figures 3-4.
+
+We therefore model raw sizes as a *bimodal truncated-lognormal mixture*:
+with probability ``benefit_fraction`` a sample is drawn from a lognormal
+truncated to (threshold, inf), otherwise from one truncated to
+(floor, threshold].  The component means are chosen (by the catalog module)
+so the mixture reproduces the paper's published ratios exactly, and the
+truncation makes the benefit fraction exact rather than approximate.
+"""
+
+import dataclasses
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+from scipy.stats import norm
+
+
+def _gauss_mass(a: float, b: float) -> float:
+    """P(a < Z <= b) for standard normal Z, stable deep in either tail.
+
+    Uses the cdf difference in the left tail and the survival-function
+    difference in the right tail, avoiding the 1 - (1 - eps) cancellation
+    that otherwise turns tail masses into rounding noise.
+    """
+    if a > b:
+        return 0.0
+    if a >= 0:
+        return float(norm.sf(a) - norm.sf(b))
+    return float(norm.cdf(b) - norm.cdf(a))
+
+
+def truncated_lognormal_mean(
+    mu: float, sigma: float, lower: float = 0.0, upper: float = math.inf
+) -> float:
+    """Mean of a lognormal(mu, sigma) truncated to (lower, upper].
+
+    Standard closed form: E[X | a < X <= b] =
+    exp(mu + sigma^2/2) * (Phi(beta - sigma) - Phi(alpha - sigma)) /
+    (Phi(beta) - Phi(alpha)), with alpha/beta the standardized log bounds.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    alpha = -math.inf if lower <= 0 else (math.log(lower) - mu) / sigma
+    beta = math.inf if math.isinf(upper) else (math.log(upper) - mu) / sigma
+    mass = _gauss_mass(alpha, beta)
+    if mass <= 0:
+        raise ValueError("truncation interval has no probability mass")
+    numer = _gauss_mass(alpha - sigma, beta - sigma)
+    return math.exp(mu + sigma * sigma / 2.0) * numer / mass
+
+
+def solve_truncated_lognormal_mu(
+    target_mean: float,
+    sigma: float,
+    lower: float = 0.0,
+    upper: float = math.inf,
+) -> float:
+    """Find mu so the truncated lognormal has the requested mean.
+
+    The truncated mean is strictly increasing in mu, so a bracketed root
+    search always succeeds once the bracket is wide enough.
+    """
+    if target_mean <= lower:
+        raise ValueError(f"target mean {target_mean} not above lower bound {lower}")
+    if not math.isinf(upper) and target_mean >= upper:
+        raise ValueError(f"target mean {target_mean} not below upper bound {upper}")
+
+    def gap(mu: float) -> float:
+        try:
+            return truncated_lognormal_mean(mu, sigma, lower, upper) - target_mean
+        except ValueError:
+            # Probability mass underflowed: the distribution has collapsed
+            # onto one truncation bound.  Report the corresponding limit so
+            # the bracket search still sees the right sign.
+            if mu < math.log(target_mean):
+                return max(lower, 0.0) - target_mean
+            return (upper if not math.isinf(upper) else float("inf")) - target_mean
+
+    lo, hi = math.log(target_mean) - 10.0, math.log(target_mean) + 10.0
+    # Widen until bracketed; the function is monotone so this terminates.
+    for _ in range(60):
+        if gap(lo) < 0:
+            break
+        lo -= 5.0
+    for _ in range(60):
+        if gap(hi) > 0:
+            break
+        hi += 5.0
+    return brentq(gap, lo, hi, xtol=1e-10)
+
+
+def _sample_truncated_lognormal(
+    rng: np.random.Generator,
+    n: int,
+    mu: float,
+    sigma: float,
+    lower: float,
+    upper: float,
+) -> np.ndarray:
+    """Inverse-CDF sampling of a truncated lognormal (exact, no rejection).
+
+    Works in survival-function space so deep-tail truncations keep their
+    precision.
+    """
+    alpha = -math.inf if lower <= 0 else (math.log(lower) - mu) / sigma
+    beta = math.inf if math.isinf(upper) else (math.log(upper) - mu) / sigma
+    s_hi, s_lo = norm.sf(alpha), norm.sf(beta)  # sf is decreasing
+    u = rng.uniform(s_lo, s_hi, size=n)
+    return np.exp(mu + sigma * norm.isf(u))
+
+
+@dataclasses.dataclass(frozen=True)
+class BimodalSizeDistribution:
+    """Raw-size mixture: benefit (above threshold) + no-benefit (below).
+
+    threshold_bytes: the post-crop wire size (150,528 for 224x224 RGB).
+    benefit_fraction: P(raw size > threshold) -- the population that shrinks
+        during preprocessing (Figure 1b).
+    mean_above / mean_below: conditional means of each component.
+    sigma_above / sigma_below: log-space spreads.
+    floor_bytes: minimum representable sample size.
+    """
+
+    threshold_bytes: int
+    benefit_fraction: float
+    mean_above: float
+    mean_below: float
+    sigma_above: float = 0.45
+    sigma_below: float = 0.35
+    floor_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.benefit_fraction <= 1.0:
+            raise ValueError(f"benefit_fraction must be in [0, 1], got {self.benefit_fraction}")
+        if self.mean_above <= self.threshold_bytes:
+            raise ValueError("mean_above must exceed the threshold")
+        if not self.floor_bytes < self.mean_below <= self.threshold_bytes:
+            raise ValueError("mean_below must lie in (floor, threshold]")
+
+    @property
+    def mixture_mean(self) -> float:
+        p = self.benefit_fraction
+        return p * self.mean_above + (1.0 - p) * self.mean_below
+
+    def component_params(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """((mu_above, sigma_above), (mu_below, sigma_below))."""
+        mu_above = solve_truncated_lognormal_mu(
+            self.mean_above, self.sigma_above, lower=float(self.threshold_bytes)
+        )
+        mu_below = solve_truncated_lognormal_mu(
+            self.mean_below,
+            self.sigma_below,
+            lower=float(self.floor_bytes),
+            upper=float(self.threshold_bytes),
+        )
+        return (mu_above, self.sigma_above), (mu_below, self.sigma_below)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` raw sizes (int64 bytes) from the mixture."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        (mu_a, s_a), (mu_b, s_b) = self.component_params()
+        benefits = rng.random(n) < self.benefit_fraction
+        n_above = int(benefits.sum())
+        sizes = np.empty(n, dtype=np.float64)
+        sizes[benefits] = _sample_truncated_lognormal(
+            rng, n_above, mu_a, s_a, float(self.threshold_bytes), math.inf
+        )
+        sizes[~benefits] = _sample_truncated_lognormal(
+            rng, n - n_above, mu_b, s_b, float(self.floor_bytes), float(self.threshold_bytes)
+        )
+        out = np.round(sizes).astype(np.int64)
+        # Rounding at the boundary must not flip a sample across the
+        # threshold: a "benefit" draw rounded down to exactly the threshold
+        # would stop benefiting.
+        out[benefits] = np.maximum(out[benefits], self.threshold_bytes + 1)
+        out[~benefits] = np.clip(out[~benefits], self.floor_bytes, self.threshold_bytes)
+        return out
+
+
+def dimensions_for_sizes(
+    rng: np.random.Generator,
+    raw_bytes: np.ndarray,
+    mean_bits_per_pixel: float = 2.0,
+    sigma_bits_per_pixel: float = 0.25,
+    min_side: int = 64,
+    max_side: int = 8192,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Derive plausible (height, width) for encoded sizes.
+
+    Pixel counts follow from a per-sample bits-per-pixel draw (JPEG photos
+    cluster around 1-4 bpp); aspect ratios are drawn log-uniformly in
+    [3:4, 16:9].
+    """
+    n = len(raw_bytes)
+    bpp = np.exp(rng.normal(math.log(mean_bits_per_pixel), sigma_bits_per_pixel, size=n))
+    bpp = np.clip(bpp, 0.4, 8.0)
+    pixels = raw_bytes * 8.0 / bpp
+    aspect = np.exp(rng.uniform(math.log(3.0 / 4.0), math.log(16.0 / 9.0), size=n))
+    height = np.sqrt(pixels / aspect)
+    width = pixels / height
+    height = np.clip(np.round(height), min_side, max_side).astype(np.int64)
+    width = np.clip(np.round(width), min_side, max_side).astype(np.int64)
+    return height, width

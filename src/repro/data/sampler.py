@@ -1,0 +1,69 @@
+"""Samplers: the order in which sample ids are visited each epoch."""
+
+import abc
+from typing import Iterator, List
+
+from repro.utils.rng import derive_rng
+
+
+class Sampler(abc.ABC):
+    """Yields sample ids for one epoch."""
+
+    def __init__(self, num_samples: int) -> None:
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        self.num_samples = num_samples
+
+    @abc.abstractmethod
+    def epoch_order(self, epoch: int) -> List[int]:
+        """The visiting order for ``epoch``."""
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+class SequentialSampler(Sampler):
+    """Visit samples in id order (used by profiling epochs)."""
+
+    def epoch_order(self, epoch: int) -> List[int]:
+        return list(range(self.num_samples))
+
+
+class RandomSampler(Sampler):
+    """Reshuffle every epoch, deterministically in (seed, epoch)."""
+
+    def __init__(self, num_samples: int, seed: int = 0) -> None:
+        super().__init__(num_samples)
+        self.seed = seed
+
+    def epoch_order(self, epoch: int) -> List[int]:
+        rng = derive_rng(self.seed, 0x5A40, epoch)
+        order = rng.permutation(self.num_samples)
+        return [int(i) for i in order]
+
+
+class BatchSampler:
+    """Group a sampler's epoch order into fixed-size batches.
+
+    drop_last mirrors the PyTorch flag: a trailing partial batch is dropped
+    when True, yielded when False.
+    """
+
+    def __init__(self, sampler: Sampler, batch_size: int, drop_last: bool = False) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+
+    def epoch_batches(self, epoch: int) -> Iterator[List[int]]:
+        order = self.sampler.epoch_order(epoch)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if len(batch) < self.batch_size and self.drop_last:
+                return
+            yield batch
+
+    def batches_per_epoch(self) -> int:
+        n, b = len(self.sampler), self.batch_size
+        return n // b if self.drop_last else (n + b - 1) // b

@@ -1,0 +1,146 @@
+"""Materialized synthetic dataset: real pixels, real codec, real bytes.
+
+Images are procedurally generated (smooth gradients + band-limited texture +
+noise) with a per-sample "texture" knob that controls how well the sample
+compresses, so the dataset exhibits the raw-size diversity that drives
+SOPHON's per-sample decisions.  Every sample is deterministic in
+(seed, sample_id).
+"""
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.codec import CodecConfig, ToyJpegCodec
+from repro.data.dataset import Dataset
+from repro.preprocessing.payload import Payload, StageMeta
+from repro.utils.rng import sample_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class ImageContentConfig:
+    """Knobs for procedural image generation.
+
+    min_side/max_side: sampled image dimensions (log-uniform).
+    texture_range: per-sample texture intensity; 0 is a pure gradient
+        (compresses extremely well), 1 is heavy texture + noise.
+    """
+
+    min_side: int = 96
+    max_side: int = 640
+    texture_range: Tuple[float, float] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not 8 <= self.min_side <= self.max_side:
+            raise ValueError(f"bad side range [{self.min_side}, {self.max_side}]")
+        lo, hi = self.texture_range
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError(f"texture_range must be within [0, 1], got {self.texture_range}")
+
+
+def generate_image(rng: np.random.Generator, height: int, width: int, texture: float) -> np.ndarray:
+    """Generate an (H, W, 3) uint8 image with tunable compressibility."""
+    if height < 1 or width < 1:
+        raise ValueError(f"bad image size {height}x{width}")
+    if not 0.0 <= texture <= 1.0:
+        raise ValueError(f"texture must be in [0, 1], got {texture}")
+
+    ys = np.linspace(0.0, 1.0, height)[:, None]
+    xs = np.linspace(0.0, 1.0, width)[None, :]
+
+    channels = []
+    for _ in range(3):
+        # Smooth base: a random linear gradient plus one low-frequency wave.
+        gx, gy = rng.uniform(-1, 1, size=2)
+        base = 0.5 + 0.25 * (gx * xs + gy * ys)
+        fy, fx = rng.uniform(0.5, 3.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        base = base + 0.15 * np.sin(2 * np.pi * (fy * ys + fx * xs) + phase)
+
+        if texture > 0:
+            # Band-limited texture: mid-frequency sinusoid mix.
+            detail = np.zeros((height, width))
+            for _ in range(4):
+                fy, fx = rng.uniform(8.0, 40.0, size=2)
+                phase = rng.uniform(0, 2 * np.pi)
+                detail += np.sin(2 * np.pi * (fy * ys + fx * xs) + phase)
+            base = base + texture * 0.08 * detail
+            base = base + texture * 0.10 * rng.standard_normal((height, width))
+
+        channels.append(base)
+
+    stacked = np.stack(channels, axis=-1)
+    return np.clip(np.round(stacked * 255.0), 0, 255).astype(np.uint8)
+
+
+class SyntheticImageDataset(Dataset):
+    """Procedural images encoded with the toy codec.
+
+    Encoded samples are generated lazily and cached (the cache can be
+    bounded with ``cache_limit`` for very large instantiations).
+    """
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int = 0,
+        content: ImageContentConfig = ImageContentConfig(),
+        codec: Optional[ToyJpegCodec] = None,
+        name: str = "synthetic",
+        cache_limit: Optional[int] = None,
+    ) -> None:
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        self._num_samples = num_samples
+        self._seed = seed
+        self._content = content
+        self._codec = codec if codec is not None else ToyJpegCodec(CodecConfig())
+        self._cache: Dict[int, bytes] = {}
+        self._dims: Dict[int, Tuple[int, int]] = {}
+        self._cache_limit = cache_limit
+        self.name = name
+
+    def __len__(self) -> int:
+        return self._num_samples
+
+    @property
+    def is_materialized(self) -> bool:
+        return True
+
+    @property
+    def codec(self) -> ToyJpegCodec:
+        return self._codec
+
+    def _sample_dims(self, sample_id: int) -> Tuple[int, int]:
+        if sample_id not in self._dims:
+            rng = sample_rng(self._seed, sample_id, salt=1)
+            log_lo, log_hi = np.log(self._content.min_side), np.log(self._content.max_side)
+            height = int(np.round(np.exp(rng.uniform(log_lo, log_hi))))
+            width = int(np.round(np.exp(rng.uniform(log_lo, log_hi))))
+            self._dims[sample_id] = (height, width)
+        return self._dims[sample_id]
+
+    def _encode(self, sample_id: int) -> bytes:
+        if sample_id in self._cache:
+            return self._cache[sample_id]
+        height, width = self._sample_dims(sample_id)
+        rng = sample_rng(self._seed, sample_id, salt=2)
+        lo, hi = self._content.texture_range
+        texture = float(rng.uniform(lo, hi))
+        image = generate_image(rng, height, width, texture)
+        encoded = self._codec.encode(image)
+        if self._cache_limit is not None and len(self._cache) >= self._cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[sample_id] = encoded
+        return encoded
+
+    def raw_meta(self, sample_id: int) -> StageMeta:
+        self._check_id(sample_id)
+        height, width = self._sample_dims(sample_id)
+        return StageMeta.for_encoded(len(self._encode(sample_id)), height, width)
+
+    def raw_payload(self, sample_id: int) -> Payload:
+        self._check_id(sample_id)
+        height, width = self._sample_dims(sample_id)
+        return Payload.encoded(self._encode(sample_id), height=height, width=width)

@@ -1,0 +1,36 @@
+"""Experiment harness: run policies, regenerate every table and figure.
+
+Each ``figN_*`` module produces the data behind one of the paper's
+exhibits and renders it as a text table; the benchmark suite under
+``benchmarks/`` calls these and asserts the paper's qualitative shape
+(who wins, by what factor, where crossovers fall).
+"""
+
+from repro.harness.runner import (
+    DEFAULT_POLICY_SET,
+    ExperimentResult,
+    compare_policies,
+    run_experiment,
+)
+from repro.harness.table1 import capability_matrix, render_capability_matrix
+from repro.harness.fig1 import (
+    minstage_fractions,
+    gpu_utilization_by_model,
+    size_trace,
+)
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.harness.fig4 import limited_cpu_sweep
+
+__all__ = [
+    "DEFAULT_POLICY_SET",
+    "ExperimentResult",
+    "ample_cpu_comparison",
+    "capability_matrix",
+    "compare_policies",
+    "gpu_utilization_by_model",
+    "limited_cpu_sweep",
+    "minstage_fractions",
+    "render_capability_matrix",
+    "run_experiment",
+    "size_trace",
+]

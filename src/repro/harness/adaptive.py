@@ -1,0 +1,147 @@
+"""Adaptive re-planning when the cluster changes mid-job.
+
+The paper plans once, after the first epoch.  Real clusters drift: another
+tenant grabs the storage node's cores, or the egress cap changes.  A plan
+tuned for 48 storage cores can be actively *harmful* on 1 core (its T_CS
+explodes past the No-Off epoch).  :class:`AdaptiveTrainingRun` re-plans
+whenever the cluster spec changes between epochs, reusing the cached
+stage-two records, so the job reacts at the cost of a cheap analytic pass
+-- no re-profiling.
+"""
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.trainer import EpochStats, TrainerSim
+from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.plan import OffloadPlan
+from repro.core.policy import PolicyContext
+from repro.data.dataset import Dataset
+from repro.preprocessing.pipeline import Pipeline, standard_pipeline
+from repro.workloads.models import ModelProfile, get_model_profile
+
+
+@dataclasses.dataclass
+class AdaptiveEpoch:
+    """One epoch of an adaptive run."""
+
+    epoch: int
+    spec: ClusterSpec
+    plan: OffloadPlan
+    stats: EpochStats
+    replanned: bool
+
+
+@dataclasses.dataclass
+class AdaptiveRunResult:
+    epochs: List[AdaptiveEpoch]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(e.stats.epoch_time_s for e in self.epochs)
+
+    @property
+    def replan_count(self) -> int:
+        return sum(1 for e in self.epochs if e.replanned)
+
+    def epoch_times(self) -> List[float]:
+        return [e.stats.epoch_time_s for e in self.epochs]
+
+
+class AdaptiveTrainingRun:
+    """Train under a changing cluster, re-planning on every spec change.
+
+    spec_schedule: maps epoch index -> the ClusterSpec in force from that
+        epoch on (epoch 0's spec defaults to ``base_spec``).
+    adaptive: when False, the epoch-1 plan is kept (clamped if offloading
+        becomes impossible) -- the static strawman the adaptive run is
+        compared against.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        base_spec: ClusterSpec,
+        spec_schedule: Optional[Dict[int, ClusterSpec]] = None,
+        model: Optional[ModelProfile] = None,
+        pipeline: Optional[Pipeline] = None,
+        decision: DecisionConfig = DecisionConfig(),
+        batch_size: Optional[int] = None,
+        adaptive: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.base_spec = base_spec
+        self.spec_schedule = dict(spec_schedule or {})
+        self.model = model if model is not None else get_model_profile("alexnet")
+        self.pipeline = pipeline if pipeline is not None else standard_pipeline()
+        self.engine = DecisionEngine(decision)
+        self.batch_size = batch_size
+        self.adaptive = adaptive
+        self.seed = seed
+
+    def _plan_for(self, spec: ClusterSpec, context: PolicyContext) -> OffloadPlan:
+        if not spec.can_offload:
+            return OffloadPlan.no_offload(len(self.dataset), reason="no storage cores")
+        return self.engine.plan(
+            context.records(), spec, gpu_time_s=context.epoch_gpu_time_s
+        )
+
+    def run(self, epochs: int) -> AdaptiveRunResult:
+        if epochs < 2:
+            raise ValueError(f"need >= 2 epochs (1 profiles), got {epochs}")
+        context = PolicyContext(
+            dataset=self.dataset,
+            pipeline=self.pipeline,
+            spec=self.base_spec,
+            model=self.model,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+
+        results: List[AdaptiveEpoch] = []
+        current_spec = self.spec_schedule.get(0, self.base_spec)
+        plan: Optional[OffloadPlan] = None
+
+        for epoch in range(epochs):
+            new_spec = self.spec_schedule.get(epoch, current_spec)
+            spec_changed = new_spec != current_spec
+            current_spec = new_spec
+            replanned = False
+
+            if epoch == 0:
+                # Profiling epoch: unoffloaded by construction.
+                epoch_plan = OffloadPlan.no_offload(
+                    len(self.dataset), reason="profiling epoch"
+                )
+            elif plan is None:
+                plan = self._plan_for(current_spec, context)
+                epoch_plan = plan
+                replanned = True
+            elif spec_changed and self.adaptive:
+                plan = self._plan_for(current_spec, context)
+                epoch_plan = plan
+                replanned = True
+            else:
+                epoch_plan = plan.clamped_for(current_spec)
+
+            trainer = TrainerSim(
+                dataset=self.dataset,
+                pipeline=self.pipeline,
+                model=self.model,
+                spec=current_spec,
+                batch_size=context.effective_batch_size,
+                seed=self.seed,
+            )
+            stats = trainer.run_epoch(list(epoch_plan.splits), epoch=epoch)
+            results.append(
+                AdaptiveEpoch(
+                    epoch=epoch,
+                    spec=current_spec,
+                    plan=epoch_plan,
+                    stats=stats,
+                    replanned=replanned,
+                )
+            )
+        return AdaptiveRunResult(epochs=results)

@@ -1,0 +1,90 @@
+"""CSV export of figure data (for external plotting tools).
+
+Each writer mirrors one regenerator's output as tidy CSV: one row per
+(policy, configuration) measurement, columns in stable order.
+"""
+
+import csv
+import io
+from typing import Sequence
+
+from repro.harness.fig3 import PolicyComparison
+from repro.harness.fig4 import CoreSweep
+
+
+def comparison_to_csv(comparison: PolicyComparison) -> str:
+    """Figure-3 style comparison as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "dataset",
+            "policy",
+            "epoch_time_s",
+            "traffic_bytes",
+            "traffic_vs_nooff",
+            "gpu_utilization",
+            "offloaded_samples",
+        ]
+    )
+    base = comparison.by_policy()["no-off"].traffic_bytes
+    for result in comparison.results:
+        writer.writerow(
+            [
+                comparison.dataset_name,
+                result.policy_name,
+                f"{result.epoch_time_s:.6f}",
+                result.traffic_bytes,
+                f"{result.traffic_bytes / base:.6f}",
+                f"{result.gpu_utilization:.6f}",
+                result.plan.num_offloaded,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def sweep_to_csv(sweep: CoreSweep) -> str:
+    """Figure-4 style core sweep as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "dataset",
+            "storage_cores",
+            "policy",
+            "epoch_time_s",
+            "traffic_bytes",
+            "offloaded_samples",
+        ]
+    )
+    for cores in sweep.cores:
+        for policy, result in sweep.results[cores].items():
+            writer.writerow(
+                [
+                    sweep.dataset_name,
+                    cores,
+                    policy,
+                    f"{result.epoch_time_s:.6f}",
+                    result.traffic_bytes,
+                    result.plan.num_offloaded,
+                ]
+            )
+    return buffer.getvalue()
+
+
+def series_to_csv(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Generic tidy-CSV writer for ad-hoc series."""
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError("every row must match the header length")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(header))
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(text: str, path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

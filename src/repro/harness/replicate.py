@@ -1,0 +1,50 @@
+"""Multi-seed replication: mean/spread of any scalar experiment metric."""
+
+import dataclasses
+import math
+from typing import Callable, List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across seeds."""
+
+    values: tuple
+    seeds: tuple
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean; 0 for perfectly stable metrics."""
+        if self.mean == 0:
+            return 0.0
+        return (max(self.values) - min(self.values)) / abs(self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={len(self.values)})"
+
+
+def replicate(
+    metric_fn: Callable[[int], float], seeds: Sequence[int]
+) -> Replication:
+    """Evaluate ``metric_fn(seed)`` for every seed and summarize.
+
+    metric_fn must be a pure function of the seed (dataset synthesis,
+    augmentation draws, and sampler order all key off it).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: List[float] = [float(metric_fn(seed)) for seed in seeds]
+    return Replication(values=tuple(values), seeds=tuple(seeds))

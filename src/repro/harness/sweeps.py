@@ -1,0 +1,109 @@
+"""Generic grid sweeps over cluster parameters.
+
+Figure 4 sweeps storage cores; the extension benches sweep bandwidth and
+CPU factors.  This module generalizes the pattern: a cartesian grid over
+any :class:`ClusterSpec` fields, every policy re-planned at every point,
+results in tidy rows exportable as CSV.
+"""
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.policy import Policy
+from repro.data.dataset import Dataset
+from repro.harness.export import series_to_csv
+from repro.harness.runner import ExperimentResult, compare_policies
+from repro.utils.tables import render_table
+
+_SPEC_FIELDS = {field.name for field in dataclasses.fields(ClusterSpec)}
+
+
+def spec_grid(
+    base: ClusterSpec, axes: Dict[str, Sequence]
+) -> Iterator[Tuple[Dict[str, object], ClusterSpec]]:
+    """Yield (point, spec) for the cartesian product of the axes.
+
+    axes: maps ClusterSpec field names to the values to sweep.
+    """
+    for name in axes:
+        if name not in _SPEC_FIELDS:
+            raise ValueError(
+                f"{name!r} is not a ClusterSpec field; options: {sorted(_SPEC_FIELDS)}"
+            )
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        point = dict(zip(names, combo))
+        yield point, dataclasses.replace(base, **point)
+
+
+@dataclasses.dataclass
+class SweepRow:
+    """One (grid point, policy) measurement."""
+
+    point: Dict[str, object]
+    result: ExperimentResult
+
+    @property
+    def policy(self) -> str:
+        return self.result.policy_name
+
+
+@dataclasses.dataclass
+class SweepTable:
+    """All rows of a grid sweep, with render/CSV helpers."""
+
+    axes: List[str]
+    rows: List[SweepRow]
+
+    def filter(self, policy: str) -> List[SweepRow]:
+        return [row for row in self.rows if row.policy == policy]
+
+    def render(self) -> str:
+        header = tuple(self.axes) + ("policy", "epoch_s", "traffic_mb", "offloaded")
+        body = [
+            tuple(row.point[a] for a in self.axes)
+            + (
+                row.policy,
+                f"{row.result.epoch_time_s:.2f}",
+                f"{row.result.traffic_bytes / 1e6:.1f}",
+                row.result.plan.num_offloaded,
+            )
+            for row in self.rows
+        ]
+        return render_table(header, body)
+
+    def to_csv(self) -> str:
+        header = list(self.axes) + [
+            "policy", "epoch_time_s", "traffic_bytes", "offloaded_samples",
+        ]
+        body = [
+            [row.point[a] for a in self.axes]
+            + [
+                row.policy,
+                f"{row.result.epoch_time_s:.6f}",
+                row.result.traffic_bytes,
+                row.result.plan.num_offloaded,
+            ]
+            for row in self.rows
+        ]
+        return series_to_csv(header, body)
+
+
+def grid_sweep(
+    dataset: Dataset,
+    base_spec: ClusterSpec,
+    axes: Dict[str, Sequence],
+    policies: Optional[Sequence[Policy]] = None,
+    seed: int = 0,
+    batch_size: Optional[int] = None,
+) -> SweepTable:
+    """Run every policy at every grid point (policies re-plan per point)."""
+    rows: List[SweepRow] = []
+    for point, spec in spec_grid(base_spec, axes):
+        results = compare_policies(
+            dataset, spec, policies=policies, seed=seed, batch_size=batch_size
+        )
+        rows.extend(SweepRow(point=dict(point), result=r) for r in results)
+    return SweepTable(axes=list(axes), rows=rows)

@@ -1,0 +1,113 @@
+"""Multi-epoch training runs with on-the-fly profiling (paper section 3.1).
+
+The paper's profiling discipline: "we proceed with the first training
+epoch without offloading any preprocessing tasks and collect essential
+per-sample metrics" -- so profiling costs nothing beyond training epoch 1
+at No-Off speed, and the plan pays off over the remaining epochs ("a
+typical training job spans over 50 epochs").  :class:`TrainingRun` plays
+that out: epoch 0 runs unoffloaded (the profiling epoch), the policy plans
+from epoch-0 records, and every later epoch runs under the plan.
+"""
+
+import dataclasses
+from typing import List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.trainer import EpochStats, TrainerSim
+from repro.core.plan import OffloadPlan
+from repro.core.policy import Policy, PolicyContext
+from repro.data.dataset import Dataset
+from repro.preprocessing.pipeline import Pipeline, standard_pipeline
+from repro.workloads.models import ModelProfile, get_model_profile
+
+
+@dataclasses.dataclass
+class TrainingRunResult:
+    """Outcome of a multi-epoch run."""
+
+    policy_name: str
+    plan: OffloadPlan
+    per_epoch: List[EpochStats]
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.per_epoch)
+
+    @property
+    def profile_epoch_time_s(self) -> float:
+        """Epoch 0: the unoffloaded profiling epoch."""
+        return self.per_epoch[0].epoch_time_s
+
+    @property
+    def steady_epoch_time_s(self) -> float:
+        """A post-plan epoch (the last one)."""
+        return self.per_epoch[-1].epoch_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(stats.epoch_time_s for stats in self.per_epoch)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(stats.traffic_bytes for stats in self.per_epoch)
+
+    def speedup_over(self, baseline: "TrainingRunResult") -> float:
+        """End-to-end job speedup vs another run of equal epoch count."""
+        if baseline.num_epochs != self.num_epochs:
+            raise ValueError(
+                f"epoch counts differ: {self.num_epochs} vs {baseline.num_epochs}"
+            )
+        return baseline.total_time_s / self.total_time_s
+
+
+class TrainingRun:
+    """Drive a full training job: profile on epoch 0, plan, then train."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        policy: Policy,
+        spec: ClusterSpec,
+        model: Optional[ModelProfile] = None,
+        pipeline: Optional[Pipeline] = None,
+        batch_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.policy = policy
+        self.spec = spec
+        self.model = model if model is not None else get_model_profile("alexnet")
+        self.pipeline = pipeline if pipeline is not None else standard_pipeline()
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def run(self, epochs: int) -> TrainingRunResult:
+        """Simulate ``epochs`` epochs (>= 2: one to profile, rest planned)."""
+        if epochs < 2:
+            raise ValueError(f"need >= 2 epochs (1 profiles), got {epochs}")
+
+        context = PolicyContext(
+            dataset=self.dataset,
+            pipeline=self.pipeline,
+            spec=self.spec,
+            model=self.model,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        trainer = TrainerSim(
+            dataset=self.dataset,
+            pipeline=self.pipeline,
+            model=self.model,
+            spec=self.spec,
+            batch_size=context.effective_batch_size,
+            seed=self.seed,
+        )
+
+        per_epoch = [trainer.run_epoch(splits=None, epoch=0)]  # profiling epoch
+        plan = self.policy.plan(context).clamped_for(self.spec)
+        for epoch in range(1, epochs):
+            per_epoch.append(trainer.run_epoch(list(plan.splits), epoch=epoch))
+
+        return TrainingRunResult(
+            policy_name=self.policy.name, plan=plan, per_epoch=per_epoch
+        )

@@ -1,0 +1,66 @@
+"""Export epoch timelines as Chrome trace-event JSON.
+
+Load the output in ``chrome://tracing`` (or Perfetto) to see each batch's
+input-pipeline and GPU phases on a timeline -- the visual version of the
+stall breakdown.  Uses the Trace Event "X" (complete event) records, with
+one row for the input pipeline and one for the GPU.
+"""
+
+import json
+from typing import Dict, List
+
+from repro.metrics.timeline import Timeline
+
+_MICRO = 1_000_000  # trace events use microseconds
+
+_PIPELINE_TID = 0
+_GPU_TID = 1
+
+
+def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dict]:
+    """Per-batch complete events: input-pipeline span + GPU span.
+
+    The input span for batch i runs from the previous batch's ready time
+    to batch i's ready time (approximating continuous pipeline work); the
+    GPU span is exact.
+    """
+    timeline.validate()
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": f"{job} (virtual time)"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": _PIPELINE_TID,
+         "args": {"name": "input pipeline"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": _GPU_TID,
+         "args": {"name": "gpu"}},
+    ]
+    previous_ready = 0.0
+    for trace in timeline.batches:
+        events.append(
+            {
+                "name": f"batch {trace.index} input",
+                "ph": "X",
+                "pid": 0,
+                "tid": _PIPELINE_TID,
+                "ts": int(previous_ready * _MICRO),
+                "dur": max(0, int((trace.ready_at - previous_ready) * _MICRO)),
+            }
+        )
+        events.append(
+            {
+                "name": f"batch {trace.index} gpu",
+                "ph": "X",
+                "pid": 0,
+                "tid": _GPU_TID,
+                "ts": int(trace.gpu_start * _MICRO),
+                "dur": max(0, int(trace.gpu_time_s * _MICRO)),
+            }
+        )
+        previous_ready = trace.ready_at
+    return events
+
+
+def write_chrome_trace(timeline: Timeline, path: str, job: str = "train") -> None:
+    """Write a ``chrome://tracing``-loadable JSON file."""
+    document = {"traceEvents": timeline_to_trace_events(timeline, job=job)}
+    with open(path, "w") as handle:
+        json.dump(document, handle)

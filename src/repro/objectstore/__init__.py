@@ -1,0 +1,51 @@
+"""Near-storage object store with compute-on-read (section 5 substrate).
+
+The paper's deployment story rests on storage services that can run user
+code next to the data: "Ceph enables near-storage data processing through
+dynamic object interfaces [and] Amazon S3 Object Lambda allows users to
+submit custom data processing code that is executed automatically before
+data is returned."  This package is that substrate:
+
+- :class:`ObjectStore` / :class:`Bucket` -- an in-memory object store with
+  puts, gets, range reads, listing, and per-bucket statistics;
+- :class:`LambdaRegistry` -- named compute-on-read transforms executed by
+  the store before data leaves it (the S3 Object Lambda analogue);
+- :class:`ObjectBackedDataset` -- a Dataset view over a bucket, so the
+  whole SOPHON stack (server, loader, simulator) can run against the
+  store;
+- :class:`PreprocessingLambda` -- the offload directive as an object
+  lambda: ops 1..split executed by the store on GET.
+"""
+
+from repro.objectstore.store import (
+    Bucket,
+    BucketStats,
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ObjectMeta,
+    ObjectStore,
+    ObjectStoreError,
+)
+from repro.objectstore.lambdas import (
+    LambdaError,
+    LambdaRegistry,
+    PreprocessingLambda,
+)
+from repro.objectstore.dataset import ObjectBackedDataset, upload_dataset
+from repro.objectstore.fetcher import ObjectLambdaFetcher
+
+__all__ = [
+    "Bucket",
+    "BucketStats",
+    "LambdaError",
+    "LambdaRegistry",
+    "NoSuchBucketError",
+    "NoSuchKeyError",
+    "ObjectBackedDataset",
+    "ObjectLambdaFetcher",
+    "ObjectMeta",
+    "ObjectStore",
+    "ObjectStoreError",
+    "PreprocessingLambda",
+    "upload_dataset",
+]

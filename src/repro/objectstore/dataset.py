@@ -1,0 +1,82 @@
+"""Dataset view over an object-store bucket.
+
+``upload_dataset`` pushes a materialized dataset into a bucket (one object
+per sample, with decoded dimensions in object metadata);
+``ObjectBackedDataset`` exposes the bucket back through the standard
+Dataset interface, so the whole SOPHON stack -- profilers, servers,
+loaders, simulator -- runs unchanged against the store.
+"""
+
+from typing import Optional
+
+from repro.data.dataset import Dataset
+from repro.objectstore.store import Bucket
+from repro.preprocessing.payload import Payload, StageMeta
+
+
+def sample_key(sample_id: int) -> str:
+    """The bucket key for one sample (zero-padded for sane listings)."""
+    if sample_id < 0:
+        raise ValueError(f"sample_id must be >= 0, got {sample_id}")
+    return f"samples/{sample_id:08d}"
+
+
+def upload_dataset(dataset: Dataset, bucket: Bucket) -> int:
+    """Copy a materialized dataset into ``bucket``; returns bytes written."""
+    if not dataset.is_materialized:
+        raise ValueError("only materialized datasets can be uploaded")
+    written = 0
+    for sid in dataset.sample_ids():
+        payload = dataset.raw_payload(sid)
+        meta = dataset.raw_meta(sid)
+        bucket.put(
+            sample_key(sid),
+            payload.data,
+            metadata={"height": str(meta.height), "width": str(meta.width)},
+        )
+        written += payload.nbytes
+    return written
+
+
+class ObjectBackedDataset(Dataset):
+    """Samples served from an object-store bucket."""
+
+    def __init__(self, bucket: Bucket, name: Optional[str] = None) -> None:
+        self.bucket = bucket
+        self.name = name if name is not None else f"bucket:{bucket.name}"
+        self._keys = bucket.keys(prefix="samples/")
+        if not all(
+            key == sample_key(index) for index, key in enumerate(self._keys)
+        ):
+            raise ValueError(
+                f"bucket {bucket.name!r} does not hold a contiguous sample "
+                "range under samples/"
+            )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def is_materialized(self) -> bool:
+        return True
+
+    def _dims(self, sample_id: int) -> tuple:
+        meta = self.bucket.head(self._keys[sample_id]).metadata_dict()
+        try:
+            return int(meta["height"]), int(meta["width"])
+        except KeyError as exc:
+            raise ValueError(
+                f"object {self._keys[sample_id]} lacks dimension metadata"
+            ) from exc
+
+    def raw_meta(self, sample_id: int) -> StageMeta:
+        self._check_id(sample_id)
+        height, width = self._dims(sample_id)
+        size = self.bucket.head(self._keys[sample_id]).size
+        return StageMeta.for_encoded(size, height, width)
+
+    def raw_payload(self, sample_id: int) -> Payload:
+        self._check_id(sample_id)
+        height, width = self._dims(sample_id)
+        data = self.bucket.get(self._keys[sample_id])
+        return Payload.encoded(data, height=height, width=width)

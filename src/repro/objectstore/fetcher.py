@@ -1,0 +1,46 @@
+"""Loader-compatible fetcher over the object store's lambda interface.
+
+Completes the S3-Object-Lambda deployment path: the DataLoader fetches
+through :class:`LambdaRegistry.get_through`, with each sample's offload
+directive passed as lambda arguments -- no RPC server involved.
+"""
+
+from repro.objectstore.dataset import sample_key
+from repro.objectstore.lambdas import LambdaRegistry, PreprocessingLambda
+from repro.preprocessing.payload import Payload
+from repro.rpc.messages import FetchResponse
+
+
+class ObjectLambdaFetcher:
+    """Fetch samples by invoking the preprocessing lambda on GET."""
+
+    def __init__(self, registry: LambdaRegistry) -> None:
+        if PreprocessingLambda.NAME not in registry.names():
+            raise ValueError(
+                f"registry has no {PreprocessingLambda.NAME!r} lambda; "
+                "install a PreprocessingLambda first"
+            )
+        self.registry = registry
+        self.response_bytes = 0
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        key = sample_key(sample_id)
+        meta = self.registry.bucket.head(key).metadata_dict()
+        wire = self.registry.get_through(
+            key,
+            PreprocessingLambda.NAME,
+            {
+                "sample_id": sample_id,
+                "epoch": epoch,
+                "split": split,
+                "height": int(meta["height"]),
+                "width": int(meta["width"]),
+            },
+        )
+        self.response_bytes += len(wire)
+        return FetchResponse.from_bytes(wire).to_payload()
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Bytes that left the storage cluster (post-lambda)."""
+        return self.response_bytes

@@ -1,0 +1,113 @@
+"""Compute-on-read: object lambdas executed by the store before return.
+
+The S3 Object Lambda analogue: a named transform registered with the
+store, invoked at GET time with the raw object bytes and caller-supplied
+arguments, returning the bytes that actually leave the storage cluster.
+SOPHON's offload directive is exactly such a transform
+(:class:`PreprocessingLambda`): run ops 1..split, serialize the result.
+"""
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+from repro.objectstore.store import Bucket
+from repro.preprocessing.payload import Payload
+from repro.preprocessing.pipeline import Pipeline
+from repro.rpc.messages import FetchRequest, FetchResponse
+
+
+class LambdaError(Exception):
+    """An object lambda failed or was misused."""
+
+
+LambdaFn = Callable[[bytes, Dict[str, object]], bytes]
+
+
+class LambdaRegistry:
+    """Named compute-on-read transforms over a bucket."""
+
+    def __init__(self, bucket: Bucket) -> None:
+        self.bucket = bucket
+        self._lambdas: Dict[str, LambdaFn] = {}
+        self.invocations: Dict[str, int] = {}
+
+    def register(self, name: str, fn: LambdaFn) -> None:
+        if not name:
+            raise ValueError("lambda name must be non-empty")
+        if name in self._lambdas:
+            raise LambdaError(f"lambda {name!r} already registered")
+        self._lambdas[name] = fn
+
+    def unregister(self, name: str) -> None:
+        if name not in self._lambdas:
+            raise LambdaError(f"no lambda named {name!r}")
+        del self._lambdas[name]
+
+    def names(self) -> list:
+        return sorted(self._lambdas)
+
+    def get_through(
+        self, key: str, lambda_name: Optional[str], args: Optional[Dict[str, object]] = None
+    ) -> bytes:
+        """GET an object, transformed by the named lambda (None = raw)."""
+        raw = self.bucket.get(key)
+        if lambda_name is None:
+            return raw
+        if lambda_name not in self._lambdas:
+            raise LambdaError(f"no lambda named {lambda_name!r}")
+        self.invocations[lambda_name] = self.invocations.get(lambda_name, 0) + 1
+        try:
+            result = self._lambdas[lambda_name](raw, dict(args or {}))
+        except LambdaError:
+            raise
+        except Exception as exc:
+            raise LambdaError(f"lambda {lambda_name!r} failed: {exc}") from exc
+        if not isinstance(result, (bytes, bytearray)):
+            raise LambdaError(
+                f"lambda {lambda_name!r} returned {type(result).__name__}, expected bytes"
+            )
+        return bytes(result)
+
+
+@dataclasses.dataclass
+class PreprocessingLambda:
+    """SOPHON's offload directive as an object lambda.
+
+    Executes ops 1..``split`` of ``pipeline`` on the stored bytes and
+    returns a serialized :class:`FetchResponse` -- the same wire format the
+    RPC server produces, so the client-side deserialization is shared.
+
+    Arguments at invocation time (the GET's ``args``): ``sample_id``,
+    ``epoch``, ``split``, ``height``, ``width``.
+    """
+
+    pipeline: Pipeline
+    seed: int = 0
+
+    #: Registry name used by :func:`install`.
+    NAME = "sophon-preprocess"
+
+    def __call__(self, raw: bytes, args: Dict[str, object]) -> bytes:
+        try:
+            sample_id = int(args["sample_id"])
+            epoch = int(args["epoch"])
+            split = int(args["split"])
+            height = int(args["height"])
+            width = int(args["width"])
+        except KeyError as exc:
+            raise LambdaError(f"missing lambda argument {exc}") from exc
+        if not 0 <= split <= len(self.pipeline):
+            raise LambdaError(
+                f"split {split} out of range for {len(self.pipeline)}-op pipeline"
+            )
+        payload = Payload.encoded(raw, height=height, width=width)
+        if split > 0:
+            run = self.pipeline.run(
+                payload, seed=self.seed, epoch=epoch, sample_id=sample_id, stop=split
+            )
+            payload = run.payload
+        request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
+        return FetchResponse.from_payload(request, payload, height, width).to_bytes()
+
+    def install(self, registry: LambdaRegistry) -> None:
+        registry.register(self.NAME, self)

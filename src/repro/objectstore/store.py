@@ -1,0 +1,150 @@
+"""An in-memory object store: buckets, keys, range reads, stats."""
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+
+class ObjectStoreError(Exception):
+    """Base class for object-store failures."""
+
+
+class NoSuchBucketError(ObjectStoreError):
+    """The named bucket does not exist."""
+
+
+class NoSuchKeyError(ObjectStoreError):
+    """The named key does not exist in the bucket."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectMeta:
+    """Metadata of one stored object."""
+
+    key: str
+    size: int
+    etag: str
+    user_metadata: Tuple[Tuple[str, str], ...] = ()
+
+    def metadata_dict(self) -> Dict[str, str]:
+        return dict(self.user_metadata)
+
+
+@dataclasses.dataclass
+class BucketStats:
+    """Traffic counters per bucket."""
+
+    puts: int = 0
+    gets: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+def _etag(data: bytes) -> str:
+    """A cheap content fingerprint (not cryptographic)."""
+    import zlib
+
+    return f"{zlib.crc32(data):08x}-{len(data)}"
+
+
+class Bucket:
+    """A flat namespace of byte objects."""
+
+    def __init__(self, name: str) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"bad bucket name {name!r}")
+        self.name = name
+        self._objects: Dict[str, bytes] = {}
+        self._metas: Dict[str, ObjectMeta] = {}
+        self.stats = BucketStats()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def put(self, key: str, data: bytes, metadata: Optional[Dict[str, str]] = None) -> ObjectMeta:
+        """Store (or overwrite) an object."""
+        if not key:
+            raise ValueError("object key must be non-empty")
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"object data must be bytes, got {type(data).__name__}")
+        data = bytes(data)
+        meta = ObjectMeta(
+            key=key,
+            size=len(data),
+            etag=_etag(data),
+            user_metadata=tuple(sorted((metadata or {}).items())),
+        )
+        self._objects[key] = data
+        self._metas[key] = meta
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        return meta
+
+    def get(self, key: str, byte_range: Optional[Tuple[int, int]] = None) -> bytes:
+        """Read an object, optionally a [start, end) byte range."""
+        if key not in self._objects:
+            raise NoSuchKeyError(f"{self.name}/{key}")
+        data = self._objects[key]
+        if byte_range is not None:
+            start, end = byte_range
+            if not 0 <= start <= end <= len(data):
+                raise ValueError(
+                    f"range [{start}, {end}) invalid for {len(data)}-byte object"
+                )
+            data = data[start:end]
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def head(self, key: str) -> ObjectMeta:
+        """Metadata without reading the body (no read traffic counted)."""
+        if key not in self._metas:
+            raise NoSuchKeyError(f"{self.name}/{key}")
+        return self._metas[key]
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise NoSuchKeyError(f"{self.name}/{key}")
+        del self._objects[key]
+        del self._metas[key]
+
+    def keys(self, prefix: str = "") -> List[str]:
+        """Sorted keys, optionally filtered by prefix."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._objects.values())
+
+
+class ObjectStore:
+    """A collection of buckets (one storage cluster)."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, Bucket] = {}
+
+    def create_bucket(self, name: str) -> Bucket:
+        if name in self._buckets:
+            raise ObjectStoreError(f"bucket {name!r} already exists")
+        bucket = Bucket(name)
+        self._buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise NoSuchBucketError(name) from None
+
+    def delete_bucket(self, name: str, force: bool = False) -> None:
+        bucket = self.bucket(name)
+        if len(bucket) and not force:
+            raise ObjectStoreError(f"bucket {name!r} not empty (use force=True)")
+        del self._buckets[name]
+
+    def buckets(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buckets

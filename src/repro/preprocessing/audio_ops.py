@@ -1,0 +1,187 @@
+"""Audio preprocessing pipeline: decode -> mel spectrogram -> normalize.
+
+The paper's intro motivates DL across "computer vision, natural language
+processing, and audio processing"; this module gives the framework its
+audio domain.  The size algebra is the interesting part: decoding inflates
+a compressed stream into float PCM (4 bytes/sample), but the mel
+spectrogram *shrinks* it dramatically (n_mels values per hop of input),
+so the minimum-size stage sits after feature extraction -- audio workloads
+offload the whole feature front-end, and SOPHON discovers that from the
+same per-sample records it uses for images.
+
+Payload conventions: PCM travels as a (1, 1, N) float32 tensor,
+spectrograms as (1, n_mels, frames).
+"""
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.codec.audio import ToyFlacCodec
+from repro.preprocessing.cost_model import CostModel, OpCost
+from repro.preprocessing.ops import Op, Params
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+from repro.preprocessing.pipeline import Pipeline
+
+
+class DecodeAudio(Op):
+    """Compressed stream -> float32 PCM in [-1, 1], shape (1, 1, N)."""
+
+    input_kind = PayloadKind.ENCODED
+    output_kind = PayloadKind.TENSOR_F32
+
+    def __init__(self, codec: Optional[ToyFlacCodec] = None) -> None:
+        self.codec = codec if codec is not None else ToyFlacCodec()
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        pcm, _ = self.codec.decode(payload.data)
+        samples = (pcm.astype(np.float32) / 32768.0).reshape(1, 1, -1)
+        return Payload.tensor(np.ascontiguousarray(samples))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        # Convention: an encoded audio meta carries height=1, width=N.
+        return StageMeta.for_tensor(1, meta.width, channels=1)
+
+    def work_pixels(self, in_meta, out_meta, params) -> Tuple[int, int]:
+        return 0, out_meta.width
+
+
+class MelSpectrogram(Op):
+    """Framed STFT magnitudes through a triangular mel filterbank (log)."""
+
+    input_kind = PayloadKind.TENSOR_F32
+    output_kind = PayloadKind.TENSOR_F32
+
+    def __init__(
+        self,
+        n_fft: int = 1024,
+        hop: int = 512,
+        n_mels: int = 64,
+        sample_rate: int = 16_000,
+    ) -> None:
+        if n_fft < 8 or not (n_fft & (n_fft - 1)) == 0:
+            raise ValueError(f"n_fft must be a power of two >= 8, got {n_fft}")
+        if not 1 <= hop <= n_fft:
+            raise ValueError(f"hop must be in [1, n_fft], got {hop}")
+        if n_mels < 1:
+            raise ValueError(f"n_mels must be >= 1, got {n_mels}")
+        self.n_fft = n_fft
+        self.hop = hop
+        self.n_mels = n_mels
+        self.sample_rate = sample_rate
+        self._window = np.hanning(n_fft).astype(np.float32)
+        self._filterbank = self._mel_filterbank()
+
+    @staticmethod
+    def _hz_to_mel(hz: float) -> float:
+        return 2595.0 * math.log10(1.0 + hz / 700.0)
+
+    @staticmethod
+    def _mel_to_hz(mel: float) -> float:
+        return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+
+    def _mel_filterbank(self) -> np.ndarray:
+        bins = self.n_fft // 2 + 1
+        nyquist = self.sample_rate / 2.0
+        mel_points = np.linspace(
+            self._hz_to_mel(0.0), self._hz_to_mel(nyquist), self.n_mels + 2
+        )
+        hz_points = np.array([self._mel_to_hz(m) for m in mel_points])
+        bin_points = np.floor((self.n_fft + 1) * hz_points / self.sample_rate).astype(int)
+        bin_points = np.clip(bin_points, 0, bins - 1)
+        bank = np.zeros((self.n_mels, bins), dtype=np.float32)
+        for m in range(1, self.n_mels + 1):
+            left, center, right = bin_points[m - 1 : m + 2]
+            center = max(center, left + 1)
+            right = max(right, center + 1)
+            bank[m - 1, left:center] = (
+                np.arange(left, center) - left
+            ) / (center - left)
+            bank[m - 1, center:right] = (right - np.arange(center, right)) / (
+                right - center
+            )
+        return bank
+
+    def num_frames(self, num_samples: int) -> int:
+        if num_samples < self.n_fft:
+            return 1
+        return 1 + (num_samples - self.n_fft) // self.hop
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        signal = payload.data.reshape(-1)
+        if len(signal) < self.n_fft:
+            signal = np.pad(signal, (0, self.n_fft - len(signal)))
+        frames = self.num_frames(len(signal))
+        strided = np.stack(
+            [signal[i * self.hop : i * self.hop + self.n_fft] for i in range(frames)]
+        )
+        spectrum = np.fft.rfft(strided * self._window, axis=1)
+        power = (spectrum.real**2 + spectrum.imag**2).astype(np.float32)
+        mel = power @ self._filterbank.T
+        features = np.log1p(mel).T.astype(np.float32)  # (n_mels, frames)
+        return Payload.tensor(np.ascontiguousarray(features[None, :, :]))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        frames = self.num_frames(meta.width)
+        return StageMeta.for_tensor(self.n_mels, frames, channels=1)
+
+    def work_pixels(self, in_meta, out_meta, params) -> Tuple[int, int]:
+        # FFT cost scales with input samples; filterbank with output cells.
+        return in_meta.width, out_meta.pixels
+
+    def __repr__(self) -> str:
+        return f"MelSpectrogram(n_fft={self.n_fft}, hop={self.hop}, n_mels={self.n_mels})"
+
+
+class NormalizeSpectrogram(Op):
+    """Per-mel-bin standardization over time."""
+
+    input_kind = PayloadKind.TENSOR_F32
+    output_kind = PayloadKind.TENSOR_F32
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        features = payload.data
+        mean = features.mean(axis=-1, keepdims=True)
+        std = features.std(axis=-1, keepdims=True) + 1e-6
+        return Payload.tensor(((features - mean) / std).astype(np.float32))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        return StageMeta.for_tensor(meta.height, meta.width, meta.channels)
+
+
+#: Cost entries for the audio ops (ns per sample / output cell).
+AUDIO_OP_COSTS = {
+    "DecodeAudio": OpCost(fixed_ns=20_000.0, ns_per_output_pixel=4.0),
+    "MelSpectrogram": OpCost(
+        fixed_ns=30_000.0, ns_per_input_pixel=25.0, ns_per_output_pixel=2.0
+    ),
+    "NormalizeSpectrogram": OpCost(fixed_ns=5_000.0, ns_per_output_pixel=3.0),
+}
+
+
+def audio_cost_model(base: Optional[CostModel] = None) -> CostModel:
+    base = base if base is not None else CostModel()
+    table = dict(base.op_costs)
+    table.update(AUDIO_OP_COSTS)
+    return CostModel(table, base.cpu_speed_factor)
+
+
+def audio_pipeline(
+    n_fft: int = 1024,
+    hop: int = 512,
+    n_mels: int = 64,
+    codec: Optional[ToyFlacCodec] = None,
+) -> Pipeline:
+    """Decode -> MelSpectrogram -> NormalizeSpectrogram."""
+    return Pipeline(
+        [
+            DecodeAudio(codec),
+            MelSpectrogram(n_fft=n_fft, hop=hop, n_mels=n_mels),
+            NormalizeSpectrogram(),
+        ],
+        cost_model=audio_cost_model(),
+    )

@@ -1,0 +1,199 @@
+"""Additional torchvision-style ops beyond the paper's five.
+
+These extend the op library toward the paper's future work ("a wider
+variety of DL training workloads"): the deterministic resize/center-crop
+pair of the standard ImageNet *validation* transform, plus common photo
+augmentations.  Every op follows the same contract as the core five: a
+real ``apply`` over pixels and an exactly-agreeing metadata ``simulate``.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.preprocessing.cost_model import CostModel, OpCost
+from repro.preprocessing.ops import Decode, Normalize, Op, Params, ToTensor
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.resize import resize_bilinear
+
+
+class Resize(Op):
+    """Scale so the shorter side equals ``size`` (aspect preserved)."""
+
+    input_kind = PayloadKind.IMAGE_U8
+    output_kind = PayloadKind.IMAGE_U8
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def output_dims(self, height: int, width: int) -> Tuple[int, int]:
+        if height <= width:
+            return self.size, max(1, int(round(width * self.size / height)))
+        return max(1, int(round(height * self.size / width))), self.size
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        h, w = payload.data.shape[:2]
+        out_h, out_w = self.output_dims(h, w)
+        return Payload.image(resize_bilinear(payload.data, out_h, out_w))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        out_h, out_w = self.output_dims(meta.height, meta.width)
+        return StageMeta.for_image(out_h, out_w, meta.channels)
+
+    def __repr__(self) -> str:
+        return f"Resize(size={self.size})"
+
+
+class CenterCrop(Op):
+    """Crop the central ``size`` x ``size`` region (pad if smaller)."""
+
+    input_kind = PayloadKind.IMAGE_U8
+    output_kind = PayloadKind.IMAGE_U8
+
+    def __init__(self, size: int = 224) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        image = payload.data
+        h, w = image.shape[:2]
+        if h < self.size or w < self.size:
+            pad_h = max(0, self.size - h)
+            pad_w = max(0, self.size - w)
+            image = np.pad(
+                image,
+                (
+                    (pad_h // 2, pad_h - pad_h // 2),
+                    (pad_w // 2, pad_w - pad_w // 2),
+                    (0, 0),
+                ),
+            )
+            h, w = image.shape[:2]
+        top = (h - self.size) // 2
+        left = (w - self.size) // 2
+        region = image[top : top + self.size, left : left + self.size]
+        return Payload.image(np.ascontiguousarray(region))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        return StageMeta.for_image(self.size, self.size, meta.channels)
+
+    def __repr__(self) -> str:
+        return f"CenterCrop(size={self.size})"
+
+
+class ColorJitter(Op):
+    """Random brightness/contrast scaling (a common photometric aug)."""
+
+    input_kind = PayloadKind.IMAGE_U8
+    output_kind = PayloadKind.IMAGE_U8
+
+    def __init__(self, brightness: float = 0.4, contrast: float = 0.4) -> None:
+        if not 0.0 <= brightness < 1.0 or not 0.0 <= contrast < 1.0:
+            raise ValueError(
+                f"brightness/contrast must be in [0, 1), got {brightness}/{contrast}"
+            )
+        self.brightness = brightness
+        self.contrast = contrast
+
+    def draw_params(self, rng: np.random.Generator, in_meta: StageMeta) -> Params:
+        return {
+            "brightness": float(
+                rng.uniform(1 - self.brightness, 1 + self.brightness)
+            ),
+            "contrast": float(rng.uniform(1 - self.contrast, 1 + self.contrast)),
+        }
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        pixels = payload.data.astype(np.float64)
+        pixels = pixels * params["brightness"]
+        mean = pixels.mean()
+        pixels = (pixels - mean) * params["contrast"] + mean
+        return Payload.image(np.clip(np.round(pixels), 0, 255).astype(np.uint8))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        return StageMeta.for_image(meta.height, meta.width, meta.channels)
+
+
+class RandomGrayscale(Op):
+    """Replace all channels by luma with probability ``p`` (stays 3ch)."""
+
+    input_kind = PayloadKind.IMAGE_U8
+    output_kind = PayloadKind.IMAGE_U8
+
+    def __init__(self, p: float = 0.1) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def draw_params(self, rng: np.random.Generator, in_meta: StageMeta) -> Params:
+        return {"grayscale": bool(rng.random() < self.p)}
+
+    def apply(self, payload: Payload, params: Params) -> Payload:
+        self._check_input(payload.kind)
+        if not params["grayscale"]:
+            return Payload.image(payload.data)
+        weights = np.array([0.299, 0.587, 0.114])
+        luma = np.clip(np.round(payload.data @ weights), 0, 255).astype(np.uint8)
+        return Payload.image(np.repeat(luma[..., None], 3, axis=-1))
+
+    def simulate(self, meta: StageMeta, params: Params) -> StageMeta:
+        return StageMeta.for_image(meta.height, meta.width, meta.channels)
+
+    def work_pixels(self, in_meta, out_meta, params):
+        return 0, out_meta.pixels if params.get("grayscale") else 0
+
+
+# Cost entries for the extra ops (same affine shape as the core table).
+EXTRA_OP_COSTS = {
+    "Resize": OpCost(fixed_ns=10_000.0, ns_per_input_pixel=3.0, ns_per_output_pixel=10.0),
+    "CenterCrop": OpCost(fixed_ns=5_000.0, ns_per_output_pixel=1.0),
+    "ColorJitter": OpCost(fixed_ns=8_000.0, ns_per_output_pixel=6.0),
+    "RandomGrayscale": OpCost(fixed_ns=5_000.0, ns_per_output_pixel=3.0),
+}
+
+
+def cost_model_with_extras(base: CostModel = None) -> CostModel:
+    """A cost model covering the core five plus the extra ops."""
+    base = base if base is not None else CostModel()
+    table = dict(base.op_costs)
+    table.update(EXTRA_OP_COSTS)
+    return CostModel(table, base.cpu_speed_factor)
+
+
+def validation_pipeline(
+    resize: int = 256, crop: int = 224, codec=None
+) -> Pipeline:
+    """The PyTorch ImageNet example's *evaluation* transform.
+
+    Deterministic (no random augmentation), which makes every sample's
+    stage sizes epoch-invariant -- SOPHON's machinery applies unchanged.
+    """
+    return Pipeline(
+        [Decode(codec), Resize(resize), CenterCrop(crop), ToTensor(), Normalize()],
+        cost_model=cost_model_with_extras(),
+    )
+
+
+def augmented_training_pipeline(crop_size: int = 224, codec=None) -> Pipeline:
+    """A heavier training pipeline with photometric augmentations."""
+    from repro.preprocessing.ops import RandomHorizontalFlip, RandomResizedCrop
+
+    return Pipeline(
+        [
+            Decode(codec),
+            RandomResizedCrop(size=crop_size),
+            RandomHorizontalFlip(),
+            ColorJitter(),
+            RandomGrayscale(),
+            ToTensor(),
+            Normalize(),
+        ],
+        cost_model=cost_model_with_extras(),
+    )

@@ -1,0 +1,120 @@
+"""Payload containers flowing through the preprocessing pipeline.
+
+A :class:`Payload` is what an op consumes/produces: encoded bytes, a uint8
+image, or a float32 tensor.  A :class:`StageMeta` is the metadata shadow of a
+payload -- just enough (kind, dimensions, byte size) to compute wire sizes
+and CPU costs without materializing pixels.  Ops implement both a real
+``apply`` over payloads and a pure ``simulate`` over metas, and tests assert
+the two agree.
+"""
+
+import dataclasses
+import enum
+from typing import Optional, Union
+
+import numpy as np
+
+
+class PayloadKind(enum.Enum):
+    """The representation a sample is in at a given pipeline stage."""
+
+    ENCODED = "encoded"  # compressed bytes as stored (raw JPEG in the paper)
+    IMAGE_U8 = "image_u8"  # decoded uint8 HxWx3 pixels
+    TENSOR_F32 = "tensor_f32"  # float32 CxHxW tensor
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Bytes per scalar value for array kinds (1 for encoded streams)."""
+        return 4 if self is PayloadKind.TENSOR_F32 else 1
+
+
+@dataclasses.dataclass(frozen=True)
+class StageMeta:
+    """Metadata shadow of a payload: enough to size and cost it.
+
+    nbytes: serialized size of the payload at this stage.
+    height/width: spatial dimensions (None while still encoded-only traces
+        lack them -- but all datasets in this repo record dimensions).
+    """
+
+    kind: PayloadKind
+    nbytes: int
+    height: int
+    width: int
+    channels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.height < 1 or self.width < 1:
+            raise ValueError(f"bad dimensions {self.height}x{self.width}")
+
+    @property
+    def pixels(self) -> int:
+        """Pixel count (spatial only, excludes channels)."""
+        return self.height * self.width
+
+    @classmethod
+    def for_encoded(cls, nbytes: int, height: int, width: int) -> "StageMeta":
+        return cls(PayloadKind.ENCODED, nbytes, height, width)
+
+    @classmethod
+    def for_image(cls, height: int, width: int, channels: int = 3) -> "StageMeta":
+        return cls(PayloadKind.IMAGE_U8, height * width * channels, height, width, channels)
+
+    @classmethod
+    def for_tensor(cls, height: int, width: int, channels: int = 3) -> "StageMeta":
+        return cls(
+            PayloadKind.TENSOR_F32, height * width * channels * 4, height, width, channels
+        )
+
+
+@dataclasses.dataclass
+class Payload:
+    """A sample's data at some pipeline stage.
+
+    ``data`` is bytes for ENCODED, an (H, W, C) uint8 array for IMAGE_U8, or
+    a (C, H, W) float32 array for TENSOR_F32.
+    """
+
+    kind: PayloadKind
+    data: Union[bytes, np.ndarray]
+
+    @classmethod
+    def encoded(cls, data: bytes, height: Optional[int] = None, width: Optional[int] = None) -> "Payload":
+        payload = cls(PayloadKind.ENCODED, data)
+        payload._hint_height = height  # decoded dims, when known up front
+        payload._hint_width = width
+        return payload
+
+    @classmethod
+    def image(cls, array: np.ndarray) -> "Payload":
+        if array.dtype != np.uint8 or array.ndim != 3:
+            raise ValueError(f"image payload must be (H, W, C) uint8, got {array.dtype} {array.shape}")
+        return cls(PayloadKind.IMAGE_U8, array)
+
+    @classmethod
+    def tensor(cls, array: np.ndarray) -> "Payload":
+        if array.dtype != np.float32 or array.ndim != 3:
+            raise ValueError(f"tensor payload must be (C, H, W) float32, got {array.dtype} {array.shape}")
+        return cls(PayloadKind.TENSOR_F32, array)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized payload size in bytes (what crosses the wire)."""
+        if self.kind is PayloadKind.ENCODED:
+            return len(self.data)
+        return int(self.data.nbytes)
+
+    @property
+    def meta(self) -> StageMeta:
+        """The metadata shadow of this payload."""
+        if self.kind is PayloadKind.ENCODED:
+            height = getattr(self, "_hint_height", None) or 1
+            width = getattr(self, "_hint_width", None) or 1
+            return StageMeta.for_encoded(self.nbytes, height, width)
+        if self.kind is PayloadKind.IMAGE_U8:
+            h, w, c = self.data.shape
+            return StageMeta.for_image(h, w, c)
+        c, h, w = self.data.shape
+        return StageMeta.for_tensor(h, w, c)

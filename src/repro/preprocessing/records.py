@@ -1,0 +1,136 @@
+"""Per-sample profile records: the currency of SOPHON's decision engine.
+
+A :class:`SampleRecord` captures what the stage-two profiler learns about
+one sample: its serialized size at every pipeline stage and the CPU cost of
+every op.  From it we derive the sample's best split point, the traffic
+saved by offloading to that split, and the paper's *offloading efficiency*
+(bytes saved per CPU-second of offloaded work).
+"""
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.preprocessing.cost_model import CostModel
+from repro.preprocessing.payload import StageMeta
+from repro.preprocessing.pipeline import Pipeline
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleRecord:
+    """Stage sizes and op costs for one sample.
+
+    stage_sizes: length n_ops + 1; entry 0 is the raw encoded size, entry k
+        the serialized size after op k.
+    op_costs: length n_ops; single-core seconds for op k (1-based -> index
+        k-1).
+    """
+
+    sample_id: int
+    stage_sizes: Tuple[int, ...]
+    op_costs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.stage_sizes) != len(self.op_costs) + 1:
+            raise ValueError(
+                f"stage_sizes must have one more entry than op_costs "
+                f"({len(self.stage_sizes)} vs {len(self.op_costs)})"
+            )
+        if any(s < 0 for s in self.stage_sizes):
+            raise ValueError(f"negative stage size in {self.stage_sizes}")
+        if any(c < 0 for c in self.op_costs):
+            raise ValueError(f"negative op cost in {self.op_costs}")
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def raw_size(self) -> int:
+        return self.stage_sizes[0]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.op_costs)
+
+    @property
+    def min_stage(self) -> int:
+        """The stage (split point) at which this sample is smallest.
+
+        Ties break toward the earliest stage: equal size for less offloaded
+        CPU work is strictly better.
+        """
+        sizes = self.stage_sizes
+        return min(range(len(sizes)), key=lambda k: (sizes[k], k))
+
+    @property
+    def min_size(self) -> int:
+        return self.stage_sizes[self.min_stage]
+
+    def size_at(self, split: int) -> int:
+        """Wire size when ops 1..split run remotely (0 = raw)."""
+        return self.stage_sizes[split]
+
+    # -- costs -------------------------------------------------------------
+
+    def prefix_cost(self, split: int) -> float:
+        """Single-core CPU seconds for ops 1..split."""
+        if not 0 <= split <= self.num_ops:
+            raise ValueError(f"bad split {split} for {self.num_ops}-op record")
+        return sum(self.op_costs[:split])
+
+    def suffix_cost(self, split: int) -> float:
+        """Single-core CPU seconds for ops split+1..n."""
+        if not 0 <= split <= self.num_ops:
+            raise ValueError(f"bad split {split} for {self.num_ops}-op record")
+        return sum(self.op_costs[split:])
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.op_costs)
+
+    # -- offloading value ---------------------------------------------------
+
+    def savings(self, split: int) -> int:
+        """Bytes kept off the wire by offloading to ``split``."""
+        return self.raw_size - self.size_at(split)
+
+    @property
+    def best_savings(self) -> int:
+        return self.savings(self.min_stage)
+
+    @property
+    def offload_efficiency(self) -> float:
+        """Paper section 3.2: size reduction / preprocessing time.
+
+        Zero when the sample is smallest in raw form (no offload is
+        worthwhile), matching the 24%-at-ratio-0 population of Figure 1c.
+        """
+        split = self.min_stage
+        if split == 0:
+            return 0.0
+        cost = self.prefix_cost(split)
+        if cost <= 0.0:
+            # A free size reduction; rank it above everything costed.
+            return float("inf")
+        return self.savings(split) / cost
+
+
+def build_record(
+    pipeline: Pipeline,
+    raw_meta: StageMeta,
+    sample_id: int,
+    *,
+    seed: int,
+    epoch: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> SampleRecord:
+    """Profile one sample through ``pipeline`` (metadata simulation)."""
+    run = pipeline.simulate(
+        raw_meta, seed=seed, epoch=epoch, sample_id=sample_id, cost_model=cost_model
+    )
+    sizes = (raw_meta.nbytes,) + tuple(s.out_meta.nbytes for s in run.stages)
+    costs = tuple(s.cost_s for s in run.stages)
+    return SampleRecord(sample_id=sample_id, stage_sizes=sizes, op_costs=costs)
+
+
+def best_split(records: Sequence[SampleRecord]) -> List[int]:
+    """The per-sample best split point for a collection of records."""
+    return [r.min_stage for r in records]

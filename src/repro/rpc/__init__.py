@@ -1,0 +1,34 @@
+"""The data-fetch wire protocol between compute and storage nodes.
+
+The paper uses gRPC; here the transport is an in-process channel, but the
+*protocol* is real: requests and responses are serialized to bytes, offload
+directives ride on each fetch request (Figure 2d), the storage server
+executes the requested pipeline prefix (Figure 2e), and every byte crossing
+the channel is counted.  Traffic numbers on the materialized path come from
+these actual message lengths.
+"""
+
+from repro.rpc.messages import (
+    REQUEST_HEADER_SIZE,
+    RESPONSE_HEADER_SIZE,
+    FetchRequest,
+    FetchResponse,
+    ProtocolError,
+    response_wire_size,
+)
+from repro.rpc.channel import ChannelStats, InMemoryChannel
+from repro.rpc.server import StorageServer
+from repro.rpc.client import StorageClient
+
+__all__ = [
+    "ChannelStats",
+    "FetchRequest",
+    "FetchResponse",
+    "InMemoryChannel",
+    "ProtocolError",
+    "REQUEST_HEADER_SIZE",
+    "RESPONSE_HEADER_SIZE",
+    "StorageClient",
+    "StorageServer",
+    "response_wire_size",
+]

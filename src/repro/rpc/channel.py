@@ -1,0 +1,55 @@
+"""In-process transport with byte accounting (the gRPC channel stand-in)."""
+
+import dataclasses
+from typing import Callable, Optional
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Bytes and calls that crossed the channel."""
+
+    calls: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.request_bytes = 0
+        self.response_bytes = 0
+
+
+class InMemoryChannel:
+    """Carries serialized messages to a handler and counts every byte.
+
+    ``fault`` (if set) is invoked with each request's bytes before delivery
+    and may raise -- used by fault-injection tests to model transport
+    errors.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        fault: Optional[Callable[[bytes], None]] = None,
+    ) -> None:
+        self._handler = handler
+        self._fault = fault
+        self.stats = ChannelStats()
+
+    def call(self, request_bytes: bytes) -> bytes:
+        if not isinstance(request_bytes, (bytes, bytearray)):
+            raise TypeError(
+                f"channel carries bytes, got {type(request_bytes).__name__}"
+            )
+        if self._fault is not None:
+            self._fault(bytes(request_bytes))
+        self.stats.calls += 1
+        self.stats.request_bytes += len(request_bytes)
+        response = self._handler(bytes(request_bytes))
+        if not isinstance(response, (bytes, bytearray)):
+            raise TypeError(f"handler returned {type(response).__name__}, expected bytes")
+        self.stats.response_bytes += len(response)
+        return bytes(response)

@@ -1,0 +1,31 @@
+"""The compute-node client of the storage server."""
+
+from repro.preprocessing.payload import Payload
+from repro.rpc.channel import InMemoryChannel
+from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+
+
+class StorageClient:
+    """Fetch samples through a channel; satisfies the loader's Fetcher."""
+
+    def __init__(self, channel: InMemoryChannel) -> None:
+        self.channel = channel
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        """Fetch a sample with ops 1..split applied remotely."""
+        request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
+        response = FetchResponse.from_bytes(self.channel.call(request.to_bytes()))
+        if response.sample_id != sample_id:
+            raise ProtocolError(
+                f"response for sample {response.sample_id}, expected {sample_id}"
+            )
+        if response.split != split:
+            raise ProtocolError(
+                f"server applied split {response.split}, requested {split}"
+            )
+        return response.to_payload()
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Storage -> compute bytes observed so far (the paper's metric)."""
+        return self.channel.stats.response_bytes

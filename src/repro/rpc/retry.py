@@ -1,0 +1,57 @@
+"""Bounded-retry wrapper around the storage client.
+
+Fetches cross a network; transient transport failures (connection resets,
+timeouts) should be retried a bounded number of times before the data
+loader gives up.  Protocol errors are *not* retryable: a malformed
+response will be malformed again.
+"""
+
+import dataclasses
+from typing import Tuple, Type
+
+from repro.preprocessing.payload import Payload
+
+
+class FetchFailedError(Exception):
+    """All retry attempts were exhausted; the cause is chained."""
+
+
+@dataclasses.dataclass
+class RetryStats:
+    """Attempt accounting across the client's lifetime."""
+
+    fetches: int = 0
+    retries: int = 0
+    failures: int = 0
+
+
+class RetryingClient:
+    """Wraps any fetcher with bounded retries on transient errors."""
+
+    def __init__(
+        self,
+        inner,
+        max_attempts: int = 3,
+        retryable: Tuple[Type[BaseException], ...] = (ConnectionError, TimeoutError),
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.retryable = retryable
+        self.stats = RetryStats()
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        self.stats.fetches += 1
+        last_error = None
+        for attempt in range(self.max_attempts):
+            try:
+                return self.inner.fetch(sample_id, epoch, split)
+            except self.retryable as exc:
+                last_error = exc
+                if attempt + 1 < self.max_attempts:
+                    self.stats.retries += 1
+        self.stats.failures += 1
+        raise FetchFailedError(
+            f"sample {sample_id} failed after {self.max_attempts} attempts"
+        ) from last_error

@@ -1,0 +1,149 @@
+"""Real TCP transport for the fetch protocol (localhost two-node mode).
+
+The in-memory channel is the default transport; this module provides an
+actual socket path -- a threaded TCP server wrapping a
+:class:`~repro.rpc.server.StorageServer` and a client that speaks the same
+length-prefixed framing -- so the "two nodes" of the paper's testbed can
+be two processes (or just two sockets) for real.
+
+Framing: every message (request or response) is preceded by a u32 length,
+little-endian.  One TCP connection carries many sequential fetches.
+"""
+
+import socket
+import struct
+import threading
+from typing import Callable, Optional
+
+from repro.preprocessing.payload import Payload
+from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+
+_LENGTH = struct.Struct("<I")
+_MAX_MESSAGE = 512 * 1024 * 1024  # sanity cap, not a protocol limit
+
+
+def _send_message(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    while count > 0:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            return None  # peer closed
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_message(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_MESSAGE:
+        raise ProtocolError(f"message of {length} bytes exceeds sanity cap")
+    return _recv_exact(sock, length)
+
+
+class TcpStorageServer:
+    """Serves a request handler over TCP, one thread per connection.
+
+    Use as a context manager::
+
+        with TcpStorageServer(server.handle) as tcp:
+            client = TcpStorageClient(tcp.address)
+    """
+
+    def __init__(self, handler: Callable[[bytes], bytes], host: str = "127.0.0.1") -> None:
+        self._handler = handler
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._threads = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self.requests_served = 0
+
+    def start(self) -> "TcpStorageServer":
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    request = _recv_message(conn)
+                except (OSError, ProtocolError):
+                    return
+                if request is None:
+                    return
+                try:
+                    response = self._handler(request)
+                except Exception as exc:  # report, don't kill the connection
+                    response = b"ERR!" + str(exc).encode("utf-8", "replace")
+                try:
+                    _send_message(conn, response)
+                except OSError:
+                    return
+                self.requests_served += 1
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        if self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TcpStorageServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TcpStorageClient:
+    """Fetch samples over a TCP connection; satisfies the Fetcher protocol."""
+
+    def __init__(self, address) -> None:
+        self._sock = socket.create_connection(address, timeout=10.0)
+        self.traffic_bytes = 0  # response payload bytes received
+        self._lock = threading.Lock()
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
+        with self._lock:
+            _send_message(self._sock, request.to_bytes())
+            wire = _recv_message(self._sock)
+        if wire is None:
+            raise ConnectionError("server closed the connection")
+        if wire.startswith(b"ERR!"):
+            raise ProtocolError(wire[4:].decode("utf-8", "replace"))
+        self.traffic_bytes += len(wire)
+        response = FetchResponse.from_bytes(wire)
+        if response.sample_id != sample_id or response.split != split:
+            raise ProtocolError("response does not match the request")
+        return response.to_payload()
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "TcpStorageClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,17 @@
+"""Multi-tenant storage-CPU scheduling (paper section 6 extension).
+
+GPU clusters run many training jobs against one storage cluster; the
+storage node's preprocessing cores are a shared, scarce resource.  The
+scheduler allocates integer core counts across jobs to minimize the
+cluster-level objective, re-planning each job's SOPHON offload strategy at
+its candidate allocation (the marginal value of a core to a job is exactly
+the epoch-time reduction its decision engine can realize with it).
+"""
+
+from repro.scheduler.multitenant import (
+    Allocation,
+    GreedyCoreScheduler,
+    TenantJob,
+)
+
+__all__ = ["Allocation", "GreedyCoreScheduler", "TenantJob"]

@@ -1,0 +1,22 @@
+"""A small real-learning substrate for the section-3.3 accuracy claim.
+
+The paper rejects preprocess-once-and-reuse because "random augmentations,
+typically applied during online preprocessing, are crucial for DL training
+accuracy".  This package makes that claim measurable without a deep-
+learning framework: a numpy softmax-regression classifier, a labeled
+procedural image dataset, and a controlled study comparing training with
+fresh per-epoch augmentations (what SOPHON preserves) against training on
+a single frozen augmentation per sample (what preprocess-once implies).
+"""
+
+from repro.training.softmax import SoftmaxClassifier
+from repro.training.labeled import LabeledImageDataset, generate_labeled_image
+from repro.training.augment_study import AugmentationStudy, StudyResult
+
+__all__ = [
+    "AugmentationStudy",
+    "LabeledImageDataset",
+    "SoftmaxClassifier",
+    "StudyResult",
+    "generate_labeled_image",
+]

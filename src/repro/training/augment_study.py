@@ -1,0 +1,143 @@
+"""The section-3.3 study: fresh augmentation vs preprocess-once.
+
+Two training regimes on identical data, models, and step counts:
+
+- **online** -- each epoch draws a fresh RandomResizedCrop per sample (the
+  behaviour SOPHON preserves by re-running augmentation remotely every
+  epoch);
+- **frozen** -- each sample's epoch-0 crop is computed once and reused in
+  every epoch (what "preprocess once, store, and reuse" implies).
+
+Evaluation uses held-out samples under random crops.  With a small noisy
+training set, the frozen regime memorizes its fixed crops' noise while the
+online regime sees a crop distribution -- a measurable generalization gap.
+"""
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.preprocessing.ops import RandomResizedCrop
+from repro.preprocessing.payload import Payload
+from repro.training.labeled import NUM_CLASSES, LabeledImageDataset
+from repro.training.softmax import SoftmaxClassifier
+from repro.utils.rng import derive_rng
+
+
+def crop_features(
+    image: np.ndarray,
+    rng: np.random.Generator,
+    crop: RandomResizedCrop,
+    pool: int = 8,
+) -> np.ndarray:
+    """Augment one image and reduce it to a small standardized feature row.
+
+    The augmented crop is average-pooled to ``pool x pool`` per channel and
+    standardized -- a stand-in for the early layers of a network.
+    """
+    payload = Payload.image(image)
+    params = crop.draw_params(rng, payload.meta)
+    out = crop.apply(payload, params).data.astype(np.float64) / 255.0
+    side = out.shape[0]
+    bins = side // pool
+    pooled = out[: bins * pool, : bins * pool].reshape(
+        pool, bins, pool, bins, 3
+    ).mean(axis=(1, 3))
+    flat = pooled.reshape(-1)
+    return (flat - flat.mean()) / (flat.std() + 1e-9)
+
+
+@dataclasses.dataclass
+class StudyResult:
+    """Accuracies of both regimes on the held-out set."""
+
+    online_accuracy: float
+    frozen_accuracy: float
+    train_samples: int
+    test_samples: int
+    epochs: int
+
+    @property
+    def gap(self) -> float:
+        return self.online_accuracy - self.frozen_accuracy
+
+
+class AugmentationStudy:
+    """Run the online-vs-frozen comparison end to end."""
+
+    def __init__(
+        self,
+        train_samples: int = 24,
+        test_samples: int = 120,
+        epochs: int = 30,
+        crop_size: int = 64,
+        noise: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if train_samples < NUM_CLASSES or test_samples < NUM_CLASSES:
+            raise ValueError("need at least one sample per class on each side")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.train = LabeledImageDataset(train_samples, seed=seed, noise=noise)
+        self.test = LabeledImageDataset(test_samples, seed=seed + 1, noise=noise)
+        self.epochs = epochs
+        self.crop = RandomResizedCrop(size=crop_size, scale=(0.3, 1.0))
+        self.seed = seed
+
+    def _features(self, dataset: LabeledImageDataset, sample_id: int, salt: int) -> np.ndarray:
+        rng = derive_rng(self.seed, salt, sample_id)
+        return crop_features(dataset.image(sample_id), rng, self.crop)
+
+    def _train_model(self, frozen: bool, model_seed: int) -> SoftmaxClassifier:
+        probe = self._features(self.train, 0, salt=0)
+        model = SoftmaxClassifier(
+            num_features=probe.size, num_classes=NUM_CLASSES, seed=model_seed
+        )
+        labels = self.train.labels()
+        order_rng = derive_rng(self.seed, 0x0BDE, model_seed)
+        frozen_rows: Optional[List[np.ndarray]] = None
+        if frozen:
+            # Preprocess once: epoch-0 augmentation, reused forever.
+            frozen_rows = [
+                self._features(self.train, sid, salt=1)
+                for sid in range(len(self.train))
+            ]
+        for epoch in range(self.epochs):
+            order = order_rng.permutation(len(self.train))
+            if frozen:
+                rows = np.stack([frozen_rows[sid] for sid in order])
+            else:
+                rows = np.stack(
+                    [
+                        # salt = epoch + 1 keeps epoch 0 identical to the
+                        # frozen regime's stored crops (same starting data).
+                        self._features(self.train, sid, salt=epoch + 1)
+                        for sid in order
+                    ]
+                )
+            for start in range(0, len(order), 16):
+                batch = slice(start, start + 16)
+                model.partial_fit(rows[batch], labels[order[batch]])
+        return model
+
+    def _test_set(self) -> tuple:
+        rows = np.stack(
+            [
+                self._features(self.test, sid, salt=0xE5A)
+                for sid in range(len(self.test))
+            ]
+        )
+        return rows, self.test.labels()
+
+    def run(self, model_seed: int = 0) -> StudyResult:
+        test_rows, test_labels = self._test_set()
+        online = self._train_model(frozen=False, model_seed=model_seed)
+        frozen = self._train_model(frozen=True, model_seed=model_seed)
+        return StudyResult(
+            online_accuracy=online.accuracy(test_rows, test_labels),
+            frozen_accuracy=frozen.accuracy(test_rows, test_labels),
+            train_samples=len(self.train),
+            test_samples=len(self.test),
+            epochs=self.epochs,
+        )

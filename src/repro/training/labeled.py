@@ -1,0 +1,105 @@
+"""Labeled procedural images for the accuracy study.
+
+Four classes, one per brightness-gradient direction (up/down/left/right).
+The label survives RandomResizedCrop (a crop of a gradient keeps its
+direction) but per-image noise does not -- exactly the structure that
+separates "fresh augmentation each epoch" from "one frozen augmentation".
+Horizontal flips are *excluded* from the study pipeline since they swap
+the left/right classes.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+CLASS_NAMES = ("up", "down", "left", "right")
+NUM_CLASSES = len(CLASS_NAMES)
+
+
+def generate_labeled_image(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    class_id: int,
+    noise: float = 0.35,
+) -> np.ndarray:
+    """An (H, W, 3) uint8 image whose gradient direction encodes the class."""
+    if not 0 <= class_id < NUM_CLASSES:
+        raise ValueError(f"class_id must be in [0, {NUM_CLASSES}), got {class_id}")
+    if not 0.0 <= noise <= 2.0:
+        raise ValueError(f"noise must be in [0, 2], got {noise}")
+
+    ys = np.linspace(0.0, 1.0, height)[:, None]
+    xs = np.linspace(0.0, 1.0, width)[None, :]
+    ramps = {
+        0: 1.0 - ys + 0.0 * xs,  # up: bright at the top
+        1: ys + 0.0 * xs,  # down
+        2: 1.0 - xs + 0.0 * ys,  # left
+        3: xs + 0.0 * ys,  # right
+    }
+    signal = 0.5 + 0.3 * (ramps[class_id] - 0.5)
+
+    # The distractor is *low-frequency*: smooth random waves that survive
+    # the feature pooling and can locally overwhelm the class gradient --
+    # a single crop can be genuinely ambiguous, the crop *distribution* is
+    # not.  Shared across channels (like real lighting/shadows).
+    distractor = np.zeros((height, width))
+    for _ in range(3):
+        fy, fx = rng.uniform(0.5, 2.5, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        distractor += np.sin(2 * np.pi * (fy * ys + fx * xs) + phase)
+    distractor *= noise * 0.18
+
+    channels = []
+    for _ in range(3):
+        tint = rng.uniform(0.9, 1.1)
+        plane = (
+            signal * tint
+            + distractor
+            + 0.05 * rng.standard_normal((height, width))
+        )
+        channels.append(plane)
+    stacked = np.stack(channels, axis=-1)
+    return np.clip(np.round(stacked * 255.0), 0, 255).astype(np.uint8)
+
+
+class LabeledImageDataset:
+    """Deterministic labeled dataset: image i has label i % NUM_CLASSES."""
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int = 0,
+        side_range: Tuple[int, int] = (96, 192),
+        noise: float = 0.35,
+    ) -> None:
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        if not 8 <= side_range[0] <= side_range[1]:
+            raise ValueError(f"bad side_range {side_range}")
+        self.num_samples = num_samples
+        self.seed = seed
+        self.side_range = side_range
+        self.noise = noise
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def label(self, sample_id: int) -> int:
+        return sample_id % NUM_CLASSES
+
+    def image(self, sample_id: int) -> np.ndarray:
+        if not 0 <= sample_id < self.num_samples:
+            raise IndexError(f"sample {sample_id} out of range")
+        rng = derive_rng(self.seed, 0x1ABE1, sample_id)
+        lo, hi = self.side_range
+        height = int(rng.integers(lo, hi + 1))
+        width = int(rng.integers(lo, hi + 1))
+        return generate_labeled_image(
+            rng, height, width, self.label(sample_id), self.noise
+        )
+
+    def labels(self) -> np.ndarray:
+        return np.array([self.label(i) for i in range(self.num_samples)])

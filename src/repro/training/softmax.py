@@ -1,0 +1,80 @@
+"""Multinomial logistic regression in numpy (minibatch SGD)."""
+
+import numpy as np
+
+
+class SoftmaxClassifier:
+    """Linear softmax classifier trained by minibatch SGD.
+
+    Deliberately tiny: the accuracy study needs a real learner whose
+    generalization responds to input diversity, not a deep network.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        learning_rate: float = 0.5,
+        weight_decay: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if num_features < 1 or num_classes < 2:
+            raise ValueError(
+                f"need >= 1 feature and >= 2 classes, got {num_features}/{num_classes}"
+            )
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0.0, 0.01, size=(num_features, num_classes))
+        self.bias = np.zeros(num_classes)
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.steps = 0
+
+    def _logits(self, features: np.ndarray) -> np.ndarray:
+        return features @ self.weights + self.bias
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self._softmax(self._logits(np.atleast_2d(features)))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        proba = self.predict_proba(features)
+        picked = proba[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def partial_fit(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """One SGD step on a minibatch; returns the batch loss."""
+        features = np.atleast_2d(features)
+        labels = np.asarray(labels)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"{len(features)} feature rows vs {len(labels)} labels"
+            )
+        proba = self.predict_proba(features)
+        loss = self.loss(features, labels)
+
+        grad_logits = proba.copy()
+        grad_logits[np.arange(len(labels)), labels] -= 1.0
+        grad_logits /= len(labels)
+
+        grad_w = features.T @ grad_logits + self.weight_decay * self.weights
+        grad_b = grad_logits.sum(axis=0)
+
+        # 1/sqrt step decay keeps late epochs from bouncing.
+        rate = self.learning_rate / np.sqrt(1.0 + self.steps / 100.0)
+        self.weights -= rate * grad_w
+        self.bias -= rate * grad_b
+        self.steps += 1
+        return loss
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(features) == np.asarray(labels)).mean())

@@ -1,0 +1,36 @@
+"""Deterministic, position-independent RNG derivation.
+
+Random augmentations must agree between the compute node and the storage
+node: when ops 1..k of a sample's pipeline run remotely and ops k+1..n run
+locally, both sides must see the same parameter draws that a purely local
+run would have produced.  Deriving an independent generator per
+(seed, epoch, sample, op) makes the draws independent of *where* and in what
+order the ops execute.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+
+def derive_rng(*components: int) -> np.random.Generator:
+    """A generator keyed on an arbitrary tuple of non-negative integers."""
+    for c in components:
+        if c < 0:
+            raise ValueError(f"rng key components must be >= 0, got {components}")
+    return np.random.default_rng(np.random.SeedSequence(list(components)))
+
+
+def op_rng(seed: int, epoch: int, sample_id: int, op_index: int) -> np.random.Generator:
+    """The generator for one op of one sample in one epoch.
+
+    Identical on every node, regardless of how the pipeline is split.
+    """
+    return derive_rng(seed, epoch, sample_id, op_index)
+
+
+def sample_rng(seed: int, sample_id: int, salt: Optional[int] = None) -> np.random.Generator:
+    """A per-sample generator (used by dataset synthesis)."""
+    if salt is None:
+        return derive_rng(seed, sample_id)
+    return derive_rng(seed, sample_id, salt)

@@ -1,0 +1,25 @@
+"""Minimal fixed-width text table rendering for harness reports."""
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a left-aligned text table with a header rule.
+
+    All cells are str()-ed; column widths fit the widest cell.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = [fmt(cells[0]), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)

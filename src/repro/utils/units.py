@@ -1,0 +1,33 @@
+"""Human-readable units and unit conversions."""
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Megabits/second -> bytes/second (decimal megabits, as in '500 Mbps')."""
+    if mbps <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {mbps} Mbps")
+    return mbps * 1e6 / 8.0
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with a binary-free decimal unit (KB/MB/GB)."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for unit, factor in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if n >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_seconds(s: float) -> str:
+    """Format seconds compactly (ms below 1 s, h/m/s above a minute)."""
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 60.0:
+        return f"{s:.2f} s"
+    minutes, seconds = divmod(s, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{seconds:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m{seconds:04.1f}s"

@@ -1,0 +1,15 @@
+"""Model GPU profiles and standard experiment configurations."""
+
+from repro.workloads.models import (
+    MODEL_REGISTRY,
+    ModelProfile,
+    get_model_profile,
+    register_model_profile,
+)
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "ModelProfile",
+    "get_model_profile",
+    "register_model_profile",
+]

@@ -1,0 +1,97 @@
+"""LLM-style text ingestion workload (paper section 5's negative case).
+
+"SOPHON may not help for Large Language Models (LLMs), where input data
+preprocessing is less critical for accuracy, limiting opportunities for
+preprocessing offloading."  There is also a mechanical reason, which this
+module makes measurable: an LLM ingestion pipeline (tokenize -> pack to a
+fixed sequence length) only ever *grows* a sample on the wire -- UTF-8
+text is ~1 byte/token-ish while token ids are 4-byte integers -- so no
+sample ever has a positive offloading efficiency and SOPHON's decision
+engine plans nothing.
+
+The pipeline is modeled directly as :class:`SampleRecord` stage algebra
+(the decision engine's native currency), with sizes and CPU costs drawn
+from a calibrated corpus generator.
+"""
+
+import dataclasses
+import math
+from typing import List
+
+import numpy as np
+
+from repro.preprocessing.records import SampleRecord
+from repro.utils.rng import derive_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class TextCorpusSpec:
+    """Synthetic pre-training corpus parameters.
+
+    mean_doc_bytes: average UTF-8 document size (web-scraped documents
+        cluster in the single-digit kilobytes).
+    bytes_per_token: UTF-8 bytes consumed per produced token (~4 for
+        typical BPE vocabularies on English text).
+    token_id_bytes: serialized size of one token id (int32).
+    seq_len: packing length; documents are chunked/padded to this.
+    tokenize_ns_per_byte: single-core tokenizer throughput (~100 MB/s).
+    """
+
+    num_docs: int = 10_000
+    mean_doc_bytes: float = 6_000.0
+    sigma_doc_bytes: float = 0.8
+    bytes_per_token: float = 4.0
+    token_id_bytes: int = 4
+    seq_len: int = 2048
+    tokenize_ns_per_byte: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_docs < 0:
+            raise ValueError(f"num_docs must be >= 0, got {self.num_docs}")
+        if self.mean_doc_bytes <= 0 or self.bytes_per_token <= 0:
+            raise ValueError("mean_doc_bytes and bytes_per_token must be > 0")
+        if self.seq_len < 1 or self.token_id_bytes < 1:
+            raise ValueError("seq_len and token_id_bytes must be >= 1")
+
+
+def document_sizes(spec: TextCorpusSpec, seed: int = 0) -> np.ndarray:
+    """Raw UTF-8 sizes of the corpus documents (lognormal, int64)."""
+    rng = derive_rng(seed, 0x7E87)
+    mu = math.log(spec.mean_doc_bytes) - spec.sigma_doc_bytes**2 / 2
+    sizes = np.exp(rng.normal(mu, spec.sigma_doc_bytes, size=spec.num_docs))
+    return np.maximum(np.round(sizes), 64).astype(np.int64)
+
+
+def llm_ingestion_records(spec: TextCorpusSpec, seed: int = 0) -> List[SampleRecord]:
+    """Per-document stage records for the tokenize -> pack pipeline.
+
+    Stage 0: raw UTF-8 bytes.
+    Stage 1 (Tokenize): ceil(bytes / bytes_per_token) int32 ids -- for any
+        vocabulary with bytes_per_token < 4x token_id_bytes this *grows*
+        the sample.
+    Stage 2 (Pack): chunk/pad to multiples of seq_len -- grows again.
+    """
+    records = []
+    for doc_id, raw in enumerate(document_sizes(spec, seed)):
+        raw = int(raw)
+        tokens = max(1, math.ceil(raw / spec.bytes_per_token))
+        tokenized = tokens * spec.token_id_bytes
+        chunks = max(1, math.ceil(tokens / spec.seq_len))
+        packed = chunks * spec.seq_len * spec.token_id_bytes
+        tokenize_cost = raw * spec.tokenize_ns_per_byte * 1e-9
+        pack_cost = packed * 0.5e-9  # a memcpy-grade pass
+        records.append(
+            SampleRecord(
+                sample_id=doc_id,
+                stage_sizes=(raw, tokenized, packed),
+                op_costs=(tokenize_cost, pack_cost),
+            )
+        )
+    return records
+
+
+def offloadable_fraction(records: List[SampleRecord]) -> float:
+    """Fraction of documents with any positive offloading efficiency."""
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.offload_efficiency > 0) / len(records)

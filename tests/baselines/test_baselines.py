@@ -1,0 +1,102 @@
+"""Baseline policy tests."""
+
+import pytest
+
+from repro.baselines import AllOff, FastFlow, NoOff, ResizeOff
+from repro.baselines.capabilities import Capabilities
+from repro.cluster.spec import standard_cluster
+from repro.core.policy import PolicyContext
+from repro.workloads.models import get_model_profile
+
+
+def context(dataset, pipeline, spec):
+    return PolicyContext(
+        dataset=dataset,
+        pipeline=pipeline,
+        spec=spec,
+        model=get_model_profile("alexnet"),
+        batch_size=64,
+        seed=0,
+    )
+
+
+class TestNoOff:
+    def test_never_offloads(self, openimages_small, pipeline):
+        plan = NoOff().plan(context(openimages_small, pipeline, standard_cluster()))
+        assert plan.num_offloaded == 0
+
+    def test_capabilities_all_unchecked(self):
+        assert NoOff.capabilities == Capabilities()
+
+
+class TestAllOff:
+    def test_offloads_full_pipeline_everywhere(self, openimages_small, pipeline):
+        plan = AllOff().plan(context(openimages_small, pipeline, standard_cluster()))
+        assert plan.num_offloaded == len(openimages_small)
+        assert set(plan.splits) == {len(pipeline)}
+
+    def test_clamps_without_storage_cores(self, openimages_small, pipeline):
+        spec = standard_cluster(storage_cores=0)
+        plan = AllOff().plan(context(openimages_small, pipeline, spec))
+        assert plan.num_offloaded == 0
+
+
+class TestResizeOff:
+    def test_offloads_through_crop(self, openimages_small, pipeline):
+        plan = ResizeOff().plan(context(openimages_small, pipeline, standard_cluster()))
+        assert set(plan.splits) == {2}  # Decode + RandomResizedCrop
+
+    def test_unknown_op_name_rejected(self, openimages_small, pipeline):
+        policy = ResizeOff(through_op="Blur")
+        with pytest.raises(ValueError, match="Blur"):
+            policy.plan(context(openimages_small, pipeline, standard_cluster()))
+
+    def test_clamps_without_storage_cores(self, openimages_small, pipeline):
+        spec = standard_cluster(storage_cores=0)
+        plan = ResizeOff().plan(context(openimages_small, pipeline, spec))
+        assert plan.num_offloaded == 0
+
+    def test_operation_selective_capability(self):
+        assert ResizeOff.capabilities.operation_selective
+        assert not ResizeOff.capabilities.data_selective
+
+
+class TestFastFlow:
+    def test_declines_when_full_offload_inflates_traffic(
+        self, openimages_small, pipeline
+    ):
+        # The paper's setting: I/O-bound, full offload ships 4x float
+        # tensors -> FastFlow predicts a slowdown and keeps everything local.
+        plan = FastFlow().plan(context(openimages_small, pipeline, standard_cluster()))
+        assert plan.num_offloaded == 0
+        assert "not offloading" in plan.reason
+
+    def test_offloads_all_when_profitable(self, imagenet_small, pipeline):
+        # CPU-starved compute node + fat pipe: moving the whole pipeline to
+        # the 48-core storage node wins, which is FastFlow's home turf.
+        spec = standard_cluster(
+            storage_cores=48, bandwidth_mbps=100_000.0, compute_cores=1
+        )
+        plan = FastFlow().plan(context(imagenet_small, pipeline, spec))
+        assert plan.num_offloaded == len(imagenet_small)
+        assert set(plan.splits) == {len(pipeline)}
+
+    def test_all_or_nothing_only(self, openimages_small, pipeline):
+        for spec in (
+            standard_cluster(),
+            standard_cluster(bandwidth_mbps=100_000.0, compute_cores=1),
+        ):
+            plan = FastFlow().plan(context(openimages_small, pipeline, spec))
+            assert set(plan.splits) <= {0, len(pipeline)}
+            assert len(set(plan.splits)) == 1
+
+    def test_clamps_without_storage_cores(self, openimages_small, pipeline):
+        spec = standard_cluster(storage_cores=0)
+        plan = FastFlow().plan(context(openimages_small, pipeline, spec))
+        assert plan.num_offloaded == 0
+
+
+class TestCapabilitiesRows:
+    def test_row_rendering(self):
+        caps = Capabilities(operation_selective=True, to_near_storage=True)
+        assert caps.row() == ("yes", "-", "-", "yes")

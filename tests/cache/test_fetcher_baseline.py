@@ -1,0 +1,127 @@
+"""CachingFetcher and cache-baseline traffic tests."""
+
+import pytest
+
+from repro.cache.baseline import (
+    epoch_traffic_with_cache,
+    epoch_traffic_with_pinned_cache,
+)
+from repro.cache.core import ByteCache
+from repro.cache.fetcher import CachingFetcher
+from repro.core.profiler import StageTwoProfiler
+from repro.data.loader import DataLoader, DirectFetcher
+from repro.rpc import InMemoryChannel, StorageClient, StorageServer
+
+
+class TestCachingFetcher:
+    @pytest.fixture
+    def stack(self, materialized_tiny, pipeline):
+        server = StorageServer(materialized_tiny, pipeline, seed=0)
+        channel = InMemoryChannel(server.handle)
+        client = StorageClient(channel)
+        cache = ByteCache(10**9)  # effectively unbounded
+        return CachingFetcher(client, cache), client, cache
+
+    def test_second_epoch_raw_fetches_hit_cache(self, stack, materialized_tiny, pipeline):
+        fetcher, client, cache = stack
+        loader = DataLoader(materialized_tiny, pipeline, fetcher, batch_size=5, seed=0)
+        for _ in loader.epoch(0):
+            pass
+        first_epoch_traffic = client.traffic_bytes
+        for _ in loader.epoch(1):
+            pass
+        assert client.traffic_bytes == first_epoch_traffic  # all hits
+        assert cache.stats.hits == len(materialized_tiny)
+
+    def test_offloaded_samples_bypass_cache(self, stack):
+        fetcher, client, cache = stack
+        fetcher.fetch(0, 0, 2)
+        fetcher.fetch(0, 1, 2)
+        assert len(cache) == 0  # nothing cached
+        assert cache.stats.lookups == 0
+
+    def test_offloaded_payloads_differ_per_epoch(self, stack):
+        import numpy as np
+
+        fetcher, _, _ = stack
+        a = fetcher.fetch(0, 0, 2).data
+        b = fetcher.fetch(0, 1, 2).data
+        assert not np.array_equal(a, b)
+
+    def test_cached_payload_identical_to_fresh(self, stack, materialized_tiny):
+        fetcher, _, _ = stack
+        first = fetcher.fetch(3, 0, 0)
+        second = fetcher.fetch(3, 5, 0)  # cache hit, epoch-independent
+        assert first.data == second.data == materialized_tiny.raw_payload(3).data
+
+
+class TestBaselineTraffic:
+    def test_infinite_cache_first_epoch_full_rest_zero(self, openimages_small):
+        traffic = epoch_traffic_with_cache(
+            openimages_small, capacity_bytes=10**12, epochs=3
+        )
+        assert traffic[0] == openimages_small.total_raw_bytes
+        assert traffic[1] == 0 and traffic[2] == 0
+
+    def test_zero_cache_every_epoch_full(self, openimages_small):
+        traffic = epoch_traffic_with_cache(openimages_small, 0, epochs=2)
+        assert traffic[0] == traffic[1] == openimages_small.total_raw_bytes
+
+    def test_lru_thrashes_under_epoch_reshuffles(self, openimages_small):
+        # LRU + per-epoch random permutations: an item survives only if it
+        # was late in one epoch and early in the next, so a 25% cache
+        # serves far less than 25% of bytes.
+        total = openimages_small.total_raw_bytes
+        traffic = epoch_traffic_with_cache(
+            openimages_small, capacity_bytes=total // 4, epochs=4, seed=3
+        )
+        steady = traffic[-1] / total
+        assert 0.9 < steady <= 1.0
+
+    def test_pinned_cache_saves_exactly_its_capacity(self, openimages_small):
+        total = openimages_small.total_raw_bytes
+        traffic = epoch_traffic_with_pinned_cache(
+            openimages_small, capacity_bytes=total // 4, epochs=3
+        )
+        assert traffic[0] == total
+        steady = traffic[-1] / total
+        # Pinning the largest samples saves at least the capacity fraction
+        # (exactly, up to the last sample that didn't fit).
+        assert steady == pytest.approx(0.75, abs=0.02)
+        assert traffic[1] == traffic[2]
+
+    def test_pinned_cache_extremes(self, openimages_small):
+        total = openimages_small.total_raw_bytes
+        full = epoch_traffic_with_pinned_cache(openimages_small, total, epochs=2)
+        assert full[1] == 0
+        none = epoch_traffic_with_pinned_cache(openimages_small, 0, epochs=2)
+        assert none[1] == total
+
+    def test_plan_layered_on_cache(self, openimages_small, pipeline):
+        records = StageTwoProfiler().profile(openimages_small, pipeline)
+        splits = [r.min_stage for r in records]
+        traffic = epoch_traffic_with_cache(
+            openimages_small,
+            capacity_bytes=10**12,
+            epochs=2,
+            splits=splits,
+            records=records,
+        )
+        # Offloaded samples are re-fetched every epoch even with an
+        # infinite cache (their payloads embed fresh augmentations).
+        offloaded_bytes = sum(
+            r.size_at(s) for r, s in zip(records, splits) if s > 0
+        )
+        assert traffic[1] == offloaded_bytes
+
+    def test_validation(self, openimages_small):
+        with pytest.raises(ValueError):
+            epoch_traffic_with_cache(openimages_small, 10, epochs=0)
+        with pytest.raises(ValueError):
+            epoch_traffic_with_cache(
+                openimages_small, 10, epochs=1, splits=[0] * len(openimages_small)
+            )
+        with pytest.raises(ValueError):
+            epoch_traffic_with_cache(
+                openimages_small, 10, epochs=1, splits=[0], records=[]
+            )

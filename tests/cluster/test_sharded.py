@@ -1,0 +1,100 @@
+"""Sharded storage cluster tests."""
+
+import pytest
+
+from repro.cluster.sharded import (
+    ShardedTrainerSim,
+    contiguous_placement,
+    round_robin_placement,
+    size_balanced_placement,
+)
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.profiler import StageTwoProfiler
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture(scope="module")
+def splits(openimages_small, pipeline):
+    records = StageTwoProfiler().profile(openimages_small, pipeline)
+    return [r.min_stage for r in records]
+
+
+def make_sim(dataset, pipeline, placement, cores_per_shard=1):
+    return ShardedTrainerSim(
+        dataset, pipeline, get_model_profile("alexnet"),
+        standard_cluster(storage_cores=cores_per_shard),
+        placement=placement, batch_size=64,
+    )
+
+
+class TestPlacements:
+    def test_round_robin_spreads(self):
+        placement = round_robin_placement(10, 3)
+        assert placement == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_contiguous_ranges(self):
+        placement = contiguous_placement(9, 3)
+        assert placement == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_size_balanced_evens_the_bytes(self, openimages_small):
+        placement = size_balanced_placement(openimages_small, 4)
+        loads = [0] * 4
+        for sid in openimages_small.sample_ids():
+            loads[placement[sid]] += openimages_small.raw_meta(sid).nbytes
+        assert max(loads) < min(loads) * 1.05
+
+
+class TestShardedSim:
+    def test_single_shard_matches_plain_trainer(self, openimages_small, pipeline, splits):
+        spec = standard_cluster(storage_cores=4)
+        sharded = ShardedTrainerSim(
+            openimages_small, pipeline, get_model_profile("alexnet"), spec,
+            placement=[0] * len(openimages_small), batch_size=64,
+        ).run_epoch(splits, epoch=0)
+        plain = TrainerSim(
+            openimages_small, pipeline, get_model_profile("alexnet"), spec,
+            batch_size=64,
+        ).run_epoch(splits, epoch=0)
+        assert sharded.epoch_time_s == pytest.approx(plain.epoch_time_s, rel=1e-9)
+        assert sharded.stats.traffic_bytes == plain.traffic_bytes
+
+    def test_traffic_independent_of_placement(self, openimages_small, pipeline, splits):
+        rr = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 4),
+        ).run_epoch(splits, epoch=0)
+        cont = make_sim(
+            openimages_small, pipeline,
+            contiguous_placement(len(openimages_small), 4),
+        ).run_epoch(splits, epoch=0)
+        assert rr.stats.traffic_bytes == cont.stats.traffic_bytes
+
+    def test_per_shard_utilization_reported(self, openimages_small, pipeline, splits):
+        result = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 4),
+        ).run_epoch(splits, epoch=0)
+        assert len(result.shard_utilization) == 4
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in result.shard_utilization)
+
+    def test_balanced_placement_no_slower_than_contiguous(
+        self, openimages_small, pipeline, splits
+    ):
+        balanced = make_sim(
+            openimages_small, pipeline,
+            size_balanced_placement(openimages_small, 4),
+        ).run_epoch(splits, epoch=0)
+        contiguous = make_sim(
+            openimages_small, pipeline,
+            contiguous_placement(len(openimages_small), 4),
+        ).run_epoch(splits, epoch=0)
+        assert balanced.epoch_time_s <= contiguous.epoch_time_s * 1.02
+
+    def test_placement_length_validated(self, openimages_small, pipeline):
+        with pytest.raises(ValueError):
+            make_sim(openimages_small, pipeline, [0, 1])
+
+    def test_negative_shard_rejected(self, openimages_small, pipeline):
+        with pytest.raises(ValueError):
+            make_sim(openimages_small, pipeline, [-1] * len(openimages_small))

@@ -1,0 +1,431 @@
+"""Discrete-event simulation kernel tests."""
+
+import pytest
+
+from repro.cluster.sim import (
+    AllOf,
+    Environment,
+    Event,
+    FairResource,
+    Resource,
+    SimulationError,
+    Store,
+    hold,
+)
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.5)
+            yield env.timeout(1.5)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 4.0
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+
+        env.process(proc())
+        env.run(until=3.0)
+        assert env.now == 3.0
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        log = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        env.process(proc(3.0, "c"))
+        env.process(proc(1.0, "a"))
+        env.process(proc(2.0, "b"))
+        env.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_simultaneous_events_fifo(self):
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+
+class TestEventsAndProcesses:
+    def test_event_value_delivered_to_waiter(self):
+        env = Environment()
+        received = []
+        evt = env.event()
+
+        def waiter():
+            value = yield evt
+            received.append(value)
+
+        def firer():
+            yield env.timeout(1.0)
+            evt.trigger("payload")
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert received == ["payload"]
+
+    def test_event_cannot_trigger_twice(self):
+        env = Environment()
+        evt = env.event()
+        evt.trigger()
+        with pytest.raises(SimulationError):
+            evt.trigger()
+
+    def test_process_return_value_is_event_value(self):
+        env = Environment()
+        results = []
+
+        def child():
+            yield env.timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            results.append(value)
+
+        env.process(parent())
+        env.run()
+        assert results == [42]
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 5
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_waiting_on_already_processed_event_resumes(self):
+        env = Environment()
+        log = []
+        evt = env.event()
+        evt.trigger("early")
+
+        def late_waiter():
+            yield env.timeout(5.0)
+            value = yield evt
+            log.append((env.now, value))
+
+        env.process(late_waiter())
+        env.run()
+        assert log == [(5.0, "early")]
+
+    def test_long_chain_of_processed_events_no_recursion(self):
+        env = Environment()
+        events = [env.event() for _ in range(5000)]
+        for evt in events:
+            evt.trigger(1)
+
+        def consumer():
+            total = 0
+            for evt in events:
+                total += yield evt
+            return total
+
+        proc = env.process(consumer())
+        env.run()
+        assert proc.value == 5000
+
+
+class TestAllOf:
+    def test_waits_for_all_children(self):
+        env = Environment()
+        done = []
+
+        def child(delay):
+            yield env.timeout(delay)
+            return delay
+
+        def parent():
+            values = yield env.all_of([env.process(child(d)) for d in (3.0, 1.0, 2.0)])
+            done.append((env.now, values))
+
+        env.process(parent())
+        env.run()
+        assert done == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        log = []
+
+        def parent():
+            yield env.all_of([])
+            log.append(env.now)
+
+        env.process(parent())
+        env.run()
+        assert log == [0.0]
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        cpu = Resource(env, capacity=2)
+        finish_times = []
+
+        def worker():
+            req = cpu.acquire()
+            yield req
+            yield env.timeout(1.0)
+            cpu.release(req)
+            finish_times.append(env.now)
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert finish_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_granting(self):
+        env = Environment()
+        gate = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag, arrive):
+            yield env.timeout(arrive)
+            req = gate.acquire()
+            yield req
+            order.append(tag)
+            yield env.timeout(10.0)
+            gate.release(req)
+
+        env.process(worker("first", 0.0))
+        env.process(worker("second", 1.0))
+        env.process(worker("third", 2.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_busy_time_accounting(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        env.process(hold(env, cpu, 3.0))
+        env.run()
+        assert cpu.busy_time == pytest.approx(3.0)
+        assert cpu.utilization(6.0) == pytest.approx(0.5)
+
+    def test_utilization_of_multi_slot_resource(self):
+        env = Environment()
+        cpu = Resource(env, capacity=2)
+        env.process(hold(env, cpu, 4.0))
+        env.process(hold(env, cpu, 2.0))
+        env.run()
+        assert cpu.utilization(4.0) == pytest.approx(6.0 / 8.0)
+
+    def test_release_of_ungranted_request_raises(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            cpu.release(env.event())
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        cpu.acquire()
+        cpu.acquire()
+        cpu.acquire()
+        assert cpu.in_use == 1
+        assert cpu.queue_length == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_zero_horizon_utilization(self):
+        env = Environment()
+        assert Resource(env, 1).utilization(0.0) == 0.0
+
+
+class TestFairResource:
+    def run_flows(self, bursts, hold_s=1.0):
+        """Each flow enqueues its burst at t=0; returns per-flow finish times."""
+        env = Environment()
+        link = FairResource(env, capacity=1)
+        finish = {}
+
+        def flow(key, count):
+            for _ in range(count):
+                req = link.acquire(key)
+                yield req
+                yield env.timeout(hold_s)
+                link.release(req)
+            finish[key] = env.now
+
+        for key, count in bursts.items():
+            env.process(flow(key, count))
+        env.run()
+        return finish
+
+    def test_round_robin_interleaves_bursts(self):
+        # Flow a bursts 4 requests before flow b's 4; FIFO would finish a
+        # at t=4 and b at t=8.  Fair queueing alternates them.
+        finish = self.run_flows({"a": 4, "b": 4})
+        assert finish["a"] == pytest.approx(7.0)  # a,b,a,b,a,b,a(,b)
+        assert finish["b"] == pytest.approx(8.0)
+
+    def test_equal_flows_finish_together(self):
+        finish = self.run_flows({"a": 10, "b": 10, "c": 10})
+        values = sorted(finish.values())
+        assert values[-1] - values[0] <= 2.0 + 1e-9
+
+    def test_single_flow_behaves_like_fifo(self):
+        finish = self.run_flows({"only": 5})
+        assert finish["only"] == pytest.approx(5.0)
+
+    def test_short_flow_not_starved_by_long_one(self):
+        finish = self.run_flows({"elephant": 100, "mouse": 2})
+        assert finish["mouse"] < 6.0  # not 100+
+
+    def test_busy_accounting_still_works(self):
+        env = Environment()
+        link = FairResource(env, capacity=1)
+        env.process(hold(env, link, 3.0))
+        env.run()
+        assert link.busy_time == pytest.approx(3.0)
+
+    def test_queue_length(self):
+        env = Environment()
+        link = FairResource(env, capacity=1)
+        link.acquire("a")
+        link.acquire("a")
+        link.acquire("b")
+        assert link.in_use == 1
+        assert link.queue_length == 2
+
+    def test_release_of_ungranted_raises(self):
+        env = Environment()
+        link = FairResource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            link.release(env.event())
+
+    def test_front_acquisition_preserves_payload_order(self):
+        # Many 3-chunk payloads of one flow, all queued at t=0.  With
+        # front=True continuations, at most two payloads interleave at a
+        # time and delivery order is preserved -- without it, all four
+        # would round-robin and finish together at the very end.
+        env = Environment()
+        link = FairResource(env, capacity=1)
+        finish = {}
+
+        def payload(tag):
+            for chunk in range(3):
+                req = link.acquire("flow", front=chunk > 0)
+                yield req
+                yield env.timeout(1.0)
+                link.release(req)
+            finish[tag] = env.now
+
+        for index in range(4):
+            env.process(payload(index))
+        env.run()
+        assert finish == {0: 5.0, 1: 6.0, 2: 11.0, 3: 12.0}
+        # Order preserved: payload k always beats payload k+2.
+        assert finish[0] < finish[2] and finish[1] < finish[3]
+
+    def test_front_acquisition_on_plain_resource(self):
+        env = Environment()
+        gate = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = gate.acquire()
+            yield req
+            yield env.timeout(1.0)
+            gate.release(req)
+
+        def waiter(tag, front):
+            yield env.timeout(0.1)
+            req = gate.acquire(front=front)
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+            gate.release(req)
+
+        env.process(holder())
+        env.process(waiter("normal", False))
+        env.process(waiter("jumper", True))
+        env.run()
+        assert order == ["jumper", "normal"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def putter():
+            yield env.timeout(2.0)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,51 @@
+"""ClusterSpec tests."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, standard_cluster
+
+
+class TestClusterSpec:
+    def test_standard_matches_paper_setup(self):
+        spec = standard_cluster()
+        assert spec.compute_cores == 48
+        assert spec.storage_cores == 48
+        assert spec.bandwidth_mbps == 500.0
+
+    def test_bandwidth_conversion(self):
+        spec = standard_cluster(bandwidth_mbps=500.0)
+        assert spec.bandwidth_bytes_per_s == pytest.approx(62.5e6)
+
+    def test_zero_storage_cores_disables_offloading(self):
+        spec = standard_cluster(storage_cores=0)
+        assert not spec.can_offload
+
+    def test_with_storage_cores_is_nondestructive(self):
+        base = standard_cluster(storage_cores=48)
+        varied = base.with_storage_cores(2)
+        assert varied.storage_cores == 2
+        assert base.storage_cores == 48
+        assert varied.bandwidth_mbps == base.bandwidth_mbps
+
+    def test_with_bandwidth(self):
+        assert standard_cluster().with_bandwidth(1000.0).bandwidth_mbps == 1000.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"compute_cores": 0},
+            {"storage_cores": -1},
+            {"bandwidth_mbps": 0.0},
+            {"network_rtt_s": -0.1},
+            {"compute_cpu_factor": 0.0},
+            {"storage_cpu_factor": -1.0},
+            {"prefetch_batches": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            standard_cluster().storage_cores = 3

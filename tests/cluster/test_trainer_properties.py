@@ -1,0 +1,99 @@
+"""Property-based invariants of the trainer simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.epoch_model import EpochModel
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.data.trace import TraceDataset
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.workloads.models import get_model_profile
+
+CROP_BYTES = 224 * 224 * 3
+
+
+@st.composite
+def small_workloads(draw):
+    count = draw(st.integers(4, 24))
+    sizes = [draw(st.integers(5_000, 900_000)) for _ in range(count)]
+    heights = [draw(st.integers(64, 1200)) for _ in range(count)]
+    widths = [draw(st.integers(64, 1200)) for _ in range(count)]
+    dataset = TraceDataset(sizes, heights, widths, name="prop")
+    splits = [
+        draw(st.sampled_from([0, 0, 2, 3, 5])) for _ in range(count)
+    ]
+    cores = draw(st.integers(1, 8))
+    mbps = draw(st.floats(20.0, 2_000.0))
+    return dataset, splits, cores, mbps
+
+
+class TestTrainerInvariants:
+    @given(workload=small_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_epoch_time_at_least_analytic_bound(self, workload):
+        dataset, splits, cores, mbps = workload
+        spec = standard_cluster(storage_cores=cores, bandwidth_mbps=mbps)
+        trainer = TrainerSim(
+            dataset, standard_pipeline(), get_model_profile("alexnet"),
+            spec, batch_size=4,
+        )
+        stats = trainer.run_epoch(splits, epoch=0)
+        bound = EpochModel(spec).estimate(stats.analytic).epoch_time_s
+        assert stats.epoch_time_s >= bound * (1 - 1e-9)
+
+    @given(workload=small_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_conservation(self, workload):
+        dataset, splits, cores, mbps = workload
+        spec = standard_cluster(storage_cores=cores, bandwidth_mbps=mbps)
+        trainer = TrainerSim(
+            dataset, standard_pipeline(), get_model_profile("alexnet"),
+            spec, batch_size=4,
+        )
+        stats = trainer.run_epoch(splits, epoch=0)
+        expected = 0
+        for sid in dataset.sample_ids():
+            work = trainer.sample_work(sid, splits[sid], epoch=0)
+            expected += work.wire_bytes + spec.response_overhead_bytes
+        assert stats.traffic_bytes == expected
+        assert stats.traffic_bytes == int(stats.analytic.traffic_bytes)
+
+    @given(workload=small_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_utilizations_within_unit_interval(self, workload):
+        dataset, splits, cores, mbps = workload
+        spec = standard_cluster(storage_cores=cores, bandwidth_mbps=mbps)
+        trainer = TrainerSim(
+            dataset, standard_pipeline(), get_model_profile("alexnet"),
+            spec, batch_size=4,
+        )
+        stats = trainer.run_epoch(splits, epoch=0)
+        for value in (
+            stats.gpu_utilization,
+            stats.compute_cpu_utilization,
+            stats.storage_cpu_utilization,
+            stats.link_utilization,
+        ):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(workload=small_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_offloading_never_ships_more_than_raw(self, workload):
+        dataset, splits, cores, mbps = workload
+        spec = standard_cluster(storage_cores=cores, bandwidth_mbps=mbps)
+        trainer = TrainerSim(
+            dataset, standard_pipeline(), get_model_profile("alexnet"),
+            spec, batch_size=4,
+        )
+        # Clamp to the per-sample minimum split: traffic must be <= raw.
+        from repro.preprocessing.records import build_record
+
+        min_splits = [
+            build_record(trainer.pipeline, dataset.raw_meta(i), i, seed=0).min_stage
+            for i in dataset.sample_ids()
+        ]
+        offloaded = trainer.run_epoch(min_splits, epoch=0)
+        raw = trainer.run_epoch(None, epoch=0)
+        assert offloaded.traffic_bytes <= raw.traffic_bytes

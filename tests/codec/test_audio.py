@@ -1,0 +1,77 @@
+"""Toy FLAC codec tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.audio import ToyFlacCodec
+from repro.codec.errors import CorruptStreamError, UnsupportedImageError
+from repro.data.audio import generate_clip
+
+
+class TestRoundTrip:
+    def test_lossless(self, rng):
+        clip = generate_clip(rng, 16_000, tonality=0.6)
+        codec = ToyFlacCodec()
+        decoded, rate = codec.decode(codec.encode(clip, sample_rate=22_050))
+        assert np.array_equal(decoded, clip)
+        assert rate == 22_050
+
+    @given(n=st.integers(1, 5_000), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        clip = rng.integers(-32768, 32768, size=n, dtype=np.int16)
+        codec = ToyFlacCodec()
+        decoded, _ = codec.decode(codec.encode(clip))
+        assert np.array_equal(decoded, clip)
+
+    def test_extreme_values_survive_wraparound(self):
+        clip = np.array([-32768, 32767, -32768, 0, 32767], dtype=np.int16)
+        codec = ToyFlacCodec()
+        decoded, _ = codec.decode(codec.encode(clip))
+        assert np.array_equal(decoded, clip)
+
+    def test_silence_compresses_extremely_well(self):
+        clip = np.zeros(16_000, dtype=np.int16)
+        encoded = ToyFlacCodec().encode(clip)
+        assert len(encoded) < clip.nbytes / 100
+
+    def test_noise_barely_compresses(self, rng):
+        clip = rng.integers(-32768, 32768, size=16_000, dtype=np.int16)
+        encoded = ToyFlacCodec().encode(clip)
+        assert len(encoded) > clip.nbytes * 0.9
+
+    def test_smoother_signals_compress_better(self, rng):
+        tonal = generate_clip(rng, 16_000, tonality=1.0)
+        noisy = generate_clip(rng, 16_000, tonality=0.0)
+        codec = ToyFlacCodec()
+        assert len(codec.encode(tonal)) < len(codec.encode(noisy))
+
+
+class TestRobustness:
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(UnsupportedImageError):
+            ToyFlacCodec().encode(np.zeros(10, dtype=np.float32))
+
+    def test_rejects_empty(self):
+        with pytest.raises(UnsupportedImageError):
+            ToyFlacCodec().encode(np.zeros(0, dtype=np.int16))
+
+    def test_rejects_truncated(self, rng):
+        data = ToyFlacCodec().encode(generate_clip(rng, 1000, 0.5))
+        with pytest.raises(CorruptStreamError):
+            ToyFlacCodec().decode(data[: len(data) // 2])
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(CorruptStreamError):
+            ToyFlacCodec().decode(b"WAT?" + b"\x00" * 40)
+
+    @given(data=st.binary(max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_garbage_fails_cleanly(self, data):
+        try:
+            ToyFlacCodec().decode(data)
+        except CorruptStreamError:
+            pass

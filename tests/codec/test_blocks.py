@@ -1,0 +1,51 @@
+"""Block split/reassemble tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.blocks import from_blocks, pad_to_multiple, to_blocks
+
+
+class TestPadding:
+    def test_aligned_plane_returned_unchanged(self):
+        plane = np.zeros((16, 24))
+        assert pad_to_multiple(plane).shape == (16, 24)
+
+    def test_pads_up_to_next_multiple(self):
+        assert pad_to_multiple(np.zeros((9, 17))).shape == (16, 24)
+
+    def test_padding_replicates_edges(self):
+        plane = np.arange(4, dtype=float).reshape(2, 2)
+        padded = pad_to_multiple(plane, block=4)
+        assert padded[3, 0] == plane[1, 0]
+        assert padded[0, 3] == plane[0, 1]
+
+
+class TestBlockRoundTrip:
+    def test_block_count(self):
+        blocks = to_blocks(np.zeros((17, 9)))
+        assert blocks.shape == (3 * 2, 8, 8)
+
+    def test_blocks_are_row_major(self):
+        plane = np.arange(16 * 16, dtype=float).reshape(16, 16)
+        blocks = to_blocks(plane)
+        assert blocks[0, 0, 0] == plane[0, 0]
+        assert blocks[1, 0, 0] == plane[0, 8]
+        assert blocks[2, 0, 0] == plane[8, 0]
+
+    @given(
+        h=st.integers(min_value=1, max_value=40),
+        w=st.integers(min_value=1, max_value=40),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_any_shape(self, h, w, seed):
+        plane = np.random.default_rng(seed).uniform(size=(h, w))
+        blocks = to_blocks(plane)
+        assert np.array_equal(from_blocks(blocks, h, w), plane)
+
+    def test_from_blocks_validates_count(self):
+        with pytest.raises(ValueError):
+            from_blocks(np.zeros((3, 8, 8)), 16, 16)

@@ -1,0 +1,47 @@
+"""Quantization table tests."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quant import BASE_CHROMA_TABLE, BASE_LUMA_TABLE, quality_scaled_table
+
+
+class TestQualityScaling:
+    def test_quality_50_returns_base_values(self):
+        table = quality_scaled_table(BASE_LUMA_TABLE, 50)
+        # scale = 100 -> floor((base*100 + 50)/100) = base (integers).
+        assert np.array_equal(table, BASE_LUMA_TABLE)
+
+    def test_higher_quality_means_finer_quantization(self):
+        q50 = quality_scaled_table(BASE_LUMA_TABLE, 50)
+        q90 = quality_scaled_table(BASE_LUMA_TABLE, 90)
+        assert (q90 <= q50).all()
+        assert (q90 < q50).any()
+
+    def test_lower_quality_means_coarser_quantization(self):
+        q50 = quality_scaled_table(BASE_LUMA_TABLE, 50)
+        q10 = quality_scaled_table(BASE_LUMA_TABLE, 10)
+        assert (q10 >= q50).all()
+
+    def test_divisors_never_below_one(self):
+        table = quality_scaled_table(BASE_LUMA_TABLE, 100)
+        assert table.min() >= 1.0
+
+    def test_divisors_capped_at_255(self):
+        table = quality_scaled_table(BASE_LUMA_TABLE, 1)
+        assert table.max() <= 255.0
+
+    @pytest.mark.parametrize("quality", [0, -1, 101])
+    def test_rejects_out_of_range_quality(self, quality):
+        with pytest.raises(ValueError):
+            quality_scaled_table(BASE_LUMA_TABLE, quality)
+
+    def test_chroma_table_coarser_than_luma_at_high_frequencies(self):
+        assert BASE_CHROMA_TABLE[7, 7] >= BASE_LUMA_TABLE[7, 7]
+
+    def test_monotone_in_quality_everywhere(self):
+        previous = quality_scaled_table(BASE_LUMA_TABLE, 1)
+        for quality in range(10, 101, 10):
+            current = quality_scaled_table(BASE_LUMA_TABLE, quality)
+            assert (current <= previous).all()
+            previous = current

@@ -1,0 +1,73 @@
+"""Zigzag scan order tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.zigzag import inverse_zigzag, zigzag_indices, zigzag_order
+
+
+class TestZigzagIndices:
+    def test_covers_every_cell_exactly_once(self):
+        rows, cols = zigzag_indices(8)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        assert len(cells) == 64
+        assert cells == {(r, c) for r in range(8) for c in range(8)}
+
+    def test_starts_at_dc_and_ends_at_highest_frequency(self):
+        rows, cols = zigzag_indices(8)
+        assert (rows[0], cols[0]) == (0, 0)
+        assert (rows[-1], cols[-1]) == (7, 7)
+
+    def test_first_diagonal_steps_match_jpeg_convention(self):
+        rows, cols = zigzag_indices(8)
+        # JPEG zigzag: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2), ...
+        head = list(zip(rows.tolist(), cols.tolist()))[:6]
+        assert head == [(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+
+    def test_frequencies_nondecreasing_by_diagonal(self):
+        rows, cols = zigzag_indices(8)
+        sums = rows + cols
+        assert (np.diff(sums) >= 0).all()
+
+    def test_arrays_are_readonly(self):
+        rows, _ = zigzag_indices(8)
+        with pytest.raises(ValueError):
+            rows[0] = 3
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            zigzag_indices(0)
+
+    def test_size_one_block(self):
+        rows, cols = zigzag_indices(1)
+        assert rows.tolist() == [0] and cols.tolist() == [0]
+
+
+class TestRoundTrip:
+    def test_single_block_round_trip(self, rng):
+        block = rng.integers(-100, 100, size=(8, 8)).astype(np.int16)
+        flat = zigzag_order(block)
+        assert flat.shape == (64,)
+        assert np.array_equal(inverse_zigzag(flat), block)
+
+    def test_stacked_blocks_round_trip(self, rng):
+        blocks = rng.integers(-100, 100, size=(5, 8, 8)).astype(np.int16)
+        flat = zigzag_order(blocks)
+        assert flat.shape == (5, 64)
+        assert np.array_equal(inverse_zigzag(flat), blocks)
+
+    @given(n=st.integers(min_value=1, max_value=12), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_block_size(self, n, seed):
+        block = np.random.default_rng(seed).integers(-5, 5, size=(n, n))
+        assert np.array_equal(inverse_zigzag(zigzag_order(block), n), block)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            zigzag_order(np.zeros((4, 8)))
+
+    def test_rejects_wrong_flat_length(self):
+        with pytest.raises(ValueError):
+            inverse_zigzag(np.zeros(63), 8)

@@ -1,0 +1,69 @@
+"""Compression codec and model tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression.codecs import CompressionModel, DeflatePayloadCodec, KindProfile
+from repro.preprocessing.payload import PayloadKind
+
+
+class TestDeflateCodec:
+    def test_round_trip(self):
+        codec = DeflatePayloadCodec()
+        data = b"hello world " * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_repetitive_data_shrinks(self):
+        codec = DeflatePayloadCodec()
+        data = b"\x00" * 10_000
+        assert len(codec.compress(data)) < 100
+
+    def test_validates_level(self):
+        with pytest.raises(ValueError):
+            DeflatePayloadCodec(level=0)
+
+    def test_actually_compresses_pixel_payloads(self, rng):
+        from repro.data.synthetic import generate_image
+
+        pixels = generate_image(rng, 128, 128, texture=0.3).tobytes()
+        codec = DeflatePayloadCodec()
+        ratio = len(codec.compress(pixels)) / len(pixels)
+        assert ratio < 0.95  # pixels are compressible, as the model assumes
+
+
+class TestCompressionModel:
+    def test_profiles_exist_for_all_kinds(self):
+        model = CompressionModel()
+        for kind in PayloadKind:
+            assert model.profile_for(kind).ratio > 0
+
+    def test_encoded_payloads_incompressible(self):
+        model = CompressionModel()
+        assert model.savings_bytes(PayloadKind.ENCODED, 10_000) == 0
+
+    def test_tensor_savings_positive(self):
+        model = CompressionModel()
+        assert model.savings_bytes(PayloadKind.TENSOR_F32, 10_000) > 0
+
+    def test_compressed_bytes_scale_linearly(self):
+        model = CompressionModel()
+        one = model.compressed_bytes(PayloadKind.IMAGE_U8, 1000)
+        ten = model.compressed_bytes(PayloadKind.IMAGE_U8, 10_000)
+        assert ten == pytest.approx(10 * one, rel=0.01)
+
+    def test_cpu_seconds_positive_and_asymmetric(self):
+        model = CompressionModel()
+        comp = model.compress_seconds(PayloadKind.IMAGE_U8, 1_000_000)
+        decomp = model.decompress_seconds(PayloadKind.IMAGE_U8, 1_000_000)
+        assert comp > decomp > 0  # inflate is cheaper than deflate
+
+    def test_kind_profile_validation(self):
+        with pytest.raises(ValueError):
+            KindProfile(ratio=0.0, compress_bytes_per_s=1.0, decompress_bytes_per_s=1.0)
+        with pytest.raises(ValueError):
+            KindProfile(ratio=0.5, compress_bytes_per_s=0.0, decompress_bytes_per_s=1.0)
+
+    def test_unknown_kind_raises(self):
+        model = CompressionModel(profiles={})
+        with pytest.raises(KeyError):
+            model.profile_for(PayloadKind.ENCODED)

@@ -1,0 +1,75 @@
+"""Joint offload+compression planner tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.compression import JointPlanner, SelectiveCompressor
+from repro.core.decision import DecisionEngine
+from repro.core.profiler import StageTwoProfiler
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture(scope="module")
+def records(openimages_small, pipeline):
+    return StageTwoProfiler().profile(openimages_small, pipeline)
+
+
+def sequential_plans(records, pipeline, spec, gpu_time):
+    offload = DecisionEngine().plan(records, spec, gpu_time_s=gpu_time)
+    compression = SelectiveCompressor().plan(
+        records, offload, pipeline, spec, gpu_time
+    )
+    return offload, compression
+
+
+class TestJointPlanner:
+    def test_structure(self, records, pipeline):
+        spec = standard_cluster(storage_cores=8)
+        joint = JointPlanner().plan(records, pipeline, spec, gpu_time_s=0.1)
+        assert len(joint.offload) == len(records)
+        # Compression only ever applies to offloaded samples.
+        for sid in joint.compression.decisions:
+            assert joint.offload.split_for(sid) > 0
+
+    def test_no_storage_cores(self, records, pipeline):
+        spec = standard_cluster(storage_cores=0)
+        joint = JointPlanner().plan(records, pipeline, spec, gpu_time_s=0.1)
+        assert joint.num_offloaded == 0
+        assert joint.num_compressed == 0
+
+    def test_matches_sequential_with_ample_cores(self, records, pipeline):
+        # With no CPU contention the two formulations admit the same sets.
+        spec = standard_cluster(storage_cores=48)
+        joint = JointPlanner().plan(records, pipeline, spec, gpu_time_s=0.1)
+        offload, compression = sequential_plans(records, pipeline, spec, 0.1)
+        assert list(joint.offload.splits) == list(offload.splits)
+        assert set(joint.compression.decisions) == set(compression.decisions)
+
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    def test_never_worse_than_sequential(self, records, pipeline, cores, openimages_small):
+        spec = standard_cluster(storage_cores=cores)
+        model = get_model_profile("alexnet")
+        gpu_time = len(records) / model.images_per_second
+        trainer = TrainerSim(
+            openimages_small, pipeline, model, spec, batch_size=64, seed=0
+        )
+
+        joint = JointPlanner().plan(records, pipeline, spec, gpu_time_s=gpu_time)
+        offload, compression = sequential_plans(records, pipeline, spec, gpu_time)
+
+        joint_stats = trainer.run_epoch(
+            list(joint.offload.splits), epoch=1,
+            adjustments=joint.compression.adjustments(),
+        )
+        seq_stats = trainer.run_epoch(
+            list(offload.splits), epoch=1,
+            adjustments=compression.adjustments(),
+        )
+        assert joint_stats.epoch_time_s <= seq_stats.epoch_time_s * 1.03
+
+    def test_expected_estimate_attached(self, records, pipeline):
+        spec = standard_cluster(storage_cores=4)
+        joint = JointPlanner().plan(records, pipeline, spec, gpu_time_s=0.1)
+        assert joint.offload.expected is not None
+        assert joint.offload.expected.epoch_time_s > 0

@@ -1,0 +1,99 @@
+"""Selective compression planner tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.compression.selective import SelectiveCompressor, stage_kinds
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.preprocessing.payload import PayloadKind
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture
+def planned(openimages_small, pipeline):
+    spec = standard_cluster(storage_cores=48)
+    ctx = PolicyContext(
+        dataset=openimages_small,
+        pipeline=pipeline,
+        spec=spec,
+        model=get_model_profile("alexnet"),
+        batch_size=64,
+        seed=0,
+    )
+    plan = Sophon().plan(ctx)
+    return ctx, plan, spec
+
+
+class TestStageKinds:
+    def test_kinds_track_pipeline(self, pipeline):
+        kinds = stage_kinds(pipeline)
+        assert kinds[0] is PayloadKind.ENCODED
+        assert kinds[1] is PayloadKind.IMAGE_U8  # post decode
+        assert kinds[3] is PayloadKind.IMAGE_U8  # post flip
+        assert kinds[5] is PayloadKind.TENSOR_F32  # post normalize
+
+
+class TestSelectiveCompressor:
+    def test_compresses_only_offloaded_samples(self, planned):
+        ctx, plan, spec = planned
+        result = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec, ctx.epoch_gpu_time_s
+        )
+        assert result.num_compressed > 0
+        for sid in result.decisions:
+            assert plan.split_for(sid) > 0
+
+    def test_savings_positive(self, planned):
+        ctx, plan, spec = planned
+        result = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec, ctx.epoch_gpu_time_s
+        )
+        assert result.total_saved_bytes > 0
+        for decision in result.decisions.values():
+            assert decision.saved_bytes > 0
+            assert decision.storage_cpu_s > 0
+            assert decision.efficiency > 0
+
+    def test_no_storage_cores_no_compression(self, planned):
+        ctx, plan, _ = planned
+        spec0 = standard_cluster(storage_cores=0)
+        result = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec0, ctx.epoch_gpu_time_s
+        )
+        assert result.num_compressed == 0
+
+    def test_adjustments_reduce_simulated_traffic_and_time(
+        self, planned, openimages_small, pipeline
+    ):
+        ctx, plan, spec = planned
+        result = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec, ctx.epoch_gpu_time_s
+        )
+        trainer = TrainerSim(
+            openimages_small, pipeline, ctx.model, spec, batch_size=64, seed=0
+        )
+        base = trainer.run_epoch(list(plan.splits), epoch=0)
+        compressed = trainer.run_epoch(
+            list(plan.splits), epoch=0, adjustments=result.adjustments()
+        )
+        assert compressed.traffic_bytes == base.traffic_bytes - result.total_saved_bytes
+        assert compressed.epoch_time_s <= base.epoch_time_s
+
+    def test_record_plan_length_mismatch(self, planned):
+        ctx, plan, spec = planned
+        with pytest.raises(ValueError):
+            SelectiveCompressor().plan(
+                ctx.records()[:-1], plan, ctx.pipeline, spec, 0.1
+            )
+
+    def test_epoch0_of_records_drives_decisions_deterministically(self, planned):
+        ctx, plan, spec = planned
+        a = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec, ctx.epoch_gpu_time_s
+        )
+        b = SelectiveCompressor().plan(
+            ctx.records(), plan, ctx.pipeline, spec, ctx.epoch_gpu_time_s
+        )
+        assert a.decisions.keys() == b.decisions.keys()

@@ -1,0 +1,52 @@
+"""Shared fixtures: small datasets, pipelines, clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.data.catalog import make_imagenet, make_openimages
+from repro.data.synthetic import ImageContentConfig, SyntheticImageDataset
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return standard_pipeline()
+
+
+@pytest.fixture(scope="session")
+def openimages_small():
+    """Calibrated OpenImages trace, small but statistically faithful."""
+    return make_openimages(num_samples=600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imagenet_small():
+    return make_imagenet(num_samples=900, seed=7)
+
+
+@pytest.fixture(scope="session")
+def materialized_tiny():
+    """A 10-sample materialized dataset (real pixels + codec)."""
+    return SyntheticImageDataset(
+        num_samples=10,
+        seed=5,
+        content=ImageContentConfig(min_side=64, max_side=256),
+        name="materialized-tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    return get_model_profile("alexnet", "rtx6000")
+
+
+@pytest.fixture
+def cluster():
+    return standard_cluster(storage_cores=8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,99 @@
+"""Storage-CPU calibration probe tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.calibration import StorageSpeedProbe
+from repro.core.decision import DecisionEngine
+from repro.core.profiler import StageTwoProfiler
+
+
+@pytest.fixture(scope="module")
+def records(openimages_small, pipeline):
+    return StageTwoProfiler().profile(openimages_small, pipeline)
+
+
+class TestStorageSpeedProbe:
+    @pytest.mark.parametrize("true_factor", [0.5, 1.0, 2.0, 4.0])
+    def test_recovers_the_true_factor(
+        self, openimages_small, pipeline, records, true_factor
+    ):
+        spec = standard_cluster(storage_cores=4)
+        result = StorageSpeedProbe().probe(
+            openimages_small, pipeline, spec, records, true_factor=true_factor
+        )
+        assert result.estimated_factor == pytest.approx(true_factor, rel=1e-6)
+
+    def test_calibrated_spec_carries_the_estimate(
+        self, openimages_small, pipeline, records
+    ):
+        spec = standard_cluster(storage_cores=4)
+        result = StorageSpeedProbe().probe(
+            openimages_small, pipeline, spec, records, true_factor=3.0
+        )
+        calibrated = result.calibrated_spec(spec)
+        assert calibrated.storage_cpu_factor == pytest.approx(3.0)
+        assert calibrated.storage_cores == spec.storage_cores
+
+    def test_calibrated_plan_matches_omniscient_plan(
+        self, openimages_small, pipeline, records
+    ):
+        base = standard_cluster(storage_cores=2)
+        true_factor = 4.0
+        result = StorageSpeedProbe().probe(
+            openimages_small, pipeline, base, records, true_factor=true_factor
+        )
+        engine = DecisionEngine()
+        calibrated_plan = engine.plan(
+            records, result.calibrated_spec(base), gpu_time_s=0.1
+        )
+        omniscient_spec = dataclasses.replace(base, storage_cpu_factor=true_factor)
+        omniscient_plan = engine.plan(records, omniscient_spec, gpu_time_s=0.1)
+        assert list(calibrated_plan.splits) == list(omniscient_plan.splits)
+
+    def test_uncalibrated_plan_overcommits_a_slow_node(
+        self, openimages_small, pipeline, records
+    ):
+        base = standard_cluster(storage_cores=2)
+        naive = DecisionEngine().plan(records, base, gpu_time_s=0.1)
+        slow = dataclasses.replace(base, storage_cpu_factor=6.0)
+        aware = DecisionEngine().plan(records, slow, gpu_time_s=0.1)
+        # Planning as if CPUs were equal offloads more than a 6x-slower
+        # node can absorb; the calibrated plan is smaller.
+        assert aware.num_offloaded < naive.num_offloaded
+
+    def test_probe_picks_expensive_samples(self, openimages_small, pipeline, records):
+        probe = StorageSpeedProbe(probe_samples=5)
+        ids = probe._pick_probe_ids(records)
+        costs = sorted((r.prefix_cost(2) for r in records), reverse=True)
+        picked = {records[i].prefix_cost(2) for i in ids}
+        assert picked == set(costs[:5])
+
+    def test_observation_network_subtraction(self, openimages_small, pipeline, records):
+        spec = standard_cluster(storage_cores=4)
+        result = StorageSpeedProbe(probe_samples=3).probe(
+            openimages_small, pipeline, spec, records, true_factor=2.0
+        )
+        for obs in result.observations:
+            assert obs.remote_cpu_s == pytest.approx(
+                2.0 * obs.local_prefix_cost_s, rel=1e-9
+            )
+
+    def test_validation(self, openimages_small, pipeline, records):
+        with pytest.raises(ValueError):
+            StorageSpeedProbe(probe_samples=0)
+        with pytest.raises(ValueError):
+            StorageSpeedProbe(split=0)
+        probe = StorageSpeedProbe()
+        with pytest.raises(ValueError):
+            probe.probe(
+                openimages_small, pipeline,
+                standard_cluster(storage_cores=0), records,
+            )
+        with pytest.raises(ValueError):
+            probe.probe(
+                openimages_small, pipeline,
+                standard_cluster(), records, true_factor=0.0,
+            )

@@ -1,0 +1,112 @@
+"""Property-based invariants of the decision engine.
+
+Random populations of plausible sample records; the engine must uphold its
+contract on every one of them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.epoch_model import EpochMetrics, EpochModel
+from repro.cluster.spec import standard_cluster
+from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.preprocessing.records import SampleRecord
+
+CROP = 224 * 224 * 3
+
+
+@st.composite
+def sample_records(draw, max_samples=40):
+    """A population shaped like the real pipeline's records."""
+    count = draw(st.integers(1, max_samples))
+    records = []
+    for sample_id in range(count):
+        raw = draw(st.integers(2_000, 1_200_000))
+        decode_cost = draw(st.floats(0.001, 0.05))
+        crop_cost = draw(st.floats(0.0005, 0.01))
+        records.append(
+            SampleRecord(
+                sample_id=sample_id,
+                stage_sizes=(raw, raw * 4, CROP, CROP, CROP * 4, CROP * 4),
+                op_costs=(decode_cost, crop_cost, 0.0001, 0.0005, 0.0008),
+            )
+        )
+    return records
+
+
+@st.composite
+def clusters(draw):
+    return standard_cluster(
+        storage_cores=draw(st.integers(1, 64)),
+        bandwidth_mbps=draw(st.floats(10.0, 10_000.0)),
+        compute_cores=draw(st.integers(1, 64)),
+    )
+
+
+def baseline_estimate(records, spec, gpu_time_s):
+    return EpochModel(spec).estimate(
+        EpochMetrics(
+            gpu_time_s=gpu_time_s,
+            compute_cpu_s=sum(r.total_cost for r in records),
+            storage_cpu_s=0.0,
+            traffic_bytes=float(
+                sum(r.raw_size for r in records)
+                + spec.response_overhead_bytes * len(records)
+            ),
+        )
+    )
+
+
+class TestEngineInvariants:
+    @given(records=sample_records(), spec=clusters(), gpu=st.floats(0.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_structurally_valid(self, records, spec, gpu):
+        plan = DecisionEngine().plan(records, spec, gpu_time_s=gpu)
+        assert len(plan) == len(records)
+        for record in records:
+            split = plan.split_for(record.sample_id)
+            assert 0 <= split <= record.num_ops
+            if split > 0:
+                # Only ever offloads to the sample's own minimum stage, and
+                # only for samples with positive efficiency.
+                assert split == record.min_stage
+                assert record.offload_efficiency > 0
+
+    @given(records=sample_records(), spec=clusters(), gpu=st.floats(0.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_guarded_plan_never_worse_than_baseline(self, records, spec, gpu):
+        plan = DecisionEngine(DecisionConfig(never_worsen=True)).plan(
+            records, spec, gpu_time_s=gpu
+        )
+        if plan.expected is None:
+            return
+        baseline = baseline_estimate(records, spec, gpu)
+        assert plan.expected.epoch_time_s <= baseline.epoch_time_s + 1e-6
+
+    @given(records=sample_records(), gpu=st.floats(0.0, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_cores_never_shrink_the_plan_value(self, records, gpu):
+        engine = DecisionEngine()
+        few = engine.plan(records, standard_cluster(storage_cores=1), gpu_time_s=gpu)
+        many = engine.plan(records, standard_cluster(storage_cores=48), gpu_time_s=gpu)
+        if few.expected is not None and many.expected is not None:
+            assert many.expected.epoch_time_s <= few.expected.epoch_time_s + 1e-9
+
+    @given(records=sample_records())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, records):
+        spec = standard_cluster(storage_cores=4)
+        engine = DecisionEngine()
+        assert list(engine.plan(records, spec, 1.0).splits) == list(
+            engine.plan(records, spec, 1.0).splits
+        )
+
+    @given(records=sample_records())
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_never_increases(self, records):
+        spec = standard_cluster(storage_cores=8)
+        plan = DecisionEngine().plan(records, spec, gpu_time_s=0.1)
+        planned = plan.expected_traffic_bytes(records)
+        raw = sum(r.raw_size for r in records)
+        assert planned <= raw

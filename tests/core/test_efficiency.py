@@ -1,0 +1,65 @@
+"""Efficiency-distribution tests (Figure 1c machinery)."""
+
+import pytest
+
+from repro.core.efficiency import (
+    efficiencies,
+    efficiency_cdf,
+    efficiency_distribution,
+)
+from repro.core.profiler import StageTwoProfiler
+from repro.preprocessing.records import SampleRecord
+
+CROP = 224 * 224 * 3
+
+
+def record(sample_id, raw):
+    sizes = (raw, raw * 4, CROP, CROP, CROP * 4, CROP * 4)
+    return SampleRecord(sample_id, sizes, (0.01,) * 5)
+
+
+class TestEfficiencies:
+    def test_array_order_matches_records(self):
+        records = [record(0, CROP * 2), record(1, CROP // 2)]
+        values = efficiencies(records)
+        assert values[0] > 0
+        assert values[1] == 0.0
+
+    def test_distribution_zero_fraction(self):
+        records = [record(i, CROP // 2) for i in range(3)] + [record(3, CROP * 2)]
+        summary = efficiency_distribution(records)
+        assert summary.zero_fraction == pytest.approx(0.75)
+        assert summary.mean_nonzero > 0
+
+    def test_empty_records(self):
+        summary = efficiency_distribution([])
+        assert summary.num_samples == 0
+        assert summary.zero_fraction == 0.0
+
+    def test_all_zero(self):
+        summary = efficiency_distribution([record(0, 100)])
+        assert summary.zero_fraction == 1.0
+        assert summary.median_nonzero == 0.0
+
+    def test_openimages_zero_fraction_matches_paper(self, openimages_small, pipeline):
+        records = StageTwoProfiler().profile(openimages_small, pipeline)
+        summary = efficiency_distribution(records)
+        # Paper: 24% of OpenImages samples have ratio 0.
+        assert summary.zero_fraction == pytest.approx(0.24, abs=0.05)
+
+
+class TestCdf:
+    def test_cdf_monotone(self, openimages_small, pipeline):
+        records = StageTwoProfiler().profile(openimages_small, pipeline)
+        points = efficiency_cdf(records, points=50)
+        values = [v for v, _ in points]
+        quantiles = [q for _, q in points]
+        assert values == sorted(values)
+        assert quantiles[0] == 0.0 and quantiles[-1] == 1.0
+
+    def test_cdf_empty(self):
+        assert efficiency_cdf([]) == []
+
+    def test_cdf_validates_points(self):
+        with pytest.raises(ValueError):
+            efficiency_cdf([record(0, CROP * 2)], points=1)

@@ -1,0 +1,41 @@
+"""Planning-path logging tests."""
+
+import logging
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture
+def context(openimages_small, pipeline):
+    return PolicyContext(
+        dataset=openimages_small,
+        pipeline=pipeline,
+        spec=standard_cluster(storage_cores=8),
+        model=get_model_profile("alexnet"),
+        batch_size=64,
+        seed=0,
+    )
+
+
+class TestPlanningLogs:
+    def test_stage_one_probe_logged(self, context, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.core.sophon"):
+            Sophon().plan(context)
+        assert any("stage-one probe" in r.message for r in caplog.records)
+        assert any("io-bound" in r.message for r in caplog.records)
+
+    def test_decision_summary_logged(self, context, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.core.decision"):
+            plan = Sophon().plan(context)
+        decisions = [r for r in caplog.records if "decision:" in r.message]
+        assert len(decisions) == 1
+        assert f"offloaded {plan.num_offloaded}" in decisions[0].message
+
+    def test_silent_by_default(self, context, capsys):
+        Sophon().plan(context)
+        assert capsys.readouterr().err == ""

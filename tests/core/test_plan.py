@@ -1,0 +1,69 @@
+"""OffloadPlan tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.plan import OffloadPlan
+from repro.preprocessing.records import SampleRecord
+
+
+def record(sample_id, sizes, costs=None):
+    if costs is None:
+        costs = [0.01] * (len(sizes) - 1)
+    return SampleRecord(sample_id, tuple(sizes), tuple(costs))
+
+
+class TestOffloadPlan:
+    def test_counts(self):
+        plan = OffloadPlan(splits=[0, 2, 0, 3])
+        assert plan.num_offloaded == 2
+        assert plan.offload_fraction == 0.5
+        assert len(plan) == 4
+
+    def test_split_histogram(self):
+        plan = OffloadPlan(splits=[0, 2, 2, 5])
+        assert plan.split_histogram() == {0: 1, 2: 2, 5: 1}
+
+    def test_no_offload_constructor(self):
+        plan = OffloadPlan.no_offload(3, reason="why")
+        assert list(plan.splits) == [0, 0, 0]
+        assert plan.reason == "why"
+
+    def test_uniform_constructor(self):
+        plan = OffloadPlan.uniform(3, split=2)
+        assert list(plan.splits) == [2, 2, 2]
+
+    def test_rejects_negative_splits(self):
+        with pytest.raises(ValueError):
+            OffloadPlan(splits=[0, -1])
+
+    def test_empty_plan(self):
+        plan = OffloadPlan(splits=[])
+        assert plan.offload_fraction == 0.0
+
+    def test_clamped_for_no_storage_cores(self):
+        plan = OffloadPlan.uniform(3, split=2, reason="orig")
+        clamped = plan.clamped_for(standard_cluster(storage_cores=0))
+        assert clamped.num_offloaded == 0
+        assert "clamped" in clamped.reason
+
+    def test_clamp_is_noop_when_offloading_possible(self):
+        plan = OffloadPlan.uniform(3, split=2)
+        assert plan.clamped_for(standard_cluster(storage_cores=1)) is plan
+
+    def test_clamp_is_noop_for_empty_plans(self):
+        plan = OffloadPlan.no_offload(3)
+        assert plan.clamped_for(standard_cluster(storage_cores=0)) is plan
+
+    def test_expected_traffic(self):
+        records = [
+            record(0, [100, 300, 50, 50, 200, 200]),
+            record(1, [80, 300, 50, 50, 200, 200]),
+        ]
+        plan = OffloadPlan(splits=[2, 0])
+        assert plan.expected_traffic_bytes(records) == 50 + 80
+        assert plan.expected_traffic_bytes(records, overhead_bytes=10) == 150
+
+    def test_expected_traffic_validates_length(self):
+        with pytest.raises(ValueError):
+            OffloadPlan(splits=[0]).expected_traffic_bytes([])

@@ -1,0 +1,92 @@
+"""Sophon policy facade tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.workloads.models import get_model_profile
+
+
+def context(dataset, pipeline, spec, model_name="alexnet", batch_size=64, gpu="rtx6000"):
+    return PolicyContext(
+        dataset=dataset,
+        pipeline=pipeline,
+        spec=spec,
+        model=get_model_profile(model_name, gpu),
+        batch_size=batch_size,
+        seed=0,
+    )
+
+
+class TestSophon:
+    def test_io_bound_workload_gets_offloads(self, openimages_small, pipeline):
+        ctx = context(openimages_small, pipeline, standard_cluster(storage_cores=48))
+        plan = Sophon().plan(ctx)
+        assert plan.num_offloaded > 0
+        frac = plan.offload_fraction
+        assert frac == pytest.approx(0.76, abs=0.06)  # paper's benefit share
+
+    def test_gpu_bound_workload_declines(self, openimages_small, pipeline):
+        spec = standard_cluster(bandwidth_mbps=100_000.0)
+        ctx = context(openimages_small, pipeline, spec, model_name="resnet50")
+        policy = Sophon()
+        plan = policy.plan(ctx)
+        assert plan.num_offloaded == 0
+        assert "gpu-bound" in plan.reason
+        assert policy.last_probe is not None
+        assert not policy.last_probe.io_bound
+
+    def test_no_storage_cores_declines(self, openimages_small, pipeline):
+        ctx = context(openimages_small, pipeline, standard_cluster(storage_cores=0))
+        plan = Sophon().plan(ctx)
+        assert plan.num_offloaded == 0
+
+    def test_skip_stage_one_forces_planning(self, openimages_small, pipeline):
+        spec = standard_cluster(bandwidth_mbps=100_000.0)
+        ctx = context(openimages_small, pipeline, spec, model_name="resnet50")
+        plan = Sophon(skip_stage_one=True).plan(ctx)
+        # Without the stage-one gate, the decision engine still refuses:
+        # the network is not the predominant metric.
+        assert plan.num_offloaded == 0
+        assert "network no longer predominant" in plan.reason
+
+    def test_splits_are_min_stage_splits(self, openimages_small, pipeline):
+        ctx = context(openimages_small, pipeline, standard_cluster(storage_cores=48))
+        plan = Sophon().plan(ctx)
+        records = ctx.records()
+        for record in records:
+            split = plan.split_for(record.sample_id)
+            if split > 0:
+                assert split == record.min_stage
+
+    def test_capabilities_row_full(self):
+        caps = Sophon.capabilities
+        assert caps.operation_selective
+        assert caps.data_partial
+        assert caps.data_selective
+        assert caps.to_near_storage
+
+
+class TestPolicyContext:
+    def test_records_cached(self, openimages_small, pipeline):
+        ctx = context(openimages_small, pipeline, standard_cluster())
+        assert ctx.records() is ctx.records()
+
+    def test_records_for_other_epoch_not_cached(self, openimages_small, pipeline):
+        ctx = context(openimages_small, pipeline, standard_cluster())
+        assert ctx.records(epoch=1) is not ctx.records(epoch=1)
+
+    def test_effective_batch_size_defaults_to_model(self, openimages_small, pipeline):
+        ctx = PolicyContext(
+            dataset=openimages_small,
+            pipeline=pipeline,
+            spec=standard_cluster(),
+            model=get_model_profile("alexnet"),
+        )
+        assert ctx.effective_batch_size == 256
+
+    def test_epoch_gpu_time(self, openimages_small, pipeline, alexnet):
+        ctx = context(openimages_small, pipeline, standard_cluster())
+        expected = len(openimages_small) / alexnet.images_per_second
+        assert ctx.epoch_gpu_time_s == pytest.approx(expected)

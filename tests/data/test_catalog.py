@@ -1,0 +1,80 @@
+"""Paper-calibrated dataset spec tests: the ratios must be emergent."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import (
+    IMAGENET_SPEC,
+    OPENIMAGES_SPEC,
+    DatasetSpec,
+    make_imagenet,
+    make_openimages,
+)
+
+
+class TestSpecDerivation:
+    def test_crop_and_tensor_bytes(self):
+        assert OPENIMAGES_SPEC.crop_bytes == 224 * 224 * 3 == 150_528
+        assert OPENIMAGES_SPEC.tensor_bytes == 602_112
+
+    def test_mean_raw_from_alloff_ratio(self):
+        assert OPENIMAGES_SPEC.mean_raw_bytes == pytest.approx(602_112 / 1.9)
+        assert IMAGENET_SPEC.mean_raw_bytes == pytest.approx(602_112 / 5.1)
+
+    def test_component_means_consistent_with_mixture(self):
+        for spec in (OPENIMAGES_SPEC, IMAGENET_SPEC):
+            p = spec.benefit_fraction
+            mixture = p * spec.mean_above_threshold + (1 - p) * spec.mean_below_threshold
+            assert mixture == pytest.approx(spec.mean_raw_bytes, rel=1e-9)
+
+    def test_component_means_on_correct_sides(self):
+        for spec in (OPENIMAGES_SPEC, IMAGENET_SPEC):
+            assert spec.mean_above_threshold > spec.crop_bytes
+            assert spec.mean_below_threshold < spec.crop_bytes
+
+    def test_full_scale_counts_match_paper_footprints(self):
+        # 12 GB / 11 GB subsets of tens of thousands of images.
+        assert 30_000 < OPENIMAGES_SPEC.full_scale_samples < 50_000
+        assert 80_000 < IMAGENET_SPEC.full_scale_samples < 110_000
+
+
+class TestBuiltDatasets:
+    @pytest.mark.parametrize("spec", [OPENIMAGES_SPEC, IMAGENET_SPEC], ids=["oi", "in"])
+    def test_population_reproduces_paper_ratios(self, spec):
+        dataset = spec.build(num_samples=20_000, seed=3)
+        sizes = np.asarray(dataset.raw_sizes, dtype=np.float64)
+
+        benefit = (sizes > spec.crop_bytes).mean()
+        assert benefit == pytest.approx(spec.benefit_fraction, abs=0.015)
+
+        alloff_ratio = spec.tensor_bytes * len(sizes) / sizes.sum()
+        assert alloff_ratio == pytest.approx(spec.alloff_traffic_ratio, rel=0.04)
+
+        sophon_traffic = np.minimum(sizes, spec.crop_bytes).sum()
+        sophon_ratio = sizes.sum() / sophon_traffic
+        assert sophon_ratio == pytest.approx(spec.sophon_traffic_ratio, rel=0.04)
+
+    def test_scale_controls_count(self):
+        ds = OPENIMAGES_SPEC.build(scale=0.01, seed=0)
+        assert len(ds) == round(OPENIMAGES_SPEC.full_scale_samples * 0.01)
+
+    def test_num_samples_overrides_scale(self):
+        assert len(make_openimages(num_samples=123)) == 123
+
+    def test_seeded_builds_are_identical(self):
+        a = make_imagenet(num_samples=50, seed=4)
+        b = make_imagenet(num_samples=50, seed=4)
+        assert np.array_equal(a.raw_sizes, b.raw_sizes)
+
+    def test_different_seeds_differ(self):
+        a = make_openimages(num_samples=50, seed=1)
+        b = make_openimages(num_samples=50, seed=2)
+        assert not np.array_equal(a.raw_sizes, b.raw_sizes)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            OPENIMAGES_SPEC.build(scale=0.0)
+
+    def test_names(self):
+        assert make_openimages(num_samples=5).name == "openimages-12g"
+        assert make_imagenet(num_samples=5).name == "imagenet-11g"

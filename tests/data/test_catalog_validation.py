@@ -1,0 +1,63 @@
+"""DatasetSpec consistency: contradictory paper ratios must fail loudly."""
+
+import pytest
+
+from repro.data.catalog import DatasetSpec
+
+
+def spec(**overrides):
+    base = dict(
+        name="test",
+        total_bytes=1e9,
+        alloff_traffic_ratio=1.9,
+        benefit_fraction=0.76,
+        sophon_traffic_ratio=2.2,
+    )
+    base.update(overrides)
+    return DatasetSpec(**base)
+
+
+class TestSpecConsistency:
+    def test_paperlike_spec_builds(self):
+        dataset = spec().build(num_samples=50, seed=0)
+        assert len(dataset) == 50
+
+    def test_impossible_sophon_ratio_rejected_at_build(self):
+        # A traffic reduction so large it would need negative sizes for the
+        # non-benefiting population.
+        bad = spec(sophon_traffic_ratio=10.0)
+        assert bad.mean_below_threshold < bad.floor_bytes if hasattr(bad, "floor_bytes") else True
+        with pytest.raises(ValueError):
+            bad.build(num_samples=10, seed=0)
+
+    def test_sophon_ratio_below_one_rejected(self):
+        # "SOPHON increases traffic" contradicts shipping per-sample minima.
+        bad = spec(sophon_traffic_ratio=0.9)
+        with pytest.raises(ValueError):
+            bad.build(num_samples=10, seed=0)
+
+    def test_tiny_alloff_ratio_means_huge_raws(self):
+        # All-Off ratio < 1 means raw bigger than float tensors; the SOPHON
+        # ratio must rise accordingly (everything benefits hugely) for the
+        # mixture to stay consistent.
+        dataset = spec(alloff_traffic_ratio=0.8, sophon_traffic_ratio=5.5).build(
+            num_samples=50, seed=0
+        )
+        assert dataset.raw_sizes.mean() > 600_000
+
+    def test_inconsistent_ratio_pair_rejected(self):
+        # alloff 0.8 forces a huge mean raw; a modest SOPHON ratio would
+        # then require non-benefiting samples *larger* than the crop.
+        with pytest.raises(ValueError):
+            spec(alloff_traffic_ratio=0.8, sophon_traffic_ratio=3.5).build(
+                num_samples=10, seed=0
+            )
+
+    def test_derivations_match_hand_algebra(self):
+        s = spec()
+        assert s.mean_raw_bytes == pytest.approx(602_112 / 1.9)
+        sophon_traffic = (
+            s.benefit_fraction * s.crop_bytes
+            + (1 - s.benefit_fraction) * s.mean_below_threshold
+        )
+        assert s.mean_raw_bytes / sophon_traffic == pytest.approx(2.2)

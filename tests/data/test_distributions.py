@@ -1,0 +1,149 @@
+"""Calibrated size-distribution tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    BimodalSizeDistribution,
+    dimensions_for_sizes,
+    solve_truncated_lognormal_mu,
+    truncated_lognormal_mean,
+)
+
+THRESHOLD = 224 * 224 * 3
+
+
+class TestTruncatedLognormal:
+    def test_untruncated_mean_matches_closed_form(self):
+        mu, sigma = 1.0, 0.5
+        assert truncated_lognormal_mean(mu, sigma) == pytest.approx(
+            math.exp(mu + sigma**2 / 2)
+        )
+
+    def test_truncation_above_raises_mean(self):
+        mu, sigma = 1.0, 0.5
+        base = truncated_lognormal_mean(mu, sigma)
+        above = truncated_lognormal_mean(mu, sigma, lower=math.exp(mu))
+        assert above > base
+
+    def test_truncation_below_lowers_mean(self):
+        mu, sigma = 1.0, 0.5
+        base = truncated_lognormal_mean(mu, sigma)
+        below = truncated_lognormal_mean(mu, sigma, upper=math.exp(mu))
+        assert below < base
+
+    def test_solver_hits_target(self):
+        target = 250_000.0
+        mu = solve_truncated_lognormal_mu(target, 0.45, lower=float(THRESHOLD))
+        assert truncated_lognormal_mean(mu, 0.45, lower=float(THRESHOLD)) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_solver_with_upper_bound(self):
+        target = 100_000.0
+        mu = solve_truncated_lognormal_mu(
+            target, 0.35, lower=2048.0, upper=float(THRESHOLD)
+        )
+        got = truncated_lognormal_mean(mu, 0.35, lower=2048.0, upper=float(THRESHOLD))
+        assert got == pytest.approx(target, rel=1e-6)
+
+    def test_solver_rejects_unreachable_targets(self):
+        with pytest.raises(ValueError):
+            solve_truncated_lognormal_mu(100.0, 0.4, lower=1000.0)
+        with pytest.raises(ValueError):
+            solve_truncated_lognormal_mu(2000.0, 0.4, lower=0.0, upper=1000.0)
+
+    @given(
+        target=st.floats(min_value=160_000, max_value=5_000_000),
+        sigma=st.floats(min_value=0.1, max_value=1.2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_solver_property(self, target, sigma):
+        mu = solve_truncated_lognormal_mu(target, sigma, lower=float(THRESHOLD))
+        got = truncated_lognormal_mean(mu, sigma, lower=float(THRESHOLD))
+        # Accuracy degrades when the target sits just above the truncation
+        # bound with large sigma (the mean is nearly flat in mu there).
+        assert got == pytest.approx(target, rel=1e-3)
+
+
+class TestBimodalDistribution:
+    def make(self, benefit=0.76, mean_above=380_000.0, mean_below=120_000.0):
+        return BimodalSizeDistribution(
+            threshold_bytes=THRESHOLD,
+            benefit_fraction=benefit,
+            mean_above=mean_above,
+            mean_below=mean_below,
+        )
+
+    def test_benefit_fraction_exact_in_population(self, rng):
+        dist = self.make(benefit=0.5)
+        sizes = dist.sample(rng, 20_000)
+        frac = (sizes > THRESHOLD).mean()
+        assert abs(frac - 0.5) < 0.02
+
+    def test_components_respect_threshold_strictly(self, rng):
+        dist = self.make()
+        sizes = dist.sample(rng, 5_000)
+        above = sizes[sizes > THRESHOLD]
+        below = sizes[sizes <= THRESHOLD]
+        assert above.min() > THRESHOLD
+        assert below.max() <= THRESHOLD
+        assert below.min() >= dist.floor_bytes
+
+    def test_conditional_means_close_to_targets(self, rng):
+        dist = self.make()
+        sizes = dist.sample(rng, 40_000)
+        above = sizes[sizes > THRESHOLD]
+        below = sizes[sizes <= THRESHOLD]
+        assert above.mean() == pytest.approx(dist.mean_above, rel=0.03)
+        assert below.mean() == pytest.approx(dist.mean_below, rel=0.03)
+
+    def test_mixture_mean_formula(self):
+        dist = self.make(benefit=0.3, mean_above=400_000, mean_below=90_000)
+        assert dist.mixture_mean == pytest.approx(0.3 * 400_000 + 0.7 * 90_000)
+
+    def test_zero_samples(self, rng):
+        assert len(self.make().sample(rng, 0)) == 0
+
+    def test_deterministic_given_rng_seed(self):
+        dist = self.make()
+        a = dist.sample(np.random.default_rng(42), 100)
+        b = dist.sample(np.random.default_rng(42), 100)
+        assert np.array_equal(a, b)
+
+    def test_rejects_mean_above_below_threshold(self):
+        with pytest.raises(ValueError):
+            self.make(mean_above=100_000.0)
+
+    def test_rejects_mean_below_above_threshold(self):
+        with pytest.raises(ValueError):
+            self.make(mean_below=200_000.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            self.make(benefit=1.5)
+
+
+class TestDimensions:
+    def test_dimension_arrays_match_sizes(self, rng):
+        sizes = np.full(100, 300_000, dtype=np.int64)
+        heights, widths = dimensions_for_sizes(rng, sizes)
+        assert len(heights) == len(widths) == 100
+        assert heights.min() >= 64 and widths.min() >= 64
+
+    def test_pixels_track_bytes(self, rng):
+        small = np.full(500, 30_000, dtype=np.int64)
+        large = np.full(500, 600_000, dtype=np.int64)
+        h_s, w_s = dimensions_for_sizes(rng, small)
+        h_l, w_l = dimensions_for_sizes(rng, large)
+        assert (h_l * w_l).mean() > 5 * (h_s * w_s).mean()
+
+    def test_aspect_ratio_bounded(self, rng):
+        sizes = np.full(2000, 400_000, dtype=np.int64)
+        heights, widths = dimensions_for_sizes(rng, sizes)
+        aspect = widths / heights
+        assert aspect.min() > 0.5 and aspect.max() < 2.4

@@ -1,0 +1,62 @@
+"""Sampler and batch sampler tests."""
+
+import pytest
+
+from repro.data.sampler import BatchSampler, RandomSampler, SequentialSampler
+
+
+class TestSequentialSampler:
+    def test_order_is_identity(self):
+        assert SequentialSampler(5).epoch_order(0) == [0, 1, 2, 3, 4]
+
+    def test_same_every_epoch(self):
+        sampler = SequentialSampler(4)
+        assert sampler.epoch_order(0) == sampler.epoch_order(7)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SequentialSampler(-1)
+
+
+class TestRandomSampler:
+    def test_is_a_permutation(self):
+        order = RandomSampler(100, seed=1).epoch_order(0)
+        assert sorted(order) == list(range(100))
+
+    def test_epochs_reshuffle(self):
+        sampler = RandomSampler(50, seed=1)
+        assert sampler.epoch_order(0) != sampler.epoch_order(1)
+
+    def test_deterministic_in_seed_and_epoch(self):
+        assert RandomSampler(50, seed=3).epoch_order(2) == RandomSampler(
+            50, seed=3
+        ).epoch_order(2)
+
+    def test_seed_changes_order(self):
+        assert RandomSampler(50, seed=1).epoch_order(0) != RandomSampler(
+            50, seed=2
+        ).epoch_order(0)
+
+
+class TestBatchSampler:
+    def test_batches_cover_everything_in_order(self):
+        batches = list(BatchSampler(SequentialSampler(10), 4).epoch_batches(0))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_drop_last(self):
+        batches = list(
+            BatchSampler(SequentialSampler(10), 4, drop_last=True).epoch_batches(0)
+        )
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_batches_per_epoch(self):
+        assert BatchSampler(SequentialSampler(10), 4).batches_per_epoch() == 3
+        assert BatchSampler(SequentialSampler(10), 4, drop_last=True).batches_per_epoch() == 2
+        assert BatchSampler(SequentialSampler(8), 4).batches_per_epoch() == 2
+
+    def test_empty_sampler(self):
+        assert list(BatchSampler(SequentialSampler(0), 4).epoch_batches(0)) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchSampler(SequentialSampler(5), 0)

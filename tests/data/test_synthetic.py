@@ -1,0 +1,89 @@
+"""SyntheticImageDataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ImageContentConfig,
+    SyntheticImageDataset,
+    generate_image,
+)
+
+
+class TestGenerateImage:
+    def test_shape_and_dtype(self, rng):
+        image = generate_image(rng, 40, 60, texture=0.5)
+        assert image.shape == (40, 60, 3)
+        assert image.dtype == np.uint8
+
+    def test_texture_zero_is_smooth(self, rng):
+        smooth = generate_image(rng, 64, 64, texture=0.0)
+        noisy = generate_image(rng, 64, 64, texture=1.0)
+        # Horizontal high-frequency energy is much larger with texture.
+        def hf_energy(img):
+            return float(np.abs(np.diff(img.astype(float), axis=1)).mean())
+        assert hf_energy(noisy) > 2 * hf_energy(smooth)
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            generate_image(rng, 0, 10, texture=0.5)
+        with pytest.raises(ValueError):
+            generate_image(rng, 10, 10, texture=1.5)
+
+
+class TestSyntheticImageDataset:
+    def test_deterministic_across_instances(self):
+        a = SyntheticImageDataset(4, seed=9)
+        b = SyntheticImageDataset(4, seed=9)
+        assert a.raw_payload(2).data == b.raw_payload(2).data
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset(2, seed=1)
+        b = SyntheticImageDataset(2, seed=2)
+        assert a.raw_payload(0).data != b.raw_payload(0).data
+
+    def test_meta_matches_payload(self, materialized_tiny):
+        for sid in range(3):
+            meta = materialized_tiny.raw_meta(sid)
+            payload = materialized_tiny.raw_payload(sid)
+            assert meta.nbytes == payload.nbytes
+
+    def test_meta_dims_match_decoded_image(self, materialized_tiny):
+        meta = materialized_tiny.raw_meta(0)
+        image = materialized_tiny.codec.decode(materialized_tiny.raw_payload(0).data)
+        assert image.shape[:2] == (meta.height, meta.width)
+
+    def test_is_materialized(self, materialized_tiny):
+        assert materialized_tiny.is_materialized
+
+    def test_dims_within_config_bounds(self):
+        config = ImageContentConfig(min_side=100, max_side=200)
+        ds = SyntheticImageDataset(8, seed=0, content=config)
+        for sid in range(8):
+            meta = ds.raw_meta(sid)
+            assert 100 <= meta.height <= 201
+            assert 100 <= meta.width <= 201
+
+    def test_cache_limit_evicts(self):
+        ds = SyntheticImageDataset(5, seed=0, cache_limit=2)
+        for sid in range(5):
+            ds.raw_payload(sid)
+        assert len(ds._cache) <= 2
+        # Evicted samples regenerate identically.
+        again = ds.raw_payload(0)
+        fresh = SyntheticImageDataset(5, seed=0).raw_payload(0)
+        assert again.data == fresh.data
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(-1)
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            ImageContentConfig(min_side=0)
+        with pytest.raises(ValueError):
+            ImageContentConfig(texture_range=(0.5, 0.1))
+
+    def test_out_of_range_sample(self, materialized_tiny):
+        with pytest.raises(IndexError):
+            materialized_tiny.raw_payload(10)

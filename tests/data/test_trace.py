@@ -1,0 +1,68 @@
+"""TraceDataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import UnmaterializedSampleError
+from repro.data.trace import TraceDataset
+
+
+@pytest.fixture
+def trace():
+    return TraceDataset(
+        raw_bytes=[100, 200_000, 50_000],
+        heights=[32, 600, 300],
+        widths=[48, 800, 400],
+        name="t",
+    )
+
+
+class TestTraceDataset:
+    def test_length_and_metas(self, trace):
+        assert len(trace) == 3
+        meta = trace.raw_meta(1)
+        assert meta.nbytes == 200_000
+        assert (meta.height, meta.width) == (600, 800)
+
+    def test_total_raw_bytes(self, trace):
+        assert trace.total_raw_bytes == 100 + 200_000 + 50_000
+
+    def test_not_materialized(self, trace):
+        assert not trace.is_materialized
+        with pytest.raises(UnmaterializedSampleError):
+            trace.raw_payload(0)
+
+    def test_out_of_range_id(self, trace):
+        with pytest.raises(IndexError):
+            trace.raw_meta(3)
+        with pytest.raises(IndexError):
+            trace.raw_meta(-1)
+
+    def test_benefit_fraction(self, trace):
+        assert trace.benefit_fraction(150_528) == pytest.approx(1 / 3)
+        assert trace.benefit_fraction(100) == pytest.approx(2 / 3)  # strict >
+        assert trace.benefit_fraction(10) == pytest.approx(1.0)
+
+    def test_raw_sizes_view_is_readonly(self, trace):
+        with pytest.raises(ValueError):
+            trace.raw_sizes[0] = 5
+
+    def test_subset_renumbers(self, trace):
+        sub = trace.subset([2, 0])
+        assert len(sub) == 2
+        assert sub.raw_meta(0).nbytes == 50_000
+        assert sub.raw_meta(1).nbytes == 100
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceDataset([1, 2], [3], [4, 5])
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            TraceDataset([0], [10], [10])
+
+    def test_empty_dataset(self):
+        empty = TraceDataset([], [], [])
+        assert len(empty) == 0
+        assert empty.total_raw_bytes == 0
+        assert empty.benefit_fraction(100) == 0.0

@@ -1,0 +1,90 @@
+"""Adaptive re-planning tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.adaptive import AdaptiveTrainingRun
+
+
+@pytest.fixture(scope="module")
+def drifting_runs(openimages_small):
+    """Storage cores collapse 48 -> 1 at epoch 3 (a tenant moved in)."""
+    base = standard_cluster(storage_cores=48)
+    schedule = {3: base.with_storage_cores(1)}
+
+    adaptive = AdaptiveTrainingRun(
+        openimages_small, base, schedule, batch_size=64, adaptive=True
+    ).run(epochs=6)
+    static = AdaptiveTrainingRun(
+        openimages_small, base, schedule, batch_size=64, adaptive=False
+    ).run(epochs=6)
+    return adaptive, static
+
+
+class TestAdaptiveRun:
+    def test_profiling_epoch_unoffloaded(self, drifting_runs):
+        adaptive, _ = drifting_runs
+        assert adaptive.epochs[0].plan.num_offloaded == 0
+
+    def test_replans_exactly_on_changes(self, drifting_runs):
+        adaptive, static = drifting_runs
+        assert [e.replanned for e in adaptive.epochs] == [
+            False, True, False, True, False, False,
+        ]
+        assert static.replan_count == 1  # only the initial plan
+
+    def test_adaptive_shrinks_plan_after_core_collapse(self, drifting_runs):
+        adaptive, _ = drifting_runs
+        before = adaptive.epochs[2].plan.num_offloaded
+        after = adaptive.epochs[3].plan.num_offloaded
+        assert after < before / 2
+
+    def test_static_plan_becomes_harmful(self, drifting_runs, openimages_small):
+        _, static = drifting_runs
+        base = standard_cluster(storage_cores=1)
+        from repro.baselines import NoOff
+        from repro.harness.runner import run_experiment
+
+        no_off = run_experiment(
+            openimages_small, NoOff(), base, batch_size=64
+        ).epoch_time_s
+        # The stale 48-core plan drowns the single core.
+        assert static.epochs[3].stats.epoch_time_s > no_off * 1.5
+
+    def test_adaptive_beats_static_after_the_drift(self, drifting_runs):
+        adaptive, static = drifting_runs
+        for epoch in (3, 4, 5):
+            assert (
+                adaptive.epochs[epoch].stats.epoch_time_s
+                < static.epochs[epoch].stats.epoch_time_s / 1.5
+            )
+        assert adaptive.total_time_s < static.total_time_s
+
+    def test_identical_before_the_drift(self, drifting_runs):
+        adaptive, static = drifting_runs
+        for epoch in (0, 1, 2):
+            assert adaptive.epochs[epoch].stats.epoch_time_s == pytest.approx(
+                static.epochs[epoch].stats.epoch_time_s
+            )
+
+    def test_offloading_disabled_entirely(self, openimages_small):
+        base = standard_cluster(storage_cores=48)
+        schedule = {2: base.with_storage_cores(0)}
+        run = AdaptiveTrainingRun(
+            openimages_small, base, schedule, batch_size=64, adaptive=True
+        ).run(epochs=4)
+        assert run.epochs[2].plan.num_offloaded == 0
+        assert run.epochs[3].plan.num_offloaded == 0
+
+    def test_static_clamps_when_offloading_impossible(self, openimages_small):
+        base = standard_cluster(storage_cores=48)
+        schedule = {2: base.with_storage_cores(0)}
+        run = AdaptiveTrainingRun(
+            openimages_small, base, schedule, batch_size=64, adaptive=False
+        ).run(epochs=4)
+        assert run.epochs[2].plan.num_offloaded == 0  # clamped, not crashed
+
+    def test_requires_two_epochs(self, openimages_small):
+        run = AdaptiveTrainingRun(openimages_small, standard_cluster())
+        with pytest.raises(ValueError):
+            run.run(epochs=1)

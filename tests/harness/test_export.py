@@ -1,0 +1,52 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.export import (
+    comparison_to_csv,
+    series_to_csv,
+    sweep_to_csv,
+    write_csv,
+)
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.harness.fig4 import limited_cpu_sweep
+
+
+@pytest.fixture(scope="module")
+def comparison(openimages_small):
+    return ample_cpu_comparison(openimages_small, standard_cluster(storage_cores=8))
+
+
+class TestExport:
+    def test_comparison_csv_parses_back(self, comparison):
+        rows = list(csv.DictReader(io.StringIO(comparison_to_csv(comparison))))
+        assert len(rows) == 5
+        assert {r["policy"] for r in rows} == {
+            "no-off", "all-off", "fastflow", "resize-off", "sophon",
+        }
+        nooff = next(r for r in rows if r["policy"] == "no-off")
+        assert float(nooff["traffic_vs_nooff"]) == pytest.approx(1.0)
+
+    def test_sweep_csv_covers_grid(self, openimages_small):
+        sweep = limited_cpu_sweep(openimages_small, cores=(0, 2))
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(sweep))))
+        assert len(rows) == 2 * 5
+        assert {r["storage_cores"] for r in rows} == {"0", "2"}
+
+    def test_series_csv(self):
+        text = series_to_csv(("a", "b"), [(1, 2), (3, 4)])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_series_validates_rows(self):
+        with pytest.raises(ValueError):
+            series_to_csv(("a", "b"), [(1,)])
+
+    def test_write_csv(self, comparison, tmp_path):
+        path = tmp_path / "fig3.csv"
+        write_csv(comparison_to_csv(comparison), str(path))
+        assert path.read_text().startswith("dataset,policy")

@@ -1,0 +1,76 @@
+"""Figure 1 regenerator tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.fig1 import (
+    benefit_fraction,
+    gpu_utilization_by_model,
+    minstage_fractions,
+    representative_samples,
+    size_trace,
+)
+
+
+class TestSizeTrace:
+    def test_stage_names_and_sizes_aligned(self, openimages_small):
+        trace = size_trace(openimages_small, 0)
+        assert len(trace.stage_names) == len(trace.stage_sizes) == 6
+        assert trace.stage_names[0] == "raw"
+
+    def test_trace_follows_size_algebra(self, openimages_small):
+        trace = size_trace(openimages_small, 0)
+        assert trace.stage_sizes[2] == 224 * 224 * 3
+        assert trace.stage_sizes[4] == 4 * trace.stage_sizes[2]
+
+    def test_representative_samples_have_opposite_minima(self, openimages_small):
+        sample_a, sample_b = representative_samples(openimages_small)
+        assert size_trace(openimages_small, sample_a).min_stage > 0
+        assert size_trace(openimages_small, sample_b).min_stage == 0
+
+    def test_render_marks_minimum(self, openimages_small):
+        sample_a, _ = representative_samples(openimages_small)
+        assert "<- min" in size_trace(openimages_small, sample_a).render()
+
+    def test_missing_population_raises(self):
+        from repro.data.trace import TraceDataset
+
+        all_small = TraceDataset([1000] * 5, [64] * 5, [64] * 5)
+        with pytest.raises(ValueError):
+            representative_samples(all_small)
+
+
+class TestMinstageFractions:
+    def test_fractions_sum_to_one(self, openimages_small):
+        fractions = minstage_fractions(openimages_small)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_openimages_benefit_near_paper(self, openimages_small):
+        fractions = minstage_fractions(openimages_small)
+        assert benefit_fraction(fractions) == pytest.approx(0.76, abs=0.05)
+
+    def test_imagenet_benefit_near_paper(self, imagenet_small):
+        fractions = minstage_fractions(imagenet_small)
+        assert benefit_fraction(fractions) == pytest.approx(0.26, abs=0.05)
+
+    def test_minimum_never_after_totensor(self, openimages_small):
+        fractions = minstage_fractions(openimages_small)
+        assert fractions["ToTensor"] == 0.0
+        assert fractions["Normalize"] == 0.0
+
+
+class TestGpuUtilization:
+    def test_ordering_matches_compute_intensity(self, openimages_small):
+        spec = standard_cluster().with_bandwidth(1000.0)
+        utils = dict(
+            gpu_utilization_by_model(
+                openimages_small, spec, models=("resnet50", "resnet18", "alexnet")
+            )
+        )
+        assert utils["resnet50"] > utils["resnet18"] > utils["alexnet"]
+
+    def test_resnet18_mostly_idle_like_paper(self, openimages_small):
+        # Paper: ResNet-18 spends ~65% of its time waiting on data.
+        spec = standard_cluster().with_bandwidth(1000.0)
+        utils = dict(gpu_utilization_by_model(openimages_small, spec, models=("resnet18",)))
+        assert utils["resnet18"] < 0.5

@@ -1,0 +1,74 @@
+"""Figure 3/4 regenerator tests (small-scale shape checks)."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.harness.fig4 import limited_cpu_sweep
+
+
+@pytest.fixture(scope="module")
+def oi_comparison(openimages_small):
+    return ample_cpu_comparison(openimages_small, standard_cluster(storage_cores=48))
+
+
+class TestFig3:
+    def test_all_five_policies_present(self, oi_comparison):
+        assert set(oi_comparison.by_policy()) == {
+            "no-off", "all-off", "fastflow", "resize-off", "sophon",
+        }
+
+    def test_alloff_inflates_traffic(self, oi_comparison):
+        assert oi_comparison.traffic_ratio("all-off") > 1.5
+
+    def test_fastflow_matches_nooff(self, oi_comparison):
+        assert oi_comparison.traffic_ratio("fastflow") == pytest.approx(1.0)
+
+    def test_sophon_has_lowest_traffic(self, oi_comparison):
+        table = oi_comparison.by_policy()
+        sophon = table["sophon"].traffic_bytes
+        assert all(sophon <= r.traffic_bytes for r in table.values())
+
+    def test_sophon_has_best_time(self, oi_comparison):
+        table = oi_comparison.by_policy()
+        sophon = table["sophon"].epoch_time_s
+        assert all(sophon <= r.epoch_time_s + 1e-9 for r in table.values())
+
+    def test_render_mentions_every_policy(self, oi_comparison):
+        text = oi_comparison.render()
+        for name in ("no-off", "all-off", "fastflow", "resize-off", "sophon"):
+            assert name in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def sweep(self, openimages_small):
+        return limited_cpu_sweep(openimages_small, cores=(0, 1, 3))
+
+    def test_zero_cores_all_policies_equal(self, sweep):
+        row = sweep.results[0]
+        times = {r.epoch_time_s for r in row.values()}
+        assert len(times) == 1
+
+    def test_sophon_epoch_times_nonincreasing(self, sweep):
+        times = sweep.epoch_times("sophon")
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_marginal_gains_length(self, sweep):
+        assert len(sweep.sophon_marginal_gains()) == 2
+
+    def test_resize_off_worse_than_nooff_at_one_core(self, sweep):
+        row = sweep.results[1]
+        assert row["resize-off"].epoch_time_s > row["no-off"].epoch_time_s
+
+    def test_sophon_best_at_every_core_count(self, sweep):
+        for cores in sweep.cores:
+            row = sweep.results[cores]
+            best = min(r.epoch_time_s for r in row.values())
+            assert row["sophon"].epoch_time_s == pytest.approx(best)
+
+    def test_traffic_series_accessible(self, sweep):
+        assert len(sweep.traffic("resize-off")) == len(sweep.cores)
+
+    def test_render(self, sweep):
+        assert "storage-core sweep" in sweep.render()

@@ -1,0 +1,44 @@
+"""Replication helper tests."""
+
+import pytest
+
+from repro.harness.replicate import Replication, replicate
+
+
+class TestReplicate:
+    def test_evaluates_every_seed(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return seed * 2.0
+
+        rep = replicate(metric, (1, 2, 3))
+        assert seen == [1, 2, 3]
+        assert rep.values == (2.0, 4.0, 6.0)
+        assert rep.mean == pytest.approx(4.0)
+
+    def test_std(self):
+        rep = Replication(values=(2.0, 4.0, 6.0), seeds=(1, 2, 3))
+        assert rep.std == pytest.approx(2.0)
+
+    def test_spread(self):
+        rep = Replication(values=(9.0, 10.0, 11.0), seeds=(1, 2, 3))
+        assert rep.spread == pytest.approx(0.2)
+
+    def test_single_value(self):
+        rep = replicate(lambda s: 5.0, (0,))
+        assert rep.std == 0.0
+        assert rep.spread == 0.0
+
+    def test_zero_mean_spread(self):
+        rep = Replication(values=(0.0, 0.0), seeds=(1, 2))
+        assert rep.spread == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, ())
+
+    def test_str(self):
+        rep = Replication(values=(1.0, 3.0), seeds=(1, 2))
+        assert "n=2" in str(rep)

@@ -1,0 +1,38 @@
+"""Markdown report generator tests (small scale)."""
+
+import pytest
+
+from repro.harness.report import generate_markdown_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_markdown_report(samples=200, seed=7, cores=(0, 2))
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# SOPHON reproduction report",
+            "## Table 1",
+            "## Figure 1a",
+            "## Figure 1b",
+            "## Figure 1c",
+            "## Figure 1d",
+            "## Figure 3 — openimages-12g",
+            "## Figure 3 — imagenet-11g",
+            "## Figure 4",
+        ):
+            assert heading in report
+
+    def test_reports_the_headline_numbers(self, report):
+        assert "SOPHON traffic reduction" in report
+        assert "marginal gain per added core" in report
+        assert "zero-efficiency fraction" in report
+
+    def test_mentions_all_policies(self, report):
+        for policy in ("no-off", "all-off", "fastflow", "resize-off", "sophon"):
+            assert policy in report
+
+    def test_validates_sample_floor(self):
+        with pytest.raises(ValueError):
+            generate_markdown_report(samples=10)

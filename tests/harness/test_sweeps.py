@@ -1,0 +1,69 @@
+"""Grid sweep utility tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.baselines import NoOff
+from repro.cluster.spec import standard_cluster
+from repro.core.sophon import Sophon
+from repro.harness.sweeps import grid_sweep, spec_grid
+
+
+class TestSpecGrid:
+    def test_cartesian_product(self):
+        base = standard_cluster()
+        points = list(
+            spec_grid(base, {"storage_cores": [1, 2], "bandwidth_mbps": [100.0, 500.0]})
+        )
+        assert len(points) == 4
+        combos = {(p["storage_cores"], p["bandwidth_mbps"]) for p, _ in points}
+        assert combos == {(1, 100.0), (1, 500.0), (2, 100.0), (2, 500.0)}
+
+    def test_specs_carry_the_point(self):
+        base = standard_cluster()
+        for point, spec in spec_grid(base, {"storage_cores": [3]}):
+            assert spec.storage_cores == 3
+            assert spec.bandwidth_mbps == base.bandwidth_mbps
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a ClusterSpec field"):
+            list(spec_grid(standard_cluster(), {"gpu_count": [1]}))
+
+
+class TestGridSweep:
+    @pytest.fixture(scope="class")
+    def table(self, openimages_small):
+        return grid_sweep(
+            openimages_small,
+            standard_cluster(),
+            {"storage_cores": [1, 8], "bandwidth_mbps": [250.0, 500.0]},
+            policies=[NoOff(), Sophon()],
+            batch_size=64,
+        )
+
+    def test_row_count(self, table):
+        assert len(table.rows) == 4 * 2  # 4 grid points x 2 policies
+
+    def test_filter_by_policy(self, table):
+        sophon_rows = table.filter("sophon")
+        assert len(sophon_rows) == 4
+        assert all(row.policy == "sophon" for row in sophon_rows)
+
+    def test_policies_replan_per_point(self, table):
+        offloaded = {
+            (row.point["storage_cores"], row.point["bandwidth_mbps"]): row.result.plan.num_offloaded
+            for row in table.filter("sophon")
+        }
+        # Scarce cores shrink the plan relative to ample ones.
+        assert offloaded[(1, 500.0)] < offloaded[(8, 500.0)]
+
+    def test_render_contains_axes(self, table):
+        text = table.render()
+        assert "storage_cores" in text and "bandwidth_mbps" in text
+
+    def test_csv_parses(self, table):
+        rows = list(csv.DictReader(io.StringIO(table.to_csv())))
+        assert len(rows) == len(table.rows)
+        assert {"storage_cores", "policy", "traffic_bytes"} <= set(rows[0])

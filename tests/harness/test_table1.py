@@ -1,0 +1,60 @@
+"""Table 1 regeneration tests."""
+
+from repro.harness.table1 import (
+    capability_matrix,
+    render_capability_matrix,
+    sophon_is_strictly_most_capable,
+)
+
+
+class TestCapabilityMatrix:
+    def test_five_rows_in_order(self):
+        rows = capability_matrix()
+        assert [r[0] for r in rows] == [
+            "no-off", "all-off", "fastflow", "resize-off", "sophon",
+        ]
+
+    def test_sophon_checks_every_column(self):
+        rows = capability_matrix()
+        sophon = next(r for r in rows if r[0] == "sophon")
+        assert all(cell == "yes" for cell in sophon[1:])
+
+    def test_only_sophon_is_fully_capable(self):
+        assert sophon_is_strictly_most_capable()
+
+    def test_no_off_checks_nothing(self):
+        rows = capability_matrix()
+        no_off = next(r for r in rows if r[0] == "no-off")
+        assert all(cell == "-" for cell in no_off[1:])
+
+    def test_render_contains_headers(self):
+        text = render_capability_matrix()
+        assert "Operation Selective" in text
+        assert "Data Selective" in text
+        assert "sophon" in text
+
+
+class TestPublishedMatrix:
+    def test_lists_the_papers_comparators(self):
+        from repro.harness.table1 import published_matrix
+
+        names = [row[0] for row in published_matrix()]
+        assert names == [
+            "tf.data service [32]",
+            "FastFlow [33]",
+            "GoldMiner [34]",
+            "cedar [35]",
+            "SOPHON",
+        ]
+
+    def test_only_sophon_fully_capable(self):
+        from repro.harness.table1 import published_matrix
+
+        full = [r[0] for r in published_matrix() if all(c == "yes" for c in r[1:])]
+        assert full == ["SOPHON"]
+
+    def test_render(self):
+        from repro.harness.table1 import render_published_matrix
+
+        text = render_published_matrix()
+        assert "cedar" in text and "SOPHON" in text

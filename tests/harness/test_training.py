@@ -1,0 +1,70 @@
+"""Multi-epoch training run tests."""
+
+import pytest
+
+from repro.baselines import NoOff
+from repro.cluster.spec import standard_cluster
+from repro.core.sophon import Sophon
+from repro.harness.training import TrainingRun
+
+
+@pytest.fixture(scope="module")
+def runs(openimages_small):
+    spec = standard_cluster(storage_cores=48)
+    sophon = TrainingRun(
+        openimages_small, Sophon(), spec, batch_size=64, seed=0
+    ).run(epochs=5)
+    baseline = TrainingRun(
+        openimages_small, NoOff(), spec, batch_size=64, seed=0
+    ).run(epochs=5)
+    return sophon, baseline
+
+
+class TestTrainingRun:
+    def test_first_epoch_is_unoffloaded(self, runs):
+        sophon, baseline = runs
+        assert sophon.per_epoch[0].offloaded_samples == 0
+        # Profiling epoch costs exactly a No-Off epoch: no extra pass.
+        assert sophon.profile_epoch_time_s == pytest.approx(
+            baseline.per_epoch[0].epoch_time_s
+        )
+
+    def test_plan_applies_from_epoch_one(self, runs):
+        sophon, _ = runs
+        for stats in sophon.per_epoch[1:]:
+            assert stats.offloaded_samples == sophon.plan.num_offloaded
+        assert sophon.plan.num_offloaded > 0
+
+    def test_steady_state_faster_than_profiling_epoch(self, runs):
+        sophon, _ = runs
+        assert sophon.steady_epoch_time_s < sophon.profile_epoch_time_s / 1.8
+
+    def test_job_level_speedup_grows_with_epochs(self, openimages_small):
+        spec = standard_cluster(storage_cores=48)
+        short = TrainingRun(openimages_small, Sophon(), spec, batch_size=64).run(2)
+        long = TrainingRun(openimages_small, Sophon(), spec, batch_size=64).run(8)
+        short_base = TrainingRun(openimages_small, NoOff(), spec, batch_size=64).run(2)
+        long_base = TrainingRun(openimages_small, NoOff(), spec, batch_size=64).run(8)
+        assert long.speedup_over(long_base) > short.speedup_over(short_base)
+
+    def test_totals_are_sums(self, runs):
+        sophon, _ = runs
+        assert sophon.total_time_s == pytest.approx(
+            sum(s.epoch_time_s for s in sophon.per_epoch)
+        )
+        assert sophon.total_traffic_bytes == sum(
+            s.traffic_bytes for s in sophon.per_epoch
+        )
+
+    def test_speedup_requires_equal_epochs(self, runs, openimages_small):
+        sophon, _ = runs
+        other = TrainingRun(
+            openimages_small, NoOff(), standard_cluster(), batch_size=64
+        ).run(2)
+        with pytest.raises(ValueError):
+            sophon.speedup_over(other)
+
+    def test_requires_two_epochs(self, openimages_small):
+        run = TrainingRun(openimages_small, Sophon(), standard_cluster())
+        with pytest.raises(ValueError):
+            run.run(epochs=1)

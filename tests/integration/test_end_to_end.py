@@ -1,0 +1,145 @@
+"""End-to-end integration: RPC path vs simulator vs decision engine.
+
+These tests tie the fidelities together: the materialized RPC path must
+agree byte-for-byte with the metadata formulas the simulator and decision
+engine run on, and an offloaded run must produce bit-identical tensors to a
+local run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.trainer import TrainerSim
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.data.loader import DataLoader
+from repro.data.synthetic import ImageContentConfig, SyntheticImageDataset
+from repro.rpc import (
+    InMemoryChannel,
+    RESPONSE_HEADER_SIZE,
+    StorageClient,
+    StorageServer,
+)
+from repro.workloads.models import get_model_profile
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # Mix of sizes so some samples benefit from offloading and some don't.
+    return SyntheticImageDataset(
+        num_samples=16,
+        seed=21,
+        content=ImageContentConfig(min_side=96, max_side=768, texture_range=(0.3, 1.0)),
+        name="e2e",
+    )
+
+
+@pytest.fixture(scope="module")
+def io_bound_spec():
+    return ClusterSpec(
+        compute_cores=8,
+        storage_cores=4,
+        bandwidth_mbps=50.0,
+        response_overhead_bytes=RESPONSE_HEADER_SIZE,
+    )
+
+
+@pytest.fixture(scope="module")
+def sophon_plan(dataset, pipeline, io_bound_spec):
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=pipeline,
+        spec=io_bound_spec,
+        model=get_model_profile("alexnet"),
+        batch_size=4,
+        seed=0,
+    )
+    return Sophon().plan(context), context
+
+
+class TestPlanQuality:
+    def test_plan_offloads_exactly_the_shrinking_samples(self, sophon_plan, dataset):
+        plan, context = sophon_plan
+        threshold = 224 * 224 * 3
+        for sid in dataset.sample_ids():
+            raw = dataset.raw_meta(sid).nbytes
+            if raw > threshold:
+                assert plan.split_for(sid) > 0, f"sample {sid} should offload"
+            else:
+                assert plan.split_for(sid) == 0, f"sample {sid} should not offload"
+
+
+class TestRpcVsFormulas:
+    def test_real_traffic_equals_plan_expectation(
+        self, sophon_plan, dataset, pipeline
+    ):
+        plan, context = sophon_plan
+        server = StorageServer(dataset, pipeline, seed=0)
+        client = StorageClient(InMemoryChannel(server.handle))
+        loader = DataLoader(
+            dataset, pipeline, client, batch_size=4, splits=list(plan.splits), seed=0
+        )
+        for _ in loader.epoch(epoch=0):
+            pass
+        expected = plan.expected_traffic_bytes(
+            context.records(), overhead_bytes=RESPONSE_HEADER_SIZE
+        )
+        assert client.traffic_bytes == expected
+
+    def test_simulator_traffic_matches_rpc_traffic(
+        self, sophon_plan, dataset, pipeline, io_bound_spec
+    ):
+        plan, _ = sophon_plan
+        server = StorageServer(dataset, pipeline, seed=0)
+        client = StorageClient(InMemoryChannel(server.handle))
+        loader = DataLoader(
+            dataset, pipeline, client, batch_size=4, splits=list(plan.splits), seed=0
+        )
+        for _ in loader.epoch(epoch=0):
+            pass
+
+        trainer = TrainerSim(
+            dataset,
+            pipeline,
+            get_model_profile("alexnet"),
+            io_bound_spec,
+            batch_size=4,
+            seed=0,
+        )
+        stats = trainer.run_epoch(list(plan.splits), epoch=0)
+        assert stats.traffic_bytes == client.traffic_bytes
+
+
+class TestOffloadedTrainingIdentity:
+    def test_offloaded_epoch_bit_identical_to_local(self, sophon_plan, dataset, pipeline):
+        plan, _ = sophon_plan
+        server = StorageServer(dataset, pipeline, seed=0)
+
+        def run(splits):
+            client = StorageClient(InMemoryChannel(server.handle))
+            loader = DataLoader(
+                dataset, pipeline, client, batch_size=4, splits=splits, seed=0
+            )
+            return np.concatenate([b.tensors for b in loader.epoch(epoch=2)])
+
+        local = run(None)
+        offloaded = run(list(plan.splits))
+        assert np.array_equal(local, offloaded)
+
+    def test_identity_holds_across_epochs(self, sophon_plan, dataset, pipeline):
+        plan, _ = sophon_plan
+        server = StorageServer(dataset, pipeline, seed=0)
+        for epoch in (0, 1):
+            client = StorageClient(InMemoryChannel(server.handle))
+            loader = DataLoader(
+                dataset, pipeline, client, batch_size=4,
+                splits=list(plan.splits), seed=0,
+            )
+            local_client = StorageClient(InMemoryChannel(server.handle))
+            local_loader = DataLoader(
+                dataset, pipeline, local_client, batch_size=4, seed=0
+            )
+            off = np.concatenate([b.tensors for b in loader.epoch(epoch)])
+            loc = np.concatenate([b.tensors for b in local_loader.epoch(epoch)])
+            assert np.array_equal(off, loc), f"epoch {epoch}"

@@ -1,0 +1,108 @@
+"""Fast versions of the paper's headline claims (full runs in benchmarks/).
+
+Every assertion here is a *shape* claim from the paper: who wins, in which
+direction, and roughly by how much.
+"""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.fig3 import ample_cpu_comparison
+from repro.harness.fig4 import limited_cpu_sweep
+
+
+@pytest.fixture(scope="module")
+def oi(openimages_small):
+    return ample_cpu_comparison(openimages_small, standard_cluster(storage_cores=48))
+
+
+@pytest.fixture(scope="module")
+def inet(imagenet_small):
+    return ample_cpu_comparison(imagenet_small, standard_cluster(storage_cores=48))
+
+
+class TestSection41AmpleCores:
+    def test_alloff_traffic_blowup_openimages(self, oi):
+        # Paper: 1.9x.
+        assert oi.traffic_ratio("all-off") == pytest.approx(1.9, rel=0.1)
+
+    def test_alloff_traffic_blowup_imagenet(self, inet):
+        # Paper: 5.1x.
+        assert inet.traffic_ratio("all-off") == pytest.approx(5.1, rel=0.1)
+
+    def test_resizeoff_halves_openimages_traffic(self, oi):
+        # Paper: 2x reduction.
+        assert 1.0 / oi.traffic_ratio("resize-off") == pytest.approx(2.0, rel=0.15)
+
+    def test_resizeoff_backfires_on_imagenet(self, inet):
+        # Paper: 1.3x increase.
+        assert inet.traffic_ratio("resize-off") == pytest.approx(1.3, rel=0.1)
+
+    def test_sophon_traffic_reduction_openimages(self, oi):
+        # Paper: 2.2x.
+        assert 1.0 / oi.traffic_ratio("sophon") == pytest.approx(2.2, rel=0.1)
+
+    def test_sophon_traffic_reduction_imagenet(self, inet):
+        # Paper: 1.2x.
+        assert 1.0 / inet.traffic_ratio("sophon") == pytest.approx(1.2, rel=0.1)
+
+    def test_sophon_beats_resizeoff_on_both_datasets(self, oi, inet):
+        for comparison in (oi, inet):
+            table = comparison.by_policy()
+            assert table["sophon"].epoch_time_s <= table["resize-off"].epoch_time_s
+
+    def test_fastflow_declines_offloading(self, oi, inet):
+        for comparison in (oi, inet):
+            assert comparison.by_policy()["fastflow"].plan.num_offloaded == 0
+
+    def test_sophon_training_time_reduction_in_paper_band(self, oi, inet):
+        # Paper abstract: 1.2x - 2.2x over existing solutions.
+        oi_speedup = 1.0 / oi.time_ratio("sophon")
+        inet_speedup = 1.0 / inet.time_ratio("sophon")
+        assert 1.8 < oi_speedup < 2.6
+        assert 1.1 < inet_speedup < 1.4
+
+
+class TestSection42LimitedCores:
+    @pytest.fixture(scope="class")
+    def sweep(self, openimages_small):
+        return limited_cpu_sweep(openimages_small, cores=(0, 1, 2, 3, 4, 5))
+
+    def test_alloff_worst_at_every_core_count(self, sweep):
+        for cores in sweep.cores[1:]:
+            row = sweep.results[cores]
+            worst = max(r.epoch_time_s for r in row.values())
+            assert row["all-off"].epoch_time_s == pytest.approx(worst)
+
+    def test_alloff_even_worse_with_one_core(self, sweep):
+        assert (
+            sweep.results[1]["all-off"].epoch_time_s
+            > sweep.results[2]["all-off"].epoch_time_s
+        )
+
+    def test_resizeoff_lowest_traffic_but_not_best_time(self, sweep):
+        row = sweep.results[1]
+        lowest_traffic = min(r.traffic_bytes for r in row.values())
+        assert row["resize-off"].traffic_bytes == lowest_traffic
+        assert row["resize-off"].epoch_time_s > row["sophon"].epoch_time_s
+
+    def test_resizeoff_worse_than_nooff_at_two_or_fewer_cores(self, sweep):
+        for cores in (1, 2):
+            row = sweep.results[cores]
+            assert row["resize-off"].epoch_time_s > row["no-off"].epoch_time_s
+
+    def test_resizeoff_recovers_with_more_cores(self, sweep):
+        row = sweep.results[5]
+        assert row["resize-off"].epoch_time_s < row["no-off"].epoch_time_s
+
+    def test_sophon_best_everywhere(self, sweep):
+        for cores in sweep.cores:
+            row = sweep.results[cores]
+            best = min(r.epoch_time_s for r in row.values())
+            assert row["sophon"].epoch_time_s == pytest.approx(best)
+
+    def test_sophon_diminishing_returns(self, sweep):
+        gains = sweep.sophon_marginal_gains()
+        # First core buys far more than the fifth (paper: 22s vs 9s shape).
+        assert gains[0] > 2 * gains[-1]
+        assert all(g >= -1e-9 for g in gains)

@@ -1,0 +1,118 @@
+"""Composition soak: stack every transport feature and train epochs.
+
+CachingFetcher(RetryingClient(StorageClient(flaky CompressedChannel)))
+driving the DataLoader with a SOPHON plan for several epochs -- the
+tensors must stay bit-identical to a plain local run throughout, and every
+layer's accounting must stay coherent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.core import ByteCache
+from repro.cache.fetcher import CachingFetcher
+from repro.cluster.spec import ClusterSpec
+from repro.compression.wire import CompressedChannel
+from repro.core.policy import PolicyContext
+from repro.core.sophon import Sophon
+from repro.data.loader import DataLoader
+from repro.data.synthetic import ImageContentConfig, SyntheticImageDataset
+from repro.rpc import StorageServer
+from repro.rpc.client import StorageClient
+from repro.rpc.retry import RetryingClient
+from repro.workloads.models import get_model_profile
+
+
+class PeriodicFault:
+    """Every Nth request fails once (transient network hiccups)."""
+
+    def __init__(self, period: int) -> None:
+        self.period = period
+        self.count = 0
+        self.failed = set()
+
+    def __call__(self, request_bytes: bytes) -> None:
+        self.count += 1
+        if self.count % self.period == 0 and self.count not in self.failed:
+            self.failed.add(self.count)
+            raise ConnectionError("periodic transient fault")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticImageDataset(
+        num_samples=12,
+        seed=77,
+        content=ImageContentConfig(min_side=96, max_side=700, texture_range=(0.3, 1.0)),
+        name="soak",
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(dataset, pipeline):
+    spec = ClusterSpec(compute_cores=8, storage_cores=4, bandwidth_mbps=50.0)
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=pipeline,
+        spec=spec,
+        model=get_model_profile("alexnet"),
+        batch_size=4,
+        seed=0,
+    )
+    return Sophon().plan(context)
+
+
+class TestSoak:
+    def test_full_stack_three_epochs_bit_identical(self, dataset, pipeline, plan):
+        server = StorageServer(dataset, pipeline, seed=0)
+        channel = CompressedChannel(server.handle, level=1, fault=PeriodicFault(7))
+        retrying = RetryingClient(StorageClient(channel), max_attempts=3)
+        cache = ByteCache(10**8)
+        fetcher = CachingFetcher(retrying, cache)
+        loader = DataLoader(
+            dataset, pipeline, fetcher, batch_size=4,
+            splits=list(plan.splits), seed=0,
+        )
+
+        plain_server = StorageServer(dataset, pipeline, seed=0)
+        plain_channel = CompressedChannel(plain_server.handle)
+        plain_loader = DataLoader(
+            dataset, pipeline, StorageClient(plain_channel), batch_size=4, seed=0
+        )
+
+        for epoch in range(3):
+            stacked = np.concatenate([b.tensors for b in loader.epoch(epoch)])
+            plain = np.concatenate([b.tensors for b in plain_loader.epoch(epoch)])
+            assert np.array_equal(stacked, plain), f"epoch {epoch}"
+
+        # Retries happened and recovered.
+        assert retrying.stats.retries > 0
+        assert retrying.stats.failures == 0
+
+        # Raw samples hit the cache after epoch 0; offloaded ones never do.
+        raw_samples = sum(1 for s in plan.splits if s == 0)
+        assert cache.stats.hits >= raw_samples * 2  # epochs 1 and 2
+        assert len(cache) == raw_samples
+
+        # The compressed wire genuinely shrank the uint8 payloads.
+        assert channel.achieved_ratio < 1.0
+
+    def test_cache_cuts_epoch1_traffic_for_raw_samples(self, dataset, pipeline, plan):
+        server = StorageServer(dataset, pipeline, seed=0)
+        channel = CompressedChannel(server.handle)
+        client = StorageClient(channel)
+        fetcher = CachingFetcher(client, ByteCache(10**8))
+        loader = DataLoader(
+            dataset, pipeline, fetcher, batch_size=4,
+            splits=list(plan.splits), seed=0,
+        )
+        for _ in loader.epoch(0):
+            pass
+        first = channel.stats.response_bytes
+        for _ in loader.epoch(1):
+            pass
+        second_epoch_bytes = channel.stats.response_bytes - first
+        # Epoch 1 only fetches the offloaded (uncacheable) samples.
+        assert second_epoch_bytes < first
+        offloaded = sum(1 for s in plan.splits if s > 0)
+        assert channel.stats.calls == len(dataset) + offloaded

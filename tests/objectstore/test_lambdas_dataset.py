@@ -1,0 +1,163 @@
+"""Object lambda and bucket-backed dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.objectstore.dataset import ObjectBackedDataset, sample_key, upload_dataset
+from repro.objectstore.lambdas import LambdaError, LambdaRegistry, PreprocessingLambda
+from repro.objectstore.store import Bucket
+from repro.preprocessing.payload import PayloadKind
+from repro.rpc.messages import FetchResponse
+
+
+@pytest.fixture
+def loaded_bucket(materialized_tiny):
+    bucket = Bucket("train-data")
+    upload_dataset(materialized_tiny, bucket)
+    return bucket
+
+
+class TestLambdaRegistry:
+    def test_register_and_invoke(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        registry.register("upper-16", lambda raw, args: raw[: args.get("n", 16)])
+        out = registry.get_through(sample_key(0), "upper-16", {"n": 4})
+        assert len(out) == 4
+        assert registry.invocations["upper-16"] == 1
+
+    def test_none_lambda_returns_raw(self, loaded_bucket, materialized_tiny):
+        registry = LambdaRegistry(loaded_bucket)
+        raw = registry.get_through(sample_key(0), None)
+        assert raw == materialized_tiny.raw_payload(0).data
+
+    def test_unknown_lambda(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        with pytest.raises(LambdaError):
+            registry.get_through(sample_key(0), "ghost")
+
+    def test_duplicate_name_rejected(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        registry.register("x", lambda raw, args: raw)
+        with pytest.raises(LambdaError):
+            registry.register("x", lambda raw, args: raw)
+
+    def test_unregister(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        registry.register("x", lambda raw, args: raw)
+        registry.unregister("x")
+        assert registry.names() == []
+        with pytest.raises(LambdaError):
+            registry.unregister("x")
+
+    def test_failing_lambda_wrapped(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        registry.register("boom", lambda raw, args: 1 / 0)
+        with pytest.raises(LambdaError, match="boom"):
+            registry.get_through(sample_key(0), "boom")
+
+    def test_non_bytes_result_rejected(self, loaded_bucket):
+        registry = LambdaRegistry(loaded_bucket)
+        registry.register("bad", lambda raw, args: 42)
+        with pytest.raises(LambdaError, match="expected bytes"):
+            registry.get_through(sample_key(0), "bad")
+
+
+class TestPreprocessingLambda:
+    def test_split_zero_wraps_raw(self, loaded_bucket, materialized_tiny, pipeline):
+        registry = LambdaRegistry(loaded_bucket)
+        PreprocessingLambda(pipeline, seed=0).install(registry)
+        meta = materialized_tiny.raw_meta(0)
+        out = registry.get_through(
+            sample_key(0),
+            PreprocessingLambda.NAME,
+            {"sample_id": 0, "epoch": 0, "split": 0,
+             "height": meta.height, "width": meta.width},
+        )
+        response = FetchResponse.from_bytes(out)
+        assert response.kind is PayloadKind.ENCODED
+        assert response.payload == materialized_tiny.raw_payload(0).data
+
+    def test_offloaded_prefix_matches_rpc_server(
+        self, loaded_bucket, materialized_tiny, pipeline
+    ):
+        from repro.rpc import FetchRequest, StorageServer
+
+        registry = LambdaRegistry(loaded_bucket)
+        PreprocessingLambda(pipeline, seed=0).install(registry)
+        server = StorageServer(materialized_tiny, pipeline, seed=0)
+
+        meta = materialized_tiny.raw_meta(2)
+        via_lambda = registry.get_through(
+            sample_key(2),
+            PreprocessingLambda.NAME,
+            {"sample_id": 2, "epoch": 1, "split": 3,
+             "height": meta.height, "width": meta.width},
+        )
+        via_server = server.serve(FetchRequest(2, 1, 3)).to_bytes()
+        assert via_lambda == via_server
+
+    def test_missing_argument(self, loaded_bucket, pipeline):
+        registry = LambdaRegistry(loaded_bucket)
+        PreprocessingLambda(pipeline).install(registry)
+        with pytest.raises(LambdaError, match="missing"):
+            registry.get_through(sample_key(0), PreprocessingLambda.NAME, {"split": 1})
+
+    def test_bad_split(self, loaded_bucket, materialized_tiny, pipeline):
+        registry = LambdaRegistry(loaded_bucket)
+        PreprocessingLambda(pipeline).install(registry)
+        meta = materialized_tiny.raw_meta(0)
+        with pytest.raises(LambdaError, match="split"):
+            registry.get_through(
+                sample_key(0), PreprocessingLambda.NAME,
+                {"sample_id": 0, "epoch": 0, "split": 9,
+                 "height": meta.height, "width": meta.width},
+            )
+
+
+class TestObjectBackedDataset:
+    def test_round_trips_through_bucket(self, loaded_bucket, materialized_tiny):
+        view = ObjectBackedDataset(loaded_bucket)
+        assert len(view) == len(materialized_tiny)
+        for sid in range(len(view)):
+            assert view.raw_payload(sid).data == materialized_tiny.raw_payload(sid).data
+            assert view.raw_meta(sid) == materialized_tiny.raw_meta(sid)
+
+    def test_upload_returns_bytes_written(self, materialized_tiny):
+        bucket = Bucket("b")
+        written = upload_dataset(materialized_tiny, bucket)
+        assert written == materialized_tiny.total_raw_bytes
+        assert bucket.total_bytes() == written
+
+    def test_whole_stack_runs_against_bucket(self, loaded_bucket, pipeline):
+        """The SOPHON server can serve straight from a bucket view."""
+        import numpy as np
+
+        from repro.rpc import InMemoryChannel, StorageClient, StorageServer
+
+        view = ObjectBackedDataset(loaded_bucket)
+        server = StorageServer(view, pipeline, seed=0)
+        client = StorageClient(InMemoryChannel(server.handle))
+        payload = client.fetch(1, 0, 2)
+        assert payload.data.shape == (224, 224, 3)
+
+    def test_rejects_non_contiguous_bucket(self):
+        bucket = Bucket("holes")
+        bucket.put(sample_key(0), b"x", metadata={"height": "4", "width": "4"})
+        bucket.put(sample_key(2), b"y", metadata={"height": "4", "width": "4"})
+        with pytest.raises(ValueError):
+            ObjectBackedDataset(bucket)
+
+    def test_rejects_missing_dim_metadata(self):
+        bucket = Bucket("nodims")
+        bucket.put(sample_key(0), b"x")
+        view = ObjectBackedDataset(bucket)
+        with pytest.raises(ValueError):
+            view.raw_meta(0)
+
+    def test_upload_rejects_trace_dataset(self, openimages_small):
+        with pytest.raises(ValueError):
+            upload_dataset(openimages_small, Bucket("b"))
+
+    def test_sample_key_validation(self):
+        with pytest.raises(ValueError):
+            sample_key(-1)

@@ -1,0 +1,122 @@
+"""Object store tests."""
+
+import pytest
+
+from repro.objectstore.store import (
+    Bucket,
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ObjectStore,
+    ObjectStoreError,
+)
+
+
+@pytest.fixture
+def bucket():
+    return Bucket("data")
+
+
+class TestBucket:
+    def test_put_get_round_trip(self, bucket):
+        bucket.put("a", b"hello")
+        assert bucket.get("a") == b"hello"
+
+    def test_put_overwrites(self, bucket):
+        bucket.put("a", b"one")
+        bucket.put("a", b"two")
+        assert bucket.get("a") == b"two"
+        assert len(bucket) == 1
+
+    def test_head_returns_meta_without_read_traffic(self, bucket):
+        bucket.put("a", b"hello", metadata={"k": "v"})
+        meta = bucket.head("a")
+        assert meta.size == 5
+        assert meta.metadata_dict() == {"k": "v"}
+        assert bucket.stats.gets == 0
+        assert bucket.stats.bytes_read == 0
+
+    def test_etag_tracks_content(self, bucket):
+        bucket.put("a", b"one")
+        first = bucket.head("a").etag
+        bucket.put("a", b"two")
+        assert bucket.head("a").etag != first
+
+    def test_range_read(self, bucket):
+        bucket.put("a", b"0123456789")
+        assert bucket.get("a", byte_range=(2, 5)) == b"234"
+        assert bucket.get("a", byte_range=(0, 0)) == b""
+
+    def test_range_validation(self, bucket):
+        bucket.put("a", b"0123")
+        with pytest.raises(ValueError):
+            bucket.get("a", byte_range=(3, 2))
+        with pytest.raises(ValueError):
+            bucket.get("a", byte_range=(0, 5))
+
+    def test_missing_key(self, bucket):
+        with pytest.raises(NoSuchKeyError):
+            bucket.get("nope")
+        with pytest.raises(NoSuchKeyError):
+            bucket.head("nope")
+        with pytest.raises(NoSuchKeyError):
+            bucket.delete("nope")
+
+    def test_delete(self, bucket):
+        bucket.put("a", b"x")
+        bucket.delete("a")
+        assert "a" not in bucket
+
+    def test_keys_sorted_and_prefixed(self, bucket):
+        for key in ("b/2", "a/1", "b/1"):
+            bucket.put(key, b"x")
+        assert bucket.keys() == ["a/1", "b/1", "b/2"]
+        assert bucket.keys(prefix="b/") == ["b/1", "b/2"]
+
+    def test_stats_accumulate(self, bucket):
+        bucket.put("a", b"12345")
+        bucket.get("a")
+        bucket.get("a", byte_range=(0, 2))
+        assert bucket.stats.puts == 1
+        assert bucket.stats.bytes_written == 5
+        assert bucket.stats.gets == 2
+        assert bucket.stats.bytes_read == 7
+
+    def test_total_bytes(self, bucket):
+        bucket.put("a", b"123")
+        bucket.put("b", b"4567")
+        assert bucket.total_bytes() == 7
+
+    def test_validates_inputs(self, bucket):
+        with pytest.raises(ValueError):
+            bucket.put("", b"x")
+        with pytest.raises(TypeError):
+            bucket.put("a", "not bytes")
+        with pytest.raises(ValueError):
+            Bucket("has/slash")
+
+
+class TestObjectStore:
+    def test_create_and_get_bucket(self):
+        store = ObjectStore()
+        created = store.create_bucket("b1")
+        assert store.bucket("b1") is created
+        assert "b1" in store
+        assert store.buckets() == ["b1"]
+
+    def test_duplicate_bucket_rejected(self):
+        store = ObjectStore()
+        store.create_bucket("b1")
+        with pytest.raises(ObjectStoreError):
+            store.create_bucket("b1")
+
+    def test_missing_bucket(self):
+        with pytest.raises(NoSuchBucketError):
+            ObjectStore().bucket("ghost")
+
+    def test_delete_bucket_requires_empty_or_force(self):
+        store = ObjectStore()
+        store.create_bucket("b1").put("k", b"x")
+        with pytest.raises(ObjectStoreError):
+            store.delete_bucket("b1")
+        store.delete_bucket("b1", force=True)
+        assert "b1" not in store

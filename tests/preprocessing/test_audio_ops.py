@@ -1,0 +1,140 @@
+"""Audio pipeline tests: the second workload domain."""
+
+import numpy as np
+import pytest
+
+from repro.data.audio import SyntheticAudioDataset, make_audio_trace
+from repro.preprocessing.audio_ops import (
+    DecodeAudio,
+    MelSpectrogram,
+    NormalizeSpectrogram,
+    audio_pipeline,
+)
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+
+
+@pytest.fixture(scope="module")
+def audio_dataset():
+    return SyntheticAudioDataset(6, seed=2, duration_s=(0.5, 3.0))
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return audio_pipeline()
+
+
+class TestDecodeAudio:
+    def test_decodes_to_unit_range_pcm(self, audio_dataset):
+        out = DecodeAudio().apply(audio_dataset.raw_payload(0), {})
+        assert out.kind is PayloadKind.TENSOR_F32
+        assert out.data.shape[0] == 1 and out.data.shape[1] == 1
+        assert np.abs(out.data).max() <= 1.0
+
+    def test_simulate_matches_apply(self, audio_dataset):
+        op = DecodeAudio()
+        payload = audio_dataset.raw_payload(1)
+        assert op.simulate(payload.meta, {}).nbytes == op.apply(payload, {}).nbytes
+
+
+class TestMelSpectrogram:
+    def test_output_shape(self):
+        op = MelSpectrogram(n_fft=512, hop=256, n_mels=32)
+        signal = Payload.tensor(
+            np.random.default_rng(0).uniform(-1, 1, size=(1, 1, 4096)).astype(np.float32)
+        )
+        out = op.apply(signal, {})
+        assert out.data.shape == (1, 32, op.num_frames(4096))
+
+    def test_short_signal_padded_to_one_frame(self):
+        op = MelSpectrogram(n_fft=512, hop=256, n_mels=16)
+        signal = Payload.tensor(np.zeros((1, 1, 100), dtype=np.float32))
+        assert op.apply(signal, {}).data.shape == (1, 16, 1)
+
+    def test_pure_tone_concentrates_energy(self):
+        rate = 16_000
+        t = np.arange(rate) / rate
+        tone = np.sin(2 * np.pi * 440.0 * t).astype(np.float32)
+        op = MelSpectrogram(sample_rate=rate)
+        features = op.apply(Payload.tensor(tone.reshape(1, 1, -1)), {}).data[0]
+        profile = features.mean(axis=1)
+        # The strongest mel bin should dwarf the quietest.
+        assert profile.max() > 10 * (profile.min() + 1e-6)
+
+    def test_spectrogram_shrinks_long_clips(self, audio_dataset, pipe):
+        payload = audio_dataset.raw_payload(0)
+        run = pipe.run(payload, seed=0, epoch=0, sample_id=0)
+        pcm_bytes = run.stages[0].out_meta.nbytes
+        spec_bytes = run.stages[1].out_meta.nbytes
+        assert spec_bytes < pcm_bytes / 3
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            MelSpectrogram(n_fft=1000)  # not a power of two
+        with pytest.raises(ValueError):
+            MelSpectrogram(hop=0)
+        with pytest.raises(ValueError):
+            MelSpectrogram(n_mels=0)
+
+
+class TestNormalizeSpectrogram:
+    def test_zero_mean_unit_std_per_bin(self):
+        rng = np.random.default_rng(3)
+        features = Payload.tensor(
+            rng.uniform(0, 5, size=(1, 8, 200)).astype(np.float32)
+        )
+        out = NormalizeSpectrogram().apply(features, {}).data[0]
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+
+class TestAudioPipeline:
+    def test_real_and_simulated_agree(self, audio_dataset, pipe):
+        for sid in range(3):
+            payload = audio_dataset.raw_payload(sid)
+            real = pipe.run(payload, seed=0, epoch=0, sample_id=sid)
+            sim = pipe.simulate(payload.meta, seed=0, epoch=0, sample_id=sid)
+            assert [s.out_meta.nbytes for s in real.stages] == [
+                s.out_meta.nbytes for s in sim.stages
+            ]
+            assert real.total_cost_s == pytest.approx(sim.total_cost_s)
+
+    def test_min_stage_is_the_spectrogram(self, pipe):
+        trace = make_audio_trace(100, seed=1)
+        from repro.core.profiler import StageTwoProfiler
+
+        records = StageTwoProfiler().profile(trace, pipe)
+        assert all(r.min_stage == 2 for r in records)
+        assert all(r.offload_efficiency > 0 for r in records)
+
+    def test_sophon_offloads_the_feature_frontend(self, pipe):
+        from repro.cluster.spec import standard_cluster
+        from repro.core.policy import PolicyContext
+        from repro.core.sophon import Sophon
+        from repro.workloads.models import get_model_profile
+
+        trace = make_audio_trace(300, seed=4)
+        context = PolicyContext(
+            dataset=trace,
+            pipeline=pipe,
+            spec=standard_cluster(storage_cores=8, bandwidth_mbps=100.0),
+            model=get_model_profile("alexnet"),
+            batch_size=32,
+            seed=0,
+        )
+        plan = Sophon().plan(context)
+        assert plan.num_offloaded == len(trace)
+        assert set(plan.split_histogram()) == {2}
+
+    def test_rpc_path_carries_spectrograms(self, audio_dataset, pipe):
+        from repro.rpc import InMemoryChannel, StorageClient, StorageServer
+
+        server = StorageServer(audio_dataset, pipe, seed=0)
+        client = StorageClient(InMemoryChannel(server.handle))
+        local = pipe.run(
+            audio_dataset.raw_payload(2), seed=0, epoch=0, sample_id=2
+        ).payload.data
+        fetched = client.fetch(2, 0, 2)
+        finished = pipe.run(
+            fetched, seed=0, epoch=0, sample_id=2, start=2
+        ).payload.data
+        assert np.allclose(finished, local)

@@ -1,0 +1,176 @@
+"""Extra op library tests: validation + augmented pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_image
+from repro.preprocessing.extra_ops import (
+    CenterCrop,
+    ColorJitter,
+    RandomGrayscale,
+    Resize,
+    augmented_training_pipeline,
+    cost_model_with_extras,
+    validation_pipeline,
+)
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+
+
+@pytest.fixture
+def image_payload(rng):
+    return Payload.image(generate_image(rng, 300, 500, texture=0.4))
+
+
+class TestResize:
+    def test_shorter_side_hits_target(self, image_payload):
+        out = Resize(256).apply(image_payload, {})
+        assert out.data.shape[0] == 256  # height was the shorter side
+        assert out.data.shape[1] == round(500 * 256 / 300)
+
+    def test_portrait_orientation(self, rng):
+        tall = Payload.image(generate_image(rng, 500, 300, texture=0.2))
+        out = Resize(256).apply(tall, {})
+        assert out.data.shape[1] == 256
+
+    def test_simulate_matches_apply(self, image_payload):
+        op = Resize(256)
+        assert op.simulate(image_payload.meta, {}).nbytes == op.apply(
+            image_payload, {}
+        ).nbytes
+
+    def test_square_input(self, rng):
+        square = Payload.image(generate_image(rng, 100, 100, texture=0.2))
+        out = Resize(50).apply(square, {})
+        assert out.data.shape[:2] == (50, 50)
+
+    def test_validates_size(self):
+        with pytest.raises(ValueError):
+            Resize(0)
+
+
+class TestCenterCrop:
+    def test_crops_center(self):
+        image = np.zeros((10, 10, 3), dtype=np.uint8)
+        image[4:6, 4:6] = 255
+        out = CenterCrop(2).apply(Payload.image(image), {})
+        assert (out.data == 255).all()
+
+    def test_pads_small_images(self, rng):
+        small = Payload.image(generate_image(rng, 100, 100, texture=0.2))
+        out = CenterCrop(224).apply(small, {})
+        assert out.data.shape == (224, 224, 3)
+
+    def test_simulate_always_square(self, image_payload):
+        assert CenterCrop(224).simulate(image_payload.meta, {}).nbytes == 224 * 224 * 3
+
+
+class TestColorJitter:
+    def test_output_shape_unchanged(self, image_payload, rng):
+        op = ColorJitter()
+        params = op.draw_params(rng, image_payload.meta)
+        out = op.apply(image_payload, params)
+        assert out.data.shape == image_payload.data.shape
+        assert out.data.dtype == np.uint8
+
+    def test_identity_at_unit_factors(self, image_payload):
+        out = ColorJitter().apply(
+            image_payload, {"brightness": 1.0, "contrast": 1.0}
+        )
+        assert np.array_equal(out.data, image_payload.data)
+
+    def test_brightness_shifts_mean(self, image_payload):
+        op = ColorJitter()
+        dim = op.apply(image_payload, {"brightness": 0.6, "contrast": 1.0})
+        assert dim.data.mean() < image_payload.data.mean()
+
+    def test_validates_ranges(self):
+        with pytest.raises(ValueError):
+            ColorJitter(brightness=1.0)
+
+
+class TestRandomGrayscale:
+    def test_grayscale_equalizes_channels(self, image_payload):
+        out = RandomGrayscale().apply(image_payload, {"grayscale": True})
+        assert np.array_equal(out.data[..., 0], out.data[..., 1])
+        assert np.array_equal(out.data[..., 1], out.data[..., 2])
+        assert out.data.shape == image_payload.data.shape
+
+    def test_passthrough(self, image_payload):
+        out = RandomGrayscale().apply(image_payload, {"grayscale": False})
+        assert np.array_equal(out.data, image_payload.data)
+
+    def test_probability(self, rng):
+        op = RandomGrayscale(p=0.5)
+        meta = StageMeta.for_image(4, 4)
+        hits = sum(op.draw_params(rng, meta)["grayscale"] for _ in range(1000))
+        assert 400 < hits < 600
+
+
+class TestPipelines:
+    def test_validation_pipeline_runs_end_to_end(self, rng):
+        from repro.codec import ToyJpegCodec
+
+        image = generate_image(rng, 300, 400, texture=0.4)
+        payload = Payload.encoded(ToyJpegCodec().encode(image), height=300, width=400)
+        pipe = validation_pipeline()
+        run = pipe.run(payload, seed=0, epoch=0, sample_id=0)
+        assert run.payload.data.shape == (3, 224, 224)
+        assert run.payload.kind is PayloadKind.TENSOR_F32
+
+    def test_validation_pipeline_is_deterministic_across_epochs(self):
+        pipe = validation_pipeline()
+        meta = StageMeta.for_encoded(300_000, 600, 800)
+        a = pipe.simulate(meta, seed=0, epoch=0, sample_id=0)
+        b = pipe.simulate(meta, seed=0, epoch=5, sample_id=0)
+        assert [s.out_meta.nbytes for s in a.stages] == [
+            s.out_meta.nbytes for s in b.stages
+        ]
+        assert [s.cost_s for s in a.stages] == [s.cost_s for s in b.stages]
+
+    def test_validation_stage_sizes(self):
+        pipe = validation_pipeline()
+        meta = StageMeta.for_encoded(300_000, 600, 800)
+        sizes = pipe.stage_sizes(meta, seed=0, epoch=0, sample_id=0)
+        # decode -> resize(shorter=256) -> centercrop(224) -> tensor
+        assert sizes[1] == 600 * 800 * 3
+        assert sizes[2] == 256 * round(800 * 256 / 600) * 3
+        assert sizes[3] == 224 * 224 * 3
+        assert sizes[4] == 224 * 224 * 3 * 4
+
+    def test_augmented_pipeline_runs_end_to_end(self, rng):
+        from repro.codec import ToyJpegCodec
+
+        image = generate_image(rng, 200, 260, texture=0.5)
+        payload = Payload.encoded(ToyJpegCodec().encode(image), height=200, width=260)
+        pipe = augmented_training_pipeline()
+        run = pipe.run(payload, seed=1, epoch=0, sample_id=3)
+        assert run.payload.data.shape == (3, 224, 224)
+        assert len(run.stages) == 7
+
+    def test_cost_model_covers_all_ops(self):
+        model = cost_model_with_extras()
+        for name in ("Decode", "Resize", "CenterCrop", "ColorJitter",
+                     "RandomGrayscale", "ToTensor", "Normalize"):
+            assert model.op_seconds(name, 1000, 1000) > 0
+
+    def test_sophon_plans_on_validation_pipeline(self, openimages_small):
+        """SOPHON's machinery is pipeline-agnostic: the deterministic
+        validation transform offloads the same way."""
+        from repro.cluster.spec import standard_cluster
+        from repro.core.policy import PolicyContext
+        from repro.core.sophon import Sophon
+        from repro.workloads.models import get_model_profile
+
+        context = PolicyContext(
+            dataset=openimages_small,
+            pipeline=validation_pipeline(),
+            spec=standard_cluster(storage_cores=48),
+            model=get_model_profile("alexnet"),
+            batch_size=64,
+            seed=0,
+        )
+        plan = Sophon().plan(context)
+        assert plan.num_offloaded > 0
+        # Minimum is after CenterCrop (stage 3) for shrinking samples.
+        histogram = plan.split_histogram()
+        assert set(histogram) <= {0, 3}

@@ -1,0 +1,71 @@
+"""Payload and StageMeta tests."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+
+
+class TestStageMeta:
+    def test_encoded_meta_carries_size_and_dims(self):
+        meta = StageMeta.for_encoded(1000, 480, 640)
+        assert meta.kind is PayloadKind.ENCODED
+        assert meta.nbytes == 1000
+        assert meta.pixels == 480 * 640
+
+    def test_image_meta_size_is_hwc(self):
+        meta = StageMeta.for_image(224, 224)
+        assert meta.nbytes == 224 * 224 * 3
+
+    def test_tensor_meta_size_is_4x_image(self):
+        image = StageMeta.for_image(224, 224)
+        tensor = StageMeta.for_tensor(224, 224)
+        assert tensor.nbytes == 4 * image.nbytes
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            StageMeta(PayloadKind.ENCODED, -1, 10, 10)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            StageMeta(PayloadKind.ENCODED, 10, 0, 10)
+
+    def test_bytes_per_value(self):
+        assert PayloadKind.TENSOR_F32.bytes_per_value == 4
+        assert PayloadKind.IMAGE_U8.bytes_per_value == 1
+        assert PayloadKind.ENCODED.bytes_per_value == 1
+
+
+class TestPayload:
+    def test_encoded_nbytes_is_stream_length(self):
+        payload = Payload.encoded(b"\x00" * 123, height=10, width=10)
+        assert payload.nbytes == 123
+        assert payload.meta.kind is PayloadKind.ENCODED
+        assert payload.meta.height == 10
+
+    def test_image_payload_meta(self):
+        array = np.zeros((8, 6, 3), dtype=np.uint8)
+        payload = Payload.image(array)
+        assert payload.nbytes == 8 * 6 * 3
+        meta = payload.meta
+        assert (meta.height, meta.width, meta.channels) == (8, 6, 3)
+
+    def test_tensor_payload_meta(self):
+        array = np.zeros((3, 8, 6), dtype=np.float32)
+        payload = Payload.tensor(array)
+        assert payload.nbytes == 3 * 8 * 6 * 4
+        meta = payload.meta
+        assert (meta.height, meta.width, meta.channels) == (8, 6, 3)
+        assert meta.kind is PayloadKind.TENSOR_F32
+
+    def test_image_constructor_validates_dtype(self):
+        with pytest.raises(ValueError):
+            Payload.image(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_tensor_constructor_validates_dtype(self):
+        with pytest.raises(ValueError):
+            Payload.tensor(np.zeros((3, 4, 4), dtype=np.float64))
+
+    def test_image_constructor_validates_rank(self):
+        with pytest.raises(ValueError):
+            Payload.image(np.zeros((4, 4), dtype=np.uint8))

@@ -1,0 +1,109 @@
+"""Pipeline composition, split execution, and real/simulated agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import ToyJpegCodec
+from repro.data.synthetic import generate_image
+from repro.preprocessing.ops import Decode, Normalize, ToTensor
+from repro.preprocessing.payload import Payload, PayloadKind, StageMeta
+from repro.preprocessing.pipeline import Pipeline, standard_pipeline
+
+
+@pytest.fixture
+def encoded(rng):
+    image = generate_image(rng, 100, 140, texture=0.5)
+    return Payload.encoded(ToyJpegCodec().encode(image), height=100, width=140)
+
+
+class TestConstruction:
+    def test_standard_pipeline_has_five_ops(self, pipeline):
+        assert len(pipeline) == 5
+        assert pipeline.op_names == [
+            "Decode",
+            "RandomResizedCrop",
+            "RandomHorizontalFlip",
+            "ToTensor",
+            "Normalize",
+        ]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_rejects_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            Pipeline([Decode(), Normalize()])  # image -> tensor op gap
+
+    def test_accepts_compatible_sub_chain(self):
+        Pipeline([ToTensor(), Normalize()])  # image -> tensor -> tensor
+
+
+class TestExecution:
+    def test_full_run_yields_normalized_tensor(self, pipeline, encoded):
+        run = pipeline.run(encoded, seed=0, epoch=0, sample_id=0)
+        assert run.payload.kind is PayloadKind.TENSOR_F32
+        assert run.payload.data.shape == (3, 224, 224)
+        assert len(run.stages) == 5
+        assert run.total_cost_s > 0
+
+    def test_stage_sizes_follow_paper_algebra(self, pipeline, encoded):
+        sizes = pipeline.stage_sizes(encoded.meta, seed=0, epoch=0, sample_id=0)
+        assert sizes[0] == encoded.nbytes
+        assert sizes[1] == 100 * 140 * 3  # decode
+        assert sizes[2] == 224 * 224 * 3  # crop
+        assert sizes[3] == sizes[2]  # flip
+        assert sizes[4] == 4 * sizes[2]  # to-tensor
+        assert sizes[5] == sizes[4]  # normalize
+
+    def test_split_execution_identical_to_full(self, pipeline, encoded):
+        full = pipeline.run(encoded, seed=3, epoch=2, sample_id=9)
+        for split in range(0, 6):
+            head = pipeline.run(encoded, seed=3, epoch=2, sample_id=9, stop=split)
+            head_payload = head.payload if split > 0 else encoded
+            tail = pipeline.run(
+                head_payload, seed=3, epoch=2, sample_id=9, start=split
+            )
+            assert np.array_equal(tail.payload.data, full.payload.data), split
+
+    def test_simulate_agrees_with_run_exactly(self, pipeline, encoded):
+        real = pipeline.run(encoded, seed=1, epoch=4, sample_id=7)
+        sim = pipeline.simulate(encoded.meta, seed=1, epoch=4, sample_id=7)
+        for r, s in zip(real.stages, sim.stages):
+            assert r.out_meta.nbytes == s.out_meta.nbytes
+            assert r.cost_s == pytest.approx(s.cost_s, abs=0.0)
+            assert r.params == s.params
+
+    def test_different_epochs_draw_different_augmentations(self, pipeline, encoded):
+        run_a = pipeline.simulate(encoded.meta, seed=0, epoch=0, sample_id=0)
+        run_b = pipeline.simulate(encoded.meta, seed=0, epoch=1, sample_id=0)
+        params_a = run_a.stages[1].params
+        params_b = run_b.stages[1].params
+        assert params_a != params_b  # crop geometry reshuffles per epoch
+
+    def test_same_key_is_deterministic(self, pipeline, encoded):
+        run_a = pipeline.simulate(encoded.meta, seed=0, epoch=3, sample_id=5)
+        run_b = pipeline.simulate(encoded.meta, seed=0, epoch=3, sample_id=5)
+        assert [s.params for s in run_a.stages] == [s.params for s in run_b.stages]
+
+    def test_rejects_bad_ranges(self, pipeline, encoded):
+        with pytest.raises(ValueError):
+            pipeline.run(encoded, seed=0, epoch=0, sample_id=0, start=3, stop=2)
+        with pytest.raises(ValueError):
+            pipeline.run(encoded, seed=0, epoch=0, sample_id=0, stop=6)
+
+    @given(split=st.integers(0, 5), epoch=st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_split_size_invariant(self, split, epoch):
+        pipe = standard_pipeline()
+        meta = StageMeta.for_encoded(300_000, 600, 800)
+        head = pipe.simulate(meta, seed=0, epoch=epoch, sample_id=1, stop=split)
+        tail = pipe.simulate(
+            head.out_meta if split else meta,
+            seed=0, epoch=epoch, sample_id=1, start=split,
+        )
+        full = pipe.simulate(meta, seed=0, epoch=epoch, sample_id=1)
+        assert tail.out_meta.nbytes == full.out_meta.nbytes
+        assert head.total_cost_s + tail.total_cost_s == pytest.approx(full.total_cost_s)

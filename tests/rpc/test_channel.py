@@ -1,0 +1,66 @@
+"""Channel byte-accounting and fault-injection tests."""
+
+import pytest
+
+from repro.rpc.channel import InMemoryChannel
+
+
+def echo(data: bytes) -> bytes:
+    return data + b"!"
+
+
+class TestChannel:
+    def test_counts_every_byte(self):
+        channel = InMemoryChannel(echo)
+        channel.call(b"abc")
+        channel.call(b"de")
+        assert channel.stats.calls == 2
+        assert channel.stats.request_bytes == 5
+        assert channel.stats.response_bytes == 7
+        assert channel.stats.total_bytes == 12
+
+    def test_reset(self):
+        channel = InMemoryChannel(echo)
+        channel.call(b"abc")
+        channel.stats.reset()
+        assert channel.stats.calls == 0
+        assert channel.stats.total_bytes == 0
+
+    def test_rejects_non_bytes_request(self):
+        channel = InMemoryChannel(echo)
+        with pytest.raises(TypeError):
+            channel.call("not bytes")
+
+    def test_rejects_non_bytes_response(self):
+        channel = InMemoryChannel(lambda b: "oops")
+        with pytest.raises(TypeError):
+            channel.call(b"x")
+
+    def test_fault_injection_raises_before_delivery(self):
+        calls = []
+
+        def fault(data):
+            raise ConnectionError("link down")
+
+        channel = InMemoryChannel(lambda b: calls.append(b) or b"", fault=fault)
+        with pytest.raises(ConnectionError):
+            channel.call(b"x")
+        assert calls == []  # handler never reached
+        assert channel.stats.calls == 0  # failed call not counted
+
+    def test_selective_fault(self):
+        attempts = {"n": 0}
+
+        def fault(data):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise TimeoutError("transient")
+
+        channel = InMemoryChannel(echo, fault=fault)
+        with pytest.raises(TimeoutError):
+            channel.call(b"a")
+        assert channel.call(b"a") == b"a!"  # retry succeeds
+
+    def test_accepts_bytearray(self):
+        channel = InMemoryChannel(echo)
+        assert channel.call(bytearray(b"xy")) == b"xy!"

@@ -1,0 +1,76 @@
+"""Retrying client tests with injected transport faults."""
+
+import pytest
+
+from repro.rpc import InMemoryChannel, StorageClient, StorageServer
+from repro.rpc.messages import ProtocolError
+from repro.rpc.retry import FetchFailedError, RetryingClient
+
+
+class FlakyFault:
+    """Raises for the first ``failures`` calls, then lets traffic through."""
+
+    def __init__(self, failures: int, exc=ConnectionError) -> None:
+        self.remaining = failures
+        self.exc = exc
+
+    def __call__(self, request_bytes: bytes) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc("injected transport fault")
+
+
+@pytest.fixture
+def server(materialized_tiny, pipeline):
+    return StorageServer(materialized_tiny, pipeline, seed=0)
+
+
+class TestRetryingClient:
+    def test_transient_fault_recovered(self, server, materialized_tiny):
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(2))
+        client = RetryingClient(StorageClient(channel), max_attempts=3)
+        payload = client.fetch(0, 0, 0)
+        assert payload.data == materialized_tiny.raw_payload(0).data
+        assert client.stats.retries == 2
+        assert client.stats.failures == 0
+
+    def test_exhausted_retries_raise_with_cause(self, server):
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(10))
+        client = RetryingClient(StorageClient(channel), max_attempts=3)
+        with pytest.raises(FetchFailedError) as err:
+            client.fetch(0, 0, 0)
+        assert isinstance(err.value.__cause__, ConnectionError)
+        assert client.stats.failures == 1
+        assert client.stats.retries == 2
+
+    def test_timeouts_retryable_by_default(self, server):
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(1, TimeoutError))
+        client = RetryingClient(StorageClient(channel))
+        client.fetch(0, 0, 0)
+        assert client.stats.retries == 1
+
+    def test_protocol_errors_not_retried(self, server):
+        channel = InMemoryChannel(lambda b: b"garbage")
+        client = RetryingClient(StorageClient(channel), max_attempts=5)
+        with pytest.raises(ProtocolError):
+            client.fetch(0, 0, 0)
+        assert client.stats.retries == 0
+
+    def test_no_fault_no_retries(self, server):
+        client = RetryingClient(StorageClient(InMemoryChannel(server.handle)))
+        client.fetch(0, 0, 2)
+        assert client.stats.retries == 0
+        assert client.stats.fetches == 1
+
+    def test_works_under_the_loader(self, server, materialized_tiny, pipeline):
+        from repro.data.loader import DataLoader
+
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(1))
+        client = RetryingClient(StorageClient(channel), max_attempts=2)
+        loader = DataLoader(materialized_tiny, pipeline, client, batch_size=5, seed=0)
+        batches = list(loader.epoch(0))
+        assert sum(len(b) for b in batches) == len(materialized_tiny)
+
+    def test_validates_attempts(self):
+        with pytest.raises(ValueError):
+            RetryingClient(None, max_attempts=0)

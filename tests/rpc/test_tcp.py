@@ -1,0 +1,94 @@
+"""TCP transport tests: real sockets between 'nodes'."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader
+from repro.rpc import StorageServer
+from repro.rpc.messages import ProtocolError, response_wire_size
+from repro.rpc.tcp import TcpStorageClient, TcpStorageServer
+
+
+@pytest.fixture
+def server(materialized_tiny, pipeline):
+    return StorageServer(materialized_tiny, pipeline, seed=0)
+
+
+class TestTcpTransport:
+    def test_fetch_round_trip(self, server, materialized_tiny):
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                payload = client.fetch(0, 0, 0)
+                assert payload.data == materialized_tiny.raw_payload(0).data
+
+    def test_offloaded_fetch_over_tcp(self, server):
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                payload = client.fetch(1, 0, 2)
+                assert payload.data.shape == (224, 224, 3)
+
+    def test_traffic_counts_wire_bytes(self, server):
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                payload = client.fetch(0, 0, 2)
+                assert client.traffic_bytes == response_wire_size(payload.nbytes)
+
+    def test_many_sequential_fetches_one_connection(self, server, materialized_tiny):
+        import time
+
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                for sid in range(len(materialized_tiny)):
+                    client.fetch(sid, 0, 0)
+            # The counter increments just after the last send; give the
+            # server thread a moment to get there.
+            deadline = time.time() + 2.0
+            while tcp.requests_served < len(materialized_tiny) and time.time() < deadline:
+                time.sleep(0.01)
+            assert tcp.requests_served == len(materialized_tiny)
+
+    def test_loader_trains_over_tcp(self, server, materialized_tiny, pipeline):
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                loader = DataLoader(
+                    materialized_tiny, pipeline, client, batch_size=5, seed=0
+                )
+                total = sum(len(batch) for batch in loader.epoch(0))
+                assert total == len(materialized_tiny)
+
+    def test_tcp_matches_in_memory_results(self, server, materialized_tiny, pipeline):
+        from repro.rpc import InMemoryChannel, StorageClient
+
+        memory_client = StorageClient(InMemoryChannel(server.handle))
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                over_tcp = client.fetch(2, 1, 3).data
+        in_memory = memory_client.fetch(2, 1, 3).data
+        assert np.array_equal(over_tcp, in_memory)
+
+    def test_server_error_surfaces_as_protocol_error(self, server):
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                with pytest.raises(ProtocolError):
+                    client.fetch(10_000, 0, 0)  # out of range on the server
+
+    def test_concurrent_clients(self, server, materialized_tiny):
+        import threading
+
+        results = {}
+
+        def worker(tag):
+            with TcpStorageClient(tcp.address) as client:
+                results[tag] = client.fetch(tag, 0, 0).nbytes
+
+        with TcpStorageServer(server.handle) as tcp:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert results == {
+            i: materialized_tiny.raw_meta(i).nbytes for i in range(4)
+        }

@@ -1,0 +1,91 @@
+"""Multi-tenant core scheduler tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.data.catalog import make_imagenet, make_openimages
+from repro.scheduler import GreedyCoreScheduler, TenantJob
+from repro.scheduler.multitenant import make_job
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return [
+        make_job("oi", make_openimages(num_samples=300, seed=1)),
+        make_job("in", make_imagenet(num_samples=300, seed=2)),
+    ]
+
+
+@pytest.fixture
+def scheduler():
+    return GreedyCoreScheduler(standard_cluster())
+
+
+class TestAllocation:
+    def test_allocates_within_budget(self, scheduler, jobs):
+        allocation = scheduler.allocate(jobs, total_cores=6)
+        assert sum(allocation.cores.values()) <= 6
+        assert set(allocation.cores) == {"oi", "in"}
+
+    def test_zero_budget(self, scheduler, jobs):
+        allocation = scheduler.allocate(jobs, total_cores=0)
+        assert all(c == 0 for c in allocation.cores.values())
+        assert allocation.objective > 0
+
+    def test_more_cores_never_hurt(self, scheduler, jobs):
+        small = scheduler.allocate(jobs, total_cores=2)
+        large = scheduler.allocate(jobs, total_cores=10)
+        assert large.objective <= small.objective + 1e-9
+
+    def test_epoch_time_monotone_in_cores_per_job(self, scheduler, jobs):
+        times = [scheduler.epoch_time_at(jobs[0], cores) for cores in range(0, 6)]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_stops_early_when_no_job_benefits(self, scheduler, jobs):
+        allocation = scheduler.allocate(jobs, total_cores=10_000)
+        assert sum(allocation.cores.values()) < 10_000
+
+    def test_io_heavy_job_prioritized(self, scheduler):
+        io_heavy = make_job("io-heavy", make_openimages(num_samples=300, seed=3))
+        gpu_heavy = make_job(
+            "gpu-heavy", make_openimages(num_samples=300, seed=4), model_name="resnet50"
+        )
+        # Make the GPU job genuinely compute-bound by giving it a fat pipe.
+        allocation = scheduler.allocate([io_heavy, gpu_heavy], total_cores=2)
+        assert allocation.cores["io-heavy"] >= allocation.cores["gpu-heavy"]
+
+    def test_weight_biases_allocation(self):
+        spec = standard_cluster()
+        job_a = make_job("a", make_openimages(num_samples=300, seed=5), weight=100.0)
+        job_b = make_job("b", make_openimages(num_samples=300, seed=5), weight=1.0)
+        allocation = GreedyCoreScheduler(spec).allocate([job_a, job_b], total_cores=1)
+        assert allocation.cores["a"] == 1
+
+    def test_duplicate_names_rejected(self, scheduler):
+        job = make_job("dup", make_openimages(num_samples=50, seed=0))
+        with pytest.raises(ValueError):
+            scheduler.allocate([job, job], total_cores=2)
+
+    def test_negative_budget_rejected(self, scheduler, jobs):
+        with pytest.raises(ValueError):
+            scheduler.allocate(jobs, total_cores=-1)
+
+    def test_render(self, scheduler, jobs):
+        allocation = scheduler.allocate(jobs, total_cores=2)
+        text = allocation.render()
+        assert "oi" in text and "in" in text
+
+
+class TestTenantJob:
+    def test_default_pipeline_attached(self):
+        job = make_job("j", make_openimages(num_samples=10, seed=0))
+        assert job.pipeline is not None
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            TenantJob(
+                name="bad",
+                dataset=make_openimages(num_samples=10, seed=0),
+                model=make_job("x", make_openimages(num_samples=10, seed=0)).model,
+                weight=0.0,
+            )

@@ -1,0 +1,72 @@
+"""Chrome trace export tests."""
+
+import json
+
+import pytest
+
+from repro.metrics.chrometrace import timeline_to_trace_events, write_chrome_trace
+from repro.metrics.timeline import BatchTrace, Timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(
+        batches=[
+            BatchTrace(0, ready_at=1.0, gpu_start=1.0, gpu_end=2.0),
+            BatchTrace(1, ready_at=1.5, gpu_start=2.0, gpu_end=3.5),
+        ],
+        epoch_end=3.5,
+    )
+
+
+class TestChromeTrace:
+    def test_event_structure(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(metadata) == 3
+        assert len(spans) == 4  # 2 batches x (input + gpu)
+
+    def test_gpu_spans_exact(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        gpu0 = next(e for e in events if e["name"] == "batch 0 gpu")
+        assert gpu0["ts"] == 1_000_000
+        assert gpu0["dur"] == 1_000_000
+
+    def test_input_spans_chain(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        in0 = next(e for e in events if e["name"] == "batch 0 input")
+        in1 = next(e for e in events if e["name"] == "batch 1 input")
+        assert in0["ts"] == 0 and in0["dur"] == 1_000_000
+        assert in1["ts"] == 1_000_000  # starts at batch 0's ready time
+
+    def test_write_round_trip(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(timeline, str(path), job="demo")
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "batch 1 gpu" in names
+
+    def test_from_real_trainer_run(self, openimages_small, pipeline, alexnet, tmp_path):
+        from repro.cluster.spec import standard_cluster
+        from repro.cluster.trainer import TrainerSim
+
+        trainer = TrainerSim(
+            openimages_small, pipeline, alexnet,
+            spec=standard_cluster(storage_cores=8), batch_size=64,
+        )
+        stats = trainer.run_epoch(None, epoch=0, record_timeline=True)
+        events = timeline_to_trace_events(stats.timeline)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 2 * stats.num_batches
+        # Spans never extend past the epoch end.
+        end = max(e["ts"] + e["dur"] for e in spans)
+        assert end <= stats.epoch_time_s * 1_000_000 + 1
+
+    def test_rejects_invalid_timeline(self):
+        broken = Timeline(
+            batches=[BatchTrace(0, ready_at=5.0, gpu_start=1.0, gpu_end=2.0)]
+        )
+        with pytest.raises(ValueError):
+            timeline_to_trace_events(broken)

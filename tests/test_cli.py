@@ -1,0 +1,100 @@
+"""CLI smoke tests (small sample counts keep them fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "sophon" in out
+
+    def test_fig1a(self, capsys):
+        assert main(["--samples", "100", "fig1a"]) == 0
+        out = capsys.readouterr().out
+        assert "Sample A" in out and "Sample B" in out
+
+    def test_fig1b(self, capsys):
+        assert main(["--samples", "150", "fig1b"]) == 0
+        out = capsys.readouterr().out
+        assert "openimages-12g" in out and "imagenet-11g" in out
+
+    def test_fig1c(self, capsys):
+        assert main(["--samples", "150", "fig1c"]) == 0
+        assert "EfficiencySummary" in capsys.readouterr().out
+
+    def test_fig1d(self, capsys):
+        assert main(["--samples", "200", "fig1d"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "alexnet" in out
+
+    def test_fig3(self, capsys):
+        assert main(["--samples", "200", "fig3", "--dataset", "imagenet"]) == 0
+        assert "sophon" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["--samples", "150", "fig4", "--cores", "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "storage-core sweep" in out
+        assert "marginal gain" in out
+
+    def test_table1_shows_both_matrices(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "cedar" in out  # published systems table
+        assert "resize-off" in out  # implemented policies table
+
+    def test_sweep(self, capsys, tmp_path):
+        path = tmp_path / "grid.csv"
+        assert main([
+            "--samples", "150", "sweep",
+            "--cores", "1", "8", "--csv", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "storage_cores" in out
+        assert path.read_text().startswith("storage_cores")
+
+    def test_sweep_requires_an_axis(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["--samples", "50", "sweep"])
+
+    def test_fig3_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "fig3.csv"
+        assert main(["--samples", "150", "fig3", "--csv", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("dataset,policy")
+        assert "sophon" in text
+
+    def test_plan_save_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        assert main(["--samples", "150", "plan", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "split histogram" in out
+
+        from repro.core.serialize import plan_from_json
+
+        plan = plan_from_json(path.read_text())
+        assert len(plan) == 150
+        assert plan.num_offloaded > 0
+
+    def test_stalls(self, capsys):
+        assert main(["--samples", "150", "stalls"]) == 0
+        out = capsys.readouterr().out
+        assert "no-off" in out and "sophon" in out
+
+    def test_ext_llm(self, capsys):
+        assert main(["--samples", "500", "ext-llm"]) == 0
+        out = capsys.readouterr().out
+        assert "offloadable documents: 0%" in out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--samples", "10", "fig3", "--dataset", "mnist"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

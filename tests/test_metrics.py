@@ -1,0 +1,119 @@
+"""Timeline and stall-breakdown tests."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.profiler import StageTwoProfiler
+from repro.metrics import BatchTrace, StallBreakdown, Timeline, stall_breakdown
+from repro.workloads.models import get_model_profile
+
+
+class TestTimeline:
+    def test_trace_autovivifies_in_order(self):
+        timeline = Timeline()
+        timeline.trace(2).ready_at = 1.0
+        assert len(timeline.batches) == 3
+        assert timeline.batches[2].ready_at == 1.0
+
+    def test_validate_accepts_sane_timeline(self):
+        timeline = Timeline(
+            batches=[
+                BatchTrace(0, ready_at=1.0, gpu_start=1.0, gpu_end=2.0),
+                BatchTrace(1, ready_at=1.5, gpu_start=2.0, gpu_end=3.0),
+            ],
+            epoch_end=3.0,
+        )
+        timeline.validate()
+
+    def test_validate_rejects_disorder(self):
+        timeline = Timeline(
+            batches=[BatchTrace(0, ready_at=2.0, gpu_start=1.0, gpu_end=3.0)]
+        )
+        with pytest.raises(ValueError):
+            timeline.validate()
+
+    def test_validate_rejects_overlap(self):
+        timeline = Timeline(
+            batches=[
+                BatchTrace(0, ready_at=0.0, gpu_start=0.0, gpu_end=2.0),
+                BatchTrace(1, ready_at=0.0, gpu_start=1.0, gpu_end=3.0),
+            ]
+        )
+        with pytest.raises(ValueError):
+            timeline.validate()
+
+
+class TestStallBreakdown:
+    def test_hand_built_breakdown(self):
+        timeline = Timeline(
+            batches=[
+                BatchTrace(0, ready_at=2.0, gpu_start=2.0, gpu_end=3.0),
+                BatchTrace(1, ready_at=4.0, gpu_start=5.0, gpu_end=6.0),
+            ],
+            epoch_end=6.0,
+        )
+        breakdown = stall_breakdown(timeline)
+        assert breakdown.gpu_busy_s == pytest.approx(2.0)
+        assert breakdown.data_stall_s == pytest.approx(4.0)  # 2 initial + 2 gap
+        assert breakdown.stall_fraction == pytest.approx(4.0 / 6.0)
+
+    def test_busy_plus_stall_covers_epoch(self):
+        timeline = Timeline(
+            batches=[
+                BatchTrace(0, ready_at=1.0, gpu_start=1.0, gpu_end=2.5),
+                BatchTrace(1, ready_at=2.0, gpu_start=2.5, gpu_end=4.0),
+            ],
+            epoch_end=4.5,
+        )
+        breakdown = stall_breakdown(timeline)
+        assert breakdown.gpu_busy_s + breakdown.data_stall_s == pytest.approx(4.5)
+
+    def test_empty_timeline(self):
+        breakdown = stall_breakdown(Timeline(epoch_end=5.0))
+        assert breakdown.gpu_busy_s == 0.0
+        assert breakdown.data_stall_s == 5.0
+
+
+class TestTrainerIntegration:
+    @pytest.fixture(scope="class")
+    def trainer(self, openimages_small, pipeline, alexnet):
+        return TrainerSim(
+            openimages_small, pipeline, alexnet,
+            spec=standard_cluster(storage_cores=8), batch_size=64,
+        )
+
+    def test_timeline_recorded_on_request(self, trainer):
+        stats = trainer.run_epoch(splits=None, epoch=0, record_timeline=True)
+        assert stats.timeline is not None
+        assert len(stats.timeline.batches) == stats.num_batches
+        stats.timeline.validate()
+
+    def test_timeline_omitted_by_default(self, trainer):
+        assert trainer.run_epoch(splits=None, epoch=0).timeline is None
+
+    def test_breakdown_matches_gpu_utilization(self, trainer):
+        stats = trainer.run_epoch(splits=None, epoch=0, record_timeline=True)
+        breakdown = stall_breakdown(stats.timeline)
+        assert breakdown.gpu_utilization == pytest.approx(
+            stats.gpu_utilization, rel=1e-6
+        )
+        assert breakdown.epoch_time_s == pytest.approx(stats.epoch_time_s)
+
+    def test_io_bound_workload_is_mostly_stall(self, trainer):
+        stats = trainer.run_epoch(splits=None, epoch=0, record_timeline=True)
+        breakdown = stall_breakdown(stats.timeline)
+        assert breakdown.stall_fraction > 0.8  # AlexNet at 500 Mbps
+
+    def test_offloading_shrinks_the_stall(self, trainer, openimages_small):
+        records = StageTwoProfiler().profile(
+            openimages_small, trainer.pipeline
+        )
+        splits = [r.min_stage for r in records]
+        plain = stall_breakdown(
+            trainer.run_epoch(None, epoch=0, record_timeline=True).timeline
+        )
+        offloaded = stall_breakdown(
+            trainer.run_epoch(splits, epoch=0, record_timeline=True).timeline
+        )
+        assert offloaded.data_stall_s < plain.data_stall_s / 1.8

@@ -1,0 +1,70 @@
+"""LLM ingestion workload tests (the section-5 negative case)."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.decision import DecisionEngine
+from repro.workloads.text import (
+    TextCorpusSpec,
+    document_sizes,
+    llm_ingestion_records,
+    offloadable_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return llm_ingestion_records(TextCorpusSpec(num_docs=2000), seed=0)
+
+
+class TestCorpus:
+    def test_document_sizes_shape(self):
+        sizes = document_sizes(TextCorpusSpec(num_docs=500), seed=1)
+        assert len(sizes) == 500
+        assert sizes.min() >= 64
+
+    def test_mean_near_target(self):
+        spec = TextCorpusSpec(num_docs=30_000)
+        sizes = document_sizes(spec, seed=2)
+        assert sizes.mean() == pytest.approx(spec.mean_doc_bytes, rel=0.05)
+
+    def test_deterministic(self):
+        spec = TextCorpusSpec(num_docs=100)
+        assert (document_sizes(spec, 3) == document_sizes(spec, 3)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextCorpusSpec(num_docs=-1)
+        with pytest.raises(ValueError):
+            TextCorpusSpec(bytes_per_token=0)
+
+
+class TestIngestionRecords:
+    def test_tokenize_grows_every_document(self, records):
+        for record in records[:200]:
+            assert record.stage_sizes[1] >= record.stage_sizes[0]
+
+    def test_packing_grows_further(self, records):
+        for record in records[:200]:
+            assert record.stage_sizes[2] >= record.stage_sizes[1]
+
+    def test_min_stage_is_always_raw(self, records):
+        assert all(r.min_stage == 0 for r in records)
+        assert offloadable_fraction(records) == 0.0
+
+    def test_decision_engine_plans_nothing(self, records):
+        plan = DecisionEngine().plan(
+            records, standard_cluster(storage_cores=48), gpu_time_s=1.0
+        )
+        assert plan.num_offloaded == 0
+        assert "positive offloading efficiency" in plan.reason
+
+    def test_small_vocab_could_change_the_story(self):
+        # A (hypothetical) tokenizer consuming 20 bytes per token would
+        # shrink documents -- the framework detects that case too.
+        spec = TextCorpusSpec(num_docs=500, bytes_per_token=20.0, seq_len=1)
+        records = llm_ingestion_records(spec, seed=0)
+        assert offloadable_fraction(records) > 0.9
+
+    def test_empty_corpus(self):
+        assert offloadable_fraction([]) == 0.0

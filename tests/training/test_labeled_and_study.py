@@ -1,0 +1,92 @@
+"""Labeled dataset and augmentation study tests (the section-3.3 claim)."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.ops import RandomResizedCrop
+from repro.training.augment_study import AugmentationStudy, crop_features
+from repro.training.labeled import (
+    NUM_CLASSES,
+    LabeledImageDataset,
+    generate_labeled_image,
+)
+
+
+class TestLabeledImages:
+    def test_shape_and_dtype(self, rng):
+        image = generate_labeled_image(rng, 64, 80, class_id=0)
+        assert image.shape == (64, 80, 3)
+        assert image.dtype == np.uint8
+
+    def test_gradient_direction_encodes_class(self, rng):
+        up = generate_labeled_image(rng, 96, 96, class_id=0, noise=0.0)
+        down = generate_labeled_image(rng, 96, 96, class_id=1, noise=0.0)
+        assert up[:16].mean() > up[-16:].mean()
+        assert down[:16].mean() < down[-16:].mean()
+
+    def test_left_right_classes(self, rng):
+        left = generate_labeled_image(rng, 96, 96, class_id=2, noise=0.0)
+        right = generate_labeled_image(rng, 96, 96, class_id=3, noise=0.0)
+        assert left[:, :16].mean() > left[:, -16:].mean()
+        assert right[:, :16].mean() < right[:, -16:].mean()
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            generate_labeled_image(rng, 10, 10, class_id=4)
+        with pytest.raises(ValueError):
+            generate_labeled_image(rng, 10, 10, class_id=0, noise=3.0)
+
+    def test_dataset_labels_cycle(self):
+        dataset = LabeledImageDataset(10, seed=0)
+        assert list(dataset.labels()) == [i % NUM_CLASSES for i in range(10)]
+
+    def test_dataset_deterministic(self):
+        a = LabeledImageDataset(4, seed=3).image(2)
+        b = LabeledImageDataset(4, seed=3).image(2)
+        assert np.array_equal(a, b)
+
+    def test_dataset_bounds(self):
+        dataset = LabeledImageDataset(4, seed=0)
+        with pytest.raises(IndexError):
+            dataset.image(4)
+
+
+class TestCropFeatures:
+    def test_feature_shape_and_standardization(self, rng):
+        dataset = LabeledImageDataset(4, seed=0)
+        features = crop_features(dataset.image(0), rng, RandomResizedCrop(size=64))
+        assert features.shape == (8 * 8 * 3,)
+        assert abs(features.mean()) < 1e-9
+        assert features.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_rng_different_crop(self):
+        dataset = LabeledImageDataset(4, seed=0)
+        crop = RandomResizedCrop(size=64)
+        a = crop_features(dataset.image(0), np.random.default_rng(1), crop)
+        b = crop_features(dataset.image(0), np.random.default_rng(2), crop)
+        assert not np.array_equal(a, b)
+
+
+class TestAugmentationStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return AugmentationStudy(seed=0).run()
+
+    def test_online_model_actually_learns(self, result):
+        chance = 1.0 / NUM_CLASSES
+        assert result.online_accuracy > chance + 0.3
+
+    def test_online_beats_frozen(self, result):
+        # Section 3.3: reusing frozen augmentations costs accuracy.
+        assert result.gap > 0.08
+
+    def test_result_fields(self, result):
+        assert result.train_samples == 24
+        assert result.test_samples == 120
+        assert result.epochs == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AugmentationStudy(train_samples=2)
+        with pytest.raises(ValueError):
+            AugmentationStudy(epochs=0)

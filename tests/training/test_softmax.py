@@ -1,0 +1,68 @@
+"""Softmax classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.training.softmax import SoftmaxClassifier
+
+
+def linearly_separable(rng, n=300, num_classes=3, dim=6):
+    centers = rng.normal(0, 4.0, size=(num_classes, dim))
+    labels = rng.integers(0, num_classes, size=n)
+    features = centers[labels] + rng.normal(0, 0.5, size=(n, dim))
+    return features, labels
+
+
+class TestSoftmaxClassifier:
+    def test_learns_separable_data(self, rng):
+        features, labels = linearly_separable(rng)
+        model = SoftmaxClassifier(num_features=6, num_classes=3)
+        for _ in range(40):
+            order = rng.permutation(len(labels))
+            for start in range(0, len(labels), 32):
+                batch = order[start : start + 32]
+                model.partial_fit(features[batch], labels[batch])
+        assert model.accuracy(features, labels) > 0.95
+
+    def test_loss_decreases(self, rng):
+        features, labels = linearly_separable(rng)
+        model = SoftmaxClassifier(num_features=6, num_classes=3)
+        first = model.loss(features, labels)
+        for _ in range(60):
+            model.partial_fit(features, labels)
+        assert model.loss(features, labels) < first / 2
+
+    def test_proba_rows_sum_to_one(self, rng):
+        features, _ = linearly_separable(rng, n=10)
+        model = SoftmaxClassifier(num_features=6, num_classes=3)
+        proba = model.predict_proba(features)
+        assert proba.shape == (10, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_single_row_input(self, rng):
+        model = SoftmaxClassifier(num_features=4, num_classes=2)
+        assert model.predict(np.zeros(4)).shape == (1,)
+
+    def test_partial_fit_validates_shapes(self):
+        model = SoftmaxClassifier(num_features=4, num_classes=2)
+        with pytest.raises(ValueError):
+            model.partial_fit(np.zeros((3, 4)), np.zeros(2, dtype=int))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxClassifier(num_features=0, num_classes=2)
+        with pytest.raises(ValueError):
+            SoftmaxClassifier(num_features=3, num_classes=1)
+        with pytest.raises(ValueError):
+            SoftmaxClassifier(num_features=3, num_classes=2, learning_rate=0)
+
+    def test_deterministic_given_seed(self, rng):
+        features, labels = linearly_separable(rng, n=50)
+        runs = []
+        for _ in range(2):
+            model = SoftmaxClassifier(num_features=6, num_classes=3, seed=7)
+            for _ in range(10):
+                model.partial_fit(features, labels)
+            runs.append(model.weights.copy())
+        assert np.array_equal(runs[0], runs[1])
