@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench figures examples all clean
+.PHONY: install test bench figures examples chaos all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ examples:
 		echo "== $$script =="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.chaos --samples 160 --seed 7
 
 all: test bench
 

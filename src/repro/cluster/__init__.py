@@ -15,7 +15,7 @@ Contents:
 
 from repro.cluster.spec import ClusterSpec, standard_cluster
 from repro.cluster.epoch_model import EpochEstimate, EpochMetrics, EpochModel
-from repro.cluster.sim import Environment, Resource, Store
+from repro.cluster.sim import Environment, Interrupt, Resource, Store
 from repro.cluster.trainer import EpochStats, TrainerSim, WorkAdjustment
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "EpochMetrics",
     "EpochModel",
     "EpochStats",
+    "Interrupt",
     "Resource",
     "Store",
     "TrainerSim",

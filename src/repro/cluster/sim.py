@@ -31,6 +31,20 @@ class SimulationError(RuntimeError):
     """A process misused the kernel (e.g. yielded a non-event)."""
 
 
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever the interrupter passed (e.g. the fault that
+    killed the resource the process was using).  A process that catches the
+    interrupt continues normally; one that does not simply ends, with the
+    Interrupt instance as its value.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
 class Event:
     """Something that will happen at a point in virtual time.
 
@@ -88,22 +102,32 @@ class Timeout(Event):
 class Process(Event):
     """A running generator; also an event that fires when the generator ends.
 
-    The event's value is the generator's return value.
+    The event's value is the generator's return value.  Processes are
+    *interruptible*: :meth:`interrupt` throws an :class:`Interrupt` into the
+    generator at its current yield point (fault injection uses this to fail
+    an offloaded prefix that is in flight when the storage node crashes).
     """
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
         self._generator = generator
-        Event(env).trigger().callbacks.append(self._resume)
+        self._waiting_on: Optional[Event] = None
+        first = Event(env).trigger()
+        first.callbacks.append(self._resume)
+        self._waiting_on = first
 
     def _resume(self, event: Event) -> None:
+        self._waiting_on = None
         try:
             target = self._generator.send(event.value)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded {type(target).__name__}, expected an Event"
@@ -114,8 +138,41 @@ class Process(Event):
             relay = Event(self.env)
             relay.callbacks.append(self._resume)
             relay.trigger(target.value)
+            self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        No-op if the process has already finished.  The event the process
+        was waiting on is abandoned (its eventual firing no longer resumes
+        this process); delivery happens through the queue at the current
+        virtual time.
+        """
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        relay = Event(self.env)
+        relay.callbacks.append(self._throw_in)
+        relay.trigger(cause)
+
+    def _throw_in(self, event: Event) -> None:
+        try:
+            target = self._generator.throw(Interrupt(event.value))
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Interrupt as exc:
+            # Not caught by the generator: the process ends, its value is
+            # the interrupt itself (waiters can inspect .cause).
+            self.trigger(exc)
+            return
+        self._wait_on(target)
 
 
 class AllOf(Event):
@@ -229,6 +286,21 @@ class Resource:
         self._grant_times[event] = self.env.now
         event.trigger()
 
+    def holds(self, request: Event) -> bool:
+        """True if ``request`` has been granted and not yet released."""
+        return request in self._grant_times
+
+    def cancel(self, request: Event) -> None:
+        """Withdraw an acquire that has not been granted yet.
+
+        Interrupted processes use this to leave the queue cleanly; granted
+        requests must be ``release``d instead.
+        """
+        if request in self._grant_times:
+            raise SimulationError("cannot cancel a granted request; release it")
+        if request in self._waiting:
+            self._waiting.remove(request)
+
     def release(self, request: Event) -> None:
         if request not in self._grant_times:
             raise SimulationError("released a request that was never granted")
@@ -270,6 +342,16 @@ class FairResource(Resource):
         else:
             self._flow_queues.setdefault(key, []).append(event)
         return event
+
+    def cancel(self, request: Event) -> None:
+        if request in self._grant_times:
+            raise SimulationError("cannot cancel a granted request; release it")
+        for key, queue in list(self._flow_queues.items()):
+            if request in queue:
+                queue.remove(request)
+                if not queue:
+                    del self._flow_queues[key]
+                return
 
     def release(self, request: Event) -> None:
         if request not in self._grant_times:

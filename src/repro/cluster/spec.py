@@ -72,6 +72,40 @@ class ClusterSpec:
     def with_bandwidth(self, bandwidth_mbps: float) -> "ClusterSpec":
         return dataclasses.replace(self, bandwidth_mbps=bandwidth_mbps)
 
+    def degraded(
+        self,
+        bandwidth_factor: float = 1.0,
+        extra_rtt_s: float = 0.0,
+        storage_cpu_factor: float = 1.0,
+        storage_down: bool = False,
+    ) -> "ClusterSpec":
+        """The cluster as an observed outage leaves it.
+
+        Adaptive re-planning feeds the degraded spec to the decision
+        engine, so the plan produced during (or after) a fault reflects
+        what the cluster can actually deliver: ``storage_down`` removes the
+        storage cores entirely (forcing a No-Off plan), a brownout scales
+        the bandwidth and inflates the RTT, CPU drift slows the storage
+        cores.
+        """
+        if not 0 < bandwidth_factor <= 1:
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        if extra_rtt_s < 0:
+            raise ValueError(f"extra_rtt_s must be >= 0, got {extra_rtt_s}")
+        if storage_cpu_factor < 1:
+            raise ValueError(
+                f"storage_cpu_factor must be >= 1, got {storage_cpu_factor}"
+            )
+        return dataclasses.replace(
+            self,
+            storage_cores=0 if storage_down else self.storage_cores,
+            bandwidth_mbps=self.bandwidth_mbps * bandwidth_factor,
+            network_rtt_s=self.network_rtt_s + extra_rtt_s,
+            storage_cpu_factor=self.storage_cpu_factor * storage_cpu_factor,
+        )
+
 
 def standard_cluster(
     storage_cores: int = 48,

@@ -9,19 +9,35 @@ in order, with the input pipeline allowed to work ``prefetch_batches`` ahead
 
 Everything the paper measures falls out: epoch time (makespan), data
 traffic (bytes that crossed the link), and GPU utilization.
+
+``run_epoch(faults=...)`` additionally injects a deterministic
+:class:`~repro.faults.FaultSchedule`: storage-node crash windows interrupt
+offloaded prefixes in flight (the sample demotes to a split-0 raw fetch and
+finishes locally -- the No-Off fallback, so no sample is ever lost), link
+brownouts stretch transfers and RTTs, CPU drift slows the storage cores,
+and corrupted payloads are re-transmitted (the extra bytes count as
+traffic, exactly as a checksum-triggered re-fetch would on the wire).  An
+empty schedule leaves the simulation byte-identical to the fault-free
+path.
 """
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.epoch_model import EpochMetrics
-from repro.cluster.sim import Environment, Resource
+from repro.cluster.sim import Environment, Interrupt, Resource
 from repro.cluster.spec import ClusterSpec
 from repro.data.dataset import Dataset
 from repro.data.sampler import BatchSampler, Sampler, SequentialSampler
+from repro.faults.schedule import FaultReport, FaultSchedule
 from repro.metrics.timeline import Timeline
 from repro.preprocessing.pipeline import Pipeline
 from repro.workloads.models import ModelProfile
+
+#: Retransmission cap per payload; only reachable when corruption_rate is
+#: so close to 1 that the wire is unusable anyway.
+_MAX_PAYLOAD_SENDS = 25
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,6 +94,8 @@ class EpochStats:
     analytic: EpochMetrics
     #: Per-batch timeline, populated when run_epoch(record_timeline=True).
     timeline: Optional[Timeline] = None
+    #: Fault accounting, populated when run_epoch(faults=...) injected any.
+    faults: Optional[FaultReport] = None
 
     def __str__(self) -> str:
         return (
@@ -113,6 +131,9 @@ def launch_training_processes(
     model: ModelProfile,
     handles: JobHandles,
     timeline: Optional["Timeline"] = None,
+    faults: Optional[FaultSchedule] = None,
+    fault_report: Optional[FaultReport] = None,
+    fallback_work: Optional[Callable[[int], SampleWork]] = None,
 ) -> Dict[str, int]:
     """Register one training job's processes on ``env``.
 
@@ -120,10 +141,21 @@ def launch_training_processes(
     finished when the environment drains (or when the returned
     ``handles.gpu`` has processed ``len(batches)`` batches -- multi-job
     callers watch the counter dict's ``"done"`` flag).
+
+    faults: optional fault schedule on virtual time.  When present (and
+        non-empty), ``fallback_work`` must map a sample id to its split-0
+        work so failed offloads can demote; observations accumulate into
+        ``fault_report``.  An empty/None schedule takes the exact
+        fault-free code path.
     """
     traffic = {"bytes": 0, "done": 0}
     bandwidth = spec.bandwidth_bytes_per_s
     batch_ready = [env.event() for _ in batches]
+    if faults is not None and faults.is_empty:
+        faults = None
+    if faults is not None and fallback_work is None:
+        raise ValueError("fault injection needs fallback_work for demotions")
+    report = fault_report if fault_report is not None else FaultReport()
 
     def sample_proc(item: SampleWork):
         # Request leaves the compute node; half an RTT to arrive.
@@ -155,10 +187,117 @@ def launch_training_processes(
             yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
             handles.compute_cpu.release(grant)
 
+    # -- fault-aware variant ------------------------------------------------
+    # Kept separate from sample_proc so the fault-free path stays
+    # byte-identical (acceptance criterion: an empty schedule changes
+    # nothing, not even float rounding order).
+
+    active_offloads: Dict[object, int] = {}  # prefix Process -> sample id
+    message_counter = itertools.count()
+
+    def crash_watch(window):
+        yield env.timeout(window.start)
+        victims = [p for p in list(active_offloads) if not p.triggered]
+        for proc in victims:
+            report.crash_interrupts += 1
+            if timeline is not None:
+                timeline.record_fault(
+                    env.now, "crash-interrupt", active_offloads.get(proc, -1)
+                )
+            proc.interrupt("storage-crash")
+
+    def prefix_proc(item: SampleWork):
+        """Run the offloaded prefix; returns True unless interrupted."""
+        grant = handles.storage_cpu.acquire()
+        try:
+            yield grant
+            yield env.timeout(
+                item.prefix_cpu_s
+                * spec.storage_cpu_factor
+                * faults.storage_cpu_factor(env.now)
+            )
+        except Interrupt:
+            if handles.storage_cpu.holds(grant):
+                handles.storage_cpu.release(grant)
+            else:
+                handles.storage_cpu.cancel(grant)
+            return False
+        handles.storage_cpu.release(grant)
+        return True
+
+    def transmit(payload_bytes: int):
+        """Move one payload across the (possibly browned-out) link."""
+        remaining = payload_bytes
+        first_chunk = True
+        while remaining > 0:
+            chunk = min(remaining, spec.link_chunk_bytes)
+            grant = handles.link.acquire(handles.flow_key, front=not first_chunk)
+            yield grant
+            factor = faults.bandwidth_factor(env.now)
+            if factor < 1.0:
+                report.brownout_chunks += 1
+            yield env.timeout(chunk / (bandwidth * factor))
+            handles.link.release(grant)
+            remaining -= chunk
+            first_chunk = False
+        traffic["bytes"] += payload_bytes
+
+    def faulty_sample_proc(item: SampleWork):
+        yield env.timeout((spec.network_rtt_s + faults.extra_rtt_s(env.now)) / 2.0)
+        if item.split > 0:
+            offloaded = False
+            if faults.storage_down(env.now):
+                # Fetch refused outright: the node is down right now.
+                report.note_failure(env.now)
+            else:
+                report.offload_attempts += 1
+                proc = env.process(prefix_proc(item))
+                active_offloads[proc] = item.sample_id
+                outcome = yield proc
+                active_offloads.pop(proc, None)
+                offloaded = outcome is True
+                if offloaded:
+                    recovering = (
+                        report.first_failure_s is not None
+                        and report.recovered_at_s is None
+                    )
+                    report.note_success(env.now)
+                    if recovering and timeline is not None:
+                        timeline.record_fault(env.now, "recovery", item.sample_id)
+                else:
+                    report.note_failure(env.now)
+            if not offloaded:
+                # Degrade to No-Off: raw fetch + local preprocessing.  The
+                # sample is served either way -- never lost.
+                report.demoted_samples += 1
+                if timeline is not None:
+                    timeline.record_fault(env.now, "demotion", item.sample_id)
+                item = fallback_work(item.sample_id)
+        payload_bytes = item.wire_bytes + spec.response_overhead_bytes
+        for send in range(_MAX_PAYLOAD_SENDS):
+            yield from transmit(payload_bytes)
+            if not faults.corrupts(next(message_counter)):
+                break
+            # Checksum caught a damaged payload: it never reaches the
+            # pipeline; the re-transmission's bytes count as traffic.
+            report.corrupted_payloads += 1
+            if send + 1 < _MAX_PAYLOAD_SENDS:
+                report.corrupt_retries += 1
+            if timeline is not None:
+                timeline.record_fault(env.now, "corruption", item.sample_id)
+        yield env.timeout((spec.network_rtt_s + faults.extra_rtt_s(env.now)) / 2.0)
+        if item.suffix_cpu_s > 0:
+            grant = handles.compute_cpu.acquire()
+            yield grant
+            yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
+            handles.compute_cpu.release(grant)
+
+    make_sample_proc = sample_proc if faults is None else faulty_sample_proc
+
     def batch_proc(index: int, ids: List[int]):
         token = handles.prefetch.acquire()
         yield token
-        children = [env.process(sample_proc(work[i])) for i in ids]
+        children = [env.process(make_sample_proc(work[i])) for i in ids]
         yield env.all_of(children)
         if timeline is not None:
             timeline.trace(index).ready_at = env.now
@@ -185,6 +324,9 @@ def launch_training_processes(
     for index, ids in enumerate(batches):
         env.process(batch_proc(index, ids))
     env.process(gpu_proc())
+    if faults is not None:
+        for window in faults.crashes:
+            env.process(crash_watch(window))
     return traffic
 
 
@@ -263,6 +405,7 @@ class TrainerSim:
         epoch: int = 0,
         adjustments: Optional[Dict[int, WorkAdjustment]] = None,
         record_timeline: bool = False,
+        faults: Optional[FaultSchedule] = None,
     ) -> EpochStats:
         """Simulate one epoch under the given per-sample offload splits.
 
@@ -271,6 +414,10 @@ class TrainerSim:
         adjustments: optional per-sample work deltas (see WorkAdjustment).
         record_timeline: attach a per-batch Timeline to the stats (for
             stall-breakdown analysis via repro.metrics).
+        faults: optional deterministic fault schedule (virtual-time axis);
+            the epoch survives every fault class by demoting failed
+            offloads to the split-0 No-Off path.  Empty/None schedules are
+            byte-identical to the fault-free run.
         """
         if splits is not None and len(splits) != len(self.dataset):
             raise ValueError(
@@ -278,6 +425,16 @@ class TrainerSim:
             )
         work = self._epoch_work(splits, epoch, adjustments)
         batches = list(BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch))
+        if faults is not None and faults.is_empty:
+            faults = None
+        fault_report = FaultReport() if faults is not None else None
+        fallback_cache: Dict[int, SampleWork] = {}
+
+        def fallback_work(sample_id: int) -> SampleWork:
+            """The split-0 (No-Off) work a demoted sample falls back to."""
+            if sample_id not in fallback_cache:
+                fallback_cache[sample_id] = self.sample_work(sample_id, 0, epoch)
+            return fallback_cache[sample_id]
 
         env = Environment()
         spec = self.spec
@@ -294,7 +451,16 @@ class TrainerSim:
         )
         timeline = Timeline() if record_timeline else None
         traffic = launch_training_processes(
-            env, spec, work, batches, self.model, handles, timeline=timeline
+            env,
+            spec,
+            work,
+            batches,
+            self.model,
+            handles,
+            timeline=timeline,
+            faults=faults,
+            fault_report=fault_report,
+            fallback_work=fallback_work if faults is not None else None,
         )
         env.run()
 
@@ -326,4 +492,5 @@ class TrainerSim:
             link_utilization=link.utilization(horizon),
             analytic=analytic,
             timeline=timeline,
+            faults=fault_report,
         )

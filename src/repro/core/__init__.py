@@ -23,14 +23,18 @@ from repro.core.profiler import (
     ThroughputProbe,
 )
 from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.degraded import DegradedModeFetcher, Demotion, OutageReport
 from repro.core.efficiency import efficiency_distribution, EfficiencySummary
 from repro.core.sophon import Sophon
 
 __all__ = [
     "DecisionConfig",
     "DecisionEngine",
+    "DegradedModeFetcher",
+    "Demotion",
     "EfficiencySummary",
     "OffloadPlan",
+    "OutageReport",
     "Policy",
     "PolicyContext",
     "Sophon",

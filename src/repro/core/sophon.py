@@ -1,13 +1,17 @@
 """The SOPHON policy: two-stage profiling + efficiency-greedy planning."""
 
 import logging
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from repro.baselines.capabilities import Capabilities
 from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.degraded import DegradedModeFetcher
 from repro.core.plan import OffloadPlan
 from repro.core.policy import Policy, PolicyContext
 from repro.core.profiler import StageOneProfiler, ThroughputProbe
+from repro.preprocessing.pipeline import Pipeline
+from repro.rpc.breaker import CircuitBreaker
 
 logger = logging.getLogger(__name__)
 
@@ -86,4 +90,29 @@ class Sophon(Policy):
             records,
             context.spec,
             gpu_time_s=context.epoch_gpu_time_s,
+        )
+
+    def degraded_fetcher(
+        self,
+        primary,
+        pipeline: Pipeline,
+        fallback=None,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> DegradedModeFetcher:
+        """Wrap *primary* so epochs survive storage outages.
+
+        The returned fetcher demotes samples to split 0 (raw fetch + local
+        prefix execution) whenever the offload path fails or the breaker is
+        open, and records outages for adaptive re-planning -- see
+        :mod:`repro.core.degraded`.
+        """
+        return DegradedModeFetcher(
+            primary=primary,
+            pipeline=pipeline,
+            fallback=fallback,
+            breaker=breaker,
+            seed=seed,
+            clock=clock,
         )

@@ -1,0 +1,29 @@
+"""Fault injection: deterministic chaos for the offloading data path.
+
+SOPHON puts a remote storage server on the training job's critical path;
+this package makes that dependency safe to rely on by letting every layer
+rehearse its failure.  A seeded :class:`FaultSchedule` describes crash
+windows, link brownouts, storage-CPU drift, and payload corruption on one
+time axis; :class:`FaultInjector` applies it to the wall-clock transport,
+and the event simulator applies it to virtual time
+(``TrainerSim.run_epoch(faults=...)``).  An empty schedule is guaranteed to
+change nothing, so fault-free runs stay byte-identical.
+"""
+
+from repro.faults.schedule import (
+    Brownout,
+    CpuDrift,
+    CrashWindow,
+    FaultReport,
+    FaultSchedule,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "Brownout",
+    "CpuDrift",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSchedule",
+]

@@ -1,0 +1,98 @@
+"""Apply a :class:`FaultSchedule` to the wall-clock transport.
+
+The event simulator injects faults against virtual time; the in-memory
+channel has no clock, so the injector supplies one: by default each fetch
+advances time by one unit (a *call-index clock*), which makes schedules
+written in "fetch counts" fully deterministic.  Pass ``clock=`` to use real
+time instead.
+
+Faults map onto the transport as:
+
+- crash window covering now  -> ``ConnectionError`` (connection refused);
+- brownout covering now      -> a seeded fraction ``1 - bandwidth_factor``
+  of fetches raise ``TimeoutError`` (the collapse shows up as stalls);
+- corruption coin for this   -> a payload byte is flipped in the response,
+  message                       leaving the frame header parseable so the
+                                v2 checksum -- not luck -- catches it.
+"""
+
+from typing import Callable, Optional
+
+from repro.faults.schedule import FaultReport, FaultSchedule, fault_draw
+from repro.rpc.channel import InMemoryChannel
+from repro.rpc.messages import RESPONSE_HEADER_SIZE
+
+_SALT_BROWNOUT = 1
+_SALT_OFFSET = 2
+
+
+class FaultInjector:
+    """Turns a schedule into channel hooks, with fault accounting."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.schedule = schedule
+        self._clock = clock
+        self._calls = 0
+        self.report = FaultReport()
+
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return float(self._calls)
+
+    def channel(self, handler: Callable[[bytes], bytes]) -> InMemoryChannel:
+        """An in-memory channel with this injector's hooks attached."""
+        return InMemoryChannel(
+            handler, fault=self.on_request, response_fault=self.on_response
+        )
+
+    # -- channel hooks ------------------------------------------------------
+
+    def on_request(self, request_bytes: bytes) -> None:
+        """``InMemoryChannel`` request hook: raise transport errors."""
+        t = self.now()
+        index = self._calls
+        self._calls += 1
+        if self.schedule.storage_down(t):
+            self.report.note_failure(t)
+            raise ConnectionError(
+                f"storage node down at t={t:g} (restarts at "
+                f"{self.schedule.restart_time(t):g})"
+            )
+        factor = self.schedule.bandwidth_factor(t)
+        if factor < 1.0:
+            self.report.brownout_chunks += 1
+            if self._brownout_drops(index, factor):
+                self.report.note_failure(t)
+                raise TimeoutError(
+                    f"fetch timed out in brownout at t={t:g} "
+                    f"(bandwidth at {factor:.0%})"
+                )
+        self.report.note_success(t)
+
+    def on_response(self, response_bytes: bytes) -> bytes:
+        """``InMemoryChannel`` response hook: corrupt payloads in transit."""
+        index = self._calls - 1  # the request hook already advanced the clock
+        if not self.schedule.corrupts(index):
+            return response_bytes
+        if len(response_bytes) <= RESPONSE_HEADER_SIZE:
+            return response_bytes  # no payload region to damage
+        self.report.corrupted_payloads += 1
+        damaged = bytearray(response_bytes)
+        span = len(damaged) - RESPONSE_HEADER_SIZE
+        offset = RESPONSE_HEADER_SIZE + self._corruption_offset(index, span)
+        damaged[offset] ^= 0xFF
+        return bytes(damaged)
+
+    # -- seeded draws -------------------------------------------------------
+
+    def _brownout_drops(self, index: int, factor: float) -> bool:
+        draw = fault_draw(self.schedule.seed, index, salt=_SALT_BROWNOUT)
+        return draw < (1.0 - factor)
+
+    def _corruption_offset(self, index: int, span: int) -> int:
+        return int(fault_draw(self.schedule.seed, index, salt=_SALT_OFFSET) * span)

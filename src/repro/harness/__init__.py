@@ -20,17 +20,29 @@ from repro.harness.fig1 import (
 )
 from repro.harness.fig3 import ample_cpu_comparison
 from repro.harness.fig4 import limited_cpu_sweep
+from repro.harness.chaos import (
+    ChaosReport,
+    ChaosRun,
+    ChaosScenario,
+    default_scenarios,
+    run_chaos,
+)
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRun",
+    "ChaosScenario",
     "DEFAULT_POLICY_SET",
     "ExperimentResult",
     "ample_cpu_comparison",
     "capability_matrix",
     "compare_policies",
+    "default_scenarios",
     "gpu_utilization_by_model",
     "limited_cpu_sweep",
     "minstage_fractions",
     "render_capability_matrix",
+    "run_chaos",
     "run_experiment",
     "size_trace",
 ]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import EpochStats, TrainerSim
 from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.degraded import OutageReport
 from repro.core.plan import OffloadPlan
 from repro.core.policy import PolicyContext
 from repro.data.dataset import Dataset
@@ -80,6 +81,43 @@ class AdaptiveTrainingRun:
         self.batch_size = batch_size
         self.adaptive = adaptive
         self.seed = seed
+
+    def _spec_in_force(self, epoch: int) -> ClusterSpec:
+        """The ClusterSpec governing *epoch* under the current schedule."""
+        spec = self.base_spec
+        for at in sorted(self.spec_schedule):
+            if at <= epoch:
+                spec = self.spec_schedule[at]
+        return spec
+
+    def observe_outage(
+        self,
+        report: OutageReport,
+        at_epoch: int,
+        recovery_epoch: Optional[int] = None,
+    ) -> ClusterSpec:
+        """Fold an observed outage into the spec schedule.
+
+        From ``at_epoch`` on, planning sees a storage-down spec (forcing a
+        No-Off plan -- exactly what degraded-mode execution delivers
+        anyway, so the plan stops promising offloads that would each pay a
+        demotion).  If the outage has recovered, the prior spec is restored
+        from ``recovery_epoch`` (default: the epoch after ``at_epoch``).
+        Returns the degraded spec installed at ``at_epoch``.
+        """
+        if at_epoch < 0:
+            raise ValueError(f"at_epoch must be >= 0, got {at_epoch}")
+        prior = self._spec_in_force(at_epoch)
+        degraded = prior.degraded(storage_down=True)
+        self.spec_schedule[at_epoch] = degraded
+        if report.recovered_at_s is not None:
+            restore_at = recovery_epoch if recovery_epoch is not None else at_epoch + 1
+            if restore_at <= at_epoch:
+                raise ValueError(
+                    f"recovery_epoch {restore_at} must follow at_epoch {at_epoch}"
+                )
+            self.spec_schedule.setdefault(restore_at, prior)
+        return degraded
 
     def _plan_for(self, spec: ClusterSpec, context: PolicyContext) -> OffloadPlan:
         if not spec.can_offload:

@@ -1,0 +1,249 @@
+"""Chaos experiment: one epoch under each fault class vs the clean baseline.
+
+For a fixed SOPHON plan, run the event-driven trainer once fault-free and
+once under each :class:`~repro.faults.FaultSchedule` scenario (storage
+crash, link brownout, storage CPU drift, payload corruption), and report
+what the faults cost: epoch-time and traffic deltas, demotion counts, and
+recovery latency.  Zero samples may be lost under any scenario -- the
+degraded-mode machinery serves every demoted sample at split 0.
+
+Run it as a module (``make chaos``)::
+
+    PYTHONPATH=src python -m repro.harness.chaos --samples 160 --seed 7
+"""
+
+import argparse
+import dataclasses
+from typing import List, Optional
+
+from repro.cluster.spec import ClusterSpec, standard_cluster
+from repro.cluster.trainer import EpochStats, TrainerSim
+from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.policy import PolicyContext
+from repro.data.catalog import make_openimages
+from repro.data.dataset import Dataset
+from repro.faults import FaultSchedule
+from repro.preprocessing.pipeline import Pipeline, standard_pipeline
+from repro.utils.tables import render_table
+from repro.utils.units import format_bytes, format_seconds
+from repro.workloads.models import ModelProfile, get_model_profile
+
+#: Small batches stagger offloads across the epoch, so post-restart fetches
+#: exist and recovery latency is observable (one giant batch launches every
+#: offload before the crash window opens).
+CHAOS_BATCH_SIZE = 16
+
+#: Shallow prefetch for the same reason: with the default depth of 8 the
+#: whole dataset is in flight at t=0 and a mid-epoch crash finds nothing
+#: left to interrupt.
+CHAOS_PREFETCH_BATCHES = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault schedule to survive."""
+
+    name: str
+    schedule: FaultSchedule
+    description: str = ""
+
+
+@dataclasses.dataclass
+class ChaosRun:
+    """One scenario's epoch next to the fault-free baseline."""
+
+    scenario: ChaosScenario
+    stats: EpochStats
+    baseline: EpochStats
+
+    @property
+    def epoch_delta_s(self) -> float:
+        return self.stats.epoch_time_s - self.baseline.epoch_time_s
+
+    @property
+    def traffic_delta_bytes(self) -> int:
+        return self.stats.traffic_bytes - self.baseline.traffic_bytes
+
+    @property
+    def lost_samples(self) -> int:
+        """Samples the faulty epoch failed to deliver (must be zero)."""
+        return self.baseline.num_samples - self.stats.num_samples
+
+    @property
+    def demoted_samples(self) -> int:
+        return self.stats.faults.demoted_samples if self.stats.faults else 0
+
+    @property
+    def corrupted_payloads(self) -> int:
+        return self.stats.faults.corrupted_payloads if self.stats.faults else 0
+
+    @property
+    def recovery_latency_s(self) -> Optional[float]:
+        return self.stats.faults.recovery_latency_s if self.stats.faults else None
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Every scenario's outcome for one (dataset, plan, cluster) setup."""
+
+    dataset_name: str
+    baseline: EpochStats
+    runs: List[ChaosRun]
+
+    @property
+    def survived(self) -> bool:
+        return all(run.lost_samples == 0 for run in self.runs)
+
+    def run_named(self, name: str) -> ChaosRun:
+        for run in self.runs:
+            if run.scenario.name == name:
+                return run
+        raise KeyError(f"no chaos scenario named {name!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                "baseline",
+                format_seconds(self.baseline.epoch_time_s),
+                format_bytes(self.baseline.traffic_bytes),
+                0,
+                0,
+                "-",
+                0,
+            )
+        ]
+        for run in self.runs:
+            latency = run.recovery_latency_s
+            rows.append(
+                (
+                    run.scenario.name,
+                    format_seconds(run.stats.epoch_time_s),
+                    format_bytes(run.stats.traffic_bytes),
+                    run.demoted_samples,
+                    run.corrupted_payloads,
+                    format_seconds(latency) if latency is not None else "-",
+                    run.lost_samples,
+                )
+            )
+        title = f"[{self.dataset_name}] epoch under injected faults"
+        table = render_table(
+            ("Scenario", "Epoch", "Traffic", "Demoted", "Corrupted", "Recovery", "Lost"),
+            rows,
+        )
+        return f"{title}\n{table}"
+
+
+def default_scenarios(epoch_time_s: float, seed: int = 0) -> List[ChaosScenario]:
+    """The four fault classes, windowed relative to the clean epoch time.
+
+    Windows open at ~30% of the baseline epoch, after the pipeline has
+    warmed up but with plenty of work still in flight.
+    """
+    if epoch_time_s <= 0:
+        raise ValueError(f"epoch_time_s must be > 0, got {epoch_time_s}")
+    t = epoch_time_s
+    base = FaultSchedule(seed=seed)
+    return [
+        ChaosScenario(
+            name="storage-crash",
+            schedule=base.with_crash(0.3 * t, duration=0.3 * t),
+            description="storage node down for 30% of the epoch, then restarts",
+        ),
+        ChaosScenario(
+            name="link-brownout",
+            schedule=base.with_brownout(
+                0.3 * t, duration=0.4 * t, bandwidth_factor=0.1, extra_rtt_s=0.002
+            ),
+            description="bandwidth collapses to 10% and RTT rises for 40% of the epoch",
+        ),
+        ChaosScenario(
+            name="storage-cpu-drift",
+            schedule=base.with_cpu_drift(0.3 * t, duration=0.5 * t, factor=4.0),
+            description="storage CPUs run 4x slower for half the epoch",
+        ),
+        ChaosScenario(
+            name="payload-corruption",
+            schedule=base.with_corruption(0.05),
+            description="5% of wire payloads fail their checksum and are resent",
+        ),
+    ]
+
+
+def run_chaos(
+    dataset: Dataset,
+    spec: Optional[ClusterSpec] = None,
+    model: Optional[ModelProfile] = None,
+    pipeline: Optional[Pipeline] = None,
+    batch_size: int = CHAOS_BATCH_SIZE,
+    seed: int = 0,
+    scenarios: Optional[List[ChaosScenario]] = None,
+) -> ChaosReport:
+    """Plan once with SOPHON's decision engine, then survive each scenario.
+
+    The same plan and epoch index are used for every run, so any delta vs
+    the baseline is attributable to the injected faults alone.
+    """
+    if spec is None:
+        spec = dataclasses.replace(
+            standard_cluster(), prefetch_batches=CHAOS_PREFETCH_BATCHES
+        )
+    model = model if model is not None else get_model_profile("alexnet")
+    pipeline = pipeline if pipeline is not None else standard_pipeline()
+
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=pipeline,
+        spec=spec,
+        model=model,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    plan = DecisionEngine(DecisionConfig()).plan(
+        context.records(), spec, gpu_time_s=context.epoch_gpu_time_s
+    )
+    trainer = TrainerSim(
+        dataset=dataset,
+        pipeline=pipeline,
+        model=model,
+        spec=spec,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    baseline = trainer.run_epoch(list(plan.splits), epoch=1)
+    if scenarios is None:
+        scenarios = default_scenarios(baseline.epoch_time_s, seed=seed)
+
+    runs = [
+        ChaosRun(
+            scenario=scenario,
+            stats=trainer.run_epoch(list(plan.splits), epoch=1, faults=scenario.schedule),
+            baseline=baseline,
+        )
+        for scenario in scenarios
+    ]
+    return ChaosReport(dataset_name=dataset.name, baseline=baseline, runs=runs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run one epoch under each fault class and report the damage."
+    )
+    parser.add_argument("--samples", type=int, default=160, help="dataset size")
+    parser.add_argument("--seed", type=int, default=7, help="dataset + fault seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=CHAOS_BATCH_SIZE, help="training batch size"
+    )
+    args = parser.parse_args(argv)
+
+    dataset = make_openimages(num_samples=args.samples, seed=args.seed)
+    report = run_chaos(dataset, batch_size=args.batch_size, seed=args.seed)
+    print(report.render())
+    if not report.survived:
+        print("FAIL: samples were lost under injected faults")
+        return 1
+    print("All scenarios survived with zero lost samples.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,16 @@ data-stall time, which is how Figure 1d's utilization numbers are framed.
 
 from repro.metrics.timeline import (
     BatchTrace,
+    FaultEvent,
     StallBreakdown,
     Timeline,
     stall_breakdown,
 )
 
-__all__ = ["BatchTrace", "StallBreakdown", "Timeline", "stall_breakdown"]
+__all__ = [
+    "BatchTrace",
+    "FaultEvent",
+    "StallBreakdown",
+    "Timeline",
+    "stall_breakdown",
+]

@@ -6,29 +6,62 @@ directives ride on each fetch request (Figure 2d), the storage server
 executes the requested pipeline prefix (Figure 2e), and every byte crossing
 the channel is counted.  Traffic numbers on the materialized path come from
 these actual message lengths.
+
+The transport is hardened for unreliable storage nodes: v2 response frames
+carry a payload CRC32 (:class:`ChecksumError` is retryable), the
+:class:`RetryingClient` backs off exponentially with full jitter and
+honours per-fetch deadlines, and a :class:`CircuitBreaker` stops a dead
+server from costing every fetch its full retry budget (see
+``docs/robustness.md``).
 """
 
 from repro.rpc.messages import (
     REQUEST_HEADER_SIZE,
     RESPONSE_HEADER_SIZE,
+    RESPONSE_HEADER_SIZE_V1,
+    ChecksumError,
     FetchRequest,
     FetchResponse,
     ProtocolError,
+    payload_checksum,
     response_wire_size,
 )
 from repro.rpc.channel import ChannelStats, InMemoryChannel
 from repro.rpc.server import StorageServer
 from repro.rpc.client import StorageClient
+from repro.rpc.retry import (
+    DeadlineExceededError,
+    FetchFailedError,
+    RetryingClient,
+    RetryStats,
+)
+from repro.rpc.breaker import (
+    BreakerOpenError,
+    BreakerState,
+    BreakerStats,
+    CircuitBreaker,
+)
 
 __all__ = [
+    "BreakerOpenError",
+    "BreakerState",
+    "BreakerStats",
     "ChannelStats",
+    "ChecksumError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "FetchFailedError",
     "FetchRequest",
     "FetchResponse",
     "InMemoryChannel",
     "ProtocolError",
     "REQUEST_HEADER_SIZE",
     "RESPONSE_HEADER_SIZE",
+    "RESPONSE_HEADER_SIZE_V1",
+    "RetryStats",
+    "RetryingClient",
     "StorageClient",
     "StorageServer",
+    "payload_checksum",
     "response_wire_size",
 ]

@@ -1,0 +1,128 @@
+"""Circuit breaker for the storage fetch path.
+
+A dead storage node must not cost every fetch its full retry budget: after
+``failure_threshold`` *consecutive* failures the breaker opens and the
+degraded-mode fetcher stops talking to the server entirely (demoting
+samples to the No-Off path).  After ``recovery_time_s`` the breaker goes
+half-open and admits exactly one probe fetch: success closes it, failure
+re-opens it and restarts the recovery timer.
+
+The clock is injectable so tests (and simulations) drive the state machine
+without real waiting.
+"""
+
+import dataclasses
+import enum
+import time
+from typing import Callable, Optional
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"  # traffic flows, failures are counted
+    OPEN = "open"  # traffic blocked until the recovery timer expires
+    HALF_OPEN = "half_open"  # one probe in flight decides the next state
+
+
+@dataclasses.dataclass
+class BreakerStats:
+    successes: int = 0
+    failures: int = 0
+    opens: int = 0
+    probes: int = 0
+    rejections: int = 0
+
+
+class BreakerOpenError(Exception):
+    """The breaker is open; the call was not attempted."""
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; probe half-open after a cooldown."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time_s < 0:
+            raise ValueError(f"recovery_time_s must be >= 0, got {recovery_time_s}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.stats = BreakerStats()
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, promoting OPEN to HALF_OPEN once the cooldown ends."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.recovery_time_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a fetch go to the server right now?
+
+        In HALF_OPEN, the first ``allow()`` claims the single probe slot;
+        callers that get True *must* report the outcome via
+        ``record_success``/``record_failure`` to settle the state.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            self.stats.probes += 1
+            return True
+        self.stats.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self.stats.successes += 1
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        self.stats.failures += 1
+        self._consecutive_failures += 1
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            self._trip()  # the probe failed: back to OPEN, timer restarted
+        elif (
+            state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self.stats.opens += 1
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Guard an arbitrary call: raises BreakerOpenError when blocked."""
+        if not self.allow():
+            raise BreakerOpenError(
+                f"circuit open for another "
+                f"{self.recovery_time_s - (self._clock() - self._opened_at):.3g}s"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

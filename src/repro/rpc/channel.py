@@ -26,17 +26,23 @@ class InMemoryChannel:
     """Carries serialized messages to a handler and counts every byte.
 
     ``fault`` (if set) is invoked with each request's bytes before delivery
-    and may raise -- used by fault-injection tests to model transport
-    errors.
+    and may raise -- used by fault injection to model transport errors
+    (connection resets, timeouts).
+
+    ``response_fault`` (if set) maps the handler's response bytes to what
+    the wire actually delivers -- fault injection uses it to corrupt
+    payloads in transit, which the v2 frame checksum then detects.
     """
 
     def __init__(
         self,
         handler: Callable[[bytes], bytes],
         fault: Optional[Callable[[bytes], None]] = None,
+        response_fault: Optional[Callable[[bytes], bytes]] = None,
     ) -> None:
         self._handler = handler
         self._fault = fault
+        self._response_fault = response_fault
         self.stats = ChannelStats()
 
     def call(self, request_bytes: bytes) -> bytes:
@@ -51,5 +57,7 @@ class InMemoryChannel:
         response = self._handler(bytes(request_bytes))
         if not isinstance(response, (bytes, bytearray)):
             raise TypeError(f"handler returned {type(response).__name__}, expected bytes")
+        if self._response_fault is not None:
+            response = self._response_fault(bytes(response))
         self.stats.response_bytes += len(response)
         return bytes(response)

@@ -2,7 +2,7 @@
 
 from repro.preprocessing.payload import Payload
 from repro.rpc.channel import InMemoryChannel
-from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+from repro.rpc.messages import ChecksumError, FetchRequest, FetchResponse, ProtocolError
 
 
 class StorageClient:
@@ -10,11 +10,19 @@ class StorageClient:
 
     def __init__(self, channel: InMemoryChannel) -> None:
         self.channel = channel
+        #: Payloads whose CRC32 failed on arrival (each was re-fetched, not
+        #: trained on -- the wire-format v2 guarantee).
+        self.checksum_failures = 0
 
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
         """Fetch a sample with ops 1..split applied remotely."""
         request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
-        response = FetchResponse.from_bytes(self.channel.call(request.to_bytes()))
+        wire = self.channel.call(request.to_bytes())
+        try:
+            response = FetchResponse.from_bytes(wire)
+        except ChecksumError:
+            self.checksum_failures += 1
+            raise
         if response.sample_id != sample_id:
             raise ProtocolError(
                 f"response for sample {response.sample_id}, expected {sample_id}"

@@ -1,57 +1,147 @@
 """Bounded-retry wrapper around the storage client.
 
 Fetches cross a network; transient transport failures (connection resets,
-timeouts) should be retried a bounded number of times before the data
-loader gives up.  Protocol errors are *not* retryable: a malformed
-response will be malformed again.
+timeouts, checksum-detected corruption) should be retried a bounded number
+of times -- with exponential backoff and full jitter, so a struggling
+storage node is not hammered by a synchronized retry storm -- before the
+data loader gives up.  Protocol errors are *not* retryable: a malformed
+response will be malformed again.  :class:`ChecksumError` is the
+exception's exception: the *sender's* frame was fine, the wire damaged it,
+so a re-fetch is exactly the right move.
+
+The sleep and clock are injectable so tests (and the simulator) run the
+retry logic without real delays.
 """
 
 import dataclasses
-from typing import Tuple, Type
+import random
+import time
+from typing import Callable, Optional, Tuple, Type
 
 from repro.preprocessing.payload import Payload
+from repro.rpc.messages import ChecksumError
 
 
 class FetchFailedError(Exception):
     """All retry attempts were exhausted; the cause is chained."""
 
 
+class DeadlineExceededError(FetchFailedError):
+    """The per-fetch deadline elapsed before an attempt succeeded."""
+
+
 @dataclasses.dataclass
 class RetryStats:
-    """Attempt accounting across the client's lifetime."""
+    """Attempt accounting across the client's lifetime.
+
+    attempts counts every call of the inner fetcher, including the one
+    that ultimately fails -- so ``attempts == fetches + retries`` always
+    holds, where retries counts re-attempts actually performed.
+    """
 
     fetches: int = 0
+    attempts: int = 0
     retries: int = 0
     failures: int = 0
+    checksum_failures: int = 0
+    backoff_s: float = 0.0
 
 
 class RetryingClient:
-    """Wraps any fetcher with bounded retries on transient errors."""
+    """Wraps any fetcher with bounded, backed-off retries on transient errors.
+
+    base_delay/max_delay: exponential backoff bounds; the delay before
+        retry k is drawn uniformly from [0, min(max_delay, base_delay*2^k)]
+        (full jitter) unless ``jitter=False``, which uses the cap itself.
+    deadline_s: optional wall-clock budget per fetch; once spent, the fetch
+        fails with :class:`DeadlineExceededError` instead of retrying on.
+    sleep/clock: injectable for instant tests; default to ``time.sleep``
+        and ``time.monotonic``.
+    """
 
     def __init__(
         self,
         inner,
         max_attempts: int = 3,
-        retryable: Tuple[Type[BaseException], ...] = (ConnectionError, TimeoutError),
+        retryable: Tuple[Type[BaseException], ...] = (
+            ConnectionError,
+            TimeoutError,
+            ChecksumError,
+        ),
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: bool = True,
+        deadline_s: Optional[float] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        seed: int = 0,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.inner = inner
         self.max_attempts = max_attempts
         self.retryable = retryable
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.deadline_s = deadline_s
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock if clock is not None else time.monotonic
+        self._rng = random.Random(seed)
         self.stats = RetryStats()
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """The delay before re-attempt ``retry_index`` (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2**retry_index))
+        if not self.jitter:
+            return cap
+        return self._rng.uniform(0.0, cap)
 
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
         self.stats.fetches += 1
+        started = self._clock()
         last_error = None
+        deadline_hit = False
         for attempt in range(self.max_attempts):
+            if attempt > 0:
+                delay = self.backoff_delay(attempt - 1)
+                if self.deadline_s is not None:
+                    remaining = self.deadline_s - (self._clock() - started)
+                    if remaining <= delay:
+                        deadline_hit = True
+                        break  # sleeping would blow the deadline
+                if delay > 0:
+                    self._sleep(delay)
+                    self.stats.backoff_s += delay
+                self.stats.retries += 1
+            self.stats.attempts += 1
             try:
                 return self.inner.fetch(sample_id, epoch, split)
             except self.retryable as exc:
                 last_error = exc
-                if attempt + 1 < self.max_attempts:
-                    self.stats.retries += 1
+                if isinstance(exc, ChecksumError):
+                    self.stats.checksum_failures += 1
+                if (
+                    self.deadline_s is not None
+                    and self._clock() - started >= self.deadline_s
+                ):
+                    self.stats.failures += 1
+                    raise DeadlineExceededError(
+                        f"sample {sample_id} missed its {self.deadline_s}s "
+                        f"deadline after {attempt + 1} attempts"
+                    ) from exc
         self.stats.failures += 1
+        if deadline_hit or (
+            self.deadline_s is not None
+            and self._clock() - started >= self.deadline_s
+        ):
+            raise DeadlineExceededError(
+                f"sample {sample_id} missed its {self.deadline_s}s deadline"
+            ) from last_error
         raise FetchFailedError(
             f"sample {sample_id} failed after {self.max_attempts} attempts"
         ) from last_error

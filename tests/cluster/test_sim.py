@@ -429,3 +429,157 @@ class TestStore:
         store.put(1)
         store.put(2)
         assert len(store) == 2
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause_at_current_time(self):
+        from repro.cluster.sim import Interrupt
+
+        env = Environment()
+        seen = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                seen.append((env.now, exc.cause))
+
+        def saboteur(victim):
+            yield env.timeout(3.0)
+            victim.interrupt(cause="node-crash")
+
+        victim = env.process(sleeper())
+        env.process(saboteur(victim))
+        env.run()
+        assert seen == [(3.0, "node-crash")]
+
+    def test_interrupted_process_can_continue(self):
+        from repro.cluster.sim import Interrupt
+
+        env = Environment()
+        log = []
+
+        def worker():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(2.0)  # keeps running after the interrupt
+            log.append(env.now)
+
+        def saboteur(victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(worker())
+        env.process(saboteur(victim))
+        env.run()
+        assert log == [3.0]
+
+    def test_abandoned_event_does_not_resume_the_process(self):
+        from repro.cluster.sim import Interrupt
+
+        env = Environment()
+        resumes = []
+
+        def worker():
+            try:
+                yield env.timeout(5.0)
+            except Interrupt:
+                resumes.append("interrupted")
+                yield env.timeout(10.0)
+                resumes.append("second-wait")
+
+        def saboteur(victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(worker())
+        env.process(saboteur(victim))
+        env.run()
+        # The original t=5 timeout fires into the void; the process resumes
+        # only from its post-interrupt wait, at t=11.
+        assert resumes == ["interrupted", "second-wait"]
+        assert env.now == 11.0
+
+    def test_interrupt_after_completion_is_a_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+            return "done"
+
+        proc = env.process(quick())
+        env.run()
+        proc.interrupt(cause="too late")
+        assert proc.value == "done"
+
+    def test_uncaught_interrupt_ends_the_process(self):
+        from repro.cluster.sim import Interrupt
+
+        env = Environment()
+
+        def oblivious():
+            yield env.timeout(100.0)
+            return "never"
+
+        def saboteur(victim):
+            yield env.timeout(2.0)
+            victim.interrupt(cause="brownout")
+
+        victim = env.process(oblivious())
+        env.process(saboteur(victim))
+        env.run()
+        assert isinstance(victim.value, Interrupt)
+        assert victim.value.cause == "brownout"
+        # The abandoned timeout still drains from the queue, so the clock
+        # runs on to t=100 -- but the process ended at t=2.
+
+
+class TestResourceCancel:
+    def test_holds_tracks_grant_lifecycle(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.acquire()
+        assert res.holds(req)
+        res.release(req)
+        assert not res.holds(req)
+
+    def test_cancel_removes_a_waiting_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        first = res.acquire()
+        second = res.acquire()  # queued
+        third = res.acquire()  # queued behind it
+        res.cancel(second)
+        res.release(first)
+        env.run()
+        # The cancelled request is skipped; the third waiter gets the slot.
+        assert not res.holds(second)
+        assert res.holds(third)
+
+    def test_cancel_granted_request_is_an_error(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.acquire()
+        with pytest.raises(SimulationError):
+            res.cancel(req)
+
+    def test_fair_resource_cancel_clears_its_flow(self):
+        env = Environment()
+        res = FairResource(env, capacity=1)
+        first = res.acquire(key="a")
+        waiting = res.acquire(key="b")
+        res.cancel(waiting)
+        res.release(first)
+        env.run()
+        assert not res.holds(waiting)
+        follow_up = res.acquire(key="c")
+        assert res.holds(follow_up)  # the slot was genuinely free
+
+    def test_fair_resource_cancel_granted_is_an_error(self):
+        env = Environment()
+        res = FairResource(env, capacity=1)
+        req = res.acquire(key="a")
+        with pytest.raises(SimulationError):
+            res.cancel(req)

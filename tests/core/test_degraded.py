@@ -1,0 +1,189 @@
+"""Degraded-mode fetcher: demotion, outage accounting, bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.degraded import DegradedModeFetcher, OutageReport
+from repro.data.loader import DataLoader, DirectFetcher
+from repro.rpc import InMemoryChannel, StorageClient, StorageServer
+from repro.rpc.breaker import BreakerState, CircuitBreaker
+from repro.rpc.messages import ChecksumError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class FailingFetcher:
+    """Delegates to ``inner``; raises ``exc`` while ``down`` is True."""
+
+    def __init__(self, inner, exc=ConnectionError):
+        self.inner = inner
+        self.exc = exc
+        self.down = False
+        self.calls = 0
+
+    def fetch(self, sample_id, epoch, split):
+        self.calls += 1
+        if self.down:
+            raise self.exc("storage node unreachable")
+        return self.inner.fetch(sample_id, epoch, split)
+
+
+@pytest.fixture
+def rpc_client(materialized_tiny, pipeline):
+    server = StorageServer(materialized_tiny, pipeline, seed=0)
+    return StorageClient(InMemoryChannel(server.handle))
+
+
+def make_fetcher(primary, pipeline, dataset, threshold=2, recovery=1e9):
+    clock = FakeClock()
+    return DegradedModeFetcher(
+        primary,
+        pipeline,
+        fallback=DirectFetcher(dataset),
+        breaker=CircuitBreaker(
+            failure_threshold=threshold, recovery_time_s=recovery, clock=clock
+        ),
+        seed=0,
+        clock=clock,
+    )
+
+
+class TestHealthyPassThrough:
+    def test_no_demotions_when_primary_is_healthy(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        fetcher = make_fetcher(rpc_client, pipeline, materialized_tiny)
+        payload = fetcher.fetch(0, 0, 2)
+        direct = rpc_client.fetch(0, 0, 2)
+        assert np.array_equal(payload.data, direct.data)
+        assert fetcher.demotion_count == 0
+        assert fetcher.outages == []
+        assert not fetcher.in_outage
+
+
+class TestDemotion:
+    def test_demoted_samples_are_bit_identical(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        splits = [2] * len(materialized_tiny)
+        reference = DataLoader(
+            materialized_tiny, pipeline, DirectFetcher(materialized_tiny),
+            batch_size=5, splits=None, seed=0,
+        )
+        expected = list(reference.epoch(1))
+
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny)
+        loader = DataLoader(
+            materialized_tiny, pipeline, fetcher, batch_size=5, splits=splits, seed=0
+        )
+        iterator = iter(loader.epoch(1))
+        first = next(iterator)  # healthy batch
+        primary.down = True  # storage node dies mid-epoch
+        rest = list(iterator)
+
+        batches = [first] + rest
+        assert sum(len(b) for b in batches) == len(materialized_tiny)
+        for got, want in zip(batches, expected):
+            assert got.sample_ids == want.sample_ids
+            assert np.array_equal(got.tensors, want.tensors)
+        assert fetcher.demotion_count == len(materialized_tiny) - len(first)
+
+    def test_breaker_open_stops_hammering_the_primary(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        primary.down = True
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, threshold=2)
+        for sid in range(6):
+            fetcher.fetch(sid, 0, 2)
+        # Two failing calls trip the breaker; the remaining four demote
+        # without touching the primary at all.
+        assert primary.calls == 2
+        assert fetcher.breaker.state is BreakerState.OPEN
+        assert fetcher.demotion_count == 6
+        reasons = {d.reason for d in fetcher.last_outage.demotions}
+        assert reasons == {"ConnectionError", "breaker-open"}
+
+    def test_checksum_failures_also_demote(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client, exc=ChecksumError)
+        primary.down = True
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny)
+        payload = fetcher.fetch(0, 0, 2)
+        assert payload is not None
+        assert fetcher.demotion_count == 1
+
+    def test_raw_fetch_without_fallback_reraises(self, pipeline, materialized_tiny):
+        class AlwaysDown:
+            def fetch(self, sample_id, epoch, split):
+                raise ConnectionError("down")
+
+        fetcher = DegradedModeFetcher(AlwaysDown(), pipeline, fallback=None, seed=0)
+        with pytest.raises(ConnectionError):
+            fetcher.fetch(0, 0, 0)  # split 0, nothing else can serve
+
+
+class TestOutageLifecycle:
+    def test_outage_opens_and_recovers(self, rpc_client, pipeline, materialized_tiny):
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=3.0)
+        fetcher.fetch(0, 0, 2)  # healthy
+        primary.down = True
+        fetcher.fetch(1, 0, 2)
+        fetcher.fetch(2, 0, 2)
+        assert fetcher.in_outage
+        assert fetcher.last_outage.recovered_at_s is None
+        primary.down = False
+        # The breaker's cooldown elapses on the fake clock as calls tick it
+        # forward; the next fetch is the half-open probe and succeeds.
+        for sid in range(3, 8):
+            fetcher.fetch(sid, 0, 2)
+        assert not fetcher.in_outage
+        outage = fetcher.last_outage
+        assert outage.recovered_at_s is not None
+        assert outage.duration_s > 0
+        assert outage.demotion_count >= 2
+
+    def test_two_outages_produce_two_reports(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=1.0)
+        for phase_down in (True, False, True, False):
+            primary.down = phase_down
+            for sid in range(5):
+                fetcher.fetch(sid, 0, 2)
+        assert len(fetcher.outages) == 2
+        assert all(o.recovered_at_s is not None for o in fetcher.outages)
+
+    def test_outage_report_duration(self):
+        report = OutageReport(started_at_s=2.0)
+        assert report.duration_s is None
+        report.recovered_at_s = 7.5
+        assert report.duration_s == 5.5
+
+
+class TestSophonFacade:
+    def test_degraded_fetcher_factory(self, rpc_client, pipeline, materialized_tiny):
+        from repro.core.sophon import Sophon
+
+        breaker = CircuitBreaker(failure_threshold=7)
+        fetcher = Sophon().degraded_fetcher(
+            rpc_client,
+            pipeline,
+            fallback=DirectFetcher(materialized_tiny),
+            breaker=breaker,
+            seed=4,
+        )
+        assert isinstance(fetcher, DegradedModeFetcher)
+        assert fetcher.breaker is breaker
+        assert fetcher.seed == 4

@@ -1,0 +1,122 @@
+"""FaultInjector: schedules applied to the in-memory transport."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSchedule
+from repro.rpc import RetryingClient, StorageClient, StorageServer
+from repro.rpc.messages import ChecksumError
+from repro.rpc.retry import FetchFailedError
+
+
+@pytest.fixture
+def server(materialized_tiny, pipeline):
+    return StorageServer(materialized_tiny, pipeline, seed=0)
+
+
+class TestCrashInjection:
+    def test_fetches_fail_inside_the_window(self, server):
+        # Call-index clock: fetch k happens at t=k.
+        schedule = FaultSchedule().with_crash(2.0, duration=3.0)
+        injector = FaultInjector(schedule)
+        client = StorageClient(injector.channel(server.handle))
+
+        client.fetch(0, 0, 0)  # t=0
+        client.fetch(1, 0, 0)  # t=1
+        for _ in range(3):  # t=2..4: storage down
+            with pytest.raises(ConnectionError):
+                client.fetch(2, 0, 0)
+        client.fetch(2, 0, 0)  # t=5: restarted
+        assert injector.report.offload_failures == 3
+        assert injector.report.recovery_latency_s == 3.0
+
+    def test_clean_schedule_is_transparent(self, server, materialized_tiny):
+        injector = FaultInjector(FaultSchedule())
+        client = StorageClient(injector.channel(server.handle))
+        payload = client.fetch(0, 0, 0)
+        assert payload.data == materialized_tiny.raw_payload(0).data
+        assert not injector.report.saw_faults
+
+
+class TestBrownoutInjection:
+    def test_some_fetches_time_out(self, server):
+        schedule = FaultSchedule(seed=2).with_brownout(
+            0.0, 100.0, bandwidth_factor=0.2
+        )
+        injector = FaultInjector(schedule)
+        client = StorageClient(injector.channel(server.handle))
+        outcomes = []
+        for _ in range(30):
+            try:
+                client.fetch(0, 0, 0)
+                outcomes.append(True)
+            except TimeoutError:
+                outcomes.append(False)
+        # At 20% bandwidth roughly 80% of fetches stall out.
+        assert 15 <= outcomes.count(False) <= 29
+        assert injector.report.brownout_chunks == 30
+
+    def test_retry_layer_rides_out_the_brownout(self, server):
+        schedule = FaultSchedule(seed=2).with_brownout(
+            0.0, 1e9, bandwidth_factor=0.5
+        )
+        injector = FaultInjector(schedule)
+        client = RetryingClient(
+            StorageClient(injector.channel(server.handle)),
+            max_attempts=8,
+            base_delay=0.0,
+        )
+        for sid in range(5):
+            client.fetch(sid, 0, 0)
+        assert client.stats.failures == 0
+
+
+class TestCorruptionInjection:
+    def test_checksum_catches_every_corrupted_payload(self, server):
+        schedule = FaultSchedule(seed=0).with_corruption(1.0)
+        injector = FaultInjector(schedule)
+        client = StorageClient(injector.channel(server.handle))
+        with pytest.raises(ChecksumError):
+            client.fetch(0, 0, 0)
+        assert injector.report.corrupted_payloads == 1
+        assert client.checksum_failures == 1
+
+    def test_retry_refetches_past_transient_corruption(self, server):
+        schedule = FaultSchedule(seed=0).with_corruption(0.5)
+        injector = FaultInjector(schedule)
+        client = RetryingClient(
+            StorageClient(injector.channel(server.handle)),
+            max_attempts=10,
+            base_delay=0.0,
+        )
+        for sid in range(5):
+            client.fetch(sid, 0, 0)  # every sample eventually lands
+        assert client.stats.failures == 0
+        assert client.stats.checksum_failures == injector.report.corrupted_payloads
+        assert injector.report.corrupted_payloads > 0
+
+    def test_permanent_corruption_exhausts_retries(self, server):
+        schedule = FaultSchedule(seed=0).with_corruption(1.0)
+        injector = FaultInjector(schedule)
+        client = RetryingClient(
+            StorageClient(injector.channel(server.handle)),
+            max_attempts=3,
+            base_delay=0.0,
+        )
+        with pytest.raises(FetchFailedError) as err:
+            client.fetch(0, 0, 0)
+        assert isinstance(err.value.__cause__, ChecksumError)
+        assert client.stats.checksum_failures == 3
+
+    def test_corrupted_bytes_never_reach_the_pipeline(self, server, materialized_tiny):
+        # Every delivered payload is either checksum-clean or rejected; a
+        # corrupted frame can never be silently returned as sample data.
+        schedule = FaultSchedule(seed=5).with_corruption(0.4)
+        injector = FaultInjector(schedule)
+        client = StorageClient(injector.channel(server.handle))
+        clean = materialized_tiny.raw_payload(0).data
+        for _ in range(20):
+            try:
+                payload = client.fetch(0, 0, 0)
+            except ChecksumError:
+                continue
+            assert payload.data == clean

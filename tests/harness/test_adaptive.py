@@ -88,3 +88,49 @@ class TestAdaptiveRun:
         run = AdaptiveTrainingRun(openimages_small, standard_cluster())
         with pytest.raises(ValueError):
             run.run(epochs=1)
+
+
+class TestObserveOutage:
+    def make_run(self, openimages_small):
+        return AdaptiveTrainingRun(
+            openimages_small, standard_cluster(), batch_size=64, adaptive=True
+        )
+
+    def test_outage_installs_degraded_spec(self, openimages_small):
+        from repro.core.degraded import OutageReport
+
+        run = self.make_run(openimages_small)
+        report = OutageReport(started_at_s=10.0)  # still unrecovered
+        degraded = run.observe_outage(report, at_epoch=2)
+        assert run.spec_schedule[2] is degraded
+        assert not degraded.can_offload
+        assert 3 not in run.spec_schedule  # no recovery, no restore point
+
+    def test_recovered_outage_restores_the_prior_spec(self, openimages_small):
+        from repro.core.degraded import OutageReport
+
+        run = self.make_run(openimages_small)
+        report = OutageReport(started_at_s=10.0, recovered_at_s=14.0)
+        run.observe_outage(report, at_epoch=2)
+        assert not run.spec_schedule[2].can_offload
+        assert run.spec_schedule[3].can_offload  # back to the base spec
+
+    def test_explicit_recovery_epoch(self, openimages_small):
+        from repro.core.degraded import OutageReport
+
+        run = self.make_run(openimages_small)
+        report = OutageReport(started_at_s=0.0, recovered_at_s=1.0)
+        run.observe_outage(report, at_epoch=1, recovery_epoch=4)
+        assert not run.spec_schedule[1].can_offload
+        assert 2 not in run.spec_schedule
+        assert run.spec_schedule[4].can_offload
+
+    def test_validates_epochs(self, openimages_small):
+        from repro.core.degraded import OutageReport
+
+        run = self.make_run(openimages_small)
+        report = OutageReport(started_at_s=0.0, recovered_at_s=1.0)
+        with pytest.raises(ValueError):
+            run.observe_outage(report, at_epoch=-1)
+        with pytest.raises(ValueError):
+            run.observe_outage(report, at_epoch=3, recovery_epoch=3)

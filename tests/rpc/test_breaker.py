@@ -1,0 +1,153 @@
+"""Circuit breaker state machine tests (injected clock, no real waiting)."""
+
+import pytest
+
+from repro.rpc.breaker import (
+    BreakerOpenError,
+    BreakerState,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, threshold=3, recovery=10.0):
+    return CircuitBreaker(
+        failure_threshold=threshold, recovery_time_s=recovery, clock=clock
+    )
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # never 3 in a row
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_threshold_consecutive_failures_trip(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.opens == 1
+
+
+class TestOpenState:
+    def test_open_rejects_until_cooldown(self, clock):
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.stats.rejections == 2
+
+    def test_cooldown_promotes_to_half_open(self, clock):
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.001)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpenState:
+    def trip_and_cool(self, clock, breaker):
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_exactly_one_probe_is_admitted(self, clock):
+        breaker = make_breaker(clock, threshold=1)
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits for the verdict
+        assert breaker.stats.probes == 1
+
+    def test_probe_success_closes(self, clock):
+        breaker = make_breaker(clock, threshold=1)
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_the_timer(self, clock):
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        clock.advance(1.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.999)  # old timer would have expired; new one has not
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.001)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.stats.opens == 2
+
+    def test_full_cycle_open_half_open_closed(self, clock):
+        breaker = make_breaker(clock, threshold=2, recovery=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestCallGuard:
+    def test_call_passes_results_through(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.call(lambda x: x + 1, 41) == 42
+        assert breaker.stats.successes == 1
+
+    def test_call_records_failures_and_reraises(self, clock):
+        breaker = make_breaker(clock, threshold=1)
+
+        def boom():
+            raise ConnectionError("down")
+
+        with pytest.raises(ConnectionError):
+            breaker.call(boom)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_call_raises_breaker_open_when_blocked(self, clock):
+        breaker = make_breaker(clock, threshold=1)
+        breaker.record_failure()
+        with pytest.raises(BreakerOpenError):
+            breaker.call(lambda: None)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time_s=-1.0)

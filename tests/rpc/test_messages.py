@@ -9,9 +9,12 @@ from repro.preprocessing.payload import Payload, PayloadKind
 from repro.rpc.messages import (
     REQUEST_HEADER_SIZE,
     RESPONSE_HEADER_SIZE,
+    RESPONSE_HEADER_SIZE_V1,
+    ChecksumError,
     FetchRequest,
     FetchResponse,
     ProtocolError,
+    payload_checksum,
     response_wire_size,
 )
 
@@ -113,3 +116,60 @@ class TestFetchResponse:
     def test_response_wire_size_validates(self):
         with pytest.raises(ValueError):
             response_wire_size(-1)
+
+
+class TestChecksummedFrames:
+    def make_response(self):
+        payload = Payload.encoded(b"stable bytes", height=10, width=12)
+        return FetchResponse.from_payload(FetchRequest(3, 1, 0), payload, 10, 12)
+
+    def test_v2_frame_carries_the_payload_crc32(self):
+        resp = self.make_response()
+        wire = resp.to_bytes()
+        assert wire[:4] == b"FR02"
+        assert len(wire) == RESPONSE_HEADER_SIZE + len(resp.payload)
+        assert FetchResponse.from_bytes(wire) == resp
+
+    def test_flipped_payload_byte_raises_checksum_error(self):
+        wire = bytearray(self.make_response().to_bytes())
+        wire[RESPONSE_HEADER_SIZE + 3] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            FetchResponse.from_bytes(bytes(wire))
+
+    def test_checksum_error_is_a_protocol_error(self):
+        assert issubclass(ChecksumError, ProtocolError)
+
+    def test_v1_frame_still_accepted(self):
+        resp = self.make_response()
+        wire = resp.to_bytes_v1()
+        assert wire[:4] == b"FR01"
+        assert len(wire) == RESPONSE_HEADER_SIZE_V1 + len(resp.payload)
+        assert FetchResponse.from_bytes(wire) == resp
+
+    def test_v1_frame_has_no_corruption_protection(self):
+        # Documents the compat hole the version bump exists to close: v1
+        # payload damage parses fine and only fails later (or never).
+        wire = bytearray(self.make_response().to_bytes_v1())
+        wire[-1] ^= 0xFF
+        parsed = FetchResponse.from_bytes(bytes(wire))
+        assert parsed.payload != self.make_response().payload
+
+    def test_payload_checksum_is_plain_crc32(self):
+        import zlib
+
+        assert payload_checksum(b"abc") == zlib.crc32(b"abc") & 0xFFFFFFFF
+
+    @given(payload=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_any_payload_round_trips_with_checksum(self, payload):
+        resp = FetchResponse(
+            sample_id=1,
+            epoch=0,
+            split=0,
+            kind=PayloadKind.ENCODED,
+            height=4,
+            width=4,
+            channels=3,
+            payload=payload,
+        )
+        assert FetchResponse.from_bytes(resp.to_bytes()).payload == payload

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.rpc import InMemoryChannel, StorageClient, StorageServer
-from repro.rpc.messages import ProtocolError
-from repro.rpc.retry import FetchFailedError, RetryingClient
+from repro.rpc.messages import ChecksumError, ProtocolError
+from repro.rpc.retry import (
+    DeadlineExceededError,
+    FetchFailedError,
+    RetryingClient,
+)
 
 
 class FlakyFault:
@@ -74,3 +78,124 @@ class TestRetryingClient:
     def test_validates_attempts(self):
         with pytest.raises(ValueError):
             RetryingClient(None, max_attempts=0)
+
+    def test_attempts_invariant(self, server):
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(4))
+        client = RetryingClient(
+            StorageClient(channel), max_attempts=3, base_delay=0.0
+        )
+        with pytest.raises(FetchFailedError):
+            client.fetch(0, 0, 0)
+        client.fetch(0, 0, 0)  # fault exhausted on its 4th failure
+        stats = client.stats
+        assert stats.attempts == stats.fetches + stats.retries
+        assert (stats.fetches, stats.attempts, stats.retries) == (2, 5, 3)
+
+
+class SleepRecorder:
+    def __init__(self) -> None:
+        self.delays = []
+
+    def __call__(self, seconds: float) -> None:
+        self.delays.append(seconds)
+
+
+class TestBackoff:
+    def test_exponential_delays_without_jitter(self, server):
+        sleep = SleepRecorder()
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(10))
+        client = RetryingClient(
+            StorageClient(channel),
+            max_attempts=5,
+            base_delay=0.1,
+            max_delay=0.5,
+            jitter=False,
+            sleep=sleep,
+        )
+        with pytest.raises(FetchFailedError):
+            client.fetch(0, 0, 0)
+        # 0.1 * 2^k capped at max_delay.
+        assert sleep.delays == pytest.approx([0.1, 0.2, 0.4, 0.5])
+        assert client.stats.backoff_s == pytest.approx(sum(sleep.delays))
+
+    def test_jittered_delays_stay_under_the_cap(self, server):
+        sleep = SleepRecorder()
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(10))
+        client = RetryingClient(
+            StorageClient(channel),
+            max_attempts=6,
+            base_delay=0.1,
+            max_delay=0.4,
+            seed=3,
+            sleep=sleep,
+        )
+        with pytest.raises(FetchFailedError):
+            client.fetch(0, 0, 0)
+        caps = [0.1, 0.2, 0.4, 0.4, 0.4]
+        assert len(sleep.delays) <= len(caps)
+        for delay, cap in zip(sleep.delays, caps):
+            assert 0.0 <= delay <= cap
+
+    def test_jitter_is_seeded(self, server):
+        def delays_for(seed):
+            sleep = SleepRecorder()
+            channel = InMemoryChannel(server.handle, fault=FlakyFault(10))
+            client = RetryingClient(
+                StorageClient(channel), max_attempts=4, seed=seed, sleep=sleep
+            )
+            with pytest.raises(FetchFailedError):
+                client.fetch(0, 0, 0)
+            return sleep.delays
+
+        assert delays_for(7) == delays_for(7)
+        assert delays_for(7) != delays_for(8)
+
+
+class TestDeadline:
+    def test_deadline_cuts_retries_short(self, server):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(100))
+        client = RetryingClient(
+            StorageClient(channel),
+            max_attempts=50,
+            base_delay=1.0,
+            max_delay=1.0,
+            jitter=False,
+            deadline_s=2.5,
+            sleep=fake_sleep,
+            clock=fake_clock,
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.fetch(0, 0, 0)
+        # Attempt at t=0, sleeps at 1.0 each: the third sleep would end at
+        # t=3.0 > 2.5, so only two retries run.
+        assert client.stats.retries == 2
+        assert client.stats.failures == 1
+
+    def test_deadline_error_is_a_fetch_failure(self):
+        assert issubclass(DeadlineExceededError, FetchFailedError)
+
+    def test_validates_deadline(self):
+        with pytest.raises(ValueError):
+            RetryingClient(None, deadline_s=0.0)
+
+
+class TestChecksumRetries:
+    def test_checksum_errors_are_retried_and_counted(self, server, materialized_tiny):
+        channel = InMemoryChannel(
+            server.handle, fault=FlakyFault(2, exc=ChecksumError)
+        )
+        client = RetryingClient(
+            StorageClient(channel), max_attempts=3, base_delay=0.0
+        )
+        payload = client.fetch(0, 0, 0)
+        assert payload.data == materialized_tiny.raw_payload(0).data
+        assert client.stats.checksum_failures == 2
+        assert client.stats.retries == 2
