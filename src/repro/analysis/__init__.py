@@ -1,0 +1,46 @@
+"""sophon-lint: domain-aware static analysis for the SOPHON reproduction.
+
+The reproduction's guarantees -- bit-identical degraded mode, seeded
+per-sample augmentation, checksummed frames, deterministic simulation --
+are invariants of *how the code is written*, not just what it computes.
+This package makes them machine-checkable: an AST rule engine
+(:mod:`repro.analysis.engine`), domain rules (:mod:`repro.analysis.rules`),
+``pyproject.toml`` configuration (:mod:`repro.analysis.config`), text/JSON
+reporters (:mod:`repro.analysis.report`) and a CLI
+(``python -m repro.analysis``).
+
+Findings are suppressed inline with ``# sophon-lint: disable=RULE`` (on the
+offending line, or on a comment-only line directly above it).
+"""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.report import render_json, render_text
+
+# Importing the rules module populates the registry.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

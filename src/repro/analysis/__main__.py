@@ -1,0 +1,90 @@
+"""sophon-lint CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when no error-severity findings (warnings alone do not
+fail), 1 when errors were found, 2 on usage errors.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Severity, analyze_paths, iter_python_files
+from repro.analysis.report import render_json, render_rules, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="sophon-lint: domain-aware static analysis for the "
+        "SOPHON reproduction (determinism, RPC-protocol and simulation "
+        "invariants).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered from the first "
+        "path upward)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    if args.config is not None:
+        config = LintConfig.from_pyproject(Path(args.config))
+    else:
+        config = LintConfig.discover(paths[0])
+    if args.select:
+        config.select = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+    if args.ignore:
+        config.ignore |= {c.strip().upper() for c in args.ignore.split(",") if c.strip()}
+
+    files_checked = sum(1 for _ in iter_python_files(paths, exclude=config.exclude))
+    findings = analyze_paths(paths, config)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked=files_checked))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

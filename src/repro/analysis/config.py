@@ -1,0 +1,83 @@
+"""sophon-lint configuration, read from ``[tool.sophon-lint]`` in pyproject.
+
+Recognised keys::
+
+    [tool.sophon-lint]
+    select = ["DET01", "EXC01"]   # only these rules (default: all)
+    ignore = ["MUT01"]            # drop these rules
+    exclude = ["analysis/fixtures"]  # path substrings to skip
+
+    [tool.sophon-lint.severity]
+    EXC01 = "warning"             # "error" findings fail the build
+
+    [tool.sophon-lint.rules.DET01]
+    modules = ["repro.core", "repro.cluster"]  # rule-specific options
+
+Everything is optional; the defaults encode the reproduction's invariants.
+"""
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class LintConfig:
+    """Engine-level configuration shared by every rule."""
+
+    #: Only run these rule codes (None = all registered rules).
+    select: Optional[Set[str]] = None
+    #: Never run these rule codes.
+    ignore: Set[str] = dataclasses.field(default_factory=set)
+    #: Path substrings excluded from directory walks.
+    exclude: List[str] = dataclasses.field(default_factory=list)
+    #: Rule code -> "error" | "warning" overrides.
+    severities: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: Rule code -> option-name -> value overrides.
+    rule_options: Dict[str, Dict[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Parse ``[tool.sophon-lint]``; missing file/table means defaults."""
+        config = cls()
+        if tomllib is None or not pyproject.is_file():
+            return config
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+        table = data.get("tool", {}).get("sophon-lint", {})
+        if not isinstance(table, dict):
+            raise ValueError("[tool.sophon-lint] must be a table")
+        if "select" in table:
+            config.select = {str(code).upper() for code in table["select"]}
+        if "ignore" in table:
+            config.ignore = {str(code).upper() for code in table["ignore"]}
+        if "exclude" in table:
+            config.exclude = [str(pattern) for pattern in table["exclude"]]
+        for code, severity in table.get("severity", {}).items():
+            config.severities[str(code).upper()] = str(severity)
+        for code, options in table.get("rules", {}).items():
+            if not isinstance(options, dict):
+                raise ValueError(
+                    f"[tool.sophon-lint.rules.{code}] must be a table"
+                )
+            config.rule_options[str(code).upper()] = dict(options)
+        return config
+
+    @classmethod
+    def discover(cls, start: Path) -> "LintConfig":
+        """Find the nearest ``pyproject.toml`` at or above *start*."""
+        node = start.resolve()
+        if node.is_file():
+            node = node.parent
+        for directory in (node, *node.parents):
+            candidate = directory / "pyproject.toml"
+            if candidate.is_file():
+                return cls.from_pyproject(candidate)
+        return cls()

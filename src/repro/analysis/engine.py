@@ -1,0 +1,328 @@
+"""The sophon-lint core: rule registry, module context, suppression logic.
+
+A :class:`Rule` inspects one parsed module (:class:`ModuleContext`) and
+yields :class:`Finding` objects.  The engine parses each file once, builds
+the import-alias table and the inline-suppression table, runs every enabled
+rule, and filters findings through suppressions.  Rules never read files
+themselves, so a rule is a pure function of the AST -- easy to test from
+string fixtures.
+"""
+
+import ast
+import dataclasses
+import enum
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.config import LintConfig
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # fails the build
+    WARNING = "warning"  # reported, does not affect the exit code
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}, expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+@dataclasses.dataclass
+class ModuleContext:
+    """Everything a rule may look at for one module."""
+
+    path: str
+    module: str  # dotted name, e.g. "repro.rpc.messages"
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    #: local alias -> canonical dotted prefix ("np" -> "numpy",
+    #: "monotonic" -> "time.monotonic").
+    aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def in_modules(self, prefixes: Sequence[str]) -> bool:
+        """Is this module inside any of the dotted-name prefixes?"""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, through aliases.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the module did ``import numpy as np``; a bare ``monotonic``
+        resolves to ``time.monotonic`` after ``from time import monotonic``.
+        Returns None for expressions that are not plain dotted chains.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        first, _, rest = name.partition(".")
+        base = self.aliases.get(first, first)
+        return f"{base}.{rest}" if rest else base
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical dotted names they import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.partition(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs; the engine turns them into
+    :class:`Finding` objects with the configured severity.
+
+    ``default_options`` holds rule-specific knobs (e.g. which modules the
+    rule is scoped to); ``[tool.sophon-lint.rules.<CODE>]`` in
+    ``pyproject.toml`` overrides them per key.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    default_severity: Severity = Severity.ERROR
+    default_options: Dict[str, object] = {}
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self.options = dict(self.default_options)
+        self.options.update(config.rule_options.get(self.code, {}))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def severity(self) -> Severity:
+        raw = self.config.severities.get(self.code)
+        return Severity.parse(raw) if raw is not None else self.default_severity
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    import repro.analysis.rules  # noqa: F401  (populates the registry)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(code: str) -> Type[Rule]:
+    try:
+        return all_rules()[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; known: {', '.join(all_rules())}"
+        ) from None
+
+
+# -- suppressions -----------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*sophon-lint:\s*disable=([A-Za-z0-9_*,\s]+)")
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line -> rule codes disabled there.
+
+    A trailing ``# sophon-lint: disable=CODE`` applies to its own line; a
+    comment-only line applies to itself *and* the next line.  ``disable=all``
+    disables every rule.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # unparseable: no comments
+        return suppressions
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        line = tok.start[0]
+        suppressions.setdefault(line, set()).update(codes)
+        if tok.line.lstrip().startswith("#"):  # comment-only line
+            suppressions.setdefault(line + 1, set()).update(codes)
+    return suppressions
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    codes = suppressions.get(finding.line, set())
+    return finding.rule in codes or "ALL" in codes
+
+
+# -- analysis entry points --------------------------------------------------
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for *path*, rooted at the nearest ``src`` dir."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1 :]
+            break
+    return ".".join(p for p in parts if p not in ("", ".", "/"))
+
+
+def _enabled_rules(config: LintConfig) -> List[Rule]:
+    rules = []
+    for code, cls in all_rules().items():
+        if config.select is not None and code not in config.select:
+            continue
+        if code in config.ignore:
+            continue
+        rules.append(cls(config))
+    return rules
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Analyze one module given as a string; the fixture-test entry point."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        tree=tree,
+        source=source,
+        config=config,
+        aliases=import_aliases(tree),
+    )
+    suppressions = collect_suppressions(source)
+    findings: List[Finding] = []
+    for rule in _enabled_rules(config):
+        for node, message in rule.check(ctx):
+            finding = Finding(
+                rule=rule.code,
+                message=message,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                severity=rule.severity(),
+            )
+            if not is_suppressed(finding, suppressions):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(
+    paths: Iterable[Path], exclude: Sequence[str] = ()
+) -> Iterator[Path]:
+    """Every ``.py`` file under *paths*, sorted, minus excluded patterns."""
+    seen: Set[Path] = set()
+    for path in paths:
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            posix = candidate.as_posix()
+            if any(pattern in posix for pattern in exclude):
+                continue
+            yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Analyze every Python file under *paths*."""
+    config = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, exclude=config.exclude):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(
+            analyze_source(
+                source,
+                path=str(path),
+                module=module_name_for(path),
+                config=config,
+            )
+        )
+    return findings

@@ -1,0 +1,63 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding, Severity
+
+
+def render_text(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """One line per finding plus a summary, ruff-style."""
+    lines = [finding.format() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s) in "
+            f"{files_checked} file(s) [{breakdown}]"
+        )
+    else:
+        lines.append(f"ok: {files_checked} file(s), no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """Stable JSON document for CI consumption."""
+    payload = {
+        "files_checked": files_checked,
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity.value,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """``--list-rules`` output: every registered rule and its rationale."""
+    from repro.analysis.engine import all_rules
+
+    lines: List[str] = []
+    for code, cls in all_rules().items():
+        lines.append(f"{code} ({cls.name}) [{cls.default_severity.value}]")
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"    {doc}")
+        if cls.rationale:
+            lines.append(f"    rationale: {cls.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,493 @@
+"""The sophon-lint domain rules.
+
+Each rule protects one reproduction invariant:
+
+========  ==================================================================
+DET01     no wall-clock reads in simulation/transport code (injectable
+          clocks keep replays and the DES deterministic)
+DET02     no unseeded or global-state RNG (per-sample derived generators
+          are what make degraded-mode demotion bit-identical)
+DET03     no iteration over unordered set expressions in scheduling code
+          (plan order must not depend on hash seeds)
+RPC01     every wire-frame class pairs its encoder with a decoder and is
+          registered in the frame-type registry
+EXC01     no broad exception handler that swallows without logging or
+          re-raising (silent failures corrupt traffic accounting)
+FLT01     no float equality outside the tolerance helpers (simulated
+          times/rates accumulate rounding error)
+MUT01     no mutable default arguments (shared state across calls breaks
+          repeated simulation runs)
+API01     public core/rpc/faults functions are fully type-annotated (the
+          offload protocol is a contract; untyped edges rot silently)
+========  ==================================================================
+"""
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    Severity,
+    dotted_name,
+    register_rule,
+)
+
+AstFinding = Tuple[ast.AST, str]
+
+
+def _modules_option(rule: Rule) -> Sequence[str]:
+    modules = rule.options.get("modules", ())
+    return [str(m) for m in modules]  # type: ignore[union-attr]
+
+
+@register_rule
+class NoWallClockRule(Rule):
+    """DET01: simulation and transport code must use injected clocks.
+
+    ``time.monotonic`` *referenced* as a parameter default (the
+    ``clock: Callable[[], float] = time.monotonic`` pattern) is the allowed
+    form -- the caller can substitute a simulated clock.  *Calling* a
+    wall-clock function inline hard-wires real time into the run.
+    """
+
+    code = "DET01"
+    name = "no-wall-clock"
+    rationale = (
+        "Figs. 1/3/4 and the degraded-mode guarantee replay simulated "
+        "timelines; a wall-clock read makes the run unreproducible."
+    )
+    default_options = {
+        "modules": ["repro.core", "repro.cluster", "repro.faults", "repro.rpc"],
+        "banned": [
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        ],
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        if not ctx.in_modules(_modules_option(self)):
+            return
+        banned = {str(name) for name in self.options["banned"]}  # type: ignore[union-attr]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in banned:
+                yield (
+                    node,
+                    f"wall-clock call {resolved}() in deterministic module "
+                    f"{ctx.module}; accept an injectable clock instead "
+                    f"(e.g. `clock: Callable[[], float] = time.monotonic` "
+                    f"as a parameter default)",
+                )
+
+
+_RANDOM_GLOBAL_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+    "expovariate", "normalvariate", "vonmisesvariate", "triangular",
+    "lognormvariate", "paretovariate", "weibullvariate", "getstate",
+    "setstate",
+}
+
+_NUMPY_LEGACY_FUNCS = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "beta", "binomial", "poisson", "exponential",
+    "gamma", "bytes", "get_state", "set_state",
+}
+
+
+@register_rule
+class SeededRngRule(Rule):
+    """DET02: RNG must be seeded and instance-scoped, never global-state."""
+
+    code = "DET02"
+    name = "seeded-rng"
+    rationale = (
+        "Augmentation draws come from per-(seed, epoch, sample, op) derived "
+        "generators (repro.utils.rng); global or unseeded RNG breaks the "
+        "bit-identical offload/demotion guarantee."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None or chain.partition(".")[0] not in ctx.aliases:
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            unseeded = not node.args and not node.keywords
+            if resolved == "random.Random" and unseeded:
+                yield node, (
+                    "unseeded random.Random(); pass an explicit seed so "
+                    "runs replay"
+                )
+            elif (
+                resolved.partition(".")[0] == "random"
+                and resolved.rpartition(".")[2] in _RANDOM_GLOBAL_FUNCS
+                and resolved.count(".") == 1
+            ):
+                yield node, (
+                    f"{resolved}() uses the process-global RNG; derive a "
+                    f"generator via repro.utils.rng instead"
+                )
+            elif resolved in ("numpy.random.default_rng", "numpy.random.RandomState") and unseeded:
+                yield node, (
+                    f"unseeded {resolved}(); pass an explicit seed so runs "
+                    f"replay"
+                )
+            elif (
+                resolved.startswith("numpy.random.")
+                and resolved.rpartition(".")[2] in _NUMPY_LEGACY_FUNCS
+                and resolved.count(".") == 2
+            ):
+                yield node, (
+                    f"{resolved}() mutates numpy's global RNG state; use "
+                    f"repro.utils.rng derived generators instead"
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union", "intersection", "difference", "symmetric_difference"
+        ):
+            return True
+    return False
+
+
+@register_rule
+class OrderedIterationRule(Rule):
+    """DET03: scheduling/planning code must not iterate unordered sets.
+
+    Set iteration order depends on insertion history and hashing; feeding
+    it into plan or schedule construction makes two identical runs produce
+    differently-ordered plans.  Wrap the expression in ``sorted(...)``.
+    """
+
+    code = "DET03"
+    name = "ordered-iteration"
+    rationale = (
+        "Offload plans and fault schedules must be byte-stable across "
+        "runs; set iteration order is not."
+    )
+    default_options = {
+        "modules": [
+            "repro.core",
+            "repro.cluster",
+            "repro.scheduler",
+            "repro.faults",
+            "repro.rpc",
+        ],
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        if not ctx.in_modules(_modules_option(self)):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(comp.iter for comp in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+            ):
+                iters.append(node.args[0])
+            for candidate in iters:
+                if _is_set_expr(candidate):
+                    yield (
+                        candidate,
+                        "iteration over an unordered set expression in "
+                        "scheduling code; wrap it in sorted(...) to pin "
+                        "the order",
+                    )
+
+
+@register_rule
+class FrameCodecPairRule(Rule):
+    """RPC01: every wire-frame class pairs ``to_bytes`` with ``from_bytes``
+    and is registered in the module's frame-type registry."""
+
+    code = "RPC01"
+    name = "frame-codec-pair"
+    rationale = (
+        "A frame that can be emitted but not parsed (or vice versa) is a "
+        "protocol break the type checker cannot see; the FR01->FR02 "
+        "checksum upgrade relies on the registry staying complete."
+    )
+    default_options = {
+        "modules": ["repro.rpc.messages"],
+        "registry": "FRAME_TYPES",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        if not ctx.in_modules(_modules_option(self)):
+            return
+        registry_name = str(self.options["registry"])
+        registered: Optional[Set[str]] = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if registry_name in targets and isinstance(node.value, ast.Dict):
+                    registered = {
+                        value.id
+                        for value in node.value.values
+                        if isinstance(value, ast.Name)
+                    }
+        codec_classes: List[ast.ClassDef] = []
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_encoder = "to_bytes" in methods
+            has_decoder = "from_bytes" in methods
+            if has_encoder and not has_decoder:
+                yield node, (
+                    f"frame class {node.name} has an encoder (to_bytes) but "
+                    f"no decoder (from_bytes); peers cannot parse what it "
+                    f"emits"
+                )
+            elif has_decoder and not has_encoder:
+                yield node, (
+                    f"frame class {node.name} has a decoder (from_bytes) but "
+                    f"no encoder (to_bytes); nothing can emit what it parses"
+                )
+            elif has_encoder and has_decoder:
+                codec_classes.append(node)
+        for node in codec_classes:
+            if registered is None:
+                yield node, (
+                    f"frame class {node.name} defined but the module has no "
+                    f"{registry_name} registry mapping magics to frame "
+                    f"classes"
+                )
+            elif node.name not in registered:
+                yield node, (
+                    f"frame class {node.name} is not registered in "
+                    f"{registry_name}; register its magic(s) so generic "
+                    f"tooling can decode it"
+                )
+
+
+_LOG_METHODS = {
+    "debug", "info", "warning", "warn", "error", "exception", "critical", "log",
+}
+
+
+def _handler_is_broad(handler: ast.ExceptHandler, ctx: ModuleContext) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = dotted_name(node)
+        if name in ("Exception", "BaseException", "builtins.Exception",
+                    "builtins.BaseException"):
+            return True
+    return False
+
+
+def _handler_reports(handler: ast.ExceptHandler, ctx: ModuleContext) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LOG_METHODS
+            ):
+                return True
+            if ctx.resolve(node.func) == "warnings.warn":
+                return True
+    return False
+
+
+@register_rule
+class NoSwallowedExceptionsRule(Rule):
+    """EXC01: a broad handler must log the failure or re-raise."""
+
+    code = "EXC01"
+    name = "no-swallowed-exceptions"
+    rationale = (
+        "A swallowed transport or preprocessing failure silently skews the "
+        "paper's traffic/throughput measurements; failures must be "
+        "recorded (outage reports, breaker stats) or propagated."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_is_broad(node, ctx):
+                continue
+            if _handler_reports(node, ctx):
+                continue
+            label = "bare except:" if node.type is None else "broad except"
+            yield node, (
+                f"{label} swallows the exception without logging or "
+                f"re-raising; catch the specific types you expect, or log "
+                f"via the module logger"
+            )
+
+
+@register_rule
+class NoFloatEqualityRule(Rule):
+    """FLT01: float equality must go through the tolerance helpers."""
+
+    code = "FLT01"
+    name = "no-float-equality"
+    rationale = (
+        "Simulated times, rates and efficiencies accumulate rounding "
+        "error; `x == 0.3` style comparisons flip on harmless "
+        "reorderings.  Use repro.utils.floats (is_exact_zero/close)."
+    )
+    default_options = {"allow_modules": ["repro.utils.floats"]}
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        allow = [str(m) for m in self.options["allow_modules"]]  # type: ignore[union-attr]
+        if ctx.in_modules(allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                yield node, (
+                    "float equality comparison; use "
+                    "repro.utils.floats.is_exact_zero / close instead of "
+                    "== on floats"
+                )
+
+
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+}
+
+
+@register_rule
+class NoMutableDefaultsRule(Rule):
+    """MUT01: default argument values must be immutable."""
+
+    code = "MUT01"
+    name = "no-mutable-defaults"
+    rationale = (
+        "A mutable default is shared across calls: one simulation run's "
+        "state leaks into the next, which is exactly the cross-run "
+        "contamination the harness re-runs exist to rule out."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CONSTRUCTORS
+                ):
+                    mutable = True
+                if mutable:
+                    yield default, (
+                        f"mutable default argument in {node.name}(); "
+                        f"default to None and create the container inside "
+                        f"the function"
+                    )
+
+
+@register_rule
+class PublicApiAnnotatedRule(Rule):
+    """API01: public core/rpc/faults callables are fully annotated."""
+
+    code = "API01"
+    name = "public-api-annotated"
+    rationale = (
+        "The offload protocol and fault-injection surfaces are contracts "
+        "other layers build on; unannotated edges drift without any tool "
+        "noticing."
+    )
+    default_severity = Severity.ERROR
+    default_options = {
+        "modules": ["repro.core", "repro.rpc", "repro.faults"],
+    }
+    _CHECKED_DUNDERS = {"__init__", "__call__", "__post_init__"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+        if not ctx.in_modules(_modules_option(self)):
+            return
+        for item in ctx.tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(item, is_method=False)
+            elif isinstance(item, ast.ClassDef) and not item.name.startswith("_"):
+                for member in item.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_function(member, is_method=True)
+
+    def _check_function(
+        self, node: ast.AST, is_method: bool
+    ) -> Iterator[AstFinding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        name = node.name
+        if name.startswith("_") and name not in self._CHECKED_DUNDERS:
+            return
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        if is_method and positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        missing = [
+            arg.arg
+            for arg in (*positional, *args.kwonlyargs)
+            if arg.annotation is None
+        ]
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None and extra.annotation is None:
+                missing.append(f"*{extra.arg}")
+        if missing:
+            yield node, (
+                f"public function {name}() is missing parameter "
+                f"annotations: {', '.join(missing)}"
+            )
+        if node.returns is None:
+            yield node, (
+                f"public function {name}() is missing a return annotation"
+            )

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 from repro.preprocessing.payload import Payload
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.breaker import CircuitBreaker
+from repro.rpc.fetcher import SupportsFetch
 from repro.rpc.messages import ChecksumError
 from repro.rpc.retry import FetchFailedError
 
@@ -89,9 +90,9 @@ class DegradedModeFetcher:
 
     def __init__(
         self,
-        primary,
+        primary: SupportsFetch,
         pipeline: Pipeline,
-        fallback=None,
+        fallback: Optional[SupportsFetch] = None,
         breaker: Optional[CircuitBreaker] = None,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,

@@ -12,6 +12,7 @@ from repro.core.policy import Policy, PolicyContext
 from repro.core.profiler import StageOneProfiler, ThroughputProbe
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.breaker import CircuitBreaker
+from repro.rpc.fetcher import SupportsFetch
 
 logger = logging.getLogger(__name__)
 
@@ -94,9 +95,9 @@ class Sophon(Policy):
 
     def degraded_fetcher(
         self,
-        primary,
+        primary: SupportsFetch,
         pipeline: Pipeline,
-        fallback=None,
+        fallback: Optional[SupportsFetch] = None,
         breaker: Optional[CircuitBreaker] = None,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,

@@ -23,6 +23,8 @@ import dataclasses
 import math
 from typing import Optional, Tuple
 
+from repro.utils.floats import is_exact_zero
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -162,7 +164,7 @@ class FaultSchedule:
             not self.crashes
             and not self.brownouts
             and not self.cpu_drifts
-            and self.corruption_rate == 0.0
+            and is_exact_zero(self.corruption_rate)
         )
 
     def storage_down(self, t: float) -> bool:

@@ -8,7 +8,10 @@ SOPHON's offload directive is exactly such a transform
 """
 
 import dataclasses
+import logging
 from typing import Callable, Dict, Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.objectstore.store import Bucket
 from repro.preprocessing.payload import Payload
@@ -30,6 +33,9 @@ class LambdaRegistry:
         self.bucket = bucket
         self._lambdas: Dict[str, LambdaFn] = {}
         self.invocations: Dict[str, int] = {}
+        #: Failed invocations per lambda, so operators can see a transform
+        #: that is quietly erroring instead of inferring it from traffic.
+        self.failures: Dict[str, int] = {}
 
     def register(self, name: str, fn: LambdaFn) -> None:
         if not name:
@@ -59,14 +65,29 @@ class LambdaRegistry:
         try:
             result = self._lambdas[lambda_name](raw, dict(args or {}))
         except LambdaError:
+            self._record_failure(lambda_name, key)
             raise
-        except Exception as exc:
+        except (ValueError, TypeError, KeyError, IndexError, ArithmeticError) as exc:
+            # The failure modes a transform over sample bytes actually has:
+            # malformed payloads, bad arguments, codec math errors.  Anything
+            # else (MemoryError, bugs in the store itself) propagates as-is.
+            self._record_failure(lambda_name, key)
             raise LambdaError(f"lambda {lambda_name!r} failed: {exc}") from exc
         if not isinstance(result, (bytes, bytearray)):
+            self._record_failure(lambda_name, key)
             raise LambdaError(
                 f"lambda {lambda_name!r} returned {type(result).__name__}, expected bytes"
             )
         return bytes(result)
+
+    def _record_failure(self, lambda_name: str, key: str) -> None:
+        self.failures[lambda_name] = self.failures.get(lambda_name, 0) + 1
+        logger.warning(
+            "object lambda %r failed on key %r (%d failure(s) so far)",
+            lambda_name,
+            key,
+            self.failures[lambda_name],
+        )
 
 
 @dataclasses.dataclass

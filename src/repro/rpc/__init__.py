@@ -16,6 +16,7 @@ server from costing every fetch its full retry budget (see
 """
 
 from repro.rpc.messages import (
+    FRAME_TYPES,
     REQUEST_HEADER_SIZE,
     RESPONSE_HEADER_SIZE,
     RESPONSE_HEADER_SIZE_V1,
@@ -23,9 +24,11 @@ from repro.rpc.messages import (
     FetchRequest,
     FetchResponse,
     ProtocolError,
+    frame_type_for,
     payload_checksum,
     response_wire_size,
 )
+from repro.rpc.fetcher import SupportsFetch
 from repro.rpc.channel import ChannelStats, InMemoryChannel
 from repro.rpc.server import StorageServer
 from repro.rpc.client import StorageClient
@@ -50,6 +53,7 @@ __all__ = [
     "ChecksumError",
     "CircuitBreaker",
     "DeadlineExceededError",
+    "FRAME_TYPES",
     "FetchFailedError",
     "FetchRequest",
     "FetchResponse",
@@ -62,6 +66,8 @@ __all__ = [
     "RetryingClient",
     "StorageClient",
     "StorageServer",
+    "SupportsFetch",
+    "frame_type_for",
     "payload_checksum",
     "response_wire_size",
 ]

@@ -13,8 +13,23 @@ without real waiting.
 
 import dataclasses
 import enum
+import logging
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+#: Failure types :meth:`CircuitBreaker.call` counts toward tripping by
+#: default: transport-level errors only.  Programming errors (TypeError,
+#: KeyError, ...) propagate without tripping -- a bug in the handler is not
+#: evidence that the storage node is dead.
+DEFAULT_EXPECTED: Tuple[Type[BaseException], ...] = (
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
 
 
 class BreakerState(enum.Enum):
@@ -112,8 +127,19 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self.stats.opens += 1
 
-    def call(self, fn: Callable, *args, **kwargs):
-        """Guard an arbitrary call: raises BreakerOpenError when blocked."""
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args: object,
+        expected: Tuple[Type[BaseException], ...] = DEFAULT_EXPECTED,
+        **kwargs: object,
+    ) -> T:
+        """Guard an arbitrary call: raises BreakerOpenError when blocked.
+
+        Only ``expected`` exception types count as failures (and are
+        logged); anything else propagates without touching the failure
+        count, releasing the half-open probe slot if one was claimed.
+        """
         if not self.allow():
             raise BreakerOpenError(
                 f"circuit open for another "
@@ -121,8 +147,20 @@ class CircuitBreaker:
             )
         try:
             result = fn(*args, **kwargs)
-        except Exception:
+        except expected as exc:
             self.record_failure()
+            logger.warning(
+                "breaker-guarded call failed (%s: %s); %d/%d consecutive",
+                type(exc).__name__,
+                exc,
+                self._consecutive_failures,
+                self.failure_threshold,
+            )
+            raise
+        except BaseException:
+            # Not a transport failure: don't trip the breaker, but release
+            # the half-open probe slot so a real probe can still run.
+            self._probe_in_flight = False
             raise
         self.record_success()
         return result

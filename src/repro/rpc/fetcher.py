@@ -1,0 +1,22 @@
+"""The fetcher contract shared by every sample transport.
+
+Everything that serves samples to the data loader -- the RPC client, the
+TCP client, retry/degraded-mode wrappers, cache fetchers -- exposes the
+same structural interface: ``fetch(sample_id, epoch, split) -> Payload``.
+This Protocol names that contract so wrappers can annotate the fetchers
+they wrap (sophon-lint API01) without forcing an inheritance hierarchy on
+transports that only share a method shape.
+"""
+
+from typing import Protocol, runtime_checkable
+
+from repro.preprocessing.payload import Payload
+
+
+@runtime_checkable
+class SupportsFetch(Protocol):
+    """Anything that can serve a sample with ops ``1..split`` applied."""
+
+    def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        """Return sample *sample_id* for *epoch* with the prefix applied."""
+        ...

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Optional, Tuple, Type
 
 from repro.preprocessing.payload import Payload
+from repro.rpc.fetcher import SupportsFetch
 from repro.rpc.messages import ChecksumError
 
 
@@ -61,7 +62,7 @@ class RetryingClient:
 
     def __init__(
         self,
-        inner,
+        inner: SupportsFetch,
         max_attempts: int = 3,
         retryable: Tuple[Type[BaseException], ...] = (
             ConnectionError,

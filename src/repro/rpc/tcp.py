@@ -18,10 +18,13 @@ Failure semantics (the loader's retry layer depends on these):
   closing, so clients can tell "you sent garbage" from "the network ate it".
 """
 
+import logging
 import socket
 import struct
 import threading
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
+
+logger = logging.getLogger(__name__)
 
 from repro.preprocessing.payload import Payload
 from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
@@ -142,6 +145,9 @@ class TcpStorageServer:
                     try:
                         response = self._handler(request)
                     except Exception as exc:  # report, don't kill the connection
+                        logger.warning(
+                            "handler failed serving a fetch: %s", exc, exc_info=True
+                        )
                         response = _ERROR_PREFIX + str(exc).encode("utf-8", "replace")
                     try:
                         _send_message(conn, response)
@@ -195,7 +201,7 @@ class TcpStorageClient:
 
     def __init__(
         self,
-        address,
+        address: Tuple[str, int],
         connect_timeout: float = 10.0,
         read_timeout: Optional[float] = None,
     ) -> None:

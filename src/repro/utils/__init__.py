@@ -1,13 +1,16 @@
 """Shared utilities: seeded RNG derivation, units, text tables."""
 
+from repro.utils.floats import close, is_exact_zero
 from repro.utils.rng import derive_rng, op_rng
 from repro.utils.units import format_bytes, format_seconds, mbps_to_bytes_per_s
 from repro.utils.tables import render_table
 
 __all__ = [
+    "close",
     "derive_rng",
     "format_bytes",
     "format_seconds",
+    "is_exact_zero",
     "mbps_to_bytes_per_s",
     "op_rng",
     "render_table",

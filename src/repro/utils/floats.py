@@ -1,0 +1,34 @@
+"""Float comparison helpers -- the FLT01 allowlisted module.
+
+Raw ``==`` on floats is banned in this codebase (sophon-lint FLT01):
+simulated times, rates and efficiencies accumulate rounding error, so
+equality tests flip on harmless re-orderings.  The two legitimate cases
+get named helpers instead:
+
+* :func:`is_exact_zero` -- intentional bit-exact zero tests, for sentinel
+  values that are *assigned* (never computed), e.g. "corruption_rate was
+  configured to 0" or "the MSE of two identical uint8 images".
+* :func:`close` -- tolerance comparison for computed quantities.
+"""
+
+import math
+
+
+def is_exact_zero(value: float) -> bool:
+    """True when *value* is exactly 0.0 (or -0.0).
+
+    Use only for values that are assigned, not computed: configuration
+    sentinels and error terms over integer inputs, where bit-exact zero is
+    meaningful.  For computed quantities use :func:`close`.
+    """
+    return value == 0.0  # sophon-lint: disable=FLT01
+
+
+def close(
+    a: float,
+    b: float,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-12,
+) -> bool:
+    """Tolerance equality for computed floats (wraps :func:`math.isclose`)."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

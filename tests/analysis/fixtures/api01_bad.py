@@ -1,0 +1,16 @@
+"""API01 violations: unannotated public surfaces."""
+
+
+def plan(records, spec):  # finding: params + return unannotated
+    return records, spec
+
+
+class Planner:
+    def __init__(self, engine) -> None:  # finding: engine unannotated
+        self.engine = engine
+
+    def replan(self, records):  # finding: return + records unannotated
+        return records
+
+    def _internal(self, anything):  # private: allowed
+        return anything

@@ -1,0 +1,18 @@
+"""API01 clean: fully annotated public surface."""
+
+from typing import List, Tuple
+
+
+def plan(records: List[int], spec: str) -> Tuple[List[int], str]:
+    return records, spec
+
+
+class Planner:
+    def __init__(self, engine: object) -> None:
+        self.engine = engine
+
+    def replan(self, records: List[int]) -> List[int]:
+        return records
+
+    def _internal(self, anything):  # private: allowed unannotated
+        return anything

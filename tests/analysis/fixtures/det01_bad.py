@@ -1,0 +1,13 @@
+"""DET01 violation: inline wall-clock reads in a deterministic module."""
+
+import time
+from datetime import datetime
+
+
+def elapsed() -> float:
+    start = time.monotonic()  # finding: wall-clock call
+    return time.monotonic() - start  # finding: wall-clock call
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # finding: wall-clock call

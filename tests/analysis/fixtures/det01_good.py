@@ -1,0 +1,13 @@
+"""DET01 clean: the injectable-clock parameter-default pattern."""
+
+import time
+from typing import Callable
+
+
+class Stopwatch:
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock  # referencing, not calling: allowed
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start

@@ -1,0 +1,22 @@
+"""DET02 violations: global-state and unseeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)  # finding: process-global RNG
+
+
+def make_rng() -> random.Random:
+    return random.Random()  # finding: unseeded
+
+
+def reseed() -> None:
+    np.random.seed(0)  # finding: numpy global state
+
+
+def draw() -> float:
+    rng = np.random.default_rng()  # finding: unseeded
+    return float(rng.random())

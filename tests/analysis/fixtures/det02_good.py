@@ -1,0 +1,14 @@
+"""DET02 clean: seeded, instance-scoped generators."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

@@ -1,0 +1,18 @@
+"""DET03 violations: unordered set iteration feeding a plan."""
+
+from typing import List
+
+
+def plan_order(pending: List[str]) -> List[str]:
+    order = []
+    for name in set(pending):  # finding: unordered iteration
+        order.append(name)
+    return order
+
+
+def tags() -> List[str]:
+    return [t for t in {"crash", "brownout"}]  # finding: set literal
+
+
+def materialize(pending: List[str]) -> List[str]:
+    return list(set(pending))  # finding: list() over a set

@@ -1,0 +1,14 @@
+"""DET03 clean: sorted() pins the order before scheduling reads it."""
+
+from typing import List
+
+
+def plan_order(pending: List[str]) -> List[str]:
+    order = []
+    for name in sorted(set(pending)):
+        order.append(name)
+    return order
+
+
+def tags() -> List[str]:
+    return [t for t in sorted({"crash", "brownout"})]

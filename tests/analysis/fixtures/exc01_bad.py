@@ -1,0 +1,16 @@
+"""EXC01 violations: broad handlers that swallow silently."""
+
+
+def fetch_or_none(fetcher: object) -> object:
+    try:
+        return fetcher.fetch()  # type: ignore[attr-defined]
+    except Exception:  # finding: swallows without logging
+        return None
+
+
+def best_effort(actions: list) -> None:
+    for action in actions:
+        try:
+            action()
+        except:  # noqa: E722  # finding: bare except
+            pass

@@ -1,0 +1,26 @@
+"""EXC01 clean: narrow catches, logged or re-raised broad ones."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def fetch_or_none(fetcher: object) -> object:
+    try:
+        return fetcher.fetch()  # type: ignore[attr-defined]
+    except ConnectionError:  # narrow: allowed even without logging
+        return None
+
+
+def logged(action: object) -> None:
+    try:
+        action()  # type: ignore[operator]
+    except Exception as exc:
+        logger.warning("action failed: %s", exc)
+
+
+def counted(action: object) -> None:
+    try:
+        action()  # type: ignore[operator]
+    except Exception:
+        raise

@@ -1,0 +1,11 @@
+"""FLT01 violations: raw float equality."""
+
+
+def is_idle(rate: float) -> bool:
+    return rate == 0.0  # finding: float equality
+
+
+def at_target(ratio: float) -> bool:
+    if ratio != 1.5:  # finding: float inequality
+        return False
+    return True

@@ -1,0 +1,15 @@
+"""FLT01 clean: tolerance helpers and integer equality."""
+
+from repro.utils.floats import close, is_exact_zero
+
+
+def is_idle(rate: float) -> bool:
+    return is_exact_zero(rate)
+
+
+def at_target(ratio: float) -> bool:
+    return close(ratio, 1.5)
+
+
+def is_first(index: int) -> bool:
+    return index == 0  # integers compare exactly: allowed

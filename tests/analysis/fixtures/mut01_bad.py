@@ -1,0 +1,17 @@
+"""MUT01 violations: mutable default arguments."""
+
+from typing import Dict, List
+
+
+def append_demotion(sample_id: int, into: List[int] = []) -> List[int]:  # finding
+    into.append(sample_id)
+    return into
+
+
+def tally(key: str, *, counts: Dict[str, int] = {}) -> Dict[str, int]:  # finding
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dedupe(items: List[int], seen: set = set()) -> List[int]:  # finding
+    return [i for i in items if i not in seen]

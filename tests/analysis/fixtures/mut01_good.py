@@ -1,0 +1,21 @@
+"""MUT01 clean: None defaults, containers created per call."""
+
+from typing import Dict, List, Optional, Tuple
+
+
+def append_demotion(
+    sample_id: int, into: Optional[List[int]] = None
+) -> List[int]:
+    into = into if into is not None else []
+    into.append(sample_id)
+    return into
+
+
+def tally(key: str, *, counts: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    counts = counts if counts is not None else {}
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def windows(spans: Tuple[float, ...] = ()) -> Tuple[float, ...]:
+    return spans  # immutable default: allowed

@@ -1,0 +1,26 @@
+"""RPC01 violations: encoder without decoder, codec outside the registry."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class PingFrame:
+    token: int
+
+    def to_bytes(self) -> bytes:  # finding: no from_bytes
+        return b"PG01" + self.token.to_bytes(4, "little")
+
+
+@dataclasses.dataclass
+class PongFrame:
+    token: int
+
+    def to_bytes(self) -> bytes:  # finding: codec not in FRAME_TYPES
+        return b"PO01" + self.token.to_bytes(4, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PongFrame":
+        return cls(token=int.from_bytes(data[4:8], "little"))
+
+
+FRAME_TYPES = {}

@@ -1,0 +1,24 @@
+"""RPC01 clean: paired codec, registered in FRAME_TYPES."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class PingFrame:
+    token: int
+
+    def to_bytes(self) -> bytes:
+        return b"PG01" + self.token.to_bytes(4, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PingFrame":
+        return cls(token=int.from_bytes(data[4:8], "little"))
+
+
+class FrameError(Exception):
+    """Not a frame class: no codec methods, so RPC01 ignores it."""
+
+
+FRAME_TYPES = {
+    b"PG01": PingFrame,
+}

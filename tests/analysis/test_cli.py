@@ -1,0 +1,104 @@
+"""CLI tests, including the live-tree gate: ``python -m repro.analysis src``
+must exit 0 on this repository."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "X = 1\n")
+        assert main([str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "bad.py", "def f(items=[]):\n    return items\n"
+        )
+        assert main([str(path)]) == 1
+        assert "MUT01" in capsys.readouterr().out
+
+    def test_warning_severity_does_not_fail(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "pyproject.toml",
+            '[tool.sophon-lint.severity]\nMUT01 = "warning"\n',
+        )
+        path = write(
+            tmp_path, "bad.py", "def f(items=[]):\n    return items\n"
+        )
+        assert main([str(path)]) == 0
+        assert "MUT01" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "bad.py", "def f(items=[]):\n    return items\n"
+        )
+        assert main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "MUT01"
+
+    def test_select_and_ignore_flags(self, tmp_path):
+        path = write(
+            tmp_path, "bad.py", "def f(items=[]):\n    return items\n"
+        )
+        assert main([str(path), "--select", "FLT01"]) == 0
+        assert main([str(path), "--ignore", "MUT01"]) == 0
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/here.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET01", "DET02", "DET03", "RPC01",
+                     "EXC01", "FLT01", "MUT01", "API01"):
+            assert code in out
+
+
+class TestLiveTree:
+    def test_src_tree_is_clean(self):
+        """The acceptance gate: zero unsuppressed findings on src."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no findings" in result.stdout
+
+    def test_fixtures_are_dirty_on_purpose(self, tmp_path):
+        """The bad fixtures really violate rules when run via the CLI.
+
+        Copied out of the repo first: the repo's [tool.sophon-lint]
+        config deliberately excludes tests/analysis/fixtures from walks.
+        """
+        fixtures = Path(__file__).parent / "fixtures"
+        copy = tmp_path / "mut01_bad.py"
+        copy.write_text(
+            (fixtures / "mut01_bad.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert main([str(copy)]) == 1

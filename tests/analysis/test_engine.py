@@ -1,0 +1,167 @@
+"""Engine-level tests: suppressions, aliases, severity, config plumbing."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import LintConfig, Severity, all_rules, analyze_source
+from repro.analysis.engine import (
+    collect_suppressions,
+    import_aliases,
+    module_name_for,
+)
+from repro.analysis.report import render_json, render_text
+
+import ast
+
+
+BAD_FLOAT = "def f(x: float) -> bool:\n    return x == 0.0\n"
+
+
+class TestSuppressions:
+    def test_inline_disable_suppresses(self):
+        source = (
+            "def f(x: float) -> bool:\n"
+            "    return x == 0.0  # sophon-lint: disable=FLT01\n"
+        )
+        assert analyze_source(source, module="repro.core.x") == []
+
+    def test_disable_on_comment_line_above(self):
+        source = (
+            "def f(x: float) -> bool:\n"
+            "    # sophon-lint: disable=FLT01\n"
+            "    return x == 0.0\n"
+        )
+        assert analyze_source(source, module="repro.core.x") == []
+
+    def test_disable_all(self):
+        source = (
+            "def f(x: float) -> bool:\n"
+            "    return x == 0.0  # sophon-lint: disable=all\n"
+        )
+        assert analyze_source(source, module="repro.core.x") == []
+
+    def test_disable_other_rule_does_not_suppress(self):
+        source = (
+            "def f(x: float) -> bool:\n"
+            "    return x == 0.0  # sophon-lint: disable=MUT01\n"
+        )
+        findings = analyze_source(source, module="repro.core.x")
+        assert [f.rule for f in findings] == ["FLT01"]
+
+    def test_multiple_codes_one_comment(self):
+        table = collect_suppressions(
+            "x = 1  # sophon-lint: disable=FLT01, DET02\n"
+        )
+        assert table[1] == {"FLT01", "DET02"}
+
+
+class TestAliases:
+    def test_import_as(self):
+        tree = ast.parse("import numpy as np\n")
+        assert import_aliases(tree)["np"] == "numpy"
+
+    def test_from_import(self):
+        tree = ast.parse("from time import monotonic as mono\n")
+        assert import_aliases(tree)["mono"] == "time.monotonic"
+
+    def test_plain_import_binds_root(self):
+        tree = ast.parse("import os.path\n")
+        assert import_aliases(tree)["os"] == "os"
+
+
+class TestModuleNames:
+    def test_src_rooted(self):
+        assert (
+            module_name_for(Path("src/repro/rpc/messages.py"))
+            == "repro.rpc.messages"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for(Path("src/repro/core/__init__.py")) == "repro.core"
+
+
+class TestConfig:
+    def test_select_limits_rules(self):
+        config = LintConfig(select={"MUT01"})
+        findings = analyze_source(BAD_FLOAT, module="repro.core.x", config=config)
+        assert findings == []
+
+    def test_ignore_drops_rule(self):
+        config = LintConfig(ignore={"FLT01"})
+        findings = analyze_source(BAD_FLOAT, module="repro.core.x", config=config)
+        assert findings == []
+
+    def test_severity_override(self):
+        config = LintConfig(severities={"FLT01": "warning"})
+        findings = analyze_source(BAD_FLOAT, module="repro.core.x", config=config)
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_rule_options_override(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.sophon-lint]\n"
+            'ignore = ["API01"]\n'
+            "[tool.sophon-lint.severity]\n"
+            'EXC01 = "warning"\n'
+            "[tool.sophon-lint.rules.DET01]\n"
+            'modules = ["mypkg.sim"]\n',
+            encoding="utf-8",
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert config.ignore == {"API01"}
+        assert config.severities["EXC01"] == "warning"
+        assert config.rule_options["DET01"]["modules"] == ["mypkg.sim"]
+        source = "import time\ndef f() -> float:\n    return time.time()\n"
+        assert any(
+            f.rule == "DET01"
+            for f in analyze_source(source, module="mypkg.sim.clock", config=config)
+        )
+        assert not analyze_source(source, module="repro.core.x", config=config)
+
+    def test_discover_walks_upward(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.sophon-lint]\nignore = ["FLT01"]\n', encoding="utf-8"
+        )
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        config = LintConfig.discover(nested)
+        assert config.ignore == {"FLT01"}
+
+
+class TestReporting:
+    def test_syntax_error_is_a_finding(self):
+        findings = analyze_source("def broken(:\n", module="repro.core.x")
+        assert [f.rule for f in findings] == ["PARSE"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_text_report_mentions_rule_and_location(self):
+        findings = analyze_source(BAD_FLOAT, path="x.py", module="repro.core.x")
+        text = render_text(findings, files_checked=1)
+        assert "x.py:2" in text
+        assert "FLT01" in text
+
+    def test_json_report_round_trips(self):
+        findings = analyze_source(BAD_FLOAT, path="x.py", module="repro.core.x")
+        payload = json.loads(render_json(findings, files_checked=1))
+        assert payload["errors"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "FLT01"
+
+    def test_clean_report(self):
+        assert "no findings" in render_text([], files_checked=3)
+
+
+class TestRegistry:
+    def test_all_eight_domain_rules_registered(self):
+        codes = set(all_rules())
+        assert {
+            "DET01", "DET02", "DET03", "RPC01",
+            "EXC01", "FLT01", "MUT01", "API01",
+        } <= codes
+
+    def test_every_rule_documents_itself(self):
+        for code, cls in all_rules().items():
+            assert cls.code == code
+            assert cls.name
+            assert cls.rationale
+            assert cls.__doc__

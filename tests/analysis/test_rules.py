@@ -1,0 +1,135 @@
+"""Fixture-driven rule tests: every rule catches its bad snippet and
+stays quiet on the good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# (rule, fixture stem, pretend module, findings expected in the bad file)
+CASES = [
+    ("DET01", "det01", "repro.core.fixture", 3),
+    ("DET02", "det02", "repro.harness.fixture", 4),
+    ("DET03", "det03", "repro.scheduler.fixture", 3),
+    ("RPC01", "rpc01", "repro.rpc.messages", 2),
+    ("EXC01", "exc01", "repro.harness.fixture", 2),
+    ("FLT01", "flt01", "repro.metrics.fixture", 2),
+    ("MUT01", "mut01", "repro.harness.fixture", 3),
+    ("API01", "api01", "repro.core.fixture", 5),
+]
+
+
+def run_rule(rule: str, stem: str, module: str):
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    findings = analyze_source(source, path=f"{stem}.py", module=module)
+    return [f for f in findings if f.rule == rule]
+
+
+@pytest.mark.parametrize("rule,stem,module,expected", CASES)
+def test_bad_fixture_detected(rule, stem, module, expected):
+    findings = run_rule(rule, f"{stem}_bad", module)
+    assert len(findings) == expected, [f.format() for f in findings]
+    for finding in findings:
+        assert finding.rule == rule
+        assert finding.line > 0
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule,stem,module,expected", CASES)
+def test_good_fixture_clean(rule, stem, module, expected):
+    findings = run_rule(rule, f"{stem}_good", module)
+    assert findings == [], [f.format() for f in findings]
+
+
+class TestScoping:
+    """Scoped rules only fire inside their configured module prefixes."""
+
+    def test_det01_ignores_out_of_scope_modules(self):
+        source = (FIXTURES / "det01_bad.py").read_text(encoding="utf-8")
+        findings = analyze_source(source, module="repro.harness.fixture")
+        assert [f for f in findings if f.rule == "DET01"] == []
+
+    def test_api01_ignores_out_of_scope_modules(self):
+        source = (FIXTURES / "api01_bad.py").read_text(encoding="utf-8")
+        findings = analyze_source(source, module="repro.harness.fixture")
+        assert [f for f in findings if f.rule == "API01"] == []
+
+    def test_rpc01_only_checks_the_messages_module(self):
+        source = (FIXTURES / "rpc01_bad.py").read_text(encoding="utf-8")
+        findings = analyze_source(source, module="repro.rpc.other")
+        assert [f for f in findings if f.rule == "RPC01"] == []
+
+
+class TestRuleDetails:
+    def test_det01_allows_clock_parameter_default(self):
+        source = (
+            "import time\n"
+            "from typing import Callable\n"
+            "def run(clock: Callable[[], float] = time.monotonic) -> float:\n"
+            "    return clock()\n"
+        )
+        findings = analyze_source(source, module="repro.core.x")
+        assert [f for f in findings if f.rule == "DET01"] == []
+
+    def test_det02_respects_import_aliases(self):
+        source = "import numpy as banana\nbanana.random.seed(3)\n"
+        findings = analyze_source(source, module="repro.data.x")
+        assert [f.rule for f in findings] == ["DET02"]
+
+    def test_det02_ignores_methods_on_instances(self):
+        source = (
+            "import numpy as np\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.random())\n"
+        )
+        findings = analyze_source(source, module="repro.data.x")
+        assert [f for f in findings if f.rule == "DET02"] == []
+
+    def test_exc01_allows_narrow_tuple(self):
+        source = (
+            "def f() -> None:\n"
+            "    try:\n"
+            "        pass\n"
+            "    except (ValueError, OSError):\n"
+            "        pass\n"
+        )
+        findings = analyze_source(source, module="repro.harness.x")
+        assert [f for f in findings if f.rule == "EXC01"] == []
+
+    def test_exc01_flags_broad_member_of_tuple(self):
+        source = (
+            "def f() -> None:\n"
+            "    try:\n"
+            "        pass\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        findings = analyze_source(source, module="repro.harness.x")
+        assert [f.rule for f in findings] == ["EXC01"]
+
+    def test_flt01_allowlists_the_floats_module(self):
+        source = "def z(v: float) -> bool:\n    return v == 0.0\n"
+        findings = analyze_source(source, module="repro.utils.floats")
+        assert [f for f in findings if f.rule == "FLT01"] == []
+
+    def test_api01_requires_vararg_annotations(self):
+        source = "def f(*args, **kwargs):\n    return args, kwargs\n"
+        findings = analyze_source(source, module="repro.core.x")
+        messages = [f.message for f in findings if f.rule == "API01"]
+        assert any("*args" in m and "*kwargs" in m for m in messages)
+
+    def test_rpc01_flags_missing_registry(self):
+        source = (
+            "class LoneFrame:\n"
+            "    def to_bytes(self) -> bytes:\n"
+            "        return b''\n"
+            "    @classmethod\n"
+            "    def from_bytes(cls, data: bytes) -> 'LoneFrame':\n"
+            "        return cls()\n"
+        )
+        findings = analyze_source(source, module="repro.rpc.messages")
+        assert [f.rule for f in findings] == ["RPC01"]
+        assert "no FRAME_TYPES registry" in findings[0].message
