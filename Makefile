@@ -32,11 +32,16 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
+#: Where `make chaos` drops its telemetry artifacts (JSONL event logs,
+#: chrome traces, Prometheus text, decision audit).
+TELEMETRY_DIR ?= artifacts/chaos-telemetry
+
 chaos:
-	PYTHONPATH=src $(PYTHON) -m repro.harness.chaos --samples 160 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro.harness.chaos --samples 160 --seed 7 \
+		--telemetry-dir $(TELEMETRY_DIR)
 
 all: test bench
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,8 +17,9 @@ FLT01     no float equality outside the tolerance helpers (simulated
           times/rates accumulate rounding error)
 MUT01     no mutable default arguments (shared state across calls breaks
           repeated simulation runs)
-API01     public core/rpc/faults functions are fully type-annotated (the
-          offload protocol is a contract; untyped edges rot silently)
+API01     public core/rpc/faults/cluster/harness/telemetry functions are
+          fully type-annotated (the offload protocol is a contract;
+          untyped edges rot silently)
 ========  ==================================================================
 """
 
@@ -58,7 +59,14 @@ class NoWallClockRule(Rule):
         "timelines; a wall-clock read makes the run unreproducible."
     )
     default_options = {
-        "modules": ["repro.core", "repro.cluster", "repro.faults", "repro.rpc"],
+        "modules": [
+            "repro.core",
+            "repro.cluster",
+            "repro.faults",
+            "repro.rpc",
+            "repro.preprocessing",
+            "repro.telemetry",
+        ],
         "banned": [
             "time.time",
             "time.time_ns",
@@ -174,6 +182,16 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
 @register_rule
 class OrderedIterationRule(Rule):
     """DET03: scheduling/planning code must not iterate unordered sets.
@@ -181,6 +199,12 @@ class OrderedIterationRule(Rule):
     Set iteration order depends on insertion history and hashing; feeding
     it into plan or schedule construction makes two identical runs produce
     differently-ordered plans.  Wrap the expression in ``sorted(...)``.
+
+    Also flagged: zero-argument ``.pop()`` / ``.popitem()`` (which remove
+    an arbitrary or insertion-history-dependent element -- scheduling
+    state must be drained in an explicit order) and iterating a bare
+    ``.keys()`` snapshot (key order is insertion history; sort it, or
+    iterate the mapping itself if order genuinely cannot matter).
     """
 
     code = "DET03"
@@ -224,6 +248,33 @@ class OrderedIterationRule(Rule):
                         "iteration over an unordered set expression in "
                         "scheduling code; wrap it in sorted(...) to pin "
                         "the order",
+                    )
+                elif _is_keys_call(candidate):
+                    yield (
+                        candidate,
+                        "iteration over a bare .keys() snapshot in "
+                        "scheduling code; key order is insertion history "
+                        "-- wrap it in sorted(...) to pin the order",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and not node.args
+                and not node.keywords
+            ):
+                if node.func.attr == "popitem":
+                    yield (
+                        node,
+                        ".popitem() removes an insertion-history-dependent "
+                        "entry in scheduling code; pop an explicit "
+                        "(e.g. sorted-min) key instead",
+                    )
+                elif node.func.attr == "pop":
+                    yield (
+                        node,
+                        "zero-argument .pop() drains an arbitrary or "
+                        "history-dependent element in scheduling code; "
+                        "pop an explicit index or key instead",
                     )
 
 
@@ -437,7 +488,12 @@ class NoMutableDefaultsRule(Rule):
 
 @register_rule
 class PublicApiAnnotatedRule(Rule):
-    """API01: public core/rpc/faults callables are fully annotated."""
+    """API01: public callables in scoped packages are fully annotated.
+
+    Scope covers the offload protocol (core/rpc/faults) plus the
+    simulation, harness, and telemetry surfaces other layers script
+    against.
+    """
 
     code = "API01"
     name = "public-api-annotated"
@@ -448,7 +504,14 @@ class PublicApiAnnotatedRule(Rule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "modules": ["repro.core", "repro.rpc", "repro.faults"],
+        "modules": [
+            "repro.core",
+            "repro.rpc",
+            "repro.faults",
+            "repro.cluster",
+            "repro.harness",
+            "repro.telemetry",
+        ],
     }
     _CHECKED_DUNDERS = {"__init__", "__call__", "__post_init__"}
 

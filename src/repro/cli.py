@@ -6,12 +6,18 @@ Usage (installed as ``sophon-repro``)::
     sophon-repro fig1a --dataset openimages
     sophon-repro fig3 --dataset imagenet --samples 1500
     sophon-repro fig4 --cores 0 1 2 3 4 5
+    sophon-repro audit 17
     sophon-repro all
+
+``fig1d``, ``fig3`` and ``fig4`` accept ``--telemetry-dir DIR`` to write
+the run's metrics as replayable JSONL and Prometheus text; ``audit``
+explains one sample's offload decision and its simulated journey.
 """
 
 import argparse
+import contextlib
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.cluster.spec import standard_cluster
 from repro.core.efficiency import efficiency_distribution
@@ -37,6 +43,27 @@ def _dataset(name: str, samples: Optional[int], seed: int):
     if name == "imagenet":
         return make_imagenet(num_samples=samples, seed=seed)
     raise SystemExit(f"unknown dataset {name!r}; pick openimages or imagenet")
+
+
+@contextlib.contextmanager
+def _scoped_registry(args: argparse.Namespace) -> Iterator[Optional[object]]:
+    """A fresh default metrics registry while --telemetry-dir is set."""
+    if getattr(args, "telemetry_dir", None) is None:
+        yield None
+        return
+    from repro.telemetry.registry import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
+
+
+def _emit_telemetry(args: argparse.Namespace, name: str, registry) -> None:
+    if registry is None:
+        return
+    from repro.harness.telemetry import emit_artifacts
+
+    for path in emit_artifacts(args.telemetry_dir, name, registry=registry):
+        print(f"telemetry written to {path}")
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
@@ -96,19 +123,34 @@ def cmd_fig1c(args: argparse.Namespace) -> None:
 def cmd_fig1d(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
     spec = standard_cluster().with_bandwidth(args.bandwidth)
-    rows = [
-        (model, f"{util:.0%}")
-        for model, util in gpu_utilization_by_model(dataset, spec, seed=args.seed)
-    ]
+    with _scoped_registry(args) as registry:
+        utilizations = gpu_utilization_by_model(dataset, spec, seed=args.seed)
+        if registry is not None:
+            gauge = registry.gauge(
+                "harness_gpu_utilization",
+                "GPU busy fraction over the epoch",
+                labels=["run"],
+            )
+            for model, util in utilizations:
+                gauge.set(util, run=model)
+    rows = [(model, f"{util:.0%}") for model, util in utilizations]
     print(f"[{dataset.name}] GPU utilization at {args.bandwidth:.0f} Mbps, no offload")
     print(render_table(("Model", "GPU util"), rows))
+    _emit_telemetry(args, "fig1d", registry)
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
     cluster = standard_cluster(storage_cores=args.storage_cores)
-    comparison = ample_cpu_comparison(dataset, cluster, seed=args.seed)
+    with _scoped_registry(args) as registry:
+        comparison = ample_cpu_comparison(dataset, cluster, seed=args.seed)
+        if registry is not None:
+            from repro.harness.telemetry import record_epoch_stats
+
+            for result in comparison.results:
+                record_epoch_stats(result.stats, result.policy_name, registry)
     print(comparison.render())
+    _emit_telemetry(args, "fig3", registry)
     if getattr(args, "csv", None):
         from repro.harness.export import comparison_to_csv, write_csv
 
@@ -118,8 +160,18 @@ def cmd_fig3(args: argparse.Namespace) -> None:
 
 def cmd_fig4(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
-    sweep = limited_cpu_sweep(dataset, cores=tuple(args.cores), seed=args.seed)
+    with _scoped_registry(args) as registry:
+        sweep = limited_cpu_sweep(dataset, cores=tuple(args.cores), seed=args.seed)
+        if registry is not None:
+            from repro.harness.telemetry import record_epoch_stats
+
+            for cores in sweep.cores:
+                for policy, result in sorted(sweep.results[cores].items()):
+                    record_epoch_stats(
+                        result.stats, f"{policy}@{cores}c", registry
+                    )
     print(sweep.render())
+    _emit_telemetry(args, "fig4", registry)
     gains = ", ".join(f"{g:.2f}s" for g in sweep.sophon_marginal_gains())
     print(f"\nSOPHON marginal gain per added core: {gains}")
     if getattr(args, "csv", None):
@@ -200,6 +252,45 @@ def cmd_ext_llm(args: argparse.Namespace) -> None:
     print(f"decision: {plan.reason}")
 
 
+def cmd_audit(args: argparse.Namespace) -> None:
+    """Explain one sample end-to-end: decision record + simulated spans."""
+    from repro.cluster.trainer import TrainerSim
+    from repro.core.decision import DecisionConfig, DecisionEngine
+    from repro.core.policy import PolicyContext
+    from repro.telemetry.audit import AuditLog
+    from repro.workloads.models import get_model_profile
+
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    if not 0 <= args.sample_id < len(dataset):
+        raise SystemExit(
+            f"sample {args.sample_id} out of range; dataset has {len(dataset)} samples"
+        )
+    spec = standard_cluster(storage_cores=args.storage_cores)
+    model = get_model_profile(args.model)
+    context = PolicyContext(
+        dataset=dataset, pipeline=standard_pipeline(), spec=spec,
+        model=model, seed=args.seed,
+    )
+    audit = AuditLog()
+    plan = DecisionEngine(DecisionConfig()).plan(
+        context.records(), spec, gpu_time_s=context.epoch_gpu_time_s, audit=audit
+    )
+    print(f"[{dataset.name}] {plan.reason}\n")
+    print(audit.explain(args.sample_id))
+
+    trainer = TrainerSim(
+        dataset, context.pipeline, model, spec, seed=args.seed
+    )
+    stats = trainer.run_epoch(list(plan.splits), epoch=args.epoch, record_spans=True)
+    events = stats.spans.for_sample(args.sample_id, args.epoch) if stats.spans else []
+    print(f"\nsimulated spans for sample {args.sample_id} "
+          f"(epoch {args.epoch}, virtual seconds):")
+    for event in events:
+        attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+        line = f"  [{event.t_s:12.6f}] {event.phase} {event.name}"
+        print(f"{line}  {attrs}" if attrs else line)
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from repro.harness.report import generate_markdown_report
 
@@ -261,19 +352,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig1d", help="GPU utilization by model")
     p.add_argument("--dataset", default="openimages")
     p.add_argument("--bandwidth", type=float, default=1000.0, help="Mbps")
+    p.add_argument("--telemetry-dir", help="write telemetry artifacts here")
     p.set_defaults(func=cmd_fig1d)
 
     p = sub.add_parser("fig3", help="policy comparison, ample storage CPUs")
     p.add_argument("--dataset", default="openimages")
     p.add_argument("--storage-cores", type=int, default=48)
     p.add_argument("--csv", help="also write the data as CSV to this path")
+    p.add_argument("--telemetry-dir", help="write telemetry artifacts here")
     p.set_defaults(func=cmd_fig3)
 
     p = sub.add_parser("fig4", help="storage-core sweep")
     p.add_argument("--dataset", default="openimages")
     p.add_argument("--cores", type=int, nargs="+", default=[0, 1, 2, 3, 4, 5])
     p.add_argument("--csv", help="also write the data as CSV to this path")
+    p.add_argument("--telemetry-dir", help="write telemetry artifacts here")
     p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser(
+        "audit", help="explain one sample's offload decision end-to-end"
+    )
+    p.add_argument("sample_id", type=int, help="sample to explain")
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--model", default="alexnet")
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.add_argument("--epoch", type=int, default=1,
+                   help="epoch to simulate for the span log (default 1)")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("plan", help="compute (and optionally save) a SOPHON plan")
     p.add_argument("--dataset", default="openimages")

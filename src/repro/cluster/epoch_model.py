@@ -50,7 +50,7 @@ class EpochMetrics:
             if getattr(self, field.name) < 0:
                 raise ValueError(f"{field.name} must be >= 0")
 
-    def replace(self, **changes) -> "EpochMetrics":
+    def replace(self, **changes: float) -> "EpochMetrics":
         return dataclasses.replace(self, **changes)
 
 

@@ -13,12 +13,12 @@ others idle -- aggregate cores stop being the right capacity measure.
 """
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.epoch_model import EpochMetrics
 from repro.cluster.sim import Environment, Resource
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.trainer import EpochStats, SampleWork, TrainerSim
+from repro.cluster.trainer import EpochStats, SampleWork, TrainerSim, WorkAdjustment
 from repro.data.dataset import Dataset
 from repro.data.sampler import BatchSampler
 from repro.preprocessing.pipeline import Pipeline
@@ -98,7 +98,7 @@ class ShardedTrainerSim(TrainerSim):
         self,
         splits: Optional[Sequence[int]] = None,
         epoch: int = 0,
-        adjustments=None,
+        adjustments: Optional[Dict[int, WorkAdjustment]] = None,
     ) -> ShardedStats:
         if splits is not None and len(splits) != len(self.dataset):
             raise ValueError(

@@ -33,6 +33,7 @@ from repro.data.sampler import BatchSampler, Sampler, SequentialSampler
 from repro.faults.schedule import FaultReport, FaultSchedule
 from repro.metrics.timeline import Timeline
 from repro.preprocessing.pipeline import Pipeline
+from repro.telemetry.spans import Tracer, trace_id
 from repro.workloads.models import ModelProfile
 
 #: Retransmission cap per payload; only reachable when corruption_rate is
@@ -96,6 +97,9 @@ class EpochStats:
     timeline: Optional[Timeline] = None
     #: Fault accounting, populated when run_epoch(faults=...) injected any.
     faults: Optional[FaultReport] = None
+    #: Per-sample span tracer (virtual timestamps), populated when
+    #: run_epoch(record_spans=True).
+    spans: Optional[Tracer] = None
 
     def __str__(self) -> str:
         return (
@@ -134,6 +138,8 @@ def launch_training_processes(
     faults: Optional[FaultSchedule] = None,
     fault_report: Optional[FaultReport] = None,
     fallback_work: Optional[Callable[[int], SampleWork]] = None,
+    tracer: Optional[Tracer] = None,
+    epoch: int = 0,
 ) -> Dict[str, int]:
     """Register one training job's processes on ``env``.
 
@@ -147,6 +153,9 @@ def launch_training_processes(
         work so failed offloads can demote; observations accumulate into
         ``fault_report``.  An empty/None schedule takes the exact
         fault-free code path.
+    tracer: optional per-sample span collector; ``epoch`` names the traces
+        (trace id = sample id + epoch).  Emission never touches the event
+        queue, so a run with a tracer simulates identically to one without.
     """
     traffic = {"bytes": 0, "done": 0}
     bandwidth = spec.bandwidth_bytes_per_s
@@ -158,17 +167,28 @@ def launch_training_processes(
     report = fault_report if fault_report is not None else FaultReport()
 
     def sample_proc(item: SampleWork):
+        trace = trace_id(item.sample_id, epoch) if tracer is not None else ""
+        if tracer is not None:
+            tracer.begin(
+                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes
+            )
         # Request leaves the compute node; half an RTT to arrive.
         yield env.timeout(spec.network_rtt_s / 2.0)
         if item.split > 0:
+            if tracer is not None:
+                tracer.begin(trace, "storage.prefix", split=item.split)
             grant = handles.storage_cpu.acquire()
             yield grant
             yield env.timeout(item.prefix_cpu_s * spec.storage_cpu_factor)
             handles.storage_cpu.release(grant)
+            if tracer is not None:
+                tracer.end(trace, "storage.prefix", cpu_s=item.prefix_cpu_s)
         # Transmit in chunks: releasing the link between chunks lets
         # concurrent flows interleave (fair sharing) instead of
         # serializing whole payloads behind each other.
         payload_bytes = item.wire_bytes + spec.response_overhead_bytes
+        if tracer is not None:
+            tracer.begin(trace, "link.transmit", payload_bytes=payload_bytes)
         remaining = payload_bytes
         first_chunk = True
         while remaining > 0:
@@ -180,12 +200,20 @@ def launch_training_processes(
             remaining -= chunk
             first_chunk = False
         traffic["bytes"] += payload_bytes
+        if tracer is not None:
+            tracer.end(trace, "link.transmit")
         yield env.timeout(spec.network_rtt_s / 2.0)
         if item.suffix_cpu_s > 0:
+            if tracer is not None:
+                tracer.begin(trace, "compute.suffix")
             grant = handles.compute_cpu.acquire()
             yield grant
             yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
             handles.compute_cpu.release(grant)
+            if tracer is not None:
+                tracer.end(trace, "compute.suffix", cpu_s=item.suffix_cpu_s)
+        if tracer is not None:
+            tracer.end(trace, "sample.fetch")
 
     # -- fault-aware variant ------------------------------------------------
     # Kept separate from sample_proc so the fault-free path stays
@@ -203,6 +231,11 @@ def launch_training_processes(
             if timeline is not None:
                 timeline.record_fault(
                     env.now, "crash-interrupt", active_offloads.get(proc, -1)
+                )
+            if tracer is not None:
+                tracer.instant(
+                    trace_id(active_offloads.get(proc, -1), epoch),
+                    "fault.crash_interrupt",
                 )
             proc.interrupt("storage-crash")
 
@@ -243,19 +276,34 @@ def launch_training_processes(
         traffic["bytes"] += payload_bytes
 
     def faulty_sample_proc(item: SampleWork):
+        trace = trace_id(item.sample_id, epoch) if tracer is not None else ""
+        if tracer is not None:
+            tracer.begin(
+                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes
+            )
         yield env.timeout((spec.network_rtt_s + faults.extra_rtt_s(env.now)) / 2.0)
         if item.split > 0:
             offloaded = False
             if faults.storage_down(env.now):
                 # Fetch refused outright: the node is down right now.
                 report.note_failure(env.now)
+                if tracer is not None:
+                    tracer.instant(trace, "fault.storage_down")
             else:
                 report.offload_attempts += 1
+                if tracer is not None:
+                    tracer.begin(trace, "storage.prefix", split=item.split)
                 proc = env.process(prefix_proc(item))
                 active_offloads[proc] = item.sample_id
                 outcome = yield proc
                 active_offloads.pop(proc, None)
                 offloaded = outcome is True
+                if tracer is not None:
+                    tracer.end(
+                        trace,
+                        "storage.prefix",
+                        outcome="ok" if offloaded else "interrupted",
+                    )
                 if offloaded:
                     recovering = (
                         report.first_failure_s is not None
@@ -272,8 +320,12 @@ def launch_training_processes(
                 report.demoted_samples += 1
                 if timeline is not None:
                     timeline.record_fault(env.now, "demotion", item.sample_id)
+                if tracer is not None:
+                    tracer.instant(trace, "fault.demote", planned_split=item.split)
                 item = fallback_work(item.sample_id)
         payload_bytes = item.wire_bytes + spec.response_overhead_bytes
+        if tracer is not None:
+            tracer.begin(trace, "link.transmit", payload_bytes=payload_bytes)
         for send in range(_MAX_PAYLOAD_SENDS):
             yield from transmit(payload_bytes)
             if not faults.corrupts(next(message_counter)):
@@ -285,12 +337,22 @@ def launch_training_processes(
                 report.corrupt_retries += 1
             if timeline is not None:
                 timeline.record_fault(env.now, "corruption", item.sample_id)
+            if tracer is not None:
+                tracer.instant(trace, "fault.corruption", send=send)
+        if tracer is not None:
+            tracer.end(trace, "link.transmit")
         yield env.timeout((spec.network_rtt_s + faults.extra_rtt_s(env.now)) / 2.0)
         if item.suffix_cpu_s > 0:
+            if tracer is not None:
+                tracer.begin(trace, "compute.suffix")
             grant = handles.compute_cpu.acquire()
             yield grant
             yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
             handles.compute_cpu.release(grant)
+            if tracer is not None:
+                tracer.end(trace, "compute.suffix", cpu_s=item.suffix_cpu_s)
+        if tracer is not None:
+            tracer.end(trace, "sample.fetch")
 
     make_sample_proc = sample_proc if faults is None else faulty_sample_proc
 
@@ -311,9 +373,13 @@ def launch_training_processes(
             yield grant
             if timeline is not None:
                 timeline.trace(index).gpu_start = env.now
+            if tracer is not None:
+                tracer.begin(f"b{index}-e{epoch}", "gpu.batch", batch=index)
             yield env.timeout(model.batch_time_s(len(ids)))
             if timeline is not None:
                 timeline.trace(index).gpu_end = env.now
+            if tracer is not None:
+                tracer.end(f"b{index}-e{epoch}", "gpu.batch")
             handles.gpu.release(grant)
             handles.prefetch.release(token)
         traffic["done"] = 1
@@ -406,6 +472,7 @@ class TrainerSim:
         adjustments: Optional[Dict[int, WorkAdjustment]] = None,
         record_timeline: bool = False,
         faults: Optional[FaultSchedule] = None,
+        record_spans: bool = False,
     ) -> EpochStats:
         """Simulate one epoch under the given per-sample offload splits.
 
@@ -418,6 +485,9 @@ class TrainerSim:
             the epoch survives every fault class by demoting failed
             offloads to the split-0 No-Off path.  Empty/None schedules are
             byte-identical to the fault-free run.
+        record_spans: attach a per-sample span Tracer (stats.spans) whose
+            clock is the simulator's virtual time; the simulated schedule
+            is identical with or without it.
         """
         if splits is not None and len(splits) != len(self.dataset):
             raise ValueError(
@@ -450,6 +520,7 @@ class TrainerSim:
             prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
         )
         timeline = Timeline() if record_timeline else None
+        tracer = Tracer(clock=lambda: env.now) if record_spans else None
         traffic = launch_training_processes(
             env,
             spec,
@@ -461,6 +532,8 @@ class TrainerSim:
             faults=faults,
             fault_report=fault_report,
             fallback_work=fallback_work if faults is not None else None,
+            tracer=tracer,
+            epoch=epoch,
         )
         env.run()
 
@@ -493,4 +566,5 @@ class TrainerSim:
             analytic=analytic,
             timeline=timeline,
             faults=fault_report,
+            spans=tracer,
         )

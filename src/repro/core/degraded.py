@@ -25,6 +25,8 @@ from repro.rpc.breaker import CircuitBreaker
 from repro.rpc.fetcher import SupportsFetch
 from repro.rpc.messages import ChecksumError
 from repro.rpc.retry import FetchFailedError
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.spans import Tracer, trace_id
 
 #: Failures that mean "the transport or the storage node is unhealthy".
 #: ProtocolError deliberately stays out: a malformed frame is a sender bug,
@@ -96,13 +98,19 @@ class DegradedModeFetcher:
         breaker: Optional[CircuitBreaker] = None,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.primary = primary
         self.pipeline = pipeline
         self.fallback = fallback
-        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(clock=clock, tracer=tracer)
+        )
         self.seed = seed
         self.clock = clock
+        self.tracer = tracer
         #: Every outage observed so far, in order; the last one may be open.
         self.outages: List[OutageReport] = []
         self._current: Optional[OutageReport] = None
@@ -143,12 +151,23 @@ class DegradedModeFetcher:
                 )
             self.breaker.record_success()
             self._note_success()
+            get_default_registry().counter(
+                "degraded_fetches_total",
+                "fetches through DegradedModeFetcher by path",
+                labels=["path"],
+            ).inc(path="primary")
             return payload
         return self._demote(sample_id, epoch, split, reason="breaker-open")
 
     # -- degraded path -----------------------------------------------------
 
     def _demote(self, sample_id: int, epoch: int, split: int, reason: str) -> Payload:
+        registry = get_default_registry()
+        registry.counter(
+            "degraded_fetches_total",
+            "fetches through DegradedModeFetcher by path",
+            labels=["path"],
+        ).inc(path="demoted")
         if split > 0:
             self._note_failure()  # ensure an outage report exists
             assert self._current is not None
@@ -161,6 +180,18 @@ class DegradedModeFetcher:
                     reason=reason,
                 )
             )
+            registry.counter(
+                "degraded_demotions_total",
+                "samples demoted to split 0 by reason",
+                labels=["reason"],
+            ).inc(reason=reason)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    trace_id(sample_id, epoch),
+                    "degraded.demote",
+                    planned_split=split,
+                    reason=reason,
+                )
         raw = self._raw_payload(sample_id, epoch)
         if split <= 0:
             return raw
@@ -186,8 +217,16 @@ class DegradedModeFetcher:
         if self._current is None:
             self._current = OutageReport(started_at_s=self.clock())
             self.outages.append(self._current)
+            get_default_registry().counter(
+                "degraded_outages_total", "contiguous outages observed"
+            ).inc()
+            if self.tracer is not None:
+                self.tracer.instant("degraded", "outage.start")
 
     def _note_success(self) -> None:
         if self._current is not None:
             self._current.recovered_at_s = self.clock()
+            duration = self._current.recovered_at_s - self._current.started_at_s
             self._current = None
+            if self.tracer is not None:
+                self.tracer.instant("degraded", "outage.recovered", duration_s=duration)

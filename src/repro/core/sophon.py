@@ -13,6 +13,8 @@ from repro.core.profiler import StageOneProfiler, ThroughputProbe
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.breaker import CircuitBreaker
 from repro.rpc.fetcher import SupportsFetch
+from repro.telemetry.audit import AuditLog
+from repro.telemetry.spans import Tracer
 
 logger = logging.getLogger(__name__)
 
@@ -53,7 +55,18 @@ class Sophon(Policy):
         #: The last stage-one probe, for introspection/reporting.
         self.last_probe: Optional[ThroughputProbe] = None
 
-    def plan(self, context: PolicyContext) -> OffloadPlan:
+    def plan(
+        self,
+        context: PolicyContext,
+        audit: Optional[AuditLog] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> OffloadPlan:
+        """Plan offloading for *context*.
+
+        audit/tracer are forwarded to the decision engine so a planning
+        pass can be audited per sample (``sophon-repro audit``); stage-one
+        early exits leave them empty -- no per-sample decisions were made.
+        """
         if not context.spec.can_offload:
             return OffloadPlan.no_offload(
                 context.num_samples,
@@ -91,6 +104,8 @@ class Sophon(Policy):
             records,
             context.spec,
             gpu_time_s=context.epoch_gpu_time_s,
+            audit=audit,
+            tracer=tracer,
         )
 
     def degraded_fetcher(
@@ -101,6 +116,7 @@ class Sophon(Policy):
         breaker: Optional[CircuitBreaker] = None,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ) -> DegradedModeFetcher:
         """Wrap *primary* so epochs survive storage outages.
 
@@ -116,4 +132,5 @@ class Sophon(Policy):
             breaker=breaker,
             seed=seed,
             clock=clock,
+            tracer=tracer,
         )

@@ -13,6 +13,7 @@ Run it as a module (``make chaos``)::
 """
 
 import argparse
+import contextlib
 import dataclasses
 from typing import List, Optional
 
@@ -23,7 +24,10 @@ from repro.core.policy import PolicyContext
 from repro.data.catalog import make_openimages
 from repro.data.dataset import Dataset
 from repro.faults import FaultSchedule
+from repro.harness.telemetry import emit_artifacts, record_epoch_stats
 from repro.preprocessing.pipeline import Pipeline, standard_pipeline
+from repro.telemetry.audit import AuditLog
+from repro.telemetry.registry import MetricsRegistry, use_registry
 from repro.utils.tables import render_table
 from repro.utils.units import format_bytes, format_seconds
 from repro.workloads.models import ModelProfile, get_model_profile
@@ -89,6 +93,10 @@ class ChaosReport:
     dataset_name: str
     baseline: EpochStats
     runs: List[ChaosRun]
+    #: Populated by ``run_chaos(telemetry=True)``: the planning audit log
+    #: and the registry every counter from the run landed in.
+    audit: Optional[AuditLog] = None
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def survived(self) -> bool:
@@ -177,11 +185,19 @@ def run_chaos(
     batch_size: int = CHAOS_BATCH_SIZE,
     seed: int = 0,
     scenarios: Optional[List[ChaosScenario]] = None,
+    telemetry: bool = False,
 ) -> ChaosReport:
     """Plan once with SOPHON's decision engine, then survive each scenario.
 
     The same plan and epoch index are used for every run, so any delta vs
     the baseline is attributable to the injected faults alone.
+
+    With ``telemetry=True`` the run becomes fully observable: planning
+    writes a decision audit log, every epoch records per-sample spans and
+    a batch timeline, and all counters land in a fresh registry scoped to
+    this call -- the report carries ``audit`` and ``registry``, ready for
+    :func:`write_chaos_telemetry`.  The simulated epochs themselves are
+    byte-identical with telemetry on or off.
     """
     if spec is None:
         spec = dataclasses.replace(
@@ -190,38 +206,75 @@ def run_chaos(
     model = model if model is not None else get_model_profile("alexnet")
     pipeline = pipeline if pipeline is not None else standard_pipeline()
 
-    context = PolicyContext(
-        dataset=dataset,
-        pipeline=pipeline,
-        spec=spec,
-        model=model,
-        batch_size=batch_size,
-        seed=seed,
-    )
-    plan = DecisionEngine(DecisionConfig()).plan(
-        context.records(), spec, gpu_time_s=context.epoch_gpu_time_s
-    )
-    trainer = TrainerSim(
-        dataset=dataset,
-        pipeline=pipeline,
-        model=model,
-        spec=spec,
-        batch_size=batch_size,
-        seed=seed,
-    )
-    baseline = trainer.run_epoch(list(plan.splits), epoch=1)
-    if scenarios is None:
-        scenarios = default_scenarios(baseline.epoch_time_s, seed=seed)
-
-    runs = [
-        ChaosRun(
-            scenario=scenario,
-            stats=trainer.run_epoch(list(plan.splits), epoch=1, faults=scenario.schedule),
-            baseline=baseline,
+    registry = MetricsRegistry() if telemetry else None
+    audit = AuditLog() if telemetry else None
+    with contextlib.ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(use_registry(registry))
+        context = PolicyContext(
+            dataset=dataset,
+            pipeline=pipeline,
+            spec=spec,
+            model=model,
+            batch_size=batch_size,
+            seed=seed,
         )
-        for scenario in scenarios
-    ]
-    return ChaosReport(dataset_name=dataset.name, baseline=baseline, runs=runs)
+        plan = DecisionEngine(DecisionConfig()).plan(
+            context.records(), spec, gpu_time_s=context.epoch_gpu_time_s, audit=audit
+        )
+        trainer = TrainerSim(
+            dataset=dataset,
+            pipeline=pipeline,
+            model=model,
+            spec=spec,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        baseline = trainer.run_epoch(
+            list(plan.splits), epoch=1,
+            record_spans=telemetry, record_timeline=telemetry,
+        )
+        if telemetry:
+            record_epoch_stats(baseline, "baseline", registry)
+        if scenarios is None:
+            scenarios = default_scenarios(baseline.epoch_time_s, seed=seed)
+
+        runs: List[ChaosRun] = []
+        for scenario in scenarios:
+            stats = trainer.run_epoch(
+                list(plan.splits), epoch=1, faults=scenario.schedule,
+                record_spans=telemetry, record_timeline=telemetry,
+            )
+            if telemetry:
+                record_epoch_stats(stats, scenario.name, registry)
+            runs.append(ChaosRun(scenario=scenario, stats=stats, baseline=baseline))
+    return ChaosReport(
+        dataset_name=dataset.name,
+        baseline=baseline,
+        runs=runs,
+        audit=audit,
+        registry=registry,
+    )
+
+
+def write_chaos_telemetry(report: ChaosReport, out_dir: str) -> List[str]:
+    """Write the chaos artifact tree under ``out_dir``; returns the paths.
+
+    Per run (baseline + each scenario): a span JSONL and a chrome trace.
+    Once per report: ``chaos.telemetry.jsonl`` holding the metrics
+    snapshot and the planning audit, plus ``chaos.metrics.prom``.
+    """
+    if report.registry is None:
+        raise ValueError(
+            "report carries no telemetry; produce it with run_chaos(telemetry=True)"
+        )
+    paths = emit_artifacts(out_dir, "baseline", stats=report.baseline)
+    for run in report.runs:
+        paths.extend(emit_artifacts(out_dir, run.scenario.name, stats=run.stats))
+    paths.extend(
+        emit_artifacts(out_dir, "chaos", registry=report.registry, audit=report.audit)
+    )
+    return paths
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -233,11 +286,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--batch-size", type=int, default=CHAOS_BATCH_SIZE, help="training batch size"
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        help="also write telemetry artifacts (span JSONL, chrome traces, "
+        "Prometheus text, decision audit) under this directory",
+    )
     args = parser.parse_args(argv)
 
     dataset = make_openimages(num_samples=args.samples, seed=args.seed)
-    report = run_chaos(dataset, batch_size=args.batch_size, seed=args.seed)
+    report = run_chaos(
+        dataset,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        telemetry=args.telemetry_dir is not None,
+    )
     print(report.render())
+    if args.telemetry_dir is not None:
+        for path in write_chaos_telemetry(report, args.telemetry_dir):
+            print(f"telemetry written to {path}")
     if not report.survived:
         print("FAIL: samples were lost under injected faults")
         return 1

@@ -4,17 +4,27 @@ Load the output in ``chrome://tracing`` (or Perfetto) to see each batch's
 input-pipeline and GPU phases on a timeline -- the visual version of the
 stall breakdown.  Uses the Trace Event "X" (complete event) records, with
 one row for the input pipeline and one for the GPU.
+
+Per-sample telemetry spans (``run_epoch(record_spans=True)``) render
+alongside the batch rows: each trace id (sample or batch) gets its own
+thread row in a second "samples" process, begin/end pairs become nested
+complete events, and instants (demotions, corruption, breaker
+transitions) become trace-event instants on the same row.
 """
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.metrics.timeline import Timeline
+from repro.telemetry.spans import BEGIN, END, INSTANT, SpanEvent
 
 _MICRO = 1_000_000  # trace events use microseconds
 
 _PIPELINE_TID = 0
 _GPU_TID = 1
+
+#: pid used for the per-sample span rows (pid 0 is the batch timeline).
+_SPANS_PID = 1
 
 
 def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dict]:
@@ -59,8 +69,99 @@ def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dic
     return events
 
 
-def write_chrome_trace(timeline: Timeline, path: str, job: str = "train") -> None:
-    """Write a ``chrome://tracing``-loadable JSON file."""
-    document = {"traceEvents": timeline_to_trace_events(timeline, job=job)}
+def spans_to_trace_events(
+    spans: Sequence[SpanEvent], pid: int = _SPANS_PID
+) -> List[Dict]:
+    """Render telemetry span events as nested trace-event rows.
+
+    Each distinct trace id becomes one thread (tid assigned in first-seen
+    order, so identical runs produce identical documents).  BEGIN/END
+    pairs match innermost-first per (trace, name) and emit "X" complete
+    events; INSTANT events emit thread-scoped "i" records.  An unmatched
+    BEGIN is closed at the last timestamp seen on its trace.
+    """
+    tids: Dict[str, int] = {}
+    for event in spans:
+        tids.setdefault(event.trace_id, len(tids))
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": "samples (virtual time)"}},
+    ]
+    for trace, tid in tids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": trace}}
+        )
+    open_spans: Dict[str, List[SpanEvent]] = {}
+    last_t: Dict[str, float] = {}
+    for event in spans:
+        last_t[event.trace_id] = event.t_s
+        if event.phase == BEGIN:
+            open_spans.setdefault(f"{event.trace_id}\0{event.name}", []).append(event)
+        elif event.phase == END:
+            stack = open_spans.get(f"{event.trace_id}\0{event.name}")
+            if not stack:
+                continue  # END without BEGIN: drop rather than invent a span
+            begin = stack.pop()
+            args = dict(begin.attrs)
+            args.update(event.attrs)
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[event.trace_id],
+                    "ts": int(begin.t_s * _MICRO),
+                    "dur": max(0, int((event.t_s - begin.t_s) * _MICRO)),
+                    "args": args,
+                }
+            )
+        elif event.phase == INSTANT:
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tids[event.trace_id],
+                    "ts": int(event.t_s * _MICRO),
+                    "args": dict(event.attrs),
+                }
+            )
+    for key, stack in open_spans.items():
+        trace = key.split("\0", 1)[0]
+        for begin in stack:
+            events.append(
+                {
+                    "name": begin.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[trace],
+                    "ts": int(begin.t_s * _MICRO),
+                    "dur": max(0, int((last_t[trace] - begin.t_s) * _MICRO)),
+                    "args": dict(begin.attrs),
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    timeline: Optional[Timeline],
+    path: str,
+    job: str = "train",
+    spans: Optional[Sequence[SpanEvent]] = None,
+) -> None:
+    """Write a ``chrome://tracing``-loadable JSON file.
+
+    timeline: per-batch rows (may be None when only spans are wanted).
+    spans: optional telemetry span events, rendered as a second process
+        with one thread row per trace id.
+    """
+    events: List[Dict] = []
+    if timeline is not None:
+        events.extend(timeline_to_trace_events(timeline, job=job))
+    if spans is not None:
+        events.extend(spans_to_trace_events(spans))
+    document = {"traceEvents": events}
     with open(path, "w") as handle:
-        json.dump(document, handle)
+        json.dump(document, handle, sort_keys=True)

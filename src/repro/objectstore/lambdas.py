@@ -17,6 +17,8 @@ from repro.objectstore.store import Bucket
 from repro.preprocessing.payload import Payload
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.messages import FetchRequest, FetchResponse
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.spans import Tracer, trace_id
 
 
 class LambdaError(Exception):
@@ -62,6 +64,11 @@ class LambdaRegistry:
         if lambda_name not in self._lambdas:
             raise LambdaError(f"no lambda named {lambda_name!r}")
         self.invocations[lambda_name] = self.invocations.get(lambda_name, 0) + 1
+        get_default_registry().counter(
+            "lambda_invocations_total",
+            "object lambda invocations by lambda name",
+            labels=["name"],
+        ).inc(name=lambda_name)
         try:
             result = self._lambdas[lambda_name](raw, dict(args or {}))
         except LambdaError:
@@ -82,6 +89,11 @@ class LambdaRegistry:
 
     def _record_failure(self, lambda_name: str, key: str) -> None:
         self.failures[lambda_name] = self.failures.get(lambda_name, 0) + 1
+        get_default_registry().counter(
+            "lambda_failures_total",
+            "object lambda failures by lambda name",
+            labels=["name"],
+        ).inc(name=lambda_name)
         logger.warning(
             "object lambda %r failed on key %r (%d failure(s) so far)",
             lambda_name,
@@ -104,6 +116,7 @@ class PreprocessingLambda:
 
     pipeline: Pipeline
     seed: int = 0
+    tracer: Optional[Tracer] = None
 
     #: Registry name used by :func:`install`.
     NAME = "sophon-preprocess"
@@ -121,12 +134,21 @@ class PreprocessingLambda:
             raise LambdaError(
                 f"split {split} out of range for {len(self.pipeline)}-op pipeline"
             )
+        trace = trace_id(sample_id, epoch)
         payload = Payload.encoded(raw, height=height, width=width)
         if split > 0:
+            if self.tracer is not None:
+                self.tracer.begin(trace, "lambda.prefix", split=split)
             run = self.pipeline.run(
                 payload, seed=self.seed, epoch=epoch, sample_id=sample_id, stop=split
             )
             payload = run.payload
+            get_default_registry().counter(
+                "lambda_cpu_seconds_total",
+                "storage CPU spent inside the preprocessing lambda",
+            ).inc(run.total_cost_s)
+            if self.tracer is not None:
+                self.tracer.end(trace, "lambda.prefix", cpu_s=run.total_cost_s)
         request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
         return FetchResponse.from_payload(request, payload, height, width).to_bytes()
 

@@ -12,9 +12,11 @@ model tied to their machine instead.
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
+
+from repro.telemetry.clock import Clock
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,22 +93,31 @@ class CostModel:
 DEFAULT_COST_MODEL = CostModel()
 
 
-def _measure(fn, *args, repeats: int = 3) -> float:
+def _measure(
+    fn: Callable[..., object],
+    *args: object,
+    repeats: int = 3,
+    timer: Clock = time.perf_counter,
+) -> float:
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = timer()
         fn(*args)
-        best = min(best, time.perf_counter() - start)
+        best = min(best, timer() - start)
     return best
 
 
-def calibrate(image_side: int = 512, repeats: int = 3) -> Dict[str, OpCost]:
-    """Measure real wall-clock op costs on this machine.
+def calibrate(
+    image_side: int = 512, repeats: int = 3, timer: Clock = time.perf_counter
+) -> Dict[str, OpCost]:
+    """Measure real op costs on this machine.
 
     Returns a cost table in the same shape as :data:`DEFAULT_OP_COSTS`,
     attributing each op's measured time to its dominant per-pixel term.
     This exists so the virtual-clock constants can be re-grounded; the
-    shipped defaults were produced the same way and then rounded.
+    shipped defaults were produced the same way and then rounded.  The
+    timer is injectable (:data:`~repro.telemetry.clock.Clock` protocol) so
+    tests calibrate against a deterministic clock.
     """
     from repro.codec import CodecConfig, ToyJpegCodec
     from repro.preprocessing.resize import resize_bilinear
@@ -117,17 +128,20 @@ def calibrate(image_side: int = 512, repeats: int = 3) -> Dict[str, OpCost]:
     codec = ToyJpegCodec(CodecConfig())
     encoded = codec.encode(image)
 
-    decode_s = _measure(codec.decode, encoded, repeats=repeats)
-    resize_s = _measure(resize_bilinear, image, 224, 224, repeats=repeats)
-    flip_s = _measure(lambda a: np.ascontiguousarray(a[:, ::-1]), image, repeats=repeats)
+    decode_s = _measure(codec.decode, encoded, repeats=repeats, timer=timer)
+    resize_s = _measure(resize_bilinear, image, 224, 224, repeats=repeats, timer=timer)
+    flip_s = _measure(lambda a: np.ascontiguousarray(a[:, ::-1]), image, repeats=repeats, timer=timer)
     small = image[:224, :224]
     to_tensor_s = _measure(
-        lambda a: (a.astype(np.float32) / 255.0).transpose(2, 0, 1), small, repeats=repeats
+        lambda a: (a.astype(np.float32) / 255.0).transpose(2, 0, 1),
+        small,
+        repeats=repeats,
+        timer=timer,
     )
     tensor = (small.astype(np.float32) / 255.0).transpose(2, 0, 1)
     mean = np.array([0.485, 0.456, 0.406], dtype=np.float32).reshape(3, 1, 1)
     std = np.array([0.229, 0.224, 0.225], dtype=np.float32).reshape(3, 1, 1)
-    normalize_s = _measure(lambda t: (t - mean) / std, tensor, repeats=repeats)
+    normalize_s = _measure(lambda t: (t - mean) / std, tensor, repeats=repeats, timer=timer)
 
     out_pixels = 224 * 224
     return {

@@ -8,14 +8,22 @@ half-open and admits exactly one probe fetch: success closes it, failure
 re-opens it and restarts the recovery timer.
 
 The clock is injectable so tests (and simulations) drive the state machine
-without real waiting.
+without real waiting.  Every state transition is kept in
+:attr:`CircuitBreaker.transitions` -- the full closed -> open -> half-open
+history with virtual timestamps, not just the current state -- and is
+reported as telemetry: a ``breaker.transition`` span event on the optional
+tracer, plus ``breaker_transitions_total`` on the default metrics
+registry.
 """
 
 import dataclasses
 import enum
 import logging
 import time
-from typing import Callable, Optional, Tuple, Type, TypeVar
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.spans import Tracer
 
 logger = logging.getLogger(__name__)
 
@@ -47,6 +55,16 @@ class BreakerStats:
     rejections: int = 0
 
 
+@dataclasses.dataclass(frozen=True)
+class BreakerTransition:
+    """One edge of the breaker state machine, stamped in virtual time."""
+
+    from_state: BreakerState
+    to_state: BreakerState
+    at_s: float
+    reason: str
+
+
 class BreakerOpenError(Exception):
     """The breaker is open; the call was not attempted."""
 
@@ -59,6 +77,8 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         recovery_time_s: float = 30.0,
         clock: Optional[Callable[[], float]] = None,
+        tracer: Optional[Tracer] = None,
+        trace: str = "breaker",
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -74,6 +94,37 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probe_in_flight = False
         self.stats = BreakerStats()
+        self.tracer = tracer
+        self.trace = trace
+        #: Every state change since construction, in order (the audit
+        #: trail a bare ``state`` property cannot give you).
+        self.transitions: List[BreakerTransition] = []
+
+    def _transition(self, to_state: BreakerState, reason: str) -> None:
+        transition = BreakerTransition(
+            from_state=self._state,
+            to_state=to_state,
+            at_s=self._clock(),
+            reason=reason,
+        )
+        self._state = to_state
+        self.transitions.append(transition)
+        get_default_registry().counter(
+            "breaker_transitions_total",
+            "circuit breaker state transitions",
+            labels=["from_state", "to_state"],
+        ).inc(
+            from_state=transition.from_state.value,
+            to_state=transition.to_state.value,
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.trace,
+                "breaker.transition",
+                from_state=transition.from_state.value,
+                to_state=transition.to_state.value,
+                reason=reason,
+            )
 
     @property
     def state(self) -> BreakerState:
@@ -82,7 +133,7 @@ class CircuitBreaker:
             self._state is BreakerState.OPEN
             and self._clock() - self._opened_at >= self.recovery_time_s
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN, reason="cooldown-elapsed")
             self._probe_in_flight = False
         return self._state
 
@@ -107,22 +158,28 @@ class CircuitBreaker:
         self.stats.successes += 1
         self._consecutive_failures = 0
         self._probe_in_flight = False
-        self._state = BreakerState.CLOSED
+        if self._state is not BreakerState.CLOSED:
+            self._transition(
+                BreakerState.CLOSED,
+                reason="probe-succeeded"
+                if self._state is BreakerState.HALF_OPEN
+                else "success",
+            )
 
     def record_failure(self) -> None:
         self.stats.failures += 1
         self._consecutive_failures += 1
         state = self.state
         if state is BreakerState.HALF_OPEN:
-            self._trip()  # the probe failed: back to OPEN, timer restarted
+            self._trip(reason="probe-failed")  # back to OPEN, timer restarted
         elif (
             state is BreakerState.CLOSED
             and self._consecutive_failures >= self.failure_threshold
         ):
-            self._trip()
+            self._trip(reason="failure-threshold")
 
-    def _trip(self) -> None:
-        self._state = BreakerState.OPEN
+    def _trip(self, reason: str) -> None:
+        self._transition(BreakerState.OPEN, reason=reason)
         self._opened_at = self._clock()
         self._probe_in_flight = False
         self.stats.opens += 1

@@ -21,6 +21,8 @@ from typing import Callable, Optional, Tuple, Type
 from repro.preprocessing.payload import Payload
 from repro.rpc.fetcher import SupportsFetch
 from repro.rpc.messages import ChecksumError
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.spans import Tracer, trace_id
 
 
 class FetchFailedError(Exception):
@@ -76,6 +78,7 @@ class RetryingClient:
         sleep: Optional[Callable[[float], None]] = None,
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -94,6 +97,7 @@ class RetryingClient:
         self._clock = clock if clock is not None else time.monotonic
         self._rng = random.Random(seed)
         self.stats = RetryStats()
+        self.tracer = tracer
 
     def backoff_delay(self, retry_index: int) -> float:
         """The delay before re-attempt ``retry_index`` (0-based)."""
@@ -103,7 +107,31 @@ class RetryingClient:
         return self._rng.uniform(0.0, cap)
 
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
+        trace = trace_id(sample_id, epoch)
+        if self.tracer is not None:
+            self.tracer.begin(trace, "rpc.fetch", split=split)
+        try:
+            payload = self._fetch(trace, sample_id, epoch, split)
+        except BaseException as exc:
+            if self.tracer is not None:
+                self.tracer.end(
+                    trace, "rpc.fetch", outcome="error", error=type(exc).__name__
+                )
+            raise
+        if self.tracer is not None:
+            self.tracer.end(trace, "rpc.fetch", outcome="ok")
+        return payload
+
+    def _fetch(
+        self, trace: str, sample_id: int, epoch: int, split: int
+    ) -> Payload:
+        registry = get_default_registry()
+        attempts_total = registry.counter(
+            "rpc_fetch_attempts_total",
+            "individual fetch attempts, including the failing last one",
+        )
         self.stats.fetches += 1
+        registry.counter("rpc_fetches_total", "fetches through RetryingClient").inc()
         started = self._clock()
         last_error = None
         deadline_hit = False
@@ -118,12 +146,28 @@ class RetryingClient:
                 if delay > 0:
                     self._sleep(delay)
                     self.stats.backoff_s += delay
+                    registry.counter(
+                        "rpc_backoff_seconds_total", "time spent in retry backoff"
+                    ).inc(delay)
                 self.stats.retries += 1
+                registry.counter(
+                    "rpc_fetch_retries_total", "re-attempts after a transient error"
+                ).inc()
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        trace, "rpc.retry", attempt=attempt, backoff_s=delay
+                    )
             self.stats.attempts += 1
+            attempts_total.inc()
             try:
                 return self.inner.fetch(sample_id, epoch, split)
             except self.retryable as exc:
                 last_error = exc
+                registry.counter(
+                    "rpc_fetch_errors_total",
+                    "retryable attempt errors by exception type",
+                    labels=["error"],
+                ).inc(error=type(exc).__name__)
                 if isinstance(exc, ChecksumError):
                     self.stats.checksum_failures += 1
                 if (
@@ -136,6 +180,9 @@ class RetryingClient:
                         f"deadline after {attempt + 1} attempts"
                     ) from exc
         self.stats.failures += 1
+        registry.counter(
+            "rpc_fetch_failures_total", "fetches that exhausted their budget"
+        ).inc()
         if deadline_hit or (
             self.deadline_s is not None
             and self._clock() - started >= self.deadline_s

@@ -7,17 +7,25 @@ shared per-(seed, epoch, sample, op) derivation, so the client's remaining
 ops continue the exact stream a local run would have used.
 """
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.data.dataset import Dataset
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.spans import Tracer, trace_id
 
 
 class StorageServer:
     """Serves one dataset through one preprocessing pipeline."""
 
-    def __init__(self, dataset: Dataset, pipeline: Pipeline, seed: int = 0) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if not dataset.is_materialized:
             raise ValueError(
                 "StorageServer needs a materialized dataset (trace datasets "
@@ -26,6 +34,7 @@ class StorageServer:
         self.dataset = dataset
         self.pipeline = pipeline
         self.seed = seed
+        self.tracer = tracer
         # Served-op accounting (per split point), for tests and reports.
         self.requests_served = 0
         self.ops_executed = 0
@@ -46,9 +55,13 @@ class StorageServer:
             raise ProtocolError(
                 f"split {request.split} exceeds pipeline length {len(self.pipeline)}"
             )
+        registry = get_default_registry()
+        trace = trace_id(request.sample_id, request.epoch)
         payload = self.dataset.raw_payload(request.sample_id)
         meta = self.dataset.raw_meta(request.sample_id)
         if request.split > 0:
+            if self.tracer is not None:
+                self.tracer.begin(trace, "server.prefix", split=request.split)
             run = self.pipeline.run(
                 payload,
                 seed=self.seed,
@@ -59,6 +72,18 @@ class StorageServer:
             payload = run.payload
             self.ops_executed += len(run.stages)
             self.cpu_seconds += run.total_cost_s
+            registry.counter(
+                "server_cpu_seconds_total", "storage CPU spent executing prefixes"
+            ).inc(run.total_cost_s)
+            registry.counter(
+                "server_ops_executed_total", "preprocessing ops run server-side"
+            ).inc(len(run.stages))
+            if self.tracer is not None:
+                self.tracer.end(trace, "server.prefix", cpu_s=run.total_cost_s)
         self.requests_served += 1
         self.splits_served[request.split] = self.splits_served.get(request.split, 0) + 1
+        registry.counter(
+            "server_requests_total", "fetch requests served by split",
+            labels=["split"],
+        ).inc(split=request.split)
         return FetchResponse.from_payload(request, payload, meta.height, meta.width)

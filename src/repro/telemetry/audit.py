@@ -1,0 +1,238 @@
+"""The decision audit log: why each sample got the split it got.
+
+SOPHON's contribution is a per-sample decision, so the audit unit is the
+sample: every :class:`DecisionRecord` captures the candidate splits the
+engine saw (serialized size, prefix CPU cost, bytes saved, per-split
+efficiency), the sample's rank in the efficiency ordering, the budget
+state (the analytic epoch estimate) at the moment the engine considered
+it, and the outcome.  ``sophon-repro audit <sample-id>`` renders one
+record end-to-end; exporters serialize the whole log to JSONL.
+"""
+
+import dataclasses
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Outcome vocabulary for one sample's decision.
+OFFLOADED = "offloaded"
+SKIPPED_WOULD_WORSEN = "skipped-would-worsen"
+NOT_BENEFICIAL = "not-beneficial"
+PLANNING_STOPPED = "planning-stopped"
+
+_OUTCOMES = (OFFLOADED, SKIPPED_WOULD_WORSEN, NOT_BENEFICIAL, PLANNING_STOPPED)
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateSplit:
+    """One possible split point for one sample, as the engine costed it."""
+
+    split: int
+    size_bytes: int
+    prefix_cpu_s: float
+    savings_bytes: int
+
+    @property
+    def efficiency(self) -> float:
+        """Bytes saved per CPU-second of offloaded work at this split."""
+        if self.split == 0 or self.savings_bytes <= 0:
+            return 0.0
+        if self.prefix_cpu_s <= 0.0:
+            return float("inf")
+        return self.savings_bytes / self.prefix_cpu_s
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetState:
+    """The analytic budget at the moment a sample was considered."""
+
+    accepted_samples: int
+    epoch_estimate_s: float
+    bottleneck: str
+    network_bound: bool
+    storage_cpu_s: float
+    traffic_bytes: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionRecord:
+    """The full story of one sample's offload decision."""
+
+    sample_id: int
+    candidates: Tuple[CandidateSplit, ...]
+    chosen_split: int
+    best_split: int
+    efficiency: float
+    #: 1-based position in the engine's candidate ordering; None when the
+    #: sample never entered the ordering (no positive-efficiency split).
+    efficiency_rank: Optional[int]
+    outcome: str
+    reason: str
+    budget: Optional[BudgetState] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome not in _OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {_OUTCOMES}, got {self.outcome!r}"
+            )
+
+    def candidate_at(self, split: int) -> CandidateSplit:
+        for candidate in self.candidates:
+            if candidate.split == split:
+                return candidate
+        raise KeyError(f"sample {self.sample_id} has no candidate split {split}")
+
+
+class AuditLog:
+    """Per-sample decision records for one planning pass."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, DecisionRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, sample_id: int) -> bool:
+        return sample_id in self._records
+
+    def __iter__(self) -> Iterator[DecisionRecord]:
+        for sample_id in sorted(self._records):
+            yield self._records[sample_id]
+
+    def add(self, record: DecisionRecord) -> None:
+        if record.sample_id in self._records:
+            raise ValueError(f"sample {record.sample_id} already audited")
+        self._records[record.sample_id] = record
+
+    def get(self, sample_id: int) -> DecisionRecord:
+        try:
+            return self._records[sample_id]
+        except KeyError:
+            raise KeyError(
+                f"no decision record for sample {sample_id}; audited samples: "
+                f"{len(self._records)}"
+            ) from None
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    # -- rendering ---------------------------------------------------------
+
+    def explain(self, sample_id: int) -> str:
+        """A human-readable account of one sample's decision."""
+        record = self.get(sample_id)
+        lines = [f"sample {record.sample_id}: {record.outcome} ({record.reason})"]
+        rank = (
+            f"#{record.efficiency_rank}" if record.efficiency_rank is not None
+            else "unranked"
+        )
+        lines.append(
+            f"  best split {record.best_split}, chosen split "
+            f"{record.chosen_split}, efficiency {_fmt_eff(record.efficiency)} "
+            f"bytes/cpu-s (rank {rank})"
+        )
+        lines.append("  candidate splits:")
+        lines.append(
+            "    split    size(B)   saved(B)   prefix-cpu(s)   efficiency"
+        )
+        for cand in record.candidates:
+            marker = " <- chosen" if cand.split == record.chosen_split else ""
+            lines.append(
+                f"    {cand.split:>5}   {cand.size_bytes:>8}   "
+                f"{cand.savings_bytes:>8}   {cand.prefix_cpu_s:>13.6f}   "
+                f"{_fmt_eff(cand.efficiency):>10}{marker}"
+            )
+        if record.budget is not None:
+            b = record.budget
+            lines.append(
+                f"  budget at decision time: {b.accepted_samples} samples "
+                f"already offloaded, expected epoch {b.epoch_estimate_s:.3f}s, "
+                f"bottleneck {b.bottleneck} "
+                f"({'network-bound' if b.network_bound else 'not network-bound'}), "
+                f"storage CPU {b.storage_cpu_s:.3f}s, "
+                f"traffic {b.traffic_bytes / 1e6:.2f}MB"
+            )
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """JSON-ready dicts, sorted by sample id (for the JSONL exporter)."""
+        out: List[Dict[str, object]] = []
+        for record in self:
+            out.append(
+                {
+                    "sample_id": record.sample_id,
+                    "candidates": [
+                        {
+                            "split": c.split,
+                            "size_bytes": c.size_bytes,
+                            "prefix_cpu_s": c.prefix_cpu_s,
+                            "savings_bytes": c.savings_bytes,
+                        }
+                        for c in record.candidates
+                    ],
+                    "chosen_split": record.chosen_split,
+                    "best_split": record.best_split,
+                    "efficiency": _json_float(record.efficiency),
+                    "efficiency_rank": record.efficiency_rank,
+                    "outcome": record.outcome,
+                    "reason": record.reason,
+                    "budget": None
+                    if record.budget is None
+                    else dataclasses.asdict(record.budget),
+                }
+            )
+        return out
+
+    @classmethod
+    def from_dicts(cls, dicts: List[Mapping[str, object]]) -> "AuditLog":
+        log = cls()
+        for entry in dicts:
+            budget_raw = entry.get("budget")
+            budget = (
+                BudgetState(**budget_raw)  # type: ignore[arg-type]
+                if isinstance(budget_raw, dict)
+                else None
+            )
+            log.add(
+                DecisionRecord(
+                    sample_id=int(entry["sample_id"]),  # type: ignore[arg-type]
+                    candidates=tuple(
+                        CandidateSplit(**c) for c in entry["candidates"]  # type: ignore[union-attr]
+                    ),
+                    chosen_split=int(entry["chosen_split"]),  # type: ignore[arg-type]
+                    best_split=int(entry["best_split"]),  # type: ignore[arg-type]
+                    efficiency=_parse_float(entry["efficiency"]),
+                    efficiency_rank=(
+                        None
+                        if entry["efficiency_rank"] is None
+                        else int(entry["efficiency_rank"])  # type: ignore[arg-type]
+                    ),
+                    outcome=str(entry["outcome"]),
+                    reason=str(entry["reason"]),
+                    budget=budget,
+                )
+            )
+        return log
+
+
+def _fmt_eff(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.1f}"
+
+
+def _json_float(value: float) -> object:
+    """JSON has no Infinity literal; encode it as a string sentinel."""
+    if value == float("inf"):
+        return "inf"
+    return value
+
+
+def _parse_float(value: object) -> float:
+    if isinstance(value, str):
+        return float(value)
+    assert isinstance(value, (int, float))
+    return float(value)

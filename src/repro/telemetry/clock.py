@@ -1,0 +1,75 @@
+"""The telemetry clock protocol: virtual time, injected everywhere.
+
+Every timestamp the telemetry layer emits comes from a ``Clock`` -- any
+zero-argument callable returning seconds as a float.  Nothing in
+:mod:`repro.telemetry` ever reads wall time; harnesses bind tracers to the
+simulator's virtual clock (``lambda: env.now``), unit tests bind them to a
+:class:`ManualClock`, and code with no natural time axis (the decision
+engine) uses a :class:`LogicalClock` whose "seconds" are just a
+deterministic event counter.  The same protocol is what
+:func:`repro.preprocessing.cost_model.calibrate` accepts as its injectable
+timer, which is what lets DET01 cover both packages.
+"""
+
+from typing import Callable
+
+#: Anything that yields the current time in (virtual) seconds.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    The test-side twin of the simulator's ``env.now``: start it anywhere,
+    ``advance`` it past timeouts, and every telemetry timestamp is exactly
+    the value you set.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_s: float) -> float:
+        """Move time forward; returns the new time."""
+        if delta_s < 0:
+            raise ValueError(f"cannot advance by {delta_s}; time moves forward")
+        self._now += delta_s
+        return self._now
+
+    def set(self, now_s: float) -> None:
+        if now_s < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {now_s}"
+            )
+        self._now = float(now_s)
+
+
+class LogicalClock:
+    """A clock whose time is an event counter: 0, step, 2*step, ...
+
+    For code with no time axis at all (plan construction happens "at once")
+    this still gives every event a strictly increasing, fully deterministic
+    timestamp, so ordering survives any export format.
+    """
+
+    def __init__(self, step_s: float = 1.0) -> None:
+        if step_s <= 0:
+            raise ValueError(f"step_s must be > 0, got {step_s}")
+        self.step_s = step_s
+        self._ticks = 0
+
+    def __call__(self) -> float:
+        now = self._ticks * self.step_s
+        self._ticks += 1
+        return now
+
+    @property
+    def ticks(self) -> int:
+        """How many timestamps have been handed out."""
+        return self._ticks

@@ -1,0 +1,353 @@
+"""The metrics registry: counters, gauges and histograms with label sets.
+
+Hot paths report into a process-local *default* registry
+(:func:`get_default_registry`); tests and harnesses swap it out with
+:func:`set_default_registry` or the :func:`use_registry` context manager so
+every run's numbers land in a registry the caller owns.  Snapshots are
+plain immutable mappings -- two snapshots from identically seeded runs
+compare equal, and :meth:`MetricsSnapshot.diff` isolates what one phase of
+a run contributed.
+
+Nothing here reads wall time or iterates unordered containers: series are
+keyed by (metric name, label values) and every export walks them sorted.
+"""
+
+import contextlib
+import dataclasses
+import threading
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: One series key: (metric name, ((label, value), ...)) with labels sorted.
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default histogram buckets, in seconds: spans micro-scale op costs to
+#: whole epochs.  Explicit on purpose -- bucket edges are part of the
+#: exported schema, so changing them is a visible decision.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0
+)
+
+
+class MetricError(Exception):
+    """A metric was declared or used inconsistently."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramValue:
+    """Immutable state of one histogram series.
+
+    ``bucket_counts`` has one entry per configured upper bound plus a final
+    +Inf overflow bucket; counts are cumulative-free (per-bucket), the
+    Prometheus cumulative form is derived at export time.
+    """
+
+    buckets: Tuple[float, ...]
+    bucket_counts: Tuple[int, ...]
+    sum: float
+    count: int
+
+    def diff(self, older: "HistogramValue") -> "HistogramValue":
+        if self.buckets != older.buckets:
+            raise MetricError("cannot diff histograms with different buckets")
+        return HistogramValue(
+            buckets=self.buckets,
+            bucket_counts=tuple(
+                new - old for new, old in zip(self.bucket_counts, older.bucket_counts)
+            ),
+            sum=self.sum - older.sum,
+            count=self.count - older.count,
+        )
+
+
+SeriesValue = Union[float, HistogramValue]
+
+
+def _label_key(
+    label_names: Sequence[str], labels: Mapping[str, object]
+) -> Tuple[Tuple[str, str], ...]:
+    if set(labels) != set(label_names):
+        raise MetricError(
+            f"labels {sorted(labels)} do not match declared names "
+            f"{sorted(label_names)}"
+        )
+    return tuple((name, str(labels[name])) for name in sorted(label_names))
+
+
+class Metric:
+    """Base class: one named metric owning many labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], SeriesValue]]:
+        """All (label key, value) pairs, sorted by label key."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count (events, bytes, retries)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease by {amount}")
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], SeriesValue]]:
+        return sorted(self._values.items())
+
+
+class Gauge(Metric):
+    """A value that goes up and down (queue depth, breaker state)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(self.label_names, labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], SeriesValue]]:
+        return sorted(self._values.items())
+
+
+class Histogram(Metric):
+    """A distribution over explicit bucket boundaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError(f"histogram {name} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricError(f"histogram {name} buckets must strictly increase")
+        self.buckets = bounds
+        self._counts: Dict[Tuple[Tuple[str, str], ...], List[int]] = {}
+        self._sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        self._totals: Dict[Tuple[Tuple[str, str], ...], int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(self.label_names, labels)
+        if key not in self._counts:
+            self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        index = len(self.buckets)  # +Inf overflow by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self._counts[key][index] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def value(self, **labels: object) -> HistogramValue:
+        key = _label_key(self.label_names, labels)
+        counts = self._counts.get(key, [0] * (len(self.buckets) + 1))
+        return HistogramValue(
+            buckets=self.buckets,
+            bucket_counts=tuple(counts),
+            sum=self._sums.get(key, 0.0),
+            count=self._totals.get(key, 0),
+        )
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], SeriesValue]]:
+        return sorted(
+            (key, self.value(**dict(key))) for key in self._counts
+        )
+
+    def restore(self, value: HistogramValue, **labels: object) -> None:
+        """Load one series' exact exported state (the JSONL replay path)."""
+        if value.buckets != self.buckets:
+            raise MetricError(
+                f"histogram {self.name!r} restore with mismatched buckets"
+            )
+        key = _label_key(self.label_names, labels)
+        if key in self._counts:
+            raise MetricError(
+                f"histogram {self.name!r} series {key} already populated"
+            )
+        self._counts[key] = list(value.bucket_counts)
+        self._sums[key] = value.sum
+        self._totals[key] = value.count
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable point-in-time copy of a registry's series.
+
+    ``kinds`` maps metric name to kind so exports can regenerate TYPE
+    lines; ``series`` maps :data:`SeriesKey` to the sampled value.
+    """
+
+    series: Mapping[SeriesKey, SeriesValue]
+    kinds: Mapping[str, str]
+
+    def value(self, name: str, **labels: object) -> SeriesValue:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.series[key]
+
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``older`` and this snapshot.
+
+        Counters and histograms subtract; gauges keep their newer value
+        (a gauge delta is rarely meaningful).
+        """
+        out: Dict[SeriesKey, SeriesValue] = {}
+        for key, value in self.series.items():
+            kind = self.kinds[key[0]]
+            if key not in older.series or kind == "gauge":
+                out[key] = value
+            elif isinstance(value, HistogramValue):
+                previous = older.series[key]
+                assert isinstance(previous, HistogramValue)
+                out[key] = value.diff(previous)
+            else:
+                previous = older.series[key]
+                assert isinstance(previous, float)
+                out[key] = value - previous
+        return MetricsSnapshot(series=out, kinds=dict(self.kinds))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return dict(self.series) == dict(other.series) and dict(self.kinds) == dict(
+            other.kinds
+        )
+
+
+class MetricsRegistry:
+    """Owns metrics by name; get-or-create with consistency checks."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Sequence[str],
+        **kwargs: object,
+    ) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if existing.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} re-declared with labels {tuple(labels)}, "
+                    f"was {existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._get_or_create(Counter, name, help, labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        metric = self._get_or_create(Gauge, name, help, labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+        assert isinstance(metric, Histogram)
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise MetricError(
+                f"histogram {name!r} re-declared with different buckets"
+            )
+        return metric
+
+    def metrics(self) -> List[Metric]:
+        """All registered metrics, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> MetricsSnapshot:
+        series: Dict[SeriesKey, SeriesValue] = {}
+        kinds: Dict[str, str] = {}
+        for metric in self.metrics():
+            kinds[metric.name] = metric.kind
+            for label_key, value in metric.series():
+                series[(metric.name, label_key)] = value
+        return MetricsSnapshot(series=series, kinds=kinds)
+
+
+# -- the process-local default registry -------------------------------------
+
+_default_lock = threading.Lock()
+_default_registry = MetricsRegistry()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The registry hot paths report into unless handed another one."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default; returns the previous registry."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Scope the default registry to ``registry`` (a fresh one if None)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)

@@ -1,0 +1,121 @@
+"""Per-sample spans: a lightweight trace context for the offload path.
+
+A sample's journey -- decision, RPC fetch (attempts, breaker transitions),
+server-side prefix execution, degraded-mode demotion, cache hit/miss -- is
+recorded as structured :class:`SpanEvent` objects under one ``trace_id``
+derived from (sample id, epoch).  Timestamps come from the tracer's
+injectable :data:`~repro.telemetry.clock.Clock`, so a tracer bound to the
+simulator's virtual clock produces byte-identical event streams across
+runs.
+
+Events are deliberately flat (no object graph): a begin/end pair brackets
+a phase, an instant marks a point event, and ``attrs`` carries the
+structured details.  Exporters pair them back up into nested chrome-trace
+spans.
+"""
+
+import contextlib
+import dataclasses
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.telemetry.clock import Clock, LogicalClock
+
+#: Event phases, mirroring the trace-event vocabulary.
+BEGIN = "B"
+END = "E"
+INSTANT = "I"
+
+
+def trace_id(sample_id: int, epoch: int) -> str:
+    """The canonical trace id for one sample in one epoch."""
+    return f"s{sample_id}-e{epoch}"
+
+
+def parse_trace_id(value: str) -> Tuple[int, int]:
+    """Invert :func:`trace_id`; raises ValueError on foreign ids."""
+    try:
+        sample_part, epoch_part = value.split("-", 1)
+        if sample_part[0] != "s" or epoch_part[0] != "e":
+            raise ValueError
+        return int(sample_part[1:]), int(epoch_part[1:])
+    except (ValueError, IndexError):
+        raise ValueError(f"not a sample trace id: {value!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanEvent:
+    """One structured event on one trace.
+
+    attrs values must be JSON-representable scalars (str/int/float/bool);
+    exporters serialize them with sorted keys so identical runs produce
+    identical bytes.
+    """
+
+    trace_id: str
+    name: str
+    phase: str  # BEGIN | END | INSTANT
+    t_s: float
+    attrs: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in (BEGIN, END, INSTANT):
+            raise ValueError(f"bad span phase {self.phase!r}")
+
+
+class Tracer:
+    """Collects span events, stamping them from an injectable clock.
+
+    The default clock is a :class:`LogicalClock`: with no time axis given,
+    events still carry strictly increasing deterministic timestamps.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock if clock is not None else LogicalClock()
+        self.events: List[SpanEvent] = []
+
+    def _emit(self, trace: str, name: str, phase: str, attrs: Dict[str, object]) -> SpanEvent:
+        event = SpanEvent(
+            trace_id=trace, name=name, phase=phase, t_s=self.clock(), attrs=attrs
+        )
+        self.events.append(event)
+        return event
+
+    def begin(self, trace: str, name: str, **attrs: object) -> SpanEvent:
+        """Open a phase on a trace (pair with :meth:`end`)."""
+        return self._emit(trace, name, BEGIN, dict(attrs))
+
+    def end(self, trace: str, name: str, **attrs: object) -> SpanEvent:
+        """Close the innermost open phase of this name on the trace."""
+        return self._emit(trace, name, END, dict(attrs))
+
+    def instant(self, trace: str, name: str, **attrs: object) -> SpanEvent:
+        """A point event: demotion, retry, breaker transition, cache hit."""
+        return self._emit(trace, name, INSTANT, dict(attrs))
+
+    @contextlib.contextmanager
+    def span(self, trace: str, name: str, **attrs: object) -> Iterator[None]:
+        """``with tracer.span(tid, "rpc.fetch"):`` brackets a phase."""
+        self.begin(trace, name, **attrs)
+        try:
+            yield
+        finally:
+            self.end(trace, name)
+
+    # -- queries -----------------------------------------------------------
+
+    def for_trace(self, trace: str) -> List[SpanEvent]:
+        """Every event on one trace, in emission order."""
+        return [e for e in self.events if e.trace_id == trace]
+
+    def for_sample(self, sample_id: int, epoch: int) -> List[SpanEvent]:
+        return self.for_trace(trace_id(sample_id, epoch))
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in first-seen order (deterministic)."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.events.clear()

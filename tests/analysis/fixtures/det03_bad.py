@@ -16,3 +16,18 @@ def tags() -> List[str]:
 
 def materialize(pending: List[str]) -> List[str]:
     return list(set(pending))  # finding: list() over a set
+
+
+def drain(ready: set) -> List[str]:
+    order = []
+    while ready:
+        order.append(ready.pop())  # finding: zero-arg pop
+    return order
+
+
+def evict(queue: dict) -> tuple:
+    return queue.popitem()  # finding: history-dependent popitem
+
+
+def key_order(queue: dict) -> List[str]:
+    return [k for k in queue.keys()]  # finding: bare .keys() snapshot

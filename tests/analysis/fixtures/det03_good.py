@@ -12,3 +12,21 @@ def plan_order(pending: List[str]) -> List[str]:
 
 def tags() -> List[str]:
     return [t for t in sorted({"crash", "brownout"})]
+
+
+def drain(ready: set) -> List[str]:
+    order = []
+    while ready:
+        smallest = min(ready)
+        ready.remove(smallest)  # explicit element: deterministic drain
+        order.append(smallest)
+    return order
+
+
+def evict(queue: dict) -> tuple:
+    key = sorted(queue)[0]
+    return key, queue.pop(key)  # keyed pop: order is pinned
+
+
+def key_order(queue: dict) -> List[str]:
+    return [k for k in sorted(queue.keys())]

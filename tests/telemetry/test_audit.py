@@ -1,0 +1,134 @@
+"""The decision audit log: records, rendering, serialization."""
+
+import pytest
+
+from repro.telemetry.audit import (
+    NOT_BENEFICIAL,
+    OFFLOADED,
+    SKIPPED_WOULD_WORSEN,
+    AuditLog,
+    BudgetState,
+    CandidateSplit,
+    DecisionRecord,
+)
+
+
+def make_record(sample_id=0, outcome=OFFLOADED, budget=None, efficiency=100.0):
+    candidates = (
+        CandidateSplit(split=0, size_bytes=1000, prefix_cpu_s=0.0, savings_bytes=0),
+        CandidateSplit(split=1, size_bytes=400, prefix_cpu_s=0.01, savings_bytes=600),
+    )
+    return DecisionRecord(
+        sample_id=sample_id,
+        candidates=candidates,
+        chosen_split=1,
+        best_split=1,
+        efficiency=efficiency,
+        efficiency_rank=1,
+        outcome=outcome,
+        reason="test",
+        budget=budget,
+    )
+
+
+class TestCandidateSplit:
+    def test_split_zero_has_zero_efficiency(self):
+        cand = CandidateSplit(split=0, size_bytes=10, prefix_cpu_s=0.0, savings_bytes=0)
+        assert cand.efficiency == 0.0
+
+    def test_negative_savings_have_zero_efficiency(self):
+        cand = CandidateSplit(split=1, size_bytes=10, prefix_cpu_s=0.1, savings_bytes=-5)
+        assert cand.efficiency == 0.0
+
+    def test_free_prefix_is_infinitely_efficient(self):
+        cand = CandidateSplit(split=1, size_bytes=10, prefix_cpu_s=0.0, savings_bytes=5)
+        assert cand.efficiency == float("inf")
+
+    def test_normal_ratio(self):
+        cand = CandidateSplit(split=1, size_bytes=10, prefix_cpu_s=0.5, savings_bytes=100)
+        assert cand.efficiency == pytest.approx(200.0)
+
+
+class TestDecisionRecord:
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(outcome="shrugged")
+
+    def test_candidate_at(self):
+        record = make_record()
+        assert record.candidate_at(1).size_bytes == 400
+        with pytest.raises(KeyError):
+            record.candidate_at(9)
+
+
+class TestAuditLog:
+    def test_duplicate_sample_rejected(self):
+        log = AuditLog()
+        log.add(make_record(sample_id=4))
+        with pytest.raises(ValueError):
+            log.add(make_record(sample_id=4))
+
+    def test_missing_sample_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            AuditLog().get(7)
+
+    def test_iterates_sorted_by_sample_id(self):
+        log = AuditLog()
+        for sample_id in (5, 1, 3):
+            log.add(make_record(sample_id=sample_id))
+        assert [r.sample_id for r in log] == [1, 3, 5]
+
+    def test_outcome_counts(self):
+        log = AuditLog()
+        log.add(make_record(sample_id=0, outcome=OFFLOADED))
+        log.add(make_record(sample_id=1, outcome=NOT_BENEFICIAL))
+        log.add(make_record(sample_id=2, outcome=NOT_BENEFICIAL))
+        assert log.outcome_counts() == {OFFLOADED: 1, NOT_BENEFICIAL: 2}
+
+    def test_explain_tells_the_whole_story(self):
+        budget = BudgetState(
+            accepted_samples=3,
+            epoch_estimate_s=1.25,
+            bottleneck="network",
+            network_bound=True,
+            storage_cpu_s=0.5,
+            traffic_bytes=2e6,
+        )
+        log = AuditLog()
+        log.add(make_record(sample_id=9, budget=budget))
+        text = log.explain(9)
+        assert "sample 9: offloaded" in text
+        assert "candidate splits:" in text
+        assert "<- chosen" in text
+        assert "3 samples already offloaded" in text
+        assert "network-bound" in text
+
+
+class TestSerialization:
+    def test_round_trip_preserves_records(self):
+        log = AuditLog()
+        log.add(make_record(sample_id=0))
+        log.add(
+            make_record(
+                sample_id=1,
+                outcome=SKIPPED_WOULD_WORSEN,
+                budget=BudgetState(
+                    accepted_samples=0,
+                    epoch_estimate_s=2.0,
+                    bottleneck="gpu",
+                    network_bound=False,
+                    storage_cpu_s=0.0,
+                    traffic_bytes=0.0,
+                ),
+            )
+        )
+        restored = AuditLog.from_dicts(log.to_dicts())
+        assert restored.to_dicts() == log.to_dicts()
+        assert restored.get(1).budget.bottleneck == "gpu"
+
+    def test_infinite_efficiency_survives_json(self):
+        log = AuditLog()
+        log.add(make_record(sample_id=0, efficiency=float("inf")))
+        dumped = log.to_dicts()
+        assert dumped[0]["efficiency"] == "inf"  # no bare Infinity in JSON
+        assert AuditLog.from_dicts(dumped).get(0).efficiency == float("inf")

@@ -1,0 +1,50 @@
+"""The audit subcommand and --telemetry-dir harness flags."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAuditCommand:
+    def test_explains_one_sample_end_to_end(self, capsys):
+        assert main(["--samples", "40", "audit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sample 3:" in out
+        assert "candidate splits:" in out
+        assert "simulated spans for sample 3" in out
+        assert "sample.fetch" in out
+
+    def test_out_of_range_sample_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--samples", "10", "audit", "999"])
+
+
+class TestTelemetryDirFlags:
+    def test_fig3_writes_artifacts(self, capsys, tmp_path):
+        assert main([
+            "--samples", "40", "fig3", "--telemetry-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written to" in out
+        assert (tmp_path / "fig3.metrics.prom").exists()
+        text = (tmp_path / "fig3.metrics.prom").read_text()
+        assert 'harness_epoch_time_seconds{run="sophon"}' in text
+
+    def test_fig4_writes_artifacts(self, tmp_path):
+        assert main([
+            "--samples", "30", "fig4", "--cores", "0", "2",
+            "--telemetry-dir", str(tmp_path),
+        ]) == 0
+        text = (tmp_path / "fig4.metrics.prom").read_text()
+        assert 'run="sophon@2c"' in text
+
+    def test_fig1d_writes_artifacts(self, tmp_path):
+        assert main([
+            "--samples", "40", "fig1d", "--telemetry-dir", str(tmp_path),
+        ]) == 0
+        text = (tmp_path / "fig1d.metrics.prom").read_text()
+        assert "harness_gpu_utilization" in text
+
+    def test_flags_are_optional(self, capsys, tmp_path):
+        assert main(["--samples", "40", "fig3"]) == 0
+        assert "telemetry written" not in capsys.readouterr().out

@@ -1,0 +1,186 @@
+"""Instrumented subsystems: breaker history, decision audit, trainer spans."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim
+from repro.core.decision import DecisionConfig, DecisionEngine
+from repro.core.policy import PolicyContext
+from repro.data.catalog import make_openimages
+from repro.faults import FaultSchedule
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.rpc.breaker import BreakerState, CircuitBreaker
+from repro.telemetry.audit import AuditLog
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.registry import use_registry
+from repro.telemetry.spans import INSTANT, Tracer
+from repro.workloads.models import get_model_profile
+
+
+def small_setup(samples=48, seed=7):
+    dataset = make_openimages(num_samples=samples, seed=seed)
+    spec = standard_cluster()
+    model = get_model_profile("alexnet")
+    context = PolicyContext(
+        dataset=dataset,
+        pipeline=standard_pipeline(),
+        spec=spec,
+        model=model,
+        batch_size=8,
+        seed=seed,
+    )
+    return dataset, spec, model, context
+
+
+class TestBreakerTransitionHistory:
+    def test_full_cycle_is_recorded_with_timestamps_and_reasons(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with use_registry() as registry:
+            breaker = CircuitBreaker(
+                failure_threshold=2, recovery_time_s=10.0, clock=clock, tracer=tracer
+            )
+            breaker.record_failure()
+            clock.advance(1.0)
+            breaker.record_failure()  # trips OPEN at t=1
+            clock.advance(10.0)
+            assert breaker.state is BreakerState.HALF_OPEN  # t=11
+            assert breaker.allow()
+            breaker.record_success()  # closes
+
+        edges = [
+            (t.from_state, t.to_state, t.at_s, t.reason) for t in breaker.transitions
+        ]
+        assert edges == [
+            (BreakerState.CLOSED, BreakerState.OPEN, 1.0, "failure-threshold"),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN, 11.0, "cooldown-elapsed"),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED, 11.0, "probe-succeeded"),
+        ]
+        # the same edges surfaced as telemetry: counter series + instants
+        counter = registry.counter(
+            "breaker_transitions_total", labels=["from_state", "to_state"]
+        )
+        assert counter.value(from_state="closed", to_state="open") == 1.0
+        instants = [e for e in tracer.events if e.name == "breaker.transition"]
+        assert [e.phase for e in instants] == [INSTANT] * 3
+        assert instants[1].attrs["reason"] == "cooldown-elapsed"
+
+    def test_probe_failure_reopens_with_reason(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.transitions[-1].reason == "probe-failed"
+        assert breaker.transitions[-1].to_state is BreakerState.OPEN
+
+
+class TestDecisionAudit:
+    def test_every_sample_gets_a_record_and_offloads_match_the_plan(self):
+        dataset, spec, model, context = small_setup()
+        audit = AuditLog()
+        plan = DecisionEngine(DecisionConfig()).plan(
+            context.records(), spec,
+            gpu_time_s=context.epoch_gpu_time_s, audit=audit,
+        )
+        assert len(audit) == len(dataset)
+        offloaded = {r.sample_id for r in audit if r.outcome == "offloaded"}
+        assert offloaded == {
+            i for i, split in enumerate(plan.splits) if split > 0
+        }
+        for record in audit:
+            assert record.chosen_split == plan.splits[record.sample_id]
+            assert record.reason
+
+    def test_offloaded_records_carry_budget_and_rank(self):
+        _, spec, _, context = small_setup()
+        audit = AuditLog()
+        DecisionEngine(DecisionConfig()).plan(
+            context.records(), spec,
+            gpu_time_s=context.epoch_gpu_time_s, audit=audit,
+        )
+        offloaded = [r for r in audit if r.outcome == "offloaded"]
+        assert offloaded, "expected some offloads in the standard setup"
+        for record in offloaded:
+            assert record.budget is not None
+            assert record.budget.network_bound
+            assert record.efficiency_rank is not None
+            assert record.candidate_at(record.chosen_split).savings_bytes > 0
+
+    def test_audit_is_optional_and_changes_nothing(self):
+        _, spec, _, context = small_setup()
+        engine = DecisionEngine(DecisionConfig())
+        bare = engine.plan(context.records(), spec, gpu_time_s=context.epoch_gpu_time_s)
+        audited = engine.plan(
+            context.records(), spec,
+            gpu_time_s=context.epoch_gpu_time_s, audit=AuditLog(),
+        )
+        assert list(bare.splits) == list(audited.splits)
+
+
+class TestTrainerSpans:
+    def test_recording_spans_never_changes_the_simulation(self):
+        dataset, spec, model, context = small_setup()
+        trainer = TrainerSim(dataset, context.pipeline, model, spec, batch_size=8, seed=7)
+        plain = trainer.run_epoch(None, epoch=1)
+        traced = trainer.run_epoch(None, epoch=1, record_spans=True)
+        assert traced.epoch_time_s == plain.epoch_time_s
+        assert traced.traffic_bytes == plain.traffic_bytes
+        assert traced.spans is not None and plain.spans is None
+
+    def test_every_sample_gets_a_bracketed_fetch_span(self):
+        dataset, spec, model, context = small_setup()
+        trainer = TrainerSim(dataset, context.pipeline, model, spec, batch_size=8, seed=7)
+        stats = trainer.run_epoch(None, epoch=1, record_spans=True)
+        for sample_id in range(len(dataset)):
+            events = stats.spans.for_sample(sample_id, 1)
+            names = [(e.name, e.phase) for e in events]
+            assert ("sample.fetch", "B") in names
+            assert ("sample.fetch", "E") in names
+
+    def test_timestamps_are_virtual_and_bounded_by_the_epoch(self):
+        dataset, spec, model, context = small_setup()
+        trainer = TrainerSim(dataset, context.pipeline, model, spec, batch_size=8, seed=7)
+        stats = trainer.run_epoch(None, epoch=1, record_spans=True)
+        assert all(0.0 <= e.t_s <= stats.epoch_time_s for e in stats.spans.events)
+
+    def test_faulty_epoch_emits_fault_instants(self):
+        import dataclasses
+
+        dataset, spec, model, _ = small_setup()
+        # Shallow prefetch staggers offloads across the epoch, so the
+        # crash window finds storage work in flight (as make chaos does).
+        spec = dataclasses.replace(spec, prefetch_batches=2)
+        context = PolicyContext(
+            dataset=dataset,
+            pipeline=standard_pipeline(),
+            spec=spec,
+            model=model,
+            batch_size=8,
+            seed=7,
+        )
+        plan = DecisionEngine(DecisionConfig()).plan(
+            context.records(), spec, gpu_time_s=context.epoch_gpu_time_s
+        )
+        trainer = TrainerSim(dataset, context.pipeline, model, spec, batch_size=8, seed=7)
+        probe = trainer.run_epoch(list(plan.splits), epoch=1)
+        schedule = FaultSchedule(seed=7).with_crash(
+            0.3 * probe.epoch_time_s, duration=0.3 * probe.epoch_time_s
+        )
+        stats = trainer.run_epoch(
+            list(plan.splits), epoch=1, faults=schedule, record_spans=True
+        )
+        names = {e.name for e in stats.spans.events}
+        assert "fault.storage_down" in names or "fault.crash_interrupt" in names
+
+    def test_identical_seeds_emit_identical_span_streams(self):
+        dataset, spec, model, context = small_setup()
+
+        def run():
+            trainer = TrainerSim(
+                dataset, context.pipeline, model, spec, batch_size=8, seed=7
+            )
+            return trainer.run_epoch(None, epoch=1, record_spans=True).spans.events
+
+        assert run() == run()

@@ -1,0 +1,141 @@
+"""Metrics registry: counters/gauges/histograms, snapshots, the default."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    HistogramValue,
+    MetricError,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("events_total", labels=["kind"])
+        counter.inc(kind="hit")
+        counter.inc(3, kind="miss")
+        assert counter.value(kind="hit") == 1.0
+        assert counter.value(kind="miss") == 3.0
+
+    def test_unseen_series_reads_zero(self):
+        counter = MetricsRegistry().counter("events_total", labels=["kind"])
+        assert counter.value(kind="never") == 0.0
+
+    def test_counters_cannot_decrease(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_names_must_match_declaration(self):
+        counter = MetricsRegistry().counter("events_total", labels=["kind"])
+        with pytest.raises(MetricError):
+            counter.inc(colour="red")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13.0
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_bucket(self):
+        hist = MetricsRegistry().histogram("lat", buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(100.0)  # +Inf overflow
+        value = hist.value()
+        assert value.bucket_counts == (1, 1, 1)
+        assert value.count == 3
+        assert value.sum == pytest.approx(100.55)
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("lat", buckets=[1.0, 1.0])
+
+    def test_restore_refuses_populated_series(self):
+        hist = MetricsRegistry().histogram("lat", buckets=[1.0])
+        hist.observe(0.5)
+        with pytest.raises(MetricError):
+            hist.restore(
+                HistogramValue(buckets=(1.0,), bucket_counts=(1, 0), sum=0.5, count=1)
+            )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=["a"])
+        with pytest.raises(MetricError):
+            registry.counter("x", labels=["b"])
+
+    def test_histogram_rebucket_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[1.0])
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=[2.0])
+
+    def test_identical_usage_gives_equal_snapshots(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("c", labels=["k"]).inc(2, k="x")
+            registry.gauge("g").set(1.5)
+            registry.histogram("h", buckets=list(DEFAULT_BUCKETS)).observe(0.2)
+            return registry.snapshot()
+
+        assert build() == build()
+
+    def test_diff_subtracts_counters_and_keeps_gauges(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        counter.inc(5)
+        gauge.set(1)
+        older = registry.snapshot()
+        counter.inc(3)
+        gauge.set(9)
+        delta = registry.snapshot().diff(older)
+        assert delta.value("c") == 3.0
+        assert delta.value("g") == 9.0
+
+
+class TestDefaultRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_default_registry()
+        with use_registry() as scoped:
+            assert get_default_registry() is scoped
+            assert scoped is not outer
+        assert get_default_registry() is outer
+
+    def test_set_default_registry_returns_previous(self):
+        outer = get_default_registry()
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert previous is outer
+            assert get_default_registry() is fresh
+        finally:
+            set_default_registry(outer)

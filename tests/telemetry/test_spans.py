@@ -1,0 +1,99 @@
+"""Tracer and span events: ids, phases, clocks, queries."""
+
+import pytest
+
+from repro.telemetry.clock import LogicalClock, ManualClock
+from repro.telemetry.spans import (
+    BEGIN,
+    END,
+    INSTANT,
+    SpanEvent,
+    Tracer,
+    parse_trace_id,
+    trace_id,
+)
+
+
+class TestTraceId:
+    def test_round_trip(self):
+        assert trace_id(17, 3) == "s17-e3"
+        assert parse_trace_id("s17-e3") == (17, 3)
+
+    @pytest.mark.parametrize("bad", ["", "17-3", "sx-e1", "s1e2", "b0-e1"])
+    def test_foreign_ids_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_trace_id(bad)
+
+
+class TestTracer:
+    def test_events_stamp_from_the_injected_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        tracer.begin("s0-e1", "fetch", split=2)
+        clock.advance(1.5)
+        tracer.end("s0-e1", "fetch", bytes=42)
+        begin, end = tracer.events
+        assert (begin.phase, begin.t_s, begin.attrs) == (BEGIN, 0.0, {"split": 2})
+        assert (end.phase, end.t_s, end.attrs) == (END, 1.5, {"bytes": 42})
+
+    def test_instant(self):
+        tracer = Tracer(clock=ManualClock(3.0))
+        event = tracer.instant("s1-e0", "demote", reason="breaker-open")
+        assert event.phase == INSTANT
+        assert event.t_s == 3.0
+
+    def test_span_context_manager_pairs_begin_and_end(self):
+        tracer = Tracer()
+        with tracer.span("s0-e0", "work"):
+            tracer.instant("s0-e0", "tick")
+        assert [e.phase for e in tracer.events] == [BEGIN, INSTANT, END]
+
+    def test_default_logical_clock_is_strictly_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            tracer.instant("s0-e0", "tick")
+        stamps = [e.t_s for e in tracer.events]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            SpanEvent(trace_id="s0-e0", name="x", phase="Q", t_s=0.0)
+
+    def test_for_sample_filters_one_trace(self):
+        tracer = Tracer()
+        tracer.instant(trace_id(1, 0), "a")
+        tracer.instant(trace_id(2, 0), "b")
+        tracer.instant(trace_id(1, 0), "c")
+        names = [e.name for e in tracer.for_sample(1, 0)]
+        assert names == ["a", "c"]
+
+    def test_trace_ids_first_seen_order(self):
+        tracer = Tracer()
+        for sample in (3, 1, 2, 1, 3):
+            tracer.instant(trace_id(sample, 0), "tick")
+        assert tracer.trace_ids() == ["s3-e0", "s1-e0", "s2-e0"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.instant("s0-e0", "tick")
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestClocks:
+    def test_manual_clock_cannot_rewind(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_logical_clock_steps(self):
+        clock = LogicalClock(step_s=0.5)
+        assert [clock() for _ in range(3)] == [0.0, 0.5, 1.0]
+        assert clock.ticks == 3
+
+    def test_logical_clock_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            LogicalClock(step_s=0.0)
