@@ -20,8 +20,12 @@ lint:
 		mypy || echo "mypy findings are advisory for now (see ROADMAP.md)"; \
 	else echo "mypy not installed; skipping (CI installs it)"; fi
 
+#: Where `make bench` writes the profiling perf-regression report.
+BENCH_REPORT ?= BENCH_profiling.json
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m repro.parallel.bench --out $(BENCH_REPORT)
 
 figures:
 	$(PYTHON) -m repro.cli --samples 2000 --seed 7 all

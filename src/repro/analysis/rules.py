@@ -66,6 +66,7 @@ class NoWallClockRule(Rule):
             "repro.rpc",
             "repro.preprocessing",
             "repro.telemetry",
+            "repro.parallel",
         ],
         "banned": [
             "time.time",
@@ -220,6 +221,7 @@ class OrderedIterationRule(Rule):
             "repro.scheduler",
             "repro.faults",
             "repro.rpc",
+            "repro.parallel",
         ],
     }
 
@@ -511,6 +513,7 @@ class PublicApiAnnotatedRule(Rule):
             "repro.cluster",
             "repro.harness",
             "repro.telemetry",
+            "repro.parallel",
         ],
     }
     _CHECKED_DUNDERS = {"__init__", "__call__", "__post_init__"}

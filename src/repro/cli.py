@@ -11,7 +11,11 @@ Usage (installed as ``sophon-repro``)::
 
 ``fig1d``, ``fig3`` and ``fig4`` accept ``--telemetry-dir DIR`` to write
 the run's metrics as replayable JSONL and Prometheus text; ``audit``
-explains one sample's offload decision and its simulated journey.
+explains one sample's offload decision and its simulated journey;
+``replay`` renders a previously exported telemetry JSONL log without
+re-running anything.  Profiling-heavy commands accept ``--parallel``
+(e.g. ``vectorized`` or ``sharded:4``) to accelerate record building via
+:mod:`repro.parallel`; outputs are bit-identical in every mode.
 """
 
 import argparse
@@ -43,6 +47,19 @@ def _dataset(name: str, samples: Optional[int], seed: int):
     if name == "imagenet":
         return make_imagenet(num_samples=samples, seed=seed)
     raise SystemExit(f"unknown dataset {name!r}; pick openimages or imagenet")
+
+
+def _parallel(args: argparse.Namespace):
+    """The validated --parallel spec, or None for sequential."""
+    value = getattr(args, "parallel", None)
+    if value is None:
+        return None
+    from repro.parallel import ParallelConfig
+
+    try:
+        return ParallelConfig.parse(value)
+    except ValueError as exc:
+        raise SystemExit(f"bad --parallel value: {exc}")
 
 
 @contextlib.contextmanager
@@ -106,7 +123,7 @@ def cmd_fig1a(args: argparse.Namespace) -> None:
 def cmd_fig1b(args: argparse.Namespace) -> None:
     for name in ("openimages", "imagenet"):
         dataset = _dataset(name, args.samples, args.seed)
-        fractions = minstage_fractions(dataset, seed=args.seed)
+        fractions = minstage_fractions(dataset, seed=args.seed, parallel=_parallel(args))
         rows = [(stage, f"{frac:.1%}") for stage, frac in fractions.items()]
         print(f"[{dataset.name}] minimum-size stage fractions "
               f"(benefit: {benefit_fraction(fractions):.1%})")
@@ -116,7 +133,9 @@ def cmd_fig1b(args: argparse.Namespace) -> None:
 
 def cmd_fig1c(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
-    records = StageTwoProfiler().profile(dataset, standard_pipeline(), seed=args.seed)
+    records = StageTwoProfiler().profile(
+        dataset, standard_pipeline(), seed=args.seed, parallel=_parallel(args)
+    )
     print(f"[{dataset.name}] {efficiency_distribution(records)}")
 
 
@@ -143,7 +162,9 @@ def cmd_fig3(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
     cluster = standard_cluster(storage_cores=args.storage_cores)
     with _scoped_registry(args) as registry:
-        comparison = ample_cpu_comparison(dataset, cluster, seed=args.seed)
+        comparison = ample_cpu_comparison(
+            dataset, cluster, seed=args.seed, parallel=_parallel(args)
+        )
         if registry is not None:
             from repro.harness.telemetry import record_epoch_stats
 
@@ -161,7 +182,9 @@ def cmd_fig3(args: argparse.Namespace) -> None:
 def cmd_fig4(args: argparse.Namespace) -> None:
     dataset = _dataset(args.dataset, args.samples, args.seed)
     with _scoped_registry(args) as registry:
-        sweep = limited_cpu_sweep(dataset, cores=tuple(args.cores), seed=args.seed)
+        sweep = limited_cpu_sweep(
+            dataset, cores=tuple(args.cores), seed=args.seed, parallel=_parallel(args)
+        )
         if registry is not None:
             from repro.harness.telemetry import record_epoch_stats
 
@@ -195,6 +218,7 @@ def cmd_plan(args: argparse.Namespace) -> None:
         spec=spec,
         model=get_model_profile(args.model),
         seed=args.seed,
+        parallel=_parallel(args),
     )
     plan = Sophon().plan(context)
     print(f"[{dataset.name}] {plan.reason}")
@@ -220,7 +244,7 @@ def cmd_stalls(args: argparse.Namespace) -> None:
     model = get_model_profile(args.model)
     context = PolicyContext(
         dataset=dataset, pipeline=standard_pipeline(), spec=spec,
-        model=model, seed=args.seed,
+        model=model, seed=args.seed, parallel=_parallel(args),
     )
     plan = Sophon().plan(context)
     trainer = TrainerSim(dataset, context.pipeline, model, spec, seed=args.seed)
@@ -269,7 +293,7 @@ def cmd_audit(args: argparse.Namespace) -> None:
     model = get_model_profile(args.model)
     context = PolicyContext(
         dataset=dataset, pipeline=standard_pipeline(), spec=spec,
-        model=model, seed=args.seed,
+        model=model, seed=args.seed, parallel=_parallel(args),
     )
     audit = AuditLog()
     plan = DecisionEngine(DecisionConfig()).plan(
@@ -289,6 +313,52 @@ def cmd_audit(args: argparse.Namespace) -> None:
         attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
         line = f"  [{event.t_s:12.6f}] {event.phase} {event.name}"
         print(f"{line}  {attrs}" if attrs else line)
+
+
+def cmd_replay(args: argparse.Namespace) -> None:
+    """Render an exported telemetry JSONL log without re-running the sim."""
+    from repro.telemetry.exporters import read_jsonl, render_prometheus
+
+    try:
+        replayed = read_jsonl(args.log)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.log}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"cannot replay {args.log}: {exc}")
+
+    snapshot = replayed.registry.snapshot()
+    events = replayed.tracer.events
+    decisions = len(replayed.audit)
+    print(f"[{args.log}] {len(snapshot.series)} metric series, "
+          f"{len(events)} span events, {decisions} audit records")
+
+    if snapshot.series:
+        print("\nmetrics:")
+        print(render_prometheus(snapshot), end="")
+
+    if events:
+        traces = {event.trace_id for event in events}
+        print(f"\nspans: {len(events)} events across {len(traces)} traces")
+        shown = events if args.spans is None else events[: args.spans]
+        for event in shown:
+            attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+            line = f"  [{event.t_s:12.6f}] {event.phase:7s} {event.trace_id} {event.name}"
+            print(f"{line}  {attrs}" if attrs else line)
+        if len(shown) < len(events):
+            print(f"  ... {len(events) - len(shown)} more (raise --spans)")
+
+    if decisions:
+        counts = replayed.audit.outcome_counts()
+        summary = ", ".join(f"{name}={counts[name]}" for name in sorted(counts))
+        print(f"\naudit: {summary}")
+        if args.sample is not None:
+            print()
+            try:
+                print(replayed.audit.explain(args.sample))
+            except KeyError as exc:
+                raise SystemExit(str(exc))
+    elif args.sample is not None:
+        raise SystemExit(f"{args.log} carries no audit records to explain")
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -326,6 +396,15 @@ def cmd_all(args: argparse.Namespace) -> None:
     cmd_fig4(args)
 
 
+def _add_parallel_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--parallel",
+        default=None,
+        help="profiling execution mode: sequential, vectorized, sharded[:N] "
+        "(bit-identical records; see repro.parallel)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sophon-repro",
@@ -343,10 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig1a)
 
     p = sub.add_parser("fig1b", help="minimum-size stage fractions")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_fig1b)
 
     p = sub.add_parser("fig1c", help="offloading-efficiency distribution")
     p.add_argument("--dataset", default="openimages")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_fig1c)
 
     p = sub.add_parser("fig1d", help="GPU utilization by model")
@@ -360,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storage-cores", type=int, default=48)
     p.add_argument("--csv", help="also write the data as CSV to this path")
     p.add_argument("--telemetry-dir", help="write telemetry artifacts here")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_fig3)
 
     p = sub.add_parser("fig4", help="storage-core sweep")
@@ -367,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, nargs="+", default=[0, 1, 2, 3, 4, 5])
     p.add_argument("--csv", help="also write the data as CSV to this path")
     p.add_argument("--telemetry-dir", help="write telemetry artifacts here")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_fig4)
 
     p = sub.add_parser(
@@ -378,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storage-cores", type=int, default=48)
     p.add_argument("--epoch", type=int, default=1,
                    help="epoch to simulate for the span log (default 1)")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("plan", help="compute (and optionally save) a SOPHON plan")
@@ -385,16 +469,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="alexnet")
     p.add_argument("--storage-cores", type=int, default=48)
     p.add_argument("--save", help="write the plan as JSON to this path")
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("stalls", help="data-stall breakdown, no-off vs sophon")
     p.add_argument("--dataset", default="openimages")
     p.add_argument("--model", default="alexnet")
     p.add_argument("--storage-cores", type=int, default=48)
+    _add_parallel_flag(p)
     p.set_defaults(func=cmd_stalls)
 
     p = sub.add_parser("ext-llm", help="the section-5 LLM negative result")
     p.set_defaults(func=cmd_ext_llm)
+
+    p = sub.add_parser(
+        "replay", help="summarize an exported telemetry JSONL log"
+    )
+    p.add_argument("log", help="path to a telemetry .jsonl export")
+    p.add_argument("--sample", type=int, default=None,
+                   help="also explain this sample's audited decision")
+    p.add_argument("--spans", type=int, default=None,
+                   help="cap the span listing at this many events (default: all)")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="full markdown results report")
     p.add_argument("--out", help="write to this path instead of stdout")

@@ -18,8 +18,10 @@ from typing import List, Optional
 
 from repro.cluster.spec import ClusterSpec
 from repro.data.dataset import Dataset
+from repro.parallel import ParallelConfig, ParallelSpec, build_records
+from repro.parallel.vectorized import batch_total_costs, simulate_batch
 from repro.preprocessing.pipeline import Pipeline
-from repro.preprocessing.records import SampleRecord, build_record
+from repro.preprocessing.records import SampleRecord
 from repro.workloads.models import ModelProfile
 
 
@@ -68,7 +70,15 @@ class StageOneProfiler:
         model: ModelProfile,
         batch_size: Optional[int] = None,
         seed: int = 0,
+        parallel: ParallelSpec = None,
     ) -> ThroughputProbe:
+        """Probe the three throughputs.
+
+        ``parallel`` accelerates the CPU probe (setting 3) with the
+        vectorized batch simulator; the probe result is bit-identical to
+        the sequential loop's (the per-sample costs and the accumulation
+        order are both preserved exactly).
+        """
         batch_size = batch_size if batch_size is not None else model.batch_size
         num_probe = min(len(dataset), self.probe_batches * batch_size)
         if num_probe == 0:
@@ -87,11 +97,20 @@ class StageOneProfiler:
 
         # Setting 3: preprocess the cached probe data on the compute cores.
         cpu_seconds = 0.0
-        for sample_id in probe_ids:
-            run = pipeline.simulate(
-                dataset.raw_meta(sample_id), seed=seed, epoch=0, sample_id=sample_id
+        config = ParallelConfig.parse(parallel)
+        if config is not None and config.mode != "sequential":
+            metas = [dataset.raw_meta(i) for i in probe_ids]
+            _, costs = simulate_batch(
+                pipeline, metas, list(probe_ids), seed=seed, epoch=0
             )
-            cpu_seconds += run.total_cost_s
+            for total in batch_total_costs(costs):
+                cpu_seconds += total
+        else:
+            for sample_id in probe_ids:
+                run = pipeline.simulate(
+                    dataset.raw_meta(sample_id), seed=seed, epoch=0, sample_id=sample_id
+                )
+                cpu_seconds += run.total_cost_s
         cpu_seconds = cpu_seconds * spec.compute_cpu_factor / spec.compute_cores
         cpu_rate = batches / cpu_seconds if cpu_seconds > 0 else float("inf")
 
@@ -121,29 +140,27 @@ class StageTwoProfiler:
         pipeline: Pipeline,
         seed: int = 0,
         epoch: int = 0,
+        parallel: ParallelSpec = None,
     ) -> List[SampleRecord]:
+        """Build one record per sample.
+
+        ``parallel`` selects the metadata-path execution mode (see
+        :mod:`repro.parallel`); real-execution profiling touches actual
+        pixels and always runs the sequential loop.
+        """
         if self.use_real_execution and not dataset.is_materialized:
             raise ValueError("real-execution profiling needs a materialized dataset")
+        if not self.use_real_execution:
+            return build_records(
+                pipeline, dataset, seed=seed, epoch=epoch, parallel=parallel
+            )
         records = []
         for sample_id in dataset.sample_ids():
-            if self.use_real_execution:
-                payload = dataset.raw_payload(sample_id)
-                run = pipeline.run(
-                    payload, seed=seed, epoch=epoch, sample_id=sample_id
-                )
-                sizes = (payload.nbytes,) + tuple(s.out_meta.nbytes for s in run.stages)
-                costs = tuple(s.cost_s for s in run.stages)
-                records.append(
-                    SampleRecord(sample_id=sample_id, stage_sizes=sizes, op_costs=costs)
-                )
-            else:
-                records.append(
-                    build_record(
-                        pipeline,
-                        dataset.raw_meta(sample_id),
-                        sample_id,
-                        seed=seed,
-                        epoch=epoch,
-                    )
-                )
+            payload = dataset.raw_payload(sample_id)
+            run = pipeline.run(payload, seed=seed, epoch=epoch, sample_id=sample_id)
+            sizes = (payload.nbytes,) + tuple(s.out_meta.nbytes for s in run.stages)
+            costs = tuple(s.cost_s for s in run.stages)
+            records.append(
+                SampleRecord(sample_id=sample_id, stage_sizes=sizes, op_costs=costs)
+            )
         return records

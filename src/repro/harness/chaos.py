@@ -25,6 +25,7 @@ from repro.data.catalog import make_openimages
 from repro.data.dataset import Dataset
 from repro.faults import FaultSchedule
 from repro.harness.telemetry import emit_artifacts, record_epoch_stats
+from repro.parallel import ParallelSpec
 from repro.preprocessing.pipeline import Pipeline, standard_pipeline
 from repro.telemetry.audit import AuditLog
 from repro.telemetry.registry import MetricsRegistry, use_registry
@@ -186,6 +187,7 @@ def run_chaos(
     seed: int = 0,
     scenarios: Optional[List[ChaosScenario]] = None,
     telemetry: bool = False,
+    parallel: ParallelSpec = None,
 ) -> ChaosReport:
     """Plan once with SOPHON's decision engine, then survive each scenario.
 
@@ -218,6 +220,7 @@ def run_chaos(
             model=model,
             batch_size=batch_size,
             seed=seed,
+            parallel=parallel,
         )
         plan = DecisionEngine(DecisionConfig()).plan(
             context.records(), spec, gpu_time_s=context.epoch_gpu_time_s, audit=audit
@@ -291,6 +294,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write telemetry artifacts (span JSONL, chrome traces, "
         "Prometheus text, decision audit) under this directory",
     )
+    parser.add_argument(
+        "--parallel",
+        default=None,
+        help="profiling execution mode: sequential, vectorized, sharded[:N] "
+        "(bit-identical output; see repro.parallel)",
+    )
     args = parser.parse_args(argv)
 
     dataset = make_openimages(num_samples=args.samples, seed=args.seed)
@@ -299,6 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         telemetry=args.telemetry_dir is not None,
+        parallel=args.parallel,
     )
     print(report.render())
     if args.telemetry_dir is not None:

@@ -13,6 +13,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import TrainerSim
 from repro.core.profiler import StageTwoProfiler
 from repro.data.dataset import Dataset
+from repro.parallel import ParallelSpec
 from repro.preprocessing.pipeline import Pipeline, standard_pipeline
 from repro.preprocessing.records import SampleRecord
 from repro.utils.tables import render_table
@@ -85,6 +86,7 @@ def minstage_fractions(
     pipeline: Optional[Pipeline] = None,
     seed: int = 0,
     records: Optional[Sequence[SampleRecord]] = None,
+    parallel: ParallelSpec = None,
 ) -> Dict[str, float]:
     """Figure 1b: where samples reach their minimum size.
 
@@ -93,7 +95,7 @@ def minstage_fractions(
     if pipeline is None:
         pipeline = standard_pipeline()
     if records is None:
-        records = StageTwoProfiler().profile(dataset, pipeline, seed=seed)
+        records = StageTwoProfiler().profile(dataset, pipeline, seed=seed, parallel=parallel)
     names = ["raw"] + pipeline.op_names
     counts = {name: 0 for name in names}
     for record in records:

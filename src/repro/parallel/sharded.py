@@ -1,0 +1,124 @@
+"""Sharded record building over a thread or process pool.
+
+Samples are split into contiguous shards, each shard is profiled by one
+worker (vectorized by default, sequential reference on request), and the
+per-shard results are merged keyed by ``sample_id`` -- so the merged
+output is independent of worker scheduling order and identical to a
+single sequential pass.  Determinism is therefore structural: every
+(seed, epoch, sample, op) draw is keyed, never shared, so no worker
+count or interleaving can change a single record.
+
+Process workers receive ``(pipeline, metas, ids, ...)`` tuples, not the
+dataset object, keeping the picklable surface small and dataset-agnostic.
+"""
+
+import concurrent.futures
+from typing import List, Optional, Sequence, Tuple
+
+from repro.parallel.vectorized import build_records_vectorized
+from repro.preprocessing.cost_model import CostModel
+from repro.preprocessing.payload import StageMeta
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.records import SampleRecord, build_record
+
+_BACKENDS = ("thread", "process")
+
+
+def shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` bounds splitting ``total`` items.
+
+    Sizes differ by at most one; empty shards are dropped.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, max(total, 1))
+    base, extra = divmod(total, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _build_shard(
+    pipeline: Pipeline,
+    metas: Sequence[StageMeta],
+    sample_ids: Sequence[int],
+    seed: int,
+    epoch: int,
+    cost_model: Optional[CostModel],
+    vectorize: bool,
+) -> List[SampleRecord]:
+    """One worker's share.  Module-level so process pools can pickle it."""
+    if vectorize:
+        return build_records_vectorized(
+            pipeline, metas, sample_ids, seed=seed, epoch=epoch, cost_model=cost_model
+        )
+    return [
+        build_record(pipeline, meta, sample_id, seed=seed, epoch=epoch, cost_model=cost_model)
+        for meta, sample_id in zip(metas, sample_ids)
+    ]
+
+
+def build_records_sharded(
+    pipeline: Pipeline,
+    raw_metas: Sequence[StageMeta],
+    sample_ids: Sequence[int],
+    *,
+    seed: int,
+    epoch: int = 0,
+    cost_model: Optional[CostModel] = None,
+    workers: int = 2,
+    backend: str = "thread",
+    vectorize: bool = True,
+) -> List[SampleRecord]:
+    """Build records for ``sample_ids`` across a worker pool.
+
+    The merge is keyed by ``sample_id`` and the result ordered to match
+    the input, so shard completion order cannot influence the output.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    ids = list(sample_ids)
+    if len(raw_metas) != len(ids):
+        raise ValueError(f"{len(raw_metas)} metas for {len(ids)} sample ids")
+    bounds = shard_bounds(len(ids), workers)
+    if len(bounds) <= 1:
+        return _build_shard(pipeline, raw_metas, ids, seed, epoch, cost_model, vectorize)
+
+    pool_cls = (
+        concurrent.futures.ThreadPoolExecutor
+        if backend == "thread"
+        else concurrent.futures.ProcessPoolExecutor
+    )
+    by_id = {}
+    with pool_cls(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _build_shard,
+                pipeline,
+                raw_metas[start:stop],
+                ids[start:stop],
+                seed,
+                epoch,
+                cost_model,
+                vectorize,
+            )
+            for start, stop in bounds
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            for record in future.result():
+                by_id[record.sample_id] = record
+    if len(by_id) != len(ids):
+        raise RuntimeError(
+            f"sharded merge produced {len(by_id)} records for {len(ids)} samples "
+            "(duplicate or missing sample ids)"
+        )
+    return [by_id[sample_id] for sample_id in ids]

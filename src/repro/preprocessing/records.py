@@ -39,6 +39,27 @@ class SampleRecord:
             raise ValueError(f"negative stage size in {self.stage_sizes}")
         if any(c < 0 for c in self.op_costs):
             raise ValueError(f"negative op cost in {self.op_costs}")
+        # Cache cumulative costs so prefix_cost/suffix_cost/total_cost are
+        # O(1) lookups -- the decision engine calls them for every candidate
+        # split of every sample.  Each entry is built with the same
+        # left-to-right fold ``sum(slice)`` performs (including sum's int-0
+        # start), so the cached values are bit-identical to the re-summed
+        # ones; in particular suffix entries are NOT derived as
+        # total - prefix, which would round differently.
+        prefix: List[float] = []
+        for split in range(len(self.op_costs) + 1):
+            acc: float = 0
+            for cost in self.op_costs[:split]:
+                acc = acc + cost
+            prefix.append(acc)
+        suffix: List[float] = []
+        for split in range(len(self.op_costs) + 1):
+            acc = 0
+            for cost in self.op_costs[split:]:
+                acc = acc + cost
+            suffix.append(acc)
+        object.__setattr__(self, "_prefix_costs", tuple(prefix))
+        object.__setattr__(self, "_suffix_costs", tuple(suffix))
 
     # -- sizes -------------------------------------------------------------
 
@@ -74,17 +95,17 @@ class SampleRecord:
         """Single-core CPU seconds for ops 1..split."""
         if not 0 <= split <= self.num_ops:
             raise ValueError(f"bad split {split} for {self.num_ops}-op record")
-        return sum(self.op_costs[:split])
+        return self._prefix_costs[split]  # type: ignore[attr-defined]
 
     def suffix_cost(self, split: int) -> float:
         """Single-core CPU seconds for ops split+1..n."""
         if not 0 <= split <= self.num_ops:
             raise ValueError(f"bad split {split} for {self.num_ops}-op record")
-        return sum(self.op_costs[split:])
+        return self._suffix_costs[split]  # type: ignore[attr-defined]
 
     @property
     def total_cost(self) -> float:
-        return sum(self.op_costs)
+        return self._prefix_costs[-1]  # type: ignore[attr-defined]
 
     # -- offloading value ---------------------------------------------------
 

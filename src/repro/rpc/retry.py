@@ -108,16 +108,24 @@ class RetryingClient:
 
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
         trace = trace_id(sample_id, epoch)
+        duration = get_default_registry().histogram(
+            "rpc_fetch_seconds",
+            "end-to-end fetch latency including backoff and retries",
+            labels=["outcome"],
+        )
+        started = self._clock()
         if self.tracer is not None:
             self.tracer.begin(trace, "rpc.fetch", split=split)
         try:
             payload = self._fetch(trace, sample_id, epoch, split)
         except BaseException as exc:
+            duration.observe(self._clock() - started, outcome="error")
             if self.tracer is not None:
                 self.tracer.end(
                     trace, "rpc.fetch", outcome="error", error=type(exc).__name__
                 )
             raise
+        duration.observe(self._clock() - started, outcome="ok")
         if self.tracer is not None:
             self.tracer.end(trace, "rpc.fetch", outcome="ok")
         return payload

@@ -1,0 +1,105 @@
+"""Record-cache keying: content fingerprints, LRU behaviour, sharing."""
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.core.policy import PolicyContext
+from repro.data.catalog import make_openimages
+from repro.parallel import (
+    RecordCache,
+    build_records,
+    dataset_fingerprint,
+    pipeline_fingerprint,
+    record_key,
+)
+from repro.preprocessing.cost_model import CostModel
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.workloads.models import get_model_profile
+
+
+def test_identically_configured_pipelines_share_a_fingerprint():
+    assert pipeline_fingerprint(standard_pipeline()) == pipeline_fingerprint(
+        standard_pipeline()
+    )
+
+
+def test_pipeline_config_changes_fingerprint():
+    assert pipeline_fingerprint(standard_pipeline()) != pipeline_fingerprint(
+        standard_pipeline(crop_size=192)
+    )
+
+
+def test_cost_model_changes_fingerprint():
+    pipeline = standard_pipeline()
+    assert pipeline_fingerprint(pipeline) != pipeline_fingerprint(
+        pipeline, CostModel(cpu_speed_factor=3.0)
+    )
+
+
+def test_dataset_fingerprint_keys_on_content():
+    a = make_openimages(num_samples=100, seed=7)
+    same = make_openimages(num_samples=100, seed=7)
+    different_seed = make_openimages(num_samples=100, seed=8)
+    different_size = make_openimages(num_samples=101, seed=7)
+    assert dataset_fingerprint(a) == dataset_fingerprint(same)
+    assert dataset_fingerprint(a) != dataset_fingerprint(different_seed)
+    assert dataset_fingerprint(a) != dataset_fingerprint(different_size)
+
+
+def test_record_key_separates_seed_and_epoch():
+    dataset = make_openimages(num_samples=50, seed=7)
+    pipeline = standard_pipeline()
+    base = record_key(dataset, pipeline, 0, 0)
+    assert base == record_key(dataset, pipeline, 0, 0)
+    assert base != record_key(dataset, pipeline, 1, 0)
+    assert base != record_key(dataset, pipeline, 0, 1)
+
+
+def test_get_or_build_builds_once():
+    dataset = make_openimages(num_samples=60, seed=7)
+    pipeline = standard_pipeline()
+    cache = RecordCache()
+    key = record_key(dataset, pipeline, 0, 0)
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return build_records(pipeline, dataset, seed=0)
+
+    first = cache.get_or_build(key, builder)
+    second = cache.get_or_build(key, builder)
+    assert len(calls) == 1
+    assert first is second
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+
+def test_lru_evicts_oldest():
+    cache = RecordCache(max_entries=2)
+    cache.put(("a", "p", 0, 0), [])
+    cache.put(("b", "p", 0, 0), [])
+    assert cache.get(("a", "p", 0, 0)) is not None  # refresh "a"
+    cache.put(("c", "p", 0, 0), [])  # evicts "b", the least recent
+    assert cache.get(("b", "p", 0, 0)) is None
+    assert cache.get(("a", "p", 0, 0)) is not None
+    assert cache.get(("c", "p", 0, 0)) is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_max_entries_validation():
+    with pytest.raises(ValueError):
+        RecordCache(max_entries=0)
+
+
+def test_policy_context_uses_shared_cache():
+    dataset = make_openimages(num_samples=80, seed=7)
+    cache = RecordCache()
+    contexts = [
+        PolicyContext(dataset=dataset, pipeline=standard_pipeline(),
+                      spec=standard_cluster(), model=get_model_profile("alexnet"),
+                      seed=0, record_cache=cache)
+        for _ in range(3)
+    ]
+    records = [context.records() for context in contexts]
+    assert records[1] is records[0] and records[2] is records[0]
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 2
