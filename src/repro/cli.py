@@ -7,6 +7,7 @@ Usage (installed as ``sophon-repro``)::
     sophon-repro fig3 --dataset imagenet --samples 1500
     sophon-repro fig4 --cores 0 1 2 3 4 5
     sophon-repro audit 17
+    sophon-repro adaptive --epochs 4 --shards 2 --telemetry-dir /tmp/t
     sophon-repro all
 
 ``fig1d``, ``fig3`` and ``fig4`` accept ``--telemetry-dir DIR`` to write
@@ -278,6 +279,7 @@ def cmd_ext_llm(args: argparse.Namespace) -> None:
 
 def cmd_audit(args: argparse.Namespace) -> None:
     """Explain one sample end-to-end: decision record + simulated spans."""
+    from repro.cluster.sharded import ShardedTrainerSim, round_robin_placement
     from repro.cluster.trainer import TrainerSim
     from repro.core.decision import DecisionConfig, DecisionEngine
     from repro.core.policy import PolicyContext
@@ -302,9 +304,17 @@ def cmd_audit(args: argparse.Namespace) -> None:
     print(f"[{dataset.name}] {plan.reason}\n")
     print(audit.explain(args.sample_id))
 
-    trainer = TrainerSim(
-        dataset, context.pipeline, model, spec, seed=args.seed
-    )
+    trainer: TrainerSim
+    if args.shards is not None:
+        trainer = ShardedTrainerSim(
+            dataset, context.pipeline, model, spec,
+            placement=round_robin_placement(len(dataset), args.shards),
+            num_shards=args.shards, seed=args.seed,
+        )
+    else:
+        trainer = TrainerSim(
+            dataset, context.pipeline, model, spec, seed=args.seed
+        )
     stats = trainer.run_epoch(list(plan.splits), epoch=args.epoch, record_spans=True)
     events = stats.spans.for_sample(args.sample_id, args.epoch) if stats.spans else []
     print(f"\nsimulated spans for sample {args.sample_id} "
@@ -313,6 +323,44 @@ def cmd_audit(args: argparse.Namespace) -> None:
         attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
         line = f"  [{event.t_s:12.6f}] {event.phase} {event.name}"
         print(f"{line}  {attrs}" if attrs else line)
+
+
+def _span_breakdowns(events) -> List[str]:
+    """Per-epoch / per-shard / per-tenant summary lines for a span log.
+
+    Epochs come from the ``-e<N>`` suffix every trainer trace id carries
+    (samples ``s<id>-e<N>`` and batches ``b<i>-e<N>`` alike); shard and
+    tenant groups come from the ``shard`` / ``job`` span attrs.  Groups
+    nobody recorded are omitted, so single-epoch single-node logs render
+    exactly as before.
+    """
+    import re
+
+    lines: List[str] = []
+    epochs: dict = {}
+    for event in events:
+        match = re.search(r"-e(\d+)$", event.trace_id)
+        if match:
+            per = epochs.setdefault(int(match.group(1)), [0, set()])
+            per[0] += 1
+            per[1].add(event.trace_id)
+    if len(epochs) > 1:
+        lines.append("per-epoch:")
+        for epoch in sorted(epochs):
+            count, traces = epochs[epoch]
+            lines.append(
+                f"  epoch {epoch}: {count} events across {len(traces)} traces"
+            )
+    for attr, label in (("shard", "per-shard"), ("job", "per-tenant")):
+        groups: dict = {}
+        for event in events:
+            if attr in event.attrs:
+                groups[event.attrs[attr]] = groups.get(event.attrs[attr], 0) + 1
+        if groups:
+            lines.append(f"{label}:")
+            for value in sorted(groups, key=str):
+                lines.append(f"  {attr} {value}: {groups[value]} events")
+    return lines
 
 
 def cmd_replay(args: argparse.Namespace) -> None:
@@ -339,6 +387,8 @@ def cmd_replay(args: argparse.Namespace) -> None:
     if events:
         traces = {event.trace_id for event in events}
         print(f"\nspans: {len(events)} events across {len(traces)} traces")
+        for line in _span_breakdowns(events):
+            print(line)
         shown = events if args.spans is None else events[: args.spans]
         for event in shown:
             attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
@@ -359,6 +409,66 @@ def cmd_replay(args: argparse.Namespace) -> None:
                 raise SystemExit(str(exc))
     elif args.sample is not None:
         raise SystemExit(f"{args.log} carries no audit records to explain")
+
+
+def cmd_adaptive(args: argparse.Namespace) -> None:
+    """Multi-epoch adaptive run, optionally sharded, with combined telemetry."""
+    from repro.cluster.sharded import round_robin_placement
+    from repro.harness.adaptive import AdaptiveTrainingRun
+
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    spec = standard_cluster(storage_cores=args.storage_cores)
+    telemetry = args.telemetry_dir is not None
+    placement = (
+        round_robin_placement(len(dataset), args.shards)
+        if args.shards is not None
+        else None
+    )
+    with _scoped_registry(args) as registry:
+        run = AdaptiveTrainingRun(
+            dataset,
+            spec,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            placement=placement,
+            num_shards=args.shards,
+            job_name=args.job_name,
+        )
+        result = run.run(
+            args.epochs, record_spans=telemetry, record_timeline=telemetry
+        )
+        if registry is not None:
+            from repro.harness.telemetry import record_epoch_stats
+
+            for epoch, stats in result.instrumented_epochs():
+                record_epoch_stats(stats, f"epoch{epoch}", registry)
+
+    rows = []
+    for entry in result.epochs:
+        rows.append(
+            (
+                entry.epoch,
+                f"{entry.stats.epoch_time_s:.2f}s",
+                f"{entry.stats.traffic_bytes / 1e6:.1f} MB",
+                "yes" if entry.replanned else "-",
+            )
+        )
+    shard_note = f", {args.shards} shards" if args.shards is not None else ""
+    print(f"[{dataset.name}] adaptive run: {args.epochs} epochs{shard_note}, "
+          f"{result.replan_count} replans, total {result.total_time_s:.2f}s")
+    print(render_table(("Epoch", "Time", "Traffic", "Replanned"), rows))
+
+    if telemetry:
+        from repro.harness.telemetry import emit_combined_artifacts
+
+        paths = emit_combined_artifacts(
+            args.telemetry_dir,
+            args.job_name or "adaptive",
+            result.instrumented_epochs(),
+            registry=registry,
+        )
+        for path in paths:
+            print(f"telemetry written to {path}")
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -461,8 +571,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storage-cores", type=int, default=48)
     p.add_argument("--epoch", type=int, default=1,
                    help="epoch to simulate for the span log (default 1)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="simulate on a sharded storage tier with this many "
+                   "shards (round-robin placement; spans gain shard labels)")
     _add_parallel_flag(p)
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "adaptive", help="multi-epoch adaptive run with combined telemetry"
+    )
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--epochs", type=int, default=3,
+                   help="epochs to simulate (>= 2; epoch 0 profiles)")
+    p.add_argument("--storage-cores", type=int, default=48)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard the storage tier (round-robin placement)")
+    p.add_argument("--job-name", default=None,
+                   help="tenant label stamped onto every span")
+    p.add_argument("--telemetry-dir",
+                   help="write the combined multi-epoch telemetry here")
+    p.set_defaults(func=cmd_adaptive)
 
     p = sub.add_parser("plan", help="compute (and optionally save) a SOPHON plan")
     p.add_argument("--dataset", default="openimages")

@@ -11,6 +11,14 @@ node (CPU pool, GPU, prefetch window) but all jobs contend for one shared
 egress link and one shared storage-node CPU pool.  The per-job epoch
 completion times quantify how many jobs a given egress budget sustains --
 with and without SOPHON shrinking each job's wire bytes.
+
+``run_epoch`` accepts the same telemetry switches as the single-node
+trainer: ``record_spans`` collects every tenant's per-sample spans into
+one shared :class:`~repro.telemetry.spans.Tracer` (each span carries a
+``job`` label naming its tenant, on the same ``trace_id(sample, epoch)``
+ids as the single-node path), and ``record_timeline`` attaches one batch
+:class:`~repro.metrics.timeline.Timeline` per job.  The simulated
+schedule is byte-identical with or without either.
 """
 
 import dataclasses
@@ -18,10 +26,17 @@ from typing import Dict, Optional, Sequence
 
 from repro.cluster.sim import Environment, FairResource, Resource
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.trainer import JobHandles, TrainerSim, launch_training_processes
+from repro.cluster.trainer import (
+    JobHandles,
+    TrainerSim,
+    WorkAdjustment,
+    launch_training_processes,
+)
 from repro.data.dataset import Dataset
 from repro.data.sampler import BatchSampler, SequentialSampler
+from repro.metrics.timeline import Timeline
 from repro.preprocessing.pipeline import Pipeline
+from repro.telemetry.spans import Tracer
 from repro.workloads.models import ModelProfile
 
 
@@ -36,6 +51,9 @@ class SharedJob:
     splits: Optional[Sequence[int]] = None
     batch_size: Optional[int] = None
     seed: int = 0
+    #: Optional per-sample work deltas (selective compression et al.),
+    #: applied exactly as TrainerSim.run_epoch(adjustments=...) would.
+    adjustments: Optional[Dict[int, WorkAdjustment]] = None
 
 
 @dataclasses.dataclass
@@ -56,6 +74,11 @@ class SharedLinkStats:
     total_traffic_bytes: int
     link_utilization: float
     storage_cpu_utilization: float
+    #: Every tenant's span events on one tracer (``job`` label names the
+    #: tenant), populated when run_epoch(record_spans=True).
+    spans: Optional[Tracer] = None
+    #: Per-job batch timelines, populated when run_epoch(record_timeline=True).
+    timelines: Optional[Dict[str, Timeline]] = None
 
     def epoch_time(self, name: str) -> float:
         return self.results[name].epoch_time_s
@@ -79,7 +102,21 @@ class SharedLinkSim:
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
 
-    def run_epoch(self, jobs: Sequence[SharedJob], epoch: int = 0) -> SharedLinkStats:
+    def run_epoch(
+        self,
+        jobs: Sequence[SharedJob],
+        epoch: int = 0,
+        record_timeline: bool = False,
+        record_spans: bool = False,
+    ) -> SharedLinkStats:
+        """Run every job's epoch to completion on the shared link.
+
+        record_spans: collect all tenants' per-sample spans on one tracer
+            (stats.spans); each span carries a ``job`` label.
+        record_timeline: attach one per-batch Timeline per job
+            (stats.timelines, keyed by job name).
+        Neither switch perturbs the simulated schedule.
+        """
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             raise ValueError(f"job names must be unique, got {names}")
@@ -96,6 +133,10 @@ class SharedLinkSim:
             if spec.can_offload
             else None
         )
+        tracer = Tracer(clock=lambda: env.now) if record_spans else None
+        timelines: Optional[Dict[str, Timeline]] = (
+            {job.name: Timeline() for job in jobs} if record_timeline else None
+        )
 
         counters: Dict[str, Dict] = {}
         for job in jobs:
@@ -108,7 +149,9 @@ class SharedLinkSim:
                 seed=job.seed,
             )
             work = trainer._epoch_work(
-                list(job.splits) if job.splits is not None else None, epoch
+                list(job.splits) if job.splits is not None else None,
+                epoch,
+                job.adjustments,
             )
             batches = list(
                 BatchSampler(
@@ -122,9 +165,18 @@ class SharedLinkSim:
                 gpu=Resource(env, 1, f"{job.name}-gpu"),
                 prefetch=Resource(env, spec.prefetch_batches, f"{job.name}-prefetch"),
                 flow_key=job.name,
+                job_label=job.name,
             )
             counters[job.name] = launch_training_processes(
-                env, spec, work, batches, job.model, handles
+                env,
+                spec,
+                work,
+                batches,
+                job.model,
+                handles,
+                timeline=timelines[job.name] if timelines is not None else None,
+                tracer=tracer,
+                epoch=epoch,
             )
 
         env.run()
@@ -148,4 +200,6 @@ class SharedLinkSim:
             storage_cpu_utilization=(
                 storage_cpu.utilization(makespan) if storage_cpu is not None else 0.0
             ),
+            spans=tracer,
+            timelines=timelines,
         )

@@ -10,17 +10,28 @@ sample's offloaded prefix must run on *its* shard (the data is there).
 The interesting failure mode is placement skew: if the offload-heavy
 samples cluster on one shard, that node becomes the bottleneck while the
 others idle -- aggregate cores stop being the right capacity measure.
+
+:class:`ShardedTrainerSim` shares :class:`~repro.cluster.trainer.TrainerSim`'s
+``run_epoch`` signature in full -- ``record_spans``, ``record_timeline``,
+``adjustments`` and ``faults`` all work, and any caller written against the
+base class can be handed the sharded sim unchanged.  Per-sample spans land
+on the same ``trace_id(sample, epoch)`` ids as the single-node path, with a
+``shard`` label naming the pool that ran the offloaded prefix.
 """
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, cast
 
-from repro.cluster.epoch_model import EpochMetrics
 from repro.cluster.sim import Environment, Resource
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.trainer import EpochStats, SampleWork, TrainerSim, WorkAdjustment
+from repro.cluster.trainer import (
+    EpochStats,
+    JobHandles,
+    TrainerSim,
+    WorkAdjustment,
+)
 from repro.data.dataset import Dataset
-from repro.data.sampler import BatchSampler
+from repro.faults.schedule import FaultSchedule
 from repro.preprocessing.pipeline import Pipeline
 from repro.workloads.models import ModelProfile
 
@@ -51,15 +62,20 @@ def size_balanced_placement(dataset: Dataset, num_shards: int) -> List[int]:
 
 
 @dataclasses.dataclass
-class ShardedStats:
-    """Epoch stats plus per-shard CPU utilization."""
+class ShardedStats(EpochStats):
+    """Epoch stats plus per-shard CPU utilization.
 
-    stats: EpochStats
-    shard_utilization: List[float]
+    A true :class:`~repro.cluster.trainer.EpochStats` -- callers that treat
+    trainers uniformly read ``epoch_time_s`` / ``traffic_bytes`` / ``spans``
+    directly; ``shard_utilization[s]`` adds shard ``s``'s busy fraction.
+    """
+
+    shard_utilization: List[float] = dataclasses.field(default_factory=list)
 
     @property
-    def epoch_time_s(self) -> float:
-        return self.stats.epoch_time_s
+    def stats(self) -> "ShardedStats":
+        """Pre-unification alias: callers used to read ``result.stats.*``."""
+        return self
 
     @property
     def hottest_shard(self) -> float:
@@ -72,6 +88,12 @@ class ShardedTrainerSim(TrainerSim):
     spec.storage_cores is interpreted *per shard*; aggregate storage CPU
     is ``num_shards * storage_cores``.  An offloaded sample's prefix runs
     on the shard holding it.
+
+    num_shards: explicit shard count; defaults to ``max(placement) + 1``.
+        Pass it when trailing shards may receive no samples (e.g. a
+        contiguous placement of 4 samples over 8 shards), so the idle
+        shards still show up in ``shard_utilization`` instead of
+        silently vanishing and skewing ``hottest_shard``.
     """
 
     def __init__(
@@ -82,9 +104,14 @@ class ShardedTrainerSim(TrainerSim):
         spec: ClusterSpec,
         placement: Sequence[int],
         batch_size: Optional[int] = None,
+        num_shards: Optional[int] = None,
         seed: int = 0,
+        job_label: Optional[str] = None,
     ) -> None:
-        super().__init__(dataset, pipeline, model, spec, batch_size=batch_size, seed=seed)
+        super().__init__(
+            dataset, pipeline, model, spec,
+            batch_size=batch_size, seed=seed, job_label=job_label,
+        )
         if len(placement) != len(dataset):
             raise ValueError(
                 f"placement covers {len(placement)} samples, dataset has {len(dataset)}"
@@ -92,114 +119,83 @@ class ShardedTrainerSim(TrainerSim):
         if placement and min(placement) < 0:
             raise ValueError("shard ids must be >= 0")
         self.placement = list(placement)
-        self.num_shards = (max(placement) + 1) if placement else 1
+        inferred = (max(self.placement) + 1) if self.placement else 1
+        if num_shards is None:
+            num_shards = inferred
+        elif num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        elif inferred > num_shards:
+            raise ValueError(
+                f"placement references shard {inferred - 1} but num_shards is "
+                f"{num_shards}"
+            )
+        self.num_shards = num_shards
+
+    def shard_of(self, sample_id: int) -> int:
+        """The shard holding ``sample_id`` (also the span ``shard`` label)."""
+        return self.placement[sample_id]
+
+    def _build_handles(self, env: Environment) -> JobHandles:
+        spec = self.spec
+        # No storage cores means no shard pools at all: a split > 0 plan is
+        # rejected by the work builder exactly as on the single-node sim,
+        # instead of silently granting each shard a phantom core.
+        pools = (
+            [
+                Resource(env, spec.storage_cores, f"shard-{s}-cpu")
+                for s in range(self.num_shards)
+            ]
+            if spec.can_offload
+            else None
+        )
+        return JobHandles(
+            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
+            storage_cpu=None,
+            link=Resource(env, 1, "link"),
+            gpu=Resource(env, 1, "gpu"),
+            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
+            storage_pools=pools,
+            shard_of=self.shard_of,
+            job_label=self.job_label,
+        )
+
+    def _wrap_stats(
+        self, stats: EpochStats, handles: JobHandles, horizon: float
+    ) -> "ShardedStats":
+        pools = handles.storage_pools
+        utilization = (
+            [pool.utilization(horizon) for pool in pools]
+            if pools is not None
+            else [0.0] * self.num_shards
+        )
+        fields = {
+            f.name: getattr(stats, f.name) for f in dataclasses.fields(EpochStats)
+        }
+        return ShardedStats(shard_utilization=utilization, **fields)
 
     def run_epoch(
         self,
         splits: Optional[Sequence[int]] = None,
         epoch: int = 0,
         adjustments: Optional[Dict[int, WorkAdjustment]] = None,
-    ) -> ShardedStats:
-        if splits is not None and len(splits) != len(self.dataset):
-            raise ValueError(
-                f"splits has {len(splits)} entries, dataset has {len(self.dataset)}"
-            )
-        work = self._epoch_work(splits, epoch, adjustments)
-        batches = list(
-            BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch)
-        )
+        record_timeline: bool = False,
+        faults: Optional[FaultSchedule] = None,
+        record_spans: bool = False,
+    ) -> "ShardedStats":
+        """One epoch on the sharded cluster; see :meth:`TrainerSim.run_epoch`.
 
-        env = Environment()
-        spec = self.spec
-        compute_cpu = Resource(env, spec.compute_cores, "compute-cpu")
-        shard_cpus = [
-            Resource(env, max(spec.storage_cores, 1), f"shard-{s}-cpu")
-            for s in range(self.num_shards)
-        ]
-        link = Resource(env, 1, "link")
-        gpu = Resource(env, 1, "gpu")
-        prefetch = Resource(env, spec.prefetch_batches, "prefetch-window")
-
-        traffic = {"bytes": 0}
-        bandwidth = spec.bandwidth_bytes_per_s
-        batch_ready = [env.event() for _ in batches]
-
-        def sample_proc(item: SampleWork):
-            yield env.timeout(spec.network_rtt_s / 2.0)
-            if item.split > 0:
-                pool = shard_cpus[self.placement[item.sample_id]]
-                grant = pool.acquire()
-                yield grant
-                yield env.timeout(item.prefix_cpu_s * spec.storage_cpu_factor)
-                pool.release(grant)
-            payload = item.wire_bytes + spec.response_overhead_bytes
-            remaining = payload
-            first = True
-            while remaining > 0:
-                chunk = min(remaining, spec.link_chunk_bytes)
-                grant = link.acquire(front=not first)
-                yield grant
-                yield env.timeout(chunk / bandwidth)
-                link.release(grant)
-                remaining -= chunk
-                first = False
-            traffic["bytes"] += payload
-            yield env.timeout(spec.network_rtt_s / 2.0)
-            if item.suffix_cpu_s > 0:
-                grant = compute_cpu.acquire()
-                yield grant
-                yield env.timeout(item.suffix_cpu_s * spec.compute_cpu_factor)
-                compute_cpu.release(grant)
-
-        def batch_proc(index, ids):
-            token = prefetch.acquire()
-            yield token
-            children = [env.process(sample_proc(work[i])) for i in ids]
-            yield env.all_of(children)
-            batch_ready[index].trigger(token)
-
-        def gpu_proc():
-            for index, ids in enumerate(batches):
-                yield batch_ready[index]
-                token = batch_ready[index].value
-                grant = gpu.acquire()
-                yield grant
-                yield env.timeout(self.model.batch_time_s(len(ids)))
-                gpu.release(grant)
-                prefetch.release(token)
-
-        for index, ids in enumerate(batches):
-            env.process(batch_proc(index, ids))
-        env.process(gpu_proc())
-        env.run()
-
-        horizon = env.now
-        analytic = EpochMetrics(
-            gpu_time_s=sum(self.model.batch_time_s(len(ids)) for ids in batches),
-            compute_cpu_s=sum(w.suffix_cpu_s for w in work.values()),
-            storage_cpu_s=sum(w.prefix_cpu_s for w in work.values() if w.split > 0),
-            traffic_bytes=sum(
-                w.wire_bytes + spec.response_overhead_bytes for w in work.values()
+        The full base-class surface is honoured: telemetry spans (with
+        per-shard labels), batch timelines, work adjustments and fault
+        schedules, all byte-identical to an uninstrumented run.
+        """
+        return cast(
+            ShardedStats,
+            super().run_epoch(
+                splits=splits,
+                epoch=epoch,
+                adjustments=adjustments,
+                record_timeline=record_timeline,
+                faults=faults,
+                record_spans=record_spans,
             ),
-        )
-        stats = EpochStats(
-            epoch_time_s=horizon,
-            traffic_bytes=traffic["bytes"],
-            num_samples=len(work),
-            num_batches=len(batches),
-            offloaded_samples=sum(1 for w in work.values() if w.split > 0),
-            gpu_utilization=gpu.utilization(horizon),
-            compute_cpu_utilization=compute_cpu.utilization(horizon),
-            storage_cpu_utilization=(
-                sum(p.busy_time for p in shard_cpus)
-                / (sum(p.capacity for p in shard_cpus) * horizon)
-                if horizon > 0
-                else 0.0
-            ),
-            link_utilization=link.utilization(horizon),
-            analytic=analytic,
-        )
-        return ShardedStats(
-            stats=stats,
-            shard_utilization=[p.utilization(horizon) for p in shard_cpus],
         )

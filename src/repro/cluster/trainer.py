@@ -115,7 +115,10 @@ class JobHandles:
 
     In single-job runs every resource is private; in multi-job runs the
     link (and possibly the storage CPU pool) is shared across jobs -- see
-    :mod:`repro.cluster.multijob`.
+    :mod:`repro.cluster.multijob`.  On sharded storage clusters the single
+    ``storage_cpu`` pool is replaced by ``storage_pools`` plus a
+    ``shard_of`` placement map: an offloaded prefix runs on the pool of
+    the shard holding its sample -- see :mod:`repro.cluster.sharded`.
     """
 
     compute_cpu: Resource
@@ -125,6 +128,32 @@ class JobHandles:
     prefetch: Resource
     #: Flow identifier for fair-queued shared links (None on private links).
     flow_key: object = None
+    #: Per-shard storage CPU pools (sharded clusters); when set, offloaded
+    #: prefixes route through ``shard_of`` instead of ``storage_cpu``.
+    storage_pools: Optional[Sequence[Resource]] = None
+    #: sample id -> shard index; required alongside ``storage_pools`` and
+    #: also used to stamp a ``shard`` label onto per-sample spans.
+    shard_of: Optional[Callable[[int], int]] = None
+    #: Tenant name stamped as a ``job`` label onto every span this job
+    #: emits (multi-job runs share one tracer across tenants).
+    job_label: Optional[str] = None
+
+    def storage_pool(self, sample_id: int) -> Optional[Resource]:
+        """The storage CPU pool an offloaded prefix of ``sample_id`` uses."""
+        if self.storage_pools is not None:
+            if self.shard_of is None:
+                raise ValueError("storage_pools requires a shard_of placement map")
+            return self.storage_pools[self.shard_of(sample_id)]
+        return self.storage_cpu
+
+    def span_attrs(self, sample_id: Optional[int] = None) -> Dict[str, object]:
+        """Shard/tenant labels for spans about ``sample_id`` (or job-wide)."""
+        attrs: Dict[str, object] = {}
+        if self.job_label is not None:
+            attrs["job"] = self.job_label
+        if sample_id is not None and self.shard_of is not None:
+            attrs["shard"] = self.shard_of(sample_id)
+        return attrs
 
 
 def launch_training_processes(
@@ -170,17 +199,23 @@ def launch_training_processes(
         trace = trace_id(item.sample_id, epoch) if tracer is not None else ""
         if tracer is not None:
             tracer.begin(
-                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes
+                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes,
+                **handles.span_attrs(item.sample_id),
             )
         # Request leaves the compute node; half an RTT to arrive.
         yield env.timeout(spec.network_rtt_s / 2.0)
         if item.split > 0:
             if tracer is not None:
-                tracer.begin(trace, "storage.prefix", split=item.split)
-            grant = handles.storage_cpu.acquire()
+                tracer.begin(
+                    trace, "storage.prefix", split=item.split,
+                    **handles.span_attrs(item.sample_id),
+                )
+            pool = handles.storage_pool(item.sample_id)
+            assert pool is not None  # split > 0 implies an offload-capable spec
+            grant = pool.acquire()
             yield grant
             yield env.timeout(item.prefix_cpu_s * spec.storage_cpu_factor)
-            handles.storage_cpu.release(grant)
+            pool.release(grant)
             if tracer is not None:
                 tracer.end(trace, "storage.prefix", cpu_s=item.prefix_cpu_s)
         # Transmit in chunks: releasing the link between chunks lets
@@ -241,7 +276,9 @@ def launch_training_processes(
 
     def prefix_proc(item: SampleWork):
         """Run the offloaded prefix; returns True unless interrupted."""
-        grant = handles.storage_cpu.acquire()
+        pool = handles.storage_pool(item.sample_id)
+        assert pool is not None  # split > 0 implies an offload-capable spec
+        grant = pool.acquire()
         try:
             yield grant
             yield env.timeout(
@@ -250,12 +287,12 @@ def launch_training_processes(
                 * faults.storage_cpu_factor(env.now)
             )
         except Interrupt:
-            if handles.storage_cpu.holds(grant):
-                handles.storage_cpu.release(grant)
+            if pool.holds(grant):
+                pool.release(grant)
             else:
-                handles.storage_cpu.cancel(grant)
+                pool.cancel(grant)
             return False
-        handles.storage_cpu.release(grant)
+        pool.release(grant)
         return True
 
     def transmit(payload_bytes: int):
@@ -279,7 +316,8 @@ def launch_training_processes(
         trace = trace_id(item.sample_id, epoch) if tracer is not None else ""
         if tracer is not None:
             tracer.begin(
-                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes
+                trace, "sample.fetch", split=item.split, wire_bytes=item.wire_bytes,
+                **handles.span_attrs(item.sample_id),
             )
         yield env.timeout((spec.network_rtt_s + faults.extra_rtt_s(env.now)) / 2.0)
         if item.split > 0:
@@ -292,7 +330,10 @@ def launch_training_processes(
             else:
                 report.offload_attempts += 1
                 if tracer is not None:
-                    tracer.begin(trace, "storage.prefix", split=item.split)
+                    tracer.begin(
+                        trace, "storage.prefix", split=item.split,
+                        **handles.span_attrs(item.sample_id),
+                    )
                 proc = env.process(prefix_proc(item))
                 active_offloads[proc] = item.sample_id
                 outcome = yield proc
@@ -374,7 +415,10 @@ def launch_training_processes(
             if timeline is not None:
                 timeline.trace(index).gpu_start = env.now
             if tracer is not None:
-                tracer.begin(f"b{index}-e{epoch}", "gpu.batch", batch=index)
+                tracer.begin(
+                    f"b{index}-e{epoch}", "gpu.batch", batch=index,
+                    **handles.span_attrs(),
+                )
             yield env.timeout(model.batch_time_s(len(ids)))
             if timeline is not None:
                 timeline.trace(index).gpu_end = env.now
@@ -408,6 +452,7 @@ class TrainerSim:
         batch_size: Optional[int] = None,
         sampler: Optional[Sampler] = None,
         seed: int = 0,
+        job_label: Optional[str] = None,
     ) -> None:
         self.dataset = dataset
         self.pipeline = pipeline
@@ -418,6 +463,8 @@ class TrainerSim:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         self.sampler = sampler if sampler is not None else SequentialSampler(len(dataset))
         self.seed = seed
+        #: Tenant name stamped onto spans as a ``job`` label (None = no label).
+        self.job_label = job_label
 
     # -- work precomputation ------------------------------------------------
 
@@ -455,6 +502,11 @@ class TrainerSim:
                 raise ValueError(
                     f"sample {sample_id} has storage-side work but split 0"
                 )
+            if item.split > 0 and not self.spec.can_offload:
+                raise ValueError(
+                    f"sample {sample_id} plans split {item.split} but the "
+                    "cluster has no storage cores; clamp the plan first"
+                )
             if item.prefix_cpu_s > 0 and not self.spec.can_offload:
                 raise ValueError(
                     f"sample {sample_id} has storage-side work but the cluster "
@@ -464,6 +516,41 @@ class TrainerSim:
         return work
 
     # -- simulation -----------------------------------------------------------
+
+    def _build_handles(self, env: Environment) -> JobHandles:
+        """The resource set one epoch runs against (overridden by subclasses:
+        sharded clusters swap the single storage pool for per-shard pools)."""
+        spec = self.spec
+        return JobHandles(
+            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
+            storage_cpu=(
+                Resource(env, spec.storage_cores, "storage-cpu")
+                if spec.can_offload
+                else None
+            ),
+            link=Resource(env, 1, "link"),
+            gpu=Resource(env, 1, "gpu"),
+            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
+            job_label=self.job_label,
+        )
+
+    def _storage_utilization(self, handles: JobHandles, horizon: float) -> float:
+        """Aggregate storage-CPU busy fraction across however many pools."""
+        pools = handles.storage_pools
+        if pools is not None:
+            capacity = sum(pool.capacity for pool in pools)
+            if horizon <= 0 or capacity == 0:
+                return 0.0
+            return sum(pool.busy_time for pool in pools) / (capacity * horizon)
+        if handles.storage_cpu is None:
+            return 0.0
+        return handles.storage_cpu.utilization(horizon)
+
+    def _wrap_stats(
+        self, stats: EpochStats, handles: JobHandles, horizon: float
+    ) -> EpochStats:
+        """Subclass hook: decorate the epoch stats (e.g. per-shard columns)."""
+        return stats
 
     def run_epoch(
         self,
@@ -508,17 +595,7 @@ class TrainerSim:
 
         env = Environment()
         spec = self.spec
-        handles = JobHandles(
-            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
-            storage_cpu=(
-                Resource(env, spec.storage_cores, "storage-cpu")
-                if spec.can_offload
-                else None
-            ),
-            link=Resource(env, 1, "link"),
-            gpu=Resource(env, 1, "gpu"),
-            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
-        )
+        handles = self._build_handles(env)
         timeline = Timeline() if record_timeline else None
         tracer = Tracer(clock=lambda: env.now) if record_spans else None
         traffic = launch_training_processes(
@@ -538,10 +615,6 @@ class TrainerSim:
         env.run()
 
         horizon = env.now
-        compute_cpu = handles.compute_cpu
-        storage_cpu = handles.storage_cpu
-        link = handles.link
-        gpu = handles.gpu
         analytic = EpochMetrics(
             gpu_time_s=sum(self.model.batch_time_s(len(ids)) for ids in batches),
             # Raw single-core seconds; EpochModel applies the CPU factors.
@@ -551,20 +624,19 @@ class TrainerSim:
                 w.wire_bytes + spec.response_overhead_bytes for w in work.values()
             ),
         )
-        return EpochStats(
+        stats = EpochStats(
             epoch_time_s=horizon,
             traffic_bytes=traffic["bytes"],
             num_samples=len(work),
             num_batches=len(batches),
             offloaded_samples=sum(1 for w in work.values() if w.split > 0),
-            gpu_utilization=gpu.utilization(horizon),
-            compute_cpu_utilization=compute_cpu.utilization(horizon),
-            storage_cpu_utilization=(
-                storage_cpu.utilization(horizon) if storage_cpu is not None else 0.0
-            ),
-            link_utilization=link.utilization(horizon),
+            gpu_utilization=handles.gpu.utilization(horizon),
+            compute_cpu_utilization=handles.compute_cpu.utilization(horizon),
+            storage_cpu_utilization=self._storage_utilization(handles, horizon),
+            link_utilization=handles.link.utilization(horizon),
             analytic=analytic,
             timeline=timeline,
             faults=fault_report,
             spans=tracer,
         )
+        return self._wrap_stats(stats, handles, horizon)

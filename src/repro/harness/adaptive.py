@@ -10,8 +10,9 @@ stage-two records, so the job reacts at the cost of a cheap analytic pass
 """
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.sharded import ShardedTrainerSim
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import EpochStats, TrainerSim
 from repro.core.decision import DecisionConfig, DecisionEngine
@@ -49,6 +50,10 @@ class AdaptiveRunResult:
     def epoch_times(self) -> List[float]:
         return [e.stats.epoch_time_s for e in self.epochs]
 
+    def instrumented_epochs(self) -> List[Tuple[int, EpochStats]]:
+        """(epoch, stats) pairs, the combined-trace emitters' input shape."""
+        return [(e.epoch, e.stats) for e in self.epochs]
+
 
 class AdaptiveTrainingRun:
     """Train under a changing cluster, re-planning on every spec change.
@@ -58,6 +63,12 @@ class AdaptiveTrainingRun:
     adaptive: when False, the epoch-1 plan is kept (clamped if offloading
         becomes impossible) -- the static strawman the adaptive run is
         compared against.
+    placement: optional sample -> shard map; when given, epochs run on a
+        :class:`~repro.cluster.sharded.ShardedTrainerSim` (per-shard span
+        labels and all) through the exact same ``run_epoch`` calls as the
+        single-node path.
+    job_name: tenant label stamped onto every span (the combined chrome
+        trace's per-tenant row).
     """
 
     def __init__(
@@ -71,6 +82,9 @@ class AdaptiveTrainingRun:
         batch_size: Optional[int] = None,
         adaptive: bool = True,
         seed: int = 0,
+        placement: Optional[Sequence[int]] = None,
+        num_shards: Optional[int] = None,
+        job_name: Optional[str] = None,
     ) -> None:
         self.dataset = dataset
         self.base_spec = base_spec
@@ -81,6 +95,9 @@ class AdaptiveTrainingRun:
         self.batch_size = batch_size
         self.adaptive = adaptive
         self.seed = seed
+        self.placement = list(placement) if placement is not None else None
+        self.num_shards = num_shards
+        self.job_name = job_name
 
     def _spec_in_force(self, epoch: int) -> ClusterSpec:
         """The ClusterSpec governing *epoch* under the current schedule."""
@@ -126,7 +143,47 @@ class AdaptiveTrainingRun:
             context.records(), spec, gpu_time_s=context.epoch_gpu_time_s
         )
 
-    def run(self, epochs: int) -> AdaptiveRunResult:
+    def _make_trainer(self, spec: ClusterSpec, batch_size: Optional[int]) -> TrainerSim:
+        """The per-epoch sim: sharded when a placement was given.
+
+        Both shapes go through the identical ``run_epoch`` calls -- the
+        base-class signature is the contract.
+        """
+        if self.placement is not None:
+            return ShardedTrainerSim(
+                dataset=self.dataset,
+                pipeline=self.pipeline,
+                model=self.model,
+                spec=spec,
+                placement=self.placement,
+                batch_size=batch_size,
+                num_shards=self.num_shards,
+                seed=self.seed,
+                job_label=self.job_name,
+            )
+        return TrainerSim(
+            dataset=self.dataset,
+            pipeline=self.pipeline,
+            model=self.model,
+            spec=spec,
+            batch_size=batch_size,
+            seed=self.seed,
+            job_label=self.job_name,
+        )
+
+    def run(
+        self,
+        epochs: int,
+        record_spans: bool = False,
+        record_timeline: bool = False,
+    ) -> AdaptiveRunResult:
+        """Run ``epochs`` epochs, re-planning on spec changes.
+
+        record_spans: give every epoch its own span tracer
+            (``result.epochs[i].stats.spans``), on virtual time.
+        record_timeline: attach a per-batch timeline per epoch.
+        Neither changes the simulated schedules.
+        """
         if epochs < 2:
             raise ValueError(f"need >= 2 epochs (1 profiles), got {epochs}")
         context = PolicyContext(
@@ -164,15 +221,13 @@ class AdaptiveTrainingRun:
             else:
                 epoch_plan = plan.clamped_for(current_spec)
 
-            trainer = TrainerSim(
-                dataset=self.dataset,
-                pipeline=self.pipeline,
-                model=self.model,
-                spec=current_spec,
-                batch_size=context.effective_batch_size,
-                seed=self.seed,
+            trainer = self._make_trainer(current_spec, context.effective_batch_size)
+            stats = trainer.run_epoch(
+                list(epoch_plan.splits),
+                epoch=epoch,
+                record_spans=record_spans,
+                record_timeline=record_timeline,
             )
-            stats = trainer.run_epoch(list(epoch_plan.splits), epoch=epoch)
             results.append(
                 AdaptiveEpoch(
                     epoch=epoch,

@@ -17,6 +17,7 @@ import contextlib
 import dataclasses
 from typing import List, Optional
 
+from repro.cluster.sharded import ShardedTrainerSim, round_robin_placement
 from repro.cluster.spec import ClusterSpec, standard_cluster
 from repro.cluster.trainer import EpochStats, TrainerSim
 from repro.core.decision import DecisionConfig, DecisionEngine
@@ -188,11 +189,17 @@ def run_chaos(
     scenarios: Optional[List[ChaosScenario]] = None,
     telemetry: bool = False,
     parallel: ParallelSpec = None,
+    shards: Optional[int] = None,
 ) -> ChaosReport:
     """Plan once with SOPHON's decision engine, then survive each scenario.
 
     The same plan and epoch index are used for every run, so any delta vs
     the baseline is attributable to the injected faults alone.
+
+    With ``shards=N`` the epochs run on a
+    :class:`~repro.cluster.sharded.ShardedTrainerSim` (round-robin
+    placement, ``spec.storage_cores`` per shard) through the very same
+    ``run_epoch`` calls -- faults, spans and timelines included.
 
     With ``telemetry=True`` the run becomes fully observable: planning
     writes a decision audit log, every epoch records per-sample spans and
@@ -225,14 +232,27 @@ def run_chaos(
         plan = DecisionEngine(DecisionConfig()).plan(
             context.records(), spec, gpu_time_s=context.epoch_gpu_time_s, audit=audit
         )
-        trainer = TrainerSim(
-            dataset=dataset,
-            pipeline=pipeline,
-            model=model,
-            spec=spec,
-            batch_size=batch_size,
-            seed=seed,
-        )
+        trainer: TrainerSim
+        if shards is not None:
+            trainer = ShardedTrainerSim(
+                dataset=dataset,
+                pipeline=pipeline,
+                model=model,
+                spec=spec,
+                placement=round_robin_placement(len(dataset), shards),
+                batch_size=batch_size,
+                num_shards=shards,
+                seed=seed,
+            )
+        else:
+            trainer = TrainerSim(
+                dataset=dataset,
+                pipeline=pipeline,
+                model=model,
+                spec=spec,
+                batch_size=batch_size,
+                seed=seed,
+            )
         baseline = trainer.run_epoch(
             list(plan.splits), epoch=1,
             record_spans=telemetry, record_timeline=telemetry,
@@ -300,6 +320,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="profiling execution mode: sequential, vectorized, sharded[:N] "
         "(bit-identical output; see repro.parallel)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the epochs on a sharded storage tier with this many shards "
+        "(round-robin placement)",
+    )
     args = parser.parse_args(argv)
 
     dataset = make_openimages(num_samples=args.samples, seed=args.seed)
@@ -309,6 +336,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         telemetry=args.telemetry_dir is not None,
         parallel=args.parallel,
+        shards=args.shards,
     )
     print(report.render())
     if args.telemetry_dir is not None:

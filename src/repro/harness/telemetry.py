@@ -15,10 +15,14 @@ every harness emits the same artifact tree.
 """
 
 import os
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.trainer import EpochStats
-from repro.metrics.chrometrace import write_chrome_trace
+from repro.metrics.chrometrace import (
+    EpochTraceRecord,
+    write_chrome_trace,
+    write_combined_chrome_trace,
+)
 from repro.telemetry.audit import AuditLog
 from repro.telemetry.exporters import render_prometheus, write_jsonl
 from repro.telemetry.registry import (
@@ -26,6 +30,7 @@ from repro.telemetry.registry import (
     MetricsSnapshot,
     get_default_registry,
 )
+from repro.telemetry.spans import Tracer
 
 
 def record_epoch_stats(
@@ -93,6 +98,75 @@ def emit_artifacts(
             job=name,
             spans=tracer.events if tracer is not None else None,
         )
+        paths.append(trace_path)
+    if registry is not None:
+        prom_path = os.path.join(out_dir, f"{name}.metrics.prom")
+        with open(prom_path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(render_prometheus(registry))
+        paths.append(prom_path)
+    return paths
+
+
+def epoch_trace_records(
+    per_epoch: Sequence[Tuple[int, EpochStats]],
+) -> List[EpochTraceRecord]:
+    """Fold instrumented epochs into combined-trace records.
+
+    Accepts the ``instrumented_epochs()`` shape of
+    :class:`~repro.harness.adaptive.AdaptiveRunResult` and
+    :class:`~repro.harness.training.TrainingRunResult`; epochs that
+    recorded neither spans nor a timeline are skipped.
+    """
+    records: List[EpochTraceRecord] = []
+    for epoch, stats in per_epoch:
+        if stats.spans is None and stats.timeline is None:
+            continue
+        records.append(
+            EpochTraceRecord(
+                epoch=epoch,
+                spans=tuple(stats.spans.events) if stats.spans is not None else (),
+                timeline=stats.timeline,
+            )
+        )
+    return records
+
+
+def emit_combined_artifacts(
+    out_dir: str,
+    name: str,
+    per_epoch: Sequence[Tuple[int, EpochStats]],
+    registry: Optional[Union[MetricsRegistry, MetricsSnapshot]] = None,
+    audit: Optional[AuditLog] = None,
+) -> List[str]:
+    """Write one artifact set spanning a whole multi-epoch run.
+
+    * ``<name>.trace.json`` -- the combined chrome trace: per-epoch rows
+      plus shard/tenant summary rows (see
+      :func:`repro.metrics.chrometrace.write_combined_chrome_trace`).
+    * ``<name>.telemetry.jsonl`` -- every epoch's spans in one replayable
+      log (``trace_id(sample, epoch)`` keeps epochs apart), plus the
+      optional metrics snapshot and decision audit.
+    * ``<name>.metrics.prom`` -- when a registry is given.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    records = epoch_trace_records(per_epoch)
+    merged = Tracer()
+    for record in records:
+        merged.events.extend(record.spans)
+
+    paths: List[str] = []
+    if merged.events or registry is not None or audit is not None:
+        jsonl_path = os.path.join(out_dir, f"{name}.telemetry.jsonl")
+        write_jsonl(
+            jsonl_path,
+            registry=registry,
+            tracer=merged if merged.events else None,
+            audit=audit,
+        )
+        paths.append(jsonl_path)
+    if records:
+        trace_path = os.path.join(out_dir, f"{name}.trace.json")
+        write_combined_chrome_trace(trace_path, records, job=name)
         paths.append(trace_path)
     if registry is not None:
         prom_path = os.path.join(out_dir, f"{name}.metrics.prom")

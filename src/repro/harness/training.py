@@ -10,7 +10,7 @@ from epoch-0 records, and every later epoch runs under the plan.
 """
 
 import dataclasses
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import EpochStats, TrainerSim
@@ -51,6 +51,10 @@ class TrainingRunResult:
     def total_traffic_bytes(self) -> int:
         return sum(stats.traffic_bytes for stats in self.per_epoch)
 
+    def instrumented_epochs(self) -> List[Tuple[int, EpochStats]]:
+        """(epoch, stats) pairs, the combined-trace emitters' input shape."""
+        return list(enumerate(self.per_epoch))
+
     def speedup_over(self, baseline: "TrainingRunResult") -> float:
         """End-to-end job speedup vs another run of equal epoch count."""
         if baseline.num_epochs != self.num_epochs:
@@ -81,8 +85,18 @@ class TrainingRun:
         self.batch_size = batch_size
         self.seed = seed
 
-    def run(self, epochs: int) -> TrainingRunResult:
-        """Simulate ``epochs`` epochs (>= 2: one to profile, rest planned)."""
+    def run(
+        self,
+        epochs: int,
+        record_spans: bool = False,
+        record_timeline: bool = False,
+    ) -> TrainingRunResult:
+        """Simulate ``epochs`` epochs (>= 2: one to profile, rest planned).
+
+        record_spans / record_timeline: per-epoch telemetry, one tracer
+        and/or timeline per epoch on ``per_epoch[i]``; the simulated
+        schedules are byte-identical either way.
+        """
         if epochs < 2:
             raise ValueError(f"need >= 2 epochs (1 profiles), got {epochs}")
 
@@ -103,10 +117,20 @@ class TrainingRun:
             seed=self.seed,
         )
 
-        per_epoch = [trainer.run_epoch(splits=None, epoch=0)]  # profiling epoch
+        per_epoch = [
+            trainer.run_epoch(
+                splits=None, epoch=0,
+                record_spans=record_spans, record_timeline=record_timeline,
+            )
+        ]  # profiling epoch
         plan = self.policy.plan(context).clamped_for(self.spec)
         for epoch in range(1, epochs):
-            per_epoch.append(trainer.run_epoch(list(plan.splits), epoch=epoch))
+            per_epoch.append(
+                trainer.run_epoch(
+                    list(plan.splits), epoch=epoch,
+                    record_spans=record_spans, record_timeline=record_timeline,
+                )
+            )
 
         return TrainingRunResult(
             policy_name=self.policy.name, plan=plan, per_epoch=per_epoch

@@ -10,10 +10,17 @@ alongside the batch rows: each trace id (sample or batch) gets its own
 thread row in a second "samples" process, begin/end pairs become nested
 complete events, and instants (demotions, corruption, breaker
 transitions) become trace-event instants on the same row.
+
+Multi-epoch cluster runs render through :func:`write_combined_chrome_trace`:
+each epoch's timeline and spans land in their own process rows, and two
+summary processes group the same spans by their ``shard`` and ``job``
+labels -- one row per storage shard, one per tenant -- so a contended
+shared link reads at a glance in Perfetto.
 """
 
+import dataclasses
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.timeline import Timeline
 from repro.telemetry.spans import BEGIN, END, INSTANT, SpanEvent
@@ -27,20 +34,23 @@ _GPU_TID = 1
 _SPANS_PID = 1
 
 
-def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dict]:
+def timeline_to_trace_events(
+    timeline: Timeline, job: str = "train", pid: int = 0
+) -> List[Dict]:
     """Per-batch complete events: input-pipeline span + GPU span.
 
     The input span for batch i runs from the previous batch's ready time
     to batch i's ready time (approximating continuous pipeline work); the
-    GPU span is exact.
+    GPU span is exact.  ``pid`` picks the process row (multi-epoch traces
+    give each epoch's timeline its own).
     """
     timeline.validate()
     events: List[Dict] = [
-        {"name": "process_name", "ph": "M", "pid": 0,
+        {"name": "process_name", "ph": "M", "pid": pid,
          "args": {"name": f"{job} (virtual time)"}},
-        {"name": "thread_name", "ph": "M", "pid": 0, "tid": _PIPELINE_TID,
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": _PIPELINE_TID,
          "args": {"name": "input pipeline"}},
-        {"name": "thread_name", "ph": "M", "pid": 0, "tid": _GPU_TID,
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": _GPU_TID,
          "args": {"name": "gpu"}},
     ]
     previous_ready = 0.0
@@ -49,7 +59,7 @@ def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dic
             {
                 "name": f"batch {trace.index} input",
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": _PIPELINE_TID,
                 "ts": int(previous_ready * _MICRO),
                 "dur": max(0, int((trace.ready_at - previous_ready) * _MICRO)),
@@ -59,7 +69,7 @@ def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dic
             {
                 "name": f"batch {trace.index} gpu",
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": _GPU_TID,
                 "ts": int(trace.gpu_start * _MICRO),
                 "dur": max(0, int(trace.gpu_time_s * _MICRO)),
@@ -70,7 +80,9 @@ def timeline_to_trace_events(timeline: Timeline, job: str = "train") -> List[Dic
 
 
 def spans_to_trace_events(
-    spans: Sequence[SpanEvent], pid: int = _SPANS_PID
+    spans: Sequence[SpanEvent],
+    pid: int = _SPANS_PID,
+    process_name: str = "samples (virtual time)",
 ) -> List[Dict]:
     """Render telemetry span events as nested trace-event rows.
 
@@ -85,7 +97,7 @@ def spans_to_trace_events(
         tids.setdefault(event.trace_id, len(tids))
     events: List[Dict] = [
         {"name": "process_name", "ph": "M", "pid": pid,
-         "args": {"name": "samples (virtual time)"}},
+         "args": {"name": process_name}},
     ]
     for trace, tid in tids.items():
         events.append(
@@ -143,6 +155,172 @@ def spans_to_trace_events(
                 }
             )
     return events
+
+
+def grouped_span_rows(
+    spans: Sequence[SpanEvent],
+    key: str,
+    pid: int,
+    process_name: str,
+) -> List[Dict]:
+    """One thread row per distinct value of span attr ``key``.
+
+    BEGIN events carrying ``key`` (e.g. ``shard=2`` or ``job="resnet"``)
+    open a span on their value's row; the matching END (paired
+    innermost-first per (trace, name), inheriting the BEGIN's group)
+    closes it.  INSTANT events carrying ``key`` land on their row as "i"
+    records.  Events without the attr are skipped -- returns [] when no
+    event carries it at all, so callers can omit the whole process.
+    """
+    groups: Dict[object, None] = {}
+    for event in spans:
+        if event.phase in (BEGIN, INSTANT) and key in event.attrs:
+            groups.setdefault(event.attrs[key], None)
+    if not groups:
+        return []
+    ordered = sorted(
+        groups,
+        key=lambda value: (
+            (0, value, "") if isinstance(value, (int, float)) else (1, 0, str(value))
+        ),
+    )
+    tids = {value: tid for tid, value in enumerate(ordered)}
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": process_name}},
+    ]
+    for value in ordered:
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tids[value],
+             "args": {"name": f"{key} {value}"}}
+        )
+    open_spans: Dict[str, List[Tuple[SpanEvent, object]]] = {}
+    last_t: Dict[object, float] = {}
+    for event in spans:
+        if event.phase == BEGIN:
+            if key not in event.attrs:
+                continue
+            group = event.attrs[key]
+            last_t[group] = event.t_s
+            open_spans.setdefault(f"{event.trace_id}\0{event.name}", []).append(
+                (event, group)
+            )
+        elif event.phase == END:
+            stack = open_spans.get(f"{event.trace_id}\0{event.name}")
+            if not stack:
+                continue
+            begin, group = stack.pop()
+            last_t[group] = event.t_s
+            args = dict(begin.attrs)
+            args.update(event.attrs)
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[group],
+                    "ts": int(begin.t_s * _MICRO),
+                    "dur": max(0, int((event.t_s - begin.t_s) * _MICRO)),
+                    "args": args,
+                }
+            )
+        elif event.phase == INSTANT and key in event.attrs:
+            group = event.attrs[key]
+            last_t[group] = event.t_s
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tids[group],
+                    "ts": int(event.t_s * _MICRO),
+                    "args": dict(event.attrs),
+                }
+            )
+    for stack in open_spans.values():
+        for begin, group in stack:
+            events.append(
+                {
+                    "name": begin.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[group],
+                    "ts": int(begin.t_s * _MICRO),
+                    "dur": max(
+                        0, int((last_t.get(group, begin.t_s) - begin.t_s) * _MICRO)
+                    ),
+                    "args": dict(begin.attrs),
+                }
+            )
+    return events
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochTraceRecord:
+    """One epoch's telemetry, ready for the combined multi-epoch trace."""
+
+    epoch: int
+    spans: Sequence[SpanEvent] = ()
+    timeline: Optional[Timeline] = None
+    #: Optional display label ("epoch 3 (replanned)"); defaults to "epoch N".
+    label: str = ""
+
+    @property
+    def display_label(self) -> str:
+        return self.label or f"epoch {self.epoch}"
+
+
+def combined_trace_events(
+    records: Sequence[EpochTraceRecord], job: str = "train"
+) -> List[Dict]:
+    """The multi-epoch document: per-epoch rows + shard and tenant groups.
+
+    Every epoch's batch timeline and per-sample spans get their own
+    process rows (pid assigned in record order, deterministic).  After
+    the epochs come up to two summary processes: one thread per storage
+    ``shard`` label and one per tenant ``job`` label, aggregated over
+    every epoch's spans; either is omitted when no span carries the
+    label.
+    """
+    events: List[Dict] = []
+    pid = 0
+    all_spans: List[SpanEvent] = []
+    for record in records:
+        label = record.display_label
+        if record.timeline is not None:
+            events.extend(
+                timeline_to_trace_events(record.timeline, job=f"{job} {label}", pid=pid)
+            )
+            pid += 1
+        if record.spans:
+            events.extend(
+                spans_to_trace_events(
+                    record.spans,
+                    pid=pid,
+                    process_name=f"{label} samples (virtual time)",
+                )
+            )
+            pid += 1
+            all_spans.extend(record.spans)
+    shard_rows = grouped_span_rows(all_spans, "shard", pid, "shards (virtual time)")
+    if shard_rows:
+        events.extend(shard_rows)
+        pid += 1
+    tenant_rows = grouped_span_rows(all_spans, "job", pid, "tenants (virtual time)")
+    if tenant_rows:
+        events.extend(tenant_rows)
+        pid += 1
+    return events
+
+
+def write_combined_chrome_trace(
+    path: str, records: Sequence[EpochTraceRecord], job: str = "train"
+) -> None:
+    """Write the combined multi-epoch trace; bytes deterministic per content."""
+    document = {"traceEvents": combined_trace_events(records, job=job)}
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
 
 
 def write_chrome_trace(

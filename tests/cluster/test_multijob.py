@@ -103,3 +103,79 @@ class TestSharedLinkSim:
         )
         assert stats.epoch_time("big") > stats.epoch_time("small")
         assert stats.makespan_s == pytest.approx(stats.epoch_time("big"))
+
+
+class TestSharedLinkTelemetry:
+    def two_jobs(self, small_dataset, pipeline):
+        return [
+            make_shared_job("alpha", small_dataset, pipeline),
+            make_shared_job("beta", small_dataset, pipeline),
+        ]
+
+    def test_byte_identity_with_tracing(self, small_dataset, pipeline):
+        sim = SharedLinkSim(standard_cluster(storage_cores=8))
+        plain = sim.run_epoch(self.two_jobs(small_dataset, pipeline))
+        traced = sim.run_epoch(
+            self.two_jobs(small_dataset, pipeline),
+            record_spans=True, record_timeline=True,
+        )
+        assert traced.makespan_s == plain.makespan_s
+        assert traced.total_traffic_bytes == plain.total_traffic_bytes
+        for name in ("alpha", "beta"):
+            assert traced.epoch_time(name) == plain.epoch_time(name)
+            assert (
+                traced.results[name].traffic_bytes
+                == plain.results[name].traffic_bytes
+            )
+
+    def test_spans_carry_tenant_labels(self, small_dataset, pipeline):
+        sim = SharedLinkSim(standard_cluster(storage_cores=8))
+        stats = sim.run_epoch(
+            self.two_jobs(small_dataset, pipeline), epoch=3, record_spans=True
+        )
+        assert stats.spans is not None
+        jobs = {
+            e.attrs["job"] for e in stats.spans.events
+            if e.phase == "B" and e.name == "sample.fetch"
+        }
+        assert jobs == {"alpha", "beta"}
+        # Same trace ids as the single-node path, disambiguated by the
+        # job attr rather than a mangled id.
+        fetch = next(
+            e for e in stats.spans.events if e.name == "sample.fetch"
+        )
+        assert fetch.trace_id.endswith("-e3")
+
+    def test_per_job_timelines(self, small_dataset, pipeline):
+        sim = SharedLinkSim(standard_cluster(storage_cores=8))
+        stats = sim.run_epoch(
+            self.two_jobs(small_dataset, pipeline), record_timeline=True
+        )
+        assert stats.timelines is not None
+        assert set(stats.timelines) == {"alpha", "beta"}
+        for name, timeline in stats.timelines.items():
+            timeline.validate()
+            assert timeline.epoch_end == pytest.approx(stats.epoch_time(name))
+
+    def test_per_job_adjustments_accepted(self, small_dataset, pipeline):
+        from repro.cluster.trainer import WorkAdjustment
+
+        spec = standard_cluster(storage_cores=8)
+        sim = SharedLinkSim(spec)
+        plain = sim.run_epoch([make_shared_job("a", small_dataset, pipeline)])
+        slowed = sim.run_epoch(
+            [
+                SharedJob(
+                    name="a",
+                    dataset=small_dataset,
+                    pipeline=pipeline,
+                    model=get_model_profile("alexnet"),
+                    batch_size=64,
+                    adjustments={
+                        sid: WorkAdjustment(extra_compute_cpu_s=0.005)
+                        for sid in small_dataset.sample_ids()
+                    },
+                )
+            ]
+        )
+        assert slowed.epoch_time("a") > plain.epoch_time("a")

@@ -98,3 +98,112 @@ class TestShardedSim:
     def test_negative_shard_rejected(self, openimages_small, pipeline):
         with pytest.raises(ValueError):
             make_sim(openimages_small, pipeline, [-1] * len(openimages_small))
+
+
+class TestExplicitNumShards:
+    def test_empty_shards_still_reported(self, openimages_small, pipeline, splits):
+        """num_shards=8 with samples on 4 shards: 8 utilization entries."""
+        placement = round_robin_placement(len(openimages_small), 4)
+        result = ShardedTrainerSim(
+            openimages_small, pipeline, get_model_profile("alexnet"),
+            standard_cluster(storage_cores=1),
+            placement=placement, batch_size=64, num_shards=8,
+        ).run_epoch(splits, epoch=0)
+        assert len(result.shard_utilization) == 8
+        assert all(u == 0.0 for u in result.shard_utilization[4:])
+
+    def test_num_shards_defaults_to_inference(self, openimages_small, pipeline):
+        sim = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 3),
+        )
+        assert sim.num_shards == 3
+
+    def test_num_shards_below_placement_rejected(self, openimages_small, pipeline):
+        with pytest.raises(ValueError):
+            ShardedTrainerSim(
+                openimages_small, pipeline, get_model_profile("alexnet"),
+                standard_cluster(storage_cores=1),
+                placement=round_robin_placement(len(openimages_small), 4),
+                batch_size=64, num_shards=2,
+            )
+
+    def test_nonpositive_num_shards_rejected(self, openimages_small, pipeline):
+        with pytest.raises(ValueError):
+            ShardedTrainerSim(
+                openimages_small, pipeline, get_model_profile("alexnet"),
+                standard_cluster(storage_cores=1),
+                placement=[0] * len(openimages_small),
+                batch_size=64, num_shards=0,
+            )
+
+
+class TestOffloadValidation:
+    def test_split_without_storage_cores_raises(self, openimages_small, pipeline):
+        """The old sim silently granted max(storage_cores, 1) cores here."""
+        sim = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 2),
+            cores_per_shard=0,
+        )
+        with pytest.raises(ValueError, match="no storage cores"):
+            sim.run_epoch([1] * len(openimages_small), epoch=0)
+
+    def test_no_off_plan_runs_without_storage_cores(
+        self, openimages_small, pipeline
+    ):
+        result = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 2),
+            cores_per_shard=0,
+        ).run_epoch(None, epoch=0)
+        assert result.num_samples == len(openimages_small)
+        assert result.shard_utilization == [0.0, 0.0]
+
+    def test_plain_trainer_validates_too(self, openimages_small, pipeline):
+        sim = TrainerSim(
+            openimages_small, pipeline, get_model_profile("alexnet"),
+            standard_cluster(storage_cores=0), batch_size=64,
+        )
+        with pytest.raises(ValueError, match="no storage cores"):
+            sim.run_epoch([2] * len(openimages_small), epoch=0)
+
+
+class TestShardedTelemetry:
+    def test_full_base_signature_accepted(self, openimages_small, pipeline, splits):
+        """The pre-fix sim raised TypeError on record_spans/record_timeline."""
+        result = make_sim(
+            openimages_small, pipeline,
+            round_robin_placement(len(openimages_small), 4),
+        ).run_epoch(
+            splits, epoch=1, adjustments=None, record_timeline=True,
+            faults=None, record_spans=True,
+        )
+        assert result.spans is not None
+        assert result.timeline is not None
+        assert result.timeline.epoch_end == pytest.approx(result.epoch_time_s)
+
+    def test_byte_identity_with_tracing(self, openimages_small, pipeline, splits):
+        placement = round_robin_placement(len(openimages_small), 4)
+        plain = make_sim(openimages_small, pipeline, placement).run_epoch(
+            splits, epoch=1
+        )
+        traced = make_sim(openimages_small, pipeline, placement).run_epoch(
+            splits, epoch=1, record_spans=True, record_timeline=True
+        )
+        assert traced.epoch_time_s == plain.epoch_time_s
+        assert traced.traffic_bytes == plain.traffic_bytes
+        assert traced.shard_utilization == plain.shard_utilization
+
+    def test_spans_carry_shard_labels(self, openimages_small, pipeline, splits):
+        placement = round_robin_placement(len(openimages_small), 4)
+        result = make_sim(openimages_small, pipeline, placement).run_epoch(
+            splits, epoch=2, record_spans=True
+        )
+        fetches = [e for e in result.spans.events if e.name == "sample.fetch"
+                   and e.phase == "B"]
+        assert fetches
+        for event in fetches:
+            sample_id = int(event.trace_id.split("-")[0][1:])
+            assert event.attrs["shard"] == placement[sample_id]
+            assert event.trace_id.endswith("-e2")  # same ids as single-node

@@ -90,6 +90,72 @@ class TestAdaptiveRun:
             run.run(epochs=1)
 
 
+class TestShardedAdaptive:
+    """The uniform run_epoch contract: sharded epochs through the same calls."""
+
+    def make_run(self, openimages_small, **kwargs):
+        from repro.cluster.sharded import round_robin_placement
+
+        return AdaptiveTrainingRun(
+            openimages_small,
+            standard_cluster(storage_cores=8),
+            batch_size=64,
+            placement=round_robin_placement(len(openimages_small), 4),
+            **kwargs,
+        )
+
+    def test_sharded_epochs_with_telemetry(self, openimages_small):
+        """Pre-fix, run_epoch(..., record_spans=True) raised TypeError here."""
+        result = self.make_run(openimages_small, job_name="tenant-a").run(
+            epochs=3, record_spans=True, record_timeline=True
+        )
+        for epoch, stats in result.instrumented_epochs():
+            assert stats.spans is not None
+            assert stats.timeline is not None
+            labels = {
+                (e.attrs.get("shard"), e.attrs.get("job"))
+                for e in stats.spans.events
+                if e.name == "sample.fetch" and e.phase == "B"
+            }
+            assert all(job == "tenant-a" for _, job in labels)
+            assert {shard for shard, _ in labels} == {0, 1, 2, 3}
+
+    def test_telemetry_is_byte_identical(self, openimages_small):
+        plain = self.make_run(openimages_small).run(epochs=3)
+        traced = self.make_run(openimages_small).run(
+            epochs=3, record_spans=True, record_timeline=True
+        )
+        assert plain.epoch_times() == traced.epoch_times()
+        assert [e.stats.traffic_bytes for e in plain.epochs] == [
+            e.stats.traffic_bytes for e in traced.epochs
+        ]
+
+    def test_combined_artifacts_written(self, openimages_small, tmp_path):
+        import json
+
+        from repro.harness.telemetry import emit_combined_artifacts
+
+        result = self.make_run(openimages_small, job_name="tenant-a").run(
+            epochs=3, record_spans=True, record_timeline=True
+        )
+        paths = emit_combined_artifacts(
+            str(tmp_path), "run", result.instrumented_epochs()
+        )
+        assert {p.split("/")[-1] for p in paths} == {
+            "run.telemetry.jsonl", "run.trace.json",
+        }
+        document = json.loads((tmp_path / "run.trace.json").read_text())
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        for epoch in range(3):
+            assert f"run epoch {epoch} (virtual time)" in names
+        assert "shards (virtual time)" in names
+        assert "tenants (virtual time)" in names
+
+
 class TestObserveOutage:
     def make_run(self, openimages_small):
         return AdaptiveTrainingRun(

@@ -58,6 +58,25 @@ class TestChaosReport:
         assert run.lost_samples == 0
         assert run.traffic_delta_bytes > 0  # resends cost wire bytes
 
+
+class TestShardedChaos:
+    def test_sharded_sim_survives_every_scenario(self):
+        """Regression: the chaos path passes record_spans/record_timeline
+        and faults through run_epoch; the pre-fix sharded sim raised
+        TypeError on that call shape."""
+        dataset = make_openimages(num_samples=80, seed=11)
+        report = run_chaos(dataset, seed=3, shards=3, telemetry=True)
+        assert report.survived
+        crash = report.run_named("storage-crash")
+        assert crash.demoted_samples > 0
+        assert crash.stats.spans is not None
+        shards = {
+            e.attrs["shard"]
+            for e in crash.stats.spans.events
+            if "shard" in e.attrs
+        }
+        assert shards == {0, 1, 2}
+
     def test_brownout_slows_the_epoch(self, chaos_report):
         run = chaos_report.run_named("link-brownout")
         assert run.epoch_delta_s > 0

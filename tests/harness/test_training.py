@@ -68,3 +68,30 @@ class TestTrainingRun:
         run = TrainingRun(openimages_small, Sophon(), standard_cluster())
         with pytest.raises(ValueError):
             run.run(epochs=1)
+
+
+class TestTrainingRunTelemetry:
+    def test_every_epoch_instrumented(self, openimages_small):
+        result = TrainingRun(
+            openimages_small, Sophon(), standard_cluster(storage_cores=48),
+            batch_size=64, seed=0,
+        ).run(epochs=3, record_spans=True, record_timeline=True)
+        pairs = result.instrumented_epochs()
+        assert [epoch for epoch, _ in pairs] == [0, 1, 2]
+        for epoch, stats in pairs:
+            assert stats.spans is not None
+            assert stats.timeline is not None
+            assert any(
+                e.trace_id.endswith(f"-e{epoch}") for e in stats.spans.events
+            )
+
+    def test_telemetry_is_byte_identical(self, runs, openimages_small):
+        sophon, _ = runs
+        traced = TrainingRun(
+            openimages_small, Sophon(), standard_cluster(storage_cores=48),
+            batch_size=64, seed=0,
+        ).run(epochs=5, record_spans=True, record_timeline=True)
+        assert [s.epoch_time_s for s in traced.per_epoch] == [
+            s.epoch_time_s for s in sophon.per_epoch
+        ]
+        assert traced.total_traffic_bytes == sophon.total_traffic_bytes

@@ -98,3 +98,61 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestClusterTelemetryCli:
+    def test_audit_with_shards(self, capsys):
+        """Regression: audit calls run_epoch(..., record_spans=True) on the
+        sharded sim; the narrowed pre-fix signature raised TypeError."""
+        assert main(["--samples", "100", "audit", "5", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated spans for sample 5" in out
+        assert "shard=" in out
+
+    def test_adaptive_plain(self, capsys):
+        assert main(["--samples", "100", "adaptive", "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive run: 3 epochs" in out
+        assert "Replanned" in out
+
+    def test_adaptive_sharded_telemetry_and_replay(self, capsys, tmp_path):
+        assert main([
+            "--samples", "100", "adaptive",
+            "--epochs", "3", "--shards", "2", "--job-name", "tenant-a",
+            "--telemetry-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        trace = tmp_path / "tenant-a.trace.json"
+        log = tmp_path / "tenant-a.telemetry.jsonl"
+        assert trace.exists() and log.exists()
+
+        import json
+
+        names = {
+            e["args"]["name"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        for epoch in range(3):
+            assert f"tenant-a epoch {epoch} (virtual time)" in names
+        assert "shards (virtual time)" in names
+        assert "tenants (virtual time)" in names
+
+        assert main(["replay", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "per-epoch:" in out
+        assert "per-shard:" in out
+        assert "per-tenant:" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "job tenant-a" in out
+
+    def test_replay_without_cluster_labels_stays_plain(self, capsys, tmp_path):
+        assert main([
+            "--samples", "100", "fig1d", "--telemetry-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(tmp_path / "fig1d.telemetry.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "per-shard:" not in out
+        assert "per-tenant:" not in out
