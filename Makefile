@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples chaos all clean
+.PHONY: install test lint bench figures examples chaos chaos-service all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -9,25 +9,30 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # sophon-lint is always available (stdlib-only); ruff and mypy run when
-# installed (CI installs them).  mypy is BLOCKING for repro.cluster and
-# repro.telemetry (PR 5) and advisory for the rest of the tree until it
-# typechecks -- see ROADMAP.md.
+# installed (CI installs them).  mypy is BLOCKING for repro.core,
+# repro.rpc (PR 6), repro.cluster and repro.telemetry (PR 5), and
+# advisory for the rest of the tree until it typechecks -- see ROADMAP.md.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src; \
 	else echo "ruff not installed; skipping (CI installs it)"; fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/cluster src/repro/telemetry; \
+		mypy src/repro/core src/repro/rpc src/repro/cluster src/repro/telemetry; \
 		mypy || echo "tree-wide mypy findings are advisory for now (see ROADMAP.md)"; \
 	else echo "mypy not installed; skipping (CI installs it)"; fi
 
 #: Where `make bench` writes the profiling perf-regression report.
 BENCH_REPORT ?= BENCH_profiling.json
 
+#: Where `make bench` writes the decision-service load report.
+BENCH_SERVICE_REPORT ?= BENCH_service.json
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 	PYTHONPATH=src $(PYTHON) -m repro.parallel.bench --out $(BENCH_REPORT)
+	PYTHONPATH=src $(PYTHON) -m repro.service.loadgen --clients 4 --requests 25 \
+		--seed 7 --out $(BENCH_SERVICE_REPORT)
 
 figures:
 	$(PYTHON) -m repro.cli --samples 2000 --seed 7 all
@@ -45,6 +50,11 @@ TELEMETRY_DIR ?= artifacts/chaos-telemetry
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.chaos --samples 160 --seed 7 \
 		--telemetry-dir $(TELEMETRY_DIR)
+
+# Crash-recovery gate for the decision service: kill it mid-script,
+# restart on the same journal, and require byte-identical grants.
+chaos-service:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.service_chaos --requests 24 --seed 7
 
 all: test bench
 

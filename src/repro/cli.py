@@ -22,6 +22,7 @@ re-running anything.  Profiling-heavy commands accept ``--parallel``
 import argparse
 import contextlib
 import sys
+import time
 from typing import Iterator, List, Optional
 
 from repro.cluster.spec import standard_cluster
@@ -483,6 +484,62 @@ def cmd_report(args: argparse.Namespace) -> None:
         print(report)
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Run the always-on decision service until interrupted, then drain."""
+    import signal
+
+    from repro.service.config import ServiceConfig
+    from repro.service.server import DecisionService
+
+    config = ServiceConfig(
+        token=args.token,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        total_storage_cores=args.cores,
+        journal_path=args.journal,
+    )
+    service = DecisionService(config).start()
+    host, port = service.address
+    print(f"decision service listening on http://{host}:{port}")
+    if args.journal:
+        print(f"journal: {args.journal} "
+              f"({service.recovered_grants} grants recovered)")
+    print("Ctrl-C drains gracefully (finish in-flight work, checkpoint).")
+    # SIGTERM (systemd, k8s, `kill`) must drain exactly like Ctrl-C.
+    def _drain_signal(_sig: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _drain_signal)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    drained = service.drain()
+    print(f"\ndrained in {drained:.3f}s")
+
+
+def cmd_loadgen(args: argparse.Namespace) -> None:
+    """Heavy-tailed trainer load against a service; writes BENCH_service.json."""
+    from repro.service import loadgen
+
+    argv = [
+        "--clients", str(args.clients),
+        "--requests", str(args.requests),
+        "--seed", str(args.seed),
+        "--cores", str(args.cores),
+        "--mean-think-s", str(args.mean_think_s),
+        "--deadline-s", str(args.deadline_s),
+        "--token", args.token,
+        "--out", args.out,
+    ]
+    if args.address:
+        argv.extend(["--address", args.address])
+    raise SystemExit(loadgen.main(argv))
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     args.dataset = "openimages"
     print("== Table 1 ==")
@@ -633,6 +690,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bandwidth_mbps axis values")
     p.add_argument("--csv", help="also write the grid as CSV to this path")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on decision service (Ctrl-C drains gracefully)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (printed at startup)")
+    p.add_argument("--token", default="sophon-dev-token",
+                   help="bearer token clients must present")
+    p.add_argument("--workers", type=int, default=2,
+                   help="planner worker threads")
+    p.add_argument("--queue-capacity", type=int, default=16,
+                   help="bounded work queue size (beyond it, requests shed)")
+    p.add_argument("--cores", type=int, default=48,
+                   help="storage-CPU budget admission control protects")
+    p.add_argument("--journal", default=None,
+                   help="append-only grant journal path (enables crash "
+                   "recovery)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="heavy-tailed trainer load -> BENCH_service.json",
+    )
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--requests", type=int, default=25,
+                   help="plan requests per client")
+    p.add_argument("--cores", type=int, default=48)
+    p.add_argument("--mean-think-s", type=float, default=0.002)
+    p.add_argument("--deadline-s", type=float, default=5.0)
+    p.add_argument("--address", default=None,
+                   help="host:port of a running service (default: in-process)")
+    p.add_argument("--token", default="sophon-dev-token")
+    p.add_argument("--out", default="BENCH_service.json")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("all", help="everything above")
     p.add_argument("--bandwidth", type=float, default=1000.0)

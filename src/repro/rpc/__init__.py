@@ -35,6 +35,7 @@ from repro.rpc.client import StorageClient
 from repro.rpc.retry import (
     DeadlineExceededError,
     FetchFailedError,
+    RetryBudgetExhaustedError,
     RetryingClient,
     RetryStats,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "REQUEST_HEADER_SIZE",
     "RESPONSE_HEADER_SIZE",
     "RESPONSE_HEADER_SIZE_V1",
+    "RetryBudgetExhaustedError",
     "RetryStats",
     "RetryingClient",
     "StorageClient",

@@ -19,6 +19,7 @@ registry.
 import dataclasses
 import enum
 import logging
+import threading
 import time
 from typing import Callable, List, Optional, Tuple, Type, TypeVar
 
@@ -93,6 +94,11 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probe_in_flight = False
+        # Concurrent loader workers share one breaker: every check-and-set
+        # of the state machine (most critically the half-open probe slot,
+        # which admits exactly ONE caller) must be atomic.  Reentrant
+        # because ``state`` promotion runs inside locked methods.
+        self._lock = threading.RLock()
         self.stats = BreakerStats()
         self.tracer = tracer
         self.trace = trace
@@ -129,13 +135,14 @@ class CircuitBreaker:
     @property
     def state(self) -> BreakerState:
         """Current state, promoting OPEN to HALF_OPEN once the cooldown ends."""
-        if (
-            self._state is BreakerState.OPEN
-            and self._clock() - self._opened_at >= self.recovery_time_s
-        ):
-            self._transition(BreakerState.HALF_OPEN, reason="cooldown-elapsed")
-            self._probe_in_flight = False
-        return self._state
+        with self._lock:
+            if (
+                self._state is BreakerState.OPEN
+                and self._clock() - self._opened_at >= self.recovery_time_s
+            ):
+                self._transition(BreakerState.HALF_OPEN, reason="cooldown-elapsed")
+                self._probe_in_flight = False
+            return self._state
 
     def allow(self) -> bool:
         """May a fetch go to the server right now?
@@ -144,39 +151,42 @@ class CircuitBreaker:
         callers that get True *must* report the outcome via
         ``record_success``/``record_failure`` to settle the state.
         """
-        state = self.state
-        if state is BreakerState.CLOSED:
-            return True
-        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
-            self._probe_in_flight = True
-            self.stats.probes += 1
-            return True
-        self.stats.rejections += 1
-        return False
+        with self._lock:
+            state = self.state
+            if state is BreakerState.CLOSED:
+                return True
+            if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self.stats.probes += 1
+                return True
+            self.stats.rejections += 1
+            return False
 
     def record_success(self) -> None:
-        self.stats.successes += 1
-        self._consecutive_failures = 0
-        self._probe_in_flight = False
-        if self._state is not BreakerState.CLOSED:
-            self._transition(
-                BreakerState.CLOSED,
-                reason="probe-succeeded"
-                if self._state is BreakerState.HALF_OPEN
-                else "success",
-            )
+        with self._lock:
+            self.stats.successes += 1
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state is not BreakerState.CLOSED:
+                self._transition(
+                    BreakerState.CLOSED,
+                    reason="probe-succeeded"
+                    if self._state is BreakerState.HALF_OPEN
+                    else "success",
+                )
 
     def record_failure(self) -> None:
-        self.stats.failures += 1
-        self._consecutive_failures += 1
-        state = self.state
-        if state is BreakerState.HALF_OPEN:
-            self._trip(reason="probe-failed")  # back to OPEN, timer restarted
-        elif (
-            state is BreakerState.CLOSED
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._trip(reason="failure-threshold")
+        with self._lock:
+            self.stats.failures += 1
+            self._consecutive_failures += 1
+            state = self.state
+            if state is BreakerState.HALF_OPEN:
+                self._trip(reason="probe-failed")  # back to OPEN, timer restarted
+            elif (
+                state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip(reason="failure-threshold")
 
     def _trip(self, reason: str) -> None:
         self._transition(BreakerState.OPEN, reason=reason)
@@ -217,7 +227,8 @@ class CircuitBreaker:
         except BaseException:
             # Not a transport failure: don't trip the breaker, but release
             # the half-open probe slot so a real probe can still run.
-            self._probe_in_flight = False
+            with self._lock:
+                self._probe_in_flight = False
             raise
         self.record_success()
         return result

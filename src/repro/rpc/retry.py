@@ -33,6 +33,32 @@ class DeadlineExceededError(FetchFailedError):
     """The per-fetch deadline elapsed before an attempt succeeded."""
 
 
+class RetryBudgetExhaustedError(FetchFailedError):
+    """The client's lifetime retry budget is spent; no more backoff.
+
+    Distinct from :class:`DeadlineExceededError` (one fetch ran out of
+    time) -- this is the *client* running out of patience across fetches,
+    the signal a data loader uses to stop retrying a dead peer and demote
+    to local preprocessing instead.
+    """
+
+
+def failure_outcome(exc: BaseException) -> str:
+    """The ``rpc_fetch_seconds`` outcome label for a failed fetch.
+
+    Keeps shed-vs-timeout distinguishable on one histogram: ``deadline``
+    (per-fetch deadline), ``budget`` (client-wide retry budget),
+    ``exhausted`` (attempts spent), ``error`` (non-retryable failure).
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, RetryBudgetExhaustedError):
+        return "budget"
+    if isinstance(exc, FetchFailedError):
+        return "exhausted"
+    return "error"
+
+
 @dataclasses.dataclass
 class RetryStats:
     """Attempt accounting across the client's lifetime.
@@ -48,6 +74,8 @@ class RetryStats:
     failures: int = 0
     checksum_failures: int = 0
     backoff_s: float = 0.0
+    #: Fetches that failed because the lifetime retry budget was spent.
+    budget_exhaustions: int = 0
 
 
 class RetryingClient:
@@ -58,6 +86,12 @@ class RetryingClient:
         (full jitter) unless ``jitter=False``, which uses the cap itself.
     deadline_s: optional wall-clock budget per fetch; once spent, the fetch
         fails with :class:`DeadlineExceededError` instead of retrying on.
+    budget_s: optional *lifetime* retry budget -- total backoff seconds
+        this client may spend across every fetch it ever makes.  A fetch
+        whose next backoff would overdraw it fails immediately with
+        :class:`RetryBudgetExhaustedError` (outcome label ``budget``); a
+        peer that is down does not get to cost every fetch its full
+        per-fetch retry dance.
     sleep/clock: injectable for instant tests; default to ``time.sleep``
         and ``time.monotonic``.
     """
@@ -75,6 +109,7 @@ class RetryingClient:
         max_delay: float = 2.0,
         jitter: bool = True,
         deadline_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
         sleep: Optional[Callable[[float], None]] = None,
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
@@ -86,6 +121,8 @@ class RetryingClient:
             raise ValueError("backoff delays must be >= 0")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0, got {budget_s}")
         self.inner = inner
         self.max_attempts = max_attempts
         self.retryable = retryable
@@ -93,6 +130,7 @@ class RetryingClient:
         self.max_delay = max_delay
         self.jitter = jitter
         self.deadline_s = deadline_s
+        self.budget_s = budget_s
         self._sleep = sleep if sleep is not None else time.sleep
         self._clock = clock if clock is not None else time.monotonic
         self._rng = random.Random(seed)
@@ -105,6 +143,13 @@ class RetryingClient:
         if not self.jitter:
             return cap
         return self._rng.uniform(0.0, cap)
+
+    @property
+    def budget_remaining_s(self) -> Optional[float]:
+        """Lifetime backoff seconds still spendable (None: unlimited)."""
+        if self.budget_s is None:
+            return None
+        return max(0.0, self.budget_s - self.stats.backoff_s)
 
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
         trace = trace_id(sample_id, epoch)
@@ -119,10 +164,11 @@ class RetryingClient:
         try:
             payload = self._fetch(trace, sample_id, epoch, split)
         except BaseException as exc:
-            duration.observe(self._clock() - started, outcome="error")
+            outcome = failure_outcome(exc)
+            duration.observe(self._clock() - started, outcome=outcome)
             if self.tracer is not None:
                 self.tracer.end(
-                    trace, "rpc.fetch", outcome="error", error=type(exc).__name__
+                    trace, "rpc.fetch", outcome=outcome, error=type(exc).__name__
                 )
             raise
         duration.observe(self._clock() - started, outcome="ok")
@@ -151,6 +197,19 @@ class RetryingClient:
                     if remaining <= delay:
                         deadline_hit = True
                         break  # sleeping would blow the deadline
+                budget_left = self.budget_remaining_s
+                if budget_left is not None and delay > budget_left:
+                    self.stats.failures += 1
+                    self.stats.budget_exhaustions += 1
+                    registry.counter(
+                        "rpc_fetch_failures_total",
+                        "fetches that exhausted their budget",
+                    ).inc()
+                    raise RetryBudgetExhaustedError(
+                        f"sample {sample_id}: the client's {self.budget_s}s "
+                        f"retry budget is spent ({budget_left:.3f}s left, "
+                        f"next backoff {delay:.3f}s)"
+                    ) from last_error
                 if delay > 0:
                     self._sleep(delay)
                     self.stats.backoff_s += delay

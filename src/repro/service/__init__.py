@@ -1,0 +1,81 @@
+"""The offload control plane: an always-on decision-engine service.
+
+Every other entry point in this repository is a batch script: profile,
+plan, simulate, exit.  A fleet of training jobs needs the opposite -- a
+long-lived *decision service* that trainers query for per-sample offload
+plans while they run, and that stays correct when the interesting things
+happen: overload, stuck clients, and crashes mid-epoch.
+
+The package is zero-dependency (stdlib ``http.server`` + ``threading``)
+and built around robustness as the headline feature:
+
+- **token auth** on every control-plane endpoint;
+- a **bounded worker queue** decoupling request handling from profiling,
+  with explicit **load shedding** (503 + ``Retry-After``) under queue
+  pressure;
+- **admission control** against the storage node's CPU-core budget
+  (:class:`CoreBudgetLedger`): a plan request that would oversubscribe
+  the storage tier is rejected with ``Retry-After``, not queued forever;
+- **per-request deadlines** propagated from client to worker, so a
+  request nobody is waiting for anymore is dropped instead of planned;
+- **graceful drain** on shutdown: stop accepting, finish in-flight work,
+  checkpoint the journal;
+- **crash recovery** via an append-only journal of granted plans and
+  budget state (:class:`PlanJournal`): a restarted server resumes with
+  byte-identical grants (see ``repro.harness.service_chaos``);
+- ``/healthz`` / ``/readyz`` / ``/metrics`` endpoints, the latter
+  rendering the process metrics registry as Prometheus text.
+
+See ``docs/service.md`` for the endpoint and journal formats.
+"""
+
+from repro.service.budget import BudgetDecision, CoreBudgetLedger
+from repro.service.client import (
+    ClientStats,
+    PlanGrant,
+    ServiceAuthError,
+    ServiceClient,
+    ServiceDeadlineError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailableError,
+)
+from repro.service.config import ServiceConfig
+from repro.service.journal import (
+    CheckpointRecord,
+    GrantRecord,
+    JournalCorruptError,
+    JournalState,
+    PlanJournal,
+    ReleaseRecord,
+)
+from repro.service.planner import JobSpec, PlanResult, ServicePlanner
+from repro.service.queue import BoundedWorkQueue, PlanTask, QueueFullError
+from repro.service.server import DecisionService
+
+__all__ = [
+    "BoundedWorkQueue",
+    "BudgetDecision",
+    "CheckpointRecord",
+    "ClientStats",
+    "CoreBudgetLedger",
+    "DecisionService",
+    "GrantRecord",
+    "JobSpec",
+    "JournalCorruptError",
+    "JournalState",
+    "PlanGrant",
+    "PlanJournal",
+    "PlanResult",
+    "PlanTask",
+    "QueueFullError",
+    "ReleaseRecord",
+    "ServiceAuthError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDeadlineError",
+    "ServiceError",
+    "ServicePlanner",
+    "ServiceProtocolError",
+    "ServiceUnavailableError",
+]

@@ -1,0 +1,104 @@
+"""Admission control: a ledger of storage-CPU cores committed to jobs.
+
+The storage node has a fixed number of cores; every granted plan commits
+the cores it was planned against until the job releases them.  Admission
+control is the rule that the sum of commitments never exceeds the budget:
+a plan request that would oversubscribe the storage tier is *rejected
+now* (503 + ``Retry-After``) rather than queued behind capacity that is
+not coming back on its own -- the client decides whether to retry, shrink
+its ask, or go elsewhere.
+
+The ledger is deliberately tiny and deterministic: commitments change
+only via :meth:`commit` / :meth:`release` / :meth:`restore`, under one
+lock, so the journal replay path can rebuild it exactly.
+"""
+
+import dataclasses
+import threading
+from typing import Dict, Mapping, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetDecision:
+    """The outcome of one admission check."""
+
+    admitted: bool
+    reason: str
+    #: Cores the job held before this decision (0 if none).
+    previous_cores: int = 0
+
+
+class CoreBudgetLedger:
+    """Tracks cores committed per job against a fixed total."""
+
+    def __init__(self, total_cores: int) -> None:
+        if total_cores < 0:
+            raise ValueError(f"total_cores must be >= 0, got {total_cores}")
+        self.total_cores = total_cores
+        self._committed: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def committed_cores(self) -> int:
+        with self._lock:
+            return sum(self._committed.values())
+
+    @property
+    def available_cores(self) -> int:
+        return self.total_cores - self.committed_cores
+
+    def committed(self) -> Dict[str, int]:
+        """A snapshot of every job's commitment."""
+        with self._lock:
+            return dict(self._committed)
+
+    def holds(self, job: str) -> int:
+        """Cores ``job`` currently holds (0 when it holds none)."""
+        with self._lock:
+            return self._committed.get(job, 0)
+
+    def commit(self, job: str, cores: int) -> BudgetDecision:
+        """Try to commit ``cores`` to ``job``; atomic check-and-commit.
+
+        A job holds at most one commitment: re-committing replaces its
+        previous one, so only the *delta* needs headroom.  Rejection
+        changes nothing.
+        """
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        with self._lock:
+            previous = self._committed.get(job, 0)
+            others = sum(self._committed.values()) - previous
+            if others + cores > self.total_cores:
+                return BudgetDecision(
+                    admitted=False,
+                    reason=(
+                        f"budget oversubscribed: {cores} cores requested, "
+                        f"{self.total_cores - others} of {self.total_cores} free"
+                    ),
+                    previous_cores=previous,
+                )
+            self._committed[job] = cores
+            return BudgetDecision(
+                admitted=True,
+                reason=f"committed {cores} cores to {job}",
+                previous_cores=previous,
+            )
+
+    def release(self, job: str) -> Optional[int]:
+        """Free ``job``'s commitment; returns the cores freed (None if none)."""
+        with self._lock:
+            return self._committed.pop(job, None)
+
+    def restore(self, committed: Mapping[str, int]) -> None:
+        """Load a recovered commitment map (journal replay / checkpoint)."""
+        total = sum(committed.values())
+        if total > self.total_cores:
+            raise ValueError(
+                f"recovered commitments ({total} cores) exceed the "
+                f"budget of {self.total_cores}"
+            )
+        if any(cores < 1 for cores in committed.values()):
+            raise ValueError("recovered commitments must all be >= 1 core")
+        with self._lock:
+            self._committed = dict(committed)

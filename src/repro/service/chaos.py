@@ -1,0 +1,78 @@
+"""Mapping fault schedules onto the live decision service.
+
+A :class:`~repro.faults.FaultSchedule` speaks one time axis; the service
+speaks *request indices* (worker-side, one plan request == one time
+unit), the same call-index-clock idiom
+:class:`~repro.faults.injector.FaultInjector` uses for the in-memory
+channel.  :class:`ScheduleDisturbance` translates brownout and CPU-drift
+windows into extra per-request planning latency, and
+:func:`crash_indices` extracts the request indices at which the chaos
+harness should kill (and later restart) the service.
+
+Both translations are pure functions of the schedule, so a chaos run is
+as reproducible as the schedule itself.
+"""
+
+import math
+from typing import List
+
+from repro.faults.schedule import FaultSchedule
+
+
+class ScheduleDisturbance:
+    """Per-request latency injection derived from a fault schedule.
+
+    Passed as the ``disturbance`` hook of
+    :class:`~repro.service.server.DecisionService`; called with the
+    worker-side request index and returns extra seconds to stall before
+    planning.
+
+    base_plan_cost_s: the nominal cost one plan request represents; a CPU
+        drift of factor ``f`` stalls for ``(f - 1) * base_plan_cost_s``
+        (the slowdown the drifted CPUs would have added), and a brownout
+        adds its ``extra_rtt_s`` on top.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, base_plan_cost_s: float = 0.005
+    ) -> None:
+        if base_plan_cost_s < 0:
+            raise ValueError(
+                f"base_plan_cost_s must be >= 0, got {base_plan_cost_s}"
+            )
+        self.schedule = schedule
+        self.base_plan_cost_s = base_plan_cost_s
+        self.invocations = 0
+        self.stalled_requests = 0
+        self.total_stall_s = 0.0
+
+    def __call__(self, request_index: int) -> float:
+        if request_index < 0:
+            raise ValueError(
+                f"request_index must be >= 0, got {request_index}"
+            )
+        self.invocations += 1
+        t = float(request_index)
+        extra = self.schedule.extra_rtt_s(t)
+        drift = self.schedule.storage_cpu_factor(t)
+        if drift > 1.0:
+            extra += (drift - 1.0) * self.base_plan_cost_s
+        if extra > 0:
+            self.stalled_requests += 1
+            self.total_stall_s += extra
+        return extra
+
+
+def crash_indices(schedule: FaultSchedule, horizon: int) -> List[int]:
+    """Request indices at which the harness kills the service.
+
+    One kill per crash window, at ``ceil(start)`` -- the first request
+    index the window covers.  Windows opening at or past ``horizon``
+    (the scripted run's request count) never fire and are dropped.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    indices = sorted(
+        {math.ceil(window.start) for window in schedule.crashes}
+    )
+    return [index for index in indices if index < horizon]

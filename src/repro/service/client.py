@@ -1,0 +1,323 @@
+"""The trainer-side client for the decision service.
+
+One fresh HTTP connection per request (so a restarted server is
+transparently reachable again -- important under chaos), bearer-token
+auth, and an overall *deadline budget* shared across every retry: the
+client propagates its remaining budget to the server via the
+``X-Sophon-Deadline-S`` header, honours ``Retry-After`` hints on 503s,
+and gives up with :class:`ServiceUnavailableError` (shed) or
+:class:`ServiceDeadlineError` (out of time) rather than retrying
+forever.  Transport errors (connection refused, resets, timeouts) are
+retried too -- that is what a crashing-and-restarting server looks like
+from outside.
+"""
+
+import dataclasses
+import http.client
+import json
+import random
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.service.config import DEFAULT_TOKEN
+
+
+class ServiceError(Exception):
+    """Base class for decision-service client failures."""
+
+
+class ServiceAuthError(ServiceError):
+    """The server rejected the bearer token (401)."""
+
+
+class ServiceProtocolError(ServiceError):
+    """The request was malformed or unserviceable (400/404/500)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Every attempt was shed/rejected (503) or the server was unreachable."""
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDeadlineError(ServiceError):
+    """The overall deadline budget elapsed before a grant arrived."""
+
+
+@dataclasses.dataclass
+class ClientStats:
+    """Attempt accounting across the client's lifetime."""
+
+    requests: int = 0
+    attempts: int = 0
+    retries: int = 0
+    sheds: int = 0
+    transport_errors: int = 0
+    deadline_misses: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanGrant:
+    """A granted offload plan, as the service returned it."""
+
+    job: str
+    seq: int
+    params_digest: str
+    granted_cores: int
+    splits: Tuple[int, ...]
+    reason: str
+    replayed: bool
+    expected_epoch_s: Optional[float] = None
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.DecisionService`.
+
+    deadline_s: overall budget per logical operation, shared across every
+        retry and propagated to the server; None disables deadlines.
+    max_attempts: bound on tries per operation within the deadline.
+    backoff_s: base for exponential backoff with full jitter, used when a
+        503 carries no ``Retry-After`` hint and after transport errors.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        token: str = DEFAULT_TOKEN,
+        deadline_s: Optional[float] = 10.0,
+        max_attempts: int = 5,
+        backoff_s: float = 0.02,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        self.address = address
+        self.token = token
+        self.deadline_s = deadline_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._clock = clock
+        self.stats = ClientStats()
+
+    # -- transport -----------------------------------------------------------
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+        timeout: Optional[float],
+        deadline_remaining_s: Optional[float],
+    ) -> Tuple[int, Dict[str, str], Dict[str, object], str]:
+        headers = {
+            "Authorization": f"Bearer {self.token}",
+            "Content-Type": "application/json",
+        }
+        if deadline_remaining_s is not None:
+            headers["X-Sophon-Deadline-S"] = f"{deadline_remaining_s:.6f}"
+        data = json.dumps(body or {}).encode("utf-8") if method == "POST" else None
+        connection = http.client.HTTPConnection(
+            self.address[0], self.address[1], timeout=timeout
+        )
+        try:
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            response_headers = {k: v for k, v in response.getheaders()}
+            text = payload.decode("utf-8", "replace")
+            content_type = response_headers.get("Content-Type", "")
+            parsed: Dict[str, object] = {}
+            if content_type.startswith("application/json") and text:
+                loaded = json.loads(text)
+                if isinstance(loaded, dict):
+                    parsed = loaded
+            return (response.status, response_headers, parsed, text)
+        finally:
+            connection.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        retry: bool = True,
+    ) -> Tuple[int, Dict[str, str], Dict[str, object], str]:
+        """One logical operation: attempts + backoff under a shared deadline."""
+        self.stats.requests += 1
+        deadline_at = (
+            self._clock() + self.deadline_s if self.deadline_s is not None else None
+        )
+        last_retry_after: Optional[float] = None
+        last_error = "unavailable"
+        for attempt in range(self.max_attempts):
+            remaining = (
+                deadline_at - self._clock() if deadline_at is not None else None
+            )
+            if remaining is not None and remaining <= 0:
+                self.stats.deadline_misses += 1
+                raise ServiceDeadlineError(
+                    f"{method} {path}: deadline budget of {self.deadline_s}s "
+                    f"spent after {attempt} attempts"
+                )
+            self.stats.attempts += 1
+            try:
+                status, headers, parsed, text = self._once(
+                    method, path, body, remaining, remaining
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                self.stats.transport_errors += 1
+                last_error = f"transport: {type(exc).__name__}: {exc}"
+                if not retry:
+                    raise ServiceUnavailableError(last_error) from exc
+                self._backoff(attempt, None, deadline_at)
+                continue
+            if status == 503 and retry:
+                self.stats.sheds += 1
+                last_retry_after = _parse_retry_after(headers)
+                last_error = str(parsed.get("error", text.strip() or "shed"))
+                self._backoff(attempt, last_retry_after, deadline_at)
+                continue
+            return (status, headers, parsed, text)
+        raise ServiceUnavailableError(
+            f"{method} {path}: gave up after {self.max_attempts} attempts "
+            f"({last_error})",
+            retry_after_s=last_retry_after,
+        )
+
+    def _backoff(
+        self,
+        attempt: int,
+        retry_after_s: Optional[float],
+        deadline_at: Optional[float],
+    ) -> None:
+        self.stats.retries += 1
+        if retry_after_s is not None:
+            delay = retry_after_s
+        else:
+            cap = self.backoff_s * (2 ** attempt)
+            delay = self._rng.uniform(0.0, cap)
+        if deadline_at is not None:
+            delay = min(delay, max(0.0, deadline_at - self._clock()))
+        if delay > 0:
+            self._sleep(delay)
+
+    # -- operations ----------------------------------------------------------
+
+    def plan(
+        self,
+        job: str,
+        dataset: str = "openimages",
+        num_samples: int = 256,
+        seed: int = 0,
+        model: str = "alexnet",
+        gpu: str = "rtx6000",
+        storage_cores: int = 8,
+    ) -> PlanGrant:
+        """Request an offload plan; retries sheds/outages within the deadline."""
+        body: Dict[str, object] = {
+            "job": job,
+            "dataset": dataset,
+            "num_samples": num_samples,
+            "seed": seed,
+            "model": model,
+            "gpu": gpu,
+            "storage_cores": storage_cores,
+        }
+        status, headers, parsed, text = self._request("POST", "/v1/plan", body)
+        if status == 200:
+            return PlanGrant(
+                job=str(parsed["job"]),
+                seq=int(parsed["seq"]),  # type: ignore[arg-type]
+                params_digest=str(parsed["params_digest"]),
+                granted_cores=int(parsed["granted_cores"]),  # type: ignore[arg-type]
+                splits=tuple(int(s) for s in parsed["splits"]),  # type: ignore[union-attr]
+                reason=str(parsed["reason"]),
+                replayed=bool(parsed["replayed"]),
+                expected_epoch_s=(
+                    float(parsed["expected_epoch_s"])  # type: ignore[arg-type]
+                    if "expected_epoch_s" in parsed
+                    else None
+                ),
+            )
+        self._raise_for(status, parsed, text)
+        raise AssertionError("unreachable")
+
+    def release(self, job: str) -> Optional[int]:
+        """Release the job's cores; returns them, or None if it held none."""
+        status, _, parsed, text = self._request(
+            "POST", "/v1/release", {"job": job}
+        )
+        if status == 200:
+            return int(parsed["released_cores"])  # type: ignore[arg-type]
+        if status == 404:
+            return None
+        self._raise_for(status, parsed, text)
+        raise AssertionError("unreachable")
+
+    def drain(self) -> None:
+        """Ask the service to drain gracefully (202 expected)."""
+        status, _, parsed, text = self._request(
+            "POST", "/v1/drain", {}, retry=False
+        )
+        if status != 202:
+            self._raise_for(status, parsed, text)
+
+    def health(self) -> bool:
+        try:
+            status, _, _, _ = self._request("GET", "/healthz", retry=False)
+        except ServiceError:
+            return False
+        return status == 200
+
+    def ready(self) -> bool:
+        try:
+            status, _, _, _ = self._request("GET", "/readyz", retry=False)
+        except ServiceError:
+            return False
+        return status == 200
+
+    def status(self) -> Dict[str, object]:
+        status, _, parsed, text = self._request("GET", "/v1/status")
+        if status != 200:
+            self._raise_for(status, parsed, text)
+        return parsed
+
+    def metrics_text(self) -> str:
+        status, _, _, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceProtocolError(f"/metrics answered {status}")
+        return text
+
+    def _raise_for(
+        self, status: int, parsed: Dict[str, object], text: str
+    ) -> None:
+        message = str(parsed.get("error", text.strip() or f"HTTP {status}"))
+        if status == 401:
+            raise ServiceAuthError(message)
+        if status == 503:
+            raise ServiceUnavailableError(message)
+        if status == 504:
+            self.stats.deadline_misses += 1
+            raise ServiceDeadlineError(message)
+        raise ServiceProtocolError(f"HTTP {status}: {message}")
+
+
+def _parse_retry_after(headers: Dict[str, str]) -> Optional[float]:
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    return parsed if parsed >= 0 else None

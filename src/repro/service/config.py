@@ -1,0 +1,89 @@
+"""Configuration for the decision service.
+
+One frozen dataclass holds every operational knob -- capacity, budgets,
+timeouts, journal location -- so a service's behaviour is fully described
+by its config plus its journal.  Tests construct small configs directly;
+``sophon-repro serve`` builds one from flags.
+"""
+
+import dataclasses
+from typing import Optional
+
+#: The development default.  Real deployments pass their own token; the
+#: server refuses to start with an empty one.
+DEFAULT_TOKEN = "sophon-dev-token"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the decision service needs to run.
+
+    token: shared bearer token required on every ``/v1/*`` request.
+    host/port: listen address; port 0 picks an ephemeral port (the bound
+        address is on :attr:`DecisionService.address`).
+    workers: planner worker threads draining the queue.
+    queue_capacity: bounded queue depth; a full queue sheds new plan
+        requests with 503 + ``Retry-After`` instead of buffering forever.
+    total_storage_cores: the storage node's CPU budget that admission
+        control protects; committed cores across active jobs never exceed
+        this.
+    max_samples: upper bound on a job's ``num_samples`` (one request must
+        not be able to wedge a worker on an arbitrarily large profile).
+    default_deadline_s: applied to requests that carry no deadline header;
+        None means such requests never expire server-side.
+    retry_after_s: the hint sent with 503 responses (shed / draining /
+        budget-rejected).
+    drain_timeout_s: how long a graceful drain waits for in-flight work
+        before giving up and hard-stopping.
+    journal_path: append-only recovery journal; None disables journaling
+        (grants are not durable, restarts start from scratch).
+    sync_journal: fsync after every journal append.  Durable by default;
+        benchmarks may turn it off.
+    plan_cache_size: LRU entries of profiled records kept per planner
+        (keyed by job parameters), so a fleet re-requesting the same job
+        shape does not re-profile every time.
+    """
+
+    token: str = DEFAULT_TOKEN
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_capacity: int = 16
+    total_storage_cores: int = 48
+    max_samples: int = 20000
+    default_deadline_s: Optional[float] = 30.0
+    retry_after_s: float = 0.05
+    drain_timeout_s: float = 30.0
+    journal_path: Optional[str] = None
+    sync_journal: bool = True
+    plan_cache_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.token:
+            raise ValueError("token must be non-empty")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.total_storage_cores < 0:
+            raise ValueError(
+                f"total_storage_cores must be >= 0, got {self.total_storage_cores}"
+            )
+        if self.max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {self.max_samples}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError(f"retry_after_s must be >= 0, got {self.retry_after_s}")
+        if self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be >= 0, got {self.plan_cache_size}"
+            )

@@ -1,0 +1,334 @@
+"""Trace-driven load generator for the decision service.
+
+Simulates a fleet of trainer clients with seeded, heavy-tailed (Pareto)
+think times hammering one service, and reports what the fleet saw:
+p50/p90/p99 grant latency, shed and retry rates, and the server's own
+queue/budget counters -- written to ``BENCH_service.json`` with a
+schema-versioned layout (like ``BENCH_profiling.json``) so successive
+runs are directly comparable.  Run it via ``make bench`` or::
+
+    PYTHONPATH=src python -m repro.service.loadgen --clients 4 --requests 25
+
+Request *content* is deterministic per seed (job names, dataset shapes,
+core asks, release points); only the wall-clock numbers vary between
+machines.
+"""
+
+import argparse
+import dataclasses
+import json
+import math
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceDeadlineError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.service.config import DEFAULT_TOKEN, ServiceConfig
+from repro.service.server import DecisionService
+
+#: Schema tag for ``BENCH_service.json``.  Bump only when the layout
+#: changes incompatibly; tools reading the file key off this string.
+SCHEMA = "sophon-bench-service/v1"
+
+#: Every outcome a request can terminate with, in report order.
+OUTCOMES = ("granted", "replayed", "shed", "deadline", "failed")
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadgenConfig:
+    """The load shape one run drives.
+
+    clients: concurrent trainer threads.
+    requests_per_client: plan requests each client issues.
+    pareto_shape: tail index of the think-time distribution (smaller =
+        heavier tail; must be > 1 so the mean exists).
+    mean_think_s: average inter-request think time per client.
+    deadline_s: per-request deadline budget each client enforces (and
+        propagates to the server).
+    release_every: a client releases its job's cores after every N
+        grants, freeing budget for the rest of the fleet.
+    num_samples_choices / cores_choices: the per-request job shapes,
+        drawn with the client's seeded RNG.
+    """
+
+    clients: int = 4
+    requests_per_client: int = 25
+    seed: int = 7
+    pareto_shape: float = 1.5
+    mean_think_s: float = 0.002
+    deadline_s: float = 5.0
+    release_every: int = 5
+    num_samples_choices: Tuple[int, ...] = (24, 32, 48)
+    cores_choices: Tuple[int, ...] = (4, 8, 12)
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got {self.requests_per_client}"
+            )
+        if self.pareto_shape <= 1.0:
+            raise ValueError(
+                f"pareto_shape must be > 1 (finite mean), got {self.pareto_shape}"
+            )
+        if self.mean_think_s < 0:
+            raise ValueError(f"mean_think_s must be >= 0, got {self.mean_think_s}")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.release_every < 1:
+            raise ValueError(f"release_every must be >= 1, got {self.release_every}")
+
+
+@dataclasses.dataclass
+class RequestResult:
+    """One request as a client experienced it."""
+
+    client: int
+    index: int
+    outcome: str
+    latency_s: float
+    retries: int
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 1])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q * len(ordered))  # nearest-rank, 1-based
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+
+def _think_time(rng: random.Random, shape: float, mean_s: float) -> float:
+    """One heavy-tailed inter-arrival draw with the requested mean."""
+    if mean_s <= 0:
+        return 0.0
+    # paretovariate(a) has mean a / (a - 1); rescale to mean_s.
+    return mean_s * ((shape - 1.0) / shape) * rng.paretovariate(shape)
+
+
+def _client_loop(
+    client_index: int,
+    address: Tuple[str, int],
+    token: str,
+    config: LoadgenConfig,
+    results: List[RequestResult],
+    lock: threading.Lock,
+    sleep: Callable[[float], None],
+    clock: Callable[[], float],
+) -> None:
+    rng = random.Random((config.seed << 8) ^ client_index)
+    client = ServiceClient(
+        address,
+        token=token,
+        deadline_s=config.deadline_s,
+        max_attempts=4,
+        seed=config.seed * 1000 + client_index,
+        sleep=sleep,
+        clock=clock,
+    )
+    job = f"trainer-{client_index}"
+    grants = 0
+    for index in range(config.requests_per_client):
+        sleep(_think_time(rng, config.pareto_shape, config.mean_think_s))
+        num_samples = rng.choice(config.num_samples_choices)
+        cores = rng.choice(config.cores_choices)
+        retries_before = client.stats.retries
+        started = clock()
+        try:
+            grant = client.plan(
+                job,
+                num_samples=num_samples,
+                seed=config.seed,
+                storage_cores=cores,
+            )
+            outcome = "replayed" if grant.replayed else "granted"
+            grants += 1
+        except ServiceUnavailableError:
+            outcome = "shed"
+        except ServiceDeadlineError:
+            outcome = "deadline"
+        except ServiceError:
+            outcome = "failed"
+        latency = clock() - started
+        with lock:
+            results.append(
+                RequestResult(
+                    client=client_index,
+                    index=index,
+                    outcome=outcome,
+                    latency_s=latency,
+                    retries=client.stats.retries - retries_before,
+                )
+            )
+        if grants and grants % config.release_every == 0:
+            try:
+                client.release(job)
+            except ServiceError:
+                pass  # budget pressure persists; the run report shows it
+
+
+def run_loadgen(
+    address: Tuple[str, int],
+    token: str = DEFAULT_TOKEN,
+    config: LoadgenConfig = LoadgenConfig(),
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Dict[str, object]:
+    """Drive the fleet against a live service; returns the report dict."""
+    results: List[RequestResult] = []
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(i, address, token, config, results, lock, sleep, clock),
+            daemon=True,
+            name=f"loadgen-client-{i}",
+        )
+        for i in range(config.clients)
+    ]
+    started = clock()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = clock() - started
+
+    outcomes = {name: 0 for name in OUTCOMES}
+    for result in results:
+        outcomes[result.outcome] += 1
+    total = len(results)
+    latencies = [r.latency_s for r in results]
+    retries = sum(r.retries for r in results)
+    served = outcomes["granted"] + outcomes["replayed"]
+
+    server: Dict[str, object] = {}
+    try:
+        status = ServiceClient(
+            address, token=token, deadline_s=2.0, sleep=sleep, clock=clock
+        ).status()
+        server = {
+            "queue_capacity": status.get("queue_capacity"),
+            "queue_max_depth": status.get("queue_max_depth"),
+            "shed_count": status.get("shed_count"),
+            "committed_cores": status.get("committed_cores"),
+            "grants": status.get("grants"),
+        }
+    except ServiceError:
+        pass  # a drained/killed server still yields a client-side report
+
+    return {
+        "schema": SCHEMA,
+        "config": dataclasses.asdict(config),
+        "requests": total,
+        "elapsed_s": elapsed,
+        "throughput_rps": total / elapsed if elapsed > 0 else None,
+        "outcomes": outcomes,
+        "served": served,
+        "shed_rate": outcomes["shed"] / total if total else 0.0,
+        "retry_rate": retries / total if total else 0.0,
+        "retries": retries,
+        "latency_s": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+            "max": max(latencies),
+            "mean": sum(latencies) / len(latencies),
+        }
+        if latencies
+        else None,
+        "server": server,
+    }
+
+
+def render_summary(report: Dict[str, object]) -> str:
+    """A terse human-readable digest of one report."""
+    latency = report["latency_s"]
+    outcomes = report["outcomes"]
+    assert isinstance(outcomes, dict)
+    parts = ", ".join(f"{name} {outcomes[name]}" for name in OUTCOMES)
+    lines = [
+        f"service loadgen ({report['schema']}): {report['requests']} requests "
+        f"in {report['elapsed_s']:.2f}s",
+        f"  outcomes: {parts}",
+        f"  shed rate {report['shed_rate']:.1%}, retry rate "
+        f"{report['retry_rate']:.2f}/req",
+    ]
+    if isinstance(latency, dict):
+        lines.append(
+            f"  latency p50 {latency['p50'] * 1000:.1f}ms, "
+            f"p90 {latency['p90'] * 1000:.1f}ms, "
+            f"p99 {latency['p99'] * 1000:.1f}ms, "
+            f"max {latency['max'] * 1000:.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Drive heavy-tailed trainer load at a decision service "
+        "and write BENCH_service.json."
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="plan requests per client")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--mean-think-s", type=float, default=0.002)
+    parser.add_argument("--deadline-s", type=float, default=5.0)
+    parser.add_argument("--queue-capacity", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--cores", type=int, default=48,
+                        help="storage-CPU budget admission control protects")
+    parser.add_argument("--address", default=None,
+                        help="host:port of a running service (default: spin "
+                        "one up in-process)")
+    parser.add_argument("--token", default=DEFAULT_TOKEN)
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        mean_think_s=args.mean_think_s,
+        deadline_s=args.deadline_s,
+    )
+    if args.address is not None:
+        host, _, port = args.address.partition(":")
+        report = run_loadgen((host, int(port)), token=args.token, config=config)
+    else:
+        service_config = ServiceConfig(
+            token=args.token,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            total_storage_cores=args.cores,
+        )
+        with DecisionService(service_config) as service:
+            report = run_loadgen(
+                service.address, token=args.token, config=config
+            )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render_summary(report))
+    print(f"report written to {args.out}")
+    outcomes = report["outcomes"]
+    assert isinstance(outcomes, dict)
+    if outcomes["failed"] or not report["served"]:
+        print("FAIL: requests failed outright (not shed, failed)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -172,6 +172,100 @@ class TestOutageLifecycle:
         assert report.duration_s == 5.5
 
 
+class TestFlapping:
+    """A storage node that flaps (down, up, down, up, ...) must neither
+    corrupt data nor inflate the outage count: every demoted payload stays
+    bit-identical to the healthy path, and each contiguous down episode is
+    reported exactly once."""
+
+    CYCLES = 4
+    SAMPLES_PER_PHASE = 5
+
+    def flap(self, fetcher, primary, epoch=0, split=2):
+        """Drive CYCLES down/up cycles; return payloads per down phase."""
+        demoted_by_cycle = []
+        for _ in range(self.CYCLES):
+            primary.down = True
+            demoted_by_cycle.append(
+                [
+                    fetcher.fetch(sid, epoch, split)
+                    for sid in range(self.SAMPLES_PER_PHASE)
+                ]
+            )
+            primary.down = False
+            # Enough healthy traffic for the breaker's cooldown to elapse
+            # on the fake clock and the half-open probe to succeed.
+            for sid in range(self.SAMPLES_PER_PHASE):
+                fetcher.fetch(sid, epoch, split)
+        return demoted_by_cycle
+
+    def test_each_down_episode_is_counted_exactly_once(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        from repro.telemetry.registry import MetricsRegistry, use_registry
+
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=1.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            self.flap(fetcher, primary)
+        assert len(fetcher.outages) == self.CYCLES
+        assert all(o.recovered_at_s is not None for o in fetcher.outages)
+        assert all(o.demotion_count > 0 for o in fetcher.outages)
+        assert not fetcher.in_outage
+        # The metrics side agrees with the report side: one increment per
+        # episode, not one per failing fetch within it.
+        snapshot = registry.snapshot()
+        (outages_total,) = [
+            value
+            for (name, _labels), value in snapshot.series.items()
+            if name == "degraded_outages_total"
+        ]
+        assert outages_total == self.CYCLES
+
+    def test_flapping_cycles_stay_bit_identical(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=1.0)
+        healthy = {
+            sid: rpc_client.fetch(sid, 0, 2)
+            for sid in range(self.SAMPLES_PER_PHASE)
+        }
+        demoted_by_cycle = self.flap(fetcher, primary)
+        for cycle, demoted in enumerate(demoted_by_cycle):
+            for sid, payload in enumerate(demoted):
+                assert np.array_equal(payload.data, healthy[sid].data), (
+                    f"cycle {cycle}, sample {sid}: demoted payload diverged "
+                    f"from the healthy offload path"
+                )
+
+    def test_outage_durations_do_not_overlap(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=1.0)
+        self.flap(fetcher, primary)
+        for earlier, later in zip(fetcher.outages, fetcher.outages[1:]):
+            assert earlier.recovered_at_s is not None
+            assert earlier.recovered_at_s <= later.started_at_s
+
+    def test_demotions_attach_to_the_current_episode_only(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny, recovery=1.0)
+        self.flap(fetcher, primary)
+        assert fetcher.demotion_count == sum(
+            o.demotion_count for o in fetcher.outages
+        )
+        # Every demotion's timestamp falls inside its episode's window.
+        for outage in fetcher.outages:
+            for demotion in outage.demotions:
+                assert demotion.at_s >= outage.started_at_s
+                assert demotion.at_s <= outage.recovered_at_s
+
+
 class TestSophonFacade:
     def test_degraded_fetcher_factory(self, rpc_client, pipeline, materialized_tiny):
         from repro.core.sophon import Sophon

@@ -59,7 +59,7 @@ def test_fetch_histogram_observes_failure():
             client.fetch(0, epoch=1, split=0)
     series = _series(registry, "rpc_fetch_seconds")
     ((_, labels),) = series.keys()
-    assert labels == (("outcome", "error"),)
+    assert labels == (("outcome", "exhausted"),)  # attempts spent, not shed
     (histogram,) = series.values()
     assert histogram.count == 1
 

@@ -1,5 +1,7 @@
 """Circuit breaker state machine tests (injected clock, no real waiting)."""
 
+import threading
+
 import pytest
 
 from repro.rpc.breaker import (
@@ -143,6 +145,120 @@ class TestCallGuard:
         breaker.record_failure()
         with pytest.raises(BreakerOpenError):
             breaker.call(lambda: None)
+
+
+class TestConcurrency:
+    """The breaker is shared by concurrent loader workers; its check-and-set
+    paths (most critically the half-open probe slot) must be atomic."""
+
+    THREADS = 16
+    ROUNDS = 50
+
+    def run_contended(self, worker, threads=THREADS):
+        """Start ``threads`` copies of ``worker`` behind a barrier."""
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def wrapped(index):
+            barrier.wait()
+            try:
+                worker(index)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=wrapped, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+
+    def test_half_open_admits_exactly_one_probe_under_contention(self, clock):
+        # Repeat the race many times: every round trips the breaker, cools
+        # it down, then stampedes allow() from THREADS threads at once.
+        # Exactly one may claim the probe slot each round.
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        for round_index in range(self.ROUNDS):
+            breaker.record_failure()
+            clock.advance(10.0)
+            admitted = []
+
+            def worker(index):
+                if breaker.allow():
+                    admitted.append(index)
+
+            self.run_contended(worker)
+            assert len(admitted) == 1, (
+                f"round {round_index}: {len(admitted)} threads claimed "
+                f"the single half-open probe slot"
+            )
+            breaker.record_success()  # settle the probe, close for next round
+        assert breaker.stats.probes == self.ROUNDS
+
+    def test_cooldown_promotion_happens_exactly_once(self, clock):
+        # Concurrent state reads right after the cooldown elapses must
+        # produce exactly one OPEN -> HALF_OPEN transition, not one per
+        # racing reader.
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+
+        def worker(index):
+            assert breaker.state is BreakerState.HALF_OPEN
+
+        self.run_contended(worker)
+        promotions = [
+            t
+            for t in breaker.transitions
+            if t.to_state is BreakerState.HALF_OPEN
+        ]
+        assert len(promotions) == 1
+
+    def test_concurrent_failures_trip_exactly_once(self, clock):
+        breaker = make_breaker(clock, threshold=self.THREADS, recovery=10.0)
+
+        def worker(index):
+            breaker.record_failure()
+
+        self.run_contended(worker)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.opens == 1
+        assert breaker.stats.failures == self.THREADS
+
+    def test_contended_call_guard_runs_one_probe(self, clock):
+        # Through the public call() guard: one probe runs, the rest are
+        # rejected with BreakerOpenError while it is in flight, and the
+        # probe's success closes the breaker.  The probe blocks until all
+        # other threads have been turned away -- otherwise its instant
+        # success would close the breaker and legitimately admit them.
+        breaker = make_breaker(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        everyone_else_rejected = threading.Event()
+
+        def probe_fn():
+            everyone_else_rejected.wait(timeout=10.0)
+            return "ok"
+
+        def worker(index):
+            try:
+                breaker.call(probe_fn)
+                with outcomes_lock:
+                    outcomes.append("probed")
+            except BreakerOpenError:
+                with outcomes_lock:
+                    outcomes.append("rejected")
+                    if outcomes.count("rejected") == self.THREADS - 1:
+                        everyone_else_rejected.set()
+
+        self.run_contended(worker)
+        assert outcomes.count("probed") == 1
+        assert outcomes.count("rejected") == self.THREADS - 1
+        assert breaker.state is BreakerState.CLOSED
 
 
 class TestValidation:

@@ -7,6 +7,7 @@ from repro.rpc.messages import ChecksumError, ProtocolError
 from repro.rpc.retry import (
     DeadlineExceededError,
     FetchFailedError,
+    RetryBudgetExhaustedError,
     RetryingClient,
 )
 
@@ -199,3 +200,73 @@ class TestChecksumRetries:
         assert payload.data == materialized_tiny.raw_payload(0).data
         assert client.stats.checksum_failures == 2
         assert client.stats.retries == 2
+
+
+class TestRetryBudget:
+    def make_client(self, server, budget_s, failures=100, **kwargs):
+        channel = InMemoryChannel(server.handle, fault=FlakyFault(failures))
+        defaults = dict(
+            max_attempts=10,
+            base_delay=1.0,
+            max_delay=1.0,
+            jitter=False,
+            budget_s=budget_s,
+            sleep=lambda _: None,
+        )
+        defaults.update(kwargs)
+        return RetryingClient(StorageClient(channel), **defaults)
+
+    def test_budget_spans_fetches(self, server):
+        client = self.make_client(server, budget_s=2.5)
+        with pytest.raises(RetryBudgetExhaustedError):
+            client.fetch(0, 0, 0)  # two 1.0s backoffs fit, the third doesn't
+        assert client.stats.retries == 2
+        assert client.budget_remaining_s == pytest.approx(0.5)
+        # The next fetch inherits what's left: its FIRST backoff overdraws.
+        with pytest.raises(RetryBudgetExhaustedError):
+            client.fetch(1, 0, 0)
+        assert client.stats.retries == 2  # no new backoff was spent
+        assert client.stats.budget_exhaustions == 2
+        assert client.stats.failures == 2
+
+    def test_recovery_before_budget_spends_nothing_more(self, server):
+        client = self.make_client(server, budget_s=10.0, failures=2)
+        client.fetch(0, 0, 0)
+        assert client.stats.backoff_s == pytest.approx(2.0)
+        assert client.budget_remaining_s == pytest.approx(8.0)
+
+    def test_unlimited_budget_by_default(self, server):
+        client = self.make_client(server, budget_s=None, failures=1)
+        assert client.budget_remaining_s is None
+        client.fetch(0, 0, 0)
+
+    def test_budget_error_is_a_fetch_failure(self):
+        assert issubclass(RetryBudgetExhaustedError, FetchFailedError)
+
+    def test_validates_budget(self):
+        with pytest.raises(ValueError):
+            RetryingClient(None, budget_s=0.0)
+
+    def test_budget_outcome_label_distinguishes_shed_from_timeout(self, server):
+        from repro.telemetry.registry import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            client = self.make_client(server, budget_s=0.5)
+            with pytest.raises(RetryBudgetExhaustedError):
+                client.fetch(0, 0, 0)
+        snapshot = registry.snapshot()
+        labels = {
+            labels
+            for (name, labels) in snapshot.series
+            if name == "rpc_fetch_seconds"
+        }
+        assert labels == {(("outcome", "budget"),)}
+
+    def test_failure_outcome_classification(self):
+        from repro.rpc.retry import failure_outcome
+
+        assert failure_outcome(DeadlineExceededError()) == "deadline"
+        assert failure_outcome(RetryBudgetExhaustedError()) == "budget"
+        assert failure_outcome(FetchFailedError()) == "exhausted"
+        assert failure_outcome(ValueError()) == "error"

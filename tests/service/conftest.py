@@ -1,0 +1,41 @@
+"""Shared fixtures: a small live service and a client wired to it."""
+
+import contextlib
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import DecisionService
+
+#: Small on purpose: profiling 16-sample datasets keeps each grant cheap.
+SMALL_SAMPLES = 16
+
+
+@pytest.fixture
+def service_factory():
+    """Start DecisionServices that are always torn down, even on failure."""
+    started = []
+
+    def factory(config: ServiceConfig = None, **kwargs) -> DecisionService:
+        service = DecisionService(
+            config if config is not None else ServiceConfig(), **kwargs
+        )
+        started.append(service)
+        return service.start()
+
+    yield factory
+    for service in started:
+        with contextlib.suppress(Exception):
+            if service.drain_seconds is None:
+                service.kill()
+
+
+@pytest.fixture
+def live_service(service_factory):
+    return service_factory(ServiceConfig(total_storage_cores=16, workers=2))
+
+
+@pytest.fixture
+def client(live_service):
+    return ServiceClient(live_service.address, deadline_s=10.0, max_attempts=3)

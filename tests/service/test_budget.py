@@ -1,0 +1,95 @@
+"""Admission-control ledger tests: atomic commits, replacement, restore."""
+
+import threading
+
+import pytest
+
+from repro.service.budget import CoreBudgetLedger
+
+
+class TestCommit:
+    def test_admits_within_budget(self):
+        ledger = CoreBudgetLedger(16)
+        decision = ledger.commit("job-a", 8)
+        assert decision.admitted
+        assert decision.previous_cores == 0
+        assert ledger.committed_cores == 8
+        assert ledger.available_cores == 8
+
+    def test_rejects_oversubscription(self):
+        ledger = CoreBudgetLedger(16)
+        ledger.commit("job-a", 12)
+        decision = ledger.commit("job-b", 8)
+        assert not decision.admitted
+        assert "oversubscribed" in decision.reason
+        assert "4 of 16 free" in decision.reason
+        # Rejection changes nothing.
+        assert ledger.committed() == {"job-a": 12}
+
+    def test_recommit_replaces_needing_only_delta(self):
+        ledger = CoreBudgetLedger(16)
+        ledger.commit("job-a", 12)
+        # 14 > 4 free, but job-a's own 12 are reusable: only the delta counts.
+        decision = ledger.commit("job-a", 14)
+        assert decision.admitted
+        assert decision.previous_cores == 12
+        assert ledger.committed() == {"job-a": 14}
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            CoreBudgetLedger(16).commit("job-a", 0)
+
+    def test_exact_fit_admits(self):
+        ledger = CoreBudgetLedger(16)
+        assert ledger.commit("job-a", 16).admitted
+        assert ledger.available_cores == 0
+
+
+class TestRelease:
+    def test_release_returns_cores(self):
+        ledger = CoreBudgetLedger(16)
+        ledger.commit("job-a", 8)
+        assert ledger.release("job-a") == 8
+        assert ledger.holds("job-a") == 0
+        assert ledger.available_cores == 16
+
+    def test_release_unknown_job_is_none(self):
+        assert CoreBudgetLedger(16).release("ghost") is None
+
+
+class TestRestore:
+    def test_restore_loads_snapshot(self):
+        ledger = CoreBudgetLedger(16)
+        ledger.restore({"job-a": 8, "job-b": 4})
+        assert ledger.committed_cores == 12
+        assert ledger.holds("job-b") == 4
+
+    def test_restore_over_budget_raises(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CoreBudgetLedger(8).restore({"job-a": 6, "job-b": 6})
+
+    def test_restore_nonpositive_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            CoreBudgetLedger(8).restore({"job-a": 0})
+
+
+class TestConcurrency:
+    def test_contended_commits_never_oversubscribe(self):
+        """Many threads race for one budget; the sum must respect it."""
+        ledger = CoreBudgetLedger(20)
+        admitted = []
+        barrier = threading.Barrier(10)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            if ledger.commit(f"job-{index}", 6).admitted:
+                admitted.append(index)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ledger.committed_cores == 6 * len(admitted)
+        assert ledger.committed_cores <= 20
+        assert len(admitted) == 3  # floor(20 / 6)

@@ -1,0 +1,164 @@
+"""Journal encode/replay tests: CRCs, torn tails, interior corruption."""
+
+import json
+
+import pytest
+
+from repro.service.journal import (
+    SCHEMA,
+    CheckpointRecord,
+    GrantRecord,
+    JournalCorruptError,
+    PlanJournal,
+    ReleaseRecord,
+    decode_line,
+    encode_line,
+    read_grants,
+    replay,
+)
+
+
+def grant(seq: int, job: str = "job-a", cores: int = 8) -> GrantRecord:
+    return GrantRecord(
+        seq=seq,
+        job=job,
+        params_digest=f"digest-{seq:04d}",
+        cores=cores,
+        splits=(0, 3, 3, 0),
+        reason="offload wins",
+    )
+
+
+class TestLineCodec:
+    def test_roundtrip(self):
+        record = grant(1).to_dict()
+        assert decode_line(encode_line(record)) == record
+
+    def test_canonical_encoding_is_stable(self):
+        record = grant(1).to_dict()
+        assert encode_line(record) == encode_line(dict(reversed(list(record.items()))))
+
+    def test_flipped_byte_fails_crc(self):
+        line = encode_line(grant(1).to_dict())
+        damaged = line.replace("job-a", "job-b")
+        with pytest.raises(ValueError, match="crc"):
+            decode_line(damaged)
+
+    def test_missing_crc_rejected(self):
+        with pytest.raises(ValueError, match="no crc"):
+            decode_line(json.dumps({"kind": "grant"}))
+
+
+class TestReplay:
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = replay(str(tmp_path / "nope.jsonl"))
+        assert state.grants == []
+        assert state.committed == {}
+        assert state.next_seq == 1
+        assert not state.truncated_tail
+
+    def test_grants_and_releases_rebuild_commitments(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1, "job-a", cores=8))
+            journal.append_grant(grant(2, "job-b", cores=4))
+            journal.append_release(ReleaseRecord(seq=3, job="job-a", cores=8))
+        state = replay(path)
+        assert [g.seq for g in state.grants] == [1, 2]
+        assert state.committed == {"job-b": 4}
+        assert state.next_seq == 4
+
+    def test_regrant_replaces_commitment(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1, "job-a", cores=8))
+            journal.append_grant(grant(2, "job-a", cores=12))
+        state = replay(path)
+        assert state.committed == {"job-a": 12}
+        assert state.active_grants["job-a"].seq == 2
+
+    def test_checkpoint_overrides_commitments(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1, "job-a"))
+            journal.append_checkpoint(2, {"job-z": 6})
+        state = replay(path)
+        assert state.committed == {"job-z": 6}
+        assert state.next_seq == 3
+
+    def test_torn_tail_dropped_and_flagged(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1))
+        with open(path, "a") as handle:
+            handle.write('{"kind":"grant","seq":2,"jo')  # crash mid-append
+        state = replay(path)
+        assert state.truncated_tail
+        assert [g.seq for g in state.grants] == [1]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1))
+            journal.append_grant(grant(2))
+        lines = open(path).read().splitlines()
+        lines[1] = lines[1].replace("job-a", "job-X")  # not the tail
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError, match="refusing to skip"):
+            replay(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as handle:
+            handle.write(
+                encode_line({"kind": "header", "schema": "bogus/v9", "seq": 0})
+                + "\n"
+            )
+        with pytest.raises(JournalCorruptError, match=SCHEMA):
+            replay(path)
+
+    def test_no_wall_timestamps_in_journal(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1))
+            journal.append_release(ReleaseRecord(seq=2, job="job-a", cores=8))
+            journal.append_checkpoint(3, {})
+        for line in open(path).read().splitlines():
+            record = decode_line(line)
+            assert not any("time" in key for key in record)
+
+
+class TestPlanJournal:
+    def test_reopen_resumes_appending(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1))
+        with PlanJournal(path) as journal:
+            assert journal.recovered.next_seq == 2
+            journal.append_grant(grant(2))
+        assert [g.seq for g in read_grants(path)] == [1, 2]
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with PlanJournal(path) as journal:
+            journal.append_grant(grant(1))
+        with open(path, "a") as handle:
+            handle.write("garbage")
+        with PlanJournal(path) as journal:
+            assert journal.recovered.truncated_tail
+            journal.append_grant(grant(2))
+        # The torn line is gone; the journal replays cleanly end to end.
+        state = replay(path)
+        assert not state.truncated_tail
+        assert [g.seq for g in state.grants] == [1, 2]
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = PlanJournal(str(tmp_path / "journal.jsonl"))
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.append_grant(grant(1))
+
+    def test_checkpoint_record_sorts_jobs(self):
+        record = CheckpointRecord(seq=5, committed=(("a", 1), ("b", 2)))
+        assert record.to_dict()["committed"] == {"a": 1, "b": 2}

@@ -1,0 +1,92 @@
+"""JobSpec validation and planner determinism + LRU cache tests."""
+
+import pytest
+
+from repro.service.planner import JobSpec, ServicePlanner
+
+
+def spec(**overrides) -> JobSpec:
+    base = dict(
+        job="job-a",
+        dataset="openimages",
+        num_samples=24,
+        seed=7,
+        model="alexnet",
+        gpu="rtx6000",
+        storage_cores=8,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_from_request_applies_defaults(self):
+        built = JobSpec.from_request({"job": "job-a"})
+        assert built.dataset == "openimages"
+        assert built.num_samples == 256
+        assert built.model == "alexnet"
+
+    def test_from_request_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            JobSpec.from_request({"job": "job-a", "bogus": 1})
+
+    def test_from_request_requires_job(self):
+        with pytest.raises(ValueError, match="job"):
+            JobSpec.from_request({})
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(ValueError, match="dataset"):
+            spec(dataset="cifar")
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            spec(num_samples=0)
+
+    def test_digest_is_stable_and_parameter_sensitive(self):
+        assert spec().params_digest() == spec().params_digest()
+        assert spec().params_digest() != spec(num_samples=25).params_digest()
+        assert spec().params_digest() != spec(job="job-b").params_digest()
+
+    def test_profile_key_ignores_plan_only_fields(self):
+        # Different cores/model, same profiling work: one cache entry.
+        assert spec(storage_cores=4).profile_key() == spec(storage_cores=12).profile_key()
+        assert spec(num_samples=32).profile_key() != spec().profile_key()
+
+
+class TestServicePlanner:
+    def test_same_spec_plans_identically(self):
+        planner = ServicePlanner()
+        first = planner.plan(spec())
+        second = planner.plan(spec())
+        assert first == second
+        assert len(first.splits) == 24
+
+    def test_records_cache_hits_across_jobs(self):
+        planner = ServicePlanner()
+        planner.plan(spec(job="job-a"))
+        planner.plan(spec(job="job-b", storage_cores=12))
+        assert planner.cache_misses == 1
+        assert planner.cache_hits == 1
+
+    def test_cache_eviction_is_lru(self):
+        planner = ServicePlanner(cache_size=1)
+        planner.plan(spec(num_samples=24))
+        planner.plan(spec(num_samples=32))  # evicts the 24-sample records
+        planner.plan(spec(num_samples=24))
+        assert planner.cache_misses == 3
+        assert planner.cache_hits == 0
+
+    def test_cache_disabled_with_size_zero(self):
+        planner = ServicePlanner(cache_size=0)
+        planner.plan(spec())
+        planner.plan(spec())
+        assert planner.cache_hits == 0
+        assert planner.cache_misses == 2
+
+    def test_unknown_model_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            ServicePlanner().plan(spec(model="gpt9"))
+
+    def test_fresh_planner_reproduces_plans(self):
+        # A restarted server builds a new planner; plans must not change.
+        assert ServicePlanner().plan(spec()) == ServicePlanner().plan(spec())
