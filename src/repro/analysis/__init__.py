@@ -13,34 +13,62 @@ Findings are suppressed inline with ``# sophon-lint: disable=RULE`` (on the
 offending line, or on a comment-only line directly above it).
 """
 
+from repro.analysis.callgraph import (
+    CallGraph,
+    ProjectContext,
+    SymbolTable,
+    build_project,
+)
+from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.config import LintConfig
+from repro.analysis.dataflow import ForwardAnalysis, run_forward
 from repro.analysis.engine import (
+    Edit,
     Finding,
+    Fix,
     ModuleContext,
     Rule,
     Severity,
     all_rules,
+    analyze_modules,
     analyze_paths,
     analyze_source,
     get_rule,
     register_rule,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.fixes import apply_fixes, fix_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates the registry.
+from repro.analysis import concurrency as _concurrency  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis import taint as _taint  # noqa: F401
 
 __all__ = [
+    "CFG",
+    "CallGraph",
+    "Edit",
     "Finding",
+    "Fix",
+    "ForwardAnalysis",
     "LintConfig",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
     "Severity",
+    "SymbolTable",
     "all_rules",
+    "analyze_modules",
     "analyze_paths",
     "analyze_source",
+    "apply_fixes",
+    "build_cfg",
+    "build_project",
+    "fix_text",
     "get_rule",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_forward",
 ]

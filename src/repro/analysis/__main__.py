@@ -11,7 +11,8 @@ from typing import List, Optional
 
 from repro.analysis.config import LintConfig
 from repro.analysis.engine import Severity, analyze_paths, iter_python_files
-from repro.analysis.report import render_json, render_rules, render_text
+from repro.analysis.fixes import MAX_PASSES, apply_fixes
+from repro.analysis.report import render_json, render_rules, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +55,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes in place (re-analyzing until stable), "
+        "then report what remains",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log to PATH "
+        "('-' for stdout)",
+    )
     return parser
+
+
+def _apply_fixes_in_place(paths: List[Path], config: LintConfig) -> int:
+    """Rewrite files until no fix applies; returns total fixes applied."""
+    total = 0
+    for _ in range(MAX_PASSES):
+        findings = analyze_paths(paths, config)
+        fixable: dict = {}
+        for finding in findings:
+            if finding.fix is not None:
+                fixable.setdefault(finding.path, []).append(finding)
+        applied_this_pass = 0
+        for path in sorted(fixable):
+            source = Path(path).read_text(encoding="utf-8")
+            fixed, applied = apply_fixes(source, fixable[path])
+            if applied:
+                Path(path).write_text(fixed, encoding="utf-8")
+                applied_this_pass += applied
+        total += applied_this_pass
+        if applied_this_pass == 0:
+            break
+    return total
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -79,9 +114,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         config.ignore |= {c.strip().upper() for c in args.ignore.split(",") if c.strip()}
 
     files_checked = sum(1 for _ in iter_python_files(paths, exclude=config.exclude))
+    if args.fix:
+        fixed = _apply_fixes_in_place(paths, config)
+        if fixed:
+            print(f"fixed {fixed} finding(s)", file=sys.stderr)
     findings = analyze_paths(paths, config)
     render = render_json if args.format == "json" else render_text
     print(render(findings, files_checked=files_checked))
+    if args.sarif:
+        sarif = render_sarif(findings, files_checked=files_checked)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            Path(args.sarif).write_text(sarif + "\n", encoding="utf-8")
     has_errors = any(f.severity is Severity.ERROR for f in findings)
     return 1 if has_errors else 0
 

@@ -1,0 +1,333 @@
+"""Project-wide symbol table and call graph: the cross-module layer.
+
+sophon-lint v1 rules were pure functions of one module's AST.  The v2
+rule families (lock discipline, determinism taint) need to answer
+questions like "does anything this ``with self._lock:`` block calls,
+transitively, block on a socket?" -- which requires knowing every
+function in the project, what class it belongs to, and who calls whom.
+
+Three pieces:
+
+:class:`SymbolTable`
+    Qualified name (``repro.rpc.tcp.TcpStorageServer._accept_loop``) ->
+    :class:`FunctionInfo` / :class:`ClassInfo` for every definition in
+    the analyzed tree, including inferred instance-attribute types
+    (``self._journal`` -> ``repro.service.journal.PlanJournal``) from
+    annotated and constructor-call assignments.
+
+:class:`CallGraph`
+    Caller qualname -> callee names.  Callees inside the project resolve
+    to their qualnames; calls that leave the project (``os.fsync``,
+    ``time.sleep``) are kept as their canonical dotted names so rules
+    can still ban them transitively.
+
+:class:`ProjectContext`
+    The bundle rules receive via ``ModuleContext.project``; carries a
+    memo ``cache`` so expensive per-project summaries (blocking-call
+    closure, taint summaries) are computed once per run, not per module.
+"""
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Mapping, Optional, Set
+
+from repro.analysis.engine import ModuleContext
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None  # enclosing class (simple name)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition plus what we can infer about its instances."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    #: method simple name -> FunctionInfo
+    methods: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: instance attribute -> inferred class qualname (project or external),
+    #: from ``self.x: T = ...`` annotations and ``self.x = Cls(...)`` calls.
+    attr_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+
+def _annotation_type(ctx: ModuleContext, node: Optional[ast.expr]) -> Optional[str]:
+    """Canonical dotted type of an annotation, unwrapping Optional/quotes."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = ctx.resolve(node.value)
+        if base in ("typing.Optional", "Optional"):
+            inner = node.slice
+            if isinstance(inner, ast.Index):  # pragma: no cover (py<3.9 AST)
+                inner = inner.value  # type: ignore[attr-defined]
+            return _annotation_type(ctx, inner)  # type: ignore[arg-type]
+        return base
+    return ctx.resolve(node)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` for a ``self.X`` attribute node, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class SymbolTable:
+    """Every function, method and class in the analyzed modules."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: simple class name -> qualnames (for resolving bare references).
+        self._class_names: Dict[str, List[str]] = {}
+
+    @classmethod
+    def build(cls, modules: Mapping[str, ModuleContext]) -> "SymbolTable":
+        table = cls()
+        for module in sorted(modules):
+            ctx = modules[module]
+            table._index_module(ctx)
+        for module in sorted(modules):
+            table._infer_attr_types(modules[module])
+        return table
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{ctx.module}.{node.name}"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, module=ctx.module, path=ctx.path, node=node
+                )
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{ctx.module}.{node.name}"
+                info = ClassInfo(
+                    qualname=qual, module=ctx.module, path=ctx.path, node=node
+                )
+                self.classes[qual] = info
+                self._class_names.setdefault(node.name, []).append(qual)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method = FunctionInfo(
+                            qualname=f"{qual}.{item.name}",
+                            module=ctx.module,
+                            path=ctx.path,
+                            node=item,
+                            class_name=node.name,
+                        )
+                        self.functions[method.qualname] = method
+                        info.methods[item.name] = method
+
+    def _infer_attr_types(self, ctx: ModuleContext) -> None:
+        for cls_node in ctx.tree.body:
+            if not isinstance(cls_node, ast.ClassDef):
+                continue
+            info = self.classes[f"{ctx.module}.{cls_node.name}"]
+            for node in ast.walk(cls_node):
+                if isinstance(node, ast.AnnAssign):
+                    attr = _self_attr(node.target)
+                    typ = _annotation_type(ctx, node.annotation)
+                    if attr is not None and typ is not None:
+                        info.attr_types.setdefault(attr, self._canonical(typ))
+                elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    typ = ctx.resolve(node.value.func)
+                    if typ is None:
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            info.attr_types.setdefault(attr, self._canonical(typ))
+
+    def _canonical(self, name: str) -> str:
+        """Map a resolved type name onto a project class qualname if one matches."""
+        if name in self.classes:
+            return name
+        candidates = self._class_names.get(name.rsplit(".", 1)[-1], [])
+        if len(candidates) == 1 and name == candidates[0].rsplit(".", 1)[-1]:
+            return candidates[0]
+        return name
+
+    def class_of(self, module: str, class_name: str) -> Optional[ClassInfo]:
+        return self.classes.get(f"{module}.{class_name}")
+
+    def resolve_call(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        current_class: Optional[str] = None,
+    ) -> Optional[str]:
+        """Callee name for a call: project qualname or external dotted name.
+
+        Handles ``self.m()`` (method of the current class), ``self.attr.m()``
+        (method on a typed instance attribute), alias-resolved module
+        functions and class constructors (-> ``Cls.__init__`` when defined).
+        """
+        func = node.func
+        # self.m(...) and self.attr.m(...)
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name) and owner.id == "self" and current_class:
+                info = self.class_of(ctx.module, current_class)
+                if info is not None and func.attr in info.methods:
+                    return info.methods[func.attr].qualname
+            attr = _self_attr(owner)
+            if attr is not None and current_class:
+                info = self.class_of(ctx.module, current_class)
+                if info is not None:
+                    owner_type = info.attr_types.get(attr)
+                    if owner_type is not None:
+                        if owner_type in self.classes:
+                            owner_cls = self.classes[owner_type]
+                            if func.attr in owner_cls.methods:
+                                return owner_cls.methods[func.attr].qualname
+                        return f"{owner_type}.{func.attr}"
+        resolved = ctx.resolve(func)
+        if resolved is None:
+            return None
+        # A bare name may be a same-module definition; qualify it.
+        for candidate in (resolved, f"{ctx.module}.{resolved}"):
+            if candidate in self.functions:
+                return candidate
+            if candidate in self.classes:
+                init = f"{candidate}.__init__"
+                return init if init in self.functions else candidate
+        return resolved
+
+
+class CallGraph:
+    """Caller qualname -> set of callee names (project or external)."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+
+    @classmethod
+    def build(
+        cls, modules: Mapping[str, ModuleContext], symbols: SymbolTable
+    ) -> "CallGraph":
+        graph = cls()
+        for module in sorted(modules):
+            ctx = modules[module]
+            for qual, info in symbols.functions.items():
+                if info.module != module:
+                    continue
+                callees = graph.edges.setdefault(qual, set())
+                for call in ast.walk(info.node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    callee = symbols.resolve_call(ctx, call, info.class_name)
+                    if callee is not None and callee != qual:
+                        callees.add(callee)
+        return graph
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def reachable(self, qualname: str, max_depth: int = 6) -> Set[str]:
+        """Every callee name reachable from ``qualname`` within ``max_depth``."""
+        seen: Set[str] = set()
+        frontier = {qualname}
+        for _ in range(max_depth):
+            nxt: Set[str] = set()
+            for name in frontier:
+                for callee in self.edges.get(name, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        nxt.add(callee)
+            if not nxt:
+                break
+            frontier = nxt
+        return seen
+
+    def path_to(
+        self, start: str, targets: Set[str], max_depth: int = 6
+    ) -> Optional[List[str]]:
+        """Shortest call chain from ``start`` into ``targets`` (BFS, stable)."""
+        if start in targets:
+            return [start]
+        parents: Dict[str, str] = {}
+        frontier = [start]
+        seen = {start}
+        for _ in range(max_depth):
+            nxt: List[str] = []
+            for name in frontier:
+                for callee in sorted(self.edges.get(name, ())):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    parents[callee] = name
+                    if callee in targets:
+                        chain = [callee]
+                        while chain[-1] != start:
+                            chain.append(parents[chain[-1]])
+                        return list(reversed(chain))
+                    nxt.append(callee)
+            if not nxt:
+                return None
+            frontier = nxt
+        return None
+
+
+@dataclasses.dataclass
+class ProjectContext:
+    """Cross-module context shared by every rule in one analysis run."""
+
+    modules: Dict[str, ModuleContext]
+    symbols: SymbolTable
+    callgraph: CallGraph
+    #: Per-run memo for expensive project-level summaries, keyed by the
+    #: computing rule (e.g. "guard02.blocking", "tnt01.summaries").
+    cache: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def iter_functions(self, module: str) -> Iterator[FunctionInfo]:
+        """Functions and methods defined in ``module``, in source order."""
+        infos = [
+            info
+            for info in self.symbols.functions.values()
+            if info.module == module
+        ]
+        infos.sort(key=lambda info: (info.node.lineno, info.qualname))  # type: ignore[attr-defined]
+        return iter(infos)
+
+
+def build_project(modules: Mapping[str, ModuleContext]) -> ProjectContext:
+    """Assemble the symbol table and call graph for one analysis run."""
+    mapping = dict(modules)
+    symbols = SymbolTable.build(mapping)
+    callgraph = CallGraph.build(mapping, symbols)
+    return ProjectContext(modules=mapping, symbols=symbols, callgraph=callgraph)
+
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectContext",
+    "SymbolTable",
+    "build_project",
+]

@@ -1,0 +1,289 @@
+"""Per-function control-flow graphs for the dataflow engine.
+
+A :class:`CFG` is a set of basic blocks connected by successor edges.
+Blocks hold *elements*: either whole simple statements
+(``Assign``/``Return``/``Expr``/...) or the **header** of a compound
+statement (``If``/``While``/``For``/``With``/``Try``) whose body lives in
+its own blocks.  Transfer functions therefore must only interpret the
+header parts of a compound element -- its test, iterable or context
+managers -- never its body, which will be delivered separately.
+
+The graph is deliberately conservative where Python is dynamic:
+
+- every ``try`` body statement may jump to every handler (an exception
+  can occur anywhere), so handler entry joins the states of all body
+  prefixes;
+- loops have a back edge and an exit edge regardless of what the
+  condition looks like;
+- ``break``/``continue``/``return``/``raise`` terminate their block and
+  edge to the loop exit / loop header / function exit respectively.
+
+Conservative means safe for *forward may* analyses (taint): we may
+report a flow that cannot happen, never miss one that can.
+"""
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+#: Compound statement types whose element is their header only.
+_COMPOUND = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+@dataclasses.dataclass
+class Block:
+    """One basic block: a straight-line run of elements."""
+
+    id: int
+    elements: List[ast.stmt] = dataclasses.field(default_factory=list)
+    successors: List[int] = dataclasses.field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry: int = self._new_block().id
+        self.exit: int = self._new_block().id
+
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block
+
+    def predecessors(self, block_id: int) -> List[int]:
+        return [
+            b.id for b in self.blocks.values() if block_id in b.successors
+        ]
+
+    def __repr__(self) -> str:
+        edges = ", ".join(
+            f"{b.id}->{sorted(b.successors)}"
+            for b in self.blocks.values()
+            if b.successors
+        )
+        return f"CFG(entry={self.entry}, exit={self.exit}, {edges})"
+
+
+class _Builder:
+    """Recursive statement-list walker maintaining a current block."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current: Optional[Block] = self.cfg.blocks[self.cfg.entry]
+        #: (break target block id, continue target block id) per open loop.
+        self.loops: List[Dict[str, int]] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _start_block(self) -> Block:
+        block = self.cfg._new_block()
+        self.current = block
+        return block
+
+    def _edge_from_current(self, target: int) -> None:
+        if self.current is not None:
+            self.current.add_successor(target)
+
+    def _append(self, stmt: ast.stmt) -> None:
+        if self.current is None:
+            # Unreachable code after return/raise/break: park it in a
+            # fresh block with no predecessors so rules still see it.
+            self._start_block()
+        assert self.current is not None
+        self.current.elements.append(stmt)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        self.visit_body(body)
+        self._edge_from_current(self.cfg.exit)
+        return self.cfg
+
+    def visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._visit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_for(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(stmt)
+            self._edge_from_current(self.cfg.exit)
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            if self.loops:
+                self._edge_from_current(self.loops[-1]["break"])
+            self.current = None
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            if self.loops:
+                self._edge_from_current(self.loops[-1]["continue"])
+            self.current = None
+        else:
+            # Simple statement (and nested function/class defs, which are
+            # elements here and analyzed as their own functions elsewhere).
+            self._append(stmt)
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(stmt)  # header: the test
+        branch_point = self.current
+        assert branch_point is not None
+        after = self.cfg._new_block()
+
+        then_entry = self.cfg._new_block()
+        branch_point.add_successor(then_entry.id)
+        self.current = then_entry
+        self.visit_body(stmt.body)
+        self._edge_from_current(after.id)
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block()
+            branch_point.add_successor(else_entry.id)
+            self.current = else_entry
+            self.visit_body(stmt.orelse)
+            self._edge_from_current(after.id)
+        else:
+            branch_point.add_successor(after.id)
+        self.current = after
+
+    def _visit_while(self, stmt: ast.While) -> None:
+        header = self.cfg._new_block()
+        self._edge_from_current(header.id)
+        header.elements.append(stmt)  # header: the test
+        after = self.cfg._new_block()
+        header.add_successor(after.id)
+
+        self.loops.append({"break": after.id, "continue": header.id})
+        body_entry = self.cfg._new_block()
+        header.add_successor(body_entry.id)
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        self._edge_from_current(header.id)  # back edge
+        self.loops.pop()
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block()
+            header.add_successor(else_entry.id)
+            self.current = else_entry
+            self.visit_body(stmt.orelse)
+            self._edge_from_current(after.id)
+        self.current = after
+
+    def _visit_for(self, stmt: ast.stmt) -> None:
+        assert isinstance(stmt, (ast.For, ast.AsyncFor))
+        header = self.cfg._new_block()
+        self._edge_from_current(header.id)
+        header.elements.append(stmt)  # header: target <- iter
+        after = self.cfg._new_block()
+        header.add_successor(after.id)  # iterator exhausted
+
+        self.loops.append({"break": after.id, "continue": header.id})
+        body_entry = self.cfg._new_block()
+        header.add_successor(body_entry.id)
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        self._edge_from_current(header.id)  # back edge
+        self.loops.pop()
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block()
+            header.add_successor(else_entry.id)
+            self.current = else_entry
+            self.visit_body(stmt.orelse)
+            self._edge_from_current(after.id)
+        self.current = after
+
+    def _visit_with(self, stmt: ast.stmt) -> None:
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        self._append(stmt)  # header: the context managers / as-targets
+        self.visit_body(stmt.body)
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        self._append(stmt)  # header (carries no state itself)
+        before = self.current
+        assert before is not None
+        after = self.cfg._new_block()
+
+        # Body: every statement gets its own block so each prefix can
+        # edge to every handler (exceptions can occur at any point).
+        body_blocks: List[Block] = []
+        self.current = before
+        for body_stmt in stmt.body:
+            entry = self.cfg._new_block()
+            self._edge_from_current(entry.id)
+            self.current = entry
+            self.visit(body_stmt)
+            body_blocks.append(entry)
+        body_end = self.current
+
+        handler_ends: List[Optional[Block]] = []
+        for handler in stmt.handlers:
+            handler_entry = self.cfg._new_block()
+            handler_entry.elements.append(handler)  # header: the except clause
+            before.add_successor(handler_entry.id)
+            for block in body_blocks:
+                block.add_successor(handler_entry.id)
+            self.current = handler_entry
+            self.visit_body(handler.body)
+            handler_ends.append(self.current)
+
+        # else runs only when the body completed without exception.
+        self.current = body_end
+        if stmt.orelse:
+            self.visit_body(stmt.orelse)
+        no_exc_end = self.current
+
+        if stmt.finalbody:
+            final_entry = self.cfg._new_block()
+            if no_exc_end is not None:
+                no_exc_end.add_successor(final_entry.id)
+            for end in handler_ends:
+                if end is not None:
+                    end.add_successor(final_entry.id)
+            if not stmt.handlers:
+                # No handlers: an exception still reaches finally.
+                before.add_successor(final_entry.id)
+                for block in body_blocks:
+                    block.add_successor(final_entry.id)
+            self.current = final_entry
+            self.visit_body(stmt.finalbody)
+            self._edge_from_current(after.id)
+        else:
+            if no_exc_end is not None:
+                no_exc_end.add_successor(after.id)
+            for end in handler_ends:
+                if end is not None:
+                    end.add_successor(after.id)
+        self.current = after
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """The CFG of one ``FunctionDef``/``AsyncFunctionDef`` body."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)), fn
+    return _Builder().build(fn.body)
+
+
+__all__ = ["CFG", "Block", "build_cfg"]

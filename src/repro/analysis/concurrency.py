@@ -1,0 +1,814 @@
+"""Lock-discipline rules: GUARD01 (shared-state writes), GUARD02
+(blocking calls under a lock), GUARD03 (lock acquisition order).
+
+The decision service (PR 6) made the reproduction genuinely concurrent:
+handler threads, a worker pool, an accept loop, per-connection server
+threads.  Its guarantees -- atomic admission control, a thread-safe
+breaker, byte-identical crash recovery -- are *lock-discipline*
+properties, which an intra-function linter cannot see.  These rules use
+the v2 cross-module layer (:mod:`repro.analysis.callgraph`):
+
+GUARD01
+    In a class that owns a ``threading.Lock``/``RLock``, attributes
+    mutated from worker/handler threads must be written under the lock.
+    Three clauses: (a) an unguarded write in a thread-entry method (or
+    anything it calls) to an attribute other methods also touch; (b) an
+    unguarded ``+=``-style read-modify-write anywhere outside
+    ``__init__`` (it races with itself); (c) an attribute written both
+    under the lock and not (inconsistent discipline is how drain flags
+    and stats counters rot).
+
+GUARD02
+    No blocking call while holding a lock: ``time.sleep``, ``os.fsync``,
+    socket ``recv``/``accept``/``sendall``, ``queue.Queue.get/put/join``,
+    ``Event.wait`` -- directly *or transitively*: the call graph closes
+    over project functions, so ``self._journal.append_grant(...)`` under
+    a lock is flagged because ``PlanJournal._write`` fsyncs.
+
+GUARD03
+    Consistent lock acquisition order: if one code path acquires A then
+    B (directly or via calls) and another acquires B then A, both sites
+    are flagged -- that shape is a deadlock waiting for contention.
+
+Methods only ever invoked with the class lock held (every intra-class
+call site sits inside a ``with`` block, or the name ends in
+``_locked``) are treated as lock-protected, so ``_next_seq_locked``
+style helpers do not produce false positives.
+"""
+
+import ast
+import dataclasses
+import fnmatch
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.callgraph import FunctionInfo, ProjectContext
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    RuleResult,
+    register_rule,
+)
+
+_LOCK_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+}
+
+_INIT_METHODS = {"__init__", "__post_init__", "__new__", "__del__"}
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "discard", "add", "update",
+    "clear", "pop", "popleft", "appendleft", "popitem", "setdefault",
+    "move_to_end", "sort", "reverse",
+}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr_root(node: ast.AST) -> Optional[str]:
+    """The ``X`` in ``self.X``, ``self.X[...]``, ``self.X.y`` chains."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        node = node.value
+    return None
+
+
+@dataclasses.dataclass
+class Event:
+    """One concurrency-relevant occurrence inside a function body."""
+
+    kind: str  # "call" | "read" | "write" | "augwrite" | "mutcall" | "acquire"
+    node: ast.AST
+    #: self-attribute for accesses; lock id for "acquire".
+    attr: Optional[str]
+    #: lock ids held when the event happens (before, for "acquire").
+    locks: FrozenSet[str]
+
+
+class _FunctionScanner:
+    """Walks one function body tracking the stack of held locks.
+
+    Does not descend into nested function/class definitions (they run
+    later, under whatever locks their *callers* hold) or lambdas.
+    """
+
+    def __init__(self, lock_of: Callable[[ast.AST], Optional[str]]) -> None:
+        self._lock_of = lock_of
+        self.events: List[Event] = []
+
+    def scan(self, body: Sequence[ast.stmt]) -> List[Event]:
+        self._body(body, frozenset())
+        return self.events
+
+    # -- statements --------------------------------------------------------
+
+    def _body(self, body: Sequence[ast.stmt], held: FrozenSet[str]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: FrozenSet[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in stmt.items:
+                lock_id = self._lock_of(item.context_expr)
+                if lock_id is not None:
+                    self.events.append(
+                        Event("acquire", item.context_expr, lock_id, held)
+                    )
+                    acquired.add(lock_id)
+                else:
+                    self._expr(item.context_expr, held, reads=True)
+            self._body(stmt.body, held | acquired)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test, held, reads=True)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+        elif isinstance(stmt, (ast.While,)):
+            self._expr(stmt.test, held, reads=True)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held, reads=True)
+            self._target(stmt.target, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self._body(stmt.body, held)
+            for handler in stmt.handlers:
+                self._body(handler.body, held)
+            self._body(stmt.orelse, held)
+            self._body(stmt.finalbody, held)
+        elif isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held, reads=True)
+            for target in stmt.targets:
+                self._target(target, held)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, held, reads=True)
+            self._target(stmt.target, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, held, reads=True)
+            attr = _self_attr_root(stmt.target)
+            if attr is not None:
+                self.events.append(Event("augwrite", stmt, attr, held))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._target(target, held)
+        elif isinstance(stmt, (ast.Return, ast.Expr, ast.Raise, ast.Assert)):
+            value = getattr(stmt, "value", None) or getattr(stmt, "exc", None)
+            if isinstance(stmt, ast.Assert):
+                value = stmt.test
+            if value is not None:
+                self._expr(value, held, reads=True)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, held, reads=True)
+
+    def _target(self, target: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target(element, held)
+            return
+        attr = _self_attr_root(target)
+        if attr is not None:
+            self.events.append(Event("write", target, attr, held))
+        # Index expressions inside the target still read state.
+        if isinstance(target, ast.Subscript):
+            self._expr(target.slice, held, reads=True)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, node: ast.AST, held: FrozenSet[str], reads: bool) -> None:
+        for child in self._walk_expr(node):
+            if isinstance(child, ast.Call):
+                attr = self._mutcall_attr(child)
+                if attr is not None:
+                    self.events.append(Event("mutcall", child, attr, held))
+                else:
+                    self.events.append(Event("call", child, None, held))
+            elif reads and isinstance(child, ast.Attribute):
+                attr = _self_attr(child)
+                if attr is not None and isinstance(child.ctx, ast.Load):
+                    self.events.append(Event("read", child, attr, held))
+
+    @staticmethod
+    def _mutcall_attr(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            return _self_attr_root(func.value)
+        return None
+
+    @staticmethod
+    def _walk_expr(node: ast.AST) -> Iterator[ast.AST]:
+        """ast.walk pruned at nested scopes (lambdas, comprehension funcs
+        stay shallow -- their bodies execute inline, so keep them)."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+
+@dataclasses.dataclass
+class ClassModel:
+    """Everything GUARD01 needs to know about one class."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    lock_attrs: Set[str] = dataclasses.field(default_factory=set)
+    #: method name -> scan events.
+    events: Dict[str, List[Event]] = dataclasses.field(default_factory=dict)
+    #: method name -> intra-class callees with "was any lock held".
+    calls: Dict[str, List[Tuple[str, bool]]] = dataclasses.field(default_factory=dict)
+    thread_entries: Set[str] = dataclasses.field(default_factory=set)
+    locked_methods: Set[str] = dataclasses.field(default_factory=set)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+def _module_lock_names(ctx: ModuleContext) -> Set[str]:
+    """Module-level names bound to ``threading.Lock()`` and friends."""
+    locks: Set[str] = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.resolve(node.value.func) in _LOCK_TYPES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locks.add(target.id)
+    return locks
+
+
+def _function_lock_names(ctx: ModuleContext, fn: ast.AST) -> Set[str]:
+    """Parameter/local names in ``fn`` that are locks (annotation or ctor)."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    locks: Set[str] = set()
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if arg.annotation is not None and ctx.resolve(arg.annotation) in _LOCK_TYPES:
+            locks.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.resolve(node.value.func) in _LOCK_TYPES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locks.add(target.id)
+    return locks
+
+
+def _build_class_model(
+    ctx: ModuleContext, cls_node: ast.ClassDef, thread_globs: Sequence[str]
+) -> ClassModel:
+    model = ClassModel(module=ctx.module, name=cls_node.name, node=cls_node)
+    methods = {
+        item.name: item
+        for item in cls_node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    # Lock attributes: self.X = threading.Lock() anywhere in the class.
+    for node in ast.walk(cls_node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.resolve(node.value.func) in _LOCK_TYPES:
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        model.lock_attrs.add(attr)
+    if not model.lock_attrs:
+        return model
+
+    def lock_of(expr: ast.AST) -> Optional[str]:
+        attr = _self_attr(expr)
+        return attr if attr in model.lock_attrs else None
+
+    # Thread entry points: Thread(target=self.m) plus name patterns.
+    for node in ast.walk(cls_node):
+        if isinstance(node, ast.Call) and ctx.resolve(node.func) in (
+            "threading.Thread", "threading.Timer"
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    attr = _self_attr(keyword.value)
+                    if attr is not None and attr in methods:
+                        model.thread_entries.add(attr)
+    for name in methods:
+        if any(fnmatch.fnmatch(name, glob) for glob in thread_globs):
+            model.thread_entries.add(name)
+
+    # Scan every method once; record intra-class call sites.
+    for name in sorted(methods):
+        events = _FunctionScanner(lock_of).scan(methods[name].body)
+        model.events[name] = events
+        sites: List[Tuple[str, bool]] = []
+        for event in events:
+            if event.kind != "call":
+                continue
+            assert isinstance(event.node, ast.Call)
+            callee = _self_attr(event.node.func)
+            if callee is not None and callee in methods:
+                sites.append((callee, bool(event.locks)))
+        model.calls[name] = sites
+
+    # Close thread entries over intra-class calls (a worker loop's
+    # helpers run on the worker thread too).
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(model.thread_entries & set(model.calls)):
+            for callee, _ in model.calls[name]:
+                if callee not in model.thread_entries:
+                    model.thread_entries.add(callee)
+                    changed = True
+
+    # Methods that only ever run with the lock held.
+    model.locked_methods = {
+        name for name in methods if name.endswith("_locked")
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(methods):
+            if name in model.locked_methods:
+                continue
+            sites = [
+                (caller, locked)
+                for caller in model.calls
+                for callee, locked in model.calls[caller]
+                if callee == name
+            ]
+            if not sites:
+                continue
+            if all(
+                locked or caller in model.locked_methods
+                for caller, locked in sites
+            ):
+                model.locked_methods.add(name)
+                changed = True
+    return model
+
+
+@dataclasses.dataclass
+class ConcurrencyIndex:
+    """Per-project scan shared by the three GUARD rules (built once)."""
+
+    #: class qualname -> model (only classes that own locks).
+    classes: Dict[str, ClassModel]
+    #: function qualname -> events (every project function, incl. methods).
+    events: Dict[str, List[Event]]
+    #: function qualname -> lock ids it acquires directly.
+    acquires: Dict[str, Set[str]]
+
+
+def _lock_id(module: str, owner: Optional[str], attr: str) -> str:
+    return f"{module}.{owner}.{attr}" if owner else f"{module}.{attr}"
+
+
+def _build_index(project: ProjectContext, thread_globs: Sequence[str]) -> ConcurrencyIndex:
+    classes: Dict[str, ClassModel] = {}
+    events: Dict[str, List[Event]] = {}
+    acquires: Dict[str, Set[str]] = {}
+    for module in sorted(project.modules):
+        ctx = project.modules[module]
+        module_locks = _module_lock_names(ctx)
+        class_models: Dict[str, ClassModel] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                model = _build_class_model(ctx, node, thread_globs)
+                class_models[node.name] = model
+                if model.lock_attrs:
+                    classes[model.qualname] = model
+        for info in project.iter_functions(module):
+            model = class_models.get(info.class_name or "")
+            lock_attrs = model.lock_attrs if model is not None else set()
+            fn_locks = _function_lock_names(ctx, info.node)
+
+            def lock_of(
+                expr: ast.AST,
+                _attrs: Set[str] = lock_attrs,
+                _fn: Set[str] = fn_locks,
+                _cls: Optional[str] = info.class_name,
+                _mod: str = module,
+                _qual: str = info.qualname,
+            ) -> Optional[str]:
+                attr = _self_attr(expr)
+                if attr is not None and attr in _attrs:
+                    return _lock_id(_mod, _cls, attr)
+                if isinstance(expr, ast.Name):
+                    if expr.id in module_locks:
+                        return _lock_id(_mod, None, expr.id)
+                    if expr.id in _fn:
+                        return f"{_qual}.{expr.id}"
+                return None
+
+            assert isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            fn_events = _FunctionScanner(lock_of).scan(info.node.body)
+            events[info.qualname] = fn_events
+            acquires[info.qualname] = {
+                event.attr
+                for event in fn_events
+                if event.kind == "acquire" and event.attr is not None
+            }
+    return ConcurrencyIndex(classes=classes, events=events, acquires=acquires)
+
+
+def _index_for(project: ProjectContext, thread_globs: Sequence[str]) -> ConcurrencyIndex:
+    key = "concurrency.index"
+    cached = project.cache.get(key)
+    if not isinstance(cached, ConcurrencyIndex):
+        cached = _build_index(project, thread_globs)
+        project.cache[key] = cached
+    return cached
+
+
+def _modules_option(rule: Rule) -> Sequence[str]:
+    modules = rule.options.get("modules", ())
+    return [str(m) for m in modules]  # type: ignore[union-attr]
+
+
+def _str_seq(rule: Rule, key: str) -> List[str]:
+    return [str(v) for v in rule.options.get(key, ())]  # type: ignore[union-attr]
+
+
+_DEFAULT_GUARD_MODULES = ["repro.service", "repro.rpc", "repro.parallel"]
+_DEFAULT_THREAD_GLOBS = ["_worker*", "_accept_loop", "_serve_*", "_client_loop", "_drain_loop"]
+
+
+@register_rule
+class LockedSharedStateRule(Rule):
+    """GUARD01: shared attributes need the class lock on every write."""
+
+    code = "GUARD01"
+    name = "locked-shared-state"
+    rationale = (
+        "The service's admission control and journal sequencing are only "
+        "atomic because every shared-state write happens under the class "
+        "lock; one unguarded write (a stats counter, a drain flag) is a "
+        "silent race that chaos runs cannot reproduce deterministically."
+    )
+    default_options = {
+        "modules": _DEFAULT_GUARD_MODULES,
+        "thread_methods": _DEFAULT_THREAD_GLOBS,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
+        if not ctx.in_modules(_modules_option(self)) or ctx.project is None:
+            return
+        index = _index_for(ctx.project, _str_seq(self, "thread_methods"))
+        for qualname in sorted(index.classes):
+            model = index.classes[qualname]
+            if model.module != ctx.module:
+                continue
+            yield from self._check_class(model)
+
+    def _check_class(self, model: ClassModel) -> Iterator[RuleResult]:
+        lock_list = ", ".join(sorted(model.lock_attrs))
+        #: attr -> methods (by category) that touch it.
+        touched_by: Dict[str, Set[str]] = {}
+        guarded_writes: Set[str] = set()
+        unguarded_writes: List[Tuple[str, str, Event]] = []
+        for method in sorted(model.events):
+            if method in _INIT_METHODS:
+                continue
+            effective_locked = method in model.locked_methods
+            for event in model.events[method]:
+                if event.attr is None or event.attr in model.lock_attrs:
+                    continue
+                touched_by.setdefault(event.attr, set()).add(method)
+                if event.kind in ("write", "augwrite", "mutcall"):
+                    if event.locks or effective_locked:
+                        guarded_writes.add(event.attr)
+                    else:
+                        unguarded_writes.append((method, event.kind, event))
+        seen: Set[int] = set()
+        for method, kind, event in unguarded_writes:
+            attr = event.attr
+            assert attr is not None
+            thread_side = method in model.thread_entries
+            other_side = {
+                m
+                for m in touched_by.get(attr, set())
+                if (m in model.thread_entries) != thread_side
+            }
+            reason = None
+            if kind == "augwrite":
+                reason = (
+                    f"read-modify-write of self.{attr} without holding "
+                    f"{lock_list}; += is not atomic across threads"
+                )
+            elif thread_side and other_side:
+                reason = (
+                    f"self.{attr} is mutated on the {method}() thread without "
+                    f"holding {lock_list}, but {', '.join(sorted(other_side))}() "
+                    "also touches it"
+                )
+            elif attr in guarded_writes:
+                reason = (
+                    f"self.{attr} is written under {lock_list} elsewhere but "
+                    "not here; lock discipline must be consistent"
+                )
+            elif thread_side:
+                continue
+            if reason is not None and id(event.node) not in seen:
+                seen.add(id(event.node))
+                yield event.node, (
+                    f"{model.name}.{method}: {reason} (wrap the write in "
+                    f"`with self.{sorted(model.lock_attrs)[0]}:`)"
+                )
+
+
+@register_rule
+class NoBlockingUnderLockRule(Rule):
+    """GUARD02: never block (sleep/fsync/socket/queue) while holding a lock."""
+
+    code = "GUARD02"
+    name = "no-blocking-under-lock"
+    rationale = (
+        "A blocking call under a lock turns one slow peer into a stalled "
+        "service: every thread that needs the lock queues behind a "
+        "socket read or fsync.  The call graph closes over project "
+        "functions, so the block can hide two calls deep."
+    )
+    default_options = {
+        "modules": _DEFAULT_GUARD_MODULES,
+        "thread_methods": _DEFAULT_THREAD_GLOBS,
+        # Canonical dotted callables that block.
+        "blocking_calls": [
+            "time.sleep",
+            "os.fsync",
+            "select.select",
+            "socket.create_connection",
+            "subprocess.run",
+            "subprocess.check_call",
+            "subprocess.check_output",
+        ],
+        # Method names that block regardless of receiver type (socket and
+        # file descriptors rarely resolve to a typed attribute).
+        "blocking_attrs": [
+            "recv", "recv_into", "recvfrom", "accept", "sendall",
+            "fsync", "sleep", "_sleep",
+        ],
+        # Blocking methods on receivers the symbol table *can* type.
+        "blocking_typed": [
+            "queue.Queue.get",
+            "queue.Queue.put",
+            "queue.Queue.join",
+            "threading.Event.wait",
+            "threading.Condition.wait",
+            "threading.Thread.join",
+        ],
+        "max_call_depth": 6,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
+        if not ctx.in_modules(_modules_option(self)) or ctx.project is None:
+            return
+        project = ctx.project
+        index = _index_for(project, _str_seq(self, "thread_methods"))
+        blocking = self._blocking_summary(project, index)
+        calls = set(_str_seq(self, "blocking_calls"))
+        attrs = set(_str_seq(self, "blocking_attrs"))
+        typed = set(_str_seq(self, "blocking_typed"))
+        for info in project.iter_functions(ctx.module):
+            for event in index.events.get(info.qualname, ()):
+                if event.kind not in ("call", "mutcall") or not event.locks:
+                    continue
+                assert isinstance(event.node, ast.Call)
+                why = self._call_blocks(
+                    project, ctx, info, event.node, calls, attrs, typed, blocking
+                )
+                if why is not None:
+                    held = ", ".join(
+                        lock.rsplit(".", 1)[-1] for lock in sorted(event.locks)
+                    )
+                    yield event.node, (
+                        f"blocking call {why} while holding lock(s) {held}; "
+                        "move the blocking work outside the `with` block or "
+                        "snapshot state under the lock and operate on the "
+                        "snapshot"
+                    )
+
+    def _blocking_summary(
+        self, project: ProjectContext, index: ConcurrencyIndex
+    ) -> Dict[str, str]:
+        key = "guard02.blocking"
+        cached = project.cache.get(key)
+        if isinstance(cached, dict):
+            return cached  # type: ignore[return-value]
+        calls = set(_str_seq(self, "blocking_calls"))
+        attrs = set(_str_seq(self, "blocking_attrs"))
+        typed = set(_str_seq(self, "blocking_typed"))
+        summary: Dict[str, str] = {}
+        # Seed: functions with a *direct* blocking call anywhere.
+        for qualname in sorted(project.symbols.functions):
+            info = project.symbols.functions[qualname]
+            ctx = project.modules.get(info.module)
+            if ctx is None:
+                continue
+            for event in index.events.get(qualname, ()):
+                if event.kind not in ("call", "mutcall"):
+                    continue
+                assert isinstance(event.node, ast.Call)
+                why = self._direct_block(
+                    project, ctx, info, event.node, calls, attrs, typed
+                )
+                if why is not None:
+                    summary[qualname] = why
+                    break
+        # Close over the call graph.
+        depth = int(self.options.get("max_call_depth", 6))  # type: ignore[arg-type]
+        for _ in range(depth):
+            changed = False
+            for qualname in sorted(project.callgraph.edges):
+                if qualname in summary:
+                    continue
+                for callee in sorted(project.callgraph.edges[qualname]):
+                    if callee in summary:
+                        summary[qualname] = f"{callee} -> {summary[callee]}"
+                        changed = True
+                        break
+            if not changed:
+                break
+        project.cache[key] = summary
+        return summary
+
+    def _direct_block(
+        self,
+        project: ProjectContext,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        call: ast.Call,
+        calls: Set[str],
+        attrs: Set[str],
+        typed: Set[str],
+    ) -> Optional[str]:
+        resolved = project.symbols.resolve_call(ctx, call, info.class_name)
+        if resolved is not None:
+            if resolved in calls:
+                return f"{resolved}()"
+            if resolved in typed:
+                return f"{resolved}()"
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in attrs:
+            return f".{func.attr}()"
+        return None
+
+    def _call_blocks(
+        self,
+        project: ProjectContext,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        call: ast.Call,
+        calls: Set[str],
+        attrs: Set[str],
+        typed: Set[str],
+        blocking: Dict[str, str],
+    ) -> Optional[str]:
+        direct = self._direct_block(project, ctx, info, call, calls, attrs, typed)
+        if direct is not None:
+            return direct
+        resolved = project.symbols.resolve_call(ctx, call, info.class_name)
+        if resolved is not None and resolved in blocking:
+            return f"{resolved}() (-> {blocking[resolved]})"
+        return None
+
+
+@register_rule
+class LockOrderRule(Rule):
+    """GUARD03: every code path must acquire locks in one global order."""
+
+    code = "GUARD03"
+    name = "consistent-lock-order"
+    rationale = (
+        "Two threads acquiring the same two locks in opposite orders is "
+        "a deadlock that only fires under contention -- precisely the "
+        "condition the chaos load generator creates."
+    )
+    default_options = {
+        "modules": _DEFAULT_GUARD_MODULES,
+        "thread_methods": _DEFAULT_THREAD_GLOBS,
+        "max_call_depth": 6,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
+        if not ctx.in_modules(_modules_option(self)) or ctx.project is None:
+            return
+        project = ctx.project
+        index = _index_for(project, _str_seq(self, "thread_methods"))
+        edges = self._order_edges(project, index)
+        flagged: Set[int] = set()
+        for (first, second) in sorted(edges):
+            if (second, first) not in edges or first >= second:
+                continue
+            # A genuine reversal: report every site in this module.
+            for pair in ((first, second), (second, first)):
+                for module, node in edges[pair]:
+                    if module != ctx.module or id(node) in flagged:
+                        continue
+                    flagged.add(id(node))
+                    a, b = pair
+                    yield node, (
+                        "lock order reversal: this path acquires "
+                        f"{_short(a)} then {_short(b)}, but another path "
+                        f"acquires {_short(b)} then {_short(a)} -- pick one "
+                        "global order and stick to it"
+                    )
+
+    def _order_edges(
+        self, project: ProjectContext, index: ConcurrencyIndex
+    ) -> Dict[Tuple[str, str], List[Tuple[str, ast.AST]]]:
+        key = "guard03.edges"
+        cached = project.cache.get(key)
+        if isinstance(cached, dict):
+            return cached  # type: ignore[return-value]
+        depth = int(self.options.get("max_call_depth", 6))  # type: ignore[arg-type]
+        # Transitive lock-acquisition closure per function.
+        closure: Dict[str, Set[str]] = {
+            qual: set(index.acquires.get(qual, set()))
+            for qual in project.symbols.functions
+        }
+        for _ in range(depth):
+            changed = False
+            for qual in sorted(project.callgraph.edges):
+                mine = closure.setdefault(qual, set())
+                for callee in project.callgraph.edges[qual]:
+                    extra = closure.get(callee)
+                    if extra and not extra <= mine:
+                        mine |= extra
+                        changed = True
+            if not changed:
+                break
+        edges: Dict[Tuple[str, str], List[Tuple[str, ast.AST]]] = {}
+        for qual in sorted(index.events):
+            info = project.symbols.functions.get(qual)
+            if info is None:
+                continue
+            ctx = project.modules.get(info.module)
+            for event in index.events[qual]:
+                if not event.locks:
+                    continue
+                inner: Set[str] = set()
+                if event.kind == "acquire" and event.attr is not None:
+                    inner.add(event.attr)
+                elif event.kind in ("call", "mutcall") and ctx is not None:
+                    assert isinstance(event.node, ast.Call)
+                    callee = project.symbols.resolve_call(
+                        ctx, event.node, info.class_name
+                    )
+                    if callee is not None:
+                        inner |= closure.get(callee, set())
+                for held in event.locks:
+                    for acquired in inner:
+                        if acquired == held:
+                            continue
+                        edges.setdefault((held, acquired), []).append(
+                            (info.module, event.node)
+                        )
+        project.cache[key] = edges
+        return edges
+
+
+def _short(lock_id: str) -> str:
+    parts = lock_id.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else lock_id
+
+
+__all__ = [
+    "ClassModel",
+    "ConcurrencyIndex",
+    "Event",
+    "LockOrderRule",
+    "LockedSharedStateRule",
+    "NoBlockingUnderLockRule",
+]

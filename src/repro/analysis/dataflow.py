@@ -1,0 +1,115 @@
+"""A small forward dataflow engine over :mod:`repro.analysis.cfg` graphs.
+
+Classic worklist fixpoint: every block's in-state is the join of its
+predecessors' out-states; a block's out-state is its transfer function
+folded over the block's elements.  The engine is generic over the state
+type -- an analysis supplies ``initial()`` (the entry in-state),
+``join()`` (the lattice least-upper-bound) and ``transfer()`` (one
+element's effect).  States must be plain values comparable with ``==``
+(sets and dicts work); the fixpoint terminates as long as ``join`` is
+monotone and the state lattice has finite height, which set-union over
+program variables satisfies.
+
+``run_forward`` returns the in-state of every block, which is what rules
+need: they replay ``transfer`` over a block's elements to know the state
+*at* each element (see :mod:`repro.analysis.taint`).
+"""
+
+import ast
+from typing import Callable, Dict, Generic, List, TypeVar
+
+from repro.analysis.cfg import CFG
+
+State = TypeVar("State")
+
+
+class ForwardAnalysis(Generic[State]):
+    """One forward analysis: initial state, join, and transfer function."""
+
+    def initial(self) -> State:
+        """In-state at the function entry."""
+        raise NotImplementedError
+
+    def join(self, left: State, right: State) -> State:
+        """Least upper bound of two states (must be monotone)."""
+        raise NotImplementedError
+
+    def transfer(self, element: ast.stmt, state: State) -> State:
+        """State after ``element`` (a simple statement or compound header).
+
+        Must not mutate ``state``; return a new value when anything
+        changes (returning ``state`` unchanged is fine and fast).
+        """
+        raise NotImplementedError
+
+
+def block_out_state(
+    analysis: ForwardAnalysis[State], elements: List[ast.stmt], state: State
+) -> State:
+    """Fold the transfer function over one block's elements."""
+    for element in elements:
+        state = analysis.transfer(element, state)
+    return state
+
+
+def run_forward(
+    cfg: CFG, analysis: ForwardAnalysis[State], max_iterations: int = 0
+) -> Dict[int, State]:
+    """Fixpoint in-states for every block of ``cfg``.
+
+    Every block starts from ``initial()`` -- which doubles as the lattice
+    bottom for the set-union analyses this engine serves -- so unreachable
+    blocks (parked dead code) are still inspectable.  ``max_iterations``
+    bounds pathological graphs (0 picks a generous bound scaled to the
+    graph); a non-converging analysis is a bug in its ``join``, and
+    raising beats silently reporting half-propagated states.
+    """
+    if max_iterations <= 0:
+        max_iterations = 1000 + 200 * len(cfg.blocks)
+    in_states: Dict[int, State] = {
+        block_id: analysis.initial() for block_id in cfg.blocks
+    }
+    out_states: Dict[int, State] = {}
+    worklist: List[int] = sorted(cfg.blocks)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow did not converge after {max_iterations} iterations"
+            )
+        block_id = worklist.pop(0)
+        block = cfg.blocks[block_id]
+        out = block_out_state(analysis, block.elements, in_states[block_id])
+        if block_id in out_states and out_states[block_id] == out:
+            continue
+        out_states[block_id] = out
+        for successor in block.successors:
+            joined = analysis.join(in_states[successor], out)
+            if joined != in_states[successor]:
+                in_states[successor] = joined
+                if successor not in worklist:
+                    worklist.append(successor)
+    return in_states
+
+
+def foreach_element_state(
+    cfg: CFG,
+    analysis: ForwardAnalysis[State],
+    in_states: Dict[int, State],
+    visit: Callable[[ast.stmt, State], None],
+) -> None:
+    """Call ``visit(element, state_before_element)`` for every element."""
+    for block_id in sorted(cfg.blocks):
+        state = in_states[block_id]
+        for element in cfg.blocks[block_id].elements:
+            visit(element, state)
+            state = analysis.transfer(element, state)
+
+
+__all__ = [
+    "ForwardAnalysis",
+    "block_out_state",
+    "foreach_element_state",
+    "run_forward",
+]

@@ -15,9 +15,25 @@ import io
 import re
 import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.analysis.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover -- import cycle broken at runtime
+    from repro.analysis.callgraph import ProjectContext
 
 
 class Severity(enum.Enum):
@@ -36,6 +52,25 @@ class Severity(enum.Enum):
 
 
 @dataclasses.dataclass(frozen=True)
+class Edit:
+    """One textual replacement: ``[start, end)`` in (1-based line, 0-based col)."""
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Fix:
+    """A mechanical repair for one finding (applied by ``--fix``)."""
+
+    edits: Tuple[Edit, ...]
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -45,11 +80,15 @@ class Finding:
     line: int
     col: int
     severity: Severity
+    #: Attached autofix, when the repair is mechanical (MUT01, FLT01,
+    #: DET03 sorted-wraps).  Not part of identity/ordering.
+    fix: Optional[Fix] = dataclasses.field(default=None, compare=False)
 
     def format(self) -> str:
+        suffix = " [fixable]" if self.fix is not None else ""
         return (
             f"{self.path}:{self.line}:{self.col}: "
-            f"{self.rule} [{self.severity.value}] {self.message}"
+            f"{self.rule} [{self.severity.value}] {self.message}{suffix}"
         )
 
 
@@ -65,6 +104,9 @@ class ModuleContext:
     #: local alias -> canonical dotted prefix ("np" -> "numpy",
     #: "monotonic" -> "time.monotonic").
     aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: Cross-module context (symbol table, call graph) for the analysis
+    #: run this module belongs to; set by the engine before rules run.
+    project: Optional["ProjectContext"] = None
 
     def in_modules(self, prefixes: Sequence[str]) -> bool:
         """Is this module inside any of the dotted-name prefixes?"""
@@ -119,12 +161,22 @@ def import_aliases(tree: ast.Module) -> Dict[str, str]:
     return aliases
 
 
+#: What a rule may yield: ``(node, message)`` or ``(node, message, fix)``.
+RuleResult = Union[
+    Tuple[ast.AST, str],
+    Tuple[ast.AST, str, Optional[Fix]],
+]
+
+
 class Rule:
     """Base class for one lint rule.
 
     Subclasses set the class attributes and implement :meth:`check`,
-    yielding ``(node, message)`` pairs; the engine turns them into
-    :class:`Finding` objects with the configured severity.
+    yielding ``(node, message)`` pairs -- or ``(node, message, fix)``
+    triples when the repair is mechanical; the engine turns them into
+    :class:`Finding` objects with the configured severity.  Cross-module
+    rules read ``ctx.project`` (symbol table + call graph), which the
+    engine populates for every analysis run.
 
     ``default_options`` holds rule-specific knobs (e.g. which modules the
     rule is scoped to); ``[tool.sophon-lint.rules.<CODE>]`` in
@@ -142,7 +194,7 @@ class Rule:
         self.options = dict(self.default_options)
         self.options.update(config.rule_options.get(self.code, {}))
 
-    def check(self, ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
         raise NotImplementedError
 
     def severity(self) -> Severity:
@@ -245,27 +297,24 @@ def _enabled_rules(config: LintConfig) -> List[Rule]:
     return rules
 
 
-def analyze_source(
-    source: str,
-    path: str = "<string>",
-    module: Optional[str] = None,
-    config: Optional[LintConfig] = None,
-) -> List[Finding]:
-    """Analyze one module given as a string; the fixture-test entry point."""
-    config = config if config is not None else LintConfig()
+def _parse_error(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="PARSE",
+        message=f"syntax error: {exc.msg}",
+        path=path,
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        severity=Severity.ERROR,
+    )
+
+
+def _parse_module(
+    source: str, path: str, module: Optional[str], config: LintConfig
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule="PARSE",
-                message=f"syntax error: {exc.msg}",
-                path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                severity=Severity.ERROR,
-            )
-        ]
+        return None, _parse_error(path, exc)
     ctx = ModuleContext(
         path=path,
         module=module if module is not None else module_name_for(Path(path)),
@@ -274,20 +323,89 @@ def analyze_source(
         config=config,
         aliases=import_aliases(tree),
     )
-    suppressions = collect_suppressions(source)
+    return ctx, None
+
+
+def _check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    suppressions = collect_suppressions(ctx.source)
     findings: List[Finding] = []
-    for rule in _enabled_rules(config):
-        for node, message in rule.check(ctx):
+    for rule in rules:
+        for result in rule.check(ctx):
+            node, message = result[0], result[1]
+            fix = result[2] if len(result) > 2 else None
             finding = Finding(
                 rule=rule.code,
                 message=message,
-                path=path,
+                path=ctx.path,
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0),
                 severity=rule.severity(),
+                fix=fix,
             )
             if not is_suppressed(finding, suppressions):
                 findings.append(finding)
+    return findings
+
+
+def _analyze_contexts(
+    contexts: Sequence[ModuleContext], config: LintConfig
+) -> List[Finding]:
+    """Build the cross-module project, then run every rule per module."""
+    from repro.analysis.callgraph import build_project  # avoid import cycle
+
+    project = build_project({ctx.module: ctx for ctx in contexts})
+    for ctx in contexts:
+        ctx.project = project
+    findings: List[Finding] = []
+    rules = _enabled_rules(config)
+    for ctx in contexts:
+        findings.extend(_check_module(ctx, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Analyze one module given as a string; the fixture-test entry point.
+
+    The module becomes a one-module project, so cross-function analyses
+    (call graph, taint summaries) still run -- only *cross-module*
+    resolution needs :func:`analyze_modules` or :func:`analyze_paths`.
+    """
+    config = config if config is not None else LintConfig()
+    ctx, error = _parse_module(source, path, module, config)
+    if ctx is None:
+        return [error] if error is not None else []
+    return _analyze_contexts([ctx], config)
+
+
+def analyze_modules(
+    sources: Mapping[str, str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Analyze several in-memory modules as one project.
+
+    ``sources`` maps dotted module names to source text; paths in the
+    findings are ``<module>`` placeholders.  This is the entry point for
+    cross-module fixture tests (taint flowing through a helper module,
+    lock-order cycles spanning files).
+    """
+    config = config if config is not None else LintConfig()
+    contexts: List[ModuleContext] = []
+    findings: List[Finding] = []
+    for module in sources:
+        ctx, error = _parse_module(
+            sources[module], f"<{module}>", module, config
+        )
+        if ctx is None:
+            if error is not None:
+                findings.append(error)
+            continue
+        contexts.append(ctx)
+    findings.extend(_analyze_contexts(contexts, config))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -312,17 +430,24 @@ def iter_python_files(
 def analyze_paths(
     paths: Sequence[Path], config: Optional[LintConfig] = None
 ) -> List[Finding]:
-    """Analyze every Python file under *paths*."""
+    """Analyze every Python file under *paths* as one project.
+
+    All files are parsed before any rule runs, so every module sees the
+    full symbol table and call graph of the analyzed tree.
+    """
     config = config if config is not None else LintConfig()
+    contexts: List[ModuleContext] = []
     findings: List[Finding] = []
     for path in iter_python_files(paths, exclude=config.exclude):
         source = path.read_text(encoding="utf-8")
-        findings.extend(
-            analyze_source(
-                source,
-                path=str(path),
-                module=module_name_for(path),
-                config=config,
-            )
+        ctx, error = _parse_module(
+            source, str(path), module_name_for(path), config
         )
+        if ctx is None:
+            if error is not None:
+                findings.append(error)
+            continue
+        contexts.append(ctx)
+    findings.extend(_analyze_contexts(contexts, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -1,0 +1,142 @@
+"""Applying autofixes: span edits, overlap handling, fix-until-stable.
+
+Rules attach a :class:`~repro.analysis.engine.Fix` (a tuple of
+:class:`~repro.analysis.engine.Edit` spans) to mechanical findings --
+wrap-in-``sorted(...)``, mutable-default rewrites, float-equality
+helper calls.  This module turns those spans into new file contents:
+
+- spans use AST coordinates (1-based line, 0-based **byte** column, the
+  same convention ``ast`` uses), so edits are applied to the UTF-8 bytes
+  of the source, not its code points;
+- identical edits are deduplicated (two FLT01 findings both inserting
+  the same import line collapse to one insertion);
+- fixes whose edits overlap an already-accepted edit are skipped whole
+  (half a fix is worse than none); the next ``--fix`` pass picks them up
+  once the earlier rewrite has settled;
+- :func:`fix_text` re-analyzes and re-applies until the source stops
+  changing, which is also what makes the idempotency property testable:
+  ``fix_text(fix_text(s)) == fix_text(s)``.
+"""
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Edit, Finding, analyze_source
+
+#: Passes before giving up on a source that keeps producing new fixable
+#: findings (a fix that uncovers another fixable finding is fine; a
+#: cycle is a rule bug and must not hang the CLI).
+MAX_PASSES = 5
+
+
+def _line_offsets(data: bytes) -> List[int]:
+    """Byte offset of the start of every (1-based) line."""
+    offsets = [0]
+    for index, byte in enumerate(data):
+        if byte == 0x0A:
+            offsets.append(index + 1)
+    return offsets
+
+
+def _span(edit: Edit, offsets: List[int]) -> Optional[Tuple[int, int]]:
+    if not (1 <= edit.start_line <= len(offsets)) or not (
+        1 <= edit.end_line <= len(offsets)
+    ):
+        return None
+    start = offsets[edit.start_line - 1] + edit.start_col
+    end = offsets[edit.end_line - 1] + edit.end_col
+    if end < start:
+        return None
+    return (start, end)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Resolved:
+    start: int
+    end: int
+    replacement: bytes
+
+
+def apply_fixes(source: str, findings: Sequence[Finding]) -> Tuple[str, int]:
+    """Apply every non-overlapping fix; returns (new source, fixes applied)."""
+    data = source.encode("utf-8")
+    offsets = _line_offsets(data)
+    applied = 0
+    accepted: List[_Resolved] = []
+    taken: List[Tuple[int, int]] = []
+    for finding in findings:
+        if finding.fix is None:
+            continue
+        resolved: List[_Resolved] = []
+        ok = True
+        for edit in finding.fix.edits:
+            span = _span(edit, offsets)
+            if span is None:
+                ok = False
+                break
+            resolved.append(
+                _Resolved(span[0], span[1], edit.replacement.encode("utf-8"))
+            )
+        if not ok:
+            continue
+        duplicates = [r for r in resolved if r in accepted]
+        fresh = [r for r in resolved if r not in accepted]
+        if len(duplicates) == len(resolved):
+            continue  # the whole fix was already applied by a twin finding
+        if any(_overlaps(r, taken) for r in fresh):
+            continue
+        accepted.extend(fresh)
+        taken.extend((r.start, r.end) for r in fresh)
+        applied += 1
+    if not accepted:
+        return (source, 0)
+    # Bottom-up so earlier offsets stay valid; insertions at the same
+    # point keep their acceptance order (stable sort, reversed).
+    ordered = sorted(
+        range(len(accepted)), key=lambda i: (accepted[i].start, accepted[i].end, i)
+    )
+    for index in reversed(ordered):
+        edit = accepted[index]
+        data = data[: edit.start] + edit.replacement + data[edit.end :]
+    return (data.decode("utf-8"), applied)
+
+
+def _overlaps(edit: _Resolved, taken: Sequence[Tuple[int, int]]) -> bool:
+    for start, end in taken:
+        if edit.start == edit.end or start == end:
+            # Pure insertions only collide when inside a replaced span.
+            point = edit.start if edit.start == edit.end else start
+            low, high = (start, end) if edit.start == edit.end else (edit.start, edit.end)
+            if low < point < high:
+                return True
+            continue
+        if edit.start < end and start < edit.end:
+            return True
+    return False
+
+
+def fix_text(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> Tuple[str, int]:
+    """Fix one module's source until it stops changing.
+
+    Returns (fixed source, total fixes applied).  Idempotent by
+    construction: running it on its own output applies zero fixes.
+    """
+    config = config if config is not None else LintConfig()
+    total = 0
+    for _ in range(MAX_PASSES):
+        findings = analyze_source(source, path=path, module=module, config=config)
+        fixed, applied = apply_fixes(source, findings)
+        total += applied
+        if applied == 0 or fixed == source:
+            break
+        source = fixed
+    return (source, total)
+
+
+__all__ = ["MAX_PASSES", "apply_fixes", "fix_text"]

@@ -1,9 +1,12 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human-readable text, JSON, and SARIF 2.1.0."""
 
 import json
 from typing import Dict, List, Sequence
 
 from repro.analysis.engine import Finding, Severity
+
+#: SARIF severity levels for our two severities.
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 
 
 def render_text(findings: Sequence[Finding], files_checked: int = 0) -> str:
@@ -47,6 +50,88 @@ def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """SARIF 2.1.0 log: the interchange format code hosts understand.
+
+    One run, one ``sophon-lint`` tool entry; every registered rule that
+    produced a finding appears in ``tool.driver.rules`` so viewers can
+    show the rationale next to the annotation.
+    """
+    from repro.analysis.engine import all_rules
+
+    registry = all_rules()
+    used = sorted({f.rule for f in findings})
+    rules = []
+    for code in used:
+        cls = registry.get(code)
+        doc = ""
+        rationale = ""
+        if cls is not None:
+            doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
+            rationale = cls.rationale
+        rules.append(
+            {
+                "id": code,
+                "name": cls.name if cls is not None else code,
+                "shortDescription": {"text": doc or code},
+                "fullDescription": {"text": rationale or doc or code},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS.get(
+                        cls.default_severity if cls is not None else Severity.ERROR,
+                        "error",
+                    )
+                },
+            }
+        )
+    rule_index = {code: index for index, code in enumerate(used)}
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": _SARIF_LEVELS.get(finding.severity, "error"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sophon-lint",
+                        "informationUri": "https://example.invalid/sophon-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def render_rules() -> str:

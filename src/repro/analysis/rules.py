@@ -27,12 +27,16 @@ import ast
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.engine import (
+    Edit,
+    Fix,
     ModuleContext,
     Rule,
+    RuleResult,
     Severity,
     dotted_name,
     register_rule,
 )
+from repro.utils.floats import is_exact_zero
 
 AstFinding = Tuple[ast.AST, str]
 
@@ -40,6 +44,74 @@ AstFinding = Tuple[ast.AST, str]
 def _modules_option(rule: Rule) -> Sequence[str]:
     modules = rule.options.get("modules", ())
     return [str(m) for m in modules]  # type: ignore[union-attr]
+
+
+def _node_span(node: ast.AST) -> Optional[Tuple[int, int, int, int]]:
+    lineno = getattr(node, "lineno", None)
+    end_lineno = getattr(node, "end_lineno", None)
+    col = getattr(node, "col_offset", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if None in (lineno, end_lineno, col, end_col):
+        return None
+    return (int(lineno), int(col), int(end_lineno), int(end_col))
+
+
+def _wrap_fix(node: ast.AST, prefix: str, suffix: str, description: str) -> Optional[Fix]:
+    """A fix that wraps ``node``'s source span in ``prefix``/``suffix``."""
+    span = _node_span(node)
+    if span is None:
+        return None
+    lineno, col, end_lineno, end_col = span
+    return Fix(
+        edits=(
+            Edit(lineno, col, lineno, col, prefix),
+            Edit(end_lineno, end_col, end_lineno, end_col, suffix),
+        ),
+        description=description,
+    )
+
+
+def _replace_fix(node: ast.AST, replacement: str, description: str,
+                 extra: Sequence[Edit] = ()) -> Optional[Fix]:
+    span = _node_span(node)
+    if span is None:
+        return None
+    lineno, col, end_lineno, end_col = span
+    return Fix(
+        edits=(Edit(lineno, col, end_lineno, end_col, replacement), *extra),
+        description=description,
+    )
+
+
+def _import_insertion(ctx: ModuleContext, module: str, name: str) -> Optional[Edit]:
+    """An edit adding ``from module import name`` after the imports.
+
+    Returns None when the name is already bound (no edit needed) -- and
+    a no-op marker is distinguished from "cannot fix" by the caller
+    checking :func:`_import_needed` first.
+    """
+    line = 1
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            line = int(getattr(node, "end_lineno", node.lineno)) + 1
+        elif not (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            break
+        else:
+            line = int(getattr(node, "end_lineno", node.lineno)) + 1
+    return Edit(line, 0, line, 0, f"from {module} import {name}\n")
+
+
+def _import_needed(ctx: ModuleContext, module: str, name: str) -> Optional[bool]:
+    """True when the import must be added, False when already bound,
+    None when the name is bound to something *else* (fix unsafe)."""
+    bound = ctx.aliases.get(name)
+    if bound is None:
+        return True
+    return False if bound == f"{module}.{name}" else None
 
 
 @register_rule
@@ -96,8 +168,8 @@ class NoWallClockRule(Rule):
                     node,
                     f"wall-clock call {resolved}() in deterministic module "
                     f"{ctx.module}; accept an injectable clock instead "
-                    f"(e.g. `clock: Callable[[], float] = time.monotonic` "
-                    f"as a parameter default)",
+                    "(e.g. `clock: Callable[[], float] = time.monotonic` "
+                    "as a parameter default)",
                 )
 
 
@@ -152,12 +224,12 @@ class SeededRngRule(Rule):
             ):
                 yield node, (
                     f"{resolved}() uses the process-global RNG; derive a "
-                    f"generator via repro.utils.rng instead"
+                    "generator via repro.utils.rng instead"
                 )
             elif resolved in ("numpy.random.default_rng", "numpy.random.RandomState") and unseeded:
                 yield node, (
                     f"unseeded {resolved}(); pass an explicit seed so runs "
-                    f"replay"
+                    "replay"
                 )
             elif (
                 resolved.startswith("numpy.random.")
@@ -166,7 +238,7 @@ class SeededRngRule(Rule):
             ):
                 yield node, (
                     f"{resolved}() mutates numpy's global RNG state; use "
-                    f"repro.utils.rng derived generators instead"
+                    "repro.utils.rng derived generators instead"
                 )
 
 
@@ -225,7 +297,7 @@ class OrderedIterationRule(Rule):
         ],
     }
 
-    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
         if not ctx.in_modules(_modules_option(self)):
             return
         for node in ast.walk(ctx.tree):
@@ -250,6 +322,8 @@ class OrderedIterationRule(Rule):
                         "iteration over an unordered set expression in "
                         "scheduling code; wrap it in sorted(...) to pin "
                         "the order",
+                        _wrap_fix(candidate, "sorted(", ")",
+                                  "wrap the set expression in sorted(...)"),
                     )
                 elif _is_keys_call(candidate):
                     yield (
@@ -257,6 +331,8 @@ class OrderedIterationRule(Rule):
                         "iteration over a bare .keys() snapshot in "
                         "scheduling code; key order is insertion history "
                         "-- wrap it in sorted(...) to pin the order",
+                        _wrap_fix(candidate, "sorted(", ")",
+                                  "wrap the .keys() call in sorted(...)"),
                     )
             if (
                 isinstance(node, ast.Call)
@@ -325,13 +401,13 @@ class FrameCodecPairRule(Rule):
             if has_encoder and not has_decoder:
                 yield node, (
                     f"frame class {node.name} has an encoder (to_bytes) but "
-                    f"no decoder (from_bytes); peers cannot parse what it "
-                    f"emits"
+                    "no decoder (from_bytes); peers cannot parse what it "
+                    "emits"
                 )
             elif has_decoder and not has_encoder:
                 yield node, (
                     f"frame class {node.name} has a decoder (from_bytes) but "
-                    f"no encoder (to_bytes); nothing can emit what it parses"
+                    "no encoder (to_bytes); nothing can emit what it parses"
                 )
             elif has_encoder and has_decoder:
                 codec_classes.append(node)
@@ -340,13 +416,13 @@ class FrameCodecPairRule(Rule):
                 yield node, (
                     f"frame class {node.name} defined but the module has no "
                     f"{registry_name} registry mapping magics to frame "
-                    f"classes"
+                    "classes"
                 )
             elif node.name not in registered:
                 yield node, (
                     f"frame class {node.name} is not registered in "
                     f"{registry_name}; register its magic(s) so generic "
-                    f"tooling can decode it"
+                    "tooling can decode it"
                 )
 
 
@@ -407,8 +483,8 @@ class NoSwallowedExceptionsRule(Rule):
             label = "bare except:" if node.type is None else "broad except"
             yield node, (
                 f"{label} swallows the exception without logging or "
-                f"re-raising; catch the specific types you expect, or log "
-                f"via the module logger"
+                "re-raising; catch the specific types you expect, or log "
+                "via the module logger"
             )
 
 
@@ -425,7 +501,7 @@ class NoFloatEqualityRule(Rule):
     )
     default_options = {"allow_modules": ["repro.utils.floats"]}
 
-    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
         allow = [str(m) for m in self.options["allow_modules"]]  # type: ignore[union-attr]
         if ctx.in_modules(allow):
             return
@@ -444,7 +520,47 @@ class NoFloatEqualityRule(Rule):
                     "float equality comparison; use "
                     "repro.utils.floats.is_exact_zero / close instead of "
                     "== on floats"
-                )
+                ), self._fix(ctx, node)
+
+    def _fix(self, ctx: ModuleContext, node: ast.Compare) -> Optional[Fix]:
+        """Rewrite the simple forms: ``a == 0.0`` and ``a == 0.3``.
+
+        Chained comparisons and shadowed helper names are left to a
+        human; the finding still reports.
+        """
+        if len(node.ops) != 1:
+            return None
+        left, right = node.left, node.comparators[0]
+        negate = isinstance(node.ops[0], ast.NotEq)
+
+        def is_float(n: ast.AST) -> bool:
+            return isinstance(n, ast.Constant) and isinstance(n.value, float)
+
+        literal = right if is_float(right) else left
+        other = left if literal is right else right
+        assert isinstance(literal, ast.Constant)
+        other_src = ast.get_source_segment(ctx.source, other)
+        literal_src = ast.get_source_segment(ctx.source, literal)
+        if other_src is None or literal_src is None:
+            return None
+        if is_exact_zero(float(literal.value)):
+            helper, call = "is_exact_zero", f"is_exact_zero({other_src})"
+        else:
+            helper, call = "close", f"close({other_src}, {literal_src})"
+        needed = _import_needed(ctx, "repro.utils.floats", helper)
+        if needed is None:
+            return None
+        extra: List[Edit] = []
+        if needed:
+            insertion = _import_insertion(ctx, "repro.utils.floats", helper)
+            if insertion is None:
+                return None
+            extra.append(insertion)
+        replacement = f"not {call}" if negate else call
+        return _replace_fix(
+            node, replacement,
+            f"compare via repro.utils.floats.{helper}", extra,
+        )
 
 
 _MUTABLE_CONSTRUCTORS = {
@@ -465,12 +581,17 @@ class NoMutableDefaultsRule(Rule):
         "contamination the harness re-runs exist to rule out."
     )
 
-    def check(self, ctx: ModuleContext) -> Iterator[AstFinding]:
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            defaults = [*node.args.defaults, *node.args.kw_defaults]
-            for default in defaults:
+            positional = [*node.args.posonlyargs, *node.args.args]
+            pairs: List[Tuple[Optional[ast.arg], Optional[ast.expr]]] = []
+            defaults = node.args.defaults
+            if defaults:
+                pairs.extend(zip(positional[-len(defaults):], defaults))
+            pairs.extend(zip(node.args.kwonlyargs, node.args.kw_defaults))
+            for arg, default in pairs:
                 if default is None:
                     continue
                 mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
@@ -483,9 +604,47 @@ class NoMutableDefaultsRule(Rule):
                 if mutable:
                     yield default, (
                         f"mutable default argument in {node.name}(); "
-                        f"default to None and create the container inside "
-                        f"the function"
-                    )
+                        "default to None and create the container inside "
+                        "the function"
+                    ), self._fix(ctx, node, arg, default)
+
+    def _fix(
+        self,
+        ctx: ModuleContext,
+        fn: ast.AST,
+        arg: Optional[ast.arg],
+        default: ast.expr,
+    ) -> Optional[Fix]:
+        """``x: T = []`` -> ``x: T = None`` plus an ``if x is None`` guard."""
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if arg is None:
+            return None
+        default_src = ast.get_source_segment(ctx.source, default)
+        if default_src is None:
+            return None
+        body = fn.body
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            if len(body) == 1:
+                return None  # docstring-only body: nothing reads the arg
+            first = body[1]
+        indent = " " * first.col_offset
+        guard = (
+            f"if {arg.arg} is None:\n"
+            f"{indent}    {arg.arg} = {default_src}\n"
+            f"{indent}"
+        )
+        return _replace_fix(
+            default,
+            "None",
+            f"default {arg.arg} to None and build the container per call",
+            extra=(Edit(first.lineno, first.col_offset,
+                        first.lineno, first.col_offset, guard),),
+        )
 
 
 @register_rule

@@ -1,0 +1,497 @@
+"""TNT01: determinism-taint tracking.
+
+The reproduction's core contract is byte-identical replay: the plan
+journal, the FR02 wire frames and the preprocessing plans must be pure
+functions of (dataset, seed, config).  DET01/DET02 flag wall-clock and
+unseeded-RNG *calls*; TNT01 closes the remaining gap by following the
+**values** those calls produce.  ``t = time.monotonic()`` is legitimate
+telemetry -- until ``t`` flows into ``GrantRecord(...)`` three
+assignments (or one helper call) later, at which point replay breaks in
+a way no call-site rule can see.
+
+Mechanics: a forward may-taint analysis over each function's CFG
+(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`).  The state
+maps variable names (locals and ``self.X`` pseudo-variables) to the set
+of taint labels that may have reached them.  Labels are either concrete
+sources (``"time.monotonic()"``) or parameter markers (``"param:0"``).
+Parameter markers power the cross-function half: a per-project fixpoint
+(cached in ``project.cache``) computes, for every function, which
+source labels its *return value* can carry and which *parameter
+positions* flow into a sink inside it.  Call sites then propagate taint
+through returns and flag tainted arguments passed into sink-reaching
+parameters -- so the flow ``t = time.time(); record(t)`` is caught even
+when ``record`` does the journal append two modules away.
+"""
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectContext
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import ForwardAnalysis, foreach_element_state, run_forward
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    RuleResult,
+    register_rule,
+)
+
+TaintState = Dict[str, FrozenSet[str]]
+
+_PARAM_PREFIX = "param:"
+
+_DEFAULT_SOURCES = [
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.uniform",
+    "random.gauss",
+    "random.getrandbits",
+    "random.randbytes",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+]
+
+#: Deterministic-output constructors and writers.  Matched against the
+#: resolved callee name by suffix (``a.b.GrantRecord.__init__`` matches
+#: ``GrantRecord``), so config stays short and survives moves.
+_DEFAULT_SINKS = [
+    "GrantRecord",
+    "ReleaseRecord",
+    "SampleRecord",
+    "FetchRequest",
+    "FetchResponse",
+    "PlanJournal.append_grant",
+    "PlanJournal.append_release",
+    "PlanJournal.append_checkpoint",
+    "journal.encode_line",
+]
+
+
+def _is_source_label(label: str) -> bool:
+    return not label.startswith(_PARAM_PREFIX)
+
+
+def _source_labels(labels: FrozenSet[str]) -> FrozenSet[str]:
+    return frozenset(label for label in labels if _is_source_label(label))
+
+
+def _param_names(fn: ast.AST) -> List[str]:
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    return names
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """What one function does with taint, as seen from a call site."""
+
+    #: Labels the return value may carry (sources and param markers).
+    return_labels: FrozenSet[str] = frozenset()
+    #: Parameter index -> sink it reaches inside this function (or deeper).
+    sink_params: Dict[int, str] = dataclasses.field(default_factory=dict)
+
+
+class _TaintAnalysis(ForwardAnalysis[TaintState]):
+    """Forward may-taint over one function's CFG."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        sources: Set[str],
+        summaries: Dict[str, FunctionSummary],
+    ) -> None:
+        self.ctx = ctx
+        self.info = info
+        self.sources = sources
+        self.summaries = summaries
+        self.params = _param_names(info.node)
+        assert ctx.project is not None
+        self.symbols = ctx.project.symbols
+        #: return-value labels observed while transferring Return nodes.
+        self.returned: Set[str] = set()
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial(self) -> TaintState:
+        return {
+            name: frozenset({f"{_PARAM_PREFIX}{index}"})
+            for index, name in enumerate(self.params)
+        }
+
+    def join(self, left: TaintState, right: TaintState) -> TaintState:
+        if left == right:
+            return left
+        merged = dict(left)
+        for name, labels in right.items():
+            merged[name] = merged.get(name, frozenset()) | labels
+        return merged
+
+    # -- taint of an expression -------------------------------------------
+
+    def expr_labels(self, node: Optional[ast.AST], state: TaintState) -> FrozenSet[str]:
+        if node is None:
+            return frozenset()
+        labels: Set[str] = set()
+        for child in _walk_pruned(node):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                labels |= state.get(child.id, frozenset())
+            elif isinstance(child, ast.Attribute):
+                key = _state_key(child)
+                if key is not None:
+                    labels |= state.get(key, frozenset())
+            elif isinstance(child, ast.Call):
+                labels |= self.call_labels(child, state)
+        return frozenset(labels)
+
+    def call_labels(self, call: ast.Call, state: TaintState) -> FrozenSet[str]:
+        resolved = self.symbols.resolve_call(self.ctx, call, self.info.class_name)
+        if resolved is None:
+            return frozenset()
+        if resolved in self.sources:
+            return frozenset({f"{resolved}()"})
+        summary = self.summaries.get(resolved)
+        if summary is None or not summary.return_labels:
+            return frozenset()
+        # Map the callee's param markers onto this call's argument taint.
+        labels: Set[str] = set(_source_labels(summary.return_labels))
+        for marker in summary.return_labels:
+            if not marker.startswith(_PARAM_PREFIX):
+                continue
+            index = int(marker[len(_PARAM_PREFIX):])
+            arg = _argument_at(call, resolved, index, self.symbols)
+            if arg is not None:
+                labels |= self.expr_labels(arg, state)
+        return frozenset(labels)
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, element: ast.stmt, state: TaintState) -> TaintState:
+        if isinstance(element, ast.Assign):
+            labels = self.expr_labels(element.value, state)
+            return self._bind_targets(element.targets, labels, state)
+        if isinstance(element, ast.AnnAssign) and element.value is not None:
+            labels = self.expr_labels(element.value, state)
+            return self._bind_targets([element.target], labels, state)
+        if isinstance(element, ast.AugAssign):
+            labels = self.expr_labels(element.value, state)
+            key = _target_key(element.target)
+            if key is not None:
+                existing = state.get(key, frozenset())
+                if labels - existing:
+                    new = dict(state)
+                    new[key] = existing | labels
+                    return new
+            return state
+        if isinstance(element, (ast.For, ast.AsyncFor)):
+            labels = self.expr_labels(element.iter, state)
+            return self._bind_targets([element.target], labels, state)
+        if isinstance(element, (ast.With, ast.AsyncWith)):
+            new = state
+            for item in element.items:
+                if item.optional_vars is not None:
+                    labels = self.expr_labels(item.context_expr, state)
+                    new = self._bind_targets([item.optional_vars], labels, new)
+            return new
+        if isinstance(element, ast.Return):
+            self.returned |= self.expr_labels(element.value, state)
+            return state
+        return state
+
+    def _bind_targets(
+        self,
+        targets: Sequence[ast.AST],
+        labels: FrozenSet[str],
+        state: TaintState,
+    ) -> TaintState:
+        new: Optional[TaintState] = None
+        for target in targets:
+            for key in _target_keys(target):
+                if state.get(key, frozenset()) == labels and not labels:
+                    continue
+                if new is None:
+                    new = dict(state)
+                if labels:
+                    new[key] = labels
+                else:
+                    new.pop(key, None)
+        return new if new is not None else state
+
+
+def _state_key(node: ast.AST) -> Optional[str]:
+    """State key for a loadable place: ``x`` or ``self.x``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _target_key(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    return _state_key(node)
+
+
+def _target_keys(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_keys(element)
+        return
+    key = _target_key(target)
+    if key is not None:
+        yield key
+
+
+def _walk_pruned(node: ast.AST) -> Iterator[ast.AST]:
+    """ast.walk that does not descend into nested scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _argument_at(
+    call: ast.Call, resolved: str, index: int, symbols: object
+) -> Optional[ast.expr]:
+    """The call argument bound to parameter ``index`` of the callee.
+
+    Methods called as ``obj.m(...)`` skip the implicit ``self`` slot.
+    Best-effort: keyword arguments map via the callee's signature when
+    the callee is a project function.
+    """
+    from repro.analysis.callgraph import SymbolTable
+
+    offset = 0
+    names: List[str] = []
+    if isinstance(symbols, SymbolTable):
+        info = symbols.functions.get(resolved)
+        if info is not None:
+            names = _param_names(info.node)
+            if info.is_method and isinstance(call.func, ast.Attribute):
+                offset = 1
+    positional_index = index - offset
+    if 0 <= positional_index < len(call.args):
+        return call.args[positional_index]
+    if names and 0 <= index < len(names):
+        wanted = names[index]
+        for keyword in call.keywords:
+            if keyword.arg == wanted:
+                return keyword.value
+    return None
+
+
+def _sink_name(resolved: str, sinks: Sequence[str]) -> Optional[str]:
+    """The matching sink pattern, if ``resolved`` names a sink."""
+    normalized = resolved
+    if normalized.endswith(".__init__"):
+        normalized = normalized[: -len(".__init__")]
+    for pattern in sinks:
+        if normalized == pattern or normalized.endswith("." + pattern):
+            return pattern
+    return None
+
+
+@register_rule
+class DeterminismTaintRule(Rule):
+    """TNT01: wall-clock/RNG-derived values must not reach replayed outputs."""
+
+    code = "TNT01"
+    name = "determinism-taint"
+    rationale = (
+        "Crash recovery replays the journal and byte-compares it; epoch "
+        "plans replay from (dataset, seed).  A timestamp or unseeded "
+        "random value that reaches a journal line, an FR02 frame or a "
+        "SampleRecord makes replay diverge -- often only after a crash, "
+        "which is the worst possible time to discover it."
+    )
+    default_options = {
+        "modules": ["repro"],
+        "sources": list(_DEFAULT_SOURCES),
+        "sinks": list(_DEFAULT_SINKS),
+        "max_rounds": 4,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[RuleResult]:
+        modules = [str(m) for m in self.options.get("modules", ())]  # type: ignore[union-attr]
+        if not ctx.in_modules(modules) or ctx.project is None:
+            return
+        project = ctx.project
+        sources = {str(s) for s in self.options.get("sources", ())}  # type: ignore[union-attr]
+        sinks = [str(s) for s in self.options.get("sinks", ())]  # type: ignore[union-attr]
+        summaries = self._summaries(project, sources, sinks)
+        for info in project.iter_functions(ctx.module):
+            yield from self._check_function(ctx, info, sources, sinks, summaries)
+
+    # -- cross-function summaries -----------------------------------------
+
+    def _summaries(
+        self, project: ProjectContext, sources: Set[str], sinks: Sequence[str]
+    ) -> Dict[str, FunctionSummary]:
+        key = "tnt01.summaries"
+        cached = project.cache.get(key)
+        if isinstance(cached, dict):
+            return cached  # type: ignore[return-value]
+        summaries: Dict[str, FunctionSummary] = {}
+        cfgs: Dict[str, CFG] = {}
+        max_rounds = int(self.options.get("max_rounds", 4))  # type: ignore[arg-type]
+        for _ in range(max_rounds):
+            changed = False
+            for qualname in sorted(project.symbols.functions):
+                info = project.symbols.functions[qualname]
+                ctx = project.modules.get(info.module)
+                if ctx is None:
+                    continue
+                cfg = cfgs.get(qualname)
+                if cfg is None:
+                    cfg = build_cfg(info.node)
+                    cfgs[qualname] = cfg
+                summary = self._summarize(ctx, info, cfg, sources, sinks, summaries)
+                if summaries.get(qualname) != summary:
+                    summaries[qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        project.cache[key] = summaries
+        return summaries
+
+    def _summarize(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        cfg: CFG,
+        sources: Set[str],
+        sinks: Sequence[str],
+        summaries: Dict[str, FunctionSummary],
+    ) -> FunctionSummary:
+        analysis = _TaintAnalysis(ctx, info, sources, summaries)
+        in_states = run_forward(cfg, analysis)
+        sink_params: Dict[int, str] = {}
+
+        def visit(element: ast.stmt, state: TaintState) -> None:
+            for _call, sink, labels in self._sink_flows(
+                analysis, element, state, sinks, summaries
+            ):
+                for label in sorted(labels):
+                    if label.startswith(_PARAM_PREFIX):
+                        index = int(label[len(_PARAM_PREFIX):])
+                        sink_params.setdefault(index, sink)
+
+        foreach_element_state(cfg, analysis, in_states, visit)
+        return FunctionSummary(
+            return_labels=frozenset(analysis.returned),
+            sink_params=sink_params,
+        )
+
+    # -- per-function reporting -------------------------------------------
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        info: FunctionInfo,
+        sources: Set[str],
+        sinks: Sequence[str],
+        summaries: Dict[str, FunctionSummary],
+    ) -> Iterator[RuleResult]:
+        cfg = build_cfg(info.node)
+        analysis = _TaintAnalysis(ctx, info, sources, summaries)
+        in_states = run_forward(cfg, analysis)
+        findings: List[Tuple[ast.AST, str]] = []
+        seen: Set[int] = set()
+
+        def visit(element: ast.stmt, state: TaintState) -> None:
+            for call, sink, labels in self._sink_flows(
+                analysis, element, state, sinks, summaries
+            ):
+                concrete = sorted(_source_labels(labels))
+                if not concrete or id(call) in seen:
+                    continue
+                seen.add(id(call))
+                findings.append(
+                    (
+                        call,
+                        f"non-deterministic value (from {', '.join(concrete)}) "
+                        f"reaches deterministic output {sink}; replayed runs "
+                        "will diverge -- derive the value from the seed or "
+                        "keep it out of the record",
+                    )
+                )
+
+        foreach_element_state(cfg, analysis, in_states, visit)
+        yield from findings
+
+    def _sink_flows(
+        self,
+        analysis: _TaintAnalysis,
+        element: ast.stmt,
+        state: TaintState,
+        sinks: Sequence[str],
+        summaries: Dict[str, FunctionSummary],
+    ) -> Iterator[Tuple[ast.Call, str, FrozenSet[str]]]:
+        """(call, sink name, labels) for every tainted sink arg in element."""
+        for node in _walk_pruned(element):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = analysis.symbols.resolve_call(
+                analysis.ctx, node, analysis.info.class_name
+            )
+            if resolved is None:
+                continue
+            sink = _sink_name(resolved, sinks)
+            if sink is not None:
+                labels: Set[str] = set()
+                for arg in node.args:
+                    labels |= analysis.expr_labels(arg, state)
+                for keyword in node.keywords:
+                    labels |= analysis.expr_labels(keyword.value, state)
+                if labels:
+                    yield node, sink, frozenset(labels)
+                continue
+            # Tainted argument into a parameter that reaches a sink deeper in.
+            summary = summaries.get(resolved)
+            if summary is None or not summary.sink_params:
+                continue
+            for index in sorted(summary.sink_params):
+                arg = _argument_at(node, resolved, index, analysis.symbols)
+                if arg is None:
+                    continue
+                labels = set(analysis.expr_labels(arg, state))
+                if labels:
+                    chain = f"{summary.sink_params[index]} (via {resolved})"
+                    yield node, chain, frozenset(labels)
+
+
+__all__ = ["DeterminismTaintRule", "FunctionSummary", "TaintState"]

@@ -61,7 +61,7 @@ def _parallel(args: argparse.Namespace):
     try:
         return ParallelConfig.parse(value)
     except ValueError as exc:
-        raise SystemExit(f"bad --parallel value: {exc}")
+        raise SystemExit(f"bad --parallel value: {exc}") from exc
 
 
 @contextlib.contextmanager
@@ -371,9 +371,9 @@ def cmd_replay(args: argparse.Namespace) -> None:
     try:
         replayed = read_jsonl(args.log)
     except OSError as exc:
-        raise SystemExit(f"cannot read {args.log}: {exc}")
+        raise SystemExit(f"cannot read {args.log}: {exc}") from exc
     except ValueError as exc:
-        raise SystemExit(f"cannot replay {args.log}: {exc}")
+        raise SystemExit(f"cannot replay {args.log}: {exc}") from exc
 
     snapshot = replayed.registry.snapshot()
     events = replayed.tracer.events
@@ -407,7 +407,7 @@ def cmd_replay(args: argparse.Namespace) -> None:
             try:
                 print(replayed.audit.explain(args.sample))
             except KeyError as exc:
-                raise SystemExit(str(exc))
+                raise SystemExit(str(exc)) from exc
     elif args.sample is not None:
         raise SystemExit(f"{args.log} carries no audit records to explain")
 

@@ -117,7 +117,7 @@ class JointPlanner:
             estimate = epoch_model.estimate(metrics)
             if not estimate.network_bound:
                 reason = (
-                    f"network no longer predominant (bottleneck: "
+                    "network no longer predominant (bottleneck: "
                     f"{estimate.bottleneck.value})"
                 )
                 break

@@ -66,7 +66,7 @@ class StorageSpeedProbe:
         if probe_samples < 1:
             raise ValueError(f"probe_samples must be >= 1, got {probe_samples}")
         if split < 1:
-            raise ValueError(f"split must be >= 1 (a prefix must run remotely)")
+            raise ValueError("split must be >= 1 (a prefix must run remotely)")
         self.probe_samples = probe_samples
         self.split = split
 

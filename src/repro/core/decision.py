@@ -217,7 +217,7 @@ class DecisionEngine:
             estimate = model.estimate(metrics)
             if not estimate.network_bound:
                 reason = (
-                    f"network no longer predominant (bottleneck: "
+                    "network no longer predominant (bottleneck: "
                     f"{estimate.bottleneck.value}) after {accepted} samples"
                 )
                 stopped_at = index
@@ -240,7 +240,7 @@ class DecisionEngine:
                         record,
                         0,
                         SKIPPED_WOULD_WORSEN,
-                        f"offload would raise the epoch estimate "
+                        "offload would raise the epoch estimate "
                         f"{estimate.epoch_time_s:.6f}s -> {post.epoch_time_s:.6f}s",
                         budget=budget,
                         rank=ranked[record.sample_id],

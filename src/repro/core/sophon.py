@@ -100,7 +100,7 @@ class Sophon(Policy):
                 return OffloadPlan.no_offload(
                     context.num_samples,
                     reason=(
-                        f"stage-one profiling: workload is "
+                        "stage-one profiling: workload is "
                         f"{probe.bottleneck.value}-bound, not I/O-bound"
                     ),
                 )

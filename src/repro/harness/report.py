@@ -94,7 +94,7 @@ def generate_markdown_report(
         )
         lines += _code_block(comparison.render())
         lines.append(
-            f"SOPHON traffic reduction: "
+            "SOPHON traffic reduction: "
             f"{1.0 / comparison.traffic_ratio('sophon'):.2f}x; "
             f"time reduction: {1.0 / comparison.time_ratio('sophon'):.2f}x."
         )

@@ -11,14 +11,14 @@ import dataclasses
 import logging
 from typing import Callable, Dict, Optional
 
-logger = logging.getLogger(__name__)
-
 from repro.objectstore.store import Bucket
 from repro.preprocessing.payload import Payload
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.messages import FetchRequest, FetchResponse
 from repro.telemetry.registry import get_default_registry
 from repro.telemetry.spans import Tracer, trace_id
+
+logger = logging.getLogger(__name__)
 
 
 class LambdaError(Exception):

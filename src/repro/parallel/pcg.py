@@ -94,7 +94,7 @@ def seed_state_words(
     """
     if not components_supported(seed, epoch, op_index):
         raise ValueError(
-            f"seed/epoch/op_index must be 32-bit non-negative ints, got "
+            "seed/epoch/op_index must be 32-bit non-negative ints, got "
             f"({seed}, {epoch}, {op_index})"
         )
     ids = np.asarray(sample_ids, dtype=np.uint32)

@@ -32,7 +32,7 @@ class SampleRecord:
     def __post_init__(self) -> None:
         if len(self.stage_sizes) != len(self.op_costs) + 1:
             raise ValueError(
-                f"stage_sizes must have one more entry than op_costs "
+                "stage_sizes must have one more entry than op_costs "
                 f"({len(self.stage_sizes)} vs {len(self.op_costs)})"
             )
         if any(s < 0 for s in self.stage_sizes):

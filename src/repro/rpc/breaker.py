@@ -209,7 +209,7 @@ class CircuitBreaker:
         """
         if not self.allow():
             raise BreakerOpenError(
-                f"circuit open for another "
+                "circuit open for another "
                 f"{self.recovery_time_s - (self._clock() - self._opened_at):.3g}s"
             )
         try:

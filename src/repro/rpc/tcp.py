@@ -24,10 +24,10 @@ import struct
 import threading
 from typing import Callable, Optional, Tuple
 
-logger = logging.getLogger(__name__)
-
 from repro.preprocessing.payload import Payload
 from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+
+logger = logging.getLogger(__name__)
 
 _LENGTH = struct.Struct("<I")
 _MAX_MESSAGE = 512 * 1024 * 1024  # sanity cap, not a protocol limit
@@ -118,7 +118,8 @@ class TcpStorageServer:
                 target=self._serve_connection, args=(conn,), daemon=True
             )
             thread.start()
-            self._threads.append(thread)
+            with self._conn_lock:
+                self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -153,7 +154,8 @@ class TcpStorageServer:
                         _send_message(conn, response)
                     except OSError:
                         return
-                    self.requests_served += 1
+                    with self._conn_lock:
+                        self.requests_served += 1
         finally:
             with self._conn_lock:
                 if conn in self._connections:
@@ -176,7 +178,9 @@ class TcpStorageServer:
                 pass
         if self._accept_thread.is_alive():
             self._accept_thread.join(timeout=2.0)
-        for thread in self._threads:
+        with self._conn_lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=2.0)
 
     def close(self) -> None:
@@ -220,9 +224,12 @@ class TcpStorageClient:
 
         request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
         try:
+            # This lock exists precisely to serialize request/response
+            # pairs on the single shared socket, so the blocking I/O
+            # *must* happen inside it.
             with self._lock:
-                _send_message(self._sock, request.to_bytes())
-                wire = _recv_message(self._sock)
+                _send_message(self._sock, request.to_bytes())  # sophon-lint: disable=GUARD02
+                wire = _recv_message(self._sock)  # sophon-lint: disable=GUARD02
         except socket.timeout as exc:
             raise TimeoutError(f"fetch of sample {sample_id} timed out") from exc
         except ConnectionError:
@@ -235,11 +242,13 @@ class TcpStorageClient:
             raise ConnectionError("server closed the connection")
         if wire.startswith(_ERROR_PREFIX):
             raise ProtocolError(wire[len(_ERROR_PREFIX):].decode("utf-8", "replace"))
-        self.traffic_bytes += len(wire)
+        with self._lock:
+            self.traffic_bytes += len(wire)
         try:
             response = FetchResponse.from_bytes(wire)
         except ChecksumError:
-            self.checksum_failures += 1
+            with self._lock:
+                self.checksum_failures += 1
             raise
         if response.sample_id != sample_id or response.split != split:
             raise ProtocolError("response does not match the request")

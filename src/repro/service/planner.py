@@ -19,7 +19,7 @@ import dataclasses
 import hashlib
 import json
 import threading
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.cluster.spec import standard_cluster
 from repro.core.decision import DecisionConfig, DecisionEngine
@@ -82,7 +82,9 @@ class JobSpec:
                 storage_cores=int(body.get("storage_cores", 8)),  # type: ignore[arg-type]
             )
         except KeyError as exc:
-            raise ValueError(f"request is missing required field {exc.args[0]!r}")
+            raise ValueError(
+                f"request is missing required field {exc.args[0]!r}"
+            ) from exc
         except (TypeError, ValueError) as exc:
             raise ValueError(f"malformed request: {exc}") from exc
 

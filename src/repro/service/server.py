@@ -169,7 +169,9 @@ class DecisionService:
         self._stop_all_workers()
         with self._state_lock:
             if self._journal is not None:
-                self._journal.append_checkpoint(
+                # The fsync must happen under the lock: journal order is
+                # seq order, which is what crash recovery byte-compares.
+                self._journal.append_checkpoint(  # sophon-lint: disable=GUARD02
                     self._next_seq_locked(), self.ledger.committed()
                 )
                 self._journal.close()
@@ -294,7 +296,8 @@ class DecisionService:
             )
             return
         digest = spec.params_digest()
-        existing = self._grants.get((spec.job, digest))
+        with self._state_lock:
+            existing = self._grants.get((spec.job, digest))
         if existing is not None and self.ledger.holds(spec.job) == existing.cores:
             # Idempotent replay: the client re-sent a request we already
             # granted (typically after a crash ate the response).
@@ -333,7 +336,9 @@ class DecisionService:
                 reason=result.reason,
             )
             if self._journal is not None:
-                self._journal.append_grant(grant)
+                # Sequenced-append invariant: the fsync'd journal line
+                # must land in seq order, so it stays under the lock.
+                self._journal.append_grant(grant)  # sophon-lint: disable=GUARD02
             self._grants[(spec.job, digest)] = grant
         self._admission("granted")
         registry = get_default_registry()
@@ -422,7 +427,8 @@ class DecisionService:
             if cores is None:
                 return (404, {"error": f"job {job!r} holds no cores"})
             if self._journal is not None:
-                self._journal.append_release(
+                # Same sequenced-append invariant as the grant path.
+                self._journal.append_release(  # sophon-lint: disable=GUARD02
                     ReleaseRecord(seq=self._next_seq_locked(), job=job,
                                   cores=cores)
                 )
@@ -432,6 +438,9 @@ class DecisionService:
         return (200, {"job": job, "released_cores": cores})
 
     def status_body(self) -> Dict[str, object]:
+        with self._state_lock:
+            grants = len(self._grants)
+            next_seq = self._seq
         return {
             "ready": self.is_ready,
             "draining": self._draining,
@@ -442,9 +451,9 @@ class DecisionService:
             "total_cores": self.ledger.total_cores,
             "committed_cores": self.ledger.committed_cores,
             "committed": self.ledger.committed(),
-            "grants": len(self._grants),
+            "grants": grants,
             "recovered_grants": self.recovered_grants,
-            "next_seq": self._seq,
+            "next_seq": next_seq,
         }
 
 

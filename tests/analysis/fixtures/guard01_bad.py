@@ -1,0 +1,32 @@
+"""GUARD01 bad: unguarded writes to lock-protected shared state."""
+
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []  # type: list
+        self._results = {}  # type: dict
+        self._thread = threading.Thread(target=self._worker_loop, daemon=True)
+
+    def _worker_loop(self) -> None:
+        while True:
+            # Thread-side mutation without the lock, while stop() reads it.
+            self.items.append(1)
+
+    def bump(self) -> None:
+        self.count += 1  # read-modify-write with no lock
+
+    def record(self, key: str, value: int) -> None:
+        with self._lock:
+            self._results[key] = value
+
+    def forget(self, key: str) -> None:
+        # _results is written under the lock in record() but not here.
+        self._results.pop(key, None)
+
+    def stop(self) -> list:
+        with self._lock:
+            return list(self.items)

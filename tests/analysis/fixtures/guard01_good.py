@@ -1,0 +1,38 @@
+"""GUARD01 good: every shared-state write happens under the class lock."""
+
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []  # type: list
+        self._results = {}  # type: dict
+        self._thread = threading.Thread(target=self._worker_loop, daemon=True)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                self.items.append(1)
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def record(self, key: str, value: int) -> None:
+        with self._lock:
+            self._results[key] = value
+
+    def _evict_locked(self, key: str) -> None:
+        # Only ever called with the lock held (the _locked suffix and the
+        # call sites below both say so).
+        self._results.pop(key, None)
+
+    def forget(self, key: str) -> None:
+        with self._lock:
+            self._evict_locked(key)
+
+    def stop(self) -> list:
+        with self._lock:
+            return list(self.items)

@@ -1,0 +1,33 @@
+"""GUARD02 bad: blocking calls while holding a lock."""
+
+import os
+import queue
+import threading
+import time
+
+
+def flush_log(handle, lock: threading.Lock) -> None:
+    with lock:
+        handle.write(b"x")
+        os.fsync(handle.fileno())  # fsync under a module-function lock
+
+
+class Pump:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[int]" = queue.Queue()
+
+    def _persist(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def drain_one(self) -> int:
+        with self._lock:
+            return self._queue.get()  # queue.Queue.get blocks
+
+    def checkpoint(self, handle) -> None:
+        with self._lock:
+            self._persist(handle)  # blocks transitively via _persist
+
+    def nap(self) -> None:
+        with self._lock:
+            time.sleep(0.1)

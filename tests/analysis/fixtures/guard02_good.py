@@ -1,0 +1,36 @@
+"""GUARD02 good: blocking work happens outside the critical sections."""
+
+import os
+import queue
+import threading
+import time
+
+
+def flush_log(handle, lock: threading.Lock) -> None:
+    with lock:
+        handle.write(b"x")
+    os.fsync(handle.fileno())
+
+
+class Pump:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[int]" = queue.Queue()
+        self.flushed = 0
+
+    def _persist(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def drain_one(self) -> int:
+        item = self._queue.get()
+        with self._lock:
+            self.flushed += 1
+        return item
+
+    def checkpoint(self, handle) -> None:
+        self._persist(handle)
+        with self._lock:
+            self.flushed += 1
+
+    def nap(self) -> None:
+        time.sleep(0.1)

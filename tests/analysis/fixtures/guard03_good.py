@@ -1,0 +1,23 @@
+"""GUARD03 good: one global lock order on every path."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+        self.balance = 0
+        self.entries = 0
+
+    def deposit(self) -> None:
+        with self._accounts:
+            self.balance += 1
+            with self._audit:
+                self.entries += 1
+
+    def reconcile(self) -> None:
+        with self._accounts:
+            with self._audit:
+                self.balance -= 1
+                self.entries += 1

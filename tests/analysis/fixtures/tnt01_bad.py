@@ -1,0 +1,31 @@
+"""TNT01 bad: wall-clock and RNG values reaching deterministic outputs."""
+
+import random
+import time
+
+
+class SampleRecord:
+    def __init__(self, sample_id: int, cost: float) -> None:
+        self.sample_id = sample_id
+        self.cost = cost
+
+
+def stamp(record_id: int) -> SampleRecord:
+    started = time.monotonic()
+    elapsed = time.monotonic() - started
+    return SampleRecord(record_id, elapsed)  # direct flow
+
+
+def jittered(record_id: int) -> SampleRecord:
+    jitter = random.random()
+    scaled = jitter * 2.0
+    return SampleRecord(record_id, scaled)  # flow through assignments
+
+
+def _make(value: float) -> SampleRecord:
+    return SampleRecord(0, value)
+
+
+def indirect(record_id: int) -> SampleRecord:
+    now = time.time()
+    return _make(now)  # tainted argument into a sink-reaching parameter

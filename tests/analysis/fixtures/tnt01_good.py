@@ -1,0 +1,21 @@
+"""TNT01 good: the clock times things; records derive from the seed."""
+
+import time
+
+
+class SampleRecord:
+    def __init__(self, sample_id: int, cost: float) -> None:
+        self.sample_id = sample_id
+        self.cost = cost
+
+
+def plan(record_id: int, seed: int) -> SampleRecord:
+    cost = (seed * 31 + record_id) % 97 / 97.0
+    return SampleRecord(record_id, cost)
+
+
+def timed_plan(record_id: int, seed: int):
+    started = time.monotonic()
+    record = plan(record_id, seed)
+    elapsed = time.monotonic() - started
+    return record, elapsed

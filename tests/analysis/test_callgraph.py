@@ -1,0 +1,213 @@
+"""Symbol table, call graph, and cross-module rule behaviour."""
+
+import textwrap
+
+from repro.analysis import analyze_modules
+from repro.analysis.callgraph import build_project
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import _parse_module  # type: ignore[attr-defined]
+
+
+def project_of(**sources):
+    """Build a ProjectContext from module-name -> source kwargs."""
+    contexts = {}
+    config = LintConfig()
+    for module, source in sources.items():
+        dotted = module.replace("__", ".")
+        ctx, error = _parse_module(
+            textwrap.dedent(source), f"<{dotted}>", dotted, config
+        )
+        assert error is None, error
+        contexts[dotted] = ctx
+    project = build_project(contexts)
+    for ctx in contexts.values():
+        ctx.project = project
+    return project
+
+
+class TestSymbolTable:
+    def test_functions_and_methods_indexed(self):
+        project = project_of(
+            repro__a="""
+            def helper():
+                return 1
+
+            class Box:
+                def get(self):
+                    return helper()
+            """
+        )
+        assert "repro.a.helper" in project.symbols.functions
+        assert "repro.a.Box.get" in project.symbols.functions
+        assert project.symbols.functions["repro.a.Box.get"].class_name == "Box"
+
+    def test_attr_types_from_constructor_assignment(self):
+        project = project_of(
+            repro__store="""
+            class Journal:
+                def append(self, line):
+                    return line
+            """,
+            repro__svc="""
+            from repro.store import Journal
+
+            class Service:
+                def __init__(self):
+                    self._journal = Journal()
+
+                def write(self, line):
+                    return self._journal.append(line)
+            """,
+        )
+        info = project.symbols.classes["repro.svc.Service"]
+        assert info.attr_types["_journal"] == "repro.store.Journal"
+        assert "repro.store.Journal.append" in project.callgraph.callees(
+            "repro.svc.Service.write"
+        )
+
+    def test_attr_types_from_annotation(self):
+        project = project_of(
+            repro__q="""
+            import queue
+
+            class Pump:
+                def __init__(self):
+                    self._queue: "queue.Queue[int]" = queue.Queue()
+
+                def take(self):
+                    return self._queue.get()
+            """
+        )
+        info = project.symbols.classes["repro.q.Pump"]
+        assert info.attr_types["_queue"] == "queue.Queue"
+        assert "queue.Queue.get" in project.callgraph.callees("repro.q.Pump.take")
+
+    def test_bare_name_resolves_to_same_module_function(self):
+        project = project_of(
+            repro__m="""
+            def low():
+                return 0
+
+            def high():
+                return low()
+            """
+        )
+        assert "repro.m.low" in project.callgraph.callees("repro.m.high")
+
+
+class TestCallGraph:
+    def test_reachable_closes_transitively(self):
+        project = project_of(
+            repro__m="""
+            import os
+
+            def sync(handle):
+                os.fsync(handle)
+
+            def save(handle):
+                sync(handle)
+
+            def run(handle):
+                save(handle)
+            """
+        )
+        reachable = project.callgraph.reachable("repro.m.run")
+        assert "repro.m.save" in reachable
+        assert "repro.m.sync" in reachable
+        assert "os.fsync" in reachable
+
+    def test_path_to_reports_the_chain(self):
+        project = project_of(
+            repro__m="""
+            import os
+
+            def sync(handle):
+                os.fsync(handle)
+
+            def run(handle):
+                sync(handle)
+            """
+        )
+        chain = project.callgraph.path_to("repro.m.run", {"os.fsync"})
+        assert chain == ["repro.m.run", "repro.m.sync", "os.fsync"]
+
+
+class TestCrossModuleRules:
+    def test_guard02_sees_blocking_through_another_module(self):
+        findings = analyze_modules(
+            {
+                "repro.service.store": textwrap.dedent(
+                    """
+                    import os
+
+                    class Journal:
+                        def append(self, handle):
+                            os.fsync(handle)
+                    """
+                ),
+                "repro.service.svc": textwrap.dedent(
+                    """
+                    import threading
+
+                    from repro.service.store import Journal
+
+                    class Service:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._journal = Journal()
+
+                        def commit(self, handle):
+                            with self._lock:
+                                self._journal.append(handle)
+                    """
+                ),
+            }
+        )
+        guard = [f for f in findings if f.rule == "GUARD02"]
+        assert len(guard) == 1
+        assert guard[0].path == "<repro.service.svc>"
+        assert "os.fsync" in guard[0].message
+
+    def test_tnt01_follows_taint_across_modules(self):
+        findings = analyze_modules(
+            {
+                "repro.out.records": textwrap.dedent(
+                    """
+                    class SampleRecord:
+                        def __init__(self, sample_id, cost):
+                            self.sample_id = sample_id
+                            self.cost = cost
+
+                    def emit(sample_id, cost):
+                        return SampleRecord(sample_id, cost)
+                    """
+                ),
+                "repro.out.caller": textwrap.dedent(
+                    """
+                    import time
+
+                    from repro.out.records import emit
+
+                    def snapshot(sample_id):
+                        now = time.time()
+                        return emit(sample_id, now)
+                    """
+                ),
+            }
+        )
+        taint = [f for f in findings if f.rule == "TNT01"]
+        assert [f.path for f in taint] == ["<repro.out.caller>"]
+        assert "time.time" in taint[0].message
+
+    def test_clean_modules_have_no_cross_module_findings(self):
+        findings = analyze_modules(
+            {
+                "repro.service.a": "def f(x):\n    return x\n",
+                "repro.service.b": (
+                    "from repro.service.a import f\n"
+                    "def g(y):\n"
+                    "    return f(y)\n"
+                ),
+            }
+        )
+        assert [f for f in findings if f.rule.startswith(("GUARD", "TNT"))] == []

@@ -1,0 +1,184 @@
+"""CFG construction and the forward dataflow engine."""
+
+import ast
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    ForwardAnalysis,
+    foreach_element_state,
+    run_forward,
+)
+
+
+def cfg_of(source: str):
+    fn = ast.parse(source).body[0]
+    return build_cfg(fn)
+
+
+def reachable_blocks(cfg):
+    seen = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        block = frontier.pop()
+        for successor in cfg.blocks[block].successors:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+class TestCfgShapes:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    return a + b\n")
+        assert cfg.blocks[cfg.entry].elements  # all three statements
+        assert cfg.exit in reachable_blocks(cfg)
+
+    def test_if_branches_rejoin(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        # The branch point has two successors (then / else).
+        header = cfg.blocks[cfg.entry]
+        assert len(header.successors) == 2
+        assert cfg.exit in reachable_blocks(cfg)
+
+    def test_if_without_else_edges_past_the_body(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    return x\n")
+        header = cfg.blocks[cfg.entry]
+        assert len(header.successors) == 2  # body and fall-through
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("def f(x):\n    while x:\n        x -= 1\n    return x\n")
+        headers = [
+            block_id
+            for block_id, block in cfg.blocks.items()
+            if any(isinstance(e, ast.While) for e in block.elements)
+        ]
+        assert len(headers) == 1
+        header = headers[0]
+        # Some reachable block loops back to the header.
+        assert any(
+            header in cfg.blocks[b].successors
+            for b in cfg.blocks
+            if b != header and b in reachable_blocks(cfg)
+        )
+
+    def test_break_edges_to_loop_exit(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        if item:\n"
+            "            break\n"
+            "    return items\n"
+        )
+        assert cfg.exit in reachable_blocks(cfg)
+
+    def test_try_body_edges_into_handler(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"
+            "    except ValueError:\n"
+            "        a = None\n"
+            "    return a\n"
+        )
+        handler_blocks = [
+            block_id
+            for block_id, block in cfg.blocks.items()
+            if any(isinstance(e, ast.ExceptHandler) for e in block.elements)
+        ]
+        assert len(handler_blocks) == 1
+        assert handler_blocks[0] in reachable_blocks(cfg)
+
+    def test_return_ends_the_block(self):
+        cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        # The unreachable statement is parked in a predecessor-less block.
+        parked = [
+            block_id
+            for block_id, block in cfg.blocks.items()
+            if block.elements and block_id not in reachable_blocks(cfg)
+        ]
+        assert parked
+
+
+class _Constants(ForwardAnalysis):
+    """Toy analysis: the set of variable names assigned so far."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, element, state):
+        if isinstance(element, ast.Assign):
+            names = {
+                t.id for t in element.targets if isinstance(t, ast.Name)
+            }
+            return state | frozenset(names)
+        return state
+
+
+class TestDataflow:
+    def test_branch_states_join(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+            "    return c\n"
+        )
+        analysis = _Constants()
+        in_states = run_forward(cfg, analysis)
+        seen = []
+
+        def visit(element, state):
+            if isinstance(element, ast.Assign):
+                target = element.targets[0]
+                assert isinstance(target, ast.Name)
+                seen.append((target.id, state))
+
+        foreach_element_state(cfg, analysis, in_states, visit)
+        states = dict(seen)
+        # At c's assignment, both branches have merged: a OR b may be set.
+        assert states["c"] == frozenset({"a"}) | frozenset({"b"})
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = cfg_of(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    while n:\n"
+            "        step = 1\n"
+            "        n = n - step\n"
+            "    return total\n"
+        )
+        in_states = run_forward(cfg, _Constants())
+        # The loop header sees both the pre-loop and in-loop assignments.
+        header = next(
+            block_id
+            for block_id, block in cfg.blocks.items()
+            if any(isinstance(e, ast.While) for e in block.elements)
+        )
+        assert {"total", "step", "n"} <= set(in_states[header])
+
+    def test_nonconvergence_raises(self):
+        import pytest
+
+        class Diverging(_Constants):
+            def __init__(self):
+                self.tick = 0
+
+            def transfer(self, element, state):
+                self.tick += 1
+                return frozenset({f"v{self.tick}"})
+
+        cfg = cfg_of("def f(x):\n    while x:\n        x = x - 1\n    return x\n")
+        with pytest.raises(RuntimeError, match="did not converge"):
+            run_forward(cfg, Diverging(), max_iterations=50)

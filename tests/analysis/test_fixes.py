@@ -1,0 +1,186 @@
+"""The --fix autofixer: mechanical rewrites, idempotency, CLI, SARIF."""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_source, apply_fixes, fix_text
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def refix(source: str, module: str):
+    """fix_text plus the assertions every fix must satisfy."""
+    fixed, applied = fix_text(source, module=module)
+    ast.parse(fixed)  # the rewrite must still be valid Python
+    again, reapplied = fix_text(fixed, module=module)
+    assert reapplied == 0, "fix_text is not idempotent"
+    assert again == fixed
+    return fixed, applied
+
+
+class TestMut01Fix:
+    def test_list_default_rewritten(self):
+        fixed, applied = refix(
+            "def f(items=[]):\n    return items\n", "repro.harness.x"
+        )
+        assert applied == 1
+        assert "items=None" in fixed
+        assert "if items is None:" in fixed
+        assert "items = []" in fixed
+
+    def test_docstring_preserved(self):
+        fixed, _ = refix(
+            'def f(items=[]):\n    """Doc."""\n    return items\n',
+            "repro.harness.x",
+        )
+        lines = fixed.splitlines()
+        assert lines[1].strip() == '"""Doc."""'
+        assert lines[2].strip() == "if items is None:"
+
+    def test_kwonly_default_rewritten(self):
+        fixed, applied = refix(
+            "def f(*, caps=dict()):\n    return caps\n", "repro.harness.x"
+        )
+        assert applied == 1
+        assert "caps=None" in fixed
+        assert "caps = dict()" in fixed
+
+
+class TestFlt01Fix:
+    def test_zero_comparison_uses_is_exact_zero(self):
+        fixed, applied = refix(
+            "def f(v):\n    return v == 0.0\n", "repro.metrics.x"
+        )
+        assert applied == 1
+        assert "is_exact_zero(v)" in fixed
+        assert "from repro.utils.floats import is_exact_zero" in fixed
+
+    def test_nonzero_comparison_uses_close(self):
+        fixed, applied = refix(
+            "def f(v):\n    return v != 0.25\n", "repro.metrics.x"
+        )
+        assert applied == 1
+        assert "not close(v, 0.25)" in fixed
+        assert "from repro.utils.floats import close" in fixed
+
+    def test_existing_import_not_duplicated(self):
+        source = (
+            "from repro.utils.floats import is_exact_zero\n"
+            "def f(v):\n    return v == 0.0\n"
+        )
+        fixed, applied = refix(source, "repro.metrics.x")
+        assert applied == 1
+        assert fixed.count("from repro.utils.floats import is_exact_zero") == 1
+
+    def test_shadowed_helper_name_is_not_fixed(self):
+        source = (
+            "from somewhere import is_exact_zero\n"
+            "def f(v):\n    return v == 0.0\n"
+        )
+        fixed, applied = fix_text(source, module="repro.metrics.x")
+        assert applied == 0
+        assert fixed == source
+
+
+class TestDet03Fix:
+    def test_set_iteration_wrapped_in_sorted(self):
+        fixed, applied = refix(
+            "def f(jobs):\n    return [j for j in set(jobs)]\n",
+            "repro.scheduler.x",
+        )
+        assert applied == 1
+        assert "sorted(set(jobs))" in fixed
+
+    def test_keys_iteration_wrapped_in_sorted(self):
+        fixed, applied = refix(
+            "def f(d):\n    for k in d.keys():\n        yield k\n",
+            "repro.scheduler.x",
+        )
+        assert applied == 1
+        assert "sorted(d.keys())" in fixed
+
+
+class TestFixtureRoundTrips:
+    """Every fixable bad fixture fixes to a state its rule accepts."""
+
+    def test_mut01_bad_fixture_fixes_clean(self):
+        source = (FIXTURES / "mut01_bad.py").read_text(encoding="utf-8")
+        fixed, applied = refix(source, "repro.harness.fixture")
+        assert applied >= 1
+        remaining = analyze_source(fixed, module="repro.harness.fixture")
+        assert [f for f in remaining if f.rule == "MUT01"] == []
+
+    def test_flt01_bad_fixture_fixes_clean(self):
+        source = (FIXTURES / "flt01_bad.py").read_text(encoding="utf-8")
+        fixed, applied = refix(source, "repro.metrics.fixture")
+        assert applied >= 1
+        remaining = analyze_source(fixed, module="repro.metrics.fixture")
+        assert [f for f in remaining if f.rule == "FLT01"] == []
+
+    def test_det03_bad_fixture_fixes_sorted_wraps(self):
+        source = (FIXTURES / "det03_bad.py").read_text(encoding="utf-8")
+        fixed, _ = refix(source, "repro.scheduler.fixture")
+        remaining = analyze_source(fixed, module="repro.scheduler.fixture")
+        # pop()/popitem() have no mechanical fix; the sorted() wraps do.
+        assert all(
+            ".pop" in f.message for f in remaining if f.rule == "DET03"
+        )
+
+
+class TestApplyFixes:
+    def test_findings_without_fixes_change_nothing(self):
+        source = "import time\ndef f():\n    return time.time()\n"
+        findings = analyze_source(source, module="repro.core.x")
+        assert any(f.rule == "DET01" for f in findings)
+        fixed, applied = apply_fixes(source, findings)
+        assert applied == 0
+        assert fixed == source
+
+
+class TestCliFix:
+    def test_fix_flag_rewrites_in_place(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def f(items=[]):\n    return items\n", encoding="utf-8")
+        assert main([str(path), "--fix"]) == 0
+        out = capsys.readouterr()
+        assert "fixed" in out.err
+        content = path.read_text(encoding="utf-8")
+        assert "items=None" in content
+        assert "if items is None:" in content
+
+    def test_fix_flag_leaves_unfixable_findings(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "import random\ndef f():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        # DET02 has no autofix: --fix exits 1 with the finding intact.
+        assert main([str(path), "--fix"]) == 1
+
+
+class TestSarif:
+    def test_sarif_output_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def f(items=[]):\n    return items\n", encoding="utf-8")
+        sarif_path = tmp_path / "report.sarif"
+        assert main([str(path), "--sarif", str(sarif_path)]) == 1
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "sophon-lint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["MUT01"]
+        result = run["results"][0]
+        assert result["ruleId"] == "MUT01"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_sarif_empty_run_is_valid(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text("X = 1\n", encoding="utf-8")
+        sarif_path = tmp_path / "report.sarif"
+        assert main([str(path), "--sarif", str(sarif_path)]) == 0
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"] == []

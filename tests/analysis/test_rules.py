@@ -19,6 +19,10 @@ CASES = [
     ("FLT01", "flt01", "repro.metrics.fixture", 2),
     ("MUT01", "mut01", "repro.harness.fixture", 3),
     ("API01", "api01", "repro.core.fixture", 5),
+    ("GUARD01", "guard01", "repro.service.fixture", 3),
+    ("GUARD02", "guard02", "repro.service.fixture", 4),
+    ("GUARD03", "guard03", "repro.service.fixture", 2),
+    ("TNT01", "tnt01", "repro.service.fixture", 3),
 ]
 
 

@@ -94,6 +94,67 @@ class TestTcpTransport:
         }
 
 
+class TestCounterThreadSafety:
+    """Regression tests for the shared-counter races sophon-lint GUARD01
+    flagged: increments now happen under the owning lock, so the totals
+    below are exact even under thread contention, not approximate."""
+
+    def test_shared_client_traffic_bytes_is_exact(self, server):
+        import threading
+
+        num_threads = 4
+        fetches_per_thread = 25
+        with TcpStorageServer(server.handle) as tcp:
+            with TcpStorageClient(tcp.address) as client:
+                per_fetch = response_wire_size(client.fetch(0, 0, 0).nbytes)
+
+                def worker():
+                    for _ in range(fetches_per_thread):
+                        client.fetch(0, 0, 0)
+
+                threads = [
+                    threading.Thread(target=worker) for _ in range(num_threads)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                assert not any(t.is_alive() for t in threads)
+                total = 1 + num_threads * fetches_per_thread
+                assert client.traffic_bytes == total * per_fetch
+                assert client.checksum_failures == 0
+
+    def test_requests_served_exact_under_concurrent_clients(self, server):
+        import threading
+        import time
+
+        num_clients = 4
+        fetches_per_client = 25
+
+        def worker(tag):
+            with TcpStorageClient(tcp.address) as client:
+                for _ in range(fetches_per_client):
+                    client.fetch(tag, 0, 0)
+
+        with TcpStorageServer(server.handle) as tcp:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(num_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not any(t.is_alive() for t in threads)
+            # The server-side counter increments just after each send;
+            # give the handler threads a moment to reach it.
+            expected = num_clients * fetches_per_client
+            deadline = time.time() + 5.0
+            while tcp.requests_served < expected and time.time() < deadline:
+                time.sleep(0.01)
+            assert tcp.requests_served == expected
+
+
 class TestTimeouts:
     def test_read_timeout_surfaces_as_timeout_error(self, server):
         import time as time_mod
