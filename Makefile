@@ -52,10 +52,16 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.chaos --samples 160 --seed 7 \
 		--telemetry-dir $(TELEMETRY_DIR)
 
+#: Where `make chaos-service` keeps each run's flight-recorder dump and
+#: the traced run's replayable telemetry JSONL.
+FLIGHT_DIR ?= artifacts/service-flight
+
 # Crash-recovery gate for the decision service: kill it mid-script,
-# restart on the same journal, and require byte-identical grants.
+# restart on the same journal, and require byte-identical grants -- with
+# tracing both off (chaos run) and on (traced run).
 chaos-service:
-	PYTHONPATH=src $(PYTHON) -m repro.harness.service_chaos --requests 24 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro.harness.service_chaos --requests 24 --seed 7 \
+		--flight-dir $(FLIGHT_DIR)
 
 all: test bench
 

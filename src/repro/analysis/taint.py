@@ -84,6 +84,12 @@ _DEFAULT_SINKS = [
     "PlanJournal.append_release",
     "PlanJournal.append_checkpoint",
     "journal.encode_line",
+    # Telemetry records: stamped from *injectable* clocks by design, so a
+    # raw wall-clock value flowing in means someone bypassed the clock.
+    "LogRecord",
+    "SpanEvent",
+    "FlightRecorder.record_log",
+    "SloEvaluator.record",
 ]
 
 

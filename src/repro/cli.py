@@ -331,9 +331,10 @@ def _span_breakdowns(events) -> List[str]:
 
     Epochs come from the ``-e<N>`` suffix every trainer trace id carries
     (samples ``s<id>-e<N>`` and batches ``b<i>-e<N>`` alike); shard and
-    tenant groups come from the ``shard`` / ``job`` span attrs.  Groups
-    nobody recorded are omitted, so single-epoch single-node logs render
-    exactly as before.
+    tenant groups come from the ``shard`` / ``job`` span attrs; service
+    and client request phases group by span name.  Groups nobody recorded
+    are omitted, so single-epoch single-node logs render exactly as
+    before.
     """
     import re
 
@@ -361,6 +362,14 @@ def _span_breakdowns(events) -> List[str]:
             lines.append(f"{label}:")
             for value in sorted(groups, key=str):
                 lines.append(f"  {attr} {value}: {groups[value]} events")
+    phases: dict = {}
+    for event in events:
+        if event.name.startswith(("service.", "client.")):
+            phases[event.name] = phases.get(event.name, 0) + 1
+    if phases:
+        lines.append("service phases:")
+        for name in sorted(phases):
+            lines.append(f"  {name}: {phases[name]} events")
     return lines
 
 
@@ -398,6 +407,16 @@ def cmd_replay(args: argparse.Namespace) -> None:
         if len(shown) < len(events):
             print(f"  ... {len(events) - len(shown)} more (raise --spans)")
 
+    transitions = [e for e in events if e.name == "breaker.transition"]
+    if transitions:
+        print(f"\nbreaker transitions: {len(transitions)}")
+        for event in transitions:
+            print(
+                f"  [{event.t_s:12.6f}] {event.attrs.get('from_state', '?')}"
+                f" -> {event.attrs.get('to_state', '?')}"
+                f" ({event.attrs.get('reason', 'unrecorded')})"
+            )
+
     if decisions:
         counts = replayed.audit.outcome_counts()
         summary = ", ".join(f"{name}={counts[name]}" for name in sorted(counts))
@@ -410,6 +429,78 @@ def cmd_replay(args: argparse.Namespace) -> None:
                 raise SystemExit(str(exc)) from exc
     elif args.sample is not None:
         raise SystemExit(f"{args.log} carries no audit records to explain")
+
+
+def cmd_slo(args: argparse.Namespace) -> None:
+    """Re-check the SLO section of a BENCH_service.json without re-running."""
+    import json
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.report}: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"{args.report} is not JSON: {exc}") from exc
+    slo = report.get("slo") if isinstance(report, dict) else None
+    if not isinstance(slo, dict):
+        raise SystemExit(
+            f"{args.report} carries no slo section "
+            f"(schema {report.get('schema') if isinstance(report, dict) else None!r}; "
+            "re-run the loadgen to produce one)"
+        )
+
+    overrides = {}
+    for spec in args.max or ():
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --max {spec!r}; want NAME=THRESHOLD")
+        try:
+            overrides[name] = float(value)
+        except ValueError as exc:
+            raise SystemExit(f"bad --max threshold {value!r}: {exc}") from exc
+    objectives = slo.get("objectives", ())
+    unknown = sorted(set(overrides) - {o["name"] for o in objectives})
+    if unknown:
+        known = ", ".join(sorted(o["name"] for o in objectives))
+        raise SystemExit(
+            f"--max names no recorded objective: {', '.join(unknown)} "
+            f"(report has: {known})"
+        )
+
+    print(
+        f"[{args.report}] {slo.get('schema')}: {slo.get('samples')} samples, "
+        f"window {'all' if slo.get('window_s') is None else slo.get('window_s')}"
+    )
+    rows = []
+    all_passed = True
+    for objective in objectives:
+        threshold = overrides.get(objective["name"], objective["threshold"])
+        observed = objective["observed"]
+        passed = True if observed is None else observed <= threshold
+        burn = (
+            None
+            if observed is None or threshold == 0
+            else observed / threshold
+        )
+        all_passed = all_passed and passed
+        rows.append(
+            (
+                objective["name"],
+                objective["kind"],
+                "n/a" if observed is None else f"{observed:.6g}",
+                f"{threshold:g}",
+                "-" if burn is None else f"{burn:.2f}",
+                "ok" if passed else "VIOLATED",
+            )
+        )
+    print(render_table(
+        ("Objective", "Kind", "Observed", "Threshold", "Burn", "Verdict"), rows
+    ))
+    if not all_passed:
+        print("FAIL: SLO violated")
+        raise SystemExit(1)
+    print("all objectives within budget")
 
 
 def cmd_adaptive(args: argparse.Namespace) -> None:
@@ -677,6 +768,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spans", type=int, default=None,
                    help="cap the span listing at this many events (default: all)")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "slo", help="re-check the SLO section of a BENCH_service.json"
+    )
+    p.add_argument("report", help="path to a BENCH_service.json report")
+    p.add_argument("--max", action="append", metavar="NAME=THRESHOLD",
+                   help="override one objective's threshold (repeatable), "
+                   "e.g. --max plan_p99=0.5")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("report", help="full markdown results report")
     p.add_argument("--out", help="write to this path instead of stdout")

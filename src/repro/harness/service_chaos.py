@@ -10,18 +10,29 @@ two fresh journals:
   the same port and journal, with brownout/CPU-drift latency injected on
   the worker's request-index axis; the client rides through the outages
   on its transport retries.
+- **run C** (traced): the same script again with tracing fully on -- the
+  client stamps every request with ``X-Sophon-Trace`` and the service
+  tees its flight recorder into an unbounded tracer.
 
-The pass condition is *byte identity*: the grants run B's journal holds
+Run B's pass condition is *byte identity*: the grants its journal holds
 must equal run A's exactly -- same sequence numbers, same splits, same
 reasons.  Anything less means recovery changed an answer some trainer
-already acted on.  Run it via ``make chaos-service``::
+already acted on.  Run C's pass condition is *tracing transparency*:
+its journal must also match run A byte for byte, proving observability
+never leaks into the control plane's outputs.  Run it via
+``make chaos-service``::
 
     PYTHONPATH=src python -m repro.harness.service_chaos --requests 24 --seed 7
+
+``--flight-dir DIR`` additionally keeps each run's flight-recorder dump
+(chrome-trace JSON, written on drain) plus the traced run's span stream
+as a replayable telemetry JSONL (``sophon-repro replay``).
 """
 
 import argparse
 import dataclasses
 import json
+import os
 import random
 import tempfile
 import threading
@@ -34,6 +45,8 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import ServiceConfig
 from repro.service.journal import GrantRecord, read_grants
 from repro.service.server import DecisionService
+from repro.telemetry.exporters import write_jsonl
+from repro.telemetry.spans import Tracer
 from repro.utils.tables import render_table
 
 #: How long run B's service stays dead before the restart comes up; the
@@ -123,31 +136,44 @@ class ScriptRun:
 
 @dataclasses.dataclass
 class ServiceChaosReport:
-    """Both runs side by side, plus the byte-identity verdict."""
+    """All three runs side by side, plus both byte-identity verdicts."""
 
     requests: int
     seed: int
     reference: ScriptRun
     chaos: ScriptRun
+    traced: ScriptRun
 
     @property
     def identical(self) -> bool:
+        """Did the chaos run's journal match the reference byte for byte?"""
         return _grant_lines(self.reference.grants) == _grant_lines(self.chaos.grants)
 
     @property
     def first_divergence(self) -> Optional[str]:
-        a = _grant_lines(self.reference.grants)
-        b = _grant_lines(self.chaos.grants)
-        for index, (left, right) in enumerate(zip(a, b)):
-            if left != right:
-                return f"grant {index}: {left!r} != {right!r}"
-        if len(a) != len(b):
-            return f"grant count: reference {len(a)} vs chaos {len(b)}"
-        return None
+        return _first_divergence(
+            self.reference.grants, self.chaos.grants, "chaos"
+        )
+
+    @property
+    def tracing_transparent(self) -> bool:
+        """Did tracing leave the journal untouched (run C == run A)?"""
+        return _grant_lines(self.reference.grants) == _grant_lines(self.traced.grants)
+
+    @property
+    def first_trace_divergence(self) -> Optional[str]:
+        return _first_divergence(
+            self.reference.grants, self.traced.grants, "traced"
+        )
 
     def render(self) -> str:
         rows = []
-        for name, run in (("reference", self.reference), ("chaos", self.chaos)):
+        runs = (
+            ("reference", self.reference),
+            ("chaos", self.chaos),
+            ("traced", self.traced),
+        )
+        for name, run in runs:
             rows.append(
                 (
                     name,
@@ -174,7 +200,12 @@ class ServiceChaosReport:
             if self.identical
             else f"DIVERGED: {self.first_divergence}"
         )
-        return f"{title}\n{table}\n{verdict}"
+        trace_verdict = (
+            "tracing is byte-transparent: traced journal matches the reference"
+            if self.tracing_transparent
+            else f"TRACING LEAKED: {self.first_trace_divergence}"
+        )
+        return f"{title}\n{table}\n{verdict}\n{trace_verdict}"
 
 
 def _grant_lines(grants: List[GrantRecord]) -> List[str]:
@@ -186,13 +217,33 @@ def _grant_lines(grants: List[GrantRecord]) -> List[str]:
     ]
 
 
+def _first_divergence(
+    reference: List[GrantRecord], other: List[GrantRecord], label: str
+) -> Optional[str]:
+    a = _grant_lines(reference)
+    b = _grant_lines(other)
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return f"grant {index}: {left!r} != {right!r}"
+    if len(a) != len(b):
+        return f"grant count: reference {len(a)} vs {label} {len(b)}"
+    return None
+
+
 def _execute_script(
     ops: List[ScriptedOp],
     journal_path: str,
     config: ServiceConfig,
     schedule: Optional[FaultSchedule] = None,
+    telemetry_path: Optional[str] = None,
 ) -> ScriptRun:
-    """Run the script against one service; with a schedule, inject chaos."""
+    """Run the script against one service; with a schedule, inject chaos.
+
+    With ``config.trace`` set the client gets its own tracer too, so every
+    request carries an ``X-Sophon-Trace`` header -- the tracing-transparency
+    leg of the gate.  ``telemetry_path`` (traced runs only) writes the
+    service tracer's span stream as a replayable telemetry JSONL.
+    """
     kill_at = set(crash_indices(schedule, len(ops))) if schedule is not None else set()
     disturbance = (
         ScheduleDisturbance(schedule) if schedule is not None else None
@@ -202,7 +253,12 @@ def _execute_script(
     address = service.address
     pinned = dataclasses.replace(base, host=address[0], port=address[1])
     client = ServiceClient(
-        address, token=config.token, deadline_s=30.0, max_attempts=10, seed=0
+        address,
+        token=config.token,
+        deadline_s=30.0,
+        max_attempts=10,
+        seed=0,
+        tracer=Tracer() if config.trace else None,
     )
     outcomes: Dict[str, int] = {}
     kills = 0
@@ -235,6 +291,8 @@ def _execute_script(
             outcome = _run_op(client, op)
             outcomes[outcome] = outcomes.get(outcome, 0) + 1
         drain_s = service.drain()
+        if telemetry_path is not None and service.tracer is not None:
+            write_jsonl(telemetry_path, tracer=service.tracer)
     except BaseException:
         if service.drain_seconds is None and not service._killed:
             service.kill()
@@ -273,12 +331,15 @@ def run_service_chaos(
     queue_capacity: int = 16,
     total_cores: int = 24,
     journal_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> ServiceChaosReport:
-    """Run the gate; ``report.identical`` is the pass condition.
+    """Run the gate; ``identical`` and ``tracing_transparent`` must pass.
 
     total_cores is deliberately tight relative to the script's core asks,
-    so admission control rejects some requests in *both* runs -- recovery
-    must reproduce the rejections too, not just the grants.
+    so admission control rejects some requests in *all* runs -- recovery
+    must reproduce the rejections too, not just the grants.  flight_dir
+    keeps each run's flight-recorder dump (written on drain) plus the
+    traced run's telemetry JSONL.
     """
     ops = scripted_ops(requests, seed)
     schedule = default_service_schedule(requests, seed)
@@ -287,23 +348,51 @@ def run_service_chaos(
         queue_capacity=queue_capacity,
         total_storage_cores=total_cores,
     )
+    if flight_dir is not None:
+        os.makedirs(flight_dir, exist_ok=True)
 
-    def _run(directory: str) -> Tuple[ScriptRun, ScriptRun]:
+    def _flight(name: str) -> Optional[str]:
+        if flight_dir is None:
+            return None
+        return os.path.join(flight_dir, f"flight_{name}.json")
+
+    def _run(directory: str) -> Tuple[ScriptRun, ScriptRun, ScriptRun]:
         reference = _execute_script(
-            ops, f"{directory}/journal_reference.jsonl", config
+            ops,
+            f"{directory}/journal_reference.jsonl",
+            dataclasses.replace(config, flight_path=_flight("reference")),
         )
         chaos = _execute_script(
-            ops, f"{directory}/journal_chaos.jsonl", config, schedule=schedule
+            ops,
+            f"{directory}/journal_chaos.jsonl",
+            dataclasses.replace(config, flight_path=_flight("chaos")),
+            schedule=schedule,
         )
-        return reference, chaos
+        traced = _execute_script(
+            ops,
+            f"{directory}/journal_traced.jsonl",
+            dataclasses.replace(
+                config, trace=True, flight_path=_flight("traced")
+            ),
+            telemetry_path=(
+                os.path.join(flight_dir, "traced.telemetry.jsonl")
+                if flight_dir is not None
+                else None
+            ),
+        )
+        return reference, chaos, traced
 
     if journal_dir is not None:
-        reference, chaos = _run(journal_dir)
+        reference, chaos, traced = _run(journal_dir)
     else:
         with tempfile.TemporaryDirectory(prefix="sophon-service-chaos-") as tmp:
-            reference, chaos = _run(tmp)
+            reference, chaos, traced = _run(tmp)
     return ServiceChaosReport(
-        requests=requests, seed=seed, reference=reference, chaos=chaos
+        requests=requests,
+        seed=seed,
+        reference=reference,
+        chaos=chaos,
+        traced=traced,
     )
 
 
@@ -321,8 +410,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="storage-core budget (tight, to exercise "
                         "admission rejections)")
     parser.add_argument("--journal-dir", default=None,
-                        help="keep the two journals here instead of a "
+                        help="keep the three journals here instead of a "
                         "temporary directory")
+    parser.add_argument("--flight-dir", default=None,
+                        help="keep each run's flight-recorder dump (and the "
+                        "traced run's telemetry JSONL) in this directory")
     args = parser.parse_args(argv)
 
     report = run_service_chaos(
@@ -331,10 +423,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         total_cores=args.cores,
         journal_dir=args.journal_dir,
+        flight_dir=args.flight_dir,
     )
     print(report.render())
     if not report.identical:
         print("FAIL: recovery diverged from the uninterrupted run")
+        return 1
+    if not report.tracing_transparent:
+        print("FAIL: tracing changed the journal (observability leaked into "
+              "the control plane)")
         return 1
     if report.chaos.kills == 0:
         print("FAIL: the chaos run never killed the service (gate is vacuous)")

@@ -18,15 +18,13 @@ registry.
 
 import dataclasses
 import enum
-import logging
 import threading
 import time
-from typing import Callable, List, Optional, Tuple, Type, TypeVar
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
 
+from repro.telemetry.logs import StructuredLogger
 from repro.telemetry.registry import get_default_registry
 from repro.telemetry.spans import Tracer
-
-logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 
@@ -65,6 +63,15 @@ class BreakerTransition:
     at_s: float
     reason: str
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (what ``/v1/status`` and ``replay`` render)."""
+        return {
+            "from": self.from_state.value,
+            "to": self.to_state.value,
+            "at_s": self.at_s,
+            "reason": self.reason,
+        }
+
 
 class BreakerOpenError(Exception):
     """The breaker is open; the call was not attempted."""
@@ -102,6 +109,9 @@ class CircuitBreaker:
         self.stats = BreakerStats()
         self.tracer = tracer
         self.trace = trace
+        # Structured log records share the breaker's virtual clock, so log
+        # timestamps line up with transition timestamps.
+        self.log = StructuredLogger("repro.rpc.breaker", clock=self._clock)
         #: Every state change since construction, in order (the audit
         #: trail a bare ``state`` property cannot give you).
         self.transitions: List[BreakerTransition] = []
@@ -131,6 +141,11 @@ class CircuitBreaker:
                 to_state=transition.to_state.value,
                 reason=reason,
             )
+
+    def transition_history(self) -> List[BreakerTransition]:
+        """A consistent snapshot of every transition so far."""
+        with self._lock:
+            return list(self.transitions)
 
     @property
     def state(self) -> BreakerState:
@@ -216,12 +231,13 @@ class CircuitBreaker:
             result = fn(*args, **kwargs)
         except expected as exc:
             self.record_failure()
-            logger.warning(
-                "breaker-guarded call failed (%s: %s); %d/%d consecutive",
-                type(exc).__name__,
-                exc,
-                self._consecutive_failures,
-                self.failure_threshold,
+            self.log.warning(
+                "breaker-guarded call failed",
+                trace=self.trace,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                consecutive=self._consecutive_failures,
+                threshold=self.failure_threshold,
             )
             raise
         except BaseException:

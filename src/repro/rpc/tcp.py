@@ -18,7 +18,6 @@ Failure semantics (the loader's retry layer depends on these):
   closing, so clients can tell "you sent garbage" from "the network ate it".
 """
 
-import logging
 import socket
 import struct
 import threading
@@ -26,8 +25,11 @@ from typing import Callable, Optional, Tuple
 
 from repro.preprocessing.payload import Payload
 from repro.rpc.messages import FetchRequest, FetchResponse, ProtocolError
+from repro.telemetry.logs import StructuredLogger
 
-logger = logging.getLogger(__name__)
+# Module-level structured logger (logical clock: the transport has no
+# virtual time axis of its own; ordering is what matters).
+logger = StructuredLogger("repro.rpc.tcp")
 
 _LENGTH = struct.Struct("<I")
 _MAX_MESSAGE = 512 * 1024 * 1024  # sanity cap, not a protocol limit
@@ -147,7 +149,9 @@ class TcpStorageServer:
                         response = self._handler(request)
                     except Exception as exc:  # report, don't kill the connection
                         logger.warning(
-                            "handler failed serving a fetch: %s", exc, exc_info=True
+                            "handler failed serving a fetch",
+                            error_type=type(exc).__name__,
+                            error=str(exc),
                         )
                         response = _ERROR_PREFIX + str(exc).encode("utf-8", "replace")
                     try:

@@ -20,6 +20,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.service.config import DEFAULT_TOKEN
+from repro.telemetry.spans import TRACE_HEADER, Tracer, encode_trace_header
 
 
 class ServiceError(Exception):
@@ -80,6 +81,13 @@ class ServiceClient:
     max_attempts: bound on tries per operation within the deadline.
     backoff_s: base for exponential backoff with full jitter, used when a
         503 carries no ``Retry-After`` hint and after transport errors.
+    tracer: when set, the client *originates* trace context: every
+        :meth:`plan` call gets a deterministic trace id (``<job>-r<n>``,
+        a per-client counter -- no wall time, no randomness), sends it in
+        the ``X-Sophon-Trace`` header, and brackets the call with
+        ``client.request`` spans (retries appear as ``client.retry``
+        instants), so client-side and server-side spans line up under the
+        same trace id.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class ServiceClient:
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
@@ -107,7 +116,19 @@ class ServiceClient:
         self._rng = random.Random(seed)
         self._sleep = sleep
         self._clock = clock
+        self.tracer = tracer
+        self._trace_seq = 0
         self.stats = ClientStats()
+
+    def _next_trace(self, hint: str) -> str:
+        """A fresh deterministic trace id (``<hint>-r<n>``)."""
+        self._trace_seq += 1
+        try:
+            return encode_trace_header(f"{hint}-r{self._trace_seq}")
+        except ValueError:
+            # The hint (a job name) is not header-safe; fall back to a
+            # neutral prefix rather than dropping the trace.
+            return f"req-r{self._trace_seq}"
 
     # -- transport -----------------------------------------------------------
 
@@ -118,6 +139,7 @@ class ServiceClient:
         body: Optional[Dict[str, object]],
         timeout: Optional[float],
         deadline_remaining_s: Optional[float],
+        trace: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, object], str]:
         headers = {
             "Authorization": f"Bearer {self.token}",
@@ -125,6 +147,8 @@ class ServiceClient:
         }
         if deadline_remaining_s is not None:
             headers["X-Sophon-Deadline-S"] = f"{deadline_remaining_s:.6f}"
+        if trace is not None:
+            headers[TRACE_HEADER] = trace
         data = json.dumps(body or {}).encode("utf-8") if method == "POST" else None
         connection = http.client.HTTPConnection(
             self.address[0], self.address[1], timeout=timeout
@@ -151,6 +175,7 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, object]] = None,
         retry: bool = True,
+        trace: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, object], str]:
         """One logical operation: attempts + backoff under a shared deadline."""
         self.stats.requests += 1
@@ -172,11 +197,16 @@ class ServiceClient:
             self.stats.attempts += 1
             try:
                 status, headers, parsed, text = self._once(
-                    method, path, body, remaining, remaining
+                    method, path, body, remaining, remaining, trace
                 )
             except (OSError, http.client.HTTPException) as exc:
                 self.stats.transport_errors += 1
                 last_error = f"transport: {type(exc).__name__}: {exc}"
+                if self.tracer is not None and trace is not None:
+                    self.tracer.instant(
+                        trace, "client.retry",
+                        cause="transport", error_type=type(exc).__name__,
+                    )
                 if not retry:
                     raise ServiceUnavailableError(last_error) from exc
                 self._backoff(attempt, None, deadline_at)
@@ -185,6 +215,8 @@ class ServiceClient:
                 self.stats.sheds += 1
                 last_retry_after = _parse_retry_after(headers)
                 last_error = str(parsed.get("error", text.strip() or "shed"))
+                if self.tracer is not None and trace is not None:
+                    self.tracer.instant(trace, "client.retry", cause="shed")
                 self._backoff(attempt, last_retry_after, deadline_at)
                 continue
             return (status, headers, parsed, text)
@@ -222,8 +254,13 @@ class ServiceClient:
         model: str = "alexnet",
         gpu: str = "rtx6000",
         storage_cores: int = 8,
+        trace: Optional[str] = None,
     ) -> PlanGrant:
-        """Request an offload plan; retries sheds/outages within the deadline."""
+        """Request an offload plan; retries sheds/outages within the deadline.
+
+        With a tracer attached (and no explicit ``trace``), each call
+        originates a fresh deterministic trace id and propagates it.
+        """
         body: Dict[str, object] = {
             "job": job,
             "dataset": dataset,
@@ -233,7 +270,24 @@ class ServiceClient:
             "gpu": gpu,
             "storage_cores": storage_cores,
         }
-        status, headers, parsed, text = self._request("POST", "/v1/plan", body)
+        if trace is None and self.tracer is not None:
+            trace = self._next_trace(job)
+        if self.tracer is not None and trace is not None:
+            self.tracer.begin(trace, "client.request", job=job)
+            try:
+                status, headers, parsed, text = self._request(
+                    "POST", "/v1/plan", body, trace=trace
+                )
+            except ServiceError as exc:
+                self.tracer.end(
+                    trace, "client.request", outcome=type(exc).__name__
+                )
+                raise
+            self.tracer.end(trace, "client.request", status=status)
+        else:
+            status, headers, parsed, text = self._request(
+                "POST", "/v1/plan", body, trace=trace
+            )
         if status == 200:
             return PlanGrant(
                 job=str(parsed["job"]),
@@ -252,10 +306,12 @@ class ServiceClient:
         self._raise_for(status, parsed, text)
         raise AssertionError("unreachable")
 
-    def release(self, job: str) -> Optional[int]:
+    def release(self, job: str, trace: Optional[str] = None) -> Optional[int]:
         """Release the job's cores; returns them, or None if it held none."""
+        if trace is None and self.tracer is not None:
+            trace = self._next_trace(job)
         status, _, parsed, text = self._request(
-            "POST", "/v1/release", {"job": job}
+            "POST", "/v1/release", {"job": job}, trace=trace
         )
         if status == 200:
             return int(parsed["released_cores"])  # type: ignore[arg-type]

@@ -42,6 +42,16 @@ class ServiceConfig:
     plan_cache_size: LRU entries of profiled records kept per planner
         (keyed by job parameters), so a fleet re-requesting the same job
         shape does not re-profile every time.
+    trace: collect the *full* span stream in an unbounded tee tracer
+        (:attr:`DecisionService.tracer`) in addition to the always-on
+        bounded flight recorder.  Tracing never touches the journal or
+        the grant stream -- the chaos gate checks byte-identity with it
+        on and off.
+    flight_capacity: ring size (spans and log records each) of the
+        always-on flight recorder.
+    flight_path: when set, the flight recorder's chrome-trace dump is
+        written here on drain *and* on kill, so crashed runs leave a
+        timeline behind.
     """
 
     token: str = DEFAULT_TOKEN
@@ -57,6 +67,9 @@ class ServiceConfig:
     journal_path: Optional[str] = None
     sync_journal: bool = True
     plan_cache_size: int = 8
+    trace: bool = False
+    flight_capacity: int = 2048
+    flight_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.token:
@@ -86,4 +99,8 @@ class ServiceConfig:
         if self.plan_cache_size < 0:
             raise ValueError(
                 f"plan_cache_size must be >= 0, got {self.plan_cache_size}"
+            )
+        if self.flight_capacity < 1:
+            raise ValueError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
             )

@@ -26,6 +26,8 @@ import os
 import zlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.telemetry.flight import FlightRecorder
+
 #: Schema tag written in the journal's header line.  Bump only on
 #: incompatible layout changes; replay refuses unknown schemas.
 SCHEMA = "sophon-service-journal/v1"
@@ -220,9 +222,18 @@ class PlanJournal:
     returning -- a grant is never acknowledged before it is durable.
     """
 
-    def __init__(self, path: str, sync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        sync: bool = True,
+        recorder: Optional[FlightRecorder] = None,
+    ) -> None:
         self.path = path
         self.sync = sync
+        #: Flight recorder receiving ``service.journal_fsync`` spans for
+        #: traced appends.  Spans never enter the journal itself -- the
+        #: bytes on disk are identical with and without a recorder.
+        self.recorder = recorder
         self.recovered = replay(path)
         fresh = not os.path.exists(path)
         if self.recovered.truncated_tail:
@@ -255,10 +266,30 @@ class PlanJournal:
         if self.sync:
             os.fsync(self._handle.fileno())
 
-    def append_grant(self, grant: GrantRecord) -> None:
+    def append_grant(self, grant: GrantRecord, trace: Optional[str] = None) -> None:
+        if self.recorder is not None and trace is not None:
+            self.recorder.begin(
+                trace, "service.journal_fsync", kind="grant", seq=grant.seq
+            )
+            try:
+                self._write(grant.to_dict())
+            finally:
+                self.recorder.end(trace, "service.journal_fsync")
+            return
         self._write(grant.to_dict())
 
-    def append_release(self, release: ReleaseRecord) -> None:
+    def append_release(
+        self, release: ReleaseRecord, trace: Optional[str] = None
+    ) -> None:
+        if self.recorder is not None and trace is not None:
+            self.recorder.begin(
+                trace, "service.journal_fsync", kind="release", seq=release.seq
+            )
+            try:
+                self._write(release.to_dict())
+            finally:
+                self.recorder.end(trace, "service.journal_fsync")
+            return
         self._write(release.to_dict())
 
     def append_checkpoint(self, seq: int, committed: Mapping[str, int]) -> None:

@@ -17,7 +17,6 @@ machines.
 import argparse
 import dataclasses
 import json
-import math
 import random
 import threading
 import time
@@ -31,6 +30,28 @@ from repro.service.client import (
 )
 from repro.service.config import DEFAULT_TOKEN, ServiceConfig
 from repro.service.server import DecisionService
+from repro.telemetry.registry import get_default_registry
+from repro.telemetry.slo import (
+    Objective,
+    SloEvaluator,
+    SloReport,
+    latency_objective,
+    percentile,
+    rate_objective,
+)
+
+__all__ = [
+    "LoadgenConfig",
+    "OUTCOMES",
+    "RequestResult",
+    "SCHEMA",
+    "default_objectives",
+    "evaluate_slo",
+    "main",
+    "percentile",
+    "render_summary",
+    "run_loadgen",
+]
 
 #: Schema tag for ``BENCH_service.json``.  Bump only when the layout
 #: changes incompatibly; tools reading the file key off this string.
@@ -97,15 +118,31 @@ class RequestResult:
     retries: int
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 1])."""
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"q must be in [0, 1], got {q}")
-    ordered = sorted(values)
-    rank = math.ceil(q * len(ordered))  # nearest-rank, 1-based
-    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+def default_objectives(deadline_s: float) -> List[Objective]:
+    """The SLOs ``make bench`` gates on, scaled to the request deadline.
+
+    Latency bounds derive from the per-request deadline (a request that
+    takes half its deadline at the median is already in trouble; p99 gets
+    2x headroom for retries + heavy-tailed think-time interference), the
+    error budget is zero (a failed request is a bug, not load), and up to
+    half the fleet may be shed under deliberate overload.
+    """
+    return [
+        latency_objective("plan_p50", 0.50, deadline_s * 0.5),
+        latency_objective("plan_p99", 0.99, deadline_s * 2.0),
+        rate_objective("error_rate", ("failed",), 0.0),
+        rate_objective("shed_rate", ("shed",), 0.5),
+    ]
+
+
+def evaluate_slo(
+    results: Sequence[RequestResult], objectives: Sequence[Objective]
+) -> SloReport:
+    """Batch-evaluate the run's per-request results against objectives."""
+    evaluator = SloEvaluator(objectives)
+    for result in results:
+        evaluator.record(result.latency_s, result.outcome)
+    return evaluator.evaluate()
 
 
 def _think_time(rng: random.Random, shape: float, mean_s: float) -> float:
@@ -170,6 +207,13 @@ def _client_loop(
                     retries=client.stats.retries - retries_before,
                 )
             )
+            # Per-request latency distribution by outcome; the lock keeps
+            # concurrent clients' histogram updates serialized.
+            get_default_registry().histogram(
+                "loadgen_request_seconds",
+                "per-request loadgen latency by outcome",
+                labels=["outcome"],
+            ).observe(latency, outcome=outcome)
         if grants and grants % config.release_every == 0:
             try:
                 client.release(job)
@@ -183,8 +227,14 @@ def run_loadgen(
     config: LoadgenConfig = LoadgenConfig(),
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.perf_counter,
+    objectives: Optional[Sequence[Objective]] = None,
 ) -> Dict[str, object]:
-    """Drive the fleet against a live service; returns the report dict."""
+    """Drive the fleet against a live service; returns the report dict.
+
+    The report's ``slo`` section (schema ``sophon-slo/v1``) evaluates
+    ``objectives`` (default: :func:`default_objectives` scaled to the
+    config's deadline) over every per-request result.
+    """
     results: List[RequestResult] = []
     lock = threading.Lock()
     threads = [
@@ -226,6 +276,13 @@ def run_loadgen(
     except ServiceError:
         pass  # a drained/killed server still yields a client-side report
 
+    slo_report = evaluate_slo(
+        results,
+        objectives
+        if objectives is not None
+        else default_objectives(config.deadline_s),
+    )
+
     return {
         "schema": SCHEMA,
         "config": dataclasses.asdict(config),
@@ -246,6 +303,7 @@ def run_loadgen(
         }
         if latencies
         else None,
+        "slo": slo_report.to_dict(),
         "server": server,
     }
 
@@ -269,6 +327,19 @@ def render_summary(report: Dict[str, object]) -> str:
             f"p90 {latency['p90'] * 1000:.1f}ms, "
             f"p99 {latency['p99'] * 1000:.1f}ms, "
             f"max {latency['max'] * 1000:.1f}ms"
+        )
+    slo = report.get("slo")
+    if isinstance(slo, dict):
+        for objective in slo.get("objectives", ()):
+            verdict = "ok" if objective["passed"] else "VIOLATED"
+            observed = objective["observed"]
+            shown = "n/a" if observed is None else f"{observed:.6g}"
+            lines.append(
+                f"  slo {objective['name']}: {shown} vs <= "
+                f"{objective['threshold']:g} [{verdict}]"
+            )
+        lines.append(
+            f"  slo overall: {'pass' if slo.get('passed') else 'FAIL'}"
         )
     return "\n".join(lines)
 
@@ -294,6 +365,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--token", default=DEFAULT_TOKEN)
     parser.add_argument("--out", default="BENCH_service.json",
                         help="where to write the JSON report")
+    parser.add_argument("--slo-p50-s", type=float, default=None,
+                        help="p50 latency bound (default: deadline/2)")
+    parser.add_argument("--slo-p99-s", type=float, default=None,
+                        help="p99 latency bound (default: 2x deadline)")
+    parser.add_argument("--slo-error-rate", type=float, default=None,
+                        help="max rate of failed requests (default: 0)")
+    parser.add_argument("--slo-shed-rate", type=float, default=None,
+                        help="max rate of shed requests (default: 0.5)")
+    parser.add_argument("--no-slo-gate", action="store_true",
+                        help="report SLOs but do not fail the run on them")
     args = parser.parse_args(argv)
 
     config = LoadgenConfig(
@@ -303,9 +384,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         mean_think_s=args.mean_think_s,
         deadline_s=args.deadline_s,
     )
+    objectives = default_objectives(config.deadline_s)
+    overrides = {
+        "plan_p50": args.slo_p50_s,
+        "plan_p99": args.slo_p99_s,
+        "error_rate": args.slo_error_rate,
+        "shed_rate": args.slo_shed_rate,
+    }
+    objectives = [
+        dataclasses.replace(obj, threshold=overrides[obj.name])
+        if overrides.get(obj.name) is not None
+        else obj
+        for obj in objectives
+    ]
     if args.address is not None:
         host, _, port = args.address.partition(":")
-        report = run_loadgen((host, int(port)), token=args.token, config=config)
+        report = run_loadgen(
+            (host, int(port)), token=args.token, config=config,
+            objectives=objectives,
+        )
     else:
         service_config = ServiceConfig(
             token=args.token,
@@ -315,7 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         with DecisionService(service_config) as service:
             report = run_loadgen(
-                service.address, token=args.token, config=config
+                service.address, token=args.token, config=config,
+                objectives=objectives,
             )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -326,6 +424,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     assert isinstance(outcomes, dict)
     if outcomes["failed"] or not report["served"]:
         print("FAIL: requests failed outright (not shed, failed)")
+        return 1
+    slo = report["slo"]
+    assert isinstance(slo, dict)
+    if not slo["passed"] and not args.no_slo_gate:
+        print("FAIL: SLO violated (see the slo lines above)")
         return 1
     return 0
 

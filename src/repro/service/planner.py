@@ -28,6 +28,7 @@ from repro.data.catalog import make_imagenet, make_openimages
 from repro.parallel import ParallelSpec
 from repro.preprocessing.pipeline import standard_pipeline
 from repro.preprocessing.records import SampleRecord
+from repro.telemetry.flight import FlightRecorder
 from repro.workloads.models import get_model_profile
 
 _DATASETS = ("openimages", "imagenet")
@@ -129,6 +130,10 @@ class ServicePlanner:
         self.parallel = parallel
         self.cache_size = cache_size
         self.engine = engine if engine is not None else DecisionEngine(DecisionConfig())
+        #: Flight recorder receiving ``service.plan`` spans for traced
+        #: requests; the owning service attaches its own (a planner shared
+        #: across restarts is re-pointed at the live service's recorder).
+        self.recorder: Optional[FlightRecorder] = None
         self._records: "collections.OrderedDict[Tuple[str, int, int], List[SampleRecord]]" = (
             collections.OrderedDict()
         )
@@ -164,8 +169,24 @@ class ServicePlanner:
                     self._records.popitem(last=False)
         return records
 
-    def plan(self, spec: JobSpec) -> PlanResult:
+    def plan(self, spec: JobSpec, trace: Optional[str] = None) -> PlanResult:
         """Plan ``spec`` deterministically (raises ValueError on bad model)."""
+        recorder = self.recorder
+        if trace is None or recorder is None:
+            return self._plan(spec)
+        recorder.begin(trace, "service.plan", job=spec.job)
+        try:
+            result = self._plan(spec)
+        except ValueError:
+            recorder.end(trace, "service.plan", outcome="bad_request")
+            raise
+        recorder.end(
+            trace, "service.plan",
+            reason=result.reason, num_offloaded=result.num_offloaded,
+        )
+        return result
+
+    def _plan(self, spec: JobSpec) -> PlanResult:
         try:
             model = get_model_profile(spec.model, spec.gpu)
         except KeyError as exc:

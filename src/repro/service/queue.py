@@ -14,6 +14,7 @@ import queue
 import threading
 from typing import Dict, Optional
 
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.registry import get_default_registry
 
 
@@ -40,6 +41,9 @@ class PlanTask:
     retry_after_s: Optional[float] = None
     outcome: str = "pending"
     abandoned: bool = False
+    #: Trace id from the request's ``X-Sophon-Trace`` header (if any);
+    #: the queue brackets this task's wait with ``service.queue_wait``.
+    trace_id: Optional[str] = None
 
     def finish(
         self,
@@ -67,10 +71,15 @@ class BoundedWorkQueue:
     the backing queue is unbounded and the capacity check is explicit.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self, capacity: int, recorder: Optional[FlightRecorder] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        #: Flight recorder receiving ``service.queue_wait`` spans for
+        #: traced tasks; the service attaches its own after construction.
+        self.recorder = recorder
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._lock = threading.Lock()
         self._pending_tasks = 0
@@ -101,9 +110,15 @@ class BoundedWorkQueue:
                 "service_shed_total", "plan requests shed by cause",
                 labels=["cause"],
             ).inc(cause="queue_full")
+            if self.recorder is not None and task.trace_id is not None:
+                self.recorder.instant(
+                    task.trace_id, "service.shed", cause="queue_full"
+                )
             raise QueueFullError(
                 f"work queue at capacity ({self.capacity}); shedding"
             )
+        if self.recorder is not None and task.trace_id is not None:
+            self.recorder.begin(task.trace_id, "service.queue_wait", depth=depth)
         self._queue.put(task)
         registry.gauge(
             "service_queue_depth", "plan requests waiting for a worker"
@@ -125,6 +140,8 @@ class BoundedWorkQueue:
         get_default_registry().gauge(
             "service_queue_depth", "plan requests waiting for a worker"
         ).set(depth)
+        if self.recorder is not None and item.trace_id is not None:
+            self.recorder.end(item.trace_id, "service.queue_wait")
         return item
 
     def task_done(self) -> None:
@@ -155,6 +172,10 @@ class BoundedWorkQueue:
                 item.finish(
                     503, {"error": "service killed"}, outcome="killed"
                 )
+                if self.recorder is not None and item.trace_id is not None:
+                    self.recorder.end(
+                        item.trace_id, "service.queue_wait", outcome="killed"
+                    )
                 dropped += 1
                 with self._lock:
                     self._pending_tasks -= 1

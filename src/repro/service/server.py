@@ -24,21 +24,22 @@ everything, no checkpoint -- the chaos harness's crash button).
 import hmac
 import http.server
 import json
-import logging
 import socketserver
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type
 
+from repro.rpc.breaker import CircuitBreaker
 from repro.service.budget import CoreBudgetLedger
 from repro.service.config import ServiceConfig
 from repro.service.journal import GrantRecord, PlanJournal, ReleaseRecord
 from repro.service.planner import JobSpec, ServicePlanner
 from repro.service.queue import BoundedWorkQueue, PlanTask, QueueFullError
 from repro.telemetry.exporters import render_prometheus
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.logs import StructuredLogger
 from repro.telemetry.registry import get_default_registry
-
-logger = logging.getLogger(__name__)
+from repro.telemetry.spans import TRACE_HEADER, Tracer, parse_trace_header
 
 #: Extra seconds a handler waits past the request deadline before giving
 #: up on the worker -- covers the response hand-off itself.
@@ -69,6 +70,7 @@ class DecisionService:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         disturbance: Optional[Disturbance] = None,
+        breakers: Optional[Mapping[str, CircuitBreaker]] = None,
     ) -> None:
         self.config = config
         self.planner = (
@@ -79,8 +81,22 @@ class DecisionService:
         self._clock = clock
         self._sleep = sleep
         self.disturbance = disturbance
+        #: Full span stream when ``config.trace``; always None otherwise.
+        self.tracer: Optional[Tracer] = Tracer(clock=clock) if config.trace else None
+        #: Always-on bounded ring of recent spans + log records; the tee
+        #: keeps the unbounded tracer in sync when tracing is enabled.
+        self.flight = FlightRecorder(
+            capacity=config.flight_capacity, clock=clock, tee=self.tracer
+        )
+        self.log = StructuredLogger(
+            "repro.service", clock=clock, sink=self.flight.record_log
+        )
+        #: Circuit breakers surfaced in ``/v1/status`` (name -> breaker);
+        #: the service only reads their transition history.
+        self.breakers: Dict[str, CircuitBreaker] = dict(breakers or {})
         self.ledger = CoreBudgetLedger(config.total_storage_cores)
-        self.queue = BoundedWorkQueue(config.queue_capacity)
+        self.queue = BoundedWorkQueue(config.queue_capacity, recorder=self.flight)
+        self.planner.recorder = self.flight
         #: Idempotency map: (job, params_digest) -> the grant already made.
         self._grants: Dict[Tuple[str, str], GrantRecord] = {}
         self._seq = 1
@@ -91,7 +107,8 @@ class DecisionService:
         self.recovered_grants = 0
         if config.journal_path is not None:
             self._journal = PlanJournal(
-                config.journal_path, sync=config.sync_journal
+                config.journal_path, sync=config.sync_journal,
+                recorder=self.flight,
             )
             state = self._journal.recovered
             self.ledger.restore(state.committed)
@@ -100,11 +117,12 @@ class DecisionService:
             self._seq = state.next_seq
             self.recovered_grants = len(state.grants)
             if state.grants:
-                logger.info(
-                    "recovered %d grants (next seq %d, %d jobs committed) "
-                    "from %s",
-                    len(state.grants), self._seq,
-                    len(state.committed), config.journal_path,
+                self.log.info(
+                    "recovered grants from journal",
+                    grants=len(state.grants),
+                    next_seq=self._seq,
+                    committed_jobs=len(state.committed),
+                    journal=config.journal_path,
                 )
         self._draining = False
         self._killed = False
@@ -139,7 +157,8 @@ class DecisionService:
             worker.start()
             self._workers.append(worker)
         self._ready = True
-        logger.info("decision service listening on %s:%d", *self.address)
+        host, port = self.address
+        self.log.info("decision service listening", host=host, port=port)
         return self
 
     @property
@@ -180,7 +199,8 @@ class DecisionService:
         get_default_registry().gauge(
             "service_drain_seconds", "duration of the last graceful drain"
         ).set(self.drain_seconds)
-        logger.info("drained in %.3fs", self.drain_seconds)
+        self.log.info("drained", seconds=self.drain_seconds)
+        self._dump_flight()
         return self.drain_seconds
 
     def kill(self) -> int:
@@ -204,8 +224,14 @@ class DecisionService:
         with self._state_lock:
             if self._journal is not None:
                 self._journal.close()
-        logger.warning("service killed; %d queued requests dropped", dropped)
+        self.log.warning("service killed", dropped=dropped)
+        self._dump_flight()
         return dropped
+
+    def _dump_flight(self) -> None:
+        """Write the flight-recorder timeline if the config asks for one."""
+        if self.config.flight_path is not None:
+            self.flight.dump(self.config.flight_path)
 
     def _stop_all_workers(self) -> None:
         self._stop_workers.set()
@@ -245,8 +271,12 @@ class DecisionService:
             try:
                 self._process(task)
             except Exception as exc:  # a worker must never die silently
-                logger.error("worker failed processing a task: %s", exc,
-                             exc_info=True)
+                self.log.error(
+                    "worker failed processing a task",
+                    trace=task.trace_id,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
                 task.finish(500, {"error": f"internal error: {exc}"},
                             outcome="internal_error")
             finally:
@@ -260,14 +290,19 @@ class DecisionService:
         ).inc(decision=decision)
 
     def _process(self, task: PlanTask) -> None:
+        trace = task.trace_id
         with self._index_lock:
             index = self._request_index
             self._request_index += 1
         if task.abandoned:
             self._admission("abandoned")
+            if trace is not None:
+                self.flight.instant(trace, "service.abandoned")
             return
         if task.deadline_at is not None and self._clock() >= task.deadline_at:
             self._admission("deadline_expired")
+            if trace is not None:
+                self.flight.instant(trace, "service.deadline_expired")
             task.finish(
                 504,
                 {"error": "deadline expired while queued"},
@@ -302,10 +337,23 @@ class DecisionService:
             # Idempotent replay: the client re-sent a request we already
             # granted (typically after a crash ate the response).
             self._admission("replayed")
+            if trace is not None:
+                self.flight.instant(
+                    trace, "service.replayed", job=spec.job, seq=existing.seq
+                )
             task.finish(200, self._grant_body(existing, replayed=True),
                         outcome="replayed")
             return
+        if trace is not None:
+            self.flight.begin(
+                trace, "service.admission",
+                job=spec.job, cores=spec.storage_cores,
+            )
         decision = self.ledger.commit(spec.job, spec.storage_cores)
+        if trace is not None:
+            self.flight.end(
+                trace, "service.admission", admitted=decision.admitted
+            )
         if not decision.admitted:
             self._admission("budget_rejected")
             task.finish(
@@ -316,7 +364,7 @@ class DecisionService:
             )
             return
         try:
-            result = self.planner.plan(spec)
+            result = self.planner.plan(spec, trace=trace)
         except ValueError as exc:
             # Roll the commitment back to what it was before this request.
             if decision.previous_cores > 0:
@@ -338,7 +386,7 @@ class DecisionService:
             if self._journal is not None:
                 # Sequenced-append invariant: the fsync'd journal line
                 # must land in seq order, so it stays under the lock.
-                self._journal.append_grant(grant)  # sophon-lint: disable=GUARD02
+                self._journal.append_grant(grant, trace=trace)  # sophon-lint: disable=GUARD02
             self._grants[(spec.job, digest)] = grant
         self._admission("granted")
         registry = get_default_registry()
@@ -379,12 +427,31 @@ class DecisionService:
         return header is not None and hmac.compare_digest(header, expected)
 
     def submit_plan(
-        self, body: Dict[str, object], deadline_s: Optional[float]
+        self,
+        body: Dict[str, object],
+        deadline_s: Optional[float],
+        trace: Optional[str] = None,
     ) -> Tuple[int, Dict[str, object], Optional[float]]:
         """The handler's plan path: enqueue, wait, relay the worker's answer.
 
-        Returns (status, body, retry_after_s).
+        ``trace`` (from ``X-Sophon-Trace``) brackets the whole request
+        with a ``service.request`` span in the flight recorder; the queue,
+        ledger, planner, and journal hang their child spans off the same
+        trace id.  Returns (status, body, retry_after_s).
         """
+        if trace is None:
+            return self._submit_plan(body, deadline_s, None)
+        self.flight.begin(trace, "service.request")
+        status, response, retry_after = self._submit_plan(body, deadline_s, trace)
+        self.flight.end(trace, "service.request", status=status)
+        return (status, response, retry_after)
+
+    def _submit_plan(
+        self,
+        body: Dict[str, object],
+        deadline_s: Optional[float],
+        trace: Optional[str],
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
         if not self.is_ready:
             cause = "draining" if self._draining else "not_ready"
             get_default_registry().counter(
@@ -403,6 +470,7 @@ class DecisionService:
             request=body,
             enqueued_at=now,
             deadline_at=(now + deadline_s) if deadline_s is not None else None,
+            trace_id=trace,
         )
         try:
             self.queue.submit(task)
@@ -420,7 +488,9 @@ class DecisionService:
             )
         return (task.status, task.body, task.retry_after_s)
 
-    def release_job(self, job: str) -> Tuple[int, Dict[str, object]]:
+    def release_job(
+        self, job: str, trace: Optional[str] = None
+    ) -> Tuple[int, Dict[str, object]]:
         """Free a job's committed cores (and journal the release)."""
         with self._state_lock:
             cores = self.ledger.release(job)
@@ -430,7 +500,8 @@ class DecisionService:
                 # Same sequenced-append invariant as the grant path.
                 self._journal.append_release(  # sophon-lint: disable=GUARD02
                     ReleaseRecord(seq=self._next_seq_locked(), job=job,
-                                  cores=cores)
+                                  cores=cores),
+                    trace=trace,
                 )
         get_default_registry().gauge(
             "service_committed_cores", "storage cores committed to jobs"
@@ -454,7 +525,38 @@ class DecisionService:
             "grants": grants,
             "recovered_grants": self.recovered_grants,
             "next_seq": next_seq,
+            "breakers": {
+                name: {
+                    "state": breaker.state.value,
+                    "transitions": [
+                        t.to_dict() for t in breaker.transition_history()
+                    ],
+                }
+                for name, breaker in sorted(self.breakers.items())
+            },
         }
+
+    def refresh_gauges(self) -> None:
+        """Push live queue/budget state into the default registry.
+
+        ``/metrics`` calls this before rendering, so the gauges exist (and
+        are current) from the very first scrape instead of appearing only
+        after the first plan request touches them.
+        """
+        registry = get_default_registry()
+        registry.gauge(
+            "service_queue_depth", "plan requests waiting for a worker"
+        ).set(self.queue.depth)
+        registry.gauge(
+            "service_queue_capacity", "bounded work queue capacity"
+        ).set(self.queue.capacity)
+        registry.gauge(
+            "service_committed_cores", "storage cores committed to jobs"
+        ).set(self.ledger.committed_cores)
+        registry.gauge(
+            "service_budget_headroom_cores",
+            "storage cores still free for admission",
+        ).set(self.ledger.available_cores)
 
 
 def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestHandler]:
@@ -464,7 +566,9 @@ def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestH
         protocol_version = "HTTP/1.1"
 
         def log_message(self, format: str, *args: object) -> None:
-            logger.debug("%s %s", self.address_string(), format % args)
+            service.log.debug(
+                "http", client=self.address_string(), line=format % args
+            )
 
         # -- plumbing ------------------------------------------------------
 
@@ -550,6 +654,7 @@ def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestH
                     )
                     self._observe("readyz", "not_ready", started)
             elif self.path == "/metrics":
+                service.refresh_gauges()
                 text = render_prometheus(get_default_registry())
                 self._respond(
                     200, {}, content_type="text/plain; version=0.0.4",
@@ -562,6 +667,12 @@ def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestH
                     return
                 self._respond(200, service.status_body())
                 self._observe("status", "ok", started)
+            elif self.path == "/v1/debug/flight":
+                if not self._authorized():
+                    self._observe("flight", "unauthorized", started)
+                    return
+                self._respond(200, service.flight.to_chrome_trace())
+                self._observe("flight", "ok", started)
             else:
                 self._respond(404, {"error": f"no such endpoint {self.path}"})
                 self._observe("unknown", "not_found", started)
@@ -581,9 +692,10 @@ def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestH
                 self._observe(self.path.rsplit("/", 1)[-1], "bad_request",
                               started)
                 return
+            trace = parse_trace_header(self.headers.get(TRACE_HEADER))
             if self.path == "/v1/plan":
                 status, response, retry_after = service.submit_plan(
-                    body, self._deadline_s()
+                    body, self._deadline_s(), trace=trace
                 )
                 self._respond(status, response, retry_after_s=retry_after)
                 self._observe(
@@ -591,7 +703,7 @@ def _make_handler(service: DecisionService) -> Type[http.server.BaseHTTPRequestH
                 )
             elif self.path == "/v1/release":
                 job = str(body.get("job", ""))
-                status, response = service.release_job(job)
+                status, response = service.release_job(job, trace=trace)
                 self._respond(status, response)
                 self._observe("release", "ok" if status == 200 else str(status),
                               started)

@@ -41,6 +41,14 @@ from repro.telemetry.exporters import (
     telemetry_jsonl_lines,
     write_jsonl,
 )
+from repro.telemetry.flight import FlightRecorder, FlightSnapshot
+from repro.telemetry.logs import (
+    LEVELS,
+    LogRecord,
+    StructuredLogger,
+    render_json,
+    render_logfmt,
+)
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -54,12 +62,24 @@ from repro.telemetry.registry import (
     set_default_registry,
     use_registry,
 )
+from repro.telemetry.slo import (
+    Objective,
+    ObjectiveResult,
+    SloEvaluator,
+    SloReport,
+    latency_objective,
+    percentile,
+    rate_objective,
+)
 from repro.telemetry.spans import (
     BEGIN,
     END,
     INSTANT,
+    TRACE_HEADER,
     SpanEvent,
     Tracer,
+    encode_trace_header,
+    parse_trace_header,
     parse_trace_id,
     trace_id,
 )
@@ -74,10 +94,14 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DecisionRecord",
     "END",
+    "FlightRecorder",
+    "FlightSnapshot",
     "Gauge",
     "Histogram",
     "HistogramValue",
     "INSTANT",
+    "LEVELS",
+    "LogRecord",
     "LogicalClock",
     "ManualClock",
     "MetricError",
@@ -85,15 +109,28 @@ __all__ = [
     "MetricsSnapshot",
     "NOT_BENEFICIAL",
     "OFFLOADED",
+    "Objective",
+    "ObjectiveResult",
     "PLANNING_STOPPED",
     "ReplayedTelemetry",
     "SKIPPED_WOULD_WORSEN",
+    "SloEvaluator",
+    "SloReport",
     "SpanEvent",
+    "StructuredLogger",
+    "TRACE_HEADER",
     "Tracer",
+    "encode_trace_header",
     "get_default_registry",
+    "latency_objective",
     "parse_prometheus",
+    "parse_trace_header",
     "parse_trace_id",
+    "percentile",
+    "rate_objective",
     "read_jsonl",
+    "render_json",
+    "render_logfmt",
     "render_prometheus",
     "replay_jsonl_lines",
     "set_default_registry",

@@ -1,0 +1,169 @@
+"""Structured logging: logfmt/JSON records with trace correlation.
+
+The service and RPC layers used ad-hoc ``logging.warning(...)`` strings;
+those are unparseable and carry no trace context.  This module replaces
+them with frozen :class:`LogRecord` values -- a timestamp from an
+injectable :data:`~repro.telemetry.clock.Clock`, a severity level, the
+emitting logger name, a human message, an optional ``trace_id`` linking
+the record to its :class:`~repro.telemetry.spans.SpanEvent` stream, and a
+flat ``attrs`` mapping of JSON scalars.
+
+Records render two ways: :func:`render_logfmt` (``ts=3 level=warning ...``,
+grep-friendly) and :func:`render_json` (canonical sorted-key JSON, one
+object per line).  Both are deterministic: identical records produce
+identical bytes.
+
+:class:`StructuredLogger` is the emitting side.  It stamps records from
+its clock (default :class:`~repro.telemetry.clock.LogicalClock` -- never
+wall time; DET01 covers this package), hands each record to an optional
+``sink`` (the service wires the flight recorder here), and bridges to the
+stdlib ``logging`` tree so existing handlers and ``caplog``-style tests
+keep working.
+"""
+
+import dataclasses
+import json
+import logging as _stdlib_logging
+import re
+from typing import Callable, Mapping, Optional, Tuple
+
+from repro.telemetry.clock import Clock, LogicalClock
+
+#: Severity levels, least to most severe.
+LEVELS: Tuple[str, ...] = ("debug", "info", "warning", "error")
+
+_STDLIB_LEVELS = {
+    "debug": _stdlib_logging.DEBUG,
+    "info": _stdlib_logging.INFO,
+    "warning": _stdlib_logging.WARNING,
+    "error": _stdlib_logging.ERROR,
+}
+
+#: logfmt values containing none of these stay bare; anything else quotes.
+_BARE_VALUE_RE = re.compile(r"^[A-Za-z0-9._:/+-]+$")
+
+
+@dataclasses.dataclass(frozen=True)
+class LogRecord:
+    """One structured log line.
+
+    attrs values must be JSON-representable scalars so both renderers
+    produce stable bytes; the timestamp comes from the emitting logger's
+    injected clock, never from wall time.
+    """
+
+    t_s: float
+    level: str
+    logger: str
+    message: str
+    trace_id: Optional[str] = None
+    attrs: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ValueError(f"bad log level {self.level!r}; expected one of {LEVELS}")
+        if not self.logger:
+            raise ValueError("logger name must be non-empty")
+
+
+def _logfmt_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if text and _BARE_VALUE_RE.match(text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def render_logfmt(record: LogRecord) -> str:
+    """``ts=... level=... logger=... msg=... [trace=...] key=value...``
+
+    Fixed fields lead in a fixed order; attrs follow sorted by key, so the
+    same record always renders to the same bytes.
+    """
+    parts = [
+        f"ts={record.t_s!r}",
+        f"level={record.level}",
+        f"logger={record.logger}",
+        f"msg={_logfmt_value(record.message)}",
+    ]
+    if record.trace_id is not None:
+        parts.append(f"trace={_logfmt_value(record.trace_id)}")
+    for key in sorted(record.attrs):
+        parts.append(f"{key}={_logfmt_value(record.attrs[key])}")
+    return " ".join(parts)
+
+
+def render_json(record: LogRecord) -> str:
+    """Canonical one-line JSON (sorted keys, no whitespace padding)."""
+    payload = {
+        "ts": record.t_s,
+        "level": record.level,
+        "logger": record.logger,
+        "msg": record.message,
+    }
+    if record.trace_id is not None:
+        payload["trace"] = record.trace_id
+    if record.attrs:
+        payload["attrs"] = {k: record.attrs[k] for k in sorted(record.attrs)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+#: Anything that accepts finished records (e.g. ``FlightRecorder.record_log``).
+LogSink = Callable[[LogRecord], None]
+
+
+class StructuredLogger:
+    """Emits :class:`LogRecord` values stamped from an injectable clock.
+
+    ``sink`` receives every record (the service points this at its flight
+    recorder); when ``bridge`` is true (the default) each record is also
+    forwarded to ``logging.getLogger(name)`` as a logfmt line, so stdlib
+    handlers and test caplog fixtures observe the same stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Clock] = None,
+        sink: Optional[LogSink] = None,
+        bridge: bool = True,
+    ) -> None:
+        if not name:
+            raise ValueError("logger name must be non-empty")
+        self.name = name
+        self.clock: Clock = clock if clock is not None else LogicalClock()
+        self.sink = sink
+        self._stdlib = _stdlib_logging.getLogger(name) if bridge else None
+
+    def log(
+        self, level: str, message: str, trace: Optional[str] = None, **attrs: object
+    ) -> LogRecord:
+        record = LogRecord(
+            t_s=self.clock(),
+            level=level,
+            logger=self.name,
+            message=message,
+            trace_id=trace,
+            attrs=dict(attrs),
+        )
+        if self.sink is not None:
+            self.sink(record)
+        if self._stdlib is not None:
+            self._stdlib.log(_STDLIB_LEVELS[level], "%s", render_logfmt(record))
+        return record
+
+    def debug(self, message: str, trace: Optional[str] = None, **attrs: object) -> LogRecord:
+        return self.log("debug", message, trace=trace, **attrs)
+
+    def info(self, message: str, trace: Optional[str] = None, **attrs: object) -> LogRecord:
+        return self.log("info", message, trace=trace, **attrs)
+
+    def warning(self, message: str, trace: Optional[str] = None, **attrs: object) -> LogRecord:
+        return self.log("warning", message, trace=trace, **attrs)
+
+    def error(self, message: str, trace: Optional[str] = None, **attrs: object) -> LogRecord:
+        return self.log("error", message, trace=trace, **attrs)

@@ -16,6 +16,7 @@ spans.
 
 import contextlib
 import dataclasses
+import re
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.telemetry.clock import Clock, LogicalClock
@@ -24,6 +25,16 @@ from repro.telemetry.clock import Clock, LogicalClock
 BEGIN = "B"
 END = "E"
 INSTANT = "I"
+
+#: HTTP header carrying the trace id across the service boundary.
+TRACE_HEADER = "X-Sophon-Trace"
+
+#: Wire format for trace ids: 1-128 chars from a conservative token
+#: charset (letters, digits, ``._:-``), leading char alphanumeric.  Both
+#: the sample ids (``s12-e0``) and the service client's request ids
+#: (``jobA-r3``) fit; anything else is dropped at the boundary rather
+#: than propagated into journals or span streams.
+_TRACE_HEADER_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]{0,127}$")
 
 
 def trace_id(sample_id: int, epoch: int) -> str:
@@ -40,6 +51,32 @@ def parse_trace_id(value: str) -> Tuple[int, int]:
         return int(sample_part[1:]), int(epoch_part[1:])
     except (ValueError, IndexError):
         raise ValueError(f"not a sample trace id: {value!r}") from None
+
+
+def encode_trace_header(trace: str) -> str:
+    """Validate ``trace`` for the ``X-Sophon-Trace`` header; returns it.
+
+    Raises ValueError on ids that would not survive the round trip, so
+    senders fail loudly instead of emitting headers receivers must drop.
+    """
+    if not _TRACE_HEADER_RE.match(trace):
+        raise ValueError(f"trace id not header-safe: {trace!r}")
+    return trace
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[str]:
+    """The trace id from a received header value, or None.
+
+    Absent, empty, over-long, or badly-charactered values all come back as
+    None: a malformed trace header must never fail a request, only strip
+    its tracing.
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    if not _TRACE_HEADER_RE.match(value):
+        return None
+    return value
 
 
 @dataclasses.dataclass(frozen=True)

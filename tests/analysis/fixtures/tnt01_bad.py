@@ -29,3 +29,14 @@ def _make(value: float) -> SampleRecord:
 def indirect(record_id: int) -> SampleRecord:
     now = time.time()
     return _make(now)  # tainted argument into a sink-reaching parameter
+
+
+class LogRecord:
+    def __init__(self, t_s: float, level: str, message: str) -> None:
+        self.t_s = t_s
+        self.level = level
+        self.message = message
+
+
+def stamped_log(message: str) -> LogRecord:
+    return LogRecord(time.time(), "info", message)  # bypassed the clock

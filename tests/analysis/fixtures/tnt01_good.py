@@ -19,3 +19,14 @@ def timed_plan(record_id: int, seed: int):
     record = plan(record_id, seed)
     elapsed = time.monotonic() - started
     return record, elapsed
+
+
+class LogRecord:
+    def __init__(self, t_s: float, level: str, message: str) -> None:
+        self.t_s = t_s
+        self.level = level
+        self.message = message
+
+
+def stamped_log(clock, message: str) -> LogRecord:
+    return LogRecord(clock(), "info", message)  # injectable clock: fine

@@ -22,7 +22,7 @@ CASES = [
     ("GUARD01", "guard01", "repro.service.fixture", 3),
     ("GUARD02", "guard02", "repro.service.fixture", 4),
     ("GUARD03", "guard03", "repro.service.fixture", 2),
-    ("TNT01", "tnt01", "repro.service.fixture", 3),
+    ("TNT01", "tnt01", "repro.service.fixture", 4),
 ]
 
 

@@ -1,0 +1,84 @@
+"""Loadgen SLO gating: the report section, defaults, and the exit code."""
+
+import json
+
+from repro.service import loadgen
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import (
+    LoadgenConfig,
+    RequestResult,
+    default_objectives,
+    evaluate_slo,
+    run_loadgen,
+)
+from repro.telemetry.slo import SCHEMA as SLO_SCHEMA
+
+SMALL_LOAD = LoadgenConfig(
+    clients=2, requests_per_client=3, mean_think_s=0.0,
+    num_samples_choices=(16,), cores_choices=(2, 4),
+)
+
+
+class TestDefaultObjectives:
+    def test_scaled_to_the_deadline(self):
+        objectives = {o.name: o for o in default_objectives(4.0)}
+        assert objectives["plan_p50"].threshold == 2.0
+        assert objectives["plan_p99"].threshold == 8.0
+        assert objectives["error_rate"].threshold == 0.0
+        assert objectives["shed_rate"].threshold == 0.5
+
+    def test_evaluate_slo_judges_results(self):
+        results = [
+            RequestResult(client=0, index=i, outcome="granted",
+                          latency_s=0.01, retries=0)
+            for i in range(4)
+        ]
+        report = evaluate_slo(results, default_objectives(1.0))
+        assert report.passed and report.samples == 4
+        failed = results + [
+            RequestResult(client=0, index=9, outcome="failed",
+                          latency_s=0.01, retries=1)
+        ]
+        assert not evaluate_slo(failed, default_objectives(1.0)).passed
+
+
+class TestReportSloSection:
+    def test_report_embeds_a_schema_versioned_slo_section(self, service_factory):
+        service = service_factory(ServiceConfig(total_storage_cores=16, workers=2))
+        report = run_loadgen(service.address, config=SMALL_LOAD)
+        slo = report["slo"]
+        assert slo["schema"] == SLO_SCHEMA
+        assert slo["samples"] == report["requests"] == 6
+        assert [o["name"] for o in slo["objectives"]] == [
+            "plan_p50", "plan_p99", "error_rate", "shed_rate"
+        ]
+        assert slo["passed"] is True
+
+
+class TestMainGate:
+    def _run(self, tmp_path, extra):
+        out = tmp_path / "bench.json"
+        argv = [
+            "--clients", "2", "--requests", "3", "--seed", "7",
+            "--mean-think-s", "0", "--out", str(out),
+        ] + extra
+        code = loadgen.main(argv)
+        return code, json.loads(out.read_text())
+
+    def test_impossible_slo_fails_the_run(self, tmp_path, capsys):
+        code, report = self._run(tmp_path, ["--slo-p50-s", "1e-9"])
+        assert code == 1
+        assert report["slo"]["passed"] is False
+        assert "FAIL: SLO violated" in capsys.readouterr().out
+
+    def test_no_slo_gate_disarms_the_exit_code(self, tmp_path):
+        code, report = self._run(
+            tmp_path, ["--slo-p50-s", "1e-9", "--no-slo-gate"]
+        )
+        assert code == 0
+        assert report["slo"]["passed"] is False
+
+    def test_default_thresholds_pass_a_healthy_run(self, tmp_path):
+        code, report = self._run(tmp_path, [])
+        assert code == 0
+        assert report["slo"]["passed"] is True

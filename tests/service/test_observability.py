@@ -1,0 +1,165 @@
+"""Service observability: trace propagation, flight endpoint, gauges, breakers."""
+
+import http.client
+import json
+
+from repro.rpc.breaker import BreakerState, CircuitBreaker
+from repro.service.client import ServiceClient
+from repro.service.config import DEFAULT_TOKEN, ServiceConfig
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.spans import Tracer
+
+from tests.service.conftest import SMALL_SAMPLES
+
+
+def _get(address, path, token=None):
+    """Raw GET (ServiceClient has no generic GET helper for debug routes)."""
+    conn = http.client.HTTPConnection(*address, timeout=10.0)
+    try:
+        headers = {}
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
+        conn.request("GET", path, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestTracePropagation:
+    def test_client_trace_id_reaches_the_server_flight_recorder(self, live_service):
+        traced = ServiceClient(
+            live_service.address, deadline_s=10.0, tracer=Tracer()
+        )
+        traced.plan("job-a", num_samples=SMALL_SAMPLES, storage_cores=4)
+
+        client_ids = {e.trace_id for e in traced.tracer.events}
+        assert client_ids == {"job-a-r1"}
+        assert {e.name for e in traced.tracer.events} == {"client.request"}
+
+        server_spans = [
+            e for e in live_service.flight.snapshot().spans
+            if e.trace_id == "job-a-r1"
+        ]
+        names = {e.name for e in server_spans}
+        assert "service.request" in names
+        assert "service.admission" in names
+
+    def test_untraced_requests_leave_no_request_spans(self, live_service, client):
+        client.plan("job-plain", num_samples=SMALL_SAMPLES, storage_cores=4)
+        assert not any(
+            e.name == "service.request"
+            for e in live_service.flight.snapshot().spans
+        )
+
+
+class TestFlightEndpoint:
+    def test_requires_auth(self, live_service):
+        status, _ = _get(live_service.address, "/v1/debug/flight")
+        assert status == 401
+
+    def test_returns_chrome_trace_json(self, live_service):
+        traced = ServiceClient(
+            live_service.address, deadline_s=10.0, tracer=Tracer()
+        )
+        traced.plan("job-a", num_samples=SMALL_SAMPLES, storage_cores=4)
+        status, body = _get(
+            live_service.address, "/v1/debug/flight", token=DEFAULT_TOKEN
+        )
+        assert status == 200
+        trace = json.loads(body)
+        assert "traceEvents" in trace and "otherData" in trace
+        assert trace["otherData"]["spans"] > 0
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "service.admission" in names
+
+
+class TestMetricsGauges:
+    def test_queue_and_budget_gauges_present_before_any_plan(self, client):
+        text = client.metrics_text()
+        for gauge in (
+            "service_queue_depth",
+            "service_queue_capacity",
+            "service_committed_cores",
+            "service_budget_headroom_cores",
+        ):
+            assert f"\n{gauge} " in text, gauge
+
+    def test_headroom_tracks_commitments(self, live_service, client):
+        client.plan("job-a", num_samples=SMALL_SAMPLES, storage_cores=4)
+        text = client.metrics_text()
+        assert "service_committed_cores 4.0" in text
+        headroom = live_service.ledger.total_cores - 4
+        assert f"service_budget_headroom_cores {float(headroom)}" in text
+
+
+class TestBreakerStatus:
+    def test_status_exposes_breaker_state_and_transitions(self, service_factory):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()  # CLOSED -> OPEN
+        clock.advance(6.0)
+        assert breaker.state is BreakerState.HALF_OPEN  # cooldown elapsed
+        assert breaker.allow()
+        breaker.record_success()  # HALF_OPEN -> CLOSED
+
+        service = service_factory(
+            ServiceConfig(total_storage_cores=16),
+            breakers={"storage": breaker},
+        )
+        status = ServiceClient(service.address, deadline_s=10.0).status()
+        entry = status["breakers"]["storage"]
+        assert entry["state"] == "closed"
+        states = [(t["from"], t["to"]) for t in entry["transitions"]]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert all("reason" in t and "at_s" in t for t in entry["transitions"])
+
+
+class TestFlightDump:
+    def test_drain_writes_the_dump_to_flight_path(self, tmp_path, service_factory):
+        path = str(tmp_path / "flight.json")
+        service = service_factory(
+            ServiceConfig(total_storage_cores=16, flight_path=path)
+        )
+        traced = ServiceClient(
+            service.address, deadline_s=10.0, tracer=Tracer()
+        )
+        traced.plan("job-a", num_samples=SMALL_SAMPLES, storage_cores=4)
+        service.drain()
+        dumped = json.loads(open(path, "rb").read())
+        assert dumped["otherData"]["spans"] > 0
+        assert any(
+            e.get("name") == "service.admission" for e in dumped["traceEvents"]
+        )
+
+
+class TestTracingByteTransparency:
+    def test_traced_and_untraced_journals_are_byte_identical(
+        self, tmp_path, service_factory
+    ):
+        def run(name, trace):
+            journal = str(tmp_path / f"{name}.jsonl")
+            service = service_factory(
+                ServiceConfig(
+                    total_storage_cores=16, journal_path=journal, trace=trace
+                )
+            )
+            client = ServiceClient(
+                service.address,
+                deadline_s=10.0,
+                tracer=Tracer() if trace else None,
+            )
+            for job, cores in [("job-a", 4), ("job-b", 8), ("job-a", 4)]:
+                client.plan(job, num_samples=SMALL_SAMPLES, storage_cores=cores)
+            client.release("job-b")
+            service.drain()
+            return open(journal, "rb").read()
+
+        assert run("plain", trace=False) == run("traced", trace=True)

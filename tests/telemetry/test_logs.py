@@ -1,0 +1,118 @@
+"""Structured logging: record validation, renderers, sinks, the bridge."""
+
+import json
+import logging
+
+import pytest
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.logs import (
+    LEVELS,
+    LogRecord,
+    StructuredLogger,
+    render_json,
+    render_logfmt,
+)
+
+
+class TestLogRecord:
+    def test_levels_are_validated(self):
+        with pytest.raises(ValueError, match="bad log level"):
+            LogRecord(t_s=0.0, level="fatal", logger="x", message="boom")
+
+    def test_logger_name_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LogRecord(t_s=0.0, level="info", logger="", message="hi")
+
+    def test_every_declared_level_constructs(self):
+        for level in LEVELS:
+            record = LogRecord(t_s=1.0, level=level, logger="x", message="m")
+            assert record.level == level
+
+
+class TestLogfmt:
+    def test_fixed_fields_lead_attrs_sorted(self):
+        record = LogRecord(
+            t_s=2.5, level="warning", logger="repro.svc", message="shed",
+            trace_id="job-0-r1", attrs={"b": 2, "a": 1},
+        )
+        assert render_logfmt(record) == (
+            "ts=2.5 level=warning logger=repro.svc msg=shed "
+            "trace=job-0-r1 a=1 b=2"
+        )
+
+    def test_values_needing_quotes_are_escaped(self):
+        record = LogRecord(
+            t_s=0.0, level="info", logger="x",
+            message='say "hi"\nthere', attrs={"path": "a b\\c"},
+        )
+        line = render_logfmt(record)
+        assert 'msg="say \\"hi\\"\\nthere"' in line
+        assert 'path="a b\\\\c"' in line
+
+    def test_bools_and_numbers_render_bare(self):
+        record = LogRecord(
+            t_s=0.0, level="info", logger="x", message="m",
+            attrs={"ok": True, "n": 3, "f": 0.25},
+        )
+        line = render_logfmt(record)
+        assert "ok=true" in line and "n=3" in line and "f=0.25" in line
+
+    def test_identical_records_render_identically(self):
+        make = lambda: LogRecord(  # noqa: E731
+            t_s=1.0, level="error", logger="x", message="m", attrs={"k": "v"}
+        )
+        assert render_logfmt(make()) == render_logfmt(make())
+
+
+class TestJsonRenderer:
+    def test_round_trips_through_json(self):
+        record = LogRecord(
+            t_s=3.0, level="info", logger="x", message="m",
+            trace_id="t1", attrs={"k": "v"},
+        )
+        loaded = json.loads(render_json(record))
+        assert loaded == {
+            "ts": 3.0, "level": "info", "logger": "x", "msg": "m",
+            "trace": "t1", "attrs": {"k": "v"},
+        }
+
+    def test_omits_absent_trace_and_empty_attrs(self):
+        record = LogRecord(t_s=0.0, level="info", logger="x", message="m")
+        loaded = json.loads(render_json(record))
+        assert "trace" not in loaded and "attrs" not in loaded
+
+
+class TestStructuredLogger:
+    def test_stamps_from_the_injected_clock(self):
+        clock = ManualClock()
+        log = StructuredLogger("t", clock=clock, bridge=False)
+        clock.advance(4.0)
+        record = log.info("hello")
+        assert record.t_s == 4.0
+
+    def test_default_clock_is_logical_not_wall(self):
+        log = StructuredLogger("t", bridge=False)
+        first = log.info("a")
+        second = log.info("b")
+        assert (first.t_s, second.t_s) == (0.0, 1.0)
+
+    def test_sink_receives_every_record(self):
+        seen = []
+        log = StructuredLogger("t", sink=seen.append, bridge=False)
+        log.debug("a")
+        log.error("b", code=7)
+        assert [r.message for r in seen] == ["a", "b"]
+        assert seen[1].attrs == {"code": 7}
+
+    def test_trace_id_carried_through(self):
+        log = StructuredLogger("t", bridge=False)
+        record = log.warning("w", trace="s1-e0")
+        assert record.trace_id == "s1-e0"
+
+    def test_bridges_logfmt_to_stdlib(self, caplog):
+        log = StructuredLogger("repro.test.bridge")
+        with caplog.at_level(logging.WARNING, logger="repro.test.bridge"):
+            log.warning("bridged", count=2)
+        assert any("msg=bridged" in m and "count=2" in m
+                   for m in caplog.messages)

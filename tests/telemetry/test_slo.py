@@ -1,0 +1,147 @@
+"""SLO engine: percentiles, objective validation, burn rates, windows."""
+
+import pytest
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.slo import (
+    LATENCY,
+    RATE,
+    SCHEMA,
+    Objective,
+    SloEvaluator,
+    latency_objective,
+    percentile,
+    rate_objective,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_semantics(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.51) == 3.0
+        assert percentile(values, 1.0) == 4.0
+        # q=0 still yields the smallest sample (rank floors at 1).
+        assert percentile(values, 0.0) == 1.0
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError, match="empty sequence"):
+            percentile([], 0.5)
+
+    def test_q_out_of_range_raises(self):
+        with pytest.raises(ValueError, match=r"q must be in \[0, 1\]"):
+            percentile([1.0], 1.5)
+
+
+class TestObjective:
+    def test_latency_needs_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Objective(name="p50", kind=LATENCY, threshold=1.0, quantile=0.0)
+
+    def test_rate_needs_bad_outcomes(self):
+        with pytest.raises(ValueError, match="bad outcome"):
+            Objective(name="errs", kind=RATE, threshold=0.1)
+
+    def test_kind_and_threshold_validated(self):
+        with pytest.raises(ValueError, match="bad objective kind"):
+            Objective(name="x", kind="uptime", threshold=1.0)
+        with pytest.raises(ValueError, match="threshold"):
+            latency_objective("p99", 0.99, -1.0)
+
+    def test_shorthands(self):
+        lat = latency_objective("p99", 0.99, 2.0)
+        assert (lat.kind, lat.quantile, lat.threshold) == (LATENCY, 0.99, 2.0)
+        rate = rate_objective("shed", ["shed", "failed"], 0.25)
+        assert (rate.kind, rate.bad_outcomes) == (RATE, ("shed", "failed"))
+
+
+class TestSloEvaluator:
+    def test_needs_objectives_and_unique_names(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            SloEvaluator([])
+        dup = latency_objective("p50", 0.5, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEvaluator([dup, dup])
+
+    def test_negative_latency_rejected(self):
+        evaluator = SloEvaluator([latency_objective("p50", 0.5, 1.0)])
+        with pytest.raises(ValueError, match="latency_s"):
+            evaluator.record(-0.1)
+
+    def test_batch_pass_fail_and_burn(self):
+        evaluator = SloEvaluator(
+            [
+                latency_objective("p50", 0.5, 1.0),
+                rate_objective("shed", ["shed"], 0.25),
+            ]
+        )
+        for latency, outcome in [(0.2, "ok"), (0.4, "ok"), (0.6, "shed"), (0.8, "ok")]:
+            evaluator.record(latency, outcome)
+        report = evaluator.evaluate()
+        by_name = {r.objective.name: r for r in report.results}
+        assert by_name["p50"].observed == 0.4
+        assert by_name["p50"].passed
+        assert by_name["p50"].burn_rate == pytest.approx(0.4)
+        assert by_name["shed"].observed == 0.25
+        assert by_name["shed"].passed  # <= threshold is within budget
+        assert by_name["shed"].burn_rate == pytest.approx(1.0)
+        assert report.passed and report.samples == 4
+
+    def test_violation_flips_the_report(self):
+        evaluator = SloEvaluator([latency_objective("p99", 0.99, 0.1)])
+        evaluator.record(0.5)
+        report = evaluator.evaluate()
+        assert not report.passed
+        assert report.results[0].burn_rate == pytest.approx(5.0)
+        assert "VIOLATED" in report.render() and "FAIL" in report.render()
+
+    def test_zero_threshold_has_no_burn_rate(self):
+        evaluator = SloEvaluator([rate_objective("failed", ["failed"], 0.0)])
+        evaluator.record(0.1, "ok")
+        result = evaluator.evaluate().results[0]
+        assert result.observed == 0.0
+        assert result.passed
+        assert result.burn_rate is None
+
+    def test_no_data_passes_with_observed_none(self):
+        evaluator = SloEvaluator([latency_objective("p50", 0.5, 1.0)])
+        report = evaluator.evaluate()
+        assert report.passed and report.samples == 0
+        assert report.results[0].observed is None
+        assert report.results[0].burn_rate is None
+        assert "n/a" in report.render()
+
+    def test_sliding_window_prunes_old_observations(self):
+        clock = ManualClock()
+        evaluator = SloEvaluator(
+            [latency_objective("p50", 0.5, 1.0)], window_s=10.0, clock=clock
+        )
+        evaluator.record(5.0)  # at t=0: violating
+        clock.advance(20.0)
+        evaluator.record(0.1)  # at t=20: the old sample is outside the window
+        report = evaluator.evaluate()
+        assert report.samples == 1
+        assert report.results[0].observed == 0.1
+        assert report.passed
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window_s"):
+            SloEvaluator([latency_objective("p50", 0.5, 1.0)], window_s=0.0)
+
+    def test_to_dict_schema(self):
+        evaluator = SloEvaluator(
+            [
+                latency_objective("p50", 0.5, 1.0),
+                rate_objective("shed", ["shed"], 0.25),
+            ]
+        )
+        evaluator.record(0.3, "ok")
+        payload = evaluator.evaluate().to_dict()
+        assert payload["schema"] == SCHEMA
+        assert payload["passed"] is True
+        assert payload["samples"] == 1
+        assert payload["window_s"] is None
+        names = [obj["name"] for obj in payload["objectives"]]
+        assert names == ["p50", "shed"]
+        assert payload["objectives"][0]["quantile"] == 0.5
+        assert payload["objectives"][1]["bad_outcomes"] == ["shed"]
