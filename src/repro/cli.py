@@ -23,7 +23,7 @@ import argparse
 import contextlib
 import sys
 import time
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.cluster.spec import standard_cluster
 from repro.core.efficiency import efficiency_distribution
@@ -321,9 +321,27 @@ def cmd_audit(args: argparse.Namespace) -> None:
     print(f"\nsimulated spans for sample {args.sample_id} "
           f"(epoch {args.epoch}, virtual seconds):")
     for event in events:
-        attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+        attrs = _format_attrs(event.attrs)
         line = f"  [{event.t_s:12.6f}] {event.phase} {event.name}"
         print(f"{line}  {attrs}" if attrs else line)
+
+
+#: Sorted attr-key orders seen while rendering spans.  A big replay log
+#: holds millions of events but only a handful of distinct attr shapes,
+#: so the per-event ``sorted()`` is hoisted into this one-per-shape cache.
+_ATTR_KEY_ORDERS: Dict[Tuple[str, ...], List[str]] = {}
+
+
+def _format_attrs(attrs: Mapping[str, object]) -> str:
+    """``k=v`` pairs in sorted key order, one ``sorted()`` per key shape."""
+    if not attrs:
+        return ""
+    keys = tuple(attrs)
+    order = _ATTR_KEY_ORDERS.get(keys)
+    if order is None:
+        order = sorted(keys)
+        _ATTR_KEY_ORDERS[keys] = order
+    return " ".join(f"{k}={attrs[k]}" for k in order)
 
 
 def _span_breakdowns(events) -> List[str]:
@@ -338,10 +356,11 @@ def _span_breakdowns(events) -> List[str]:
     """
     import re
 
+    epoch_pattern = re.compile(r"-e(\d+)$")
     lines: List[str] = []
     epochs: dict = {}
     for event in events:
-        match = re.search(r"-e(\d+)$", event.trace_id)
+        match = epoch_pattern.search(event.trace_id)
         if match:
             per = epochs.setdefault(int(match.group(1)), [0, set()])
             per[0] += 1
@@ -401,7 +420,7 @@ def cmd_replay(args: argparse.Namespace) -> None:
             print(line)
         shown = events if args.spans is None else events[: args.spans]
         for event in shown:
-            attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+            attrs = _format_attrs(event.attrs)
             line = f"  [{event.t_s:12.6f}] {event.phase:7s} {event.trace_id} {event.name}"
             print(f"{line}  {attrs}" if attrs else line)
         if len(shown) < len(events):

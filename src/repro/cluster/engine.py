@@ -1,0 +1,332 @@
+"""Batched fast-path execution of one training job's epoch.
+
+:func:`launch_training_job_fast` is a drop-in replacement for
+:func:`repro.cluster.trainer.launch_training_processes` on the hot path --
+fault-free runs with no timeline and no tracer attached.  Instead of one
+generator :class:`~repro.cluster.sim.Process` per sample (plus relay
+events for every yield), each sample is a slot-based cursor: a single
+``__slots__`` object whose bound ``step`` method is registered directly as
+the event callback and dispatches on a small state integer.  Batches join
+through a plain countdown instead of an :class:`~repro.cluster.sim.AllOf`,
+and timeouts go straight onto the heap as pooled callback slots.
+
+**The mirror contract.**  The cursors replay the generator path push for
+push: every heap entry lands at the same ``(time, sequence)`` position the
+generator code would have produced, and entries whose pops had no side
+effects (generator-end events nobody waits on) are dropped outright.
+Resource acquire/release calls happen in the same order with the same
+arguments, so grant order, ``busy_time`` accumulation order, and traffic
+arithmetic are identical float-op for float-op.  That is what lets
+``TrainerSim.run_epoch`` switch between the two paths and produce
+byte-identical :class:`~repro.cluster.trainer.EpochStats` -- the contract
+``repro.cluster.bench`` gates on every run.
+
+Per-yield cost drops from a generator frame resume + relay ``Event``
+(callback list and all) to one slot fire + an integer compare, and
+per-sample allocation drops from a ``Process`` + ~10 events to one cursor
+object -- the difference between 10^4- and 10^6-sample epochs.
+
+The correspondence, step by step (see ``trainer.sample_proc``):
+
+====================  ==================================================
+generator path        cursor mirror
+====================  ==================================================
+``env.process(...)``  start slot pushed at construction
+``yield timeout(d)``  ``env._call_at(env.now + d, step)``
+``yield grant``       ``grant.callbacks.append(step)``
+process end event     batch-countdown slot (``_BatchRun.child_end``)
+``AllOf`` fires       all-done slot (``_BatchRun.all_done``)
+``batch_ready`` wait  same event; relay slot when already processed
+process end (unused)  dropped (the pop had no side effects)
+====================  ==================================================
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.sim import Environment, Event, Resource
+from repro.cluster.spec import ClusterSpec
+from repro.workloads.models import ModelProfile
+
+# Imported for type checking only: a runtime import would be circular
+# (trainer imports this module's launcher).
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.trainer import JobHandles, SampleWork
+
+__all__ = ["launch_training_job_fast"]
+
+
+class _FastJob:
+    """Shared per-job state every cursor reads (spec scalars pre-bound)."""
+
+    __slots__ = (
+        "env", "handles", "work", "batches", "model", "traffic", "batch_ready",
+        "rtt_half", "storage_cpu_factor", "compute_cpu_factor",
+        "bandwidth", "link_chunk", "overhead", "flow_key",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: ClusterSpec,
+        work: Dict[int, "SampleWork"],
+        batches: List[List[int]],
+        model: ModelProfile,
+        handles: "JobHandles",
+    ) -> None:
+        self.env = env
+        self.handles = handles
+        self.work = work
+        self.batches = batches
+        self.model = model
+        self.traffic: Dict[str, Any] = {"bytes": 0, "done": 0}
+        self.batch_ready: List[Event] = [env.event() for _ in batches]
+        self.rtt_half = spec.network_rtt_s / 2.0
+        self.storage_cpu_factor = spec.storage_cpu_factor
+        self.compute_cpu_factor = spec.compute_cpu_factor
+        self.bandwidth = spec.bandwidth_bytes_per_s
+        self.link_chunk = spec.link_chunk_bytes
+        self.overhead = spec.response_overhead_bytes
+        self.flow_key = handles.flow_key
+
+
+# _SampleRun states (the yield points of trainer.sample_proc):
+_S_START = 0        # process start slot fired
+_S_ARRIVED = 1      # half-RTT request latency elapsed
+_S_PREFIX_GRANT = 2  # storage core granted
+_S_PREFIX_DONE = 3  # offloaded prefix finished
+_S_CHUNK_GRANT = 4  # link granted for one chunk
+_S_CHUNK_DONE = 5   # chunk crossed the link
+_S_RESPONDED = 6    # trailing half-RTT elapsed
+_S_SUFFIX_GRANT = 7  # compute core granted
+_S_SUFFIX_DONE = 8  # local suffix finished
+
+
+class _SampleRun:
+    """One sample's fetch, mirroring ``sample_proc`` state for state."""
+
+    __slots__ = ("job", "item", "batch", "step", "state", "grant", "pool",
+                 "remaining", "payload")
+
+    def __init__(self, job: _FastJob, item: "SampleWork", batch: "_BatchRun") -> None:
+        self.job = job
+        self.item = item
+        self.batch = batch
+        self.step = self._step  # one reusable bound method for every wait
+        self.state = _S_START
+        self.grant: Optional[Event] = None
+        self.pool: Optional[Resource] = None
+        self.remaining = 0
+        self.payload = 0
+        env = job.env
+        env._call_at(env.now, self.step)
+
+    def _step(self, event: Any) -> None:
+        job = self.job
+        env = job.env
+        state = self.state
+        if state == _S_CHUNK_GRANT:  # hottest states first
+            self.state = _S_CHUNK_DONE
+            chunk = self.remaining
+            if chunk > job.link_chunk:
+                chunk = job.link_chunk
+            env._call_at(env.now + chunk / job.bandwidth, self.step)
+        elif state == _S_CHUNK_DONE:
+            link = job.handles.link
+            link.release(self.grant)
+            chunk = self.remaining
+            if chunk > job.link_chunk:
+                chunk = job.link_chunk
+            self.remaining -= chunk
+            if self.remaining > 0:
+                self.state = _S_CHUNK_GRANT
+                self.grant = link.acquire(job.flow_key, front=True)
+                self.grant.callbacks.append(self.step)
+            else:
+                job.traffic["bytes"] += self.payload
+                self.state = _S_RESPONDED
+                env._call_at(env.now + job.rtt_half, self.step)
+        elif state == _S_START:
+            self.state = _S_ARRIVED
+            env._call_at(env.now + job.rtt_half, self.step)
+        elif state == _S_ARRIVED:
+            item = self.item
+            if item.split > 0:
+                pool = job.handles.storage_pool(item.sample_id)
+                assert pool is not None  # split > 0 implies an offload-capable spec
+                self.pool = pool
+                self.state = _S_PREFIX_GRANT
+                self.grant = pool.acquire()
+                self.grant.callbacks.append(self.step)
+            else:
+                self._start_transmit()
+        elif state == _S_PREFIX_GRANT:
+            self.state = _S_PREFIX_DONE
+            env._call_at(
+                env.now + self.item.prefix_cpu_s * job.storage_cpu_factor, self.step
+            )
+        elif state == _S_PREFIX_DONE:
+            assert self.pool is not None
+            self.pool.release(self.grant)
+            self._start_transmit()
+        elif state == _S_RESPONDED:
+            if self.item.suffix_cpu_s > 0:
+                self.state = _S_SUFFIX_GRANT
+                self.grant = job.handles.compute_cpu.acquire()
+                self.grant.callbacks.append(self.step)
+            else:
+                env._call_at(env.now, self.batch.child_end)
+        elif state == _S_SUFFIX_GRANT:
+            self.state = _S_SUFFIX_DONE
+            env._call_at(
+                env.now + self.item.suffix_cpu_s * job.compute_cpu_factor, self.step
+            )
+        else:  # _S_SUFFIX_DONE
+            job.handles.compute_cpu.release(self.grant)
+            env._call_at(env.now, self.batch.child_end)
+
+    def _start_transmit(self) -> None:
+        job = self.job
+        self.payload = self.item.wire_bytes + job.overhead
+        self.remaining = self.payload
+        self.state = _S_CHUNK_GRANT
+        self.grant = job.handles.link.acquire(job.flow_key, front=False)
+        self.grant.callbacks.append(self.step)
+
+
+class _BatchRun:
+    """One batch's prefetch-token wait and child join (``batch_proc``)."""
+
+    __slots__ = ("job", "index", "ids", "token", "pending")
+
+    def __init__(self, job: _FastJob, index: int, ids: List[int]) -> None:
+        self.job = job
+        self.index = index
+        self.ids = ids
+        self.token: Optional[Event] = None
+        self.pending = 0
+        env = job.env
+        env._call_at(env.now, self.start)
+
+    def start(self, event: Any) -> None:
+        # First resume: claim a prefetch-window token, wait for it.
+        token = self.job.handles.prefetch.acquire()
+        self.token = token
+        token.callbacks.append(self.granted)
+
+    def granted(self, event: Any) -> None:
+        # Token granted: launch every sample, join them via countdown
+        # (one child_end slot per sample plays the child's process-end
+        # event; the final one stands in for the AllOf join).
+        job = self.job
+        env = job.env
+        work = job.work
+        self.pending = len(self.ids)
+        for sample_id in self.ids:
+            _SampleRun(job, work[sample_id], self)
+        if not self.ids:
+            env._call_at(env.now, self.all_done)
+
+    def child_end(self, event: Any) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            env = self.job.env
+            env._call_at(env.now, self.all_done)
+
+    def all_done(self, event: Any) -> None:
+        self.job.batch_ready[self.index].trigger(self.token)
+
+
+# _GpuRun states (the yield points of trainer.gpu_proc):
+_G_START = 0       # process start slot fired
+_G_READY = 1       # batch_ready[index] delivered
+_G_GRANT = 2       # GPU granted
+_G_BATCH_DONE = 3  # batch compute time elapsed
+
+
+class _GpuRun:
+    """The in-order GPU consumer (``gpu_proc``)."""
+
+    __slots__ = ("job", "index", "token", "grant", "step", "state")
+
+    def __init__(self, job: _FastJob) -> None:
+        self.job = job
+        self.index = 0
+        self.token: Optional[Event] = None
+        self.grant: Optional[Event] = None
+        self.state = _G_START
+        self.step = self._step
+        env = job.env
+        env._call_at(env.now, self.step)
+
+    def _wait_ready(self) -> None:
+        job = self.job
+        ready = job.batch_ready[self.index]
+        self.state = _G_READY
+        if ready.processed:
+            # Deliver through the queue, like Process._wait_on on an
+            # already-fired event.
+            env = job.env
+            env._call_at(env.now, self.step, ready.value)
+        else:
+            ready.callbacks.append(self.step)
+
+    def _step(self, event: Any) -> None:
+        job = self.job
+        env = job.env
+        state = self.state
+        if state == _G_READY:
+            self.token = event.value
+            self.state = _G_GRANT
+            self.grant = job.handles.gpu.acquire()
+            self.grant.callbacks.append(self.step)
+        elif state == _G_GRANT:
+            self.state = _G_BATCH_DONE
+            ids = job.batches[self.index]
+            env._call_at(env.now + job.model.batch_time_s(len(ids)), self.step)
+        elif state == _G_BATCH_DONE:
+            job.handles.gpu.release(self.grant)
+            job.handles.prefetch.release(self.token)
+            self.index += 1
+            if self.index < len(job.batches):
+                self._wait_ready()
+            else:
+                self._finish()
+        else:  # _G_START
+            if job.batches:
+                self._wait_ready()
+            else:
+                self._finish()
+
+    def _finish(self) -> None:
+        job = self.job
+        job.traffic["done"] = 1
+        job.traffic["finished_at"] = job.env.now
+
+
+def launch_training_job_fast(
+    env: Environment,
+    spec: ClusterSpec,
+    work: Dict[int, "SampleWork"],
+    batches: List[List[int]],
+    model: ModelProfile,
+    handles: "JobHandles",
+    epoch: int = 0,
+) -> Dict[str, Any]:
+    """Register one job's epoch on ``env`` via the batched cursor engine.
+
+    Semantics and return value match
+    :func:`~repro.cluster.trainer.launch_training_processes` called
+    without faults, timeline, or tracer -- byte-identical stats, traffic,
+    and resource accounting.  Callers needing any of those switches must
+    use the generator path instead (``TrainerSim.run_epoch`` arbitrates).
+
+    ``epoch`` is accepted for signature parity with the generator
+    launcher; the fast path carries no tracer, so nothing consumes it.
+    """
+    job = _FastJob(env, spec, work, batches, model, handles)
+    for index, ids in enumerate(batches):
+        _BatchRun(job, index, ids)
+    _GpuRun(job)
+    return job.traffic

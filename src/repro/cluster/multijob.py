@@ -22,14 +22,16 @@ schedule is byte-identical with or without either.
 """
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, cast
 
-from repro.cluster.sim import Environment, FairResource, Resource
+from repro.cluster.engine import launch_training_job_fast
+from repro.cluster.sim import Environment
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import (
     JobHandles,
     TrainerSim,
     WorkAdjustment,
+    _kernel_module,
     launch_training_processes,
 )
 from repro.data.dataset import Dataset
@@ -108,6 +110,7 @@ class SharedLinkSim:
         epoch: int = 0,
         record_timeline: bool = False,
         record_spans: bool = False,
+        kernel: str = "auto",
     ) -> SharedLinkStats:
         """Run every job's epoch to completion on the shared link.
 
@@ -115,21 +118,33 @@ class SharedLinkSim:
             (stats.spans); each span carries a ``job`` label.
         record_timeline: attach one per-batch Timeline per job
             (stats.timelines, keyed by job name).
-        Neither switch perturbs the simulated schedule.
+        kernel: same contract as :meth:`TrainerSim.run_epoch` -- "auto"
+            runs every tenant on the batched cursor engine when neither
+            telemetry switch is set, "reference" replays the frozen seed
+            kernel, and all choices are byte-identical.
+        Neither telemetry switch perturbs the simulated schedule.
         """
+        kernel_mod = _kernel_module(kernel)
+        fast_eligible = not record_timeline and not record_spans
+        if kernel == "fast" and not fast_eligible:
+            raise ValueError(
+                "kernel='fast' covers only runs without timeline or spans; "
+                "use kernel='auto' to fall back automatically"
+            )
+        use_engine = kernel != "reference" and fast_eligible
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             raise ValueError(f"job names must be unique, got {names}")
         if not jobs:
             raise ValueError("need at least one job")
 
-        env = Environment()
+        env = cast(Environment, kernel_mod.Environment())
         spec = self.spec
         # Fair-queued: concurrent jobs share bandwidth round-robin at chunk
         # granularity instead of draining whole bursts FIFO.
-        link = FairResource(env, 1, "shared-link")
+        link = kernel_mod.FairResource(env, 1, "shared-link")
         storage_cpu = (
-            Resource(env, spec.storage_cores, "shared-storage-cpu")
+            kernel_mod.Resource(env, spec.storage_cores, "shared-storage-cpu")
             if spec.can_offload
             else None
         )
@@ -148,36 +163,45 @@ class SharedLinkSim:
                 batch_size=job.batch_size,
                 seed=job.seed,
             )
-            work = trainer._epoch_work(
-                list(job.splits) if job.splits is not None else None,
-                epoch,
-                job.adjustments,
-            )
+            job_splits = list(job.splits) if job.splits is not None else None
+            if kernel == "reference":
+                work = trainer._epoch_work(job_splits, epoch, job.adjustments)
+            else:
+                work = trainer._epoch_work_fast(job_splits, epoch, job.adjustments)
             batches = list(
                 BatchSampler(
                     SequentialSampler(len(job.dataset)), trainer.batch_size
                 ).epoch_batches(epoch)
             )
             handles = JobHandles(
-                compute_cpu=Resource(env, spec.compute_cores, f"{job.name}-cpu"),
+                compute_cpu=kernel_mod.Resource(
+                    env, spec.compute_cores, f"{job.name}-cpu"
+                ),
                 storage_cpu=storage_cpu,
                 link=link,
-                gpu=Resource(env, 1, f"{job.name}-gpu"),
-                prefetch=Resource(env, spec.prefetch_batches, f"{job.name}-prefetch"),
+                gpu=kernel_mod.Resource(env, 1, f"{job.name}-gpu"),
+                prefetch=kernel_mod.Resource(
+                    env, spec.prefetch_batches, f"{job.name}-prefetch"
+                ),
                 flow_key=job.name,
                 job_label=job.name,
             )
-            counters[job.name] = launch_training_processes(
-                env,
-                spec,
-                work,
-                batches,
-                job.model,
-                handles,
-                timeline=timelines[job.name] if timelines is not None else None,
-                tracer=tracer,
-                epoch=epoch,
-            )
+            if use_engine:
+                counters[job.name] = launch_training_job_fast(
+                    env, spec, work, batches, job.model, handles, epoch=epoch
+                )
+            else:
+                counters[job.name] = launch_training_processes(
+                    env,
+                    spec,
+                    work,
+                    batches,
+                    job.model,
+                    handles,
+                    timeline=timelines[job.name] if timelines is not None else None,
+                    tracer=tracer,
+                    epoch=epoch,
+                )
 
         env.run()
         makespan = env.now

@@ -1,51 +1,25 @@
-"""A minimal generator-based discrete-event simulation kernel.
+"""The frozen *seed* DES kernel: the byte-identity reference.
 
-Processes are Python generators that ``yield`` events; the environment
-advances a virtual clock and resumes processes when their events trigger.
-This is the substrate under :class:`repro.cluster.trainer.TrainerSim`; it is
-deliberately small (events, processes, timeouts, FIFO resources, stores,
-all-of joins) but fully general.
-
-This is the *optimized* kernel (the seed kernel survives byte-for-byte as
-:mod:`repro.cluster.refsim`).  The optimizations never change observable
-semantics -- every heap push lands at the same (time, sequence) position
-the seed kernel would have used, which is what makes the two kernels
-byte-identical on every :class:`~repro.cluster.trainer.EpochStats` field
-(gated by ``repro.cluster.bench`` and ``tests/cluster/test_kernel_identity``):
-
-- **Slot-based callback entries.**  Resuming a process that waited on an
-  already-fired event, starting a process, and delivering an interrupt
-  used to allocate a relay :class:`Event` (callback list and all) and
-  route it through ``trigger``.  Those now push a two-slot
-  :class:`_Callback` directly onto the heap at the identical position.
-- **Free-list allocation.**  Fired ``_Callback`` slots are recycled
-  through a free list instead of churning the allocator (a million-sample
-  epoch retires tens of millions of them).
-- **O(1) queue discipline.**  Resource wait queues and store buffers are
-  deques, so FIFO acquire/release and queue-jump chunk continuation stop
-  paying list-shift costs.
-- **A tight drain loop.**  ``run()`` binds the heap and ``heappop``
-  locally and skips per-event ``step()`` dispatch.
-
-Example::
-
-    env = Environment()
-
-    def worker(env, cpu):
-        req = cpu.acquire()
-        yield req
-        yield env.timeout(2.0)
-        cpu.release(req)
-
-    cpu = Resource(env, capacity=1)
-    env.process(worker(env, cpu))
-    env.run()
+This module is a byte-for-byte snapshot of ``repro.cluster.sim`` as it
+stood before the performance overhaul (the generator ``Process`` + relay
+``Event`` kernel), kept so the optimized kernel can be gated against it:
+``repro.cluster.bench`` and the identity tests run every epoch on both
+kernels and require byte-identical ``EpochStats``, traffic, fault reports
+and span streams.  Do not optimize or "fix" this file -- its value is
+that it never changes.  The behavioral contract both kernels must satisfy
+lives in ``tests/cluster/test_sim_semantics.py``, parameterized over the
+two modules.
 """
 
 import heapq
 import itertools
-from collections import OrderedDict, deque
-from typing import Any, Callable, Deque, Generator, Iterator, List, Optional
+from collections import OrderedDict
+from typing import Any, Callable, Generator, Iterator, List, Optional
+
+# The exception types are shared with the live kernel (not snapshotted):
+# process code like ``launch_training_processes`` catches ``Interrupt`` by
+# identity, and it must catch it no matter which kernel is driving.
+from repro.cluster.sim import Interrupt, SimulationError
 
 __all__ = [
     "AllOf",
@@ -60,47 +34,6 @@ __all__ = [
     "Timeout",
     "hold",
 ]
-
-
-class SimulationError(RuntimeError):
-    """A process misused the kernel (e.g. yielded a non-event)."""
-
-
-class Interrupt(Exception):
-    """Thrown into a process by :meth:`Process.interrupt`.
-
-    ``cause`` carries whatever the interrupter passed (e.g. the fault that
-    killed the resource the process was using).  A process that catches the
-    interrupt continues normally; one that does not simply ends, with the
-    Interrupt instance as its value.
-    """
-
-    def __init__(self, cause: Any = None) -> None:
-        super().__init__(cause)
-        self.cause = cause
-
-
-class _Callback:
-    """A heap entry that calls ``fn(self)`` when it fires.
-
-    The slot-based replacement for single-shot relay events: two slots, no
-    callback list, recycled through :attr:`Environment._cb_pool` after
-    firing.  ``fn`` may be cleared to ``None`` to neuter a pending entry
-    (the interrupt path abandons in-flight resumes this way).  ``value``
-    mirrors :attr:`Event.value` so process resume code can read it without
-    caring which kind of entry woke it.
-    """
-
-    __slots__ = ("fn", "value")
-
-    def __init__(self, fn: Optional[Callable[["_Callback"], None]], value: Any) -> None:
-        self.fn = fn
-        self.value = value
-
-    def _fire(self) -> None:
-        fn = self.fn
-        if fn is not None:
-            fn(self)
 
 
 class Event:
@@ -126,8 +59,7 @@ class Event:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self.value = value
-        env = self.env
-        heapq.heappush(env._heap, (env.now, next(env._counter), self))
+        self.env._schedule(self.env.now, self)
         return self
 
     def wait(self, callback: Callable[["Event"], None]) -> None:
@@ -155,7 +87,7 @@ class Timeout(Event):
         super().__init__(env)
         self.triggered = True
         self.value = value
-        heapq.heappush(env._heap, (env.now + delay, next(env._counter), self))
+        env._schedule(env.now + delay, self)
 
 
 class Process(Event):
@@ -167,22 +99,20 @@ class Process(Event):
     an offloaded prefix that is in flight when the storage node crashes).
     """
 
-    __slots__ = ("_generator", "_send", "_waiting_on", "_waiting_cb")
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
         self._generator = generator
-        self._send = generator.send
         self._waiting_on: Optional[Event] = None
-        # Start through the queue (the seed kernel pushed a pre-triggered
-        # relay event here; a callback slot lands at the same position).
-        self._waiting_cb: Optional[_Callback] = env._call_at(env.now, self._resume, None)
+        first = Event(env).trigger()
+        first.callbacks.append(self._resume)
+        self._waiting_on = first
 
-    def _resume(self, event: Any) -> None:
+    def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        self._waiting_cb = None
         try:
-            target = self._send(event.value)
+            target = self._generator.send(event.value)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
@@ -195,12 +125,11 @@ class Process(Event):
             )
         if target.processed:
             # Deliver through the queue rather than synchronously, so long
-            # chains of already-fired events cannot recurse the C stack
-            # (and so resumption never jumps ahead of same-time events
-            # already scheduled).
-            self._waiting_cb = self.env._call_at(
-                self.env.now, self._resume, target.value
-            )
+            # chains of already-fired events cannot recurse the C stack.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay.trigger(target.value)
+            self._waiting_on = relay
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target
@@ -218,14 +147,12 @@ class Process(Event):
         target = self._waiting_on
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
-        pending = self._waiting_cb
-        if pending is not None:
-            pending.fn = None  # neuter the in-flight resume slot
         self._waiting_on = None
-        self._waiting_cb = None
-        self.env._call_at(self.env.now, self._throw_in, cause)
+        relay = Event(self.env)
+        relay.callbacks.append(self._throw_in)
+        relay.trigger(cause)
 
-    def _throw_in(self, event: Any) -> None:
+    def _throw_in(self, event: Event) -> None:
         try:
             target = self._generator.throw(Interrupt(event.value))
         except StopIteration as stop:
@@ -263,37 +190,13 @@ class AllOf(Event):
 class Environment:
     """The virtual clock and event queue."""
 
-    __slots__ = ("now", "_heap", "_counter", "_cb_pool")
-
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List = []
         self._counter = itertools.count()
-        #: Free list of fired _Callback slots, recycled by the run loop.
-        self._cb_pool: List[_Callback] = []
 
     def _schedule(self, at: float, event: Event) -> None:
         heapq.heappush(self._heap, (at, next(self._counter), event))
-
-    def _call_at(
-        self, at: float, fn: Callable[[_Callback], None], value: Any = None
-    ) -> _Callback:
-        """Schedule ``fn(slot)`` at virtual time ``at``.
-
-        Allocation goes through the free list; the run loop recycles each
-        slot after it fires.  The returned slot is only valid until then --
-        holders that need to abandon it clear ``slot.fn`` instead of
-        keeping it.
-        """
-        pool = self._cb_pool
-        if pool:
-            cb = pool.pop(-1)
-            cb.fn = fn
-            cb.value = value
-        else:
-            cb = _Callback(fn, value)
-        heapq.heappush(self._heap, (at, next(self._counter), cb))
-        return cb
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -313,37 +216,14 @@ class Environment:
             raise SimulationError(f"time went backwards: {at} < {self.now}")
         self.now = at
         event._fire()
-        if event.__class__ is _Callback:
-            event.fn = None
-            event.value = None
-            self._cb_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events until the queue drains (or virtual ``until``)."""
-        if until is not None:
-            while self._heap:
-                if self._heap[0][0] > until:
-                    self.now = until
-                    return
-                self.step()
-            return
-        # Hot drain loop: local bindings, no per-event method dispatch.
-        # Heap order guarantees non-decreasing times (schedules are always
-        # at now or now + delay with delay >= 0), so the monotonicity
-        # check lives only in step().
-        heap = self._heap
-        pop = heapq.heappop
-        pool = self._cb_pool
-        pool_push = pool.append
-        callback_cls = _Callback
-        while heap:
-            at, _, event = pop(heap)
-            self.now = at
-            event._fire()
-            if event.__class__ is callback_cls:
-                event.fn = None
-                event.value = None
-                pool_push(event)
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
 
 
 class Resource:
@@ -351,12 +231,8 @@ class Resource:
 
     ``acquire`` returns an event that fires when a slot is granted; pass the
     same event to ``release``.  ``busy_time`` integrates slot-seconds of use
-    for utilization reporting.  Grant bookkeeping is slot-based: the wait
-    queue is a deque and grant timestamps live in a dict keyed by request,
-    so acquire/release/queue-jump are all O(1).
+    for utilization reporting.
     """
-
-    __slots__ = ("env", "capacity", "name", "_in_use", "_waiting", "_grant_times", "busy_time")
 
     def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
@@ -365,8 +241,8 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiting: Deque[Event] = deque()
-        self._grant_times: dict = {}
+        self._waiting: List[Event] = []
+        self._grant_times = {}
         self.busy_time = 0.0
 
     @property
@@ -391,7 +267,7 @@ class Resource:
         if self._in_use < self.capacity:
             self._grant(event)
         elif front:
-            self._waiting.appendleft(event)
+            self._waiting.insert(0, event)
         else:
             self._waiting.append(event)
         return event
@@ -422,7 +298,7 @@ class Resource:
         self.busy_time += self.env.now - self._grant_times.pop(request)
         self._in_use -= 1
         if self._waiting:
-            self._grant(self._waiting.popleft())
+            self._grant(self._waiting.pop(0))
 
     def utilization(self, horizon: float) -> float:
         """Average busy fraction over ``horizon`` seconds of virtual time."""
@@ -441,27 +317,21 @@ class FairResource(Resource):
     the next grant comes from the next non-empty flow in rotation.
     """
 
-    __slots__ = ("_flow_queues",)
-
     def __init__(self, env: Environment, capacity: int = 1, name: str = "fair") -> None:
         super().__init__(env, capacity, name)
-        self._flow_queues: "OrderedDict[Any, Deque[Event]]" = OrderedDict()
+        self._flow_queues: "OrderedDict[Any, List[Event]]" = OrderedDict()
 
     def acquire(self, key: Any = None, front: bool = False) -> Event:
         event = Event(self.env)
         if self._in_use < self.capacity:
             self._grant(event)
-            return event
-        queue = self._flow_queues.get(key)
-        if queue is None:
-            queue = self._flow_queues[key] = deque()
-        if front:
+        elif front:
             # Continue the current payload of this flow ahead of the flow's
             # other waiters; the flow rotation itself is unaffected, so
             # other flows still interleave between chunks.
-            queue.appendleft(event)
+            self._flow_queues.setdefault(key, []).insert(0, event)
         else:
-            queue.append(event)
+            self._flow_queues.setdefault(key, []).append(event)
         return event
 
     def cancel(self, request: Event) -> None:
@@ -483,7 +353,7 @@ class FairResource(Resource):
             # Serve the flow at the front of the rotation, then move it to
             # the back (dropping it if its queue drained).
             key, queue = next(iter(self._flow_queues.items()))
-            event = queue.popleft()
+            event = queue.pop(0)
             del self._flow_queues[key]
             if queue:
                 self._flow_queues[key] = queue
@@ -497,24 +367,22 @@ class FairResource(Resource):
 class Store:
     """An unbounded FIFO queue of items with blocking ``get``."""
 
-    __slots__ = ("env", "name", "_items", "_getters")
-
     def __init__(self, env: Environment, name: str = "store") -> None:
         self.env = env
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.popleft().trigger(item)
+            self._getters.pop(0).trigger(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         event = Event(self.env)
         if self._items:
-            event.trigger(self._items.popleft())
+            event.trigger(self._items.pop(0))
         else:
             self._getters.append(event)
         return event

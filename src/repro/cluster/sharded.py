@@ -20,9 +20,11 @@ on the same ``trace_id(sample, epoch)`` ids as the single-node path, with a
 """
 
 import dataclasses
+from types import ModuleType
 from typing import Dict, List, Optional, Sequence, cast
 
-from repro.cluster.sim import Environment, Resource
+from repro.cluster import sim as _fast_kernel
+from repro.cluster.sim import Environment
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.trainer import (
     EpochStats,
@@ -135,25 +137,27 @@ class ShardedTrainerSim(TrainerSim):
         """The shard holding ``sample_id`` (also the span ``shard`` label)."""
         return self.placement[sample_id]
 
-    def _build_handles(self, env: Environment) -> JobHandles:
+    def _build_handles(
+        self, env: Environment, kernel: ModuleType = _fast_kernel
+    ) -> JobHandles:
         spec = self.spec
         # No storage cores means no shard pools at all: a split > 0 plan is
         # rejected by the work builder exactly as on the single-node sim,
         # instead of silently granting each shard a phantom core.
         pools = (
             [
-                Resource(env, spec.storage_cores, f"shard-{s}-cpu")
+                kernel.Resource(env, spec.storage_cores, f"shard-{s}-cpu")
                 for s in range(self.num_shards)
             ]
             if spec.can_offload
             else None
         )
         return JobHandles(
-            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
+            compute_cpu=kernel.Resource(env, spec.compute_cores, "compute-cpu"),
             storage_cpu=None,
-            link=Resource(env, 1, "link"),
-            gpu=Resource(env, 1, "gpu"),
-            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
+            link=kernel.Resource(env, 1, "link"),
+            gpu=kernel.Resource(env, 1, "gpu"),
+            prefetch=kernel.Resource(env, spec.prefetch_batches, "prefetch-window"),
             storage_pools=pools,
             shard_of=self.shard_of,
             job_label=self.job_label,
@@ -181,12 +185,14 @@ class ShardedTrainerSim(TrainerSim):
         record_timeline: bool = False,
         faults: Optional[FaultSchedule] = None,
         record_spans: bool = False,
+        kernel: str = "auto",
     ) -> "ShardedStats":
         """One epoch on the sharded cluster; see :meth:`TrainerSim.run_epoch`.
 
         The full base-class surface is honoured: telemetry spans (with
-        per-shard labels), batch timelines, work adjustments and fault
-        schedules, all byte-identical to an uninstrumented run.
+        per-shard labels), batch timelines, work adjustments, fault
+        schedules and kernel selection, all byte-identical to an
+        uninstrumented run.
         """
         return cast(
             ShardedStats,
@@ -197,5 +203,6 @@ class ShardedTrainerSim(TrainerSim):
                 record_timeline=record_timeline,
                 faults=faults,
                 record_spans=record_spans,
+                kernel=kernel,
             ),
         )

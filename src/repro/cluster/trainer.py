@@ -23,8 +23,12 @@ path.
 
 import dataclasses
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence
+from types import ModuleType
+from typing import Callable, Dict, List, Optional, Sequence, cast
 
+from repro.cluster import refsim as _reference_kernel
+from repro.cluster import sim as _fast_kernel
+from repro.cluster.engine import launch_training_job_fast
 from repro.cluster.epoch_model import EpochMetrics
 from repro.cluster.sim import Environment, Interrupt, Resource
 from repro.cluster.spec import ClusterSpec
@@ -39,6 +43,20 @@ from repro.workloads.models import ModelProfile
 #: Retransmission cap per payload; only reachable when corruption_rate is
 #: so close to 1 that the wire is unusable anyway.
 _MAX_PAYLOAD_SENDS = 25
+
+#: run_epoch(kernel=...) choices.  "auto" takes the batched fast path
+#: wherever it applies and falls back to generator processes on the
+#: optimized kernel otherwise; "fast" demands the batched engine (raising
+#: when the run needs switches it does not carry); "reference" replays the
+#: frozen seed kernel (repro.cluster.refsim) with the sequential work
+#: builder -- the byte-identity baseline the bench gates against.
+KERNEL_CHOICES = ("auto", "fast", "reference")
+
+
+def _kernel_module(kernel: str) -> ModuleType:
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(f"kernel must be one of {KERNEL_CHOICES}, got {kernel!r}")
+    return _reference_kernel if kernel == "reference" else _fast_kernel
 
 
 @dataclasses.dataclass(frozen=True)
@@ -515,22 +533,118 @@ class TrainerSim:
             work[sample_id] = item
         return work
 
+    def _epoch_work_fast(
+        self,
+        splits: Optional[Sequence[int]],
+        epoch: int,
+        adjustments: Optional[Dict[int, "WorkAdjustment"]] = None,
+    ) -> Dict[int, SampleWork]:
+        """Vectorized twin of :meth:`_epoch_work` -- same outputs, bit for bit.
+
+        The per-sample ``pipeline.simulate`` loop is replaced by one
+        :func:`~repro.parallel.vectorized.simulate_batch` call (whose rows
+        are bit-identical to the sequential stages) plus column-wise
+        left-fold prefix/suffix sums in the exact association order
+        ``sum(costs[:split])`` uses.  Validation errors carry the same
+        messages, raised at the same sample.
+        """
+        from repro.parallel.vectorized import simulate_batch
+
+        ids = list(self.dataset.sample_ids())
+        if not ids:
+            return {}
+        raw_metas = [self.dataset.raw_meta(i) for i in ids]
+        kind = raw_metas[0].kind
+        if any(meta.kind is not kind for meta in raw_metas):
+            # The batch simulator wants one payload kind per batch; rare
+            # mixed-kind datasets take the sequential reference instead.
+            return self._epoch_work(splits, epoch, adjustments)
+        sizes, costs = simulate_batch(
+            self.pipeline, raw_metas, ids, seed=self.seed, epoch=epoch
+        )
+        n = len(ids)
+        n_ops = int(costs.shape[1])
+        split_list = [0] * n if splits is None else [splits[i] for i in ids]
+
+        # Column-wise left folds per split group: each element accumulates
+        # ((c0 + c1) + c2) ... in the same order the scalar fold does, so
+        # every float matches the sequential path bit for bit.  Empty folds
+        # stay int 0, exactly like sum([]).
+        prefix: List[float] = [0] * n  # type: ignore[list-item]
+        suffix: List[float] = [0] * n  # type: ignore[list-item]
+        rows_by_split: Dict[int, List[int]] = {}
+        for row, split in enumerate(split_list):
+            if 0 <= split <= n_ops:
+                rows_by_split.setdefault(split, []).append(row)
+        for split, rows in rows_by_split.items():
+            sub = costs[rows]
+            if split > 0:
+                acc = sub[:, 0].copy()
+                for col in range(1, split):
+                    acc = acc + sub[:, col]
+                for row, value in zip(rows, acc.tolist()):
+                    prefix[row] = value
+            if split < n_ops:
+                acc = sub[:, split].copy()
+                for col in range(split + 1, n_ops):
+                    acc = acc + sub[:, col]
+                for row, value in zip(rows, acc.tolist()):
+                    suffix[row] = value
+        size_rows = sizes.tolist()
+
+        work: Dict[int, SampleWork] = {}
+        for row, sample_id in enumerate(ids):
+            split = split_list[row]
+            if not 0 <= split <= n_ops:
+                raise ValueError(f"bad split {split} for {n_ops}-op pipeline")
+            item = SampleWork(
+                sample_id=sample_id,
+                split=split,
+                wire_bytes=size_rows[row][split],
+                prefix_cpu_s=prefix[row],
+                suffix_cpu_s=suffix[row],
+            )
+            if adjustments is not None and sample_id in adjustments:
+                item = adjustments[sample_id].apply(item)
+            if item.split == 0 and item.prefix_cpu_s > 0:
+                raise ValueError(
+                    f"sample {sample_id} has storage-side work but split 0"
+                )
+            if item.split > 0 and not self.spec.can_offload:
+                raise ValueError(
+                    f"sample {sample_id} plans split {item.split} but the "
+                    "cluster has no storage cores; clamp the plan first"
+                )
+            if item.prefix_cpu_s > 0 and not self.spec.can_offload:
+                raise ValueError(
+                    f"sample {sample_id} has storage-side work but the cluster "
+                    "has no storage cores; clamp the plan first"
+                )
+            work[sample_id] = item
+        return work
+
     # -- simulation -----------------------------------------------------------
 
-    def _build_handles(self, env: Environment) -> JobHandles:
+    def _build_handles(
+        self, env: Environment, kernel: ModuleType = _fast_kernel
+    ) -> JobHandles:
         """The resource set one epoch runs against (overridden by subclasses:
-        sharded clusters swap the single storage pool for per-shard pools)."""
+        sharded clusters swap the single storage pool for per-shard pools).
+
+        ``kernel`` supplies the Resource classes so reference-kernel runs
+        build refsim resources against a refsim environment.
+        """
         spec = self.spec
         return JobHandles(
-            compute_cpu=Resource(env, spec.compute_cores, "compute-cpu"),
+            compute_cpu=kernel.Resource(env, spec.compute_cores, "compute-cpu"),
             storage_cpu=(
-                Resource(env, spec.storage_cores, "storage-cpu")
+                kernel.Resource(env, spec.storage_cores, "storage-cpu")
                 if spec.can_offload
                 else None
             ),
-            link=Resource(env, 1, "link"),
-            gpu=Resource(env, 1, "gpu"),
-            prefetch=Resource(env, spec.prefetch_batches, "prefetch-window"),
+            link=kernel.Resource(env, 1, "link"),
+            gpu=kernel.Resource(env, 1, "gpu"),
+            prefetch=kernel.Resource(env, spec.prefetch_batches, "prefetch-window"),
             job_label=self.job_label,
         )
 
@@ -560,6 +674,7 @@ class TrainerSim:
         record_timeline: bool = False,
         faults: Optional[FaultSchedule] = None,
         record_spans: bool = False,
+        kernel: str = "auto",
     ) -> EpochStats:
         """Simulate one epoch under the given per-sample offload splits.
 
@@ -575,15 +690,34 @@ class TrainerSim:
         record_spans: attach a per-sample span Tracer (stats.spans) whose
             clock is the simulator's virtual time; the simulated schedule
             is identical with or without it.
+        kernel: "auto" (default) runs the batched cursor engine on the
+            optimized kernel when the run carries no faults/timeline/spans
+            and generator processes otherwise; "fast" insists on the
+            batched engine (ValueError when ineligible); "reference"
+            replays the frozen seed kernel end to end.  All three produce
+            byte-identical stats -- the contract ``repro.cluster.bench``
+            gates on.
         """
+        kernel_mod = _kernel_module(kernel)
         if splits is not None and len(splits) != len(self.dataset):
             raise ValueError(
                 f"splits has {len(splits)} entries, dataset has {len(self.dataset)}"
             )
-        work = self._epoch_work(splits, epoch, adjustments)
-        batches = list(BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch))
         if faults is not None and faults.is_empty:
             faults = None
+        fast_eligible = faults is None and not record_timeline and not record_spans
+        if kernel == "fast" and not fast_eligible:
+            raise ValueError(
+                "kernel='fast' covers only fault-free runs without timeline or "
+                "spans; use kernel='auto' to fall back automatically"
+            )
+        use_engine = kernel != "reference" and fast_eligible
+
+        if kernel == "reference":
+            work = self._epoch_work(splits, epoch, adjustments)
+        else:
+            work = self._epoch_work_fast(splits, epoch, adjustments)
+        batches = list(BatchSampler(self.sampler, self.batch_size).epoch_batches(epoch))
         fault_report = FaultReport() if faults is not None else None
         fallback_cache: Dict[int, SampleWork] = {}
 
@@ -593,25 +727,32 @@ class TrainerSim:
                 fallback_cache[sample_id] = self.sample_work(sample_id, 0, epoch)
             return fallback_cache[sample_id]
 
-        env = Environment()
+        # The two kernels are duck-compatible; refsim environments carry
+        # refsim resources (built below), so the cast is safe.
+        env = cast(Environment, kernel_mod.Environment())
         spec = self.spec
-        handles = self._build_handles(env)
+        handles = self._build_handles(env, kernel_mod)
         timeline = Timeline() if record_timeline else None
         tracer = Tracer(clock=lambda: env.now) if record_spans else None
-        traffic = launch_training_processes(
-            env,
-            spec,
-            work,
-            batches,
-            self.model,
-            handles,
-            timeline=timeline,
-            faults=faults,
-            fault_report=fault_report,
-            fallback_work=fallback_work if faults is not None else None,
-            tracer=tracer,
-            epoch=epoch,
-        )
+        if use_engine:
+            traffic = launch_training_job_fast(
+                env, spec, work, batches, self.model, handles, epoch=epoch
+            )
+        else:
+            traffic = launch_training_processes(
+                env,
+                spec,
+                work,
+                batches,
+                self.model,
+                handles,
+                timeline=timeline,
+                faults=faults,
+                fault_report=fault_report,
+                fallback_work=fallback_work if faults is not None else None,
+                tracer=tracer,
+                epoch=epoch,
+            )
         env.run()
 
         horizon = env.now

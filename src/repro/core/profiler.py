@@ -12,13 +12,15 @@ the first real epoch, which runs without offloading, so profiling adds no
 extra pass over the dataset.
 """
 
+import concurrent.futures
 import dataclasses
 import enum
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
 from repro.data.dataset import Dataset
 from repro.parallel import ParallelConfig, ParallelSpec, build_records
+from repro.parallel.sharded import shard_bounds
 from repro.parallel.vectorized import batch_total_costs, simulate_batch
 from repro.preprocessing.pipeline import Pipeline
 from repro.preprocessing.records import SampleRecord
@@ -122,6 +124,31 @@ class StageOneProfiler:
         )
 
 
+def _profile_real_shard(
+    dataset: Dataset,
+    pipeline: Pipeline,
+    sample_ids: Sequence[int],
+    seed: int,
+    epoch: int,
+) -> List[SampleRecord]:
+    """One worker's share of a real-execution profiling pass.
+
+    Module-level so process pools can pickle it.  Determinism is keyed:
+    every (seed, epoch, sample, op) draw derives its own generator, so
+    worker count and scheduling cannot change a single record.
+    """
+    records = []
+    for sample_id in sample_ids:
+        payload = dataset.raw_payload(sample_id)
+        run = pipeline.run(payload, seed=seed, epoch=epoch, sample_id=sample_id)
+        sizes = (payload.nbytes,) + tuple(s.out_meta.nbytes for s in run.stages)
+        costs = tuple(s.cost_s for s in run.stages)
+        records.append(
+            SampleRecord(sample_id=sample_id, stage_sizes=sizes, op_costs=costs)
+        )
+    return records
+
+
 class StageTwoProfiler:
     """Collect per-sample records during the first (non-offloaded) epoch.
 
@@ -144,9 +171,14 @@ class StageTwoProfiler:
     ) -> List[SampleRecord]:
         """Build one record per sample.
 
-        ``parallel`` selects the metadata-path execution mode (see
-        :mod:`repro.parallel`); real-execution profiling touches actual
-        pixels and always runs the sequential loop.
+        ``parallel`` selects the execution mode (see :mod:`repro.parallel`).
+        On the metadata path it dispatches through ``build_records``; on
+        the real-execution path a ``sharded`` config splits the dataset
+        into contiguous shards profiled by a worker pool, merged keyed by
+        ``sample_id`` -- records identical to the sequential pass.  (A
+        ``vectorized`` config degrades to the sequential loop there: real
+        execution touches actual pixels, which the batch simulator does
+        not model.)
         """
         if self.use_real_execution and not dataset.is_materialized:
             raise ValueError("real-execution profiling needs a materialized dataset")
@@ -154,13 +186,32 @@ class StageTwoProfiler:
             return build_records(
                 pipeline, dataset, seed=seed, epoch=epoch, parallel=parallel
             )
-        records = []
-        for sample_id in dataset.sample_ids():
-            payload = dataset.raw_payload(sample_id)
-            run = pipeline.run(payload, seed=seed, epoch=epoch, sample_id=sample_id)
-            sizes = (payload.nbytes,) + tuple(s.out_meta.nbytes for s in run.stages)
-            costs = tuple(s.cost_s for s in run.stages)
-            records.append(
-                SampleRecord(sample_id=sample_id, stage_sizes=sizes, op_costs=costs)
+        ids = list(dataset.sample_ids())
+        config = ParallelConfig.parse(parallel)
+        if config is None or config.mode != "sharded" or len(ids) <= 1:
+            return _profile_real_shard(dataset, pipeline, ids, seed, epoch)
+        bounds = shard_bounds(len(ids), config.workers)
+        if len(bounds) <= 1:
+            return _profile_real_shard(dataset, pipeline, ids, seed, epoch)
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if config.backend == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        by_id: dict = {}
+        with pool_cls(max_workers=config.workers) as pool:
+            futures = [
+                pool.submit(
+                    _profile_real_shard, dataset, pipeline, ids[start:stop], seed, epoch
+                )
+                for start, stop in bounds
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                for record in future.result():
+                    by_id[record.sample_id] = record
+        if len(by_id) != len(ids):
+            raise RuntimeError(
+                f"sharded real-execution profiling produced {len(by_id)} records "
+                f"for {len(ids)} samples"
             )
-        return records
+        return [by_id[sample_id] for sample_id in ids]

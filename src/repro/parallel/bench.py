@@ -22,6 +22,7 @@ to the measurement loop; everything measured is itself deterministic.
 import argparse
 import json
 import time
+import tracemalloc
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.spec import standard_cluster
@@ -123,6 +124,28 @@ def bench_scale(
     }
 
 
+def allocation_stats(num_samples: int, seed: int = 7) -> Dict[str, object]:
+    """tracemalloc footprint of one record-building pass under each mode.
+
+    ``peak_bytes`` is the high-water mark of traced allocations;
+    ``live_blocks`` counts blocks still held when the pass returns (the
+    records themselves plus any per-mode scaffolding that outlives it).
+    """
+    dataset = make_openimages(num_samples=num_samples, seed=seed)
+    pipeline = standard_pipeline()
+    out: Dict[str, object] = {"num_samples": num_samples}
+    for mode in MODES:
+        build_records(pipeline, dataset, seed=seed, parallel=mode)  # warm caches
+        tracemalloc.start()
+        records = build_records(pipeline, dataset, seed=seed, parallel=mode)
+        snapshot = tracemalloc.take_snapshot()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out[mode] = {"peak_bytes": peak, "live_blocks": len(snapshot.traces)}
+        del records, snapshot
+    return out
+
+
 def run_bench(
     scales: Sequence[int] = DEFAULT_SCALES,
     seed: int = 7,
@@ -136,6 +159,7 @@ def run_bench(
         bench_scale(n, seed=seed, repeats=repeats, timer=timer)
         for n in sorted(scales)
     ]
+    allocation = allocation_stats(sorted(scales)[0], seed=seed)
     largest = results[-1]
     speedups = largest["record_building"]["speedup_vs_sequential"]
     best_parallel = max(
@@ -145,6 +169,7 @@ def run_bench(
         "schema": SCHEMA,
         "modes": list(MODES),
         "scales": results,
+        "allocation": allocation,
         "identical": all(r["identical"] for r in results),
         "largest_scale": largest["num_samples"],
         "largest_scale_best_speedup": best_parallel,
@@ -163,6 +188,12 @@ def render_summary(report: Dict[str, object]) -> str:
         )
         flag = "" if entry["identical"] else "  [NOT IDENTICAL]"
         lines.append(f"  n={entry['num_samples']}: {parts}{flag}")
+    alloc = report["allocation"]
+    peaks = ", ".join(
+        f"{mode} {alloc[mode]['peak_bytes'] / 1024:.0f} KiB"
+        for mode in report["modes"]
+    )
+    lines.append(f"peak allocation at n={alloc['num_samples']}: {peaks}")
     lines.append(
         f"largest scale ({report['largest_scale']} samples): "
         f"{report['largest_scale_best_speedup']:.1f}x best parallel speedup"

@@ -1,0 +1,213 @@
+"""Byte-identity gates: the optimized kernels vs the frozen seed kernel.
+
+``run_epoch(kernel="reference")`` replays the seed simulator
+(:mod:`repro.cluster.refsim`) with the sequential work builder;
+``kernel="auto"``/``"fast"`` run the optimized kernel, the vectorized
+work builder, and (when eligible) the batched cursor engine.  Every test
+here asserts the outputs are *equal down to the last float* -- the same
+contract ``repro.cluster.bench`` enforces on every ``make bench`` run.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster.multijob import SharedJob, SharedLinkSim
+from repro.cluster.sharded import ShardedTrainerSim, round_robin_placement
+from repro.cluster.spec import standard_cluster
+from repro.cluster.trainer import TrainerSim, WorkAdjustment
+from repro.data.catalog import make_openimages
+from repro.faults import FaultSchedule
+from repro.preprocessing.pipeline import standard_pipeline
+from repro.workloads.models import get_model_profile
+
+
+def stats_fingerprint(stats) -> str:
+    """Every float of an EpochStats, serialized exactly (spans excluded:
+    Tracer objects carry no deterministic repr; span events are compared
+    separately via span_fingerprint)."""
+    payload = dataclasses.asdict(stats)
+    payload.pop("spans", None)
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def span_fingerprint(stats) -> list:
+    assert stats.spans is not None
+    return [repr(event) for event in stats.spans.events]
+
+
+@pytest.fixture(scope="module")
+def world():
+    spec = dataclasses.replace(standard_cluster(), prefetch_batches=2)
+    dataset = make_openimages(num_samples=240, seed=11)
+    trainer = TrainerSim(
+        dataset=dataset,
+        pipeline=standard_pipeline(),
+        model=get_model_profile("alexnet"),
+        spec=spec,
+        batch_size=16,
+        seed=3,
+    )
+    splits = [i % 6 for i in range(len(dataset))]
+    return trainer, splits, spec, dataset
+
+
+class TestSingleNodeIdentity:
+    def test_fault_free_fast_engine(self, world):
+        trainer, splits, _, _ = world
+        ref = trainer.run_epoch(splits, epoch=1, kernel="reference")
+        fast = trainer.run_epoch(splits, epoch=1, kernel="fast")
+        assert stats_fingerprint(ref) == stats_fingerprint(fast)
+
+    def test_auto_matches_fast_when_eligible(self, world):
+        trainer, splits, _, _ = world
+        fast = trainer.run_epoch(splits, epoch=1, kernel="fast")
+        auto = trainer.run_epoch(splits, epoch=1)
+        assert stats_fingerprint(fast) == stats_fingerprint(auto)
+
+    def test_no_offload_plan(self, world):
+        trainer, _, _, _ = world
+        ref = trainer.run_epoch(splits=None, epoch=0, kernel="reference")
+        fast = trainer.run_epoch(splits=None, epoch=0, kernel="fast")
+        assert stats_fingerprint(ref) == stats_fingerprint(fast)
+
+    def test_adjustments(self, world):
+        trainer, splits, _, dataset = world
+        adj = {
+            i: WorkAdjustment(
+                wire_bytes_delta=-64, extra_storage_cpu_s=1e-4, extra_compute_cpu_s=2e-4
+            )
+            for i in range(0, len(dataset), 7)
+            if splits[i] > 0
+        }
+        ref = trainer.run_epoch(splits, epoch=1, adjustments=adj, kernel="reference")
+        fast = trainer.run_epoch(splits, epoch=1, adjustments=adj, kernel="fast")
+        assert stats_fingerprint(ref) == stats_fingerprint(fast)
+
+    def test_faulted_run_on_optimized_kernel(self, world):
+        trainer, splits, _, _ = world
+        base = trainer.run_epoch(splits, epoch=1, kernel="reference")
+        faults = (
+            FaultSchedule()
+            .with_crash(0.3 * base.epoch_time_s, duration=0.2 * base.epoch_time_s)
+            .with_brownout(
+                0.6 * base.epoch_time_s,
+                duration=0.1 * base.epoch_time_s,
+                bandwidth_factor=0.4,
+            )
+            .with_corruption(0.05)
+        )
+        ref = trainer.run_epoch(splits, epoch=1, faults=faults, kernel="reference")
+        auto = trainer.run_epoch(splits, epoch=1, faults=faults, kernel="auto")
+        assert stats_fingerprint(ref) == stats_fingerprint(auto)
+        assert dataclasses.asdict(ref.faults) == dataclasses.asdict(auto.faults)
+
+    def test_spans_identical(self, world):
+        trainer, splits, _, _ = world
+        ref = trainer.run_epoch(splits, epoch=1, record_spans=True, kernel="reference")
+        auto = trainer.run_epoch(splits, epoch=1, record_spans=True, kernel="auto")
+        assert stats_fingerprint(ref) == stats_fingerprint(auto)
+        assert span_fingerprint(ref) == span_fingerprint(auto)
+
+    def test_timeline_identical(self, world):
+        trainer, splits, _, _ = world
+        ref = trainer.run_epoch(splits, epoch=1, record_timeline=True, kernel="reference")
+        auto = trainer.run_epoch(splits, epoch=1, record_timeline=True, kernel="auto")
+        assert stats_fingerprint(ref) == stats_fingerprint(auto)
+
+    def test_fast_kernel_rejects_instrumented_runs(self, world):
+        trainer, splits, _, _ = world
+        with pytest.raises(ValueError, match="kernel='fast'"):
+            trainer.run_epoch(splits, epoch=1, record_spans=True, kernel="fast")
+        with pytest.raises(ValueError, match="kernel='fast'"):
+            trainer.run_epoch(
+                splits, epoch=1, faults=FaultSchedule().with_crash(1.0), kernel="fast"
+            )
+
+    def test_unknown_kernel_rejected(self, world):
+        trainer, splits, _, _ = world
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            trainer.run_epoch(splits, epoch=1, kernel="warp")
+
+    def test_fast_work_builder_matches_sequential(self, world):
+        trainer, splits, _, _ = world
+        seq = trainer._epoch_work(splits, epoch=1)
+        fast = trainer._epoch_work_fast(splits, epoch=1)
+        assert seq == fast
+        # Empty folds stay int 0, exactly like sum([]).
+        assert isinstance(fast[0].prefix_cpu_s, int) or splits[0] > 0
+
+    def test_fast_work_builder_validation_messages(self, world):
+        trainer, _, _, dataset = world
+        bad = [0] * len(dataset)
+        bad[3] = 99
+        with pytest.raises(ValueError, match="bad split 99"):
+            trainer._epoch_work_fast(bad, epoch=0)
+
+
+class TestShardedIdentity:
+    def test_fault_free(self, world):
+        _, _, spec, dataset = world
+        splits = [i % 6 for i in range(len(dataset))]
+        sim = ShardedTrainerSim(
+            dataset,
+            standard_pipeline(),
+            get_model_profile("alexnet"),
+            spec,
+            placement=round_robin_placement(len(dataset), 4),
+            batch_size=16,
+            seed=2,
+        )
+        ref = sim.run_epoch(splits, epoch=0, kernel="reference")
+        fast = sim.run_epoch(splits, epoch=0, kernel="fast")
+        assert stats_fingerprint(ref) == stats_fingerprint(fast)
+        assert ref.shard_utilization == fast.shard_utilization
+
+
+class TestMultiJobIdentity:
+    @staticmethod
+    def _fingerprint(stats) -> str:
+        return json.dumps(
+            {
+                "results": {
+                    name: dataclasses.asdict(result)
+                    for name, result in stats.results.items()
+                },
+                "makespan_s": stats.makespan_s,
+                "total_traffic_bytes": stats.total_traffic_bytes,
+                "link_utilization": stats.link_utilization,
+                "storage_cpu_utilization": stats.storage_cpu_utilization,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+
+    def test_shared_link_identity(self, world):
+        _, _, spec, _ = world
+        pipeline = standard_pipeline()
+        model = get_model_profile("alexnet")
+        jobs = [
+            SharedJob(
+                name="tenant-a",
+                dataset=make_openimages(num_samples=120, seed=1),
+                pipeline=pipeline,
+                model=model,
+                splits=[2] * 120,
+                batch_size=8,
+                seed=1,
+            ),
+            SharedJob(
+                name="tenant-b",
+                dataset=make_openimages(num_samples=96, seed=2),
+                pipeline=pipeline,
+                model=model,
+                splits=[i % 6 for i in range(96)],
+                batch_size=16,
+                seed=2,
+            ),
+        ]
+        sim = SharedLinkSim(spec)
+        ref = sim.run_epoch(jobs, epoch=0, kernel="reference")
+        fast = sim.run_epoch(jobs, epoch=0, kernel="fast")
+        assert self._fingerprint(ref) == self._fingerprint(fast)

@@ -1,0 +1,688 @@
+"""Kernel-semantics regression suite: the contract the DES rewrite must keep.
+
+These tests were pinned against the *seed* kernel before the performance
+overhaul (see docs/performance.md) and encode its observable semantics:
+FIFO grant order under arbitrary interleavings of acquire / release /
+cancel / interrupt, ``AllOf`` joins with already-fired children, interrupt
+delivery windows (including interrupting a process that already finished),
+and queue-mediated resumption (no synchronous jumps ahead of already
+scheduled same-time events).  The optimized kernel must pass every test
+unchanged; the frozen reference copy in ``repro.cluster.refsim`` is
+parameterized in alongside it so the two can never drift apart silently.
+"""
+
+import random
+
+import pytest
+
+import repro.cluster.refsim as refsim
+import repro.cluster.sim as optsim
+from repro.cluster.sim import Interrupt, SimulationError
+
+#: Both kernels must satisfy the identical contract.  ``sim`` is the live
+#: (optimized) kernel; ``refsim`` is the byte-for-byte seed snapshot.
+KERNELS = [pytest.param(optsim, id="sim"), pytest.param(refsim, id="refsim")]
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# Resource FIFO ordering under interleaved acquire / release / interrupt
+# ---------------------------------------------------------------------------
+
+
+class TestResourceFifo:
+    def test_grant_order_is_request_order(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            req = res.acquire()
+            yield req
+            order.append(name)
+            yield env.timeout(hold)
+            res.release(req)
+
+        for name in ("a", "b", "c", "d"):
+            env.process(worker(name, 1.0))
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_front_queues_ahead_of_waiters_but_behind_holder(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.acquire()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def plain(name):
+            req = res.acquire()
+            yield req
+            order.append(name)
+            res.release(req)
+
+        def jumper(name):
+            req = res.acquire(front=True)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        env.process(holder())
+        env.run()  # holder owns the slot at t=1.0 release
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        order = []
+        env.process(holder())
+        env.process(plain("p1"))
+        env.process(plain("p2"))
+        env.process(jumper("j"))
+        env.run()
+        assert order == ["j", "p1", "p2"]
+
+    def test_interrupted_waiter_leaves_queue_without_consuming_slot(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.acquire()
+            yield req
+            yield env.timeout(2.0)
+            res.release(req)
+
+        def waiter(name):
+            req = res.acquire()
+            try:
+                yield req
+            except Interrupt:
+                res.cancel(req)
+                order.append(f"{name}-interrupted")
+                return
+            order.append(name)
+            res.release(req)
+
+        def killer(victim):
+            yield env.timeout(1.0)
+            victim.interrupt("die")
+
+        env.process(holder())
+        v = env.process(waiter("v"))
+        env.process(waiter("w"))
+        env.process(killer(v))
+        env.run()
+        assert order == ["v-interrupted", "w"]
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_interrupted_holder_releases_slot_to_next_waiter(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.acquire()
+            try:
+                yield req
+                yield env.timeout(10.0)
+            except Interrupt:
+                if res.holds(req):
+                    res.release(req)
+                order.append("holder-interrupted")
+                return
+            res.release(req)
+
+        def waiter():
+            req = res.acquire()
+            yield req
+            order.append(("waiter", env.now))
+            res.release(req)
+
+        def killer(victim):
+            yield env.timeout(3.0)
+            victim.interrupt()
+
+        h = env.process(holder())
+        env.process(waiter())
+        env.process(killer(h))
+        env.run()
+        assert order == ["holder-interrupted", ("waiter", 3.0)]
+
+    def test_busy_time_survives_interleaved_interrupts(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=2)
+
+        def holder(delay, hold):
+            yield env.timeout(delay)
+            req = res.acquire()
+            yield req
+            yield env.timeout(hold)
+            res.release(req)
+
+        def doomed():
+            req = res.acquire()
+            try:
+                yield req
+                yield env.timeout(100.0)
+            except Interrupt:
+                res.release(req)
+
+        def killer(victim):
+            yield env.timeout(1.5)
+            victim.interrupt()
+
+        d = env.process(doomed())
+        env.process(holder(0.0, 2.0))
+        env.process(holder(0.5, 1.0))
+        env.process(killer(d))
+        env.run()
+        # doomed held [0, 1.5], holder1 [0, 2.0], holder2 granted at 1.5
+        # (capacity 2: slots busy until doomed dies) and held 1.0.
+        assert res.busy_time == pytest.approx(1.5 + 2.0 + 1.0)
+
+    def test_randomized_interleavings_match_fifo_model(self, kernel):
+        """Property test: arbitrary acquire/release/interrupt interleavings
+        grant in request order, never exceed capacity, and leak nothing."""
+        for trial in range(12):
+            rng = random.Random(1000 + trial)
+            env = kernel.Environment()
+            capacity = rng.randint(1, 3)
+            res = kernel.Resource(env, capacity=capacity)
+            n = rng.randint(4, 12)
+            grant_log = []
+            request_log = []
+            live = {"holding": 0, "peak": 0}
+
+            def worker(name, start, hold, rng=rng):
+                yield env.timeout(start)
+                request_log.append(name)
+                req = res.acquire()
+                try:
+                    yield req
+                except Interrupt:
+                    res.cancel(req)
+                    return
+                grant_log.append(name)
+                live["holding"] += 1
+                live["peak"] = max(live["peak"], live["holding"])
+                try:
+                    yield env.timeout(hold)
+                except Interrupt:
+                    pass
+                live["holding"] -= 1
+                res.release(req)
+
+            procs = []
+            for i in range(n):
+                start = rng.random() * 4.0
+                hold = rng.random() * 2.0
+                procs.append(env.process(worker(i, start, hold)))
+
+            def chaos(victims, rng=rng):
+                while True:
+                    yield env.timeout(rng.random() * 1.5)
+                    target = rng.choice(victims)
+                    target.interrupt("chaos")
+                    if rng.random() < 0.3:
+                        return
+
+            env.process(chaos(procs))
+            env.run()
+            assert live["peak"] <= capacity
+            assert res.in_use == 0
+            assert res.queue_length == 0
+            # FIFO: the granted subsequence respects request order.
+            positions = {name: i for i, name in enumerate(request_log)}
+            granted_positions = [positions[name] for name in grant_log]
+            assert granted_positions == sorted(granted_positions)
+
+
+# ---------------------------------------------------------------------------
+# AllOf joins
+# ---------------------------------------------------------------------------
+
+
+class TestAllOfSemantics:
+    def test_all_children_already_fired(self, kernel):
+        env = kernel.Environment()
+        done = []
+
+        def child(value):
+            yield env.timeout(0.5)
+            return value
+
+        c1 = env.process(child(1))
+        c2 = env.process(child(2))
+        env.run()
+        assert c1.processed and c2.processed
+
+        def joiner():
+            values = yield env.all_of([c1, c2])
+            done.append(values)
+
+        env.process(joiner())
+        env.run()
+        assert done == [[1, 2]]
+
+    def test_mixed_fired_and_pending_children(self, kernel):
+        env = kernel.Environment()
+        done = []
+
+        def fast():
+            yield env.timeout(0.1)
+            return "fast"
+
+        def slow():
+            yield env.timeout(5.0)
+            return "slow"
+
+        f = env.process(fast())
+        s = env.process(slow())
+
+        def joiner():
+            yield env.timeout(1.0)  # fast already fired, slow pending
+            assert f.processed and not s.processed
+            values = yield env.all_of([f, s])
+            done.append((env.now, values))
+
+        env.process(joiner())
+        env.run()
+        assert done == [(5.0, ["fast", "slow"])]
+
+    def test_empty_all_of_fires_at_current_time(self, kernel):
+        env = kernel.Environment()
+        done = []
+
+        def joiner():
+            yield env.timeout(2.0)
+            values = yield env.all_of([])
+            done.append((env.now, values))
+
+        env.process(joiner())
+        env.run()
+        assert done == [(2.0, [])]
+
+    def test_all_of_value_order_is_child_order_not_firing_order(self, kernel):
+        env = kernel.Environment()
+        done = []
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        slow = env.process(child(3.0, "slow"))
+        fast = env.process(child(1.0, "fast"))
+
+        def joiner():
+            values = yield env.all_of([slow, fast])
+            done.append(values)
+
+        env.process(joiner())
+        env.run()
+        assert done == [["slow", "fast"]]
+
+
+# ---------------------------------------------------------------------------
+# Interrupt delivery windows
+# ---------------------------------------------------------------------------
+
+
+class TestInterruptDelivery:
+    def test_interrupt_after_completion_is_noop(self, kernel):
+        env = kernel.Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(quick())
+        env.run()
+        assert p.processed and p.value == "done"
+        p.interrupt("too late")  # must not raise, must not reschedule
+        env.run()
+        assert p.value == "done"
+
+    def test_double_interrupt_delivers_both_or_ends_cleanly(self, kernel):
+        env = kernel.Environment()
+        caught = []
+
+        def tough():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as exc:
+                caught.append(exc.cause)
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as exc:
+                caught.append(exc.cause)
+
+        p = env.process(tough())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt("first")
+            yield env.timeout(1.0)
+            p.interrupt("second")
+
+        env.process(killer())
+        env.run()
+        assert caught == ["first", "second"]
+
+    def test_uncaught_interrupt_becomes_process_value(self, kernel):
+        env = kernel.Environment()
+
+        def victim():
+            yield env.timeout(10.0)
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt("cause-object")
+
+        env.process(killer())
+        env.run()
+        assert p.processed
+        assert isinstance(p.value, Interrupt)
+        assert p.value.cause == "cause-object"
+
+    def test_abandoned_event_still_fires_without_resuming_victim(self, kernel):
+        env = kernel.Environment()
+        resumed = []
+
+        def victim():
+            try:
+                yield env.timeout(5.0)
+                resumed.append("not-interrupted")
+            except Interrupt:
+                resumed.append("interrupted")
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert resumed == ["interrupted"]
+        assert env.now == 5.0  # the abandoned timeout still drained
+
+    def test_interrupt_delivery_goes_through_queue(self, kernel):
+        """interrupt() must not throw synchronously into the generator."""
+        env = kernel.Environment()
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                log.append(("victim", env.now))
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+            log.append(("killer-after-interrupt-call", env.now))
+
+        env.process(killer())
+        env.run()
+        # The killer's code after interrupt() runs before delivery.
+        assert log == [("killer-after-interrupt-call", 1.0), ("victim", 1.0)]
+
+    def test_interrupt_while_waiting_on_already_fired_event(self, kernel):
+        """The relay window: a process waiting on an *already processed*
+        event sits on a same-time relay; an interrupt inside that window
+        must win, and the abandoned relay must not resurrect it."""
+        env = kernel.Environment()
+        log = []
+        fired = env.event()
+        fired.trigger("early")
+        env.run()  # fired is processed before anyone waits on it
+        assert fired.processed
+
+        def victim():
+            yield env.timeout(1.0)
+            try:
+                yield fired  # processed -> queued relay at t=1
+                log.append("resumed")
+            except Interrupt:
+                log.append("interrupted")
+
+        p = env.process(victim())
+
+        def killer():
+            # Scheduled after the victim, so at t=1 this runs while the
+            # victim is parked on its relay.
+            yield env.timeout(1.0)
+            p.interrupt("window")
+
+        env.process(killer())
+        env.run()
+        assert log == ["interrupted"]
+
+
+# ---------------------------------------------------------------------------
+# Queue-mediated resumption and error paths
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulingDiscipline:
+    def test_already_fired_event_resumes_after_queued_same_time_events(self, kernel):
+        env = kernel.Environment()
+        log = []
+        fired = env.event()
+        fired.trigger("early")
+
+        def other():
+            yield env.timeout(1.0)
+            log.append("other")
+
+        def waiter():
+            yield env.timeout(1.0)
+            value = yield fired  # processed long ago -> queue relay
+            log.append(("waiter", value))
+
+        env.process(waiter())
+        env.process(other())
+        env.run()
+        # waiter's resumption is queued, so `other` (scheduled at the same
+        # virtual time, earlier in FIFO order) runs first.
+        assert log == ["other", ("waiter", "early")]
+
+    def test_deep_chain_of_fired_events_does_not_recurse(self, kernel):
+        env = kernel.Environment()
+        fired = []
+        for _ in range(4000):
+            e = env.event()
+            e.trigger()
+            fired.append(e)
+        env.run()
+
+        def walker():
+            for e in fired:
+                yield e
+            return "walked"
+
+        p = env.process(walker())
+        env.run()  # would blow the C stack if relays were synchronous
+        assert p.value == "walked"
+
+    def test_yielding_non_event_raises_simulation_error(self, kernel):
+        env = kernel.Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_event_cannot_trigger_twice(self, kernel):
+        env = kernel.Environment()
+        e = env.event()
+        e.trigger()
+        with pytest.raises(SimulationError):
+            e.trigger()
+
+    def test_release_unacquired_raises(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release(env.event())
+
+    def test_cancel_granted_request_raises(self, kernel):
+        env = kernel.Environment()
+        res = kernel.Resource(env, capacity=1)
+
+        def worker():
+            req = res.acquire()
+            yield req
+            with pytest.raises(SimulationError):
+                res.cancel(req)
+            res.release(req)
+
+        env.process(worker())
+        env.run()
+
+
+# ---------------------------------------------------------------------------
+# FairResource rotation
+# ---------------------------------------------------------------------------
+
+
+class TestFairResourceSemantics:
+    def test_rotation_interleaves_flows(self, kernel):
+        env = kernel.Environment()
+        res = kernel.FairResource(env, capacity=1)
+        order = []
+
+        def burst(flow, count):
+            for i in range(count):
+                req = res.acquire(flow)
+                yield req
+                order.append((flow, i))
+                yield env.timeout(1.0)
+                res.release(req)
+
+        env.process(burst("a", 3))
+        env.process(burst("b", 3))
+        env.run()
+        # After the first grant the flows alternate.
+        assert order[:4] == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_front_continues_payload_within_flow(self, kernel):
+        env = kernel.Environment()
+        res = kernel.FairResource(env, capacity=1)
+        order = []
+
+        def chunked(flow, chunks):
+            first = True
+            for i in range(chunks):
+                req = res.acquire(flow, front=not first)
+                yield req
+                order.append((flow, i))
+                yield env.timeout(1.0)
+                res.release(req)
+                first = False
+
+        env.process(chunked("a", 2))
+        env.process(chunked("b", 2))
+        env.run()
+        flows = [f for f, _ in order]
+        # Chunk continuation keeps intra-flow order while flows interleave.
+        for flow in ("a", "b"):
+            chunks = [i for f, i in order if f == flow]
+            assert chunks == sorted(chunks)
+        assert flows[0] != flows[1]  # rotation interleaved the two flows
+
+    def test_cancelled_flow_request_drops_out(self, kernel):
+        env = kernel.Environment()
+        res = kernel.FairResource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.acquire("h")
+            yield req
+            yield env.timeout(2.0)
+            res.release(req)
+
+        def quitter():
+            req = res.acquire("q")
+            try:
+                yield req
+            except Interrupt:
+                res.cancel(req)
+                return
+            order.append("q")
+            res.release(req)
+
+        def steady():
+            req = res.acquire("s")
+            yield req
+            order.append("s")
+            res.release(req)
+
+        env.process(holder())
+        q = env.process(quitter())
+        env.process(steady())
+
+        def killer():
+            yield env.timeout(1.0)
+            q.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert order == ["s"]
+        assert res.queue_length == 0
+
+
+# ---------------------------------------------------------------------------
+# Store FIFO
+# ---------------------------------------------------------------------------
+
+
+class TestStoreSemantics:
+    def test_items_and_getters_are_fifo(self, kernel):
+        env = kernel.Environment()
+        store = kernel.Store(env)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        def producer():
+            yield env.timeout(1.0)
+            store.put("x")
+            store.put("y")
+
+        env.process(consumer("c1"))
+        env.process(consumer("c2"))
+        env.process(producer())
+        env.run()
+        assert got == [("c1", "x"), ("c2", "y")]
+
+    def test_put_before_get_buffers_in_order(self, kernel):
+        env = kernel.Environment()
+        store = kernel.Store(env)
+        store.put(1)
+        store.put(2)
+        got = []
+
+        def consumer():
+            a = yield store.get()
+            b = yield store.get()
+            got.append((a, b))
+
+        env.process(consumer())
+        env.run()
+        assert got == [(1, 2)]

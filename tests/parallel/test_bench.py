@@ -36,6 +36,9 @@ def test_run_bench_report_schema():
     assert report["largest_scale"] == 80
     assert report["identical"] is True
     assert report["largest_scale_best_speedup"] > 0
+    for mode in MODES:
+        assert report["allocation"][mode]["peak_bytes"] > 0
+        assert report["allocation"][mode]["live_blocks"] > 0
     json.dumps(report)  # the report must be JSON-serializable as-is
 
 
