@@ -78,8 +78,15 @@ _DEFAULT_SINKS = [
     "GrantRecord",
     "ReleaseRecord",
     "SampleRecord",
+    "ProgressiveSampleRecord",
     "FetchRequest",
     "FetchResponse",
+    # Fidelity-axis records (PR 10): plans and demotions carry scan counts
+    # that feed byte-identity-gated output.
+    "OffloadPlan",
+    "DecisionRecord",
+    "Demotion",
+    "ScanFidelity",
     "PlanJournal.append_grant",
     "PlanJournal.append_release",
     "PlanJournal.append_checkpoint",

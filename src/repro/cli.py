@@ -6,6 +6,7 @@ Usage (installed as ``sophon-repro``)::
     sophon-repro fig1a --dataset openimages
     sophon-repro fig3 --dataset imagenet --samples 1500
     sophon-repro fig4 --cores 0 1 2 3 4 5
+    sophon-repro frontier --bandwidth 50 --json frontier.json
     sophon-repro audit 17
     sophon-repro adaptive --epochs 4 --shards 2 --telemetry-dir /tmp/t
     sophon-repro all
@@ -204,6 +205,37 @@ def cmd_fig4(args: argparse.Namespace) -> None:
 
         write_csv(sweep_to_csv(sweep), args.csv)
         print(f"csv written to {args.csv}")
+
+
+def cmd_frontier(args: argparse.Namespace) -> None:
+    from repro.data.synthetic import ImageContentConfig, SyntheticImageDataset
+    from repro.harness.frontier import DEFAULT_FLOORS, fidelity_frontier
+
+    # The fidelity sweep needs real pixels (streams are re-encoded
+    # progressively and prefix PSNRs measured), so it runs on a
+    # materialized synthetic dataset rather than the metadata traces.
+    dataset = SyntheticImageDataset(
+        num_samples=args.samples,
+        seed=args.seed,
+        content=ImageContentConfig(min_side=64, max_side=256),
+        name=f"synthetic-{args.dataset}",
+    )
+    floors = (
+        DEFAULT_FLOORS
+        if not args.floors
+        else (None,) + tuple(float(f) for f in args.floors)
+    )
+    spec = standard_cluster().with_bandwidth(args.bandwidth)
+    frontier = fidelity_frontier(
+        dataset, spec=spec, floors=floors, seed=args.seed
+    )
+    print(frontier.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(frontier.to_json())
+        print(f"json written to {args.json}")
+    else:
+        print(frontier.to_json())
 
 
 def cmd_plan(args: argparse.Namespace) -> None:
@@ -759,6 +791,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry-dir",
                    help="write the combined multi-epoch telemetry here")
     p.set_defaults(func=cmd_adaptive)
+
+    p = sub.add_parser(
+        "frontier", help="traffic-vs-fidelity frontier (progressive records)"
+    )
+    p.add_argument("--dataset", default="openimages")
+    p.add_argument("--bandwidth", type=float, default=50.0,
+                   help="link bandwidth in Mbps (tight by default so the "
+                   "fidelity pass has traffic to shed)")
+    p.add_argument("--floors", type=float, nargs="+", default=None,
+                   help="PSNR floors in dB to sweep (a full-fidelity "
+                   "baseline point is always included)")
+    p.add_argument("--json", help="write the frontier JSON to this path "
+                   "(default: print it after the table)")
+    p.set_defaults(func=cmd_frontier)
 
     p = sub.add_parser("plan", help="compute (and optionally save) a SOPHON plan")
     p.add_argument("--dataset", default="openimages")

@@ -12,22 +12,51 @@ Public API:
 - :class:`ToyJpegCodec` -- encode/decode uint8 RGB images.
 - :class:`CodecConfig` -- quality / subsampling knobs.
 - :func:`encoded_size` -- convenience wrapper returning only the byte count.
+- :class:`ProgressiveJpegCodec` / :class:`ProgressiveCodecConfig` -- the
+  layered variant whose streams decode from any scan prefix
+  (:mod:`repro.codec.progressive`).
+- :func:`truncate_scans` / :func:`scan_sizes` / :func:`scan_count_of` --
+  byte-level scan-prefix manipulation of progressive streams.
+- :func:`scan_prefix_metrics` / :class:`ScanFidelity` -- PSNR/MSE of each
+  scan prefix against the full decode.
 """
 
 from repro.codec.errors import CodecError, CorruptStreamError
 from repro.codec.quant import BASE_LUMA_TABLE, quality_scaled_table
 from repro.codec.zigzag import zigzag_indices, zigzag_order, inverse_zigzag
 from repro.codec.jpeg import CodecConfig, ToyJpegCodec, encoded_size
+from repro.codec.metrics import compression_ratio, mse, psnr
+from repro.codec.progressive import (
+    DEFAULT_SCAN_BANDS,
+    ProgressiveCodecConfig,
+    ProgressiveJpegCodec,
+    ScanFidelity,
+    scan_count_of,
+    scan_prefix_metrics,
+    scan_sizes,
+    truncate_scans,
+)
 
 __all__ = [
     "BASE_LUMA_TABLE",
     "CodecConfig",
     "CodecError",
     "CorruptStreamError",
+    "DEFAULT_SCAN_BANDS",
+    "ProgressiveCodecConfig",
+    "ProgressiveJpegCodec",
+    "ScanFidelity",
     "ToyJpegCodec",
+    "compression_ratio",
     "encoded_size",
     "inverse_zigzag",
+    "mse",
+    "psnr",
     "quality_scaled_table",
+    "scan_count_of",
+    "scan_prefix_metrics",
+    "scan_sizes",
+    "truncate_scans",
     "zigzag_indices",
     "zigzag_order",
 ]

@@ -10,11 +10,18 @@ The point of this codec for the reproduction is that its output size is
 genuinely content dependent -- smooth images quantize to long zero runs and
 compress far better than textured ones -- which is exactly the property of
 real JPEG that SOPHON's per-sample decisions exploit.
+
+The plane-level primitives (:func:`split_planes`, :func:`quantize_plane`,
+:func:`reconstruct_plane`, :func:`assemble_image`) are shared with the
+progressive variant in :mod:`repro.codec.progressive`, which serializes the
+same quantized coefficients as truncatable spectral-selection scans; full
+progressive decodes are byte-identical to this codec by construction.
 """
 
 import dataclasses
 import struct
 import zlib
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy.fft import dctn, idctn
@@ -60,36 +67,128 @@ class CodecConfig:
             raise ValueError(f"zlib_level must be in [0, 9], got {self.zlib_level}")
 
 
+# -- shared plane-level primitives -------------------------------------------
+
+
+def split_planes(
+    image: np.ndarray, config: CodecConfig
+) -> Tuple[bool, List[np.ndarray], List[np.ndarray]]:
+    """(grayscale, float64 planes, quantization tables) for an input image."""
+    grayscale = image.ndim == 2
+    if grayscale:
+        planes = [image.astype(np.float64)]
+        tables = [quality_scaled_table(BASE_LUMA_TABLE, config.quality)]
+    else:
+        ycc = rgb_to_ycbcr(image)
+        luma = ycc[..., 0]
+        cb, cr = ycc[..., 1], ycc[..., 2]
+        if config.subsample:
+            cb, cr = subsample_420(cb), subsample_420(cr)
+        chroma_table = quality_scaled_table(BASE_CHROMA_TABLE, config.quality)
+        planes = [luma, cb, cr]
+        tables = [
+            quality_scaled_table(BASE_LUMA_TABLE, config.quality),
+            chroma_table,
+            chroma_table,
+        ]
+    return grayscale, planes, tables
+
+
+def quantize_plane(plane: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantized zigzag coefficients for one plane: (num_blocks, 64) int16.
+
+    DC terms (column 0) are delta-coded across blocks so slow brightness
+    gradients stay small.
+    """
+    blocks = to_blocks(plane - 128.0)
+    coeffs = dctn(blocks, axes=(-2, -1), norm="ortho")
+    quantized = np.round(coeffs / table).astype(np.int16)
+    flat = zigzag_order(quantized)
+    flat[:, 0] = np.diff(flat[:, 0], prepend=np.int16(0))
+    return flat
+
+
+def reconstruct_plane(
+    flat: np.ndarray, height: int, width: int, table: np.ndarray
+) -> np.ndarray:
+    """Rebuild a float plane from delta-DC zigzag coefficients.
+
+    ``flat`` is (num_blocks, 64) integer coefficients as produced by
+    :func:`quantize_plane` (DC still delta-coded).
+    """
+    flat = flat.astype(np.int64)
+    flat[:, 0] = np.cumsum(flat[:, 0])
+    quantized = inverse_zigzag(flat.astype(np.float64))
+    coeffs = quantized * table
+    blocks = idctn(coeffs, axes=(-2, -1), norm="ortho") + 128.0
+    return from_blocks(blocks, height, width)
+
+
+def assemble_image(
+    planes: List[np.ndarray],
+    grayscale: bool,
+    subsampled: bool,
+    height: int,
+    width: int,
+) -> np.ndarray:
+    """Combine decoded float planes into the final uint8 image."""
+    if grayscale:
+        return np.clip(np.round(planes[0]), 0, 255).astype(np.uint8)
+    luma, cb, cr = planes
+    if subsampled:
+        cb = upsample_420(cb, height, width)
+        cr = upsample_420(cr, height, width)
+    ycc = np.stack([luma, cb, cr], axis=-1)
+    return ycbcr_to_rgb(ycc)
+
+
+def expected_plane_dims(
+    index: int, grayscale: bool, subsampled: bool, height: int, width: int
+) -> Tuple[int, int]:
+    """The only plane dimensions a valid stream may carry for ``index``."""
+    if grayscale or index == 0 or not subsampled:
+        return height, width
+    return (height + 1) // 2, (width + 1) // 2
+
+
+def num_blocks_for(height: int, width: int, block: int = 8) -> int:
+    """Block count :func:`repro.codec.blocks.to_blocks` yields for a plane."""
+    rows = (height + block - 1) // block
+    cols = (width + block - 1) // block
+    return rows * cols
+
+
+def validate_header_dims(height: int, width: int) -> None:
+    """Reject header dimensions no encoder could have produced."""
+    if height < 1 or width < 1:
+        raise CorruptStreamError(f"bad image dimensions {height}x{width}")
+
+
+def validate_plane_count(num_planes: int, grayscale: bool) -> None:
+    """Reject plane counts inconsistent with the stream's grayscale flag."""
+    if num_planes not in (1, 3):
+        raise CorruptStreamError(f"bad plane count {num_planes}")
+    expected = 1 if grayscale else 3
+    if num_planes != expected:
+        raise CorruptStreamError(
+            f"plane count {num_planes} contradicts "
+            f"{'grayscale' if grayscale else 'color'} flag (expected {expected})"
+        )
+
+
 class ToyJpegCodec:
     """Lossy image codec with JPEG-like structure and size behaviour."""
 
-    def __init__(self, config: CodecConfig = CodecConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[CodecConfig] = None) -> None:
+        self.config = config if config is not None else CodecConfig()
 
     # -- encoding ---------------------------------------------------------
 
     def encode(self, image: np.ndarray) -> bytes:
         """Encode an (H, W, 3) or (H, W) uint8 image to bytes."""
         image = self._validate(image)
-        grayscale = image.ndim == 2
         height, width = image.shape[:2]
-
-        if grayscale:
-            planes = [image.astype(np.float64)]
-            tables = [quality_scaled_table(BASE_LUMA_TABLE, self.config.quality)]
-        else:
-            ycc = rgb_to_ycbcr(image)
-            luma = ycc[..., 0]
-            cb, cr = ycc[..., 1], ycc[..., 2]
-            if self.config.subsample:
-                cb, cr = subsample_420(cb), subsample_420(cr)
-            chroma_table = quality_scaled_table(BASE_CHROMA_TABLE, self.config.quality)
-            planes = [luma, cb, cr]
-            tables = [
-                quality_scaled_table(BASE_LUMA_TABLE, self.config.quality),
-                chroma_table,
-                chroma_table,
-            ]
+        grayscale, planes, tables = split_planes(image, self.config)
 
         flags = 0
         if grayscale:
@@ -109,13 +208,7 @@ class ToyJpegCodec:
         return b"".join(out)
 
     def _encode_plane(self, plane: np.ndarray, table: np.ndarray) -> bytes:
-        blocks = to_blocks(plane - 128.0)
-        coeffs = dctn(blocks, axes=(-2, -1), norm="ortho")
-        quantized = np.round(coeffs / table).astype(np.int16)
-        flat = zigzag_order(quantized)
-        # Delta-code the DC terms so slow brightness gradients stay small.
-        flat[:, 0] = np.diff(flat[:, 0], prepend=np.int16(0))
-        raw = flat.astype("<i2").tobytes()
+        raw = quantize_plane(plane, table).astype("<i2").tobytes()
         return zlib.compress(raw, self.config.zlib_level)
 
     # -- decoding ---------------------------------------------------------
@@ -131,11 +224,11 @@ class ToyJpegCodec:
             raise CorruptStreamError(f"bad magic {magic!r}")
         if version != _VERSION:
             raise CorruptStreamError(f"unsupported version {version}")
-        if num_planes not in (1, 3):
-            raise CorruptStreamError(f"bad plane count {num_planes}")
 
         grayscale = bool(flags & _FLAG_GRAYSCALE)
         subsampled = bool(flags & _FLAG_SUBSAMPLE)
+        validate_plane_count(num_planes, grayscale)
+        validate_header_dims(height, width)
         luma_table = quality_scaled_table(BASE_LUMA_TABLE, quality)
         chroma_table = quality_scaled_table(BASE_CHROMA_TABLE, quality)
 
@@ -146,6 +239,14 @@ class ToyJpegCodec:
                 raise CorruptStreamError("truncated plane header")
             p_h, p_w, p_len = _PLANE_HEADER.unpack_from(data, offset)
             offset += _PLANE_HEADER.size
+            want_h, want_w = expected_plane_dims(
+                index, grayscale, subsampled, height, width
+            )
+            if (p_h, p_w) != (want_h, want_w):
+                raise CorruptStreamError(
+                    f"plane {index} claims {p_h}x{p_w}, header implies "
+                    f"{want_h}x{want_w}"
+                )
             if offset + p_len > len(data):
                 raise CorruptStreamError("truncated plane payload")
             table = luma_table if index == 0 else chroma_table
@@ -153,15 +254,11 @@ class ToyJpegCodec:
                 self._decode_plane(data[offset : offset + p_len], p_h, p_w, table)
             )
             offset += p_len
-
-        if grayscale:
-            return np.clip(np.round(planes[0]), 0, 255).astype(np.uint8)
-        luma, cb, cr = planes
-        if subsampled:
-            cb = upsample_420(cb, height, width)
-            cr = upsample_420(cr, height, width)
-        ycc = np.stack([luma, cb, cr], axis=-1)
-        return ycbcr_to_rgb(ycc)
+        if offset != len(data):
+            raise CorruptStreamError(
+                f"{len(data) - offset} trailing bytes after the last plane"
+            )
+        return assemble_image(planes, grayscale, subsampled, height, width)
 
     def _decode_plane(
         self, payload: bytes, height: int, width: int, table: np.ndarray
@@ -170,15 +267,16 @@ class ToyJpegCodec:
             raw = zlib.decompress(payload)
         except zlib.error as exc:
             raise CorruptStreamError(f"deflate stream corrupt: {exc}") from exc
-        flat = np.frombuffer(raw, dtype="<i2").astype(np.int64)
+        flat = np.frombuffer(raw, dtype="<i2")
         if flat.size % 64:
             raise CorruptStreamError(f"coefficient count {flat.size} not 64-aligned")
         flat = flat.reshape(-1, 64)
-        flat[:, 0] = np.cumsum(flat[:, 0])
-        quantized = inverse_zigzag(flat.astype(np.float64))
-        coeffs = quantized * table
-        blocks = idctn(coeffs, axes=(-2, -1), norm="ortho") + 128.0
-        return from_blocks(blocks, height, width)
+        if flat.shape[0] != num_blocks_for(height, width):
+            raise CorruptStreamError(
+                f"plane carries {flat.shape[0]} blocks, "
+                f"{height}x{width} needs {num_blocks_for(height, width)}"
+            )
+        return reconstruct_plane(flat, height, width, table)
 
     # -- helpers ----------------------------------------------------------
 
@@ -197,6 +295,6 @@ class ToyJpegCodec:
         return image
 
 
-def encoded_size(image: np.ndarray, config: CodecConfig = CodecConfig()) -> int:
+def encoded_size(image: np.ndarray, config: Optional[CodecConfig] = None) -> int:
     """Return the encoded byte size of ``image`` under ``config``."""
     return len(ToyJpegCodec(config).encode(image))

@@ -25,6 +25,7 @@ from repro.core.profiler import (
 from repro.core.decision import DecisionConfig, DecisionEngine
 from repro.core.degraded import DegradedModeFetcher, Demotion, OutageReport
 from repro.core.efficiency import efficiency_distribution, EfficiencySummary
+from repro.core.fidelity import FidelityConfig, FidelityPlanner, plan_with_fidelity
 from repro.core.sophon import Sophon
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "DegradedModeFetcher",
     "Demotion",
     "EfficiencySummary",
+    "FidelityConfig",
+    "FidelityPlanner",
+    "plan_with_fidelity",
     "OffloadPlan",
     "OutageReport",
     "Policy",

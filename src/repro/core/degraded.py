@@ -22,7 +22,7 @@ from typing import Callable, List, Optional
 from repro.preprocessing.payload import Payload
 from repro.preprocessing.pipeline import Pipeline
 from repro.rpc.breaker import CircuitBreaker
-from repro.rpc.fetcher import SupportsFetch
+from repro.rpc.fetcher import SupportsFetch, SupportsScanFetch
 from repro.rpc.messages import ChecksumError
 from repro.rpc.retry import FetchFailedError
 from repro.telemetry.registry import get_default_registry
@@ -43,13 +43,20 @@ TRANSPORT_FAILURES = (
 
 @dataclasses.dataclass(frozen=True)
 class Demotion:
-    """One sample served at split 0 because its offload path was down."""
+    """One sample served at split 0 because its offload path was down.
+
+    ``scan_count`` is set when the sample rode the fidelity rung: instead
+    of the full raw bytes, only that many scans of its progressive stream
+    crossed the (already stressed) link.  None means the classic
+    bit-identical full-fidelity demotion.
+    """
 
     sample_id: int
     epoch: int
     planned_split: int
     at_s: float
     reason: str
+    scan_count: Optional[int] = None
 
 
 @dataclasses.dataclass
@@ -88,6 +95,14 @@ class DegradedModeFetcher:
         timeout each.  A fresh breaker is created when omitted.
     seed: must match the DataLoader's seed so local prefix execution draws
         the same augmentation parameters the storage node would have.
+    scan_fallback: optional scan-capable split-0 source (e.g. an
+        ObjectLambdaFetcher with a ScanTruncationLambda installed).  With
+        ``degraded_scan_count`` set, demoted samples take the *fidelity
+        rung* between full offload and classic demotion: fetch only that
+        many scans of the raw progressive stream -- fewer bytes over a link
+        that is already struggling -- and run the prefix locally at reduced
+        fidelity.  Both default to None, preserving the bit-identical
+        full-fidelity demotion.
     """
 
     def __init__(
@@ -99,10 +114,23 @@ class DegradedModeFetcher:
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
+        scan_fallback: Optional[SupportsScanFetch] = None,
+        degraded_scan_count: Optional[int] = None,
     ) -> None:
+        if degraded_scan_count is not None:
+            if degraded_scan_count < 1:
+                raise ValueError(
+                    f"degraded_scan_count must be >= 1, got {degraded_scan_count}"
+                )
+            if scan_fallback is None:
+                raise ValueError(
+                    "degraded_scan_count needs a scan_fallback to fetch from"
+                )
         self.primary = primary
         self.pipeline = pipeline
         self.fallback = fallback
+        self.scan_fallback = scan_fallback
+        self.degraded_scan_count = degraded_scan_count
         self.breaker = (
             breaker
             if breaker is not None
@@ -144,7 +172,7 @@ class DegradedModeFetcher:
             except TRANSPORT_FAILURES as exc:
                 self.breaker.record_failure()
                 self._note_failure()
-                if split <= 0 and self.fallback is None:
+                if split <= 0 and self.fallback is None and not self._scan_rung:
                     raise  # nothing else can serve raw bytes
                 return self._demote(
                     sample_id, epoch, split, reason=type(exc).__name__
@@ -161,13 +189,18 @@ class DegradedModeFetcher:
 
     # -- degraded path -----------------------------------------------------
 
+    @property
+    def _scan_rung(self) -> bool:
+        """Whether demotions take the reduced-fidelity scan-prefix rung."""
+        return self.scan_fallback is not None and self.degraded_scan_count is not None
+
     def _demote(self, sample_id: int, epoch: int, split: int, reason: str) -> Payload:
         registry = get_default_registry()
         registry.counter(
             "degraded_fetches_total",
             "fetches through DegradedModeFetcher by path",
             labels=["path"],
-        ).inc(path="demoted")
+        ).inc(path="fidelity" if self._scan_rung else "demoted")
         if split > 0:
             self._note_failure()  # ensure an outage report exists
             assert self._current is not None
@@ -178,6 +211,9 @@ class DegradedModeFetcher:
                     planned_split=split,
                     at_s=self.clock(),
                     reason=reason,
+                    scan_count=(
+                        self.degraded_scan_count if self._scan_rung else None
+                    ),
                 )
             )
             registry.counter(
@@ -202,6 +238,19 @@ class DegradedModeFetcher:
         return run.payload
 
     def _raw_payload(self, sample_id: int, epoch: int) -> Payload:
+        if self._scan_rung:
+            assert self.scan_fallback is not None
+            assert self.degraded_scan_count is not None
+            payload = self.scan_fallback.fetch_scans(
+                sample_id, epoch, self.degraded_scan_count
+            )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    trace_id(sample_id, epoch),
+                    "degraded.fidelity",
+                    scan_count=self.degraded_scan_count,
+                )
+            return payload
         if self.fallback is not None:
             return self.fallback.fetch(sample_id, epoch, 0)
         # Last resort: raw bytes from the primary itself.  If this works the

@@ -30,6 +30,7 @@ from repro.objectstore.lambdas import (
     LambdaError,
     LambdaRegistry,
     PreprocessingLambda,
+    ScanTruncationLambda,
 )
 from repro.objectstore.dataset import ObjectBackedDataset, upload_dataset
 from repro.objectstore.fetcher import ObjectLambdaFetcher
@@ -47,5 +48,6 @@ __all__ = [
     "ObjectStore",
     "ObjectStoreError",
     "PreprocessingLambda",
+    "ScanTruncationLambda",
     "upload_dataset",
 ]

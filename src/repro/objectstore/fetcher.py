@@ -6,7 +6,11 @@ directive passed as lambda arguments -- no RPC server involved.
 """
 
 from repro.objectstore.dataset import sample_key
-from repro.objectstore.lambdas import LambdaRegistry, PreprocessingLambda
+from repro.objectstore.lambdas import (
+    LambdaRegistry,
+    PreprocessingLambda,
+    ScanTruncationLambda,
+)
 from repro.preprocessing.payload import Payload
 from repro.rpc.messages import FetchResponse
 
@@ -33,6 +37,33 @@ class ObjectLambdaFetcher:
                 "sample_id": sample_id,
                 "epoch": epoch,
                 "split": split,
+                "height": int(meta["height"]),
+                "width": int(meta["width"]),
+            },
+        )
+        self.response_bytes += len(wire)
+        return FetchResponse.from_bytes(wire).to_payload()
+
+    def fetch_scans(self, sample_id: int, epoch: int, scan_count: int) -> Payload:
+        """Fetch only the first ``scan_count`` scans of a progressive sample.
+
+        The :class:`SupportsScanFetch` side of the fidelity axis; requires a
+        :class:`ScanTruncationLambda` installed in the registry.
+        """
+        if ScanTruncationLambda.NAME not in self.registry.names():
+            raise ValueError(
+                f"registry has no {ScanTruncationLambda.NAME!r} lambda; "
+                "install a ScanTruncationLambda first"
+            )
+        key = sample_key(sample_id)
+        meta = self.registry.bucket.head(key).metadata_dict()
+        wire = self.registry.get_through(
+            key,
+            ScanTruncationLambda.NAME,
+            {
+                "sample_id": sample_id,
+                "epoch": epoch,
+                "scan_count": scan_count,
                 "height": int(meta["height"]),
                 "width": int(meta["width"]),
             },

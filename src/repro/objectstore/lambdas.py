@@ -11,6 +11,8 @@ import dataclasses
 import logging
 from typing import Callable, Dict, Optional
 
+from repro.codec.errors import CodecError
+from repro.codec.progressive import scan_count_of, truncate_scans
 from repro.objectstore.store import Bucket
 from repro.preprocessing.payload import Payload
 from repro.preprocessing.pipeline import Pipeline
@@ -150,6 +152,68 @@ class PreprocessingLambda:
             if self.tracer is not None:
                 self.tracer.end(trace, "lambda.prefix", cpu_s=run.total_cost_s)
         request = FetchRequest(sample_id=sample_id, epoch=epoch, split=split)
+        return FetchResponse.from_payload(request, payload, height, width).to_bytes()
+
+    def install(self, registry: LambdaRegistry) -> None:
+        registry.register(self.NAME, self)
+
+
+@dataclasses.dataclass
+class ScanTruncationLambda:
+    """The fidelity axis as an object lambda: ship only a scan prefix.
+
+    For objects stored as progressive streams
+    (:mod:`repro.codec.progressive`), truncates to the first
+    ``scan_count`` scans at GET time -- pure byte slicing on the storage
+    side, no decode -- and returns a serialized :class:`FetchResponse`
+    whose payload is the truncated (still decodable) encoded stream.
+
+    Arguments at invocation time: ``sample_id``, ``epoch``,
+    ``scan_count``, ``height``, ``width``.
+    """
+
+    tracer: Optional[Tracer] = None
+
+    #: Registry name used by :func:`install`.
+    NAME = "sophon-truncate-scans"
+
+    def __call__(self, raw: bytes, args: Dict[str, object]) -> bytes:
+        try:
+            sample_id = int(args["sample_id"])
+            epoch = int(args["epoch"])
+            scan_count = int(args["scan_count"])
+            height = int(args["height"])
+            width = int(args["width"])
+        except KeyError as exc:
+            raise LambdaError(f"missing lambda argument {exc}") from exc
+        # CodecError is not in get_through's exception tunnel (it is not a
+        # ValueError), so a non-progressive or corrupt stored object must be
+        # mapped to LambdaError here.
+        try:
+            available = scan_count_of(raw)
+            if not 1 <= scan_count <= available:
+                raise LambdaError(
+                    f"scan_count {scan_count} outside [1, {available}] for "
+                    f"sample {sample_id}"
+                )
+            truncated = truncate_scans(raw, scan_count)
+        except CodecError as exc:
+            raise LambdaError(
+                f"stored object is not a valid progressive stream: {exc}"
+            ) from exc
+        get_default_registry().counter(
+            "lambda_truncated_bytes_total",
+            "bytes kept off the wire by scan truncation",
+        ).inc(len(raw) - len(truncated))
+        if self.tracer is not None:
+            self.tracer.instant(
+                trace_id(sample_id, epoch),
+                "lambda.truncate",
+                scan_count=scan_count,
+                saved_bytes=len(raw) - len(truncated),
+            )
+        payload = Payload.encoded(truncated, height=height, width=width)
+        request = FetchRequest(sample_id=sample_id, epoch=epoch, split=0)
         return FetchResponse.from_payload(request, payload, height, width).to_bytes()
 
     def install(self, registry: LambdaRegistry) -> None:

@@ -134,6 +134,73 @@ class SampleRecord:
         return self.savings(split) / cost
 
 
+@dataclasses.dataclass(frozen=True)
+class ProgressiveSampleRecord(SampleRecord):
+    """A :class:`SampleRecord` whose raw encoding is a progressive stream.
+
+    Adds the fidelity axis: the raw object can be fetched as any scan
+    prefix, so the planner may choose *how many bytes* of the sample to
+    ship instead of (or before) choosing where to split the pipeline.
+
+    scan_sizes: cumulative wire size of each scan prefix; entry k-1 is the
+        byte size when only the first k scans ship.  The final entry is the
+        complete stream, so ``scan_sizes[-1] == stage_sizes[0]``.
+    scan_psnr_db: PSNR of each prefix decode against the full decode; the
+        final entry is ``inf`` (the full prefix is exact) and values are
+        non-decreasing (fidelity only improves as scans accumulate).
+    """
+
+    scan_sizes: Tuple[int, ...] = ()
+    scan_psnr_db: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.scan_sizes:
+            raise ValueError("progressive record needs at least one scan")
+        if len(self.scan_psnr_db) != len(self.scan_sizes):
+            raise ValueError(
+                f"{len(self.scan_psnr_db)} PSNR entries for "
+                f"{len(self.scan_sizes)} scans"
+            )
+        if any(b <= a for a, b in zip(self.scan_sizes, self.scan_sizes[1:])):
+            raise ValueError(f"scan sizes must strictly increase: {self.scan_sizes}")
+        if self.scan_sizes[-1] != self.stage_sizes[0]:
+            raise ValueError(
+                f"full scan prefix is {self.scan_sizes[-1]} bytes but the raw "
+                f"stage size is {self.stage_sizes[0]}"
+            )
+        if any(b < a for a, b in zip(self.scan_psnr_db, self.scan_psnr_db[1:])):
+            raise ValueError(
+                f"scan PSNR must be non-decreasing: {self.scan_psnr_db}"
+            )
+        if self.scan_psnr_db[-1] != float("inf"):
+            raise ValueError("full-prefix PSNR must be inf (exact reconstruction)")
+
+    @property
+    def num_scans(self) -> int:
+        return len(self.scan_sizes)
+
+    def size_at_fidelity(self, scan_count: int) -> int:
+        """Wire size when only the first ``scan_count`` scans ship."""
+        if not 1 <= scan_count <= self.num_scans:
+            raise ValueError(
+                f"scan_count {scan_count} outside [1, {self.num_scans}]"
+            )
+        return self.scan_sizes[scan_count - 1]
+
+    def psnr_at(self, scan_count: int) -> float:
+        """Fidelity (dB vs. the full decode) of a ``scan_count`` prefix."""
+        if not 1 <= scan_count <= self.num_scans:
+            raise ValueError(
+                f"scan_count {scan_count} outside [1, {self.num_scans}]"
+            )
+        return self.scan_psnr_db[scan_count - 1]
+
+    def fidelity_savings(self, scan_count: int) -> int:
+        """Bytes kept off the wire by shipping only ``scan_count`` scans."""
+        return self.raw_size - self.size_at_fidelity(scan_count)
+
+
 def build_record(
     pipeline: Pipeline,
     raw_meta: StageMeta,

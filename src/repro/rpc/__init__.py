@@ -28,7 +28,7 @@ from repro.rpc.messages import (
     payload_checksum,
     response_wire_size,
 )
-from repro.rpc.fetcher import SupportsFetch
+from repro.rpc.fetcher import SupportsFetch, SupportsScanFetch
 from repro.rpc.channel import ChannelStats, InMemoryChannel
 from repro.rpc.server import StorageServer
 from repro.rpc.client import StorageClient
@@ -69,6 +69,7 @@ __all__ = [
     "StorageClient",
     "StorageServer",
     "SupportsFetch",
+    "SupportsScanFetch",
     "frame_type_for",
     "payload_checksum",
     "response_wire_size",

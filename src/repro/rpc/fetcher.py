@@ -20,3 +20,17 @@ class SupportsFetch(Protocol):
     def fetch(self, sample_id: int, epoch: int, split: int) -> Payload:
         """Return sample *sample_id* for *epoch* with the prefix applied."""
         ...
+
+
+@runtime_checkable
+class SupportsScanFetch(Protocol):
+    """A source that can serve a truncated scan prefix of a raw sample.
+
+    The fidelity axis's transport contract: samples stored as progressive
+    streams (:mod:`repro.codec.progressive`) can ship only their first
+    ``scan_count`` scans -- fewer bytes, reduced fidelity, still decodable.
+    """
+
+    def fetch_scans(self, sample_id: int, epoch: int, scan_count: int) -> Payload:
+        """Return the first ``scan_count`` scans of the raw encoded sample."""
+        ...

@@ -17,8 +17,15 @@ OFFLOADED = "offloaded"
 SKIPPED_WOULD_WORSEN = "skipped-would-worsen"
 NOT_BENEFICIAL = "not-beneficial"
 PLANNING_STOPPED = "planning-stopped"
+FIDELITY_DEGRADED = "fidelity-degraded"
 
-_OUTCOMES = (OFFLOADED, SKIPPED_WOULD_WORSEN, NOT_BENEFICIAL, PLANNING_STOPPED)
+_OUTCOMES = (
+    OFFLOADED,
+    SKIPPED_WOULD_WORSEN,
+    NOT_BENEFICIAL,
+    PLANNING_STOPPED,
+    FIDELITY_DEGRADED,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,6 +74,11 @@ class DecisionRecord:
     outcome: str
     reason: str
     budget: Optional[BudgetState] = None
+    #: Fidelity axis: scans of the raw stream the plan ships (None = full
+    #: fidelity -- the axis was unused for this sample).
+    chosen_scans: Optional[int] = None
+    #: PSNR (dB, vs. the full decode) of the chosen scan prefix.
+    fidelity_psnr_db: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.outcome not in _OUTCOMES:
@@ -102,6 +114,14 @@ class AuditLog:
             raise ValueError(f"sample {record.sample_id} already audited")
         self._records[record.sample_id] = record
 
+    def amend(self, sample_id: int, **changes: object) -> DecisionRecord:
+        """Replace fields of an existing record (a second planning pass
+        refining an earlier decision, e.g. the fidelity planner degrading a
+        sample the engine left at split 0).  Returns the new record."""
+        updated = dataclasses.replace(self.get(sample_id), **changes)  # type: ignore[arg-type]
+        self._records[sample_id] = updated
+        return updated
+
     def get(self, sample_id: int) -> DecisionRecord:
         try:
             return self._records[sample_id]
@@ -132,6 +152,16 @@ class AuditLog:
             f"{record.chosen_split}, efficiency {_fmt_eff(record.efficiency)} "
             f"bytes/cpu-s (rank {rank})"
         )
+        if record.chosen_scans is not None:
+            psnr = (
+                f"{record.fidelity_psnr_db:.1f}dB"
+                if record.fidelity_psnr_db is not None
+                else "unknown"
+            )
+            lines.append(
+                f"  fidelity: ship {record.chosen_scans} scan(s) of the raw "
+                f"stream (prefix PSNR {psnr} vs. full decode)"
+            )
         lines.append("  candidate splits:")
         lines.append(
             "    split    size(B)   saved(B)   prefix-cpu(s)   efficiency"
@@ -161,29 +191,38 @@ class AuditLog:
         """JSON-ready dicts, sorted by sample id (for the JSONL exporter)."""
         out: List[Dict[str, object]] = []
         for record in self:
-            out.append(
-                {
-                    "sample_id": record.sample_id,
-                    "candidates": [
-                        {
-                            "split": c.split,
-                            "size_bytes": c.size_bytes,
-                            "prefix_cpu_s": c.prefix_cpu_s,
-                            "savings_bytes": c.savings_bytes,
-                        }
-                        for c in record.candidates
-                    ],
-                    "chosen_split": record.chosen_split,
-                    "best_split": record.best_split,
-                    "efficiency": _json_float(record.efficiency),
-                    "efficiency_rank": record.efficiency_rank,
-                    "outcome": record.outcome,
-                    "reason": record.reason,
-                    "budget": None
-                    if record.budget is None
-                    else dataclasses.asdict(record.budget),
-                }
-            )
+            entry: Dict[str, object] = {
+                "sample_id": record.sample_id,
+                "candidates": [
+                    {
+                        "split": c.split,
+                        "size_bytes": c.size_bytes,
+                        "prefix_cpu_s": c.prefix_cpu_s,
+                        "savings_bytes": c.savings_bytes,
+                    }
+                    for c in record.candidates
+                ],
+                "chosen_split": record.chosen_split,
+                "best_split": record.best_split,
+                "efficiency": _json_float(record.efficiency),
+                "efficiency_rank": record.efficiency_rank,
+                "outcome": record.outcome,
+                "reason": record.reason,
+                "budget": None
+                if record.budget is None
+                else dataclasses.asdict(record.budget),
+            }
+            # Fidelity keys appear only when the axis was used, so logs
+            # from fidelity-free planning stay byte-identical to before the
+            # axis existed.
+            if record.chosen_scans is not None:
+                entry["chosen_scans"] = record.chosen_scans
+                entry["fidelity_psnr_db"] = _json_float(
+                    record.fidelity_psnr_db
+                    if record.fidelity_psnr_db is not None
+                    else float("inf")
+                )
+            out.append(entry)
         return out
 
     @classmethod
@@ -213,6 +252,16 @@ class AuditLog:
                     outcome=str(entry["outcome"]),
                     reason=str(entry["reason"]),
                     budget=budget,
+                    chosen_scans=(
+                        None
+                        if entry.get("chosen_scans") is None
+                        else int(entry["chosen_scans"])  # type: ignore[arg-type]
+                    ),
+                    fidelity_psnr_db=(
+                        None
+                        if entry.get("fidelity_psnr_db") is None
+                        else _parse_float(entry["fidelity_psnr_db"])
+                    ),
                 )
             )
         return log

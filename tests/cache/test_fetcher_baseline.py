@@ -125,3 +125,32 @@ class TestBaselineTraffic:
             epoch_traffic_with_cache(
                 openimages_small, 10, epochs=1, splits=[0], records=[]
             )
+
+
+class TestCounterHoisting:
+    def test_one_registry_lookup_per_fetcher_lifetime(
+        self, materialized_tiny, pipeline, monkeypatch
+    ):
+        # Regression: the requests counter used to be resolved from the
+        # registry on every fetch(); it must be resolved exactly once, in
+        # __init__, no matter how many fetches follow.
+        import repro.cache.fetcher as fetcher_module
+
+        real_registry = fetcher_module.get_default_registry()
+        lookups = []
+        real_counter = real_registry.counter
+
+        def counting_counter(name, *args, **kwargs):
+            if name == "cache_requests_total":
+                lookups.append(name)
+            return real_counter(name, *args, **kwargs)
+
+        monkeypatch.setattr(real_registry, "counter", counting_counter)
+        server = StorageServer(materialized_tiny, pipeline, seed=0)
+        client = StorageClient(InMemoryChannel(server.handle))
+        fetcher = CachingFetcher(client, ByteCache(10**9))
+        assert lookups == ["cache_requests_total"]
+        for epoch in range(3):
+            fetcher.fetch(0, epoch, 0)  # raw path (miss then hits)
+            fetcher.fetch(1, epoch, 2)  # bypass path
+        assert lookups == ["cache_requests_total"]

@@ -119,6 +119,46 @@ class TestRobustness:
         with pytest.raises(CorruptStreamError):
             codec.decode(bytes(data))
 
+    def test_rejects_plane_count_flag_mismatch(self, rng):
+        # Regression: a color stream whose header claims one plane used to
+        # slip past header validation and fail deep in plane decoding.
+        import struct
+
+        header = struct.Struct("<4sBBBIIB")
+        data = make_codec().encode(generate_image(rng, 16, 16, texture=0.2))
+        fields = list(header.unpack_from(data))
+        fields[6] = 1  # num_planes
+        with pytest.raises(CorruptStreamError):
+            make_codec().decode(header.pack(*fields) + data[header.size :])
+
+    def test_rejects_grayscale_flag_with_three_planes(self, rng):
+        import struct
+
+        header = struct.Struct("<4sBBBIIB")
+        data = make_codec().encode(generate_image(rng, 16, 16, texture=0.2))
+        fields = list(header.unpack_from(data))
+        fields[2] |= 0x02  # grayscale flag on a 3-plane stream
+        with pytest.raises(CorruptStreamError):
+            make_codec().decode(header.pack(*fields) + data[header.size :])
+
+    def test_rejects_plane_dimension_mismatch(self, rng):
+        # Regression: plane headers disagreeing with the image header must
+        # be rejected, not silently reshaped.
+        import struct
+
+        header = struct.Struct("<4sBBBIIB")
+        data = make_codec().encode(generate_image(rng, 16, 16, texture=0.2))
+        patched = bytearray(data)
+        # First plane header immediately follows the stream header.
+        struct.pack_into("<I", patched, header.size, 999)
+        with pytest.raises(CorruptStreamError):
+            make_codec().decode(bytes(patched))
+
+    def test_rejects_trailing_garbage(self, rng):
+        data = make_codec().encode(generate_image(rng, 16, 16, texture=0.2))
+        with pytest.raises(CorruptStreamError):
+            make_codec().decode(data + b"\x00")
+
     @pytest.mark.parametrize(
         "bad",
         [

@@ -1,0 +1,297 @@
+"""Progressive stream tests: prefix identity, truncation, robustness."""
+
+import math
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import (
+    DEFAULT_SCAN_BANDS,
+    CodecConfig,
+    CorruptStreamError,
+    ProgressiveCodecConfig,
+    ProgressiveJpegCodec,
+    ToyJpegCodec,
+    scan_count_of,
+    scan_prefix_metrics,
+    scan_sizes,
+    truncate_scans,
+)
+from repro.data.synthetic import generate_image
+
+_HEADER = struct.Struct("<4sBBBIIBB")
+
+
+def make_codec(quality=75, subsample=True, scan_bands=DEFAULT_SCAN_BANDS):
+    return ProgressiveJpegCodec(
+        ProgressiveCodecConfig(
+            base=CodecConfig(quality=quality, subsample=subsample),
+            scan_bands=scan_bands,
+        )
+    )
+
+
+class TestFullPrefixIdentity:
+    """Decoding every scan must reproduce the baseline codec exactly."""
+
+    @pytest.mark.parametrize(
+        "shape", [(48, 64, 3), (33, 41, 3), (17, 23), (8, 8, 3), (1, 1), (5, 3, 3)]
+    )
+    @pytest.mark.parametrize("quality", [1, 50, 100])
+    def test_full_decode_matches_baseline(self, shape, quality):
+        rng = np.random.default_rng(sum(shape) * 1000 + quality)
+        image = rng.integers(0, 256, size=shape, dtype=np.uint8)
+        config = CodecConfig(quality=quality)
+        progressive = ProgressiveJpegCodec(ProgressiveCodecConfig(base=config))
+        baseline = ToyJpegCodec(config)
+        expected = baseline.decode(baseline.encode(image))
+        decoded = progressive.decode(progressive.encode(image))
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_full_decode_matches_baseline_without_subsampling(self, rng):
+        image = generate_image(rng, 37, 53, texture=0.4)
+        config = CodecConfig(subsample=False)
+        progressive = ProgressiveJpegCodec(ProgressiveCodecConfig(base=config))
+        baseline = ToyJpegCodec(config)
+        np.testing.assert_array_equal(
+            progressive.decode(progressive.encode(image)),
+            baseline.decode(baseline.encode(image)),
+        )
+
+    @given(
+        h=st.integers(min_value=1, max_value=40),
+        w=st.integers(min_value=1, max_value=40),
+        quality=st.integers(min_value=1, max_value=100),
+        grayscale=st.booleans(),
+        subsample=st.booleans(),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identity_property(self, h, w, quality, grayscale, subsample, seed):
+        rng = np.random.default_rng(seed)
+        shape = (h, w) if grayscale else (h, w, 3)
+        image = rng.integers(0, 256, size=shape, dtype=np.uint8)
+        config = CodecConfig(quality=quality, subsample=subsample)
+        progressive = ProgressiveJpegCodec(ProgressiveCodecConfig(base=config))
+        baseline = ToyJpegCodec(config)
+        np.testing.assert_array_equal(
+            progressive.decode(progressive.encode(image)),
+            baseline.decode(baseline.encode(image)),
+        )
+
+    def test_baseline_streams_are_delegated(self, rng):
+        image = generate_image(rng, 32, 32, texture=0.3)
+        config = CodecConfig(quality=60)
+        stream = ToyJpegCodec(config).encode(image)
+        progressive = ProgressiveJpegCodec(ProgressiveCodecConfig(base=config))
+        np.testing.assert_array_equal(
+            progressive.decode(stream), ToyJpegCodec(config).decode(stream)
+        )
+
+    def test_baseline_streams_reject_scan_count(self, rng):
+        stream = ToyJpegCodec().encode(generate_image(rng, 16, 16, texture=0.2))
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(stream, scan_count=1)
+
+
+class TestTruncation:
+    @pytest.fixture
+    def stream(self, rng):
+        return make_codec().encode(generate_image(rng, 48, 64, texture=0.5))
+
+    def test_truncation_is_byte_prefix_slicing(self, stream):
+        sizes = scan_sizes(stream)
+        for count in range(1, len(sizes) + 1):
+            assert truncate_scans(stream, count) == stream[: sizes[count - 1]]
+
+    def test_truncating_to_own_count_is_identity(self, stream):
+        assert truncate_scans(stream, len(DEFAULT_SCAN_BANDS)) == stream
+
+    def test_truncated_decode_matches_scan_count_decode(self, stream):
+        codec = make_codec()
+        for count in range(1, len(DEFAULT_SCAN_BANDS) + 1):
+            np.testing.assert_array_equal(
+                codec.decode(truncate_scans(stream, count)),
+                codec.decode(stream, scan_count=count),
+            )
+
+    def test_truncated_decode_is_deterministic(self, stream):
+        codec = make_codec()
+        prefix = truncate_scans(stream, 2)
+        np.testing.assert_array_equal(codec.decode(prefix), codec.decode(prefix))
+
+    def test_truncated_stream_still_reports_full_ladder(self, stream):
+        prefix = truncate_scans(stream, 2)
+        assert scan_count_of(prefix) == 2
+        assert scan_sizes(prefix) == scan_sizes(stream)
+
+    def test_truncate_rejects_out_of_range_counts(self, stream):
+        for count in (0, len(DEFAULT_SCAN_BANDS) + 1, -1):
+            with pytest.raises(ValueError):
+                truncate_scans(stream, count)
+
+    def test_truncate_beyond_available_scans_rejected(self, stream):
+        prefix = truncate_scans(stream, 2)
+        with pytest.raises(ValueError):
+            truncate_scans(prefix, 3)
+
+    def test_decode_beyond_available_scans_rejected(self, stream):
+        prefix = truncate_scans(stream, 2)
+        with pytest.raises(CorruptStreamError):
+            make_codec().decode(prefix, scan_count=3)
+
+
+class TestFidelityLadder:
+    def test_psnr_monotone_and_final_prefix_exact(self, rng):
+        stream = make_codec().encode(generate_image(rng, 64, 64, texture=0.6))
+        fidelities = scan_prefix_metrics(stream)
+        psnrs = [f.psnr_db for f in fidelities]
+        assert all(b >= a for a, b in zip(psnrs, psnrs[1:]))
+        assert math.isinf(psnrs[-1])
+        assert fidelities[-1].mse == 0.0
+
+    def test_prefix_bytes_match_scan_sizes(self, rng):
+        stream = make_codec().encode(generate_image(rng, 32, 48, texture=0.4))
+        sizes = scan_sizes(stream)
+        fidelities = scan_prefix_metrics(stream)
+        assert tuple(f.prefix_bytes for f in fidelities) == sizes
+        assert tuple(f.scan_count for f in fidelities) == tuple(
+            range(1, len(sizes) + 1)
+        )
+
+    def test_external_reference_changes_final_psnr(self, rng):
+        image = generate_image(rng, 32, 32, texture=0.5)
+        stream = make_codec(quality=40).encode(image)
+        fidelities = scan_prefix_metrics(stream, reference=image)
+        # Against the original pixels (not the lossy full decode) even the
+        # complete stream carries quantization error.
+        assert not math.isinf(fidelities[-1].psnr_db)
+
+    def test_custom_two_scan_ladder(self, rng):
+        codec = make_codec(scan_bands=(1, 64))
+        stream = codec.encode(generate_image(rng, 24, 24, texture=0.3))
+        assert scan_count_of(stream) == 2
+        assert len(scan_prefix_metrics(stream, codec)) == 2
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "bands",
+        [(), (0, 64), (1, 1, 64), (6, 1, 64), (1, 32), (1, 65)],
+    )
+    def test_rejects_bad_scan_bands(self, bands):
+        with pytest.raises(ValueError):
+            ProgressiveCodecConfig(scan_bands=bands)
+
+    def test_default_config_without_argument(self):
+        codec = ProgressiveJpegCodec()
+        assert codec.config.scan_bands == DEFAULT_SCAN_BANDS
+        assert codec.config.num_scans == len(DEFAULT_SCAN_BANDS)
+
+
+class TestRobustness:
+    """Every malformed stream raises CorruptStreamError, nothing else."""
+
+    @pytest.fixture
+    def stream(self, rng):
+        return make_codec().encode(generate_image(rng, 32, 32, texture=0.4))
+
+    def _mutate_header(self, stream, **changes):
+        fields = list(_HEADER.unpack_from(stream))
+        names = [
+            "magic",
+            "version",
+            "flags",
+            "quality",
+            "height",
+            "width",
+            "num_planes",
+            "num_scans",
+        ]
+        for name, value in changes.items():
+            fields[names.index(name)] = value
+        return _HEADER.pack(*fields) + stream[_HEADER.size :]
+
+    def test_rejects_empty_and_short_streams(self):
+        for data in (b"", b"TJPP", b"TJPP" + b"\x00" * 4):
+            with pytest.raises(CorruptStreamError):
+                ProgressiveJpegCodec().decode(data)
+
+    def test_rejects_bad_magic(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(b"NOPE" + stream[4:])
+
+    def test_rejects_unknown_version(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(self._mutate_header(stream, version=9))
+
+    def test_rejects_quality_out_of_range(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(self._mutate_header(stream, quality=0))
+
+    def test_rejects_plane_count_flag_mismatch(self, stream):
+        # A color stream claiming one plane (and vice versa) is corrupt.
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(self._mutate_header(stream, num_planes=1))
+
+    def test_rejects_zero_dimensions(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(self._mutate_header(stream, width=0))
+
+    def test_rejects_zero_scans(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(self._mutate_header(stream, num_scans=0))
+
+    def test_rejects_bad_band_table(self, stream):
+        data = bytearray(stream)
+        data[_HEADER.size] = 0  # first band bound must be >= 1
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(bytes(data))
+
+    def test_rejects_trailing_garbage(self, stream):
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(stream + b"\x00")
+
+    def test_rejects_mid_scan_truncation(self, stream):
+        sizes = scan_sizes(stream)
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(stream[: sizes[1] - 1])
+
+    def test_rejects_header_only_stream(self, stream):
+        # Directory intact but zero complete scans on the wire.
+        parsed_end = scan_sizes(stream)[0]
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(stream[: parsed_end - 1])
+
+    def test_rejects_corrupt_deflate_payload(self, stream):
+        data = bytearray(stream)
+        data[-8:] = b"\xff" * 8
+        with pytest.raises(CorruptStreamError):
+            ProgressiveJpegCodec().decode(bytes(data))
+
+    def test_rejects_deflate_bomb(self, rng):
+        # Replace the last scan's payloads with deflate streams that
+        # inflate to far more than the directory promises.
+        codec = make_codec(scan_bands=(1, 64))
+        image = rng.integers(0, 256, size=(8, 8), dtype=np.uint8)
+        stream = codec.encode(image)
+        sizes = scan_sizes(stream)
+        bomb = zlib.compress(b"\x00" * 10**6, 9)
+        head = stream[: sizes[0]]
+        # Patch the directory entry for scan 1 (grayscale: one plane).
+        directory_offset = _HEADER.size + 2 + struct.calcsize("<I")
+        patched = bytearray(head + bomb)
+        struct.pack_into("<I", patched, directory_offset, len(bomb))
+        with pytest.raises(CorruptStreamError):
+            codec.decode(bytes(patched))
+
+    def test_scan_helpers_reject_corrupt_streams(self, stream):
+        for helper in (scan_count_of, scan_sizes):
+            with pytest.raises(CorruptStreamError):
+                helper(b"NOPE" + stream[4:])
+        with pytest.raises(CorruptStreamError):
+            truncate_scans(stream + b"\x00", 1)

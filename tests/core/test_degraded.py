@@ -281,3 +281,113 @@ class TestSophonFacade:
         assert isinstance(fetcher, DegradedModeFetcher)
         assert fetcher.breaker is breaker
         assert fetcher.seed == 4
+
+
+class FakeScanFetcher:
+    """SupportsScanFetch double: serves truncated progressive streams."""
+
+    def __init__(self, dataset, codec):
+        self.codec = codec
+        self.calls = []
+        self.streams = {
+            sid: codec.encode(codec.decode(dataset.raw_payload(sid).data))
+            for sid in dataset.sample_ids()
+        }
+
+    def fetch_scans(self, sample_id, epoch, scan_count):
+        from repro.codec import truncate_scans
+        from repro.preprocessing.payload import Payload
+
+        self.calls.append((sample_id, epoch, scan_count))
+        meta = self.streams[sample_id]
+        truncated = truncate_scans(meta, scan_count)
+        image = self.codec.decode(meta)
+        return Payload.encoded(
+            truncated, height=image.shape[0], width=image.shape[1]
+        )
+
+
+class TestFidelityRung:
+    @pytest.fixture
+    def prog_pipeline(self):
+        from repro.codec import ProgressiveJpegCodec
+        from repro.preprocessing.pipeline import standard_pipeline
+
+        return standard_pipeline(crop_size=16, codec=ProgressiveJpegCodec())
+
+    @pytest.fixture
+    def scan_fallback(self, materialized_tiny):
+        from repro.codec import ProgressiveJpegCodec
+
+        return FakeScanFetcher(materialized_tiny, ProgressiveJpegCodec())
+
+    def make_rung_fetcher(self, primary, pipeline, scan_fallback, scan_count=2):
+        clock = FakeClock()
+        return DegradedModeFetcher(
+            primary,
+            pipeline,
+            breaker=CircuitBreaker(
+                failure_threshold=2, recovery_time_s=1e9, clock=clock
+            ),
+            seed=0,
+            clock=clock,
+            scan_fallback=scan_fallback,
+            degraded_scan_count=scan_count,
+        )
+
+    def test_raw_fetch_served_from_scan_prefix(
+        self, rpc_client, prog_pipeline, scan_fallback
+    ):
+        from repro.codec import truncate_scans
+
+        primary = FailingFetcher(rpc_client)
+        primary.down = True
+        fetcher = self.make_rung_fetcher(primary, prog_pipeline, scan_fallback)
+        payload = fetcher.fetch(3, 0, 0)
+        assert payload.data == truncate_scans(scan_fallback.streams[3], 2)
+        assert scan_fallback.calls == [(3, 0, 2)]
+
+    def test_demotion_records_the_scan_count(
+        self, rpc_client, prog_pipeline, scan_fallback
+    ):
+        primary = FailingFetcher(rpc_client)
+        primary.down = True
+        fetcher = self.make_rung_fetcher(
+            primary, prog_pipeline, scan_fallback, scan_count=3
+        )
+        payload = fetcher.fetch(1, 0, 2)
+        # The offloaded prefix ran locally over the truncated stream.
+        assert payload.data.shape == (16, 16, 3)
+        assert fetcher.demotion_count == 1
+        demotion = fetcher.last_outage.demotions[0]
+        assert demotion.scan_count == 3
+        assert demotion.planned_split == 2
+
+    def test_without_rung_demotions_have_no_scan_count(
+        self, rpc_client, pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(rpc_client)
+        primary.down = True
+        fetcher = make_fetcher(primary, pipeline, materialized_tiny)
+        fetcher.fetch(0, 0, 2)
+        assert fetcher.last_outage.demotions[0].scan_count is None
+
+    def test_raw_reraise_still_applies_without_rung_or_fallback(
+        self, prog_pipeline, materialized_tiny
+    ):
+        primary = FailingFetcher(None)
+        primary.down = True
+        fetcher = DegradedModeFetcher(primary, prog_pipeline, seed=0)
+        with pytest.raises(ConnectionError):
+            fetcher.fetch(0, 0, 0)
+
+    def test_validation(self, rpc_client, prog_pipeline, scan_fallback):
+        with pytest.raises(ValueError):
+            DegradedModeFetcher(
+                rpc_client,
+                prog_pipeline,
+                scan_fallback=scan_fallback,
+                degraded_scan_count=0,
+            )
+        with pytest.raises(ValueError):
+            DegradedModeFetcher(rpc_client, prog_pipeline, degraded_scan_count=2)

@@ -1,0 +1,80 @@
+"""Fidelity frontier harness tests."""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster.spec import standard_cluster
+from repro.harness.frontier import (
+    DEFAULT_FLOORS,
+    build_progressive_records,
+    fidelity_frontier,
+)
+from repro.preprocessing.records import ProgressiveSampleRecord
+
+
+@pytest.fixture(scope="module")
+def progressive_records(request):
+    materialized_tiny = request.getfixturevalue("materialized_tiny")
+    return build_progressive_records(materialized_tiny)
+
+
+class TestBuildProgressiveRecords:
+    def test_records_carry_a_consistent_ladder(self, progressive_records):
+        assert progressive_records
+        for record in progressive_records:
+            assert isinstance(record, ProgressiveSampleRecord)
+            assert record.scan_sizes[-1] == record.stage_sizes[0]
+            psnrs = record.scan_psnr_db
+            assert all(b >= a for a, b in zip(psnrs, psnrs[1:]))
+            assert math.isinf(psnrs[-1])
+
+    def test_requires_materialized_dataset(self, openimages_small):
+        with pytest.raises(ValueError, match="materialized"):
+            build_progressive_records(openimages_small)
+
+
+class TestFidelityFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self, request, progressive_records):
+        materialized_tiny = request.getfixturevalue("materialized_tiny")
+        return fidelity_frontier(
+            materialized_tiny,
+            spec=standard_cluster().with_bandwidth(40.0),
+            floors=(None, 40.0, 30.0),
+            records=progressive_records,
+            gpu_time_s=0.001,
+        )
+
+    def test_anchor_point_never_degrades(self, frontier):
+        anchor = frontier.points[0]
+        assert anchor.min_psnr_db is None
+        assert anchor.degraded_samples == 0
+        assert anchor.worst_psnr_db is None
+
+    def test_relaxing_the_floor_never_ships_more(self, frontier):
+        traffic = [p.traffic_bytes for p in frontier.points]
+        assert traffic[0] >= traffic[1] >= traffic[2]
+
+    def test_saved_plus_traffic_is_constant(self, frontier):
+        totals = {p.traffic_bytes + p.saved_bytes for p in frontier.points}
+        assert len(totals) == 1
+
+    def test_worst_psnr_respects_the_floor(self, frontier):
+        for point in frontier.points[1:]:
+            if point.worst_psnr_db is not None:
+                assert point.worst_psnr_db >= point.min_psnr_db
+
+    def test_render_and_json(self, frontier):
+        text = frontier.render()
+        assert "traffic-vs-fidelity frontier" in text
+        assert "Floor" in text
+        report = json.loads(frontier.to_json())
+        assert report["kind"] == "fidelity-frontier"
+        assert len(report["points"]) == 3
+
+    def test_default_floors_start_with_the_anchor(self):
+        assert DEFAULT_FLOORS[0] is None
+        floors = [f for f in DEFAULT_FLOORS[1:]]
+        assert floors == sorted(floors, reverse=True)

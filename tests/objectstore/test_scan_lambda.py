@@ -1,0 +1,156 @@
+"""ScanTruncationLambda and fetch_scans: store-side fidelity truncation."""
+
+import numpy as np
+import pytest
+
+from repro.codec import ProgressiveJpegCodec, scan_count_of, scan_sizes, truncate_scans
+from repro.objectstore.dataset import sample_key, upload_dataset
+from repro.objectstore.fetcher import ObjectLambdaFetcher
+from repro.objectstore.lambdas import (
+    LambdaError,
+    LambdaRegistry,
+    PreprocessingLambda,
+    ScanTruncationLambda,
+)
+from repro.objectstore.store import Bucket
+from repro.preprocessing.payload import PayloadKind
+from repro.preprocessing.pipeline import standard_pipeline
+
+
+@pytest.fixture
+def codec():
+    return ProgressiveJpegCodec()
+
+
+@pytest.fixture
+def progressive_bucket(materialized_tiny, codec):
+    """A bucket whose stored objects are progressive re-encodes."""
+    bucket = Bucket("train-progressive")
+    for sid in materialized_tiny.sample_ids():
+        image = codec.decode(materialized_tiny.raw_payload(sid).data)
+        meta = materialized_tiny.raw_meta(sid)
+        bucket.put(
+            sample_key(sid),
+            codec.encode(image),
+            metadata={"height": str(meta.height), "width": str(meta.width)},
+        )
+    return bucket
+
+
+@pytest.fixture
+def registry(progressive_bucket, codec):
+    registry = LambdaRegistry(progressive_bucket)
+    PreprocessingLambda(standard_pipeline(crop_size=16, codec=codec)).install(registry)
+    ScanTruncationLambda().install(registry)
+    return registry
+
+
+class TestScanTruncationLambda:
+    def test_truncates_to_the_requested_prefix(self, registry, progressive_bucket):
+        from repro.rpc.messages import FetchResponse
+
+        stored = progressive_bucket.get(sample_key(0))
+        wire = registry.get_through(
+            sample_key(0),
+            ScanTruncationLambda.NAME,
+            {
+                "sample_id": 0,
+                "epoch": 0,
+                "scan_count": 2,
+                "height": 1,
+                "width": 1,
+            },
+        )
+        payload = FetchResponse.from_bytes(wire).to_payload()
+        assert payload.kind is PayloadKind.ENCODED
+        assert payload.data == truncate_scans(stored, 2)
+        assert scan_count_of(payload.data) == 2
+
+    @pytest.mark.parametrize("scan_count", [0, -1, 99])
+    def test_out_of_range_scan_count_is_a_lambda_error(self, registry, scan_count):
+        with pytest.raises(LambdaError):
+            registry.get_through(
+                sample_key(0),
+                ScanTruncationLambda.NAME,
+                {
+                    "sample_id": 0,
+                    "epoch": 0,
+                    "scan_count": scan_count,
+                    "height": 1,
+                    "width": 1,
+                },
+            )
+
+    def test_missing_argument_is_a_lambda_error(self, registry):
+        with pytest.raises(LambdaError, match="missing"):
+            registry.get_through(
+                sample_key(0), ScanTruncationLambda.NAME, {"sample_id": 0}
+            )
+
+    def test_non_progressive_object_is_a_lambda_error(self, materialized_tiny):
+        # Baseline (TJPG) objects have no scans; the CodecError must come
+        # back as a LambdaError, never leak as a codec exception.
+        bucket = Bucket("train-baseline")
+        upload_dataset(materialized_tiny, bucket)
+        registry = LambdaRegistry(bucket)
+        ScanTruncationLambda().install(registry)
+        with pytest.raises(LambdaError, match="not a valid progressive stream"):
+            registry.get_through(
+                sample_key(0),
+                ScanTruncationLambda.NAME,
+                {
+                    "sample_id": 0,
+                    "epoch": 0,
+                    "scan_count": 1,
+                    "height": 1,
+                    "width": 1,
+                },
+            )
+
+
+class TestFetchScans:
+    def test_fetch_scans_round_trip(
+        self, registry, progressive_bucket, codec
+    ):
+        fetcher = ObjectLambdaFetcher(registry)
+        stored = progressive_bucket.get(sample_key(2))
+        payload = fetcher.fetch_scans(2, epoch=0, scan_count=2)
+        assert payload.data == truncate_scans(stored, 2)
+        # The truncated stream decodes to a real (reduced-fidelity) image
+        # of the full dimensions.
+        image = codec.decode(payload.data)
+        assert image.shape == codec.decode(stored).shape
+
+    def test_fewer_scans_means_fewer_wire_bytes(self, registry, progressive_bucket):
+        low = ObjectLambdaFetcher(registry)
+        low.fetch_scans(0, epoch=0, scan_count=1)
+        high = ObjectLambdaFetcher(registry)
+        high.fetch_scans(0, epoch=0, scan_count=scan_count_of(
+            progressive_bucket.get(sample_key(0))
+        ))
+        assert low.traffic_bytes < high.traffic_bytes
+
+    def test_full_count_ships_the_whole_stream(self, registry, progressive_bucket):
+        stored = progressive_bucket.get(sample_key(1))
+        fetcher = ObjectLambdaFetcher(registry)
+        payload = fetcher.fetch_scans(1, epoch=0, scan_count=scan_count_of(stored))
+        assert payload.data == stored
+        assert scan_sizes(payload.data) == scan_sizes(stored)
+
+    def test_requires_the_lambda_installed(self, progressive_bucket, codec):
+        registry = LambdaRegistry(progressive_bucket)
+        PreprocessingLambda(
+            standard_pipeline(crop_size=16, codec=codec)
+        ).install(registry)
+        fetcher = ObjectLambdaFetcher(registry)
+        with pytest.raises(ValueError, match="ScanTruncationLambda"):
+            fetcher.fetch_scans(0, epoch=0, scan_count=1)
+
+    def test_split_fetch_still_works_alongside(self, registry):
+        # The same registry serves both axes: offloaded prefixes through
+        # the preprocessing lambda, fidelity prefixes through truncation.
+        fetcher = ObjectLambdaFetcher(registry)
+        preprocessed = fetcher.fetch(0, epoch=0, split=2)
+        assert isinstance(preprocessed.data, np.ndarray)
+        truncated = fetcher.fetch_scans(0, epoch=0, scan_count=2)
+        assert isinstance(truncated.data, bytes)

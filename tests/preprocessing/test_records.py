@@ -109,3 +109,68 @@ class TestBuildRecord:
             for i, nbytes in enumerate([50_000, 300_000])
         ]
         assert best_split(records) == [0, 2]
+
+
+class TestProgressiveRecord:
+    def make(self, scan_sizes=(100, 250, 1000), psnrs=(20.0, 35.0, float("inf"))):
+        from repro.preprocessing.records import ProgressiveSampleRecord
+
+        sizes = (scan_sizes[-1], 4000, 500, 500, 2000, 2000)
+        costs = (0.01,) * 5
+        return ProgressiveSampleRecord(
+            0, sizes, costs, scan_sizes=scan_sizes, scan_psnr_db=psnrs
+        )
+
+    def test_fidelity_accessors(self):
+        rec = self.make()
+        assert rec.num_scans == 3
+        assert rec.size_at_fidelity(1) == 100
+        assert rec.size_at_fidelity(3) == rec.raw_size == 1000
+        assert rec.psnr_at(2) == 35.0
+        assert rec.fidelity_savings(2) == 750
+
+    def test_out_of_range_scan_counts_rejected(self):
+        rec = self.make()
+        for count in (0, 4):
+            with pytest.raises(ValueError):
+                rec.size_at_fidelity(count)
+            with pytest.raises(ValueError):
+                rec.psnr_at(count)
+
+    def test_requires_at_least_one_scan(self):
+        from repro.preprocessing.records import ProgressiveSampleRecord
+
+        with pytest.raises(ValueError):
+            ProgressiveSampleRecord(
+                0,
+                (1000, 4000, 500, 500, 2000, 2000),
+                (0.01,) * 5,
+                scan_sizes=(),
+                scan_psnr_db=(),
+            )
+
+    def test_psnr_and_size_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            self.make(psnrs=(20.0, float("inf")))
+
+    def test_sizes_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            self.make(scan_sizes=(100, 100, 1000))
+
+    def test_full_prefix_must_equal_raw_stage(self):
+        from repro.preprocessing.records import ProgressiveSampleRecord
+
+        with pytest.raises(ValueError):
+            ProgressiveSampleRecord(
+                0,
+                (999, 4000, 500, 500, 2000, 2000),
+                (0.01,) * 5,
+                scan_sizes=(100, 1000),
+                scan_psnr_db=(20.0, float("inf")),
+            )
+
+    def test_psnr_must_be_monotone_and_end_at_inf(self):
+        with pytest.raises(ValueError):
+            self.make(psnrs=(35.0, 20.0, float("inf")))
+        with pytest.raises(ValueError):
+            self.make(psnrs=(20.0, 35.0, 50.0))

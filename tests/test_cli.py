@@ -56,6 +56,29 @@ class TestCli:
         assert "storage_cores" in out
         assert path.read_text().startswith("storage_cores")
 
+    def test_frontier_emits_table_and_json_in_one_invocation(self, capsys, tmp_path):
+        path = tmp_path / "frontier.json"
+        assert main([
+            "--samples", "12", "frontier",
+            "--bandwidth", "40", "--floors", "40", "30",
+            "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traffic-vs-fidelity frontier" in out
+        assert "Floor" in out and "WorstPSNR" in out
+        import json
+        report = json.loads(path.read_text())
+        assert report["kind"] == "fidelity-frontier"
+        # The fidelity-free anchor plus one point per requested floor.
+        assert [p["min_psnr_db"] for p in report["points"]] == [None, 40.0, 30.0]
+        traffic = [p["traffic_bytes"] for p in report["points"]]
+        assert traffic[0] >= traffic[1] >= traffic[2]
+
+    def test_frontier_without_json_path_prints_json(self, capsys):
+        assert main(["--samples", "8", "frontier", "--bandwidth", "40"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "fidelity-frontier"' in out
+
     def test_sweep_requires_an_axis(self):
         import pytest as _pytest
 
